@@ -1,0 +1,234 @@
+//! Convenience constructors for synthesized AST nodes.
+//!
+//! The transformation passes and the corpus generator build large amounts
+//! of AST by hand; these helpers keep that code readable. All nodes carry
+//! [`Span::DUMMY`].
+
+use crate::nodes::*;
+use crate::ops::*;
+use crate::span::Span;
+
+/// An identifier expression.
+pub fn ident(name: impl Into<String>) -> Expr {
+    Expr::Ident(Ident::new(name))
+}
+
+/// A string literal expression.
+pub fn str_lit(s: impl Into<String>) -> Expr {
+    Expr::Lit(Lit::str(s))
+}
+
+/// A numeric literal expression.
+pub fn num_lit(n: f64) -> Expr {
+    Expr::Lit(Lit::num(n))
+}
+
+/// A boolean literal expression.
+pub fn bool_lit(b: bool) -> Expr {
+    Expr::Lit(Lit::bool(b))
+}
+
+/// The `null` literal.
+pub fn null_lit() -> Expr {
+    Expr::Lit(Lit::null())
+}
+
+/// An array literal.
+pub fn array(elements: Vec<Expr>) -> Expr {
+    Expr::Array { elements: elements.into_iter().map(Some).collect(), span: Span::DUMMY }
+}
+
+/// A call expression.
+pub fn call(callee: Expr, args: Vec<Expr>) -> Expr {
+    Expr::Call { callee: Box::new(callee), args, span: Span::DUMMY }
+}
+
+/// A `new` expression.
+pub fn new_expr(callee: Expr, args: Vec<Expr>) -> Expr {
+    Expr::New { callee: Box::new(callee), args, span: Span::DUMMY }
+}
+
+/// Dot-notation member access: `object.name`.
+pub fn member(object: Expr, name: impl Into<String>) -> Expr {
+    Expr::Member {
+        object: Box::new(object),
+        property: MemberProp::Ident(Ident::new(name)),
+        optional: false,
+        span: Span::DUMMY,
+    }
+}
+
+/// Bracket-notation member access: `object[index]`.
+pub fn index(object: Expr, idx: Expr) -> Expr {
+    Expr::Member {
+        object: Box::new(object),
+        property: MemberProp::Computed(Box::new(idx)),
+        optional: false,
+        span: Span::DUMMY,
+    }
+}
+
+/// A method call: `object.name(args)`.
+pub fn method_call(object: Expr, name: impl Into<String>, args: Vec<Expr>) -> Expr {
+    call(member(object, name), args)
+}
+
+/// A binary expression.
+pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+    Expr::Binary { op, left: Box::new(left), right: Box::new(right), span: Span::DUMMY }
+}
+
+/// A logical expression.
+pub fn logical(op: LogicalOp, left: Expr, right: Expr) -> Expr {
+    Expr::Logical { op, left: Box::new(left), right: Box::new(right), span: Span::DUMMY }
+}
+
+/// A unary expression.
+pub fn unary(op: UnaryOp, arg: Expr) -> Expr {
+    Expr::Unary { op, arg: Box::new(arg), span: Span::DUMMY }
+}
+
+/// A conditional (ternary) expression.
+pub fn conditional(test: Expr, consequent: Expr, alternate: Expr) -> Expr {
+    Expr::Conditional {
+        test: Box::new(test),
+        consequent: Box::new(consequent),
+        alternate: Box::new(alternate),
+        span: Span::DUMMY,
+    }
+}
+
+/// A plain assignment: `target = value` (as an expression).
+pub fn assign(target: Pat, value: Expr) -> Expr {
+    Expr::Assign {
+        op: AssignOp::Assign,
+        target: Box::new(target),
+        value: Box::new(value),
+        span: Span::DUMMY,
+    }
+}
+
+/// Assignment to an identifier: `name = value`.
+pub fn assign_ident(name: impl Into<String>, value: Expr) -> Expr {
+    assign(Pat::Ident(Ident::new(name)), value)
+}
+
+/// An expression statement.
+pub fn expr_stmt(expr: Expr) -> Stmt {
+    Stmt::Expr { expr, span: Span::DUMMY }
+}
+
+/// A block statement.
+pub fn block(body: Vec<Stmt>) -> Stmt {
+    Stmt::Block { body, span: Span::DUMMY }
+}
+
+/// A `return` statement.
+pub fn ret(arg: Option<Expr>) -> Stmt {
+    Stmt::Return { arg, span: Span::DUMMY }
+}
+
+/// A variable declaration with a single declarator.
+pub fn var_decl(kind: VarKind, name: impl Into<String>, init: Option<Expr>) -> Stmt {
+    Stmt::VarDecl {
+        kind,
+        decls: vec![VarDeclarator { id: Pat::Ident(Ident::new(name)), init, span: Span::DUMMY }],
+        span: Span::DUMMY,
+    }
+}
+
+/// An `if` statement.
+pub fn if_stmt(test: Expr, consequent: Stmt, alternate: Option<Stmt>) -> Stmt {
+    Stmt::If {
+        test,
+        consequent: Box::new(consequent),
+        alternate: alternate.map(Box::new),
+        span: Span::DUMMY,
+    }
+}
+
+/// A `while` statement.
+pub fn while_stmt(test: Expr, body: Stmt) -> Stmt {
+    Stmt::While { test, body: Box::new(body), span: Span::DUMMY }
+}
+
+/// A function declaration.
+pub fn fn_decl(name: impl Into<String>, params: Vec<&str>, body: Vec<Stmt>) -> Stmt {
+    Stmt::FunctionDecl(function(Some(name.into()), params, body))
+}
+
+/// A function expression.
+pub fn fn_expr(params: Vec<&str>, body: Vec<Stmt>) -> Expr {
+    Expr::Function(function(None, params, body))
+}
+
+/// Builds a [`Function`] payload with identifier parameters.
+pub fn function(name: Option<String>, params: Vec<&str>, body: Vec<Stmt>) -> Function {
+    Function {
+        id: name.map(Ident::new),
+        params: params.into_iter().map(|p| Pat::Ident(Ident::new(p))).collect(),
+        body,
+        is_generator: false,
+        is_async: false,
+        span: Span::DUMMY,
+    }
+}
+
+/// A program from a list of statements.
+pub fn program(body: Vec<Stmt>) -> Program {
+    Program { body, span: Span::DUMMY }
+}
+
+/// `String.fromCharCode(args)` — frequent in string obfuscation.
+pub fn from_char_code(args: Vec<Expr>) -> Expr {
+    method_call(ident("String"), "fromCharCode", args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::NodeKind;
+    use crate::visit::kind_stream;
+
+    #[test]
+    fn builds_plausible_member_chain() {
+        let e = method_call(ident("console"), "log", vec![str_lit("hi")]);
+        match &e {
+            Expr::Call { callee, args, .. } => {
+                assert!(matches!(**callee, Expr::Member { .. }));
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn var_decl_shape() {
+        let s = var_decl(VarKind::Const, "x", Some(num_lit(1.0)));
+        match &s {
+            Stmt::VarDecl { kind, decls, .. } => {
+                assert_eq!(*kind, VarKind::Const);
+                assert_eq!(decls.len(), 1);
+                assert!(decls[0].init.is_some());
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn program_kind_stream_starts_with_program() {
+        let p = program(vec![expr_stmt(call(ident("f"), vec![]))]);
+        let ks = kind_stream(&p);
+        assert_eq!(ks[0], NodeKind::Program);
+        assert!(ks.contains(&NodeKind::CallExpression));
+    }
+
+    #[test]
+    fn index_uses_bracket_notation() {
+        let e = index(ident("arr"), num_lit(0.0));
+        match e {
+            Expr::Member { property: MemberProp::Computed(_), .. } => {}
+            other => panic!("expected computed member, got {:?}", other),
+        }
+    }
+}

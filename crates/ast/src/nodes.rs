@@ -1,0 +1,599 @@
+//! ESTree-style AST node definitions.
+//!
+//! The node vocabulary follows Esprima's ESTree output, which the paper's
+//! pipeline consumes: statements, expressions, patterns, and the handful of
+//! auxiliary nodes (`SwitchCase`, `CatchClause`, `Property`,
+//! `TemplateElement`, `VariableDeclarator`, `MethodDefinition`).
+
+use crate::ops::{AssignOp, BinaryOp, LogicalOp, UnaryOp, UpdateOp, VarKind};
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+
+/// A complete parsed program (ESTree `Program`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+    /// Span covering the whole source.
+    pub span: Span,
+}
+
+/// An identifier (ESTree `Identifier`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ident {
+    /// The identifier's name.
+    pub name: String,
+    /// Source span.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates a synthesized identifier with a dummy span.
+    pub fn new(name: impl Into<String>) -> Self {
+        Ident { name: name.into(), span: Span::DUMMY }
+    }
+}
+
+/// A literal value (ESTree `Literal`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LitValue {
+    /// String literal; the decoded (cooked) value.
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// The `null` literal.
+    Null,
+    /// Regular expression literal: pattern and flags.
+    Regex {
+        /// Pattern between the slashes, uninterpreted.
+        pattern: String,
+        /// Flag characters (`gimsuy`).
+        flags: String,
+    },
+}
+
+/// A literal node, keeping both decoded value and raw source text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lit {
+    /// Decoded value.
+    pub value: LitValue,
+    /// Raw text as it appeared in the source (empty for synthesized nodes).
+    pub raw: String,
+    /// Source span.
+    pub span: Span,
+}
+
+impl Lit {
+    /// Synthesizes a string literal.
+    pub fn str(s: impl Into<String>) -> Self {
+        Lit { value: LitValue::Str(s.into()), raw: String::new(), span: Span::DUMMY }
+    }
+
+    /// Synthesizes a numeric literal.
+    pub fn num(n: f64) -> Self {
+        Lit { value: LitValue::Num(n), raw: String::new(), span: Span::DUMMY }
+    }
+
+    /// Synthesizes a boolean literal.
+    pub fn bool(b: bool) -> Self {
+        Lit { value: LitValue::Bool(b), raw: String::new(), span: Span::DUMMY }
+    }
+
+    /// Synthesizes the `null` literal.
+    pub fn null() -> Self {
+        Lit { value: LitValue::Null, raw: String::new(), span: Span::DUMMY }
+    }
+}
+
+/// Binding / assignment target patterns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Pat {
+    /// Plain identifier binding.
+    Ident(Ident),
+    /// Array destructuring: `[a, , ...rest]`; holes are `None`.
+    Array { elements: Vec<Option<Pat>>, span: Span },
+    /// Object destructuring: `{a, b: c, ...rest}`.
+    Object { props: Vec<ObjectPatProp>, span: Span },
+    /// Default value: `a = expr`.
+    Assign { target: Box<Pat>, value: Box<Expr>, span: Span },
+    /// Rest element: `...a`.
+    Rest { arg: Box<Pat>, span: Span },
+    /// Member expression target (valid in assignment position only).
+    Member(Box<Expr>),
+}
+
+impl Pat {
+    /// Span of the pattern.
+    pub fn span(&self) -> Span {
+        match self {
+            Pat::Ident(i) => i.span,
+            Pat::Array { span, .. } | Pat::Object { span, .. } => *span,
+            Pat::Assign { span, .. } | Pat::Rest { span, .. } => *span,
+            Pat::Member(e) => e.span(),
+        }
+    }
+
+    /// Returns the identifier if this is a simple identifier pattern.
+    pub fn as_ident(&self) -> Option<&Ident> {
+        match self {
+            Pat::Ident(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// A property inside an object pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectPatProp {
+    /// Property key.
+    pub key: PropKey,
+    /// Bound pattern (for shorthand `{a}`, an identifier equal to the key).
+    pub value: Pat,
+    /// Whether the key was written in computed (`[expr]`) form.
+    pub computed: bool,
+    /// Whether this is a shorthand property.
+    pub shorthand: bool,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Property keys in object literals, patterns, and classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PropKey {
+    /// Identifier key: `{a: 1}`.
+    Ident(Ident),
+    /// String or numeric literal key: `{"a": 1}`, `{0: 1}`.
+    Lit(Lit),
+    /// Computed key: `{[expr]: 1}`.
+    Computed(Box<Expr>),
+}
+
+impl PropKey {
+    /// The key's name if statically known.
+    pub fn static_name(&self) -> Option<String> {
+        match self {
+            PropKey::Ident(i) => Some(i.name.clone()),
+            PropKey::Lit(l) => match &l.value {
+                LitValue::Str(s) => Some(s.clone()),
+                LitValue::Num(n) => Some(format!("{}", n)),
+                _ => None,
+            },
+            PropKey::Computed(_) => None,
+        }
+    }
+}
+
+/// Property kind in object literals (`Property.kind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PropKind {
+    /// Ordinary `key: value`.
+    Init,
+    /// Getter: `get key() {}`.
+    Get,
+    /// Setter: `set key(v) {}`.
+    Set,
+}
+
+/// A property in an object literal (ESTree `Property`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Property {
+    /// Property key.
+    pub key: PropKey,
+    /// Property value.
+    pub value: Expr,
+    /// Kind: init / get / set.
+    pub kind: PropKind,
+    /// Whether the key is computed.
+    pub computed: bool,
+    /// Whether this is shorthand (`{a}`).
+    pub shorthand: bool,
+    /// Whether the value is a method (`{m() {}}`).
+    pub method: bool,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Function (shared by declarations, expressions, and methods).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name; `None` for anonymous function expressions.
+    pub id: Option<Ident>,
+    /// Formal parameters.
+    pub params: Vec<Pat>,
+    /// Function body.
+    pub body: Vec<Stmt>,
+    /// Whether declared with `function*`.
+    pub is_generator: bool,
+    /// Whether declared with `async`.
+    pub is_async: bool,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Arrow function body: expression or block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrowBody {
+    /// Concise body: `x => x + 1`.
+    Expr(Box<Expr>),
+    /// Block body: `x => { return x + 1; }`.
+    Block(Vec<Stmt>),
+}
+
+/// A template literal element (ESTree `TemplateElement`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplateElement {
+    /// Cooked (decoded) text.
+    pub cooked: String,
+    /// Raw text.
+    pub raw: String,
+    /// Whether this is the final quasi.
+    pub tail: bool,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Member expression property access form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MemberProp {
+    /// Dot notation: `obj.name`.
+    Ident(Ident),
+    /// Bracket notation: `obj[expr]`.
+    Computed(Box<Expr>),
+}
+
+/// Class member (ESTree `MethodDefinition` / `PropertyDefinition`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassMember {
+    /// Member key.
+    pub key: PropKey,
+    /// Method function or property value.
+    pub value: ClassMemberValue,
+    /// Member kind.
+    pub kind: MethodKind,
+    /// Whether declared `static`.
+    pub is_static: bool,
+    /// Whether the key is computed.
+    pub computed: bool,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Value carried by a class member.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClassMemberValue {
+    /// Method body.
+    Method(Function),
+    /// Field initializer (property definition), possibly absent.
+    Field(Option<Expr>),
+}
+
+/// Method kinds within a class body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// Constructor method.
+    Constructor,
+    /// Ordinary method.
+    Method,
+    /// Getter.
+    Get,
+    /// Setter.
+    Set,
+    /// Field (property definition).
+    Field,
+}
+
+/// Class declaration or expression payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Class {
+    /// Class name; `None` for anonymous class expressions.
+    pub id: Option<Ident>,
+    /// Superclass expression, if any.
+    pub super_class: Option<Box<Expr>>,
+    /// Class body members.
+    pub body: Vec<ClassMember>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Expressions (ESTree expression nodes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Expr {
+    /// `Identifier`
+    Ident(Ident),
+    /// `Literal`
+    Lit(Lit),
+    /// `ThisExpression`
+    This { span: Span },
+    /// `Super` (only valid as callee / member object)
+    Super { span: Span },
+    /// `ArrayExpression`; holes are `None`.
+    Array { elements: Vec<Option<Expr>>, span: Span },
+    /// `ObjectExpression`
+    Object { props: Vec<Property>, span: Span },
+    /// `FunctionExpression`
+    Function(Function),
+    /// `ArrowFunctionExpression`
+    Arrow { params: Vec<Pat>, body: ArrowBody, is_async: bool, span: Span },
+    /// `ClassExpression`
+    Class(Class),
+    /// `TemplateLiteral`
+    Template { quasis: Vec<TemplateElement>, exprs: Vec<Expr>, span: Span },
+    /// `TaggedTemplateExpression`
+    TaggedTemplate { tag: Box<Expr>, quasis: Vec<TemplateElement>, exprs: Vec<Expr>, span: Span },
+    /// `UnaryExpression`
+    Unary { op: UnaryOp, arg: Box<Expr>, span: Span },
+    /// `UpdateExpression`
+    Update { op: UpdateOp, prefix: bool, arg: Box<Expr>, span: Span },
+    /// `BinaryExpression`
+    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr>, span: Span },
+    /// `LogicalExpression`
+    Logical { op: LogicalOp, left: Box<Expr>, right: Box<Expr>, span: Span },
+    /// `AssignmentExpression`
+    Assign { op: AssignOp, target: Box<Pat>, value: Box<Expr>, span: Span },
+    /// `ConditionalExpression` (ternary)
+    Conditional { test: Box<Expr>, consequent: Box<Expr>, alternate: Box<Expr>, span: Span },
+    /// `CallExpression`
+    Call { callee: Box<Expr>, args: Vec<Expr>, span: Span },
+    /// `NewExpression`
+    New { callee: Box<Expr>, args: Vec<Expr>, span: Span },
+    /// `MemberExpression`
+    Member { object: Box<Expr>, property: MemberProp, optional: bool, span: Span },
+    /// `SequenceExpression` (comma operator)
+    Sequence { exprs: Vec<Expr>, span: Span },
+    /// `SpreadElement` (in call args / array literals)
+    Spread { arg: Box<Expr>, span: Span },
+    /// `YieldExpression`
+    Yield { arg: Option<Box<Expr>>, delegate: bool, span: Span },
+    /// `AwaitExpression`
+    Await { arg: Box<Expr>, span: Span },
+    /// `MetaProperty` such as `new.target` / `import.meta`.
+    MetaProperty { meta: Ident, property: Ident, span: Span },
+}
+
+impl Expr {
+    /// Span of the expression.
+    pub fn span(&self) -> Span {
+        use Expr::*;
+        match self {
+            Ident(i) => i.span,
+            Lit(l) => l.span,
+            This { span } | Super { span } => *span,
+            Array { span, .. }
+            | Object { span, .. }
+            | Arrow { span, .. }
+            | Template { span, .. }
+            | TaggedTemplate { span, .. }
+            | Unary { span, .. }
+            | Update { span, .. }
+            | Binary { span, .. }
+            | Logical { span, .. }
+            | Assign { span, .. }
+            | Conditional { span, .. }
+            | Call { span, .. }
+            | New { span, .. }
+            | Member { span, .. }
+            | Sequence { span, .. }
+            | Spread { span, .. }
+            | Yield { span, .. }
+            | Await { span, .. }
+            | MetaProperty { span, .. } => *span,
+            Function(f) => f.span,
+            Class(c) => c.span,
+        }
+    }
+
+    /// Returns the identifier if this expression is a plain identifier.
+    pub fn as_ident(&self) -> Option<&Ident> {
+        match self {
+            Expr::Ident(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the literal string value if this is a string literal.
+    pub fn as_str_lit(&self) -> Option<&str> {
+        match self {
+            Expr::Lit(l) => match &l.value {
+                LitValue::Str(s) => Some(s),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// A single declarator in a variable declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarDeclarator {
+    /// Binding pattern.
+    pub id: Pat,
+    /// Initializer, if present.
+    pub init: Option<Expr>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A `switch` case clause (ESTree `SwitchCase`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchCase {
+    /// Test expression; `None` for `default:`.
+    pub test: Option<Expr>,
+    /// Statements in the clause.
+    pub body: Vec<Stmt>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A `catch` clause (ESTree `CatchClause`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatchClause {
+    /// Bound exception parameter; optional (ES2019 optional binding).
+    pub param: Option<Pat>,
+    /// Handler body.
+    pub body: Vec<Stmt>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// `for` loop initializer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ForInit {
+    /// Declaration: `for (var i = 0; ...)`.
+    Var { kind: VarKind, decls: Vec<VarDeclarator> },
+    /// Expression: `for (i = 0; ...)`.
+    Expr(Expr),
+}
+
+/// Target of `for-in` / `for-of`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ForTarget {
+    /// Declaration: `for (const x of ...)`.
+    Var { kind: VarKind, pat: Pat },
+    /// Pattern: `for (x of ...)`.
+    Pat(Pat),
+}
+
+/// Statements (ESTree statement nodes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Stmt {
+    /// `ExpressionStatement`
+    Expr { expr: Expr, span: Span },
+    /// `BlockStatement`
+    Block { body: Vec<Stmt>, span: Span },
+    /// `VariableDeclaration`
+    VarDecl { kind: VarKind, decls: Vec<VarDeclarator>, span: Span },
+    /// `FunctionDeclaration`
+    FunctionDecl(Function),
+    /// `ClassDeclaration`
+    ClassDecl(Class),
+    /// `IfStatement`
+    If { test: Expr, consequent: Box<Stmt>, alternate: Option<Box<Stmt>>, span: Span },
+    /// `ForStatement`
+    For {
+        init: Option<ForInit>,
+        test: Option<Expr>,
+        update: Option<Expr>,
+        body: Box<Stmt>,
+        span: Span,
+    },
+    /// `ForInStatement`
+    ForIn { target: ForTarget, object: Expr, body: Box<Stmt>, span: Span },
+    /// `ForOfStatement`
+    ForOf { target: ForTarget, iterable: Expr, body: Box<Stmt>, span: Span },
+    /// `WhileStatement`
+    While { test: Expr, body: Box<Stmt>, span: Span },
+    /// `DoWhileStatement`
+    DoWhile { body: Box<Stmt>, test: Expr, span: Span },
+    /// `SwitchStatement`
+    Switch { discriminant: Expr, cases: Vec<SwitchCase>, span: Span },
+    /// `TryStatement`
+    Try {
+        block: Vec<Stmt>,
+        handler: Option<CatchClause>,
+        finalizer: Option<Vec<Stmt>>,
+        span: Span,
+    },
+    /// `ThrowStatement`
+    Throw { arg: Expr, span: Span },
+    /// `ReturnStatement`
+    Return { arg: Option<Expr>, span: Span },
+    /// `BreakStatement`
+    Break { label: Option<Ident>, span: Span },
+    /// `ContinueStatement`
+    Continue { label: Option<Ident>, span: Span },
+    /// `LabeledStatement`
+    Labeled { label: Ident, body: Box<Stmt>, span: Span },
+    /// `EmptyStatement`
+    Empty { span: Span },
+    /// `DebuggerStatement`
+    Debugger { span: Span },
+    /// `WithStatement`
+    With { object: Expr, body: Box<Stmt>, span: Span },
+}
+
+impl Stmt {
+    /// Span of the statement.
+    pub fn span(&self) -> Span {
+        use Stmt::*;
+        match self {
+            Expr { span, .. }
+            | Block { span, .. }
+            | VarDecl { span, .. }
+            | If { span, .. }
+            | For { span, .. }
+            | ForIn { span, .. }
+            | ForOf { span, .. }
+            | While { span, .. }
+            | DoWhile { span, .. }
+            | Switch { span, .. }
+            | Try { span, .. }
+            | Throw { span, .. }
+            | Return { span, .. }
+            | Break { span, .. }
+            | Continue { span, .. }
+            | Labeled { span, .. }
+            | Empty { span }
+            | Debugger { span }
+            | With { span, .. } => *span,
+            FunctionDecl(f) => f.span,
+            ClassDecl(c) => c.span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesized_literals() {
+        assert_eq!(Lit::str("hi").value, LitValue::Str("hi".into()));
+        assert_eq!(Lit::num(4.0).value, LitValue::Num(4.0));
+        assert_eq!(Lit::bool(true).value, LitValue::Bool(true));
+        assert_eq!(Lit::null().value, LitValue::Null);
+    }
+
+    #[test]
+    fn prop_key_static_name() {
+        assert_eq!(PropKey::Ident(Ident::new("a")).static_name().as_deref(), Some("a"));
+        assert_eq!(PropKey::Lit(Lit::str("b")).static_name().as_deref(), Some("b"));
+        assert_eq!(PropKey::Lit(Lit::num(3.0)).static_name().as_deref(), Some("3"));
+        let computed = PropKey::Computed(Box::new(Expr::Ident(Ident::new("k"))));
+        assert_eq!(computed.static_name(), None);
+    }
+
+    #[test]
+    fn expr_as_ident_and_str() {
+        let e = Expr::Ident(Ident::new("x"));
+        assert_eq!(e.as_ident().unwrap().name, "x");
+        let s = Expr::Lit(Lit::str("y"));
+        assert_eq!(s.as_str_lit(), Some("y"));
+        assert!(s.as_ident().is_none());
+    }
+
+    #[test]
+    fn pat_as_ident() {
+        let p = Pat::Ident(Ident::new("v"));
+        assert_eq!(p.as_ident().unwrap().name, "v");
+        let arr = Pat::Array { elements: vec![], span: Span::DUMMY };
+        assert!(arr.as_ident().is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip_program() {
+        let prog = Program {
+            body: vec![Stmt::Return { arg: Some(Expr::Lit(Lit::num(1.0))), span: Span::DUMMY }],
+            span: Span::DUMMY,
+        };
+        let json = serde_json::to_string(&prog).unwrap();
+        let back: Program = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, prog);
+    }
+}

@@ -1,0 +1,138 @@
+//! Source spans.
+//!
+//! Every AST node carries a [`Span`] giving its half-open byte range in the
+//! original source. Spans are used to compute layout-sensitive features
+//! (characters per line, comment density) and to slice original source text
+//! during transformations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character of the node.
+    pub start: u32,
+    /// Byte offset one past the last character of the node.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span from `start` and `end` byte offsets.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use jsdetect_ast::Span;
+    /// let s = Span::new(3, 10);
+    /// assert_eq!(s.len(), 7);
+    /// ```
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// A zero-width placeholder span, used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the span covers no bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Returns the slice of `src` covered by this span.
+    ///
+    /// Returns an empty string if the span is out of bounds (synthesized
+    /// nodes carry [`Span::DUMMY`]).
+    pub fn slice(self, src: &str) -> &str {
+        src.get(self.start as usize..self.end as usize).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Computes 1-based line/column from a byte offset.
+///
+/// Used for diagnostics; feature extraction works on raw offsets.
+pub fn line_col(src: &str, offset: u32) -> (u32, u32) {
+    let offset = (offset as usize).min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, b) in src.bytes().enumerate() {
+        if i >= offset {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_len_and_empty() {
+        assert_eq!(Span::new(2, 5).len(), 3);
+        assert!(Span::new(4, 4).is_empty());
+        assert!(!Span::new(4, 5).is_empty());
+    }
+
+    #[test]
+    fn span_union() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn span_slice_in_bounds() {
+        let src = "let x = 1;";
+        assert_eq!(Span::new(4, 5).slice(src), "x");
+    }
+
+    #[test]
+    fn span_slice_out_of_bounds_is_empty() {
+        assert_eq!(Span::new(5, 100).slice("abc"), "");
+    }
+
+    #[test]
+    fn line_col_basic() {
+        let src = "a\nbc\nd";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 2), (2, 1));
+        assert_eq!(line_col(src, 3), (2, 2));
+        assert_eq!(line_col(src, 5), (3, 1));
+    }
+
+    #[test]
+    fn line_col_clamps_past_end() {
+        let src = "ab";
+        assert_eq!(line_col(src, 99), (1, 3));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Span::new(1, 4).to_string(), "1..4");
+    }
+}

@@ -1,0 +1,621 @@
+//! Pre-order AST traversal.
+//!
+//! [`walk`] visits every node of a [`Program`] in source order, invoking a
+//! callback with a [`NodeRef`] and the node's depth. This single traversal
+//! primitive powers the n-gram streams, the structural metrics, and the
+//! hand-picked feature extraction of the paper's pipeline.
+
+use crate::kind::NodeKind;
+use crate::nodes::*;
+
+/// A borrowed reference to any AST node.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub enum NodeRef<'a> {
+    Program(&'a Program),
+    Ident(&'a Ident),
+    Stmt(&'a Stmt),
+    Expr(&'a Expr),
+    Pat(&'a Pat),
+    Property(&'a Property),
+    ObjectPatProp(&'a ObjectPatProp),
+    VarDeclarator(&'a VarDeclarator),
+    SwitchCase(&'a SwitchCase),
+    CatchClause(&'a CatchClause),
+    TemplateElement(&'a TemplateElement),
+    ClassBody(&'a [ClassMember]),
+    ClassMember(&'a ClassMember),
+}
+
+impl NodeRef<'_> {
+    /// The ESTree kind of the referenced node.
+    pub fn kind(&self) -> NodeKind {
+        match self {
+            NodeRef::Program(_) => NodeKind::Program,
+            NodeRef::Ident(_) => NodeKind::Identifier,
+            NodeRef::Stmt(s) => stmt_kind(s),
+            NodeRef::Expr(e) => expr_kind(e),
+            NodeRef::Pat(p) => pat_kind(p),
+            NodeRef::Property(_) => NodeKind::Property,
+            NodeRef::ObjectPatProp(_) => NodeKind::Property,
+            NodeRef::VarDeclarator(_) => NodeKind::VariableDeclarator,
+            NodeRef::SwitchCase(_) => NodeKind::SwitchCase,
+            NodeRef::CatchClause(_) => NodeKind::CatchClause,
+            NodeRef::TemplateElement(_) => NodeKind::TemplateElement,
+            NodeRef::ClassBody(_) => NodeKind::ClassBody,
+            NodeRef::ClassMember(m) => match m.kind {
+                MethodKind::Field => NodeKind::PropertyDefinition,
+                _ => NodeKind::MethodDefinition,
+            },
+        }
+    }
+}
+
+/// The ESTree kind of a statement.
+pub fn stmt_kind(s: &Stmt) -> NodeKind {
+    use Stmt::*;
+    match s {
+        Expr { .. } => NodeKind::ExpressionStatement,
+        Block { .. } => NodeKind::BlockStatement,
+        VarDecl { .. } => NodeKind::VariableDeclaration,
+        FunctionDecl(_) => NodeKind::FunctionDeclaration,
+        ClassDecl(_) => NodeKind::ClassDeclaration,
+        If { .. } => NodeKind::IfStatement,
+        For { .. } => NodeKind::ForStatement,
+        ForIn { .. } => NodeKind::ForInStatement,
+        ForOf { .. } => NodeKind::ForOfStatement,
+        While { .. } => NodeKind::WhileStatement,
+        DoWhile { .. } => NodeKind::DoWhileStatement,
+        Switch { .. } => NodeKind::SwitchStatement,
+        Try { .. } => NodeKind::TryStatement,
+        Throw { .. } => NodeKind::ThrowStatement,
+        Return { .. } => NodeKind::ReturnStatement,
+        Break { .. } => NodeKind::BreakStatement,
+        Continue { .. } => NodeKind::ContinueStatement,
+        Labeled { .. } => NodeKind::LabeledStatement,
+        Empty { .. } => NodeKind::EmptyStatement,
+        Debugger { .. } => NodeKind::DebuggerStatement,
+        With { .. } => NodeKind::WithStatement,
+    }
+}
+
+/// The ESTree kind of an expression.
+pub fn expr_kind(e: &Expr) -> NodeKind {
+    use Expr::*;
+    match e {
+        Ident(_) => NodeKind::Identifier,
+        Lit(_) => NodeKind::Literal,
+        This { .. } => NodeKind::ThisExpression,
+        Super { .. } => NodeKind::Super,
+        Array { .. } => NodeKind::ArrayExpression,
+        Object { .. } => NodeKind::ObjectExpression,
+        Function(_) => NodeKind::FunctionExpression,
+        Arrow { .. } => NodeKind::ArrowFunctionExpression,
+        Class(_) => NodeKind::ClassExpression,
+        Template { .. } => NodeKind::TemplateLiteral,
+        TaggedTemplate { .. } => NodeKind::TaggedTemplateExpression,
+        Unary { .. } => NodeKind::UnaryExpression,
+        Update { .. } => NodeKind::UpdateExpression,
+        Binary { .. } => NodeKind::BinaryExpression,
+        Logical { .. } => NodeKind::LogicalExpression,
+        Assign { .. } => NodeKind::AssignmentExpression,
+        Conditional { .. } => NodeKind::ConditionalExpression,
+        Call { .. } => NodeKind::CallExpression,
+        New { .. } => NodeKind::NewExpression,
+        Member { .. } => NodeKind::MemberExpression,
+        Sequence { .. } => NodeKind::SequenceExpression,
+        Spread { .. } => NodeKind::SpreadElement,
+        Yield { .. } => NodeKind::YieldExpression,
+        Await { .. } => NodeKind::AwaitExpression,
+        MetaProperty { .. } => NodeKind::MetaProperty,
+    }
+}
+
+/// The ESTree kind of a pattern.
+pub fn pat_kind(p: &Pat) -> NodeKind {
+    match p {
+        Pat::Ident(_) => NodeKind::Identifier,
+        Pat::Array { .. } => NodeKind::ArrayPattern,
+        Pat::Object { .. } => NodeKind::ObjectPattern,
+        Pat::Assign { .. } => NodeKind::AssignmentPattern,
+        Pat::Rest { .. } => NodeKind::RestElement,
+        Pat::Member(_) => NodeKind::MemberExpression,
+    }
+}
+
+/// Walks `program` in pre-order, invoking `f(node, depth)` for every node.
+///
+/// # Examples
+///
+/// ```
+/// use jsdetect_ast::{walk, NodeKind, Program, Stmt, Expr, Lit, Span};
+/// let prog = Program {
+///     body: vec![Stmt::Expr { expr: Expr::Lit(Lit::num(1.0)), span: Span::DUMMY }],
+///     span: Span::DUMMY,
+/// };
+/// let mut kinds = Vec::new();
+/// walk(&prog, &mut |node, _depth| kinds.push(node.kind()));
+/// assert_eq!(kinds, vec![NodeKind::Program, NodeKind::ExpressionStatement, NodeKind::Literal]);
+/// ```
+pub fn walk<'a, F>(program: &'a Program, f: &mut F)
+where
+    F: FnMut(NodeRef<'a>, usize),
+{
+    f(NodeRef::Program(program), 0);
+    for s in &program.body {
+        walk_stmt(s, 1, f);
+    }
+}
+
+/// Walks a statement subtree in pre-order.
+pub fn walk_stmt<'a, F>(s: &'a Stmt, depth: usize, f: &mut F)
+where
+    F: FnMut(NodeRef<'a>, usize),
+{
+    f(NodeRef::Stmt(s), depth);
+    let d = depth + 1;
+    match s {
+        Stmt::Expr { expr, .. } => walk_expr(expr, d, f),
+        Stmt::Block { body, .. } => {
+            for st in body {
+                walk_stmt(st, d, f);
+            }
+        }
+        Stmt::VarDecl { decls, .. } => {
+            for decl in decls {
+                f(NodeRef::VarDeclarator(decl), d);
+                walk_pat(&decl.id, d + 1, f);
+                if let Some(init) = &decl.init {
+                    walk_expr(init, d + 1, f);
+                }
+            }
+        }
+        Stmt::FunctionDecl(func) => walk_function(func, d, f),
+        Stmt::ClassDecl(class) => walk_class(class, d, f),
+        Stmt::If { test, consequent, alternate, .. } => {
+            walk_expr(test, d, f);
+            walk_stmt(consequent, d, f);
+            if let Some(alt) = alternate {
+                walk_stmt(alt, d, f);
+            }
+        }
+        Stmt::For { init, test, update, body, .. } => {
+            match init {
+                Some(ForInit::Var { decls, .. }) => {
+                    for decl in decls {
+                        f(NodeRef::VarDeclarator(decl), d);
+                        walk_pat(&decl.id, d + 1, f);
+                        if let Some(e) = &decl.init {
+                            walk_expr(e, d + 1, f);
+                        }
+                    }
+                }
+                Some(ForInit::Expr(e)) => walk_expr(e, d, f),
+                None => {}
+            }
+            if let Some(t) = test {
+                walk_expr(t, d, f);
+            }
+            if let Some(u) = update {
+                walk_expr(u, d, f);
+            }
+            walk_stmt(body, d, f);
+        }
+        Stmt::ForIn { target, object, body, .. } => {
+            walk_for_target(target, d, f);
+            walk_expr(object, d, f);
+            walk_stmt(body, d, f);
+        }
+        Stmt::ForOf { target, iterable, body, .. } => {
+            walk_for_target(target, d, f);
+            walk_expr(iterable, d, f);
+            walk_stmt(body, d, f);
+        }
+        Stmt::While { test, body, .. } => {
+            walk_expr(test, d, f);
+            walk_stmt(body, d, f);
+        }
+        Stmt::DoWhile { body, test, .. } => {
+            walk_stmt(body, d, f);
+            walk_expr(test, d, f);
+        }
+        Stmt::Switch { discriminant, cases, .. } => {
+            walk_expr(discriminant, d, f);
+            for case in cases {
+                f(NodeRef::SwitchCase(case), d);
+                if let Some(t) = &case.test {
+                    walk_expr(t, d + 1, f);
+                }
+                for st in &case.body {
+                    walk_stmt(st, d + 1, f);
+                }
+            }
+        }
+        Stmt::Try { block, handler, finalizer, .. } => {
+            for st in block {
+                walk_stmt(st, d, f);
+            }
+            if let Some(h) = handler {
+                f(NodeRef::CatchClause(h), d);
+                if let Some(p) = &h.param {
+                    walk_pat(p, d + 1, f);
+                }
+                for st in &h.body {
+                    walk_stmt(st, d + 1, f);
+                }
+            }
+            if let Some(fin) = finalizer {
+                for st in fin {
+                    walk_stmt(st, d, f);
+                }
+            }
+        }
+        Stmt::Throw { arg, .. } => walk_expr(arg, d, f),
+        Stmt::Return { arg, .. } => {
+            if let Some(a) = arg {
+                walk_expr(a, d, f);
+            }
+        }
+        Stmt::Break { label, .. } | Stmt::Continue { label, .. } => {
+            if let Some(l) = label {
+                walk_ident(l, d, f);
+            }
+        }
+        Stmt::Labeled { label, body, .. } => {
+            walk_ident(label, d, f);
+            walk_stmt(body, d, f);
+        }
+        Stmt::Empty { .. } | Stmt::Debugger { .. } => {}
+        Stmt::With { object, body, .. } => {
+            walk_expr(object, d, f);
+            walk_stmt(body, d, f);
+        }
+    }
+}
+
+fn walk_ident<'a, F>(i: &'a Ident, depth: usize, f: &mut F)
+where
+    F: FnMut(NodeRef<'a>, usize),
+{
+    f(NodeRef::Ident(i), depth);
+}
+
+fn walk_for_target<'a, F>(t: &'a ForTarget, depth: usize, f: &mut F)
+where
+    F: FnMut(NodeRef<'a>, usize),
+{
+    match t {
+        ForTarget::Var { pat, .. } => walk_pat(pat, depth, f),
+        ForTarget::Pat(p) => walk_pat(p, depth, f),
+    }
+}
+
+/// Walks an expression subtree in pre-order.
+pub fn walk_expr<'a, F>(e: &'a Expr, depth: usize, f: &mut F)
+where
+    F: FnMut(NodeRef<'a>, usize),
+{
+    f(NodeRef::Expr(e), depth);
+    let d = depth + 1;
+    match e {
+        Expr::Ident(_) | Expr::Lit(_) | Expr::This { .. } | Expr::Super { .. } => {}
+        Expr::Array { elements, .. } => {
+            for el in elements.iter().flatten() {
+                walk_expr(el, d, f);
+            }
+        }
+        Expr::Object { props, .. } => {
+            for p in props {
+                f(NodeRef::Property(p), d);
+                walk_prop_key(&p.key, d + 1, f);
+                walk_expr(&p.value, d + 1, f);
+            }
+        }
+        Expr::Function(func) => walk_function(func, d, f),
+        Expr::Arrow { params, body, .. } => {
+            for p in params {
+                walk_pat(p, d, f);
+            }
+            match body {
+                ArrowBody::Expr(e) => walk_expr(e, d, f),
+                ArrowBody::Block(stmts) => {
+                    for st in stmts {
+                        walk_stmt(st, d, f);
+                    }
+                }
+            }
+        }
+        Expr::Class(class) => walk_class(class, d, f),
+        Expr::Template { quasis, exprs, .. } => {
+            for q in quasis {
+                f(NodeRef::TemplateElement(q), d);
+            }
+            for ex in exprs {
+                walk_expr(ex, d, f);
+            }
+        }
+        Expr::TaggedTemplate { tag, quasis, exprs, .. } => {
+            walk_expr(tag, d, f);
+            for q in quasis {
+                f(NodeRef::TemplateElement(q), d);
+            }
+            for ex in exprs {
+                walk_expr(ex, d, f);
+            }
+        }
+        Expr::Unary { arg, .. } | Expr::Spread { arg, .. } | Expr::Await { arg, .. } => {
+            walk_expr(arg, d, f)
+        }
+        Expr::Update { arg, .. } => walk_expr(arg, d, f),
+        Expr::Binary { left, right, .. } | Expr::Logical { left, right, .. } => {
+            walk_expr(left, d, f);
+            walk_expr(right, d, f);
+        }
+        Expr::Assign { target, value, .. } => {
+            walk_pat(target, d, f);
+            walk_expr(value, d, f);
+        }
+        Expr::Conditional { test, consequent, alternate, .. } => {
+            walk_expr(test, d, f);
+            walk_expr(consequent, d, f);
+            walk_expr(alternate, d, f);
+        }
+        Expr::Call { callee, args, .. } | Expr::New { callee, args, .. } => {
+            walk_expr(callee, d, f);
+            for a in args {
+                walk_expr(a, d, f);
+            }
+        }
+        Expr::Member { object, property, .. } => {
+            walk_expr(object, d, f);
+            match property {
+                MemberProp::Ident(_) => {
+                    // Dot-notation property names are identifiers in ESTree.
+                    // We report them via the member node itself rather than
+                    // a standalone Identifier occurrence, matching how the
+                    // feature extractor distinguishes *variable* identifiers
+                    // from property names.
+                }
+                MemberProp::Computed(e) => walk_expr(e, d, f),
+            }
+        }
+        Expr::Sequence { exprs, .. } => {
+            for ex in exprs {
+                walk_expr(ex, d, f);
+            }
+        }
+        Expr::Yield { arg, .. } => {
+            if let Some(a) = arg {
+                walk_expr(a, d, f);
+            }
+        }
+        Expr::MetaProperty { .. } => {}
+    }
+}
+
+fn walk_prop_key<'a, F>(k: &'a PropKey, depth: usize, f: &mut F)
+where
+    F: FnMut(NodeRef<'a>, usize),
+{
+    if let PropKey::Computed(e) = k {
+        walk_expr(e, depth, f);
+    }
+}
+
+/// Walks a pattern subtree in pre-order.
+pub fn walk_pat<'a, F>(p: &'a Pat, depth: usize, f: &mut F)
+where
+    F: FnMut(NodeRef<'a>, usize),
+{
+    f(NodeRef::Pat(p), depth);
+    let d = depth + 1;
+    match p {
+        Pat::Ident(_) => {}
+        Pat::Array { elements, .. } => {
+            for el in elements.iter().flatten() {
+                walk_pat(el, d, f);
+            }
+        }
+        Pat::Object { props, .. } => {
+            for prop in props {
+                f(NodeRef::ObjectPatProp(prop), d);
+                walk_prop_key(&prop.key, d + 1, f);
+                walk_pat(&prop.value, d + 1, f);
+            }
+        }
+        Pat::Assign { target, value, .. } => {
+            walk_pat(target, d, f);
+            walk_expr(value, d, f);
+        }
+        Pat::Rest { arg, .. } => walk_pat(arg, d, f),
+        Pat::Member(e) => walk_expr(e, d, f),
+    }
+}
+
+fn walk_function<'a, F>(func: &'a Function, depth: usize, f: &mut F)
+where
+    F: FnMut(NodeRef<'a>, usize),
+{
+    for p in &func.params {
+        walk_pat(p, depth, f);
+    }
+    for st in &func.body {
+        walk_stmt(st, depth, f);
+    }
+}
+
+fn walk_class<'a, F>(class: &'a Class, depth: usize, f: &mut F)
+where
+    F: FnMut(NodeRef<'a>, usize),
+{
+    if let Some(sup) = &class.super_class {
+        walk_expr(sup, depth, f);
+    }
+    f(NodeRef::ClassBody(&class.body), depth);
+    for m in &class.body {
+        f(NodeRef::ClassMember(m), depth + 1);
+        walk_prop_key(&m.key, depth + 2, f);
+        match &m.value {
+            ClassMemberValue::Method(func) => walk_function(func, depth + 2, f),
+            ClassMemberValue::Field(Some(e)) => walk_expr(e, depth + 2, f),
+            ClassMemberValue::Field(None) => {}
+        }
+    }
+}
+
+/// Collects the pre-order stream of node kinds for a program.
+///
+/// This is the "list of syntactic units" over which the paper's 4-gram
+/// features are computed.
+pub fn kind_stream(program: &Program) -> Vec<NodeKind> {
+    let mut kinds = Vec::new();
+    walk(program, &mut |node, _| kinds.push(node.kind()));
+    kinds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn expr_stmt(e: Expr) -> Stmt {
+        Stmt::Expr { expr: e, span: Span::DUMMY }
+    }
+
+    #[test]
+    fn kind_stream_simple_program() {
+        let prog = Program {
+            body: vec![expr_stmt(Expr::Binary {
+                op: crate::ops::BinaryOp::Add,
+                left: Box::new(Expr::Lit(Lit::num(1.0))),
+                right: Box::new(Expr::Ident(Ident::new("x"))),
+                span: Span::DUMMY,
+            })],
+            span: Span::DUMMY,
+        };
+        assert_eq!(
+            kind_stream(&prog),
+            vec![
+                NodeKind::Program,
+                NodeKind::ExpressionStatement,
+                NodeKind::BinaryExpression,
+                NodeKind::Literal,
+                NodeKind::Identifier,
+            ]
+        );
+    }
+
+    #[test]
+    fn depth_is_tracked() {
+        let prog = Program {
+            body: vec![Stmt::If {
+                test: Expr::Lit(Lit::bool(true)),
+                consequent: Box::new(Stmt::Block {
+                    body: vec![expr_stmt(Expr::Lit(Lit::num(1.0)))],
+                    span: Span::DUMMY,
+                }),
+                alternate: None,
+                span: Span::DUMMY,
+            }],
+            span: Span::DUMMY,
+        };
+        let mut max_depth = 0;
+        walk(&prog, &mut |_, d| max_depth = max_depth.max(d));
+        // Program(0) > If(1) > Block(2) > ExprStmt(3) > Literal(4)
+        assert_eq!(max_depth, 4);
+    }
+
+    #[test]
+    fn switch_and_catch_emit_aux_nodes() {
+        let prog = Program {
+            body: vec![
+                Stmt::Switch {
+                    discriminant: Expr::Ident(Ident::new("x")),
+                    cases: vec![SwitchCase {
+                        test: Some(Expr::Lit(Lit::num(1.0))),
+                        body: vec![Stmt::Break { label: None, span: Span::DUMMY }],
+                        span: Span::DUMMY,
+                    }],
+                    span: Span::DUMMY,
+                },
+                Stmt::Try {
+                    block: vec![],
+                    handler: Some(CatchClause {
+                        param: Some(Pat::Ident(Ident::new("e"))),
+                        body: vec![],
+                        span: Span::DUMMY,
+                    }),
+                    finalizer: None,
+                    span: Span::DUMMY,
+                },
+            ],
+            span: Span::DUMMY,
+        };
+        let kinds = kind_stream(&prog);
+        assert!(kinds.contains(&NodeKind::SwitchCase));
+        assert!(kinds.contains(&NodeKind::CatchClause));
+        assert!(kinds.contains(&NodeKind::BreakStatement));
+    }
+
+    #[test]
+    fn member_dot_property_not_counted_as_identifier() {
+        // `a.b` — only `a` should appear as an Identifier occurrence.
+        let prog = Program {
+            body: vec![expr_stmt(Expr::Member {
+                object: Box::new(Expr::Ident(Ident::new("a"))),
+                property: MemberProp::Ident(Ident::new("b")),
+                optional: false,
+                span: Span::DUMMY,
+            })],
+            span: Span::DUMMY,
+        };
+        let idents =
+            kind_stream(&prog).iter().filter(|k| **k == NodeKind::Identifier).count();
+        assert_eq!(idents, 1);
+    }
+
+    #[test]
+    fn computed_member_property_is_walked() {
+        let prog = Program {
+            body: vec![expr_stmt(Expr::Member {
+                object: Box::new(Expr::Ident(Ident::new("a"))),
+                property: MemberProp::Computed(Box::new(Expr::Lit(Lit::str("b")))),
+                optional: false,
+                span: Span::DUMMY,
+            })],
+            span: Span::DUMMY,
+        };
+        let kinds = kind_stream(&prog);
+        assert!(kinds.contains(&NodeKind::Literal));
+    }
+
+    #[test]
+    fn class_walk_emits_body_and_members() {
+        let prog = Program {
+            body: vec![Stmt::ClassDecl(Class {
+                id: Some(Ident::new("C")),
+                super_class: None,
+                body: vec![ClassMember {
+                    key: PropKey::Ident(Ident::new("m")),
+                    value: ClassMemberValue::Method(Function {
+                        id: None,
+                        params: vec![],
+                        body: vec![],
+                        is_generator: false,
+                        is_async: false,
+                        span: Span::DUMMY,
+                    }),
+                    kind: MethodKind::Method,
+                    is_static: false,
+                    computed: false,
+                    span: Span::DUMMY,
+                }],
+                span: Span::DUMMY,
+            })],
+            span: Span::DUMMY,
+        };
+        let kinds = kind_stream(&prog);
+        assert!(kinds.contains(&NodeKind::ClassBody));
+        assert!(kinds.contains(&NodeKind::MethodDefinition));
+    }
+}

@@ -1,0 +1,372 @@
+//! In-place AST rewriting.
+//!
+//! [`MutVisitor`] is the substrate for the transformation passes (the ten
+//! obfuscation/minification techniques). Implementations override the hooks
+//! they care about and delegate to the `walk_*_mut` functions to recurse.
+//! Hooks run *before* recursion (pre-order); a pass that needs post-order
+//! behaviour recurses first via the walk function and then edits the node.
+
+use crate::nodes::*;
+
+/// A mutable AST visitor with default recursive behaviour.
+pub trait MutVisitor: Sized {
+    /// Visits a whole program.
+    fn visit_program_mut(&mut self, p: &mut Program) {
+        walk_program_mut(self, p);
+    }
+
+    /// Visits a statement.
+    fn visit_stmt_mut(&mut self, s: &mut Stmt) {
+        walk_stmt_mut(self, s);
+    }
+
+    /// Visits an expression.
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        walk_expr_mut(self, e);
+    }
+
+    /// Visits a pattern.
+    fn visit_pat_mut(&mut self, p: &mut Pat) {
+        walk_pat_mut(self, p);
+    }
+
+    /// Visits a function (declaration, expression, or method).
+    fn visit_function_mut(&mut self, f: &mut Function) {
+        walk_function_mut(self, f);
+    }
+
+    /// Visits a statement list (program body, block body, function body).
+    ///
+    /// Override to insert or remove statements.
+    fn visit_stmts_mut(&mut self, stmts: &mut Vec<Stmt>) {
+        for s in stmts.iter_mut() {
+            self.visit_stmt_mut(s);
+        }
+    }
+}
+
+/// Default recursion for programs.
+pub fn walk_program_mut<V: MutVisitor>(v: &mut V, p: &mut Program) {
+    v.visit_stmts_mut(&mut p.body);
+}
+
+/// Default recursion for statements.
+pub fn walk_stmt_mut<V: MutVisitor>(v: &mut V, s: &mut Stmt) {
+    match s {
+        Stmt::Expr { expr, .. } => v.visit_expr_mut(expr),
+        Stmt::Block { body, .. } => v.visit_stmts_mut(body),
+        Stmt::VarDecl { decls, .. } => {
+            for d in decls {
+                v.visit_pat_mut(&mut d.id);
+                if let Some(init) = &mut d.init {
+                    v.visit_expr_mut(init);
+                }
+            }
+        }
+        Stmt::FunctionDecl(f) => v.visit_function_mut(f),
+        Stmt::ClassDecl(c) => walk_class_mut(v, c),
+        Stmt::If { test, consequent, alternate, .. } => {
+            v.visit_expr_mut(test);
+            v.visit_stmt_mut(consequent);
+            if let Some(alt) = alternate {
+                v.visit_stmt_mut(alt);
+            }
+        }
+        Stmt::For { init, test, update, body, .. } => {
+            match init {
+                Some(ForInit::Var { decls, .. }) => {
+                    for d in decls {
+                        v.visit_pat_mut(&mut d.id);
+                        if let Some(e) = &mut d.init {
+                            v.visit_expr_mut(e);
+                        }
+                    }
+                }
+                Some(ForInit::Expr(e)) => v.visit_expr_mut(e),
+                None => {}
+            }
+            if let Some(t) = test {
+                v.visit_expr_mut(t);
+            }
+            if let Some(u) = update {
+                v.visit_expr_mut(u);
+            }
+            v.visit_stmt_mut(body);
+        }
+        Stmt::ForIn { target, object, body, .. } => {
+            walk_for_target_mut(v, target);
+            v.visit_expr_mut(object);
+            v.visit_stmt_mut(body);
+        }
+        Stmt::ForOf { target, iterable, body, .. } => {
+            walk_for_target_mut(v, target);
+            v.visit_expr_mut(iterable);
+            v.visit_stmt_mut(body);
+        }
+        Stmt::While { test, body, .. } => {
+            v.visit_expr_mut(test);
+            v.visit_stmt_mut(body);
+        }
+        Stmt::DoWhile { body, test, .. } => {
+            v.visit_stmt_mut(body);
+            v.visit_expr_mut(test);
+        }
+        Stmt::Switch { discriminant, cases, .. } => {
+            v.visit_expr_mut(discriminant);
+            for c in cases {
+                if let Some(t) = &mut c.test {
+                    v.visit_expr_mut(t);
+                }
+                v.visit_stmts_mut(&mut c.body);
+            }
+        }
+        Stmt::Try { block, handler, finalizer, .. } => {
+            v.visit_stmts_mut(block);
+            if let Some(h) = handler {
+                if let Some(p) = &mut h.param {
+                    v.visit_pat_mut(p);
+                }
+                v.visit_stmts_mut(&mut h.body);
+            }
+            if let Some(fin) = finalizer {
+                v.visit_stmts_mut(fin);
+            }
+        }
+        Stmt::Throw { arg, .. } => v.visit_expr_mut(arg),
+        Stmt::Return { arg, .. } => {
+            if let Some(a) = arg {
+                v.visit_expr_mut(a);
+            }
+        }
+        Stmt::Labeled { body, .. } => v.visit_stmt_mut(body),
+        Stmt::Break { .. }
+        | Stmt::Continue { .. }
+        | Stmt::Empty { .. }
+        | Stmt::Debugger { .. } => {}
+        Stmt::With { object, body, .. } => {
+            v.visit_expr_mut(object);
+            v.visit_stmt_mut(body);
+        }
+    }
+}
+
+fn walk_for_target_mut<V: MutVisitor>(v: &mut V, t: &mut ForTarget) {
+    match t {
+        ForTarget::Var { pat, .. } => v.visit_pat_mut(pat),
+        ForTarget::Pat(p) => v.visit_pat_mut(p),
+    }
+}
+
+/// Default recursion for expressions.
+pub fn walk_expr_mut<V: MutVisitor>(v: &mut V, e: &mut Expr) {
+    match e {
+        Expr::Ident(_)
+        | Expr::Lit(_)
+        | Expr::This { .. }
+        | Expr::Super { .. }
+        | Expr::MetaProperty { .. } => {}
+        Expr::Array { elements, .. } => {
+            for el in elements.iter_mut().flatten() {
+                v.visit_expr_mut(el);
+            }
+        }
+        Expr::Object { props, .. } => {
+            for p in props {
+                if let PropKey::Computed(k) = &mut p.key {
+                    v.visit_expr_mut(k);
+                }
+                v.visit_expr_mut(&mut p.value);
+            }
+        }
+        Expr::Function(f) => v.visit_function_mut(f),
+        Expr::Arrow { params, body, .. } => {
+            for p in params {
+                v.visit_pat_mut(p);
+            }
+            match body {
+                ArrowBody::Expr(e) => v.visit_expr_mut(e),
+                ArrowBody::Block(stmts) => v.visit_stmts_mut(stmts),
+            }
+        }
+        Expr::Class(c) => walk_class_mut(v, c),
+        Expr::Template { exprs, .. } => {
+            for ex in exprs {
+                v.visit_expr_mut(ex);
+            }
+        }
+        Expr::TaggedTemplate { tag, exprs, .. } => {
+            v.visit_expr_mut(tag);
+            for ex in exprs {
+                v.visit_expr_mut(ex);
+            }
+        }
+        Expr::Unary { arg, .. }
+        | Expr::Update { arg, .. }
+        | Expr::Spread { arg, .. }
+        | Expr::Await { arg, .. } => v.visit_expr_mut(arg),
+        Expr::Binary { left, right, .. } | Expr::Logical { left, right, .. } => {
+            v.visit_expr_mut(left);
+            v.visit_expr_mut(right);
+        }
+        Expr::Assign { target, value, .. } => {
+            v.visit_pat_mut(target);
+            v.visit_expr_mut(value);
+        }
+        Expr::Conditional { test, consequent, alternate, .. } => {
+            v.visit_expr_mut(test);
+            v.visit_expr_mut(consequent);
+            v.visit_expr_mut(alternate);
+        }
+        Expr::Call { callee, args, .. } | Expr::New { callee, args, .. } => {
+            v.visit_expr_mut(callee);
+            for a in args {
+                v.visit_expr_mut(a);
+            }
+        }
+        Expr::Member { object, property, .. } => {
+            v.visit_expr_mut(object);
+            if let MemberProp::Computed(p) = property {
+                v.visit_expr_mut(p);
+            }
+        }
+        Expr::Sequence { exprs, .. } => {
+            for ex in exprs {
+                v.visit_expr_mut(ex);
+            }
+        }
+        Expr::Yield { arg, .. } => {
+            if let Some(a) = arg {
+                v.visit_expr_mut(a);
+            }
+        }
+    }
+}
+
+/// Default recursion for patterns.
+pub fn walk_pat_mut<V: MutVisitor>(v: &mut V, p: &mut Pat) {
+    match p {
+        Pat::Ident(_) => {}
+        Pat::Array { elements, .. } => {
+            for el in elements.iter_mut().flatten() {
+                v.visit_pat_mut(el);
+            }
+        }
+        Pat::Object { props, .. } => {
+            for prop in props {
+                if let PropKey::Computed(k) = &mut prop.key {
+                    v.visit_expr_mut(k);
+                }
+                v.visit_pat_mut(&mut prop.value);
+            }
+        }
+        Pat::Assign { target, value, .. } => {
+            v.visit_pat_mut(target);
+            v.visit_expr_mut(value);
+        }
+        Pat::Rest { arg, .. } => v.visit_pat_mut(arg),
+        Pat::Member(e) => v.visit_expr_mut(e),
+    }
+}
+
+/// Default recursion for functions.
+pub fn walk_function_mut<V: MutVisitor>(v: &mut V, f: &mut Function) {
+    for p in &mut f.params {
+        v.visit_pat_mut(p);
+    }
+    v.visit_stmts_mut(&mut f.body);
+}
+
+fn walk_class_mut<V: MutVisitor>(v: &mut V, c: &mut Class) {
+    if let Some(sup) = &mut c.super_class {
+        v.visit_expr_mut(sup);
+    }
+    for m in &mut c.body {
+        if let PropKey::Computed(k) = &mut m.key {
+            v.visit_expr_mut(k);
+        }
+        match &mut m.value {
+            ClassMemberValue::Method(f) => v.visit_function_mut(f),
+            ClassMemberValue::Field(Some(e)) => v.visit_expr_mut(e),
+            ClassMemberValue::Field(None) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    /// Replaces every numeric literal with `42`.
+    struct FortyTwo;
+
+    impl MutVisitor for FortyTwo {
+        fn visit_expr_mut(&mut self, e: &mut Expr) {
+            if let Expr::Lit(l) = e {
+                if matches!(l.value, LitValue::Num(_)) {
+                    *e = Expr::Lit(Lit::num(42.0));
+                    return;
+                }
+            }
+            walk_expr_mut(self, e);
+        }
+    }
+
+    #[test]
+    fn rewrites_literals_everywhere() {
+        let mut prog = Program {
+            body: vec![Stmt::If {
+                test: Expr::Binary {
+                    op: crate::ops::BinaryOp::Lt,
+                    left: Box::new(Expr::Lit(Lit::num(1.0))),
+                    right: Box::new(Expr::Lit(Lit::num(2.0))),
+                    span: Span::DUMMY,
+                },
+                consequent: Box::new(Stmt::Return {
+                    arg: Some(Expr::Lit(Lit::num(3.0))),
+                    span: Span::DUMMY,
+                }),
+                alternate: None,
+                span: Span::DUMMY,
+            }],
+            span: Span::DUMMY,
+        };
+        FortyTwo.visit_program_mut(&mut prog);
+        let mut count = 0;
+        crate::visit::walk(&prog, &mut |n, _| {
+            if let crate::visit::NodeRef::Expr(Expr::Lit(l)) = n {
+                if let LitValue::Num(v) = l.value {
+                    assert_eq!(v, 42.0);
+                    count += 1;
+                }
+            }
+        });
+        assert_eq!(count, 3);
+    }
+
+    /// Appends an empty statement to every statement list.
+    struct Padder;
+
+    impl MutVisitor for Padder {
+        fn visit_stmts_mut(&mut self, stmts: &mut Vec<Stmt>) {
+            for s in stmts.iter_mut() {
+                self.visit_stmt_mut(s);
+            }
+            stmts.push(Stmt::Empty { span: Span::DUMMY });
+        }
+    }
+
+    #[test]
+    fn stmt_list_hook_can_insert() {
+        let mut prog = Program {
+            body: vec![Stmt::Block { body: vec![], span: Span::DUMMY }],
+            span: Span::DUMMY,
+        };
+        Padder.visit_program_mut(&mut prog);
+        assert_eq!(prog.body.len(), 2); // block + appended empty
+        match &prog.body[0] {
+            Stmt::Block { body, .. } => assert_eq!(body.len(), 1),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+}

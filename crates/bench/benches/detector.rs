@@ -1,0 +1,54 @@
+//! End-to-end detector benchmarks: the per-script classification cost
+//! that bounds wild-study throughput, plus full pipeline training at a
+//! small scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jsdetect::{train_pipeline, DetectorConfig};
+use jsdetect_bench::{fixture_corpus, fixture_script};
+use jsdetect_transform::{apply, Technique};
+
+fn bench_detector(c: &mut Criterion) {
+    // One small trained model shared by the prediction benches.
+    let out = train_pipeline(48, 9, &DetectorConfig::fast().with_seed(9));
+    let detectors = out.detectors;
+    let regular = fixture_script();
+    let obfuscated = apply(
+        &regular,
+        &[Technique::IdentifierObfuscation, Technique::StringObfuscation],
+        3,
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("detector");
+    group.throughput(Throughput::Bytes(regular.len() as u64));
+    group.bench_function("level1_predict_regular", |b| {
+        b.iter(|| detectors.level1.predict(std::hint::black_box(&regular)).unwrap())
+    });
+    group.bench_function("level1_predict_obfuscated", |b| {
+        b.iter(|| detectors.level1.predict(std::hint::black_box(&obfuscated)).unwrap())
+    });
+    group.bench_function("level2_predict", |b| {
+        b.iter(|| detectors.level2.predict_proba(std::hint::black_box(&obfuscated)).unwrap())
+    });
+
+    let batch = fixture_corpus(32);
+    let srcs: Vec<&str> = batch.iter().map(|s| s.as_str()).collect();
+    group.bench_function("level1_predict_batch32", |b| {
+        b.iter(|| detectors.level1.predict_many(std::hint::black_box(&srcs)))
+    });
+    group.finish();
+
+    let mut train_group = c.benchmark_group("training");
+    train_group.sample_size(10);
+    train_group.bench_function("train_pipeline_n16_fast", |b| {
+        b.iter(|| train_pipeline(16, 1, &DetectorConfig::fast()))
+    });
+    train_group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_detector
+}
+criterion_main!(benches);

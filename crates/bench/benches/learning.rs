@@ -1,0 +1,69 @@
+//! Learning-substrate benchmarks: tree/forest training and prediction,
+//! classifier chains vs. binary relevance, naive-Bayes baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsdetect_ml::{
+    BaseParams, ForestParams, GaussianNb, MultiLabel, RandomForest, Strategy,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic(n: usize, d: usize) -> (Vec<Vec<f32>>, Vec<bool>, Vec<Vec<bool>>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f32> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let pos = row[0] + row[1] > 1.0;
+        let l2 = row[2] > 0.5;
+        y.push(pos);
+        labels.push(vec![pos, l2, pos && l2]);
+        x.push(row);
+    }
+    (x, y, labels)
+}
+
+fn bench_learning(c: &mut Criterion) {
+    let (x, y, labels) = synthetic(800, 60);
+    let forest_params = ForestParams { n_trees: 16, ..Default::default() };
+
+    let mut group = c.benchmark_group("learning");
+    group.bench_function("forest_fit_800x60", |b| {
+        b.iter(|| RandomForest::fit(std::hint::black_box(&x), &y, &forest_params))
+    });
+
+    let forest = RandomForest::fit(&x, &y, &forest_params);
+    group.bench_function("forest_predict", |b| {
+        b.iter(|| forest.predict_proba(std::hint::black_box(&x[0])))
+    });
+
+    group.bench_function("bayes_fit_800x60", |b| {
+        b.iter(|| GaussianNb::fit(std::hint::black_box(&x), &y))
+    });
+
+    let base = BaseParams::Forest(ForestParams { n_trees: 8, ..Default::default() });
+    group.bench_function("multilabel_chain_fit", |b| {
+        b.iter(|| {
+            MultiLabel::fit(std::hint::black_box(&x), &labels, Strategy::ClassifierChain, &base)
+        })
+    });
+    group.bench_function("multilabel_independent_fit", |b| {
+        b.iter(|| {
+            MultiLabel::fit(std::hint::black_box(&x), &labels, Strategy::BinaryRelevance, &base)
+        })
+    });
+
+    let chain = MultiLabel::fit(&x, &labels, Strategy::ClassifierChain, &base);
+    group.bench_function("multilabel_chain_predict", |b| {
+        b.iter(|| chain.predict_proba(std::hint::black_box(&x[0])))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_learning
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Per-technique transformation throughput — the cost of building the
+//! paper's ground-truth corpora (21,000 scripts × 10 techniques).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jsdetect_bench::fixture_script;
+use jsdetect_transform::{apply, apply_packer, Technique};
+
+fn bench_transforms(c: &mut Criterion) {
+    let src = fixture_script();
+    let mut group = c.benchmark_group("transforms");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+
+    for t in Technique::ALL {
+        group.bench_function(t.as_str(), |b| {
+            b.iter(|| apply(std::hint::black_box(&src), &[t], 7).unwrap())
+        });
+    }
+    group.bench_function("packer", |b| {
+        b.iter(|| apply_packer(std::hint::black_box(&src), 7).unwrap())
+    });
+    group.bench_function("combo_obfuscator_io_style", |b| {
+        b.iter(|| {
+            apply(
+                std::hint::black_box(&src),
+                &[
+                    Technique::GlobalArray,
+                    Technique::ControlFlowFlattening,
+                    Technique::IdentifierObfuscation,
+                    Technique::MinificationSimple,
+                ],
+                7,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_transforms
+}
+criterion_main!(benches);

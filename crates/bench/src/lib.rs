@@ -1,0 +1,13 @@
+//! Benchmark support: shared fixtures for the Criterion benches.
+
+use jsdetect_corpus::RegularJsGenerator;
+
+/// A deterministic medium-sized regular script (~2-4 KB).
+pub fn fixture_script() -> String {
+    RegularJsGenerator::new(0xBE7C).generate()
+}
+
+/// A batch of deterministic regular scripts.
+pub fn fixture_corpus(n: usize) -> Vec<String> {
+    (0..n).map(|i| RegularJsGenerator::new(0xBE7C + i as u64).generate()).collect()
+}

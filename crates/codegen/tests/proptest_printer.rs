@@ -1,0 +1,196 @@
+//! Property test: for *arbitrary synthesized ASTs* (not just parsed
+//! sources), pretty and compact printing produce programs that reparse,
+//! and printing is a fixpoint. This reaches printer paths that
+//! source-derived tests cannot (unusual nestings, holes, empty bodies,
+//! keyword-ish names in safe positions).
+
+use jsdetect_ast::builder as b;
+use jsdetect_ast::*;
+use jsdetect_codegen::{to_minified, to_source};
+use jsdetect_parser::parse;
+use proptest::prelude::*;
+
+/// Identifier names drawn from a safe pool (plus a few adversarial ones
+/// that stress the writer's token-boundary logic).
+fn ident_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("x".to_string()),
+        Just("value".to_string()),
+        Just("_private".to_string()),
+        Just("$jq".to_string()),
+        Just("ifx".to_string()),      // starts like a keyword
+        Just("letters".to_string()),  // starts like `let`
+        Just("newish".to_string()),   // starts like `new`
+        Just("_0x1a2b".to_string()),
+        Just("a".to_string()),
+    ]
+}
+
+fn string_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("hello".to_string()),
+        Just("it's".to_string()),
+        Just("tab\there".to_string()),
+        Just("line\nbreak".to_string()),
+        Just("back\\slash".to_string()),
+        Just("${not-a-template}".to_string()),
+        Just("héllo ünïcode".to_string()),
+    ]
+}
+
+fn literal_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0u32..1000).prop_map(|n| b::num_lit(n as f64)),
+        Just(b::num_lit(0.5)),
+        Just(b::num_lit(1e21)),
+        any::<bool>().prop_map(b::bool_lit),
+        Just(b::null_lit()),
+        string_strategy().prop_map(b::str_lit),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal_strategy(),
+        ident_strategy().prop_map(b::ident),
+        Just(Expr::This { span: Span::DUMMY }),
+    ];
+    leaf.prop_recursive(5, 48, 4, |inner| {
+        prop_oneof![
+            // Binary with assorted operators.
+            (inner.clone(), inner.clone(), 0usize..8).prop_map(|(l, r, op)| {
+                let ops = [
+                    BinaryOp::Add,
+                    BinaryOp::Sub,
+                    BinaryOp::Mul,
+                    BinaryOp::Div,
+                    BinaryOp::Lt,
+                    BinaryOp::EqEqEq,
+                    BinaryOp::BitAnd,
+                    BinaryOp::Exp,
+                ];
+                b::binary(ops[op], l, r)
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| b::logical(LogicalOp::And, l, r)),
+            (inner.clone(), 0usize..4).prop_map(|(e, op)| {
+                let ops = [UnaryOp::Not, UnaryOp::Minus, UnaryOp::TypeOf, UnaryOp::Void];
+                b::unary(ops[op], e)
+            }),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(t, c, a)| b::conditional(t, c, a)),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(callee, args)| b::call(callee, args)),
+            (inner.clone(), ident_strategy()).prop_map(|(o, p)| b::member(o, p)),
+            (inner.clone(), inner.clone()).prop_map(|(o, i)| b::index(o, i)),
+            proptest::collection::vec(proptest::option::of(inner.clone()), 0..4).prop_map(
+                |elements| Expr::Array { elements, span: Span::DUMMY }
+            ),
+            (ident_strategy(), inner.clone()).prop_map(|(n, v)| b::assign_ident(n, v)),
+            proptest::collection::vec(inner.clone(), 2..4)
+                .prop_map(|exprs| Expr::Sequence { exprs, span: Span::DUMMY }),
+            // Object literal with identifier keys.
+            proptest::collection::vec((ident_strategy(), inner.clone()), 0..3).prop_map(
+                |props| Expr::Object {
+                    props: props
+                        .into_iter()
+                        .map(|(k, v)| Property {
+                            key: PropKey::Ident(Ident::new(k)),
+                            value: v,
+                            kind: PropKind::Init,
+                            computed: false,
+                            shorthand: false,
+                            method: false,
+                            span: Span::DUMMY,
+                        })
+                        .collect(),
+                    span: Span::DUMMY,
+                }
+            ),
+            // Arrow with expression body.
+            (ident_strategy(), inner.clone()).prop_map(|(p, body)| Expr::Arrow {
+                params: vec![Pat::Ident(Ident::new(p))],
+                body: ArrowBody::Expr(Box::new(body)),
+                is_async: false,
+                span: Span::DUMMY,
+            }),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        expr_strategy().prop_map(b::expr_stmt),
+        (ident_strategy(), expr_strategy())
+            .prop_map(|(n, e)| b::var_decl(VarKind::Var, n, Some(e))),
+        (ident_strategy(), expr_strategy())
+            .prop_map(|(n, e)| b::var_decl(VarKind::Const, n, Some(e))),
+        expr_strategy().prop_map(|e| b::ret(Some(e))),
+        Just(Stmt::Empty { span: Span::DUMMY }),
+        Just(Stmt::Debugger { span: Span::DUMMY }),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (expr_strategy(), inner.clone(), proptest::option::of(inner.clone()))
+                .prop_map(|(t, c, a)| b::if_stmt(t, c, a)),
+            (expr_strategy(), inner.clone()).prop_map(|(t, body)| b::while_stmt(t, body)),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(b::block),
+            (ident_strategy(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(n, body)| b::fn_decl(n, vec!["p", "q"], body)),
+            (expr_strategy(), inner.clone()).prop_map(|(obj, body)| Stmt::ForIn {
+                target: ForTarget::Var { kind: VarKind::Var, pat: Pat::Ident(Ident::new("k")) },
+                object: obj,
+                body: Box::new(body),
+                span: Span::DUMMY,
+            }),
+            (inner.clone(), expr_strategy()).prop_map(|(body, t)| Stmt::DoWhile {
+                body: Box::new(body),
+                test: t,
+                span: Span::DUMMY,
+            }),
+            inner.clone().prop_map(|body| Stmt::Try {
+                block: vec![body],
+                handler: Some(CatchClause {
+                    param: Some(Pat::Ident(Ident::new("e"))),
+                    body: vec![],
+                    span: Span::DUMMY,
+                }),
+                finalizer: None,
+                span: Span::DUMMY,
+            }),
+        ]
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(stmt_strategy(), 0..6).prop_map(b::program)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn synthesized_ast_pretty_prints_reparse(prog in program_strategy()) {
+        let printed = to_source(&prog);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("pretty output failed to parse: {}\n---\n{}", e, printed));
+        let again = to_source(&reparsed);
+        prop_assert_eq!(&printed, &again, "pretty print not a fixpoint");
+    }
+
+    #[test]
+    fn synthesized_ast_minified_prints_reparse(prog in program_strategy()) {
+        let printed = to_minified(&prog);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("minified output failed to parse: {}\n---\n{}", e, printed));
+        let again = to_minified(&reparsed);
+        prop_assert_eq!(&printed, &again, "minified print not a fixpoint");
+    }
+
+    #[test]
+    fn pretty_and_minified_agree_structurally(prog in program_strategy()) {
+        let pretty = parse(&to_source(&prog)).unwrap();
+        let minified = parse(&to_minified(&prog)).unwrap();
+        prop_assert_eq!(kind_stream(&pretty), kind_stream(&minified));
+    }
+}

@@ -1,0 +1,205 @@
+//! Printer correctness: print→parse→print must be a fixpoint, in both
+//! pretty and minified modes, across the construct battery.
+
+use jsdetect_codegen::{to_minified, to_source};
+use jsdetect_parser::parse;
+
+/// Sources exercising every printer path.
+const BATTERY: &[&str] = &[
+    "var x = 1;",
+    "let a = 1, b = 2, c;",
+    "const {x, y: z, w = 3, ...rest} = obj;",
+    "const [a, , b, ...tail] = xs;",
+    "function f(a, b = 1, ...rest) { return a + b; }",
+    "function* gen() { yield 1; yield* inner(); yield; }",
+    "async function go() { await step(); }",
+    "var f = function named() { return named; };",
+    "var g = x => x * 2;",
+    "var h = (a, b) => { return a - b; };",
+    "var i = async x => await x;",
+    "var j = () => ({result: 1});",
+    "class A extends B { constructor() { super(); } m(x) { return x; } get p() { return 1; } set p(v) {} static s() {} *gen() { yield 1; } async a() {} [k]() {} f = 1; static g; }",
+    "if (a) b(); else if (c) d(); else e();",
+    "if (a) if (b) c(); else d();",
+    "for (var i = 0; i < 10; i++) sum += i;",
+    "for (;;) break;",
+    "for (var k in obj) use(k);",
+    "for (const x of xs) f(x);",
+    "for ([a, b] of pairs) {}",
+    "while (x) x--;",
+    "do { x++; } while (x < 5);",
+    "switch (x) { case 1: a(); break; case 2: default: b(); }",
+    "try { f(); } catch (e) { g(e); } finally { h(); }",
+    "try { f(); } catch { g(); }",
+    "throw new Error('boom');",
+    "outer: for (;;) { break outer; }",
+    "with (o) { p = 1; }",
+    "debugger;",
+    ";",
+    "({a: 1, 'b': 2, 3: 'c', [k]: 4, short, m() {}, get g() { return 1; }, set s(v) {}, ...spread});",
+    "[1, , 3, ...rest];",
+    "[1, 2, ,];",
+    "a.b.c.d;",
+    "a['b']['c'];",
+    "a?.b?.[0];",
+    "f?.(1);",
+    "new Foo(1, 2);",
+    "new Foo();",
+    "new ns.Cls(1).method();",
+    "new (getCls())(1);",
+    "(1).toString();",
+    "x = a ? b : c ? d : e;",
+    "a, b, c;",
+    "f((a, b));",
+    "x = y = z = 0;",
+    "a += b -= c *= d;",
+    "a ** b ** c;",
+    "(-a) ** 2;",
+    "-(a ** 2);",
+    "a - -b;",
+    "+ +a;",
+    "!!x;",
+    "typeof void delete a.b;",
+    "++x; --y; x++; y--;",
+    "a in b;",
+    "a instanceof B;",
+    "for ((('a' in obj)); false;) {}",
+    "x = /ab+c/gi;",
+    "/(?:)/;",
+    "`plain`;",
+    "`a${x}b${y + 1}c`;",
+    "tag`v=${v}`;",
+    "`nested ${`inner ${z}`}`;",
+    "a / /re/.source;",
+    "x = {} / 2;",
+    "(function () {})();",
+    "(function () {}());",
+    "a || b && c ?? d;",
+    "(a ?? b) || c;",
+    "yielded: { break yielded; }",
+    "var async = 1; async = async + 1;",
+    "obj.class; obj.new; ({for: 1});",
+    "s = 'quote\\'s \" and \\\\ \\n\\t\\0 end';",
+    "n = 0.5; m = 1e21; o = 0xff; p = -0;",
+    "empty = function () {};",
+    "void 0;",
+    "x = b ? (c, d) : e;",
+    "arr.map(function (v, i) { return [v, i]; }).filter(Boolean).reduce(function (a, b) { return a.concat(b); }, []);",
+];
+
+#[test]
+fn pretty_print_is_fixpoint() {
+    for src in BATTERY {
+        let ast1 = parse(src).unwrap_or_else(|e| panic!("parse {:?}: {}", src, e));
+        let out1 = to_source(&ast1);
+        let ast2 = parse(&out1)
+            .unwrap_or_else(|e| panic!("reparse of {:?} failed: {}\noutput: {}", src, e, out1));
+        let out2 = to_source(&ast2);
+        assert_eq!(out1, out2, "pretty fixpoint failed for {:?}", src);
+    }
+}
+
+#[test]
+fn minified_print_is_fixpoint() {
+    for src in BATTERY {
+        let ast1 = parse(src).unwrap_or_else(|e| panic!("parse {:?}: {}", src, e));
+        let min1 = to_minified(&ast1);
+        let ast2 = parse(&min1)
+            .unwrap_or_else(|e| panic!("reparse of {:?} failed: {}\nminified: {}", src, e, min1));
+        let min2 = to_minified(&ast2);
+        assert_eq!(min1, min2, "minified fixpoint failed for {:?}", src);
+    }
+}
+
+#[test]
+fn minified_preserves_kind_stream() {
+    use jsdetect_ast::kind_stream;
+    for src in BATTERY {
+        let ast1 = parse(src).unwrap();
+        let min = to_minified(&ast1);
+        let ast2 = parse(&min)
+            .unwrap_or_else(|e| panic!("reparse of {:?} failed: {}\nminified: {}", src, e, min));
+        assert_eq!(
+            kind_stream(&ast1),
+            kind_stream(&ast2),
+            "kind stream changed for {:?}\nminified: {}",
+            src,
+            min
+        );
+    }
+}
+
+#[test]
+fn minified_is_smaller_or_equal() {
+    let src = r#"
+        function distance(a, b) {
+            var dx = a.x - b.x;
+            var dy = a.y - b.y;
+            return Math.sqrt(dx * dx + dy * dy);
+        }
+    "#;
+    let ast = parse(src).unwrap();
+    assert!(to_minified(&ast).len() < src.len());
+}
+
+#[test]
+fn pretty_output_shape() {
+    let ast = parse("if(x){f(x);}else{g();}").unwrap();
+    assert_eq!(to_source(&ast), "if (x) {\n    f(x);\n} else {\n    g();\n}\n");
+}
+
+#[test]
+fn minified_output_exact() {
+    let ast = parse("var x = 1;\nif (x) { f(x); }").unwrap();
+    assert_eq!(to_minified(&ast), "var x=1;if(x){f(x);}");
+}
+
+#[test]
+fn object_expression_statement_is_parenthesized() {
+    let ast = parse("({a: 1});").unwrap();
+    let out = to_minified(&ast);
+    assert!(out.starts_with("({"), "got {}", out);
+    assert!(parse(&out).is_ok());
+}
+
+#[test]
+fn dangling_else_gets_braces() {
+    // if (a) { if (b) c(); } else d(); — printer must not re-associate else.
+    let src = "if (a) { if (b) c(); } else d();";
+    let ast = parse(src).unwrap();
+    let out = to_minified(&ast);
+    let reparsed = parse(&out).unwrap();
+    // The outer if must still have an alternate after roundtrip.
+    match &reparsed.body[0] {
+        jsdetect_ast::Stmt::If { alternate, .. } => assert!(alternate.is_some()),
+        other => panic!("unexpected {:?}", other),
+    }
+}
+
+#[test]
+fn number_formats() {
+    use jsdetect_codegen::format_number;
+    assert_eq!(format_number(1.0), "1");
+    assert_eq!(format_number(0.5), "0.5");
+    assert_eq!(format_number(-0.0), "-0");
+    assert_eq!(format_number(f64::NAN), "NaN");
+    assert_eq!(format_number(f64::INFINITY), "Infinity");
+    assert_eq!(format_number(255.0), "255");
+}
+
+#[test]
+fn string_escaping() {
+    use jsdetect_codegen::escape_string;
+    assert_eq!(escape_string("a'b"), r"'a\'b'");
+    assert_eq!(escape_string("tab\there"), "'tab\\there'");
+    assert_eq!(escape_string("\u{2028}"), "'\\u2028'");
+    // Escaped output must reparse to the same value.
+    let src = format!("x = {};", escape_string("mix'\"\\\n\0\u{1}end"));
+    let ast = parse(&src).unwrap();
+    match &ast.body[0] {
+        jsdetect_ast::Stmt::Expr { expr: jsdetect_ast::Expr::Assign { value, .. }, .. } => {
+            assert_eq!(value.as_str_lit(), Some("mix'\"\\\n\0\u{1}end"));
+        }
+        other => panic!("unexpected {:?}", other),
+    }
+}

@@ -1,0 +1,75 @@
+//! Detector configuration.
+
+use jsdetect_features::FeatureConfig;
+use jsdetect_ml::{BaseParams, ForestParams, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by the level-1 and level-2 detectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Multi-label strategy; the paper's validation picked classifier
+    /// chains (§III-D3).
+    pub strategy: Strategy,
+    /// Base classifier; the paper's validation picked random forests.
+    pub base: BaseParams,
+    /// Number of 4-gram vocabulary dimensions.
+    pub max_ngrams: usize,
+    /// Which feature families to use.
+    pub features: FeatureConfig,
+    /// RNG seed for training.
+    pub seed: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            strategy: Strategy::ClassifierChain,
+            base: BaseParams::Forest(ForestParams { n_trees: 32, ..Default::default() }),
+            max_ngrams: 250,
+            features: FeatureConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// A configuration with fewer trees, for tests and quick runs.
+    pub fn fast() -> Self {
+        DetectorConfig {
+            base: BaseParams::Forest(ForestParams { n_trees: 12, ..Default::default() }),
+            max_ngrams: 120,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        if let BaseParams::Forest(f) = &mut self.base {
+            f.seed = seed;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_chain_and_forest() {
+        let c = DetectorConfig::default();
+        assert_eq!(c.strategy, Strategy::ClassifierChain);
+        assert!(matches!(c.base, BaseParams::Forest(_)));
+    }
+
+    #[test]
+    fn with_seed_propagates_to_forest() {
+        let c = DetectorConfig::default().with_seed(9);
+        assert_eq!(c.seed, 9);
+        match c.base {
+            BaseParams::Forest(f) => assert_eq!(f.seed, 9),
+            _ => panic!("expected forest"),
+        }
+    }
+}

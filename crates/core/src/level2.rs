@@ -1,0 +1,112 @@
+//! The level-2 detector: which of the ten transformation techniques were
+//! used (paper §III-C).
+
+use crate::config::DetectorConfig;
+use crate::vectorize::{analyze_many, vectorize_many};
+use jsdetect_features::VectorSpace;
+use jsdetect_ml::metrics::thresholded_top_k;
+use jsdetect_ml::MultiLabel;
+use jsdetect_parser::ParseError;
+use jsdetect_transform::Technique;
+use serde::{Deserialize, Serialize};
+
+/// The empirically selected probability threshold of §III-E2.
+pub const DEFAULT_THRESHOLD: f32 = 0.10;
+
+/// A trained level-2 detector over the ten techniques.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Level2Detector {
+    space: VectorSpace,
+    model: MultiLabel,
+}
+
+impl Level2Detector {
+    /// Trains on `(source, technique-label-vector)` pairs; label vectors
+    /// are indexed by [`Technique::index`].
+    pub fn train(samples: &[(&str, Vec<bool>)], cfg: &DetectorConfig) -> Self {
+        let srcs: Vec<&str> = samples.iter().map(|(s, _)| *s).collect();
+        let analyses = analyze_many(&srcs);
+        let kept: Vec<(&jsdetect_features::ScriptAnalysis, Vec<bool>)> = analyses
+            .iter()
+            .zip(samples)
+            .filter_map(|(a, (_, labels))| a.as_ref().map(|a| (a, labels.clone())))
+            .collect();
+        Self::train_from_analyses(&kept, cfg)
+    }
+
+    /// Trains from pre-computed analyses (lets callers share one analysis
+    /// pass between the level-1 and level-2 detectors).
+    pub fn train_from_analyses(
+        samples: &[(&jsdetect_features::ScriptAnalysis, Vec<bool>)],
+        cfg: &DetectorConfig,
+    ) -> Self {
+        assert!(!samples.is_empty(), "no training sample parsed");
+        let space =
+            VectorSpace::fit(samples.iter().map(|(a, _)| *a), cfg.max_ngrams, cfg.features);
+        let x: Vec<Vec<f32>> = samples.iter().map(|(a, _)| space.vectorize(a)).collect();
+        let y: Vec<Vec<bool>> = samples.iter().map(|(_, l)| l.clone()).collect();
+        let model = MultiLabel::fit(&x, &y, cfg.strategy, &cfg.base);
+        Level2Detector { space, model }
+    }
+
+    /// Per-technique probabilities, indexed by [`Technique::index`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for invalid JavaScript.
+    pub fn predict_proba(&self, src: &str) -> Result<Vec<f32>, ParseError> {
+        let a = jsdetect_features::analyze_script(src)?;
+        Ok(self.model.predict_proba(&self.space.vectorize(&a)))
+    }
+
+    /// Batch probabilities (parallel); unparseable scripts yield `None`.
+    pub fn predict_proba_many(&self, srcs: &[&str]) -> Vec<Option<Vec<f32>>> {
+        vectorize_many(&self.space, srcs)
+            .into_iter()
+            .map(|v| v.map(|v| self.model.predict_proba(&v)))
+            .collect()
+    }
+
+    /// The thresholded Top-k rule of §III-E2: the `k` most probable
+    /// techniques whose probability exceeds `threshold`.
+    pub fn predict_techniques(
+        &self,
+        src: &str,
+        k: usize,
+        threshold: f32,
+    ) -> Result<Vec<Technique>, ParseError> {
+        let probs = self.predict_proba(src)?;
+        Ok(thresholded_top_k(&probs, k, threshold)
+            .into_iter()
+            .map(|i| Technique::ALL[i])
+            .collect())
+    }
+
+    /// The fitted vector space (for inspection).
+    pub fn space(&self) -> &VectorSpace {
+        &self.space
+    }
+
+    /// Named feature importances for one technique, most important first.
+    pub fn feature_importances(&self, technique: Technique) -> Vec<(String, f64)> {
+        crate::level1::named_importances(
+            &self.space,
+            self.model.feature_importances(technique.index()),
+        )
+    }
+
+    /// Restores internal indexes after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.space.rebuild_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_constant_matches_paper() {
+        assert!((DEFAULT_THRESHOLD - 0.10).abs() < f32::EPSILON);
+    }
+}

@@ -1,0 +1,198 @@
+//! The paper's training protocol (§III-D) at configurable scale.
+//!
+//! The paper collects 21,000 regular scripts, transforms each with all ten
+//! techniques, and carves out disjoint training / validation / test sets.
+//! [`train_pipeline`] reproduces that protocol over the synthetic corpus:
+//! source scripts are partitioned by index (train / test / validation), so
+//! every derived sample in one split comes from source scripts never seen
+//! by another split.
+
+use crate::config::DetectorConfig;
+use crate::level1::{Level1Detector, Level1Truth};
+use crate::level2::Level2Detector;
+use jsdetect_corpus::{GroundTruth, LabeledSample};
+use jsdetect_transform::Technique;
+use serde::{Deserialize, Serialize};
+
+/// Both trained detectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedDetectors {
+    /// Level 1: regular / minified / obfuscated.
+    pub level1: Level1Detector,
+    /// Level 2: the ten techniques.
+    pub level2: Level2Detector,
+}
+
+impl TrainedDetectors {
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("detector serialization cannot fail")
+    }
+
+    /// Deserializes from JSON and rebuilds internal indexes.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let mut d: TrainedDetectors = serde_json::from_str(json)?;
+        d.level1.rebuild_index();
+        d.level2.rebuild_index();
+        Ok(d)
+    }
+}
+
+/// Everything the evaluation experiments need: trained detectors plus the
+/// held-out test pools.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// The trained detectors.
+    pub detectors: TrainedDetectors,
+    /// Held-out regular samples.
+    pub test_regular: Vec<LabeledSample>,
+    /// Held-out minified samples (simple + advanced).
+    pub test_minified: Vec<LabeledSample>,
+    /// Held-out obfuscated samples (all eight techniques).
+    pub test_obfuscated: Vec<LabeledSample>,
+    /// Held-out per-technique samples for level 2.
+    pub test_level2: Vec<LabeledSample>,
+    /// Validation regular samples (model-selection experiments).
+    pub validation_regular: Vec<LabeledSample>,
+}
+
+/// Index split mirroring §III-D2 at scale `n`.
+#[derive(Debug, Clone, Copy)]
+struct Split {
+    train_end: usize,
+    test_end: usize,
+}
+
+fn split(n: usize) -> Split {
+    // 1/2 train, 1/4 test, 1/4 validation.
+    Split { train_end: n / 2, test_end: n / 2 + n / 4 }
+}
+
+const OBFUSCATIONS: [Technique; 8] = [
+    Technique::IdentifierObfuscation,
+    Technique::StringObfuscation,
+    Technique::GlobalArray,
+    Technique::NoAlphanumeric,
+    Technique::DeadCodeInjection,
+    Technique::ControlFlowFlattening,
+    Technique::SelfDefending,
+    Technique::DebugProtection,
+];
+
+/// Runs the full training protocol on `n_regular` generated scripts.
+pub fn train_pipeline(n_regular: usize, seed: u64, cfg: &DetectorConfig) -> PipelineOutput {
+    let gt = GroundTruth::generate(n_regular, seed);
+    let sp = split(n_regular);
+
+    // Analyze every training-partition sample exactly once; both detectors
+    // train from these shared analyses.
+    let mut train_samples: Vec<&LabeledSample> = Vec::new();
+    let mut l1_quota: Vec<bool> = Vec::new(); // participate in level-1 set
+    for s in &gt.regular[..sp.train_end] {
+        train_samples.push(s);
+        l1_quota.push(true);
+    }
+    for t in [Technique::MinificationSimple, Technique::MinificationAdvanced] {
+        for s in pool_slice(&gt, t, 0, sp.train_end) {
+            train_samples.push(s);
+            l1_quota.push(true);
+        }
+    }
+    for t in OBFUSCATIONS {
+        // Level 1 takes n/8 per obfuscation technique so the obfuscated
+        // class is the same size as the regular class; level 2 uses the
+        // whole pool.
+        let quota = (sp.train_end / OBFUSCATIONS.len()).max(1);
+        for (i, s) in pool_slice(&gt, t, 0, sp.train_end).iter().enumerate() {
+            train_samples.push(s);
+            l1_quota.push(i < quota);
+        }
+    }
+    // Partially transformed samples (§III-C): both regular and minified.
+    let partials: Vec<jsdetect_corpus::LabeledSample> = (0..(n_regular / 3).max(4))
+        .filter_map(|i| jsdetect_corpus::dataset::partial_sample(seed ^ ((i as u64) << 33)))
+        .collect();
+
+    let srcs: Vec<&str> = train_samples.iter().map(|s| s.src.as_str()).collect();
+    let analyses = crate::vectorize::analyze_many(&srcs);
+    let partial_srcs: Vec<&str> = partials.iter().map(|s| s.src.as_str()).collect();
+    let partial_analyses = crate::vectorize::analyze_many(&partial_srcs);
+
+    let mut l1_set = Vec::new();
+    let mut l2_set = Vec::new();
+    for ((sample, analysis), in_l1) in
+        train_samples.iter().zip(&analyses).zip(&l1_quota)
+    {
+        if let Some(a) = analysis {
+            if *in_l1 {
+                l1_set.push((a, Level1Truth::from_techniques(&sample.techniques)));
+            }
+            if sample.is_transformed() {
+                l2_set.push((a, sample.label_vector()));
+            }
+        }
+    }
+    for (sample, analysis) in partials.iter().zip(&partial_analyses) {
+        if let Some(a) = analysis {
+            let mut truth = Level1Truth::from_techniques(&sample.techniques);
+            truth.regular = true; // the page part is regular code
+            l1_set.push((a, truth));
+            l2_set.push((a, sample.label_vector()));
+        }
+    }
+    let level1 = Level1Detector::train_from_analyses(&l1_set, cfg);
+    let level2 = Level2Detector::train_from_analyses(&l2_set, cfg);
+
+    // ---- held-out pools ------------------------------------------------------
+    let test_regular = gt.regular[sp.train_end..sp.test_end].to_vec();
+    let validation_regular = gt.regular[sp.test_end..].to_vec();
+    let mut test_minified = Vec::new();
+    for t in [Technique::MinificationSimple, Technique::MinificationAdvanced] {
+        test_minified.extend(pool_slice(&gt, t, sp.train_end, sp.test_end).to_vec());
+    }
+    let mut test_obfuscated = Vec::new();
+    for t in OBFUSCATIONS {
+        test_obfuscated.extend(pool_slice(&gt, t, sp.train_end, sp.test_end).to_vec());
+    }
+    let mut test_level2 = Vec::new();
+    for t in Technique::ALL {
+        test_level2.extend(pool_slice(&gt, t, sp.train_end, sp.test_end).to_vec());
+    }
+
+    PipelineOutput {
+        detectors: TrainedDetectors { level1, level2 },
+        test_regular,
+        test_minified,
+        test_obfuscated,
+        test_level2,
+        validation_regular,
+    }
+}
+
+/// Slice of a technique pool corresponding to source-script indices
+/// `[lo, hi)`. Pools can be shorter than the regular corpus when a
+/// transform failed; indices are clamped.
+fn pool_slice(gt: &GroundTruth, t: Technique, lo: usize, hi: usize) -> &[LabeledSample] {
+    let pool = gt.pool(t);
+    let lo = lo.min(pool.len());
+    let hi = hi.min(pool.len());
+    &pool[lo..hi]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_fractions() {
+        let sp = split(100);
+        assert_eq!(sp.train_end, 50);
+        assert_eq!(sp.test_end, 75);
+    }
+
+    #[test]
+    fn obfuscation_list_excludes_minification() {
+        assert_eq!(OBFUSCATIONS.len(), 8);
+        assert!(OBFUSCATIONS.iter().all(|t| !t.is_minification()));
+    }
+}

@@ -1,0 +1,66 @@
+//! Parallel script vectorization.
+
+use jsdetect_features::{analyze_script, ScriptAnalysis, VectorSpace};
+
+/// Analyzes many scripts in parallel. Scripts that fail to parse yield
+/// `None` (the paper's pipeline skips unparseable files).
+pub fn analyze_many(srcs: &[&str]) -> Vec<Option<ScriptAnalysis>> {
+    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut out: Vec<Option<ScriptAnalysis>> = (0..srcs.len()).map(|_| None).collect();
+    let chunk = srcs.len().div_ceil(n_threads.max(1)).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, src_chunk) in out.chunks_mut(chunk).zip(srcs.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, src) in slot_chunk.iter_mut().zip(src_chunk) {
+                    *slot = analyze_script(src).ok();
+                }
+            });
+        }
+    })
+    .expect("analysis threads panicked");
+    out
+}
+
+/// Vectorizes many scripts in parallel against a fitted space.
+pub fn vectorize_many(space: &VectorSpace, srcs: &[&str]) -> Vec<Option<Vec<f32>>> {
+    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut out: Vec<Option<Vec<f32>>> = vec![None; srcs.len()];
+    let chunk = srcs.len().div_ceil(n_threads.max(1)).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, src_chunk) in out.chunks_mut(chunk).zip(srcs.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, src) in slot_chunk.iter_mut().zip(src_chunk) {
+                    *slot = analyze_script(src).ok().map(|a| space.vectorize(&a));
+                }
+            });
+        }
+    })
+    .expect("vectorization threads panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsdetect_features::FeatureConfig;
+
+    #[test]
+    fn analyze_many_handles_errors() {
+        let srcs = ["var x = 1;", "var ;;; broken", "f();"];
+        let out = analyze_many(&srcs);
+        assert!(out[0].is_some());
+        assert!(out[1].is_none());
+        assert!(out[2].is_some());
+    }
+
+    #[test]
+    fn vectorize_many_matches_serial() {
+        let srcs = vec!["var x = 1;", "function f() { return 2; }", "if (a) b();"];
+        let analyses: Vec<_> = srcs.iter().map(|s| analyze_script(s).unwrap()).collect();
+        let space = VectorSpace::fit(analyses.iter(), 32, FeatureConfig::default());
+        let par = vectorize_many(&space, &srcs);
+        for (a, p) in analyses.iter().zip(&par) {
+            assert_eq!(p.as_ref().unwrap(), &space.vectorize(a));
+        }
+    }
+}

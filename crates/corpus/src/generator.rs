@@ -1,0 +1,591 @@
+//! Seeded generator of realistic "regular" JavaScript.
+//!
+//! Stands in for the paper's corpus of 21,000 scripts from popular GitHub
+//! projects and libraries (§III-D1). Programs are built as ASTs (so they
+//! are parseable by construction), pretty-printed, and then sprinkled with
+//! comments. Several authorship styles are mixed: plain scripts, IIFE
+//! modules, Node-style modules, jQuery-flavoured DOM code, and class-based
+//! components.
+
+use crate::words::*;
+use jsdetect_ast::builder::*;
+use jsdetect_ast::*;
+use jsdetect_codegen::to_source;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Options for the regular-JS generator.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Minimum output size in bytes (paper filter: ≥ 512).
+    pub min_bytes: usize,
+    /// Soft maximum output size in bytes.
+    pub max_bytes: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions { min_bytes: 512, max_bytes: 6 * 1024 }
+    }
+}
+
+/// Deterministic generator of regular JavaScript programs.
+#[derive(Debug)]
+pub struct RegularJsGenerator {
+    rng: StdRng,
+    opts: GenOptions,
+}
+
+impl RegularJsGenerator {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        RegularJsGenerator { rng: StdRng::seed_from_u64(seed), opts: GenOptions::default() }
+    }
+
+    /// Creates a generator with explicit options.
+    pub fn with_options(seed: u64, opts: GenOptions) -> Self {
+        RegularJsGenerator { rng: StdRng::seed_from_u64(seed), opts }
+    }
+
+    /// Generates one program.
+    pub fn generate(&mut self) -> String {
+        loop {
+            let style = self.rng.gen_range(0..5u8);
+            let prog = match style {
+                0 => self.plain_script(),
+                1 => self.iife_module(),
+                2 => self.node_module(),
+                3 => self.dom_script(),
+                _ => self.class_component(),
+            };
+            let mut src = to_source(&prog);
+            self.inject_comments(&mut src);
+            if src.len() >= self.opts.min_bytes {
+                if src.len() > self.opts.max_bytes {
+                    continue;
+                }
+                return src;
+            }
+            // Too small: append another top-level chunk by retrying with
+            // a larger body (the RNG advances, so we will not loop forever).
+        }
+    }
+
+    // ---- naming ------------------------------------------------------------
+
+    fn pick<'a>(&mut self, pool: &[&'a str]) -> &'a str {
+        pool[self.rng.gen_range(0..pool.len())]
+    }
+
+    fn var_name(&mut self) -> String {
+        match self.rng.gen_range(0..4u8) {
+            0 => self.pick(NOUNS).to_string(),
+            1 => {
+                let q = self.pick(QUALIFIERS);
+                let n = self.pick(NOUNS);
+                format!("{}{}", q, capitalize(n))
+            }
+            2 => {
+                let a = self.pick(NOUNS);
+                let b = self.pick(NOUNS);
+                format!("{}{}", a, capitalize(b))
+            }
+            _ => {
+                let n = self.pick(NOUNS);
+                if self.rng.gen_bool(0.3) {
+                    format!("{}s", n)
+                } else {
+                    n.to_string()
+                }
+            }
+        }
+    }
+
+    fn fn_name(&mut self) -> String {
+        let v = self.pick(VERBS);
+        let n = self.pick(NOUNS);
+        format!("{}{}", v, capitalize(n))
+    }
+
+    // ---- values ------------------------------------------------------------
+
+    fn literal(&mut self) -> Expr {
+        match self.rng.gen_range(0..6u8) {
+            0 => num_lit(self.rng.gen_range(0..100) as f64),
+            1 => num_lit(self.rng.gen_range(0..10_000) as f64 / 100.0),
+            2 | 3 => str_lit(self.pick(STRINGS)),
+            4 => bool_lit(self.rng.gen_bool(0.5)),
+            _ => null_lit(),
+        }
+    }
+
+    fn simple_expr(&mut self, names: &[String]) -> Expr {
+        match self.rng.gen_range(0..7u8) {
+            0 | 1 => self.literal(),
+            2 => self.name_ref(names),
+            3 => binary(
+                *[BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul].choose(&mut self.rng).unwrap(),
+                self.name_ref(names),
+                self.literal(),
+            ),
+            4 => member(self.name_ref(names), self.pick(PROPS)),
+            5 => self.call_expr(names),
+            _ => {
+                let elems =
+                    (0..self.rng.gen_range(0..4usize)).map(|_| self.literal()).collect();
+                array(elems)
+            }
+        }
+    }
+
+    fn name_ref(&mut self, names: &[String]) -> Expr {
+        if names.is_empty() || self.rng.gen_bool(0.15) {
+            ident(self.var_name())
+        } else {
+            ident(names[self.rng.gen_range(0..names.len())].clone())
+        }
+    }
+
+    fn call_expr(&mut self, names: &[String]) -> Expr {
+        let argc = self.rng.gen_range(0..3usize);
+        let args: Vec<Expr> = (0..argc).map(|_| self.simple_expr(names)).collect();
+        match self.rng.gen_range(0..4u8) {
+            0 => call(ident(self.fn_name()), args),
+            1 => method_call(self.name_ref(names), self.pick(VERBS), args),
+            2 => call(ident(self.pick(GLOBAL_FNS)), args),
+            _ => method_call(ident("console"), "log", args),
+        }
+    }
+
+    fn object_literal(&mut self, names: &[String]) -> Expr {
+        let n = self.rng.gen_range(1..5usize);
+        let mut props = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for _ in 0..n {
+            let key = self.pick(PROPS);
+            if !used.insert(key) {
+                continue;
+            }
+            props.push(Property {
+                key: PropKey::Ident(Ident::new(key)),
+                value: self.simple_expr(names),
+                kind: PropKind::Init,
+                computed: false,
+                shorthand: false,
+                method: false,
+                span: Span::DUMMY,
+            });
+        }
+        Expr::Object { props, span: Span::DUMMY }
+    }
+
+    // ---- statements -----------------------------------------------------------
+
+    fn body(&mut self, depth: usize, names: &mut Vec<String>) -> Vec<Stmt> {
+        let n = self.rng.gen_range(2..6usize);
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(self.statement(depth, names));
+        }
+        out
+    }
+
+    fn statement(&mut self, depth: usize, names: &mut Vec<String>) -> Stmt {
+        let roll = if depth >= 2 { self.rng.gen_range(0..5u8) } else { self.rng.gen_range(0..10u8) };
+        match roll {
+            0 | 1 => {
+                let name = self.var_name();
+                let init = if self.rng.gen_bool(0.3) {
+                    self.object_literal(names)
+                } else {
+                    self.simple_expr(names)
+                };
+                names.push(name.clone());
+                let kind =
+                    *[VarKind::Var, VarKind::Var, VarKind::Let, VarKind::Const]
+                        .choose(&mut self.rng)
+                        .unwrap();
+                var_decl(kind, name, Some(init))
+            }
+            2 => expr_stmt(self.call_expr(names)),
+            3 => {
+                let target = self.name_ref(names);
+                if let Expr::Ident(i) = &target {
+                    expr_stmt(assign_ident(i.name.clone(), self.simple_expr(names)))
+                } else {
+                    expr_stmt(self.call_expr(names))
+                }
+            }
+            4 => expr_stmt(assign(
+                Pat::Member(Box::new(member(self.name_ref(names), self.pick(PROPS)))),
+                self.simple_expr(names),
+            )),
+            5 => {
+                let test = binary(
+                    *[BinaryOp::Lt, BinaryOp::Gt, BinaryOp::EqEqEq, BinaryOp::NotEqEq]
+                        .choose(&mut self.rng)
+                        .unwrap(),
+                    self.name_ref(names),
+                    self.literal(),
+                );
+                let cons = block(self.body(depth + 1, names));
+                let alt = if self.rng.gen_bool(0.4) {
+                    Some(block(self.body(depth + 1, names)))
+                } else {
+                    None
+                };
+                if_stmt(test, cons, alt)
+            }
+            6 => self.for_loop(depth, names),
+            7 => {
+                
+                self.function_decl(depth, names)
+            }
+            8 => Stmt::Try {
+                block: self.body(depth + 1, names),
+                handler: Some(CatchClause {
+                    param: Some(Pat::Ident(Ident::new("err"))),
+                    body: vec![expr_stmt(method_call(
+                        ident("console"),
+                        "error",
+                        vec![ident("err")],
+                    ))],
+                    span: Span::DUMMY,
+                }),
+                finalizer: None,
+                span: Span::DUMMY,
+            },
+            _ => {
+                let disc = self.name_ref(names);
+                let n_cases = self.rng.gen_range(2..4usize);
+                let mut cases: Vec<SwitchCase> = Vec::new();
+                for _ in 0..n_cases {
+                    cases.push(SwitchCase {
+                        test: Some(str_lit(self.pick(STRINGS))),
+                        body: vec![
+                            expr_stmt(self.call_expr(names)),
+                            Stmt::Break { label: None, span: Span::DUMMY },
+                        ],
+                        span: Span::DUMMY,
+                    });
+                }
+                cases.push(SwitchCase {
+                    test: None,
+                    body: vec![expr_stmt(self.call_expr(names))],
+                    span: Span::DUMMY,
+                });
+                Stmt::Switch { discriminant: disc, cases, span: Span::DUMMY }
+            }
+        }
+    }
+
+    fn for_loop(&mut self, depth: usize, names: &mut Vec<String>) -> Stmt {
+        let i = *["i", "j", "k", "idx"].choose(&mut self.rng).unwrap();
+        let coll = self.name_ref(names);
+        let body = block(vec![
+            self.statement(depth + 1, names),
+            expr_stmt(self.call_expr(names)),
+        ]);
+        Stmt::For {
+            init: Some(ForInit::Var {
+                kind: VarKind::Var,
+                decls: vec![VarDeclarator {
+                    id: Pat::Ident(Ident::new(i)),
+                    init: Some(num_lit(0.0)),
+                    span: Span::DUMMY,
+                }],
+            }),
+            test: Some(binary(BinaryOp::Lt, ident(i), member(coll, "length"))),
+            update: Some(Expr::Update {
+                op: UpdateOp::Increment,
+                prefix: false,
+                arg: Box::new(ident(i)),
+                span: Span::DUMMY,
+            }),
+            body: Box::new(body),
+            span: Span::DUMMY,
+        }
+    }
+
+    fn function_decl(&mut self, depth: usize, names: &mut Vec<String>) -> Stmt {
+        let name = self.fn_name();
+        names.push(name.clone());
+        let n_params = self.rng.gen_range(0..4usize);
+        let params: Vec<String> = (0..n_params).map(|_| self.var_name()).collect();
+        let mut inner = params.clone();
+        let mut body = self.body(depth + 1, &mut inner);
+        if self.rng.gen_bool(0.8) {
+            body.push(ret(Some(self.simple_expr(&inner))));
+        }
+        fn_decl(name, params.iter().map(|s| s.as_str()).collect(), body)
+    }
+
+    // ---- program styles ----------------------------------------------------------
+
+    fn plain_script(&mut self) -> Program {
+        let mut names = Vec::new();
+        let mut body = Vec::new();
+        if self.rng.gen_bool(0.2) {
+            body.push(expr_stmt(str_lit("use strict")));
+        }
+        let n = self.rng.gen_range(3..8usize);
+        for _ in 0..n {
+            if self.rng.gen_bool(0.5) {
+                body.push(self.function_decl(0, &mut names));
+            } else {
+                body.push(self.statement(0, &mut names));
+            }
+        }
+        program(body)
+    }
+
+    fn iife_module(&mut self) -> Program {
+        let mut names = vec!["window".to_string(), "document".to_string()];
+        let mut inner = Vec::new();
+        inner.push(expr_stmt(str_lit("use strict")));
+        let n = self.rng.gen_range(3..7usize);
+        for _ in 0..n {
+            if self.rng.gen_bool(0.6) {
+                inner.push(self.function_decl(1, &mut names));
+            } else {
+                inner.push(self.statement(1, &mut names));
+            }
+        }
+        // Export something onto window.
+        inner.push(expr_stmt(assign(
+            Pat::Member(Box::new(member(ident("window"), self.fn_name()))),
+            self.name_ref(&names),
+        )));
+        program(vec![expr_stmt(call(fn_expr(vec!["window", "document"], inner), vec![
+            ident("window"),
+            ident("document"),
+        ]))])
+    }
+
+    fn node_module(&mut self) -> Program {
+        let mut names = Vec::new();
+        let mut body = Vec::new();
+        body.push(expr_stmt(str_lit("use strict")));
+        let n_requires = self.rng.gen_range(1..4usize);
+        for _ in 0..n_requires {
+            let name = self.var_name();
+            names.push(name.clone());
+            body.push(var_decl(
+                VarKind::Var,
+                name,
+                Some(call(ident("require"), vec![str_lit(format!("./{}", self.pick(NOUNS)))])),
+            ));
+        }
+        let n = self.rng.gen_range(2..6usize);
+        for _ in 0..n {
+            body.push(self.function_decl(0, &mut names));
+        }
+        body.push(expr_stmt(assign(
+            Pat::Member(Box::new(member(ident("module"), "exports"))),
+            self.object_literal(&names),
+        )));
+        program(body)
+    }
+
+    fn dom_script(&mut self) -> Program {
+        let mut names = vec!["event".to_string()];
+        let mut handler_body = Vec::new();
+        let n = self.rng.gen_range(2..5usize);
+        for _ in 0..n {
+            handler_body.push(self.statement(1, &mut names));
+        }
+        let selector = self.pick(STRINGS);
+        let listener = method_call(
+            method_call(ident("document"), "querySelector", vec![str_lit(selector)]),
+            "addEventListener",
+            vec![str_lit("click"), fn_expr(vec!["event"], handler_body)],
+        );
+        let mut body = vec![expr_stmt(listener)];
+        let extra = self.rng.gen_range(2..5usize);
+        for _ in 0..extra {
+            body.push(self.statement(0, &mut names));
+        }
+        program(body)
+    }
+
+    fn class_component(&mut self) -> Program {
+        let mut names = Vec::new();
+        let class_name = capitalize(self.pick(NOUNS));
+        let n_methods = self.rng.gen_range(2..5usize);
+        let mut members = vec![ClassMember {
+            key: PropKey::Ident(Ident::new("constructor")),
+            value: ClassMemberValue::Method(function(
+                None,
+                vec!["options"],
+                vec![
+                    expr_stmt(assign(
+                        Pat::Member(Box::new(member(
+                            Expr::This { span: Span::DUMMY },
+                            "options",
+                        ))),
+                        ident("options"),
+                    )),
+                    expr_stmt(assign(
+                        Pat::Member(Box::new(member(Expr::This { span: Span::DUMMY }, "state"))),
+                        self.object_literal(&names),
+                    )),
+                ],
+            )),
+            kind: MethodKind::Constructor,
+            is_static: false,
+            computed: false,
+            span: Span::DUMMY,
+        }];
+        for _ in 0..n_methods {
+            let mut inner = vec!["value".to_string()];
+            let mut body = self.body(1, &mut inner);
+            body.push(ret(Some(member(Expr::This { span: Span::DUMMY }, self.pick(PROPS)))));
+            members.push(ClassMember {
+                key: PropKey::Ident(Ident::new(self.fn_name())),
+                value: ClassMemberValue::Method(function(None, vec!["value"], body)),
+                kind: MethodKind::Method,
+                is_static: false,
+                computed: false,
+                span: Span::DUMMY,
+            });
+        }
+        let mut body = vec![Stmt::ClassDecl(Class {
+            id: Some(Ident::new(class_name.clone())),
+            super_class: None,
+            body: members,
+            span: Span::DUMMY,
+        })];
+        body.push(var_decl(
+            VarKind::Var,
+            "instance",
+            Some(new_expr(ident(class_name), vec![self.object_literal(&names)])),
+        ));
+        let extra = self.rng.gen_range(1..4usize);
+        names.push("instance".to_string());
+        for _ in 0..extra {
+            body.push(self.statement(0, &mut names));
+        }
+        program(body)
+    }
+
+    // ---- comments ---------------------------------------------------------------
+
+    fn inject_comments(&mut self, src: &mut String) {
+        let lines: Vec<&str> = src.lines().collect();
+        let mut out = String::with_capacity(src.len() + 256);
+        if self.rng.gen_bool(0.4) {
+            out.push_str("/*!\n * generated module\n * license: MIT\n */\n");
+        }
+        for line in lines {
+            if self.rng.gen_bool(0.08) && !line.trim().is_empty() {
+                let indent: String =
+                    line.chars().take_while(|c| *c == ' ').collect();
+                let c = COMMENTS[self.rng.gen_range(0..COMMENTS.len())];
+                out.push_str(&indent);
+                out.push_str("// ");
+                out.push_str(c);
+                out.push('\n');
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        *src = out;
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Generates `n` regular scripts with seeds derived from `seed`.
+pub fn regular_corpus(n: usize, seed: u64) -> Vec<String> {
+    (0..n)
+        .map(|i| RegularJsGenerator::new(seed.wrapping_add(i as u64)).generate())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsdetect_parser::parse;
+
+    #[test]
+    fn generated_programs_parse() {
+        for seed in 0..30 {
+            let src = RegularJsGenerator::new(seed).generate();
+            assert!(parse(&src).is_ok(), "seed {} produced unparseable code:\n{}", seed, src);
+        }
+    }
+
+    #[test]
+    fn respects_size_bounds() {
+        for seed in 0..20 {
+            let src = RegularJsGenerator::new(seed).generate();
+            assert!(src.len() >= 512, "seed {}: {} bytes", seed, src.len());
+            assert!(src.len() <= 8 * 1024, "seed {}: {} bytes", seed, src.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RegularJsGenerator::new(7).generate();
+        let b = RegularJsGenerator::new(7).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = RegularJsGenerator::new(1).generate();
+        let b = RegularJsGenerator::new(2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn passes_paper_prefilter() {
+        // Paper: at least a conditional node, function node, or call node.
+        use jsdetect_ast::{kind_stream, NodeKind};
+        for seed in 0..20 {
+            let src = RegularJsGenerator::new(seed).generate();
+            let ks = kind_stream(&parse(&src).unwrap());
+            let ok = ks.iter().any(|k| k.is_conditional() || k.is_function() || k.is_call());
+            assert!(ok, "seed {} fails prefilter", seed);
+        }
+    }
+
+    #[test]
+    fn corpus_helper_sizes() {
+        let c = regular_corpus(5, 99);
+        assert_eq!(c.len(), 5);
+        assert!(c.iter().all(|s| s.len() >= 512));
+    }
+
+    #[test]
+    fn has_comments_sometimes() {
+        let mut any = false;
+        for seed in 0..10 {
+            let src = RegularJsGenerator::new(seed).generate();
+            if src.contains("//") || src.contains("/*") {
+                any = true;
+            }
+        }
+        assert!(any, "no generated script contained comments");
+    }
+
+    #[test]
+    fn looks_regular_to_feature_extractor() {
+        use jsdetect_features::{analyze_script, handpicked_features, FEATURE_NAMES};
+        let idx = |n: &str| FEATURE_NAMES.iter().position(|f| *f == n).unwrap();
+        for seed in 0..10 {
+            let src = RegularJsGenerator::new(seed).generate();
+            let f = handpicked_features(&analyze_script(&src).unwrap());
+            assert!(f[idx("avg_chars_per_line")] < 120.0, "seed {}", seed);
+            assert_eq!(f[idx("hex_binding_ratio")], 0.0, "seed {}", seed);
+            assert!(f[idx("jsfuck_charset_ratio")] < 0.4, "seed {}", seed);
+        }
+    }
+}

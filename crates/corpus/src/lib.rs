@@ -1,0 +1,29 @@
+//! Corpus construction for the `jsdetect` suite.
+//!
+//! Three layers substitute for the paper's data sources:
+//!
+//! - [`generator`]: seeded realistic regular-JavaScript generation
+//!   (stand-in for 21,000 GitHub/library scripts, §III-D1);
+//! - [`dataset`]: ground-truth sets built by applying the transformation
+//!   techniques (training / validation / test pools, mixed-technique and
+//!   packer test sets, §III-D2 and §III-E);
+//! - [`wild`]: population simulators calibrated to the paper's reported
+//!   wild measurements (Alexa / npm / malware feeds / longitudinal, §IV).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod generator;
+pub mod wild;
+pub mod words;
+
+pub use dataset::{
+    implied_labels, mixed_set, packer_set, random_combo, transform_sample, GroundTruth,
+    LabeledSample,
+};
+pub use generator::{regular_corpus, GenOptions, RegularJsGenerator};
+pub use wild::{
+    alexa_population, malware_population, npm_population, MalwareSource, PopulationModel,
+    WildScript, N_MONTHS,
+};

@@ -1,0 +1,145 @@
+//! Word pools for realistic identifier, property, and string generation.
+
+/// Common variable-name stems seen in hand-written JavaScript.
+pub const NOUNS: &[&str] = &[
+    "data", "value", "result", "index", "count", "item", "list", "name", "user", "config",
+    "options", "element", "node", "event", "handler", "callback", "temp", "buffer", "state",
+    "total", "sum", "key", "map", "cache", "query", "response", "request", "url", "path",
+    "token", "session", "error", "message", "text", "html", "width", "height", "offset",
+    "size", "length", "start", "end", "next", "prev", "current", "parent", "child", "target",
+    "source", "entry", "record", "row", "col", "field", "form", "input", "output", "model",
+    "view", "controller", "service", "client", "server", "socket", "stream", "queue", "stack",
+    "tree", "graph", "table", "grid", "panel", "button", "menu", "dialog", "modal", "frame",
+];
+
+/// Verb stems for function names.
+pub const VERBS: &[&str] = &[
+    "get", "set", "update", "fetch", "load", "save", "remove", "delete", "create", "build",
+    "make", "init", "setup", "render", "draw", "parse", "format", "validate", "check", "find",
+    "filter", "sort", "merge", "split", "join", "send", "receive", "handle", "process",
+    "compute", "calculate", "convert", "transform", "apply", "bind", "attach", "detach",
+    "toggle", "show", "hide", "open", "close", "start", "stop", "reset", "clear", "append",
+    "prepend", "insert", "replace", "clone", "copy", "compare", "resolve", "reject", "emit",
+];
+
+/// Adjectives / qualifiers for compound names.
+pub const QUALIFIERS: &[&str] = &[
+    "new", "old", "last", "first", "max", "min", "active", "selected", "visible", "hidden",
+    "valid", "invalid", "pending", "loaded", "cached", "default", "custom", "local", "global",
+    "inner", "outer", "left", "right", "top", "bottom", "main", "base", "raw", "parsed",
+];
+
+/// Realistic object property names.
+pub const PROPS: &[&str] = &[
+    "id", "name", "type", "value", "label", "title", "status", "code", "kind", "mode",
+    "flags", "meta", "props", "attrs", "style", "class", "children", "items", "entries",
+    "params", "headers", "body", "method", "action", "enabled", "disabled", "version",
+    "timestamp", "created", "updated", "owner", "group", "tags", "score", "rank", "weight",
+];
+
+/// Realistic string literal fragments.
+pub const STRINGS: &[&str] = &[
+    "Loading...",
+    "An error occurred",
+    "Invalid input",
+    "Please try again",
+    "Success",
+    "OK",
+    "Cancel",
+    "Submit",
+    "click",
+    "change",
+    "keydown",
+    "mouseover",
+    "resize",
+    "scroll",
+    "load",
+    "DOMContentLoaded",
+    "application/json",
+    "text/html",
+    "utf-8",
+    "GET",
+    "POST",
+    "PUT",
+    "DELETE",
+    "/api/v1/users",
+    "/api/v1/items",
+    "/assets/img/logo.png",
+    "https://example.com",
+    "https://cdn.example.com/lib.js",
+    "#container",
+    ".item-list",
+    ".btn-primary",
+    "div.wrapper",
+    "input[type=text]",
+    "data-id",
+    "aria-hidden",
+    "active",
+    "disabled",
+    "hidden",
+    "selected",
+    "yyyy-MM-dd",
+    "en-US",
+    "undefined",
+    "object",
+    "string",
+    "number",
+    "function",
+];
+
+/// Comment fragments.
+pub const COMMENTS: &[&str] = &[
+    "TODO: handle edge cases",
+    "FIXME: this is a workaround",
+    "initialize the component",
+    "update the view when the model changes",
+    "fall back to the default configuration",
+    "cache the result for later lookups",
+    "see https://example.com/docs for details",
+    "avoid re-rendering when nothing changed",
+    "guard against missing arguments",
+    "legacy support for older browsers",
+    "this mirrors the server-side validation",
+    "keep in sync with the CSS breakpoints",
+    "micro-optimization: hoist the length lookup",
+    "note: the order of these checks matters",
+];
+
+/// Global/builtin callables regular code touches.
+pub const GLOBAL_FNS: &[&str] = &[
+    "parseInt",
+    "parseFloat",
+    "isNaN",
+    "encodeURIComponent",
+    "decodeURIComponent",
+    "setTimeout",
+    "clearTimeout",
+    "requireModule",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_valid_identifiers() {
+        for pool in [NOUNS, VERBS, QUALIFIERS, PROPS] {
+            assert!(!pool.is_empty());
+            for w in pool {
+                assert!(w.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'), "{}", w);
+                assert!(w.chars().next().unwrap().is_ascii_alphabetic());
+            }
+        }
+    }
+
+    #[test]
+    fn no_reserved_words_in_name_pools() {
+        // `new` and `delete` appear in pools but only as *stems*; the
+        // generator always combines them into compound names. Verbs used
+        // bare must not be reserved.
+        let reserved = ["var", "function", "return", "if", "else", "for", "while"];
+        for w in NOUNS {
+            assert!(!reserved.contains(w), "{}", w);
+        }
+    }
+}

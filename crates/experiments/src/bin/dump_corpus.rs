@@ -1,0 +1,100 @@
+//! Utility — dump a simulated corpus to disk as `.js` files for manual
+//! inspection (the counterpart of the paper's manual-review steps).
+//!
+//! ```sh
+//! dump_corpus --kind alexa --n 20 --out /tmp/corpus     # wild population
+//! dump_corpus --kind regular --n 20 --out /tmp/corpus   # plain generator
+//! dump_corpus --kind groundtruth --n 5 --out /tmp/corpus # per-technique
+//! ```
+
+use jsdetect_corpus::{
+    alexa_population, malware_population, npm_population, GroundTruth, MalwareSource,
+};
+use jsdetect_transform::Technique;
+use std::path::Path;
+
+fn write(dir: &Path, name: &str, contents: &str) {
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("cannot write {}: {}", path.display(), e);
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: &str| -> String {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1).cloned())
+            .unwrap_or_else(|| default.to_string())
+    };
+    let kind = get("--kind", "regular");
+    let n: usize = get("--n", "10").parse().unwrap_or(10);
+    let seed: u64 = get("--seed", "42").parse().unwrap_or(42);
+    let out = std::path::PathBuf::from(get("--out", "corpus_dump"));
+    std::fs::create_dir_all(&out).expect("cannot create output directory");
+
+    match kind.as_str() {
+        "regular" => {
+            for (i, src) in jsdetect_corpus::regular_corpus(n, seed).iter().enumerate() {
+                write(&out, &format!("regular_{:04}.js", i), src);
+            }
+        }
+        "alexa" => {
+            for (i, s) in alexa_population(64, n, 0, seed).iter().enumerate() {
+                let label = if s.truth.is_empty() {
+                    "regular".to_string()
+                } else {
+                    s.truth.iter().map(|t| t.as_str()).collect::<Vec<_>>().join("+")
+                };
+                write(&out, &format!("alexa_{:04}_{}.js", i, label), &s.src);
+            }
+        }
+        "npm" => {
+            for (i, s) in npm_population(64, n, 1000, seed).iter().enumerate() {
+                let label = if s.truth.is_empty() {
+                    "regular".to_string()
+                } else {
+                    s.truth.iter().map(|t| t.as_str()).collect::<Vec<_>>().join("+")
+                };
+                write(&out, &format!("npm_{:04}_{}.js", i, label), &s.src);
+            }
+        }
+        "malware" => {
+            for source in [MalwareSource::Dnc, MalwareSource::Hynek, MalwareSource::Bsi] {
+                for (i, s) in malware_population(source, 5, n, seed).iter().enumerate() {
+                    let label = if s.truth.is_empty() {
+                        "regular".to_string()
+                    } else {
+                        s.truth.iter().map(|t| t.as_str()).collect::<Vec<_>>().join("+")
+                    };
+                    write(
+                        &out,
+                        &format!("{}_{:04}_{}.js", source.as_str().to_lowercase(), i, label),
+                        &s.src,
+                    );
+                }
+            }
+        }
+        "groundtruth" => {
+            let gt = GroundTruth::generate(n, seed);
+            for (i, s) in gt.regular.iter().enumerate() {
+                write(&out, &format!("gt_{:04}_regular.js", i), &s.src);
+            }
+            for t in Technique::ALL {
+                for (i, s) in gt.pool(t).iter().enumerate() {
+                    write(&out, &format!("gt_{:04}_{}.js", i, t.as_str()), &s.src);
+                }
+            }
+        }
+        other => {
+            eprintln!(
+                "unknown --kind {} (expected regular|alexa|npm|malware|groundtruth)",
+                other
+            );
+            std::process::exit(2);
+        }
+    }
+    eprintln!("corpus written to {}", out.display());
+}

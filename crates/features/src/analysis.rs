@@ -1,0 +1,108 @@
+//! Per-script static analysis bundle.
+//!
+//! [`analyze_script`] runs the full front-end once — tokens, comments,
+//! AST, scopes, control flow, data flow — and hands the result to the
+//! feature extractors.
+
+use jsdetect_ast::metrics::{KindCounts, TreeShape};
+use jsdetect_ast::Program;
+use jsdetect_flow::{analyze_with, DataFlowOptions, ProgramGraph};
+use jsdetect_lexer::{Comment, Token};
+use jsdetect_parser::{parse_with_comments, ParseError};
+
+/// Everything the feature extractors need about one script.
+#[derive(Debug)]
+pub struct ScriptAnalysis {
+    /// Original source text.
+    pub src: String,
+    /// Parsed AST.
+    pub program: Program,
+    /// Lexical tokens (without comments).
+    pub tokens: Vec<Token>,
+    /// Comments.
+    pub comments: Vec<Comment>,
+    /// Scopes + control flow + data flow.
+    pub graph: ProgramGraph,
+    /// Tree-shape metrics.
+    pub shape: TreeShape,
+    /// Per-kind node counts.
+    pub kinds: KindCounts,
+}
+
+/// Parses and analyzes one script.
+///
+/// # Errors
+///
+/// Returns the parse error if the script is not valid JavaScript.
+///
+/// # Examples
+///
+/// ```
+/// use jsdetect_features::analyze_script;
+/// let a = analyze_script("var x = 1; f(x);").unwrap();
+/// assert!(a.shape.node_count > 4);
+/// ```
+pub fn analyze_script(src: &str) -> Result<ScriptAnalysis, ParseError> {
+    let (program, comments) = parse_with_comments(src)?;
+    let tokens = jsdetect_lexer::tokenize(src).unwrap_or_default();
+    let graph = analyze_with(&program, &DataFlowOptions::default());
+    let shape = jsdetect_ast::metrics::tree_shape(&program);
+    let kinds = KindCounts::of(&program);
+    Ok(ScriptAnalysis {
+        src: src.to_string(),
+        program,
+        tokens,
+        comments,
+        graph,
+        shape,
+        kinds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysis_bundles_everything() {
+        let a = analyze_script("// c\nvar x = 1;\nif (x) { f(x); }").unwrap();
+        assert_eq!(a.comments.len(), 1);
+        assert!(!a.tokens.is_empty());
+        assert!(a.graph.scopes.bindings().len() == 1);
+        assert!(a.shape.max_depth >= 2);
+        assert!(a.kinds.total() > 0);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(analyze_script("var ;;;=").is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_only_scripts() {
+        let a = analyze_script("").unwrap();
+        assert_eq!(a.shape.node_count, 1); // just the Program node
+        let b = analyze_script("// only a comment
+/* and a block */").unwrap();
+        assert_eq!(b.comments.len(), 2);
+        assert_eq!(b.program.body.len(), 0);
+    }
+
+    #[test]
+    fn single_long_line_script() {
+        // Minified-style single line with thousands of statements.
+        let src = "var a=0;".to_string() + &"a=a+1;".repeat(2_000);
+        let a = analyze_script(&src).unwrap();
+        assert!(a.shape.node_count > 8_000);
+        assert!(jsdetect_ast::metrics::avg_chars_per_line(&a.src) > 1_000.0);
+    }
+
+    #[test]
+    fn deep_but_legal_nesting() {
+        let depth = 20;
+        let src = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+        let src = format!("x = {};", src);
+        let a = analyze_script(&src).unwrap();
+        assert!(a.shape.max_depth >= 3);
+    }
+}

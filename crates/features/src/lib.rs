@@ -1,0 +1,21 @@
+//! Feature extraction for the `jsdetect` detectors (paper §III-B).
+//!
+//! Scripts are abstracted by their AST enhanced with control and data
+//! flows ([`analyze_script`]); from that analysis two feature families are
+//! computed — AST 4-grams over the pre-order node-kind stream, and
+//! hand-picked features capturing the syntactic traces of the ten
+//! transformation techniques — and assembled into a consistent
+//! [`VectorSpace`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod handpicked;
+mod ngrams;
+mod space;
+
+pub use analysis::{analyze_script, ScriptAnalysis};
+pub use handpicked::{handpicked_features, FEATURE_NAMES, N_HANDPICKED};
+pub use ngrams::{ngram_counts, Gram, NgramVocab};
+pub use space::{FeatureConfig, VectorSpace};

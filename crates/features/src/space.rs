@@ -1,0 +1,143 @@
+//! The vector space combining hand-picked and 4-gram features
+//! (paper §III-B: "each feature is associated with one consistent
+//! dimension").
+
+use crate::analysis::ScriptAnalysis;
+use crate::handpicked::{handpicked_features, FEATURE_NAMES, N_HANDPICKED};
+use crate::ngrams::{ngram_counts, NgramVocab};
+use serde::{Deserialize, Serialize};
+
+/// Which feature families a vector space includes (used for the feature
+/// ablation benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Include the hand-picked features.
+    pub handpicked: bool,
+    /// Include the 4-gram features.
+    pub ngrams: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig { handpicked: true, ngrams: true }
+    }
+}
+
+/// A fitted vector space: consistent dimensions for every script.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VectorSpace {
+    config: FeatureConfig,
+    vocab: NgramVocab,
+}
+
+impl VectorSpace {
+    /// Fits the 4-gram vocabulary on a training corpus of analyses.
+    pub fn fit<'a, I>(corpus: I, max_ngrams: usize, config: FeatureConfig) -> Self
+    where
+        I: IntoIterator<Item = &'a ScriptAnalysis>,
+    {
+        let docs: Vec<_> = corpus.into_iter().map(|a| ngram_counts(&a.program)).collect();
+        let vocab = NgramVocab::build(docs.iter(), max_ngrams);
+        VectorSpace { config, vocab }
+    }
+
+    /// Total vector dimensionality.
+    pub fn dim(&self) -> usize {
+        let mut d = 0;
+        if self.config.handpicked {
+            d += N_HANDPICKED;
+        }
+        if self.config.ngrams {
+            d += self.vocab.dim();
+        }
+        d
+    }
+
+    /// Vectorizes one analyzed script.
+    pub fn vectorize(&self, a: &ScriptAnalysis) -> Vec<f32> {
+        let mut v = Vec::with_capacity(self.dim());
+        if self.config.handpicked {
+            v.extend(handpicked_features(a));
+        }
+        if self.config.ngrams {
+            v.extend(self.vocab.vectorize(&ngram_counts(&a.program)));
+        }
+        v
+    }
+
+    /// Name of dimension `i`.
+    pub fn dim_name(&self, i: usize) -> String {
+        if self.config.handpicked && i < N_HANDPICKED {
+            return FEATURE_NAMES[i].to_string();
+        }
+        let j = if self.config.handpicked { i - N_HANDPICKED } else { i };
+        format!("4gram:{}", self.vocab.gram_name(j))
+    }
+
+    /// Restores the internal lookup index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.vocab.rebuild_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_script;
+
+    fn spaces(srcs: &[&str]) -> (VectorSpace, Vec<ScriptAnalysis>) {
+        let analyses: Vec<_> = srcs.iter().map(|s| analyze_script(s).unwrap()).collect();
+        let vs = VectorSpace::fit(analyses.iter(), 64, FeatureConfig::default());
+        (vs, analyses)
+    }
+
+    #[test]
+    fn consistent_dimensions() {
+        let (vs, analyses) = spaces(&["var x = 1;", "function f() { return 2; }"]);
+        let v0 = vs.vectorize(&analyses[0]);
+        let v1 = vs.vectorize(&analyses[1]);
+        assert_eq!(v0.len(), vs.dim());
+        assert_eq!(v1.len(), vs.dim());
+        assert_ne!(v0, v1);
+    }
+
+    #[test]
+    fn handpicked_only_config() {
+        let analyses = vec![analyze_script("var x = 1;").unwrap()];
+        let vs = VectorSpace::fit(
+            analyses.iter(),
+            64,
+            FeatureConfig { handpicked: true, ngrams: false },
+        );
+        assert_eq!(vs.dim(), crate::handpicked::N_HANDPICKED);
+    }
+
+    #[test]
+    fn ngrams_only_config() {
+        let analyses = vec![analyze_script("var x = 1; var y = 2;").unwrap()];
+        let vs = VectorSpace::fit(
+            analyses.iter(),
+            64,
+            FeatureConfig { handpicked: false, ngrams: true },
+        );
+        assert!(vs.dim() > 0);
+        assert!(vs.dim() <= 64);
+    }
+
+    #[test]
+    fn dim_names_cover_both_families() {
+        let (vs, _) = spaces(&["var x = 1; var y = 2;"]);
+        assert_eq!(vs.dim_name(0), "avg_chars_per_line");
+        let gram_name = vs.dim_name(crate::handpicked::N_HANDPICKED);
+        assert!(gram_name.starts_with("4gram:"), "{}", gram_name);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (vs, analyses) = spaces(&["var x = 1; f(x);"]);
+        let json = serde_json::to_string(&vs).unwrap();
+        let mut back: VectorSpace = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.vectorize(&analyses[0]), vs.vectorize(&analyses[0]));
+    }
+}

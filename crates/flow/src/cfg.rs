@@ -1,0 +1,406 @@
+//! Control-flow edges over statement-level nodes.
+//!
+//! Following the paper (§III-A), control flow is restricted to nodes that
+//! affect execution paths: statement nodes, `CatchClause`, `SwitchCase`,
+//! and `ConditionalExpression`. Nodes are identified by their source span
+//! plus kind; edges carry the reason the flow exists.
+
+use jsdetect_ast::*;
+
+/// A control-flow node: a statement-level AST node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CfNode {
+    /// Kind of the underlying AST node.
+    pub kind: NodeKind,
+    /// Source span of the underlying AST node.
+    pub span: Span,
+}
+
+/// Why a control-flow edge exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CfEdgeKind {
+    /// Fallthrough to the next statement in a list.
+    Seq,
+    /// Taken branch of a condition (if/ternary consequent, loop entry).
+    BranchTrue,
+    /// Not-taken branch (else, loop exit is implicit).
+    BranchFalse,
+    /// Loop back-edge.
+    LoopBack,
+    /// Switch discriminant to a case.
+    CaseMatch,
+    /// Exceptional flow into a catch handler.
+    Exception,
+    /// Entry into a finally block.
+    Finally,
+}
+
+/// A directed control-flow edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfEdge {
+    /// Source node.
+    pub from: CfNode,
+    /// Destination node.
+    pub to: CfNode,
+    /// Edge kind.
+    pub kind: CfEdgeKind,
+}
+
+/// The collected control-flow edges of a program.
+#[derive(Debug, Clone, Default)]
+pub struct ControlFlow {
+    /// All edges, in construction order.
+    pub edges: Vec<CfEdge>,
+    /// Number of control-flow nodes seen.
+    pub node_count: usize,
+}
+
+impl ControlFlow {
+    /// Number of edges of the given kind.
+    pub fn count(&self, kind: CfEdgeKind) -> usize {
+        self.edges.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+/// Builds control-flow edges for a program.
+pub fn build_cfg(program: &Program) -> ControlFlow {
+    let mut cf = ControlFlow::default();
+    seq_edges(&program.body, &mut cf);
+    for s in &program.body {
+        stmt_edges(s, &mut cf);
+    }
+    cf
+}
+
+fn node_of(s: &Stmt) -> CfNode {
+    CfNode { kind: stmt_kind(s), span: s.span() }
+}
+
+fn seq_edges(stmts: &[Stmt], cf: &mut ControlFlow) {
+    cf.node_count += stmts.len();
+    for pair in stmts.windows(2) {
+        cf.edges.push(CfEdge { from: node_of(&pair[0]), to: node_of(&pair[1]), kind: CfEdgeKind::Seq });
+    }
+}
+
+fn stmt_edges(s: &Stmt, cf: &mut ControlFlow) {
+    let me = node_of(s);
+    match s {
+        Stmt::Expr { expr, .. } => expr_edges(expr, me, cf),
+        Stmt::Block { body, .. } => {
+            if let Some(first) = body.first() {
+                cf.edges.push(CfEdge { from: me, to: node_of(first), kind: CfEdgeKind::Seq });
+            }
+            seq_edges(body, cf);
+            for st in body {
+                stmt_edges(st, cf);
+            }
+        }
+        Stmt::VarDecl { decls, .. } => {
+            for d in decls {
+                if let Some(init) = &d.init {
+                    expr_edges(init, me, cf);
+                }
+            }
+        }
+        Stmt::FunctionDecl(f) => {
+            seq_edges(&f.body, cf);
+            for st in &f.body {
+                stmt_edges(st, cf);
+            }
+        }
+        Stmt::ClassDecl(c) => class_edges(c, cf),
+        Stmt::If { test, consequent, alternate, .. } => {
+            expr_edges(test, me, cf);
+            cf.edges.push(CfEdge { from: me, to: node_of(consequent), kind: CfEdgeKind::BranchTrue });
+            stmt_edges(consequent, cf);
+            if let Some(alt) = alternate {
+                cf.edges.push(CfEdge { from: me, to: node_of(alt), kind: CfEdgeKind::BranchFalse });
+                stmt_edges(alt, cf);
+            }
+        }
+        Stmt::For { init, test, update, body, .. } => {
+            if let Some(ForInit::Expr(e)) = init {
+                expr_edges(e, me, cf);
+            }
+            if let Some(t) = test {
+                expr_edges(t, me, cf);
+            }
+            if let Some(u) = update {
+                expr_edges(u, me, cf);
+            }
+            loop_edges(me, body, cf);
+        }
+        Stmt::ForIn { body, object, .. } => {
+            expr_edges(object, me, cf);
+            loop_edges(me, body, cf);
+        }
+        Stmt::ForOf { body, iterable, .. } => {
+            expr_edges(iterable, me, cf);
+            loop_edges(me, body, cf);
+        }
+        Stmt::While { test, body, .. } => {
+            expr_edges(test, me, cf);
+            loop_edges(me, body, cf);
+        }
+        Stmt::DoWhile { body, test, .. } => {
+            expr_edges(test, me, cf);
+            loop_edges(me, body, cf);
+        }
+        Stmt::Switch { discriminant, cases, .. } => {
+            expr_edges(discriminant, me, cf);
+            for c in cases {
+                let case_node = CfNode { kind: NodeKind::SwitchCase, span: c.span };
+                cf.node_count += 1;
+                cf.edges.push(CfEdge { from: me, to: case_node, kind: CfEdgeKind::CaseMatch });
+                if let Some(first) = c.body.first() {
+                    cf.edges.push(CfEdge { from: case_node, to: node_of(first), kind: CfEdgeKind::Seq });
+                }
+                seq_edges(&c.body, cf);
+                for st in &c.body {
+                    stmt_edges(st, cf);
+                }
+            }
+        }
+        Stmt::Try { block, handler, finalizer, .. } => {
+            if let Some(first) = block.first() {
+                cf.edges.push(CfEdge { from: me, to: node_of(first), kind: CfEdgeKind::Seq });
+            }
+            seq_edges(block, cf);
+            for st in block {
+                stmt_edges(st, cf);
+            }
+            if let Some(h) = handler {
+                let catch_node = CfNode { kind: NodeKind::CatchClause, span: h.span };
+                cf.node_count += 1;
+                cf.edges.push(CfEdge { from: me, to: catch_node, kind: CfEdgeKind::Exception });
+                if let Some(first) = h.body.first() {
+                    cf.edges.push(CfEdge {
+                        from: catch_node,
+                        to: node_of(first),
+                        kind: CfEdgeKind::Seq,
+                    });
+                }
+                seq_edges(&h.body, cf);
+                for st in &h.body {
+                    stmt_edges(st, cf);
+                }
+            }
+            if let Some(fin) = finalizer {
+                if let Some(first) = fin.first() {
+                    cf.edges.push(CfEdge { from: me, to: node_of(first), kind: CfEdgeKind::Finally });
+                }
+                seq_edges(fin, cf);
+                for st in fin {
+                    stmt_edges(st, cf);
+                }
+            }
+        }
+        Stmt::Throw { arg, .. } => expr_edges(arg, me, cf),
+        Stmt::Return { arg, .. } => {
+            if let Some(a) = arg {
+                expr_edges(a, me, cf);
+            }
+        }
+        Stmt::Labeled { body, .. } => {
+            cf.edges.push(CfEdge { from: me, to: node_of(body), kind: CfEdgeKind::Seq });
+            stmt_edges(body, cf);
+        }
+        Stmt::With { body, object, .. } => {
+            expr_edges(object, me, cf);
+            cf.edges.push(CfEdge { from: me, to: node_of(body), kind: CfEdgeKind::Seq });
+            stmt_edges(body, cf);
+        }
+        Stmt::Break { .. }
+        | Stmt::Continue { .. }
+        | Stmt::Empty { .. }
+        | Stmt::Debugger { .. } => {}
+    }
+}
+
+fn loop_edges(me: CfNode, body: &Stmt, cf: &mut ControlFlow) {
+    cf.edges.push(CfEdge { from: me, to: node_of(body), kind: CfEdgeKind::BranchTrue });
+    cf.edges.push(CfEdge { from: node_of(body), to: me, kind: CfEdgeKind::LoopBack });
+    stmt_edges(body, cf);
+}
+
+fn class_edges(c: &Class, cf: &mut ControlFlow) {
+    for m in &c.body {
+        if let ClassMemberValue::Method(f) = &m.value {
+            seq_edges(&f.body, cf);
+            for st in &f.body {
+                stmt_edges(st, cf);
+            }
+        }
+    }
+}
+
+/// Walks an expression looking for control-flow-relevant sub-expressions:
+/// `ConditionalExpression` (ternary branches) and nested function bodies.
+fn expr_edges(e: &Expr, enclosing: CfNode, cf: &mut ControlFlow) {
+    match e {
+        Expr::Conditional { test, consequent, alternate, .. } => {
+            let node = CfNode { kind: NodeKind::ConditionalExpression, span: e.span() };
+            cf.node_count += 1;
+            cf.edges.push(CfEdge { from: enclosing, to: node, kind: CfEdgeKind::Seq });
+            expr_edges(test, node, cf);
+            cf.edges.push(CfEdge {
+                from: node,
+                to: CfNode { kind: NodeKind::ConditionalExpression, span: consequent.span() },
+                kind: CfEdgeKind::BranchTrue,
+            });
+            cf.edges.push(CfEdge {
+                from: node,
+                to: CfNode { kind: NodeKind::ConditionalExpression, span: alternate.span() },
+                kind: CfEdgeKind::BranchFalse,
+            });
+            expr_edges(consequent, node, cf);
+            expr_edges(alternate, node, cf);
+        }
+        Expr::Function(f) => {
+            seq_edges(&f.body, cf);
+            for st in &f.body {
+                stmt_edges(st, cf);
+            }
+        }
+        Expr::Arrow { body, .. } => match body {
+            ArrowBody::Expr(inner) => expr_edges(inner, enclosing, cf),
+            ArrowBody::Block(stmts) => {
+                seq_edges(stmts, cf);
+                for st in stmts {
+                    stmt_edges(st, cf);
+                }
+            }
+        },
+        Expr::Class(c) => class_edges(c, cf),
+        Expr::Array { elements, .. } => {
+            for el in elements.iter().flatten() {
+                expr_edges(el, enclosing, cf);
+            }
+        }
+        Expr::Object { props, .. } => {
+            for p in props {
+                expr_edges(&p.value, enclosing, cf);
+            }
+        }
+        Expr::Unary { arg, .. }
+        | Expr::Update { arg, .. }
+        | Expr::Spread { arg, .. }
+        | Expr::Await { arg, .. } => expr_edges(arg, enclosing, cf),
+        Expr::Binary { left, right, .. } | Expr::Logical { left, right, .. } => {
+            expr_edges(left, enclosing, cf);
+            expr_edges(right, enclosing, cf);
+        }
+        Expr::Assign { value, .. } => expr_edges(value, enclosing, cf),
+        Expr::Call { callee, args, .. } | Expr::New { callee, args, .. } => {
+            expr_edges(callee, enclosing, cf);
+            for a in args {
+                expr_edges(a, enclosing, cf);
+            }
+        }
+        Expr::Member { object, property, .. } => {
+            expr_edges(object, enclosing, cf);
+            if let MemberProp::Computed(p) = property {
+                expr_edges(p, enclosing, cf);
+            }
+        }
+        Expr::Sequence { exprs, .. } => {
+            for ex in exprs {
+                expr_edges(ex, enclosing, cf);
+            }
+        }
+        Expr::Template { exprs, .. } => {
+            for ex in exprs {
+                expr_edges(ex, enclosing, cf);
+            }
+        }
+        Expr::TaggedTemplate { tag, exprs, .. } => {
+            expr_edges(tag, enclosing, cf);
+            for ex in exprs {
+                expr_edges(ex, enclosing, cf);
+            }
+        }
+        Expr::Yield { arg: Some(a), .. } => expr_edges(a, enclosing, cf),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsdetect_parser::parse;
+
+    fn cfg(src: &str) -> ControlFlow {
+        build_cfg(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn sequence_edges_between_siblings() {
+        let cf = cfg("a(); b(); c();");
+        assert_eq!(cf.count(CfEdgeKind::Seq), 2);
+    }
+
+    #[test]
+    fn if_has_branch_edges() {
+        let cf = cfg("if (x) a(); else b();");
+        assert_eq!(cf.count(CfEdgeKind::BranchTrue), 1);
+        assert_eq!(cf.count(CfEdgeKind::BranchFalse), 1);
+    }
+
+    #[test]
+    fn if_without_else_has_only_true_branch() {
+        let cf = cfg("if (x) a();");
+        assert_eq!(cf.count(CfEdgeKind::BranchTrue), 1);
+        assert_eq!(cf.count(CfEdgeKind::BranchFalse), 0);
+    }
+
+    #[test]
+    fn loops_have_back_edges() {
+        for src in [
+            "while (x) f();",
+            "do f(); while (x);",
+            "for (;;) f();",
+            "for (k in o) f();",
+            "for (k of o) f();",
+        ] {
+            let cf = cfg(src);
+            assert_eq!(cf.count(CfEdgeKind::LoopBack), 1, "no back edge in {:?}", src);
+        }
+    }
+
+    #[test]
+    fn switch_cases_get_match_edges() {
+        let cf = cfg("switch (x) { case 1: a(); case 2: b(); default: c(); }");
+        assert_eq!(cf.count(CfEdgeKind::CaseMatch), 3);
+    }
+
+    #[test]
+    fn try_catch_has_exception_edge() {
+        let cf = cfg("try { f(); } catch (e) { g(); } finally { h(); }");
+        assert_eq!(cf.count(CfEdgeKind::Exception), 1);
+        assert_eq!(cf.count(CfEdgeKind::Finally), 1);
+    }
+
+    #[test]
+    fn ternary_contributes_branches() {
+        let cf = cfg("x = a ? b : c;");
+        assert_eq!(cf.count(CfEdgeKind::BranchTrue), 1);
+        assert_eq!(cf.count(CfEdgeKind::BranchFalse), 1);
+    }
+
+    #[test]
+    fn function_bodies_are_traversed() {
+        let cf = cfg("function f() { if (x) a(); }");
+        assert_eq!(cf.count(CfEdgeKind::BranchTrue), 1);
+    }
+
+    #[test]
+    fn flattened_switch_shape_has_many_edges() {
+        // Control-flow-flattened code: while(true) + switch = lots of edges.
+        let cf = cfg(
+            "while (true) { switch (s) { case 0: a(); s = 2; break; case 1: b(); s = 3; break; case 2: c(); s = 1; break; case 3: return; } }",
+        );
+        assert!(cf.count(CfEdgeKind::CaseMatch) >= 4);
+        assert_eq!(cf.count(CfEdgeKind::LoopBack), 1);
+    }
+}

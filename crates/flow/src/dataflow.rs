@@ -1,0 +1,170 @@
+//! Data-flow edges between `Identifier` nodes.
+//!
+//! Per the paper (§III-A): "there is a data flow between two `Identifier`
+//! nodes if and only if a variable is defined at the source node and used
+//! at the destination node." We build flow-insensitive def→use edges from
+//! the scope analysis: every write/declaration of a binding flows to every
+//! read of the same binding.
+//!
+//! The paper aborts data-flow generation after a two-minute timeout and
+//! falls back to the control-flow-only graph; we mirror that with a node
+//! budget ([`DataFlowOptions::max_refs`]) so behaviour is deterministic.
+
+use crate::scope::{RefKind, ScopeTree};
+use jsdetect_ast::Span;
+
+/// Options bounding data-flow construction.
+#[derive(Debug, Clone)]
+pub struct DataFlowOptions {
+    /// Maximum number of references to process before giving up (the
+    /// deterministic stand-in for the paper's two-minute timeout). The
+    /// quadratic def×use pairing is also capped per binding.
+    pub max_refs: usize,
+    /// Maximum def→use pairs recorded per binding.
+    pub max_pairs_per_binding: usize,
+}
+
+impl Default for DataFlowOptions {
+    fn default() -> Self {
+        DataFlowOptions { max_refs: 200_000, max_pairs_per_binding: 4_096 }
+    }
+}
+
+/// A def→use edge between two identifier occurrences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfEdge {
+    /// Span of the defining identifier occurrence.
+    pub def: Span,
+    /// Span of the using identifier occurrence.
+    pub use_: Span,
+    /// Binding the edge belongs to.
+    pub binding: usize,
+}
+
+/// The data-flow layer of the program graph.
+#[derive(Debug, Clone, Default)]
+pub struct DataFlow {
+    /// All def→use edges.
+    pub edges: Vec<DfEdge>,
+    /// `false` if construction hit the budget and the graph is partial
+    /// (the paper's timeout fallback).
+    pub complete: bool,
+}
+
+/// Builds def→use edges from a scope analysis.
+pub fn build_dataflow(scopes: &ScopeTree, opts: &DataFlowOptions) -> DataFlow {
+    let mut df = DataFlow { edges: Vec::new(), complete: true };
+    if scopes.references().len() > opts.max_refs {
+        df.complete = false;
+        return df;
+    }
+    // Group reference indices by binding.
+    let n_bindings = scopes.bindings().len();
+    let mut defs: Vec<Vec<Span>> = vec![Vec::new(); n_bindings];
+    let mut uses: Vec<Vec<Span>> = vec![Vec::new(); n_bindings];
+    for r in scopes.references() {
+        if let Some(b) = r.binding {
+            match r.kind {
+                RefKind::Read => uses[b].push(r.span),
+                RefKind::Write => defs[b].push(r.span),
+                RefKind::ReadWrite => {
+                    defs[b].push(r.span);
+                    uses[b].push(r.span);
+                }
+            }
+        }
+    }
+    for (b, binding) in scopes.bindings().iter().enumerate() {
+        // The declaration site itself is a def.
+        let mut def_sites = defs[b].clone();
+        if def_sites.is_empty() {
+            def_sites.push(binding.decl_span);
+        }
+        let mut pairs = 0usize;
+        'outer: for d in &def_sites {
+            for u in &uses[b] {
+                if d == u {
+                    continue; // a ReadWrite site does not flow to itself
+                }
+                df.edges.push(DfEdge { def: *d, use_: *u, binding: b });
+                pairs += 1;
+                if pairs >= opts.max_pairs_per_binding {
+                    df.complete = false;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::analyze_scopes;
+    use jsdetect_parser::parse;
+
+    fn df(src: &str) -> (DataFlow, ScopeTree) {
+        let prog = parse(src).unwrap();
+        let scopes = analyze_scopes(&prog);
+        let df = build_dataflow(&scopes, &DataFlowOptions::default());
+        (df, scopes)
+    }
+
+    #[test]
+    fn def_flows_to_use() {
+        let (d, _) = df("var x = 1; f(x);");
+        assert_eq!(d.edges.len(), 1);
+        assert!(d.complete);
+    }
+
+    #[test]
+    fn multiple_uses_multiple_edges() {
+        let (d, _) = df("var x = 1; f(x); g(x); h(x);");
+        assert_eq!(d.edges.len(), 3);
+    }
+
+    #[test]
+    fn reassignment_adds_defs() {
+        let (d, _) = df("var x = 1; x = 2; f(x);");
+        // Two defs × one use (flow-insensitive).
+        assert_eq!(d.edges.len(), 2);
+    }
+
+    #[test]
+    fn unused_variable_has_no_edges() {
+        let (d, _) = df("var lonely = 1;");
+        assert!(d.edges.is_empty());
+    }
+
+    #[test]
+    fn globals_do_not_produce_edges() {
+        let (d, _) = df("console.log(window);");
+        assert!(d.edges.is_empty());
+    }
+
+    #[test]
+    fn budget_marks_incomplete() {
+        let prog = parse("var x = 1; f(x);").unwrap();
+        let scopes = analyze_scopes(&prog);
+        let d = build_dataflow(&scopes, &DataFlowOptions { max_refs: 0, max_pairs_per_binding: 10 });
+        assert!(!d.complete);
+        assert!(d.edges.is_empty());
+    }
+
+    #[test]
+    fn pair_budget_truncates() {
+        // 3 defs × 3 uses = 9 pairs; cap at 4.
+        let src = "var x = 1; x = 2; x = 3; f(x); g(x); h(x);";
+        let prog = parse(src).unwrap();
+        let scopes = analyze_scopes(&prog);
+        let d = build_dataflow(
+            &scopes,
+            &DataFlowOptions { max_refs: 1000, max_pairs_per_binding: 4 },
+        );
+        assert!(!d.complete);
+        assert_eq!(d.edges.len(), 4);
+    }
+
+    use crate::scope::ScopeTree;
+}

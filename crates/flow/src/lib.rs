@@ -1,0 +1,84 @@
+//! Control- and data-flow enrichment of the JavaScript AST.
+//!
+//! This crate reproduces the JSTAP-style graph layer the paper builds on
+//! top of Esprima's AST (§III-A): scope-aware identifier resolution,
+//! control-flow edges restricted to statement-level nodes (plus
+//! `CatchClause`, `SwitchCase`, and `ConditionalExpression`), and def→use
+//! data-flow edges between `Identifier` nodes. The paper's two-minute
+//! data-flow timeout is mirrored by a deterministic node budget.
+//!
+//! # Examples
+//!
+//! ```
+//! use jsdetect_parser::parse;
+//! use jsdetect_flow::analyze;
+//!
+//! let prog = parse("var x = 1; if (x) f(x);").unwrap();
+//! let graph = analyze(&prog);
+//! assert!(graph.dataflow.complete);
+//! assert_eq!(graph.dataflow.edges.len(), 2); // x flows to `if (x)` and `f(x)`
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cfg;
+mod dataflow;
+mod scope;
+
+pub use cfg::{build_cfg, CfEdge, CfEdgeKind, CfNode, ControlFlow};
+pub use dataflow::{build_dataflow, DataFlow, DataFlowOptions, DfEdge};
+pub use scope::{
+    analyze_scopes, classify_def_value, Binding, BindingId, BindingKind, DefValueKind,
+    RefKind, Reference, Scope, ScopeId, ScopeKind, ScopeTree,
+};
+
+use jsdetect_ast::Program;
+
+/// The fully enriched program graph: scopes + control flow + data flow.
+#[derive(Debug, Clone)]
+pub struct ProgramGraph {
+    /// Scope tree with bindings and references.
+    pub scopes: ScopeTree,
+    /// Control-flow edges.
+    pub control_flow: ControlFlow,
+    /// Data-flow (def→use) edges.
+    pub dataflow: DataFlow,
+}
+
+/// Analyzes a program with default options.
+pub fn analyze(program: &Program) -> ProgramGraph {
+    analyze_with(program, &DataFlowOptions::default())
+}
+
+/// Analyzes a program with explicit data-flow budgets.
+pub fn analyze_with(program: &Program, opts: &DataFlowOptions) -> ProgramGraph {
+    let scopes = analyze_scopes(program);
+    let control_flow = build_cfg(program);
+    let dataflow = build_dataflow(&scopes, opts);
+    ProgramGraph { scopes, control_flow, dataflow }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsdetect_parser::parse;
+
+    #[test]
+    fn analyze_with_zero_budget_is_partial() {
+        let prog = parse("var x = 1; f(x);").unwrap();
+        let g = analyze_with(&prog, &DataFlowOptions { max_refs: 0, max_pairs_per_binding: 1 });
+        assert!(!g.dataflow.complete);
+        // Control flow and scopes are still available (the paper's
+        // two-minute-timeout fallback keeps the CF-enhanced AST).
+        assert!(!g.scopes.bindings().is_empty());
+    }
+
+    #[test]
+    fn program_graph_is_cloneable_and_debuggable() {
+        let prog = parse("if (a) { b(); } else { c(); }").unwrap();
+        let g = analyze(&prog);
+        let g2 = g.clone();
+        assert_eq!(format!("{:?}", g.control_flow.node_count), format!("{:?}", g2.control_flow.node_count));
+    }
+}

@@ -1,0 +1,762 @@
+//! The scanner: turns source text into [`Token`]s.
+
+use crate::token::{Comment, Kw, Punct, Token, TokenKind};
+use jsdetect_ast::Span;
+use std::fmt;
+
+/// A lexical error with its byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset where the error occurred.
+    pub pos: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// On-demand lexer over a source string.
+///
+/// The parser drives the lexer, supplying context for the two ambiguities a
+/// JavaScript tokenizer cannot resolve alone: whether `/` begins a regular
+/// expression ([`Lexer::next_token`]'s `regex_allowed`) and whether `}`
+/// continues a template literal ([`Lexer::continue_template`]).
+#[derive(Debug)]
+pub struct Lexer<'s> {
+    src: &'s str,
+    pos: usize,
+    comments: Vec<Comment>,
+}
+
+impl<'s> Lexer<'s> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'s str) -> Self {
+        Lexer { src, pos: 0, comments: Vec::new() }
+    }
+
+    /// Comments encountered so far.
+    pub fn comments(&self) -> &[Comment] {
+        &self.comments
+    }
+
+    /// Consumes the lexer, returning all comments encountered.
+    pub fn into_comments(self) -> Vec<Comment> {
+        self.comments
+    }
+
+    /// Current byte position.
+    pub fn pos(&self) -> u32 {
+        self.pos as u32
+    }
+
+    /// Resets the byte position (used by the parser for backtracking).
+    pub fn set_pos(&mut self, pos: u32) {
+        self.pos = pos as usize;
+    }
+
+    /// Number of comments recorded so far (used with
+    /// [`Lexer::truncate_comments`] for backtracking).
+    pub fn comments_len(&self) -> usize {
+        self.comments.len()
+    }
+
+    /// Drops comments recorded past `len` (parser backtracking).
+    pub fn truncate_comments(&mut self, len: usize) {
+        self.comments.truncate(len);
+    }
+
+    /// Re-lexes a token that began at `start` as a regular-expression
+    /// literal. Used by the parser when it knows a `/` or `/=` token sits
+    /// at an expression-start position.
+    pub fn rescan_regex(&mut self, start: u32, newline_before: bool) -> Result<Token, LexError> {
+        self.pos = start as usize;
+        debug_assert_eq!(self.peek(), Some(b'/'));
+        let kind = self.lex_regex()?;
+        Ok(Token { kind, span: Span::new(start, self.pos as u32), newline_before })
+    }
+
+    fn bytes(&self) -> &[u8] {
+        self.src.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes().get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump_char(&mut self) -> Option<char> {
+        let c = self.peek_char()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError { msg: msg.into(), pos: self.pos as u32 }
+    }
+
+    /// Skips whitespace and comments; returns whether a line terminator was
+    /// crossed.
+    fn skip_trivia(&mut self) -> Result<bool, LexError> {
+        let mut newline = false;
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(0x0b) | Some(0x0c) => {
+                    self.pos += 1;
+                }
+                Some(b'\n') => {
+                    newline = true;
+                    self.pos += 1;
+                }
+                Some(b'\r') => {
+                    newline = true;
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' || b == b'\r' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    self.comments.push(Comment {
+                        span: Span::new(start as u32, self.pos as u32),
+                        block: false,
+                    });
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.err("unterminated block comment")),
+                            Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(b'\n') | Some(b'\r') => {
+                                newline = true;
+                                self.pos += 1;
+                            }
+                            _ => {
+                                self.pos += 1;
+                            }
+                        }
+                    }
+                    self.comments.push(Comment {
+                        span: Span::new(start as u32, self.pos as u32),
+                        block: true,
+                    });
+                }
+                Some(b) if b >= 0x80 => {
+                    // Unicode whitespace / line separators.
+                    let c = self.peek_char().unwrap();
+                    if c == '\u{2028}' || c == '\u{2029}' {
+                        newline = true;
+                        self.pos += c.len_utf8();
+                    } else if c.is_whitespace() {
+                        self.pos += c.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(newline)
+    }
+
+    /// Lexes the next token. `regex_allowed` tells the scanner whether a
+    /// leading `/` starts a regular expression (true) or a division
+    /// operator (false).
+    pub fn next_token(&mut self, regex_allowed: bool) -> Result<Token, LexError> {
+        let newline_before = self.skip_trivia()?;
+        let start = self.pos as u32;
+        let kind = match self.peek() {
+            None => TokenKind::Eof,
+            Some(b) => match b {
+                b'0'..=b'9' => self.lex_number()?,
+                b'"' | b'\'' => self.lex_string()?,
+                b'`' => self.lex_template_start()?,
+                b'/' if regex_allowed => self.lex_regex()?,
+                c if is_ident_start_byte(c) => self.lex_ident()?,
+                _ if b >= 0x80 => {
+                    let c = self.peek_char().unwrap();
+                    if is_ident_start_char(c) {
+                        self.lex_ident()?
+                    } else {
+                        return Err(self.err(format!("unexpected character `{}`", c)));
+                    }
+                }
+                b'.' if matches!(self.peek_at(1), Some(b'0'..=b'9')) => self.lex_number()?,
+                _ => self.lex_punct()?,
+            },
+        };
+        Ok(Token { kind, span: Span::new(start, self.pos as u32), newline_before })
+    }
+
+    /// Re-lexes a `}` (whose token started at `rbrace_start`) as a template
+    /// continuation, producing a `TemplateMiddle` or `TemplateTail` token.
+    pub fn continue_template(&mut self, rbrace_start: u32) -> Result<Token, LexError> {
+        self.pos = rbrace_start as usize;
+        debug_assert_eq!(self.peek(), Some(b'}'));
+        self.pos += 1; // consume `}`
+        let start = rbrace_start;
+        let (cooked, raw, is_tail) = self.scan_template_chars()?;
+        let kind = if is_tail {
+            TokenKind::TemplateTail { cooked, raw }
+        } else {
+            TokenKind::TemplateMiddle { cooked, raw }
+        };
+        Ok(Token { kind, span: Span::new(start, self.pos as u32), newline_before: false })
+    }
+
+    fn lex_ident(&mut self) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        let mut has_escape = false;
+        let mut name = String::new();
+        loop {
+            match self.peek() {
+                Some(b'\\') if self.peek_at(1) == Some(b'u') => {
+                    has_escape = true;
+                    self.pos += 2;
+                    let c = self.lex_unicode_escape_body()?;
+                    name.push(c);
+                }
+                Some(b) if is_ident_part_byte(b) => {
+                    name.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) if b >= 0x80 => {
+                    let c = self.peek_char().unwrap();
+                    if is_ident_part_char(c) {
+                        name.push(c);
+                        self.pos += c.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if name.is_empty() {
+            self.pos = start;
+            return Err(self.err("empty identifier"));
+        }
+        if !has_escape {
+            if let Some(kw) = Kw::lookup(&name) {
+                return Ok(TokenKind::Keyword(kw));
+            }
+        }
+        Ok(TokenKind::Ident(name))
+    }
+
+    fn lex_unicode_escape_body(&mut self) -> Result<char, LexError> {
+        // Positioned after `\u`.
+        if self.peek() == Some(b'{') {
+            self.pos += 1;
+            let mut v: u32 = 0;
+            let mut digits = 0;
+            while let Some(b) = self.peek() {
+                if b == b'}' {
+                    break;
+                }
+                let d = (b as char).to_digit(16).ok_or_else(|| self.err("bad unicode escape"))?;
+                v = v.wrapping_mul(16).wrapping_add(d);
+                digits += 1;
+                self.pos += 1;
+            }
+            if self.peek() != Some(b'}') || digits == 0 {
+                return Err(self.err("unterminated unicode escape"));
+            }
+            self.pos += 1;
+            char::from_u32(v).ok_or_else(|| self.err("invalid code point"))
+        } else {
+            let mut v: u32 = 0;
+            for _ in 0..4 {
+                let b = self.peek().ok_or_else(|| self.err("truncated unicode escape"))?;
+                let d = (b as char).to_digit(16).ok_or_else(|| self.err("bad unicode escape"))?;
+                v = v * 16 + d;
+                self.pos += 1;
+            }
+            char::from_u32(v).ok_or_else(|| self.err("invalid code point"))
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        let b0 = self.peek().unwrap();
+        if b0 == b'0' {
+            match self.peek_at(1) {
+                Some(b'x') | Some(b'X') => return self.lex_radix_number(16, 2),
+                Some(b'o') | Some(b'O') => return self.lex_radix_number(8, 2),
+                Some(b'b') | Some(b'B') => return self.lex_radix_number(2, 2),
+                Some(b'0'..=b'7') => {
+                    // Legacy octal: 0123. If it contains 8/9 it is decimal.
+                    let mut p = self.pos + 1;
+                    let mut octal = true;
+                    while let Some(&d) = self.bytes().get(p) {
+                        match d {
+                            b'0'..=b'7' => p += 1,
+                            b'8' | b'9' => {
+                                octal = false;
+                                p += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    // A trailing `.` or exponent makes it decimal.
+                    if octal && !matches!(self.bytes().get(p), Some(b'.') | Some(b'e') | Some(b'E'))
+                    {
+                        self.pos += 1;
+                        return self.lex_radix_number(8, 0);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Decimal: integer part, optional fraction, optional exponent.
+        let mut saw_digit = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    saw_digit = true;
+                    self.pos += 1;
+                }
+                b'_' => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while let Some(b) = self.peek() {
+                match b {
+                    b'0'..=b'9' => {
+                        saw_digit = true;
+                        self.pos += 1;
+                    }
+                    b'_' => {
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        if !saw_digit {
+            return Err(self.err("malformed number"));
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            let mut exp_digits = false;
+            while let Some(b'0'..=b'9') = self.peek() {
+                exp_digits = true;
+                self.pos += 1;
+            }
+            if !exp_digits {
+                self.pos = save;
+            }
+        }
+        if self.peek() == Some(b'n') {
+            // BigInt suffix; value kept as f64 approximation.
+            self.pos += 1;
+            let text: String =
+                self.src[start..self.pos - 1].chars().filter(|c| *c != '_').collect();
+            let v = text.parse::<f64>().map_err(|_| self.err("malformed number"))?;
+            return Ok(TokenKind::Num(v));
+        }
+        let text: String = self.src[start..self.pos].chars().filter(|c| *c != '_').collect();
+        let v = text.parse::<f64>().map_err(|_| self.err("malformed number"))?;
+        Ok(TokenKind::Num(v))
+    }
+
+    /// Lexes a radix-prefixed integer; `skip` bytes of prefix are consumed
+    /// first (`0x` → 2; legacy octal passes 0 with `pos` already past `0`).
+    fn lex_radix_number(&mut self, radix: u32, skip: usize) -> Result<TokenKind, LexError> {
+        self.pos += skip;
+        let mut v: f64 = 0.0;
+        let mut digits = 0;
+        while let Some(b) = self.peek() {
+            if b == b'_' {
+                self.pos += 1;
+                continue;
+            }
+            match (b as char).to_digit(radix) {
+                Some(d) => {
+                    v = v * radix as f64 + d as f64;
+                    digits += 1;
+                    self.pos += 1;
+                }
+                None => break,
+            }
+        }
+        if digits == 0 {
+            return Err(self.err("missing digits in number"));
+        }
+        if self.peek() == Some(b'n') {
+            self.pos += 1;
+        }
+        Ok(TokenKind::Num(v))
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, LexError> {
+        let quote = self.bump().unwrap();
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'\n') | Some(b'\r') => {
+                    return Err(self.err("unterminated string literal"))
+                }
+                Some(b) if b == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.lex_escape_into(&mut value)?;
+                }
+                Some(b) if b < 0x80 => {
+                    value.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let c = self.bump_char().unwrap();
+                    value.push(c);
+                }
+            }
+        }
+        Ok(TokenKind::Str(value))
+    }
+
+    fn lex_escape_into(&mut self, out: &mut String) -> Result<(), LexError> {
+        let c = self.bump_char().ok_or_else(|| self.err("truncated escape"))?;
+        match c {
+            'n' => out.push('\n'),
+            't' => out.push('\t'),
+            'r' => out.push('\r'),
+            'b' => out.push('\u{8}'),
+            'f' => out.push('\u{c}'),
+            'v' => out.push('\u{b}'),
+            '0' if !matches!(self.peek(), Some(b'0'..=b'9')) => out.push('\0'),
+            'x' => {
+                let mut v = 0u32;
+                for _ in 0..2 {
+                    let b = self.peek().ok_or_else(|| self.err("truncated hex escape"))?;
+                    let d =
+                        (b as char).to_digit(16).ok_or_else(|| self.err("bad hex escape"))?;
+                    v = v * 16 + d;
+                    self.pos += 1;
+                }
+                out.push(char::from_u32(v).unwrap());
+            }
+            'u' => {
+                let c = self.lex_unicode_escape_body()?;
+                out.push(c);
+            }
+            '\n' => {}
+            '\r' => {
+                if self.peek() == Some(b'\n') {
+                    self.pos += 1;
+                }
+            }
+            '0'..='7' => {
+                // Legacy octal escape: up to 3 octal digits.
+                let mut v = c.to_digit(8).unwrap();
+                for _ in 0..2 {
+                    match self.peek() {
+                        Some(b @ b'0'..=b'7') if v * 8 + ((b - b'0') as u32) <= 255 => {
+                            v = v * 8 + (b - b'0') as u32;
+                            self.pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                out.push(char::from_u32(v).unwrap());
+            }
+            other => out.push(other),
+        }
+        Ok(())
+    }
+
+    fn lex_template_start(&mut self) -> Result<TokenKind, LexError> {
+        self.pos += 1; // backtick
+        let (cooked, raw, is_tail) = self.scan_template_chars()?;
+        Ok(if is_tail {
+            TokenKind::TemplateNoSub { cooked, raw }
+        } else {
+            TokenKind::TemplateHead { cooked, raw }
+        })
+    }
+
+    /// Scans template characters until `` ` `` (tail) or `${` (head/middle).
+    /// Returns `(cooked, raw, is_tail)`.
+    fn scan_template_chars(&mut self) -> Result<(String, String, bool), LexError> {
+        let raw_start = self.pos;
+        let mut cooked = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated template literal")),
+                Some(b'`') => {
+                    let raw = self.src[raw_start..self.pos].to_string();
+                    self.pos += 1;
+                    return Ok((cooked, raw, true));
+                }
+                Some(b'$') if self.peek_at(1) == Some(b'{') => {
+                    let raw = self.src[raw_start..self.pos].to_string();
+                    self.pos += 2;
+                    return Ok((cooked, raw, false));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.lex_escape_into(&mut cooked)?;
+                }
+                Some(b) if b < 0x80 => {
+                    cooked.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let c = self.bump_char().unwrap();
+                    cooked.push(c);
+                }
+            }
+        }
+    }
+
+    fn lex_regex(&mut self) -> Result<TokenKind, LexError> {
+        self.pos += 1; // leading slash
+        let pat_start = self.pos;
+        let mut in_class = false;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated regex literal")),
+                Some(b'\n') | Some(b'\r') => {
+                    return Err(self.err("unterminated regex literal"))
+                }
+                Some(b'\\') => {
+                    // Consume the backslash plus one full (possibly
+                    // multi-byte) escaped character.
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(b'\n') | Some(b'\r')) {
+                        return Err(self.err("unterminated regex literal"));
+                    }
+                    self.bump_char();
+                }
+                Some(b'[') => {
+                    in_class = true;
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    in_class = false;
+                    self.pos += 1;
+                }
+                Some(b'/') if !in_class => break,
+                Some(b) if b < 0x80 => {
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    self.bump_char();
+                }
+            }
+        }
+        let pattern = self.src[pat_start..self.pos].to_string();
+        self.pos += 1; // closing slash
+        let flag_start = self.pos;
+        while let Some(b) = self.peek() {
+            if is_ident_part_byte(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let flags = self.src[flag_start..self.pos].to_string();
+        Ok(TokenKind::Regex { pattern, flags })
+    }
+
+    fn lex_punct(&mut self) -> Result<TokenKind, LexError> {
+        use Punct::*;
+        let rest = &self.bytes()[self.pos..];
+        // Longest-match over multi-byte punctuators.
+        const TABLE: &[(&[u8], Punct)] = &[
+            (b">>>=", UShrEq),
+            (b"...", Ellipsis),
+            (b"===", EqEqEq),
+            (b"!==", NotEqEq),
+            (b"**=", StarStarEq),
+            (b"<<=", ShlEq),
+            (b">>=", ShrEq),
+            (b">>>", UShr),
+            (b"&&=", AmpAmpEq),
+            (b"||=", PipePipeEq),
+            (b"??=", QuestionQuestionEq),
+            (b"=>", Arrow),
+            (b"==", EqEq),
+            (b"!=", NotEq),
+            (b"<=", LtEq),
+            (b">=", GtEq),
+            (b"&&", AmpAmp),
+            (b"||", PipePipe),
+            (b"??", QuestionQuestion),
+            (b"++", PlusPlus),
+            (b"--", MinusMinus),
+            (b"+=", PlusEq),
+            (b"-=", MinusEq),
+            (b"*=", StarEq),
+            (b"/=", SlashEq),
+            (b"%=", PercentEq),
+            (b"&=", AmpEq),
+            (b"|=", PipeEq),
+            (b"^=", CaretEq),
+            (b"**", StarStar),
+            (b"<<", Shl),
+            (b">>", Shr),
+            (b"?.", OptionalChain),
+            (b"(", LParen),
+            (b")", RParen),
+            (b"[", LBracket),
+            (b"]", RBracket),
+            (b"{", LBrace),
+            (b"}", RBrace),
+            (b";", Semi),
+            (b",", Comma),
+            (b".", Dot),
+            (b":", Colon),
+            (b"?", Question),
+            (b"+", Plus),
+            (b"-", Minus),
+            (b"*", Star),
+            (b"/", Slash),
+            (b"%", Percent),
+            (b"<", Lt),
+            (b">", Gt),
+            (b"=", Eq),
+            (b"&", Amp),
+            (b"|", Pipe),
+            (b"^", Caret),
+            (b"!", Bang),
+            (b"~", Tilde),
+        ];
+        for (text, p) in TABLE {
+            if rest.starts_with(text) {
+                // `?.3` must lex as `?` then `.3` (optional chain cannot be
+                // followed by a digit).
+                if *p == OptionalChain && matches!(rest.get(2), Some(b'0'..=b'9')) {
+                    continue;
+                }
+                self.pos += text.len();
+                return Ok(TokenKind::Punct(*p));
+            }
+        }
+        Err(self.err(format!(
+            "unexpected character `{}`",
+            self.peek_char().map(String::from).unwrap_or_default()
+        )))
+    }
+}
+
+fn is_ident_start_byte(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'$' || b == b'_' || b == b'\\'
+}
+
+fn is_ident_part_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'$' || b == b'_'
+}
+
+fn is_ident_start_char(c: char) -> bool {
+    c.is_alphabetic() || c == '$' || c == '_'
+}
+
+fn is_ident_part_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '$' || c == '_' || c == '\u{200c}' || c == '\u{200d}'
+}
+
+/// Tokenizes an entire source string, applying the standard prev-token
+/// heuristic for regex-vs-division disambiguation.
+///
+/// Template substitutions are resolved with a brace-depth stack, so nested
+/// templates lex correctly. The returned vector always ends with an EOF
+/// token.
+///
+/// # Examples
+///
+/// ```
+/// use jsdetect_lexer::{tokenize, TokenKind};
+/// let tokens = tokenize("var x = 1;").unwrap();
+/// assert_eq!(tokens.len(), 6); // var x = 1 ; EOF
+/// assert!(matches!(tokens[3].kind, TokenKind::Num(n) if n == 1.0));
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    tokenize_with_comments(src).map(|(tokens, _)| tokens)
+}
+
+/// Tokenizes and also returns the comments.
+pub fn tokenize_with_comments(src: &str) -> Result<(Vec<Token>, Vec<Comment>), LexError> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens = Vec::new();
+    let mut regex_allowed = true;
+    // Brace-depth bookkeeping: when a `}` closes a template substitution we
+    // must re-lex it as a template continuation.
+    let mut brace_stack: Vec<bool> = Vec::new(); // true = template substitution
+    loop {
+        let tok = lexer.next_token(regex_allowed)?;
+        let tok = match &tok.kind {
+            TokenKind::Punct(Punct::LBrace) => {
+                brace_stack.push(false);
+                tok
+            }
+            TokenKind::Punct(Punct::RBrace) => {
+                if brace_stack.pop() == Some(true) {
+                    let cont = lexer.continue_template(tok.span.start)?;
+                    if matches!(cont.kind, TokenKind::TemplateMiddle { .. }) {
+                        brace_stack.push(true);
+                    }
+                    cont
+                } else {
+                    tok
+                }
+            }
+            TokenKind::TemplateHead { .. } => {
+                brace_stack.push(true);
+                tok
+            }
+            _ => tok,
+        };
+        regex_allowed = tok.kind.allows_regex_after();
+        let eof = tok.is_eof();
+        tokens.push(tok);
+        if eof {
+            if brace_stack.contains(&true) {
+                return Err(LexError {
+                    msg: "unterminated template substitution".into(),
+                    pos: lexer.pos(),
+                });
+            }
+            break;
+        }
+    }
+    Ok((tokens, lexer.into_comments()))
+}

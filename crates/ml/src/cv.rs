@@ -1,0 +1,113 @@
+//! K-fold cross-validation (the paper's validation methodology, §III-D3:
+//! model selection over off-the-shelf systems on a dedicated split).
+
+use crate::multilabel::{BaseParams, MultiLabel, Strategy};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministically shuffled k-fold index splits.
+///
+/// Every sample appears in exactly one validation fold; folds differ in
+/// size by at most one.
+pub fn k_folds(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least 2 folds");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, sample) in idx.into_iter().enumerate() {
+        folds[i % k].push(sample);
+    }
+    folds
+}
+
+/// Result of one cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// Mean exact-match (subset) accuracy across folds.
+    pub mean_exact_match: f64,
+    /// Per-fold exact-match accuracies.
+    pub fold_scores: Vec<f64>,
+}
+
+/// Cross-validates a multi-label configuration.
+///
+/// Trains on `k-1` folds and scores exact label-set accuracy on the held
+/// fold, for each fold in turn.
+pub fn cross_validate(
+    x: &[Vec<f32>],
+    labels: &[Vec<bool>],
+    strategy: Strategy,
+    base: &BaseParams,
+    k: usize,
+    seed: u64,
+) -> CvResult {
+    assert_eq!(x.len(), labels.len());
+    let folds = k_folds(x.len(), k, seed);
+    let mut fold_scores = Vec::with_capacity(k);
+    for held in &folds {
+        let held_set: std::collections::HashSet<usize> = held.iter().copied().collect();
+        let mut train_x = Vec::new();
+        let mut train_y = Vec::new();
+        for i in 0..x.len() {
+            if !held_set.contains(&i) {
+                train_x.push(x[i].clone());
+                train_y.push(labels[i].clone());
+            }
+        }
+        let model = MultiLabel::fit(&train_x, &train_y, strategy, base);
+        let mut ok = 0usize;
+        for &i in held {
+            if model.predict(&x[i]) == labels[i] {
+                ok += 1;
+            }
+        }
+        fold_scores.push(ok as f64 / held.len().max(1) as f64);
+    }
+    let mean = fold_scores.iter().sum::<f64>() / fold_scores.len().max(1) as f64;
+    CvResult { mean_exact_match: mean, fold_scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestParams;
+
+    #[test]
+    fn folds_partition_all_samples() {
+        let folds = k_folds(23, 5, 7);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn folds_deterministic_per_seed() {
+        assert_eq!(k_folds(40, 4, 1), k_folds(40, 4, 1));
+        assert_ne!(k_folds(40, 4, 1), k_folds(40, 4, 2));
+    }
+
+    #[test]
+    fn cv_scores_separable_data_highly() {
+        let mut x = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..120 {
+            let v = (i % 10) as f32;
+            x.push(vec![v, (i % 3) as f32]);
+            labels.push(vec![v > 4.5]);
+        }
+        let base = BaseParams::Forest(ForestParams { n_trees: 8, ..Default::default() });
+        let r = cross_validate(&x, &labels, Strategy::ClassifierChain, &base, 4, 3);
+        assert_eq!(r.fold_scores.len(), 4);
+        assert!(r.mean_exact_match > 0.9, "mean {}", r.mean_exact_match);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn single_fold_rejected() {
+        let _ = k_folds(10, 1, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Bagged random forests over CART trees.
+
+use crate::tree::{DecisionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Random-forest parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Bootstrap-sample the training set per tree.
+    pub bootstrap: bool,
+    /// Per-tree growing parameters.
+    pub tree: TreeParams,
+    /// Base RNG seed; tree `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams { n_trees: 32, bootstrap: true, tree: TreeParams::default(), seed: 0 }
+    }
+}
+
+/// A fitted random forest (binary classifier with probability output).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fits the forest; trees are trained in parallel with deterministic
+    /// per-tree seeds, so results are reproducible regardless of thread
+    /// scheduling.
+    pub fn fit(x: &[Vec<f32>], y: &[bool], params: &ForestParams) -> Self {
+        assert!(!x.is_empty(), "cannot fit a forest on an empty dataset");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let mut trees: Vec<Option<DecisionTree>> = vec![None; params.n_trees];
+        let chunk = params.n_trees.div_ceil(n_threads.max(1)).max(1);
+        crossbeam::thread::scope(|scope| {
+            for (t, slot_chunk) in trees.chunks_mut(chunk).enumerate() {
+                let base = t * chunk;
+                scope.spawn(move |_| {
+                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                        let i = base + off;
+                        let mut rng = StdRng::seed_from_u64(
+                            params.seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                        );
+                        let tree = if params.bootstrap {
+                            let (bx, by) = bootstrap_sample(x, y, &mut rng);
+                            DecisionTree::fit(&bx, &by, &params.tree, &mut rng)
+                        } else {
+                            DecisionTree::fit(x, y, &params.tree, &mut rng)
+                        };
+                        *slot = Some(tree);
+                    }
+                });
+            }
+        })
+        .expect("forest training threads panicked");
+        RandomForest { trees: trees.into_iter().map(Option::unwrap).collect() }
+    }
+
+    /// Mean positive-class probability across trees.
+    pub fn predict_proba(&self, row: &[f32]) -> f32 {
+        let sum: f32 = self.trees.iter().map(|t| t.predict_proba(row)).sum();
+        sum / self.trees.len() as f32
+    }
+
+    /// Hard prediction at the 0.5 threshold.
+    pub fn predict(&self, row: &[f32]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Split-frequency feature importances, normalized to sum to 1 (or all
+    /// zeros if no split exists). A simple, deterministic proxy for Gini
+    /// importance.
+    pub fn feature_importances(&self, n_features: usize) -> Vec<f64> {
+        let mut counts = vec![0u32; n_features];
+        for t in &self.trees {
+            t.accumulate_split_counts(&mut counts);
+        }
+        let total: u32 = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; n_features];
+        }
+        counts.into_iter().map(|c| c as f64 / total as f64).collect()
+    }
+}
+
+fn bootstrap_sample(
+    x: &[Vec<f32>],
+    y: &[bool],
+    rng: &mut StdRng,
+) -> (Vec<Vec<f32>>, Vec<bool>) {
+    let n = x.len();
+    let mut bx = Vec::with_capacity(n);
+    let mut by = Vec::with_capacity(n);
+    for _ in 0..n {
+        let i = rng.gen_range(0..n);
+        bx.push(x[i].clone());
+        by.push(y[i]);
+    }
+    (bx, by)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moons(n: usize) -> (Vec<Vec<f32>>, Vec<bool>) {
+        // Two offset half-rings, deterministic.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let t = (i as f32 / n as f32) * std::f32::consts::PI;
+            if i % 2 == 0 {
+                x.push(vec![t.cos(), t.sin()]);
+                y.push(false);
+            } else {
+                x.push(vec![1.0 - t.cos(), 0.5 - t.sin()]);
+                y.push(true);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        let (x, y) = moons(200);
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams { n_trees: 16, ..Default::default() },
+        );
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, yi)| forest.predict(xi) == **yi)
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.95, "{}/{}", correct, x.len());
+    }
+
+    #[test]
+    fn proba_in_unit_interval() {
+        let (x, y) = moons(60);
+        let forest =
+            RandomForest::fit(&x, &y, &ForestParams { n_trees: 8, ..Default::default() });
+        for xi in &x {
+            let p = forest.predict_proba(xi);
+            assert!((0.0..=1.0).contains(&p), "p={}", p);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (x, y) = moons(80);
+        let params = ForestParams { n_trees: 12, seed: 42, ..Default::default() };
+        let a = RandomForest::fit(&x, &y, &params);
+        let b = RandomForest::fit(&x, &y, &params);
+        for xi in x.iter().take(10) {
+            assert_eq!(a.predict_proba(xi), b.predict_proba(xi));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = moons(80);
+        let a = RandomForest::fit(&x, &y, &ForestParams { n_trees: 4, seed: 1, ..Default::default() });
+        let b = RandomForest::fit(&x, &y, &ForestParams { n_trees: 4, seed: 2, ..Default::default() });
+        let differs = x.iter().any(|xi| a.predict_proba(xi) != b.predict_proba(xi));
+        assert!(differs);
+    }
+
+    #[test]
+    fn n_trees_respected() {
+        let (x, y) = moons(40);
+        let forest =
+            RandomForest::fit(&x, &y, &ForestParams { n_trees: 7, ..Default::default() });
+        assert_eq!(forest.n_trees(), 7);
+    }
+
+    #[test]
+    fn feature_importances_identify_informative_features() {
+        // Feature 0 is informative, feature 1 is pure noise.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..120 {
+            let v = (i % 12) as f32;
+            x.push(vec![v, ((i * 7) % 5) as f32]);
+            y.push(v > 6.0);
+        }
+        let forest =
+            RandomForest::fit(&x, &y, &ForestParams { n_trees: 12, ..Default::default() });
+        let imp = forest.feature_importances(2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[1], "informative {} vs noise {}", imp[0], imp[1]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (x, y) = moons(40);
+        let forest =
+            RandomForest::fit(&x, &y, &ForestParams { n_trees: 4, ..Default::default() });
+        let json = serde_json::to_string(&forest).unwrap();
+        let back: RandomForest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.predict_proba(&x[0]), forest.predict_proba(&x[0]));
+    }
+}

@@ -1,0 +1,208 @@
+//! Evaluation metrics, including the paper's Top-k criterion (§III-E).
+
+/// Fraction of predictions equal to the ground truth.
+pub fn accuracy(pred: &[bool], truth: &[bool]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let ok = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    ok as f64 / pred.len() as f64
+}
+
+/// Exact-set accuracy for multi-label predictions: both the labels and
+/// their number must match (paper §III-E1).
+pub fn exact_match(pred: &[Vec<bool>], truth: &[Vec<bool>]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let ok = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    ok as f64 / pred.len() as f64
+}
+
+/// Precision, recall, and F1 of the positive class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    /// Positive predictive value.
+    pub precision: f64,
+    /// True-positive rate.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes precision/recall/F1 for binary predictions.
+pub fn prf(pred: &[bool], truth: &[bool]) -> Prf {
+    assert_eq!(pred.len(), truth.len());
+    let tp = pred.iter().zip(truth).filter(|(p, t)| **p && **t).count() as f64;
+    let fp = pred.iter().zip(truth).filter(|(p, t)| **p && !**t).count() as f64;
+    let fne = pred.iter().zip(truth).filter(|(p, t)| !**p && **t).count() as f64;
+    let precision = if tp + fp == 0.0 { 0.0 } else { tp / (tp + fp) };
+    let recall = if tp + fne == 0.0 { 0.0 } else { tp / (tp + fne) };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    Prf { precision, recall, f1 }
+}
+
+/// Indices of the `k` highest-probability labels (ties broken by index).
+pub fn top_k_indices(probs: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..probs.len()).collect();
+    idx.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap().then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// The paper's Top-k criterion: the prediction is correct when the `k`
+/// most probable labels are all part of the ground-truth label set
+/// (§III-E1).
+pub fn top_k_correct(probs: &[f32], truth: &[bool], k: usize) -> bool {
+    top_k_indices(probs, k).iter().all(|&i| truth[i])
+}
+
+/// Top-k accuracy over a set of samples.
+pub fn top_k_accuracy(probs: &[Vec<f32>], truth: &[Vec<bool>], k: usize) -> f64 {
+    assert_eq!(probs.len(), truth.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let ok = probs.iter().zip(truth).filter(|(p, t)| top_k_correct(p, t, k)).count();
+    ok as f64 / probs.len() as f64
+}
+
+/// Labels selected by the thresholded Top-k rule of §III-E2: the `k` most
+/// probable labels, keeping only those with probability above `threshold`.
+pub fn thresholded_top_k(probs: &[f32], k: usize, threshold: f32) -> Vec<usize> {
+    top_k_indices(probs, k).into_iter().filter(|&i| probs[i] > threshold).collect()
+}
+
+/// Wrong (predicted ∉ truth) and missing (truth ∉ predicted) label counts
+/// for one thresholded prediction.
+pub fn wrong_and_missing(selected: &[usize], truth: &[bool]) -> (usize, usize) {
+    let wrong = selected.iter().filter(|&&i| !truth[i]).count();
+    let n_truth = truth.iter().filter(|&&t| t).count();
+    let hit = selected.iter().filter(|&&i| truth[i]).count();
+    (wrong, n_truth.saturating_sub(hit))
+}
+
+/// Aggregate thresholded-Top-k statistics over a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKStats {
+    /// Fraction of samples whose selected set equals the truth set.
+    pub exact_accuracy: f64,
+    /// Fraction of samples whose selected set is a subset of the truth.
+    pub subset_accuracy: f64,
+    /// Mean number of wrong labels per sample.
+    pub avg_wrong: f64,
+    /// Mean number of missing labels per sample.
+    pub avg_missing: f64,
+}
+
+/// Evaluates the thresholded Top-k rule over many samples.
+pub fn top_k_stats(
+    probs: &[Vec<f32>],
+    truth: &[Vec<bool>],
+    k: usize,
+    threshold: f32,
+) -> TopKStats {
+    assert_eq!(probs.len(), truth.len());
+    let n = probs.len().max(1) as f64;
+    let mut exact = 0usize;
+    let mut subset = 0usize;
+    let mut wrong_sum = 0usize;
+    let mut missing_sum = 0usize;
+    for (p, t) in probs.iter().zip(truth) {
+        let sel = thresholded_top_k(p, k, threshold);
+        let (wrong, missing) = wrong_and_missing(&sel, t);
+        wrong_sum += wrong;
+        missing_sum += missing;
+        if wrong == 0 {
+            subset += 1;
+            if missing == 0 {
+                exact += 1;
+            }
+        }
+    }
+    TopKStats {
+        exact_accuracy: exact as f64 / n,
+        subset_accuracy: subset as f64 / n,
+        avg_wrong: wrong_sum as f64 / n,
+        avg_missing: missing_sum as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[true, false, true], &[true, true, true]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn exact_match_basic() {
+        let pred = vec![vec![true, false], vec![true, true]];
+        let truth = vec![vec![true, false], vec![false, true]];
+        assert_eq!(exact_match(&pred, &truth), 0.5);
+    }
+
+    #[test]
+    fn prf_values() {
+        // pred: T T F F, truth: T F T F → tp=1 fp=1 fn=1
+        let m = prf(&[true, true, false, false], &[true, false, true, false]);
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 0.5);
+        assert_eq!(m.f1, 0.5);
+    }
+
+    #[test]
+    fn top_k_ordering() {
+        let probs = vec![0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_indices(&probs, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&probs, 10), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn paper_top_k_example() {
+        // Paper §III-E1: labels [A,B,C,D,E]; truth {A,B,C}; prediction
+        // order B,C,D,E,... → Top-1 and Top-2 correct, Top-3 wrong.
+        let probs = vec![0.05, 0.9, 0.8, 0.6, 0.4]; // A B C D E
+        let truth = vec![true, true, true, false, false];
+        assert!(top_k_correct(&probs, &truth, 1)); // {B}
+        assert!(top_k_correct(&probs, &truth, 2)); // {B, C}
+        assert!(!top_k_correct(&probs, &truth, 3)); // {B, C, D} — D wrong
+        assert!(!top_k_correct(&probs, &truth, 4));
+    }
+
+    #[test]
+    fn thresholded_selection() {
+        let probs = vec![0.8, 0.05, 0.3, 0.15];
+        assert_eq!(thresholded_top_k(&probs, 3, 0.1), vec![0, 2, 3]);
+        assert_eq!(thresholded_top_k(&probs, 3, 0.5), vec![0]);
+        assert_eq!(thresholded_top_k(&probs, 1, 0.1), vec![0]);
+    }
+
+    #[test]
+    fn wrong_and_missing_counts() {
+        let truth = vec![true, true, false, false];
+        assert_eq!(wrong_and_missing(&[0, 1], &truth), (0, 0));
+        assert_eq!(wrong_and_missing(&[0, 2], &truth), (1, 1));
+        assert_eq!(wrong_and_missing(&[], &truth), (0, 2));
+        assert_eq!(wrong_and_missing(&[2, 3], &truth), (2, 2));
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let probs = vec![vec![0.9, 0.8, 0.05], vec![0.9, 0.05, 0.2]];
+        let truth = vec![vec![true, true, false], vec![true, false, false]];
+        let s = top_k_stats(&probs, &truth, 3, 0.1);
+        assert_eq!(s.exact_accuracy, 0.5); // second sample picks label 2 too
+        assert_eq!(s.avg_wrong, 0.5);
+        assert_eq!(s.avg_missing, 0.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! CART decision trees with Gini impurity (binary classification).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// How many features to consider per split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MaxFeatures {
+    /// All features.
+    All,
+    /// `sqrt(n_features)` (the random-forest default).
+    Sqrt,
+    /// A fixed number.
+    Fixed(usize),
+}
+
+impl MaxFeatures {
+    fn resolve(self, n_features: usize) -> usize {
+        match self {
+            MaxFeatures::All => n_features,
+            MaxFeatures::Sqrt => (n_features as f64).sqrt().ceil() as usize,
+            MaxFeatures::Fixed(k) => k.min(n_features),
+        }
+        .max(1)
+    }
+}
+
+/// Tree-growing parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split.
+    pub max_features: MaxFeatures,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 16,
+            min_samples_split: 4,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::Sqrt,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        prob: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted binary decision tree; [`DecisionTree::predict_proba`] returns
+/// the positive-class probability.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+impl DecisionTree {
+    /// Fits a tree on rows `x` (each of equal length) with binary labels
+    /// `y`. `rng` drives the per-split feature subsampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or `x.len() != y.len()`.
+    pub fn fit(x: &[Vec<f32>], y: &[bool], params: &TreeParams, rng: &mut StdRng) -> Self {
+        assert!(!x.is_empty(), "cannot fit a tree on an empty dataset");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        let n_features = x[0].len();
+        let mut tree = DecisionTree { nodes: Vec::new() };
+        let idx: Vec<u32> = (0..x.len() as u32).collect();
+        let mut builder = Builder { x, y, params, rng, n_features };
+        builder.grow(&mut tree.nodes, idx, 0);
+        tree
+    }
+
+    /// Probability that `row` belongs to the positive class.
+    pub fn predict_proba(&self, row: &[f32]) -> f32 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { prob } => return *prob,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Accumulates the number of split nodes per feature into `counts`
+    /// (features beyond `counts.len()` are ignored).
+    pub fn accumulate_split_counts(&self, counts: &mut [u32]) {
+        for n in &self.nodes {
+            if let Node::Split { feature, .. } = n {
+                if let Some(c) = counts.get_mut(*feature) {
+                    *c += 1;
+                }
+            }
+        }
+    }
+
+    /// Maximum depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+}
+
+struct Builder<'a> {
+    x: &'a [Vec<f32>],
+    y: &'a [bool],
+    params: &'a TreeParams,
+    rng: &'a mut StdRng,
+    n_features: usize,
+}
+
+impl Builder<'_> {
+    /// Grows a subtree over `idx`; returns the node index.
+    fn grow(&mut self, nodes: &mut Vec<Node>, idx: Vec<u32>, depth: usize) -> usize {
+        let positives = idx.iter().filter(|&&i| self.y[i as usize]).count();
+        let prob = positives as f32 / idx.len() as f32;
+
+        let perfect = positives == 0 || positives == idx.len();
+        if perfect
+            || depth >= self.params.max_depth
+            || idx.len() < self.params.min_samples_split
+        {
+            nodes.push(Node::Leaf { prob });
+            return nodes.len() - 1;
+        }
+
+        match self.best_split(&idx) {
+            Some((feature, threshold)) => {
+                let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = idx
+                    .iter()
+                    .partition(|&&i| self.x[i as usize][feature] <= threshold);
+                if left_idx.len() < self.params.min_samples_leaf
+                    || right_idx.len() < self.params.min_samples_leaf
+                {
+                    nodes.push(Node::Leaf { prob });
+                    return nodes.len() - 1;
+                }
+                let me = nodes.len();
+                nodes.push(Node::Leaf { prob }); // placeholder
+                let left = self.grow(nodes, left_idx, depth + 1);
+                let right = self.grow(nodes, right_idx, depth + 1);
+                nodes[me] = Node::Split { feature, threshold, left, right };
+                me
+            }
+            None => {
+                nodes.push(Node::Leaf { prob });
+                nodes.len() - 1
+            }
+        }
+    }
+
+    /// Finds the Gini-optimal split over a random feature subset.
+    fn best_split(&mut self, idx: &[u32]) -> Option<(usize, f32)> {
+        let k = self.params.max_features.resolve(self.n_features);
+        let mut features: Vec<usize> = (0..self.n_features).collect();
+        features.shuffle(self.rng);
+        features.truncate(k);
+
+        let total_pos = idx.iter().filter(|&&i| self.y[i as usize]).count() as f64;
+        let n = idx.len() as f64;
+
+        let mut best: Option<(usize, f32, f64)> = None;
+        let mut vals: Vec<(f32, bool)> = Vec::with_capacity(idx.len());
+        for f in features {
+            vals.clear();
+            vals.extend(
+                idx.iter().map(|&i| (self.x[i as usize][f], self.y[i as usize])),
+            );
+            vals.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            // Sweep split points between distinct adjacent values.
+            let mut left_n = 0f64;
+            let mut left_pos = 0f64;
+            for w in 0..vals.len() - 1 {
+                left_n += 1.0;
+                if vals[w].1 {
+                    left_pos += 1.0;
+                }
+                if vals[w].0 == vals[w + 1].0 {
+                    continue;
+                }
+                let right_n = n - left_n;
+                let right_pos = total_pos - left_pos;
+                let gini_left = gini(left_pos, left_n);
+                let gini_right = gini(right_pos, right_n);
+                let weighted = (left_n * gini_left + right_n * gini_right) / n;
+                if best.is_none_or(|(_, _, b)| weighted < b) {
+                    let threshold = midpoint(vals[w].0, vals[w + 1].0);
+                    best = Some((f, threshold, weighted));
+                }
+            }
+        }
+        // Split whenever weighted child impurity does not exceed the
+        // parent's (zero-improvement splits are allowed, as in sklearn —
+        // they are what lets greedy CART stack splits to solve XOR).
+        let parent_gini = gini(total_pos, n);
+        match best {
+            Some((f, t, g)) if g <= parent_gini + 1e-12 => Some((f, t)),
+            _ => None,
+        }
+    }
+}
+
+fn gini(pos: f64, n: f64) -> f64 {
+    if n == 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    2.0 * p * (1.0 - p)
+}
+
+fn midpoint(a: f32, b: f32) -> f32 {
+    let m = a + (b - a) / 2.0;
+    // Guard against midpoint rounding to b (then `<=` would misroute).
+    if m >= b {
+        a
+    } else {
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    fn fit(x: &[Vec<f32>], y: &[bool]) -> DecisionTree {
+        DecisionTree::fit(
+            x,
+            y,
+            &TreeParams { max_features: MaxFeatures::All, ..Default::default() },
+            &mut rng(),
+        )
+    }
+
+    #[test]
+    fn separable_1d() {
+        let x: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let y: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let tree = fit(&x, &y);
+        assert!(tree.predict_proba(&[2.0]) < 0.5);
+        assert!(tree.predict_proba(&[17.0]) > 0.5);
+    }
+
+    #[test]
+    fn xor_needs_depth() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![false, true, true, false];
+        let tree = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeParams {
+                max_features: MaxFeatures::All,
+                min_samples_split: 2,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        for (xi, yi) in x.iter().zip(&y) {
+            let p = tree.predict_proba(xi);
+            assert_eq!(p > 0.5, *yi, "row {:?} p={}", xi, p);
+        }
+    }
+
+    #[test]
+    fn pure_labels_single_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![true, true, true];
+        let tree = fit(&x, &y);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_proba(&[9.0]), 1.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32]).collect();
+        let y: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let tree = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeParams { max_depth: 3, max_features: MaxFeatures::All, ..Default::default() },
+            &mut rng(),
+        );
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn constant_features_yield_leaf() {
+        let x = vec![vec![5.0], vec![5.0], vec![5.0], vec![5.0]];
+        let y = vec![true, false, true, false];
+        let tree = fit(&x, &y);
+        assert_eq!(tree.node_count(), 1);
+        assert!((tree.predict_proba(&[5.0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x: Vec<Vec<f32>> = (0..50).map(|i| vec![(i % 7) as f32, (i % 3) as f32]).collect();
+        let y: Vec<bool> = (0..50).map(|i| i % 7 > 3).collect();
+        let params = TreeParams::default();
+        let a = DecisionTree::fit(&x, &y, &params, &mut rng());
+        let b = DecisionTree::fit(&x, &y, &params, &mut rng());
+        assert_eq!(a.predict_proba(&[4.0, 1.0]), b.predict_proba(&[4.0, 1.0]));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let x: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let y: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let tree = fit(&x, &y);
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.predict_proba(&[3.0]), tree.predict_proba(&[3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let _ = fit(&[], &[]);
+    }
+}

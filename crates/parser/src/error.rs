@@ -1,0 +1,53 @@
+//! Parse errors.
+
+use jsdetect_lexer::LexError;
+use std::fmt;
+
+/// A syntax error produced while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset of the offending token.
+    pub pos: u32,
+}
+
+impl ParseError {
+    /// Creates a parse error.
+    pub fn new(msg: impl Into<String>, pos: u32) -> Self {
+        ParseError { msg: msg.into(), pos }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { msg: e.msg, pos: e.pos }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new("unexpected `;`", 17);
+        assert_eq!(e.to_string(), "parse error at byte 17: unexpected `;`");
+    }
+
+    #[test]
+    fn from_lex_error() {
+        let le = LexError { msg: "bad".into(), pos: 3 };
+        let pe: ParseError = le.into();
+        assert_eq!(pe.pos, 3);
+        assert_eq!(pe.msg, "bad");
+    }
+}

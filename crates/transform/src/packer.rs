@@ -1,0 +1,184 @@
+//! Dean Edwards-style packer (the paper's held-out tool, §III-E3).
+//!
+//! Reproduces the `eval(function(p,a,c,k,e,d){...})` wrapper of the Daft
+//! Logic obfuscator / Dean Edwards packer: the (minified) source is turned
+//! into a payload string whose word-shaped tokens are replaced by base-62
+//! codes, together with the dictionary needed to unpack it at runtime.
+//!
+//! This tool is **never used for training** — it exists to show the
+//! detectors generalize to tools outside the training set, as the paper
+//! does with 10,000 Daft Logic samples.
+
+use std::collections::HashMap;
+
+/// Encodes `n` in the packer's base-62 alphabet (`0-9a-zA-Z`).
+pub fn base62(mut n: usize) -> String {
+    const ALPHA: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    if n == 0 {
+        return "0".to_string();
+    }
+    let mut out = Vec::new();
+    while n > 0 {
+        out.push(ALPHA[n % 62]);
+        n /= 62;
+    }
+    out.reverse();
+    String::from_utf8(out).unwrap()
+}
+
+/// Packs a JavaScript source string.
+///
+/// The caller is expected to hand in already-minified source (the real
+/// tool minifies first); [`pack`] only performs the dictionary encoding
+/// and wrapper generation.
+pub fn pack(src: &str) -> String {
+    // Collect word tokens (identifier-shaped runs) by frequency.
+    let words = word_tokens(src);
+    let mut freq: HashMap<&str, usize> = HashMap::new();
+    for w in &words {
+        *freq.entry(w).or_default() += 1;
+    }
+    // Sort by frequency (desc), then first appearance for determinism.
+    let mut order: Vec<&str> = {
+        let mut seen = std::collections::HashSet::new();
+        words.iter().filter(|w| seen.insert(**w)).copied().collect()
+    };
+    order.sort_by_key(|w| std::cmp::Reverse(freq[w]));
+
+    let code_of: HashMap<&str, String> =
+        order.iter().enumerate().map(|(i, w)| (*w, base62(i))).collect();
+
+    // Replace each word occurrence with its code.
+    let mut payload = String::with_capacity(src.len());
+    let mut rest = src;
+    while let Some((before, word, after)) = next_word(rest) {
+        payload.push_str(before);
+        payload.push_str(&code_of[word]);
+        rest = after;
+    }
+    payload.push_str(rest);
+
+    // Words equal to their own code can be omitted from the dictionary.
+    let dict: Vec<&str> = order
+        .iter()
+        .enumerate()
+        .map(|(i, w)| if base62(i) == **w { "" } else { *w })
+        .collect();
+
+    let payload_quoted = escape_single(&payload);
+    let dict_joined = dict.join("|");
+    format!(
+        "eval(function(p,a,c,k,e,d){{e=function(c){{return(c<a?'':e(parseInt(c/a)))+((c=c%a)>35?String.fromCharCode(c+29):c.toString(36))}};if(!''.replace(/^/,String)){{while(c--){{d[e(c)]=k[c]||e(c)}}k=[function(e){{return d[e]}}];e=function(){{return'\\\\w+'}};c=1}};while(c--){{if(k[c]){{p=p.replace(new RegExp('\\\\b'+e(c)+'\\\\b','g'),k[c])}}}}return p}}('{}',62,{},'{}'.split('|'),0,{{}}))",
+        payload_quoted,
+        order.len(),
+        dict_joined
+    )
+}
+
+/// Splits off the next word token: returns (text-before, word, rest).
+fn next_word(s: &str) -> Option<(&str, &str, &str)> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if is_word_byte(bytes[i]) {
+            let start = i;
+            while i < bytes.len() && is_word_byte(bytes[i]) {
+                i += 1;
+            }
+            return Some((&s[..start], &s[start..i], &s[i..]));
+        }
+        // Skip string literals so their contents are not packed.
+        if bytes[i] == b'\'' || bytes[i] == b'"' {
+            let quote = bytes[i];
+            i += 1;
+            while i < bytes.len() && bytes[i] != quote {
+                if bytes[i] == b'\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'$'
+}
+
+/// All word tokens outside string literals.
+fn word_tokens(src: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = src;
+    while let Some((_, word, after)) = next_word(rest) {
+        out.push(word);
+        rest = after;
+    }
+    out
+}
+
+fn escape_single(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\'', "\\'").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsdetect_parser::parse;
+
+    #[test]
+    fn base62_encoding() {
+        assert_eq!(base62(0), "0");
+        assert_eq!(base62(9), "9");
+        assert_eq!(base62(10), "a");
+        assert_eq!(base62(35), "z");
+        assert_eq!(base62(36), "A");
+        assert_eq!(base62(61), "Z");
+        assert_eq!(base62(62), "10");
+    }
+
+    #[test]
+    fn packed_output_parses() {
+        let out = pack("var total=0;function add(n){total=total+n;return total}add(5);");
+        assert!(out.starts_with("eval(function(p,a,c,k,e,d)"), "{}", out);
+        assert!(parse(&out).is_ok(), "{}", out);
+    }
+
+    #[test]
+    fn wrapper_signature_present() {
+        let out = pack("f(1);");
+        assert!(out.contains("String.fromCharCode(c+29)"));
+        assert!(out.contains(".split('|')"));
+        assert!(out.contains("eval("));
+    }
+
+    #[test]
+    fn frequent_words_get_short_codes() {
+        // `total` appears 4 times, should get code "0".
+        let src = "var total=0;total=total+1;use(total);";
+        let out = pack(src);
+        let dict_part = out.split(",'").nth(1).unwrap_or("");
+        let _ = dict_part;
+        // payload replaces total by its code: the raw word never appears
+        // in the payload section (only in the dictionary).
+        let payload_end = out.find("',62,").unwrap();
+        let payload = &out["eval(function(p,a,c,k,e,d)".len()..payload_end];
+        let code_section = payload.rsplit('\'').next().unwrap_or("");
+        assert!(!code_section.contains("total"));
+    }
+
+    #[test]
+    fn string_literal_contents_not_packed() {
+        let out = pack("say('hello world hello');");
+        assert!(out.contains("hello world hello"), "{}", out);
+    }
+
+    #[test]
+    fn deterministic() {
+        let src = "function f(a){return a*2}f(21);";
+        assert_eq!(pack(src), pack(src));
+    }
+}

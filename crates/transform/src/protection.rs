@@ -1,0 +1,136 @@
+//! Code-protection techniques: *self-defending* and *debug protection*
+//! (paper §II-A).
+//!
+//! Both passes splice obfuscator.io-shaped guard code into the program.
+//! Self-defending makes the script resist reformatting (a guard inspects
+//! its own `toString` against a packed-code regex); debug protection
+//! hammers the devtools with `debugger` statements built through the
+//! `Function` constructor. The guards are generated as source templates
+//! with randomized identifiers and parsed into the AST.
+
+use jsdetect_ast::{Program, Stmt};
+use jsdetect_parser::parse;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn hex_name(rng: &mut StdRng) -> String {
+    format!("_0x{:x}", rng.gen_range(0x10000u32..0xFFFFFF))
+}
+
+/// Splices the self-defending guard into the program. The program must be
+/// emitted in compact form afterwards (the guard's premise is that
+/// reformatting breaks it), which the pipeline enforces.
+pub fn inject_self_defending(program: &mut Program, rng: &mut StdRng) {
+    let outer = hex_name(rng);
+    let check = hex_name(rng);
+    let src = format!(
+        r#"var {outer} = (function () {{
+    var firstCall = true;
+    return function (context, fn) {{
+        var wrapped = firstCall ? function () {{
+            if (fn) {{
+                var result = fn.apply(context, arguments);
+                fn = null;
+                return result;
+            }}
+        }} : function () {{}};
+        firstCall = false;
+        return wrapped;
+    }};
+}})();
+var {check} = {outer}(this, function () {{
+    return {check}.toString().search('(((.+)+)+)+$').toString().constructor({check}).search('(((.+)+)+)+$');
+}});
+{check}();"#,
+        outer = outer,
+        check = check,
+    );
+    let guard = parse(&src).expect("self-defending template must parse");
+    splice_front(program, guard.body);
+}
+
+/// Splices the debug-protection loop into the program.
+pub fn inject_debug_protection(program: &mut Program, rng: &mut StdRng) {
+    let fname = hex_name(rng);
+    let interval = [500u32, 1000, 2000, 4000][rng.gen_range(0..4usize)];
+    let src = format!(
+        r#"var {fname} = function () {{
+    function probe(counter) {{
+        if (('' + counter / counter).length !== 1 || counter % 20 === 0) {{
+            (function () {{ return true; }}.constructor('debugger').call('action'));
+        }} else {{
+            (function () {{ return false; }}.constructor('debugger').apply('stateObject'));
+        }}
+        probe(++counter);
+    }}
+    try {{
+        probe(0);
+    }} catch (err) {{}}
+}};
+setInterval(function () {{ {fname}(); }}, {interval});"#,
+        fname = fname,
+        interval = interval,
+    );
+    let guard = parse(&src).expect("debug-protection template must parse");
+    splice_front(program, guard.body);
+}
+
+/// Inserts statements after any directive prologue.
+fn splice_front(program: &mut Program, stmts: Vec<Stmt>) {
+    let skip = crate::string_obf::directive_count(&program.body);
+    for (i, s) in stmts.into_iter().enumerate() {
+        program.body.insert(skip + i, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsdetect_codegen::to_minified;
+    use rand::SeedableRng;
+
+    #[test]
+    fn self_defending_injects_guard() {
+        let mut prog = parse("main();").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        inject_self_defending(&mut prog, &mut rng);
+        let out = to_minified(&prog);
+        assert!(out.contains("(((.+)+)+)+$"), "{}", out);
+        assert!(out.contains("toString"), "{}", out);
+        assert!(out.contains("constructor"), "{}", out);
+        assert!(out.contains("main()"), "{}", out);
+        assert!(parse(&out).is_ok());
+    }
+
+    #[test]
+    fn debug_protection_injects_probe() {
+        let mut prog = parse("main();").unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        inject_debug_protection(&mut prog, &mut rng);
+        let out = to_minified(&prog);
+        assert!(out.contains("'debugger'"), "{}", out);
+        assert!(out.contains("setInterval"), "{}", out);
+        assert!(out.contains("constructor"), "{}", out);
+        assert!(parse(&out).is_ok());
+    }
+
+    #[test]
+    fn guards_go_after_directives() {
+        let mut prog = parse("'use strict'; main();").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        inject_debug_protection(&mut prog, &mut rng);
+        let out = to_minified(&prog);
+        assert!(out.starts_with("'use strict';"), "{}", out);
+    }
+
+    #[test]
+    fn randomized_names_differ_across_seeds() {
+        let render = |seed| {
+            let mut prog = parse("x();").unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            inject_self_defending(&mut prog, &mut rng);
+            to_minified(&prog)
+        };
+        assert_ne!(render(1), render(2));
+    }
+}

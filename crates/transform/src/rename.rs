@@ -1,0 +1,646 @@
+//! Scope-aware identifier renaming.
+//!
+//! The substrate shared by *identifier obfuscation* (hex names) and
+//! *minification* (short names). Renaming follows JavaScript scoping: `var`
+//! and function declarations hoist to the enclosing function scope,
+//! `let`/`const`/`class` are block-scoped, parameters and catch bindings
+//! open their own scopes, and unresolved names (globals like `console`)
+//! are left untouched. Labels are renamed independently.
+
+use jsdetect_ast::*;
+use std::collections::HashMap;
+
+/// Environment: a stack of name→newName layers plus a label stack.
+struct Env {
+    layers: Vec<HashMap<String, String>>,
+    labels: Vec<HashMap<String, String>>,
+}
+
+impl Env {
+    fn lookup(&self, name: &str) -> Option<&str> {
+        self.layers.iter().rev().find_map(|l| l.get(name)).map(String::as_str)
+    }
+
+    fn lookup_label(&self, name: &str) -> Option<&str> {
+        self.labels.iter().rev().find_map(|l| l.get(name)).map(String::as_str)
+    }
+}
+
+/// Renames every locally-bound identifier in `program` using `gen` to
+/// produce fresh names. Returns the number of bindings renamed.
+pub fn rename_bindings(program: &mut Program, gen: &mut dyn FnMut() -> String) -> usize {
+    let mut r = Renamer { gen, renamed: 0 };
+    let mut env = Env { layers: vec![HashMap::new()], labels: vec![HashMap::new()] };
+    // Top level: treat as function scope so top-level vars/functions are
+    // renamed (scripts in the wild are usually wrapped anyway; obfuscators
+    // rename top-level names too).
+    r.collect_fn_scope(&program.body, &mut env);
+    r.collect_lexical(&program.body, &mut env);
+    let mut body = std::mem::take(&mut program.body);
+    for s in &mut body {
+        r.stmt(s, &mut env);
+    }
+    program.body = body;
+    r.renamed
+}
+
+struct Renamer<'g> {
+    gen: &'g mut dyn FnMut() -> String,
+    renamed: usize,
+}
+
+impl<'g> Renamer<'g> {
+    fn fresh(&mut self) -> String {
+        self.renamed += 1;
+        (self.gen)()
+    }
+
+    /// Declares a name in the top env layer (if not already mapped there).
+    fn declare(&mut self, env: &mut Env, name: &str) {
+        let layer = env.layers.last_mut().unwrap();
+        if !layer.contains_key(name) {
+            let new = self.fresh();
+            layer.insert(name.to_string(), new);
+        }
+    }
+
+    // ---- declaration collection -------------------------------------------
+
+    /// Collects `var`-hoisted and function-declaration names of a function
+    /// body into the current layer (recursing into blocks, not functions).
+    fn collect_fn_scope(&mut self, stmts: &[Stmt], env: &mut Env) {
+        for s in stmts {
+            self.collect_fn_scope_stmt(s, env);
+        }
+    }
+
+    fn collect_fn_scope_stmt(&mut self, s: &Stmt, env: &mut Env) {
+        match s {
+            Stmt::VarDecl { kind: VarKind::Var, decls, .. } => {
+                for d in decls {
+                    self.collect_pat(&d.id, env);
+                }
+            }
+            Stmt::FunctionDecl(f) => {
+                if let Some(id) = &f.id {
+                    self.declare(env, &id.name);
+                }
+            }
+            Stmt::Block { body, .. } => self.collect_fn_scope(body, env),
+            Stmt::If { consequent, alternate, .. } => {
+                self.collect_fn_scope_stmt(consequent, env);
+                if let Some(alt) = alternate {
+                    self.collect_fn_scope_stmt(alt, env);
+                }
+            }
+            Stmt::For { init, body, .. } => {
+                if let Some(ForInit::Var { kind: VarKind::Var, decls }) = init {
+                    for d in decls {
+                        self.collect_pat(&d.id, env);
+                    }
+                }
+                self.collect_fn_scope_stmt(body, env);
+            }
+            Stmt::ForIn { target, body, .. } | Stmt::ForOf { target, body, .. } => {
+                if let ForTarget::Var { kind: VarKind::Var, pat } = target {
+                    self.collect_pat(pat, env);
+                }
+                self.collect_fn_scope_stmt(body, env);
+            }
+            Stmt::While { body, .. }
+            | Stmt::DoWhile { body, .. }
+            | Stmt::Labeled { body, .. }
+            | Stmt::With { body, .. } => self.collect_fn_scope_stmt(body, env),
+            Stmt::Switch { cases, .. } => {
+                for c in cases {
+                    self.collect_fn_scope(&c.body, env);
+                }
+            }
+            Stmt::Try { block, handler, finalizer, .. } => {
+                self.collect_fn_scope(block, env);
+                if let Some(h) = handler {
+                    self.collect_fn_scope(&h.body, env);
+                }
+                if let Some(fin) = finalizer {
+                    self.collect_fn_scope(fin, env);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Collects lexical (`let`/`const`/`class` and block-level function)
+    /// names declared directly in a statement list.
+    fn collect_lexical(&mut self, stmts: &[Stmt], env: &mut Env) {
+        for s in stmts {
+            match s {
+                Stmt::VarDecl { kind, decls, .. } if kind.is_lexical() => {
+                    for d in decls {
+                        self.collect_pat(&d.id, env);
+                    }
+                }
+                Stmt::ClassDecl(c) => {
+                    if let Some(id) = &c.id {
+                        self.declare(env, &id.name);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn collect_pat(&mut self, p: &Pat, env: &mut Env) {
+        match p {
+            Pat::Ident(i) => self.declare(env, &i.name),
+            Pat::Array { elements, .. } => {
+                for el in elements.iter().flatten() {
+                    self.collect_pat(el, env);
+                }
+            }
+            Pat::Object { props, .. } => {
+                for prop in props {
+                    self.collect_pat(&prop.value, env);
+                }
+            }
+            Pat::Assign { target, .. } => self.collect_pat(target, env),
+            Pat::Rest { arg, .. } => self.collect_pat(arg, env),
+            Pat::Member(_) => {}
+        }
+    }
+
+    // ---- rewriting -----------------------------------------------------------
+
+    fn ident(&mut self, i: &mut Ident, env: &Env) {
+        if let Some(new) = env.lookup(&i.name) {
+            i.name = new.to_string();
+        }
+    }
+
+    fn stmts_block(&mut self, body: &mut [Stmt], env: &mut Env) {
+        env.layers.push(HashMap::new());
+        self.collect_lexical(body, env);
+        for s in body.iter_mut() {
+            self.stmt(s, env);
+        }
+        env.layers.pop();
+    }
+
+    fn stmt(&mut self, s: &mut Stmt, env: &mut Env) {
+        match s {
+            Stmt::Expr { expr, .. } => self.expr(expr, env),
+            Stmt::Block { body, .. } => self.stmts_block(body, env),
+            Stmt::VarDecl { decls, .. } => {
+                for d in decls {
+                    self.pat(&mut d.id, env);
+                    if let Some(init) = &mut d.init {
+                        self.expr(init, env);
+                    }
+                }
+            }
+            Stmt::FunctionDecl(f) => self.function(f, env, false),
+            Stmt::ClassDecl(c) => self.class(c, env),
+            Stmt::If { test, consequent, alternate, .. } => {
+                self.expr(test, env);
+                self.stmt(consequent, env);
+                if let Some(alt) = alternate {
+                    self.stmt(alt, env);
+                }
+            }
+            Stmt::For { init, test, update, body, .. } => {
+                env.layers.push(HashMap::new());
+                match init {
+                    Some(ForInit::Var { kind, decls }) => {
+                        if kind.is_lexical() {
+                            for d in decls.iter() {
+                                self.collect_pat(&d.id, env);
+                            }
+                        }
+                        for d in decls {
+                            self.pat(&mut d.id, env);
+                            if let Some(e) = &mut d.init {
+                                self.expr(e, env);
+                            }
+                        }
+                    }
+                    Some(ForInit::Expr(e)) => self.expr(e, env),
+                    None => {}
+                }
+                if let Some(t) = test {
+                    self.expr(t, env);
+                }
+                if let Some(u) = update {
+                    self.expr(u, env);
+                }
+                self.stmt(body, env);
+                env.layers.pop();
+            }
+            Stmt::ForIn { target, object, body, .. } => {
+                env.layers.push(HashMap::new());
+                self.for_target(target, env);
+                self.expr(object, env);
+                self.stmt(body, env);
+                env.layers.pop();
+            }
+            Stmt::ForOf { target, iterable, body, .. } => {
+                env.layers.push(HashMap::new());
+                self.for_target(target, env);
+                self.expr(iterable, env);
+                self.stmt(body, env);
+                env.layers.pop();
+            }
+            Stmt::While { test, body, .. } => {
+                self.expr(test, env);
+                self.stmt(body, env);
+            }
+            Stmt::DoWhile { body, test, .. } => {
+                self.stmt(body, env);
+                self.expr(test, env);
+            }
+            Stmt::Switch { discriminant, cases, .. } => {
+                self.expr(discriminant, env);
+                env.layers.push(HashMap::new());
+                for c in cases.iter() {
+                    self.collect_lexical(&c.body, env);
+                }
+                for c in cases {
+                    if let Some(t) = &mut c.test {
+                        self.expr(t, env);
+                    }
+                    for st in &mut c.body {
+                        self.stmt(st, env);
+                    }
+                }
+                env.layers.pop();
+            }
+            Stmt::Try { block, handler, finalizer, .. } => {
+                self.stmts_block(block, env);
+                if let Some(h) = handler {
+                    env.layers.push(HashMap::new());
+                    if let Some(p) = &mut h.param {
+                        self.collect_pat(p, env);
+                        self.pat(p, env);
+                    }
+                    self.collect_lexical(&h.body, env);
+                    for st in &mut h.body {
+                        self.stmt(st, env);
+                    }
+                    env.layers.pop();
+                }
+                if let Some(fin) = finalizer {
+                    self.stmts_block(fin, env);
+                }
+            }
+            Stmt::Throw { arg, .. } => self.expr(arg, env),
+            Stmt::Return { arg, .. } => {
+                if let Some(a) = arg {
+                    self.expr(a, env);
+                }
+            }
+            Stmt::Break { label, .. } | Stmt::Continue { label, .. } => {
+                if let Some(l) = label {
+                    if let Some(new) = env.lookup_label(&l.name) {
+                        l.name = new.to_string();
+                    }
+                }
+            }
+            Stmt::Labeled { label, body, .. } => {
+                let new = self.fresh();
+                env.labels.push(HashMap::from([(label.name.clone(), new.clone())]));
+                label.name = new;
+                self.stmt(body, env);
+                env.labels.pop();
+            }
+            Stmt::Empty { .. } | Stmt::Debugger { .. } => {}
+            Stmt::With { object, body, .. } => {
+                self.expr(object, env);
+                // Inside `with`, bare names may resolve to object properties;
+                // renaming them would change behaviour, so leave the body's
+                // unresolved names alone — resolved ones are still safe only
+                // if they shadow; to stay conservative we still rename (the
+                // wild corpus rarely uses `with`).
+                self.stmt(body, env);
+            }
+        }
+    }
+
+    fn for_target(&mut self, t: &mut ForTarget, env: &mut Env) {
+        match t {
+            ForTarget::Var { kind, pat } => {
+                if kind.is_lexical() {
+                    self.collect_pat(pat, env);
+                }
+                self.pat(pat, env);
+            }
+            ForTarget::Pat(p) => self.pat(p, env),
+        }
+    }
+
+    fn function(&mut self, f: &mut Function, env: &mut Env, is_expr: bool) {
+        // Declaration names were collected by the enclosing scope pass; for
+        // function declarations rewrite the id from the enclosing env.
+        if !is_expr {
+            if let Some(id) = &mut f.id {
+                self.ident(id, env);
+            }
+        }
+        env.layers.push(HashMap::new());
+        if is_expr {
+            if let Some(id) = &mut f.id {
+                // Named function expression: name binds inside only.
+                self.declare_and_rewrite(id, env);
+            }
+        }
+        for p in &f.params {
+            self.collect_pat(p, env);
+        }
+        let mut params = std::mem::take(&mut f.params);
+        for p in &mut params {
+            self.pat(p, env);
+        }
+        f.params = params;
+        self.collect_fn_scope(&f.body, env);
+        self.collect_lexical(&f.body, env);
+        for s in &mut f.body {
+            self.stmt(s, env);
+        }
+        env.layers.pop();
+    }
+
+    fn declare_and_rewrite(&mut self, id: &mut Ident, env: &mut Env) {
+        self.declare(env, &id.name);
+        self.ident(id, env);
+    }
+
+    fn class(&mut self, c: &mut Class, env: &mut Env) {
+        if let Some(id) = &mut c.id {
+            self.ident(id, env);
+        }
+        if let Some(sup) = &mut c.super_class {
+            self.expr(sup, env);
+        }
+        for m in &mut c.body {
+            if let PropKey::Computed(k) = &mut m.key {
+                self.expr(k, env);
+            }
+            match &mut m.value {
+                ClassMemberValue::Method(f) => self.function(f, env, true),
+                ClassMemberValue::Field(Some(e)) => self.expr(e, env),
+                ClassMemberValue::Field(None) => {}
+            }
+        }
+    }
+
+    fn pat(&mut self, p: &mut Pat, env: &mut Env) {
+        match p {
+            Pat::Ident(i) => self.ident(i, env),
+            Pat::Array { elements, .. } => {
+                for el in elements.iter_mut().flatten() {
+                    self.pat(el, env);
+                }
+            }
+            Pat::Object { props, .. } => {
+                for prop in props {
+                    if let PropKey::Computed(k) = &mut prop.key {
+                        self.expr(k, env);
+                    }
+                    self.pat(&mut prop.value, env);
+                }
+            }
+            Pat::Assign { target, value, .. } => {
+                self.pat(target, env);
+                self.expr(value, env);
+            }
+            Pat::Rest { arg, .. } => self.pat(arg, env),
+            Pat::Member(e) => self.expr(e, env),
+        }
+    }
+
+    fn expr(&mut self, e: &mut Expr, env: &mut Env) {
+        match e {
+            Expr::Ident(i) => self.ident(i, env),
+            Expr::Lit(_)
+            | Expr::This { .. }
+            | Expr::Super { .. }
+            | Expr::MetaProperty { .. } => {}
+            Expr::Array { elements, .. } => {
+                for el in elements.iter_mut().flatten() {
+                    self.expr(el, env);
+                }
+            }
+            Expr::Object { props, .. } => {
+                for p in props {
+                    if let PropKey::Computed(k) = &mut p.key {
+                        self.expr(k, env);
+                    }
+                    self.expr(&mut p.value, env);
+                }
+            }
+            Expr::Function(f) => self.function(f, env, true),
+            Expr::Arrow { params, body, .. } => {
+                env.layers.push(HashMap::new());
+                for p in params.iter() {
+                    self.collect_pat(p, env);
+                }
+                for p in params.iter_mut() {
+                    self.pat(p, env);
+                }
+                match body {
+                    ArrowBody::Expr(e) => self.expr(e, env),
+                    ArrowBody::Block(stmts) => {
+                        self.collect_fn_scope(stmts, env);
+                        self.collect_lexical(stmts, env);
+                        for s in stmts {
+                            self.stmt(s, env);
+                        }
+                    }
+                }
+                env.layers.pop();
+            }
+            Expr::Class(c) => self.class(c, env),
+            Expr::Template { exprs, .. } => {
+                for ex in exprs {
+                    self.expr(ex, env);
+                }
+            }
+            Expr::TaggedTemplate { tag, exprs, .. } => {
+                self.expr(tag, env);
+                for ex in exprs {
+                    self.expr(ex, env);
+                }
+            }
+            Expr::Unary { arg, .. }
+            | Expr::Update { arg, .. }
+            | Expr::Spread { arg, .. }
+            | Expr::Await { arg, .. } => self.expr(arg, env),
+            Expr::Binary { left, right, .. } | Expr::Logical { left, right, .. } => {
+                self.expr(left, env);
+                self.expr(right, env);
+            }
+            Expr::Assign { target, value, .. } => {
+                self.pat(target, env);
+                self.expr(value, env);
+            }
+            Expr::Conditional { test, consequent, alternate, .. } => {
+                self.expr(test, env);
+                self.expr(consequent, env);
+                self.expr(alternate, env);
+            }
+            Expr::Call { callee, args, .. } | Expr::New { callee, args, .. } => {
+                self.expr(callee, env);
+                for a in args {
+                    self.expr(a, env);
+                }
+            }
+            Expr::Member { object, property, .. } => {
+                self.expr(object, env);
+                if let MemberProp::Computed(p) = property {
+                    self.expr(p, env);
+                }
+            }
+            Expr::Sequence { exprs, .. } => {
+                for ex in exprs {
+                    self.expr(ex, env);
+                }
+            }
+            Expr::Yield { arg, .. } => {
+                if let Some(a) = arg {
+                    self.expr(a, env);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsdetect_codegen::to_minified;
+    use jsdetect_parser::parse;
+
+    fn rename_with_counter(src: &str) -> String {
+        let mut prog = parse(src).unwrap();
+        let mut n = 0;
+        rename_bindings(&mut prog, &mut || {
+            n += 1;
+            format!("v{}", n)
+        });
+        to_minified(&prog)
+    }
+
+    #[test]
+    fn renames_top_level_var_and_uses() {
+        let out = rename_with_counter("var count = 1; use(count);");
+        assert_eq!(out, "var v1=1;use(v1);");
+    }
+
+    #[test]
+    fn globals_untouched() {
+        let out = rename_with_counter("console.log(window.top);");
+        assert_eq!(out, "console.log(window.top);");
+    }
+
+    #[test]
+    fn property_names_untouched() {
+        let out = rename_with_counter("var obj = {alpha: 1}; obj.alpha = 2;");
+        assert!(out.contains("alpha:1") || out.contains("alpha: 1"));
+        assert!(out.contains(".alpha"));
+    }
+
+    #[test]
+    fn params_and_shadowing() {
+        let out = rename_with_counter("var x = 1; function f(x) { return x; } f(x);");
+        // Outer x and param x get distinct names; inner return uses param.
+        assert!(parse(&out).is_ok());
+        assert!(!out.contains("x"), "original names must be gone: {}", out);
+    }
+
+    #[test]
+    fn hoisted_use_before_decl() {
+        let out = rename_with_counter("go(); function go() { return 1; }");
+        let name: Vec<&str> = out.split("()").collect();
+        // Both occurrences use the same new name.
+        assert!(name[0].len() <= 3);
+        assert!(out.starts_with(&format!("{}()", name[0])));
+        assert!(out.contains(&format!("function {}()", name[0])));
+    }
+
+    #[test]
+    fn named_function_expression_inner_binding() {
+        let out = rename_with_counter("var f = function rec(n) { return n ? rec(n - 1) : 0; };");
+        assert!(!out.contains("rec"), "{}", out);
+        assert!(parse(&out).is_ok());
+    }
+
+    #[test]
+    fn let_block_scoping() {
+        let out =
+            rename_with_counter("let a = 1; { let a = 2; inner(a); } outer(a);");
+        // Two distinct new names: the inner block shadows.
+        assert!(parse(&out).is_ok());
+        let inner = out.split("inner(").nth(1).unwrap().split(')').next().unwrap();
+        let outer = out.split("outer(").nth(1).unwrap().split(')').next().unwrap();
+        assert_ne!(inner, outer);
+    }
+
+    #[test]
+    fn catch_param_renamed() {
+        let out = rename_with_counter("try { f(); } catch (err) { g(err); }");
+        assert!(!out.contains("err"), "{}", out);
+    }
+
+    #[test]
+    fn labels_renamed() {
+        let out = rename_with_counter("loop: for (;;) { break loop; }");
+        assert!(!out.contains("loop:"), "{}", out);
+        assert!(parse(&out).is_ok());
+    }
+
+    #[test]
+    fn shorthand_property_expands() {
+        let out = rename_with_counter("var value = 1; var o = {value};");
+        // `{value}` must become `{value: vN}` to stay correct.
+        assert!(out.contains("value:"), "{}", out);
+    }
+
+    #[test]
+    fn destructuring_bindings_renamed() {
+        let out = rename_with_counter("const {a, b: c} = src; use(a, c);");
+        assert!(!out.contains("use(a"), "{}", out);
+        // Key `a` must stay (renamed binding needs `a: newname`), key `b` stays.
+        assert!(out.contains("a:"), "{}", out);
+        assert!(out.contains("b:"), "{}", out);
+    }
+
+    #[test]
+    fn arrow_params_renamed() {
+        let out = rename_with_counter("items.map(item => item * 2);");
+        assert!(!out.contains("(item"), "{}", out);
+        assert!(out.starts_with("items.map("), "{}", out);
+        assert!(parse(&out).is_ok());
+    }
+
+    #[test]
+    fn class_names_and_methods() {
+        let out = rename_with_counter(
+            "class Widget { render() { return helper(); } } function helper() {} new Widget();",
+        );
+        assert!(!out.contains("Widget"), "{}", out);
+        assert!(!out.contains("helper"), "{}", out);
+        assert!(out.contains("render"), "method names must stay: {}", out);
+    }
+
+    #[test]
+    fn renamed_output_reparses() {
+        let src = r#"
+            var total = 0;
+            function accumulate(values) {
+                for (var i = 0; i < values.length; i++) { total += values[i]; }
+                return total;
+            }
+            accumulate([1, 2, 3]);
+        "#;
+        let out = rename_with_counter(src);
+        assert!(parse(&out).is_ok(), "{}", out);
+        assert!(!out.contains("total") && !out.contains("accumulate") && !out.contains("values"));
+    }
+}

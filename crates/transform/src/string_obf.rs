@@ -1,0 +1,345 @@
+//! String obfuscation (paper §II-A, *data obfuscation*).
+//!
+//! Replaces plain string literals with expressions that rebuild them at
+//! runtime. Four sub-techniques model the tools the paper uses:
+//!
+//! - **Split**: `'secret'` → `'sec' + 'ret'` (gnirts-style splitting).
+//! - **Reverse**: `'secret'` → `'terces'.split('').reverse().join('')`.
+//! - **FromCharCode**: `'hi'` → `String.fromCharCode(104, 105)`.
+//! - **EncodedCall**: `'hi'` → `_0xdec('00680069')` with an injected hex
+//!   decoder (the paper's *custom-encoding* tool).
+
+use jsdetect_ast::builder::*;
+use jsdetect_ast::visit_mut::{walk_expr_mut, MutVisitor};
+use jsdetect_ast::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which string-rewriting shapes are allowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StringObfMode {
+    /// Split into concatenated chunks.
+    Split,
+    /// Reverse + runtime re-reverse.
+    Reverse,
+    /// `String.fromCharCode(...)`.
+    FromCharCode,
+    /// Hex-encode + injected decoder call.
+    EncodedCall,
+}
+
+/// Options for the string obfuscation pass.
+#[derive(Debug, Clone)]
+pub struct StringObfOptions {
+    /// Enabled modes (chosen per string at random).
+    pub modes: Vec<StringObfMode>,
+    /// Minimum string length to rewrite.
+    pub min_len: usize,
+    /// Maximum string length for `FromCharCode` (longer strings pick
+    /// another mode).
+    pub max_char_code_len: usize,
+}
+
+impl Default for StringObfOptions {
+    fn default() -> Self {
+        StringObfOptions {
+            modes: vec![
+                StringObfMode::Split,
+                StringObfMode::Reverse,
+                StringObfMode::FromCharCode,
+                StringObfMode::EncodedCall,
+            ],
+            min_len: 3,
+            max_char_code_len: 32,
+        }
+    }
+}
+
+/// Applies string obfuscation in place. Returns the number of rewritten
+/// literals.
+pub fn obfuscate_strings(
+    program: &mut Program,
+    rng: &mut StdRng,
+    opts: &StringObfOptions,
+) -> usize {
+    let decoder_name = format!("_0x{:x}d", rng.gen_range(0x1000u32..0xFFFF));
+    let mut pass = StringObf {
+        rng,
+        opts,
+        rewritten: 0,
+        needs_decoder: false,
+        decoder_name: decoder_name.clone(),
+    };
+    // Skip a directive prologue ('use strict') at the top of the program.
+    let skip = directive_count(&program.body);
+    let mut body = std::mem::take(&mut program.body);
+    for s in body.iter_mut().skip(skip) {
+        pass.visit_stmt_mut(s);
+    }
+    let needs_decoder = pass.needs_decoder;
+    let rewritten = pass.rewritten;
+    if needs_decoder {
+        body.insert(skip, decoder_decl(&decoder_name));
+    }
+    program.body = body;
+    rewritten
+}
+
+/// Number of leading directive-prologue statements (`'use strict';`).
+pub(crate) fn directive_count(body: &[Stmt]) -> usize {
+    body.iter()
+        .take_while(|s| {
+            matches!(
+                s,
+                Stmt::Expr { expr: Expr::Lit(Lit { value: LitValue::Str(_), .. }), .. }
+            )
+        })
+        .count()
+}
+
+struct StringObf<'a> {
+    rng: &'a mut StdRng,
+    opts: &'a StringObfOptions,
+    rewritten: usize,
+    needs_decoder: bool,
+    decoder_name: String,
+}
+
+impl MutVisitor for StringObf<'_> {
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        if let Expr::Lit(Lit { value: LitValue::Str(s), .. }) = e {
+            if s.len() >= self.opts.min_len && !self.opts.modes.is_empty() {
+                let s = s.clone();
+                *e = self.rewrite(&s);
+                self.rewritten += 1;
+                return; // do not recurse into the replacement
+            }
+        }
+        walk_expr_mut(self, e);
+    }
+
+    fn visit_function_mut(&mut self, f: &mut Function) {
+        // Skip directive prologues in function bodies too.
+        let skip = directive_count(&f.body);
+        for p in &mut f.params {
+            self.visit_pat_mut(p);
+        }
+        for s in f.body.iter_mut().skip(skip) {
+            self.visit_stmt_mut(s);
+        }
+    }
+}
+
+impl StringObf<'_> {
+    fn rewrite(&mut self, s: &str) -> Expr {
+        let mut mode = self.opts.modes[self.rng.gen_range(0..self.opts.modes.len())];
+        if mode == StringObfMode::FromCharCode && s.chars().count() > self.opts.max_char_code_len
+        {
+            mode = StringObfMode::Split;
+        }
+        match mode {
+            StringObfMode::Split => self.split(s),
+            StringObfMode::Reverse => reverse_expr(s),
+            StringObfMode::FromCharCode => from_char_code_expr(s),
+            StringObfMode::EncodedCall => {
+                self.needs_decoder = true;
+                call(ident(self.decoder_name.clone()), vec![str_lit(hex_encode(s))])
+            }
+        }
+    }
+
+    fn split(&mut self, s: &str) -> Expr {
+        let chars: Vec<char> = s.chars().collect();
+        let parts = self.rng.gen_range(2..=4usize).min(chars.len().max(2));
+        let mut cut_points: Vec<usize> = (1..chars.len()).collect();
+        // Choose parts-1 cut points.
+        let mut cuts = Vec::new();
+        for _ in 0..parts.saturating_sub(1) {
+            if cut_points.is_empty() {
+                break;
+            }
+            let i = self.rng.gen_range(0..cut_points.len());
+            cuts.push(cut_points.swap_remove(i));
+        }
+        cuts.sort_unstable();
+        let mut chunks = Vec::new();
+        let mut prev = 0;
+        for c in cuts {
+            chunks.push(chars[prev..c].iter().collect::<String>());
+            prev = c;
+        }
+        chunks.push(chars[prev..].iter().collect::<String>());
+        let mut it = chunks.into_iter();
+        let mut e = str_lit(it.next().unwrap_or_default());
+        for chunk in it {
+            e = binary(BinaryOp::Add, e, str_lit(chunk));
+        }
+        e
+    }
+}
+
+/// `'terces'.split('').reverse().join('')`
+fn reverse_expr(s: &str) -> Expr {
+    let reversed: String = s.chars().rev().collect();
+    method_call(
+        method_call(
+            method_call(str_lit(reversed), "split", vec![str_lit("")]),
+            "reverse",
+            vec![],
+        ),
+        "join",
+        vec![str_lit("")],
+    )
+}
+
+/// `String.fromCharCode(104, 105, ...)`
+fn from_char_code_expr(s: &str) -> Expr {
+    let codes: Vec<Expr> = s
+        .encode_utf16()
+        .map(|u| num_lit(u as f64))
+        .collect();
+    from_char_code(codes)
+}
+
+/// Hex-encodes UTF-16 code units, four digits each.
+fn hex_encode(s: &str) -> String {
+    s.encode_utf16().map(|u| format!("{:04x}", u)).collect()
+}
+
+/// Builds the decoder function:
+/// `function NAME(h) { var s = ''; for (var i = 0; i < h.length; i += 4)
+///   { s += String.fromCharCode(parseInt(h.substr(i, 4), 16)); } return s; }`
+fn decoder_decl(name: &str) -> Stmt {
+    let parse_call = call(
+        ident("parseInt"),
+        vec![
+            method_call(ident("h"), "substr", vec![ident("i"), num_lit(4.0)]),
+            num_lit(16.0),
+        ],
+    );
+    let body = vec![
+        var_decl(VarKind::Var, "s", Some(str_lit(""))),
+        Stmt::For {
+            init: Some(ForInit::Var {
+                kind: VarKind::Var,
+                decls: vec![VarDeclarator {
+                    id: Pat::Ident(Ident::new("i")),
+                    init: Some(num_lit(0.0)),
+                    span: Span::DUMMY,
+                }],
+            }),
+            test: Some(binary(
+                BinaryOp::Lt,
+                ident("i"),
+                member(ident("h"), "length"),
+            )),
+            update: Some(Expr::Assign {
+                op: AssignOp::AddAssign,
+                target: Box::new(Pat::Ident(Ident::new("i"))),
+                value: Box::new(num_lit(4.0)),
+                span: Span::DUMMY,
+            }),
+            body: Box::new(block(vec![expr_stmt(Expr::Assign {
+                op: AssignOp::AddAssign,
+                target: Box::new(Pat::Ident(Ident::new("s"))),
+                value: Box::new(from_char_code(vec![parse_call])),
+                span: Span::DUMMY,
+            })])),
+            span: Span::DUMMY,
+        },
+        ret(Some(ident("s"))),
+    ];
+    fn_decl(name, vec!["h"], body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsdetect_codegen::to_minified;
+    use jsdetect_parser::parse;
+    use rand::SeedableRng;
+
+    fn run(src: &str, modes: Vec<StringObfMode>) -> String {
+        let mut prog = parse(src).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let opts = StringObfOptions { modes, ..Default::default() };
+        obfuscate_strings(&mut prog, &mut rng, &opts);
+        to_minified(&prog)
+    }
+
+    #[test]
+    fn split_produces_concatenation() {
+        let out = run("var msg = 'hello world';", vec![StringObfMode::Split]);
+        assert!(out.matches('+').count() >= 1, "{}", out);
+        assert!(!out.contains("'hello world'"), "{}", out);
+        assert!(parse(&out).is_ok());
+    }
+
+    #[test]
+    fn reverse_produces_split_reverse_join() {
+        let out = run("var msg = 'secret';", vec![StringObfMode::Reverse]);
+        assert!(out.contains("'terces'"), "{}", out);
+        assert!(out.contains(".split('').reverse().join('')"), "{}", out);
+    }
+
+    #[test]
+    fn from_char_code() {
+        let out = run("var msg = 'abc';", vec![StringObfMode::FromCharCode]);
+        assert!(out.contains("String.fromCharCode(97,98,99)"), "{}", out);
+    }
+
+    #[test]
+    fn encoded_call_injects_decoder() {
+        let out = run("var msg = 'hello';", vec![StringObfMode::EncodedCall]);
+        assert!(out.contains("parseInt"), "{}", out);
+        assert!(out.contains("fromCharCode"), "{}", out);
+        assert!(out.contains("00680065006c006c006f"), "{}", out);
+        assert!(parse(&out).is_ok());
+    }
+
+    #[test]
+    fn short_strings_kept() {
+        let out = run("var a = 'ab'; f('x');", vec![StringObfMode::Split]);
+        // min_len 3 → 'hi' and 'x' untouched... 'ab' length 2 < 3.
+        assert!(out.contains("'ab'"), "{}", out);
+        assert!(out.contains("'x'"), "{}", out);
+    }
+
+    #[test]
+    fn directives_untouched() {
+        let out = run("'use strict'; var m = 'message';", vec![StringObfMode::Split]);
+        assert!(out.starts_with("'use strict';"), "{}", out);
+        assert!(!out.contains("'message'"), "{}", out);
+    }
+
+    #[test]
+    fn function_directives_untouched() {
+        let out = run(
+            "function f() { 'use strict'; return 'payload'; }",
+            vec![StringObfMode::Reverse],
+        );
+        assert!(out.contains("'use strict';"), "{}", out);
+        assert!(out.contains("'daolyap'"), "{}", out);
+    }
+
+    #[test]
+    fn property_key_strings_untouched() {
+        let out = run("var o = {'longkey': 'longvalue'};", vec![StringObfMode::Reverse]);
+        assert!(out.contains("'longkey'"), "{}", out);
+        assert!(out.contains("'eulavgnol'"), "{}", out);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run("var m = 'hello world, this is a test';", vec![StringObfMode::Split]);
+        let b = run("var m = 'hello world, this is a test';", vec![StringObfMode::Split]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let out = run("var m = 'héllo wörld';", vec![StringObfMode::FromCharCode]);
+        assert!(parse(&out).is_ok(), "{}", out);
+        assert!(out.contains("fromCharCode"), "{}", out);
+    }
+}

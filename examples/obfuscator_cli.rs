@@ -1,0 +1,109 @@
+//! A miniature obfuscator.io-style command-line tool built on the
+//! transformation passes: reads JavaScript from a file (or uses a built-in
+//! demo script), applies the requested techniques, and prints the result.
+//!
+//! ```sh
+//! cargo run --release --example obfuscator_cli -- \
+//!     --technique identifier_obfuscation --technique global_array [file.js]
+//! ```
+//!
+//! Available technique names: identifier_obfuscation, string_obfuscation,
+//! global_array, no_alphanumeric, dead_code_injection,
+//! control_flow_flattening, self_defending, debug_protection,
+//! minification_simple, minification_advanced, or `packer` for the Dean
+//! Edwards packer.
+
+use jsdetect_suite::transform::{apply, apply_packer, Technique};
+
+const DEMO: &str = r#"
+function buildGreeting(name, hour) {
+    var prefix;
+    if (hour < 12) {
+        prefix = 'Good morning';
+    } else if (hour < 18) {
+        prefix = 'Good afternoon';
+    } else {
+        prefix = 'Good evening';
+    }
+    return prefix + ', ' + name + '!';
+}
+console.log(buildGreeting('world', new Date().getHours()));
+"#;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut techniques: Vec<Technique> = Vec::new();
+    let mut file: Option<String> = None;
+    let mut seed = 42u64;
+    let mut packer = false;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--technique" | "-t" => {
+                i += 1;
+                let name = argv.get(i).cloned().unwrap_or_default();
+                if name == "packer" {
+                    packer = true;
+                } else {
+                    match Technique::ALL.iter().find(|t| t.as_str() == name) {
+                        Some(t) => techniques.push(*t),
+                        None => {
+                            eprintln!("unknown technique: {}", name);
+                            eprintln!(
+                                "available: {} or packer",
+                                Technique::ALL
+                                    .iter()
+                                    .map(|t| t.as_str())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                seed = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or(42);
+            }
+            other => file = Some(other.to_string()),
+        }
+        i += 1;
+    }
+
+    let src = match &file {
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {}", path, e);
+            std::process::exit(1);
+        }),
+        None => DEMO.to_string(),
+    };
+    if techniques.is_empty() && !packer {
+        techniques.push(Technique::IdentifierObfuscation);
+        techniques.push(Technique::StringObfuscation);
+    }
+
+    let result = if packer {
+        apply_packer(&src, seed)
+    } else {
+        apply(&src, &techniques, seed)
+    };
+    match result {
+        Ok(out) => {
+            eprintln!(
+                "// applied: {}",
+                if packer {
+                    "packer".to_string()
+                } else {
+                    techniques.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(" + ")
+                }
+            );
+            eprintln!("// {} bytes -> {} bytes", src.len(), out.len());
+            println!("{}", out);
+        }
+        Err(e) => {
+            eprintln!("transformation failed: {}", e);
+            std::process::exit(1);
+        }
+    }
+}

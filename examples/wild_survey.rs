@@ -1,0 +1,79 @@
+//! A miniature version of the paper's §IV study: train the detectors,
+//! simulate small Alexa / npm / malware populations, and report how each
+//! population's transformation landscape differs.
+//!
+//! ```sh
+//! cargo run --release --example wild_survey
+//! ```
+
+use jsdetect_suite::corpus::{
+    alexa_population, malware_population, npm_population, MalwareSource, WildScript,
+};
+use jsdetect_suite::detector::{train_pipeline, DetectorConfig, Technique, TrainedDetectors};
+
+fn survey(name: &str, detectors: &TrainedDetectors, pop: &[WildScript]) {
+    let srcs: Vec<&str> = pop.iter().map(|s| s.src.as_str()).collect();
+    let preds = detectors.level1.predict_many(&srcs);
+
+    let mut transformed_srcs = Vec::new();
+    let mut transformed = 0usize;
+    let mut total = 0usize;
+    for (p, src) in preds.iter().zip(&srcs) {
+        if let Some(p) = p {
+            total += 1;
+            if p.is_transformed() {
+                transformed += 1;
+                transformed_srcs.push(*src);
+            }
+        }
+    }
+    println!(
+        "\n{:10} {:4} scripts, {:5.1}% transformed",
+        name,
+        total,
+        100.0 * transformed as f64 / total.max(1) as f64
+    );
+
+    // Average technique confidence over transformed scripts (the paper's
+    // Figure 2/3/5 quantity).
+    let probs = detectors.level2.predict_proba_many(&transformed_srcs);
+    let mut sums = [0f64; 10];
+    let mut n = 0usize;
+    for p in probs.into_iter().flatten() {
+        for (i, v) in p.iter().enumerate() {
+            sums[i] += *v as f64;
+        }
+        n += 1;
+    }
+    let mut rows: Vec<(usize, f64)> =
+        sums.iter().map(|s| s / n.max(1) as f64).enumerate().collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (i, p) in rows.into_iter().take(4) {
+        println!("    {:26} {:5.1}%", Technique::ALL[i].as_str(), 100.0 * p);
+    }
+}
+
+fn main() {
+    println!("training detectors (n=100)...");
+    let out = train_pipeline(100, 3, &DetectorConfig::default().with_seed(3));
+    let detectors = out.detectors;
+
+    let alexa = alexa_population(64, 30, 0, 77);
+    survey("Alexa", &detectors, &alexa);
+
+    let mut npm = npm_population(64, 40, 0, 77);
+    npm.extend(npm_population(64, 40, 3000, 78));
+    survey("npm", &detectors, &npm);
+
+    for source in [MalwareSource::Dnc, MalwareSource::Hynek, MalwareSource::Bsi] {
+        let pop = malware_population(source, 12, 60, 77);
+        survey(source.as_str(), &detectors, &pop);
+    }
+
+    println!(
+        "\nExpected shape (paper §IV-E): benign code is dominated by\n\
+         minification; malware leads with identifier/string obfuscation\n\
+         plus aggressive minification, and BSI shows the lowest\n\
+         transformed rate of the three feeds."
+    );
+}

@@ -1,0 +1,12 @@
+//! Workspace-level facade re-exporting the public API of the `jsdetect`
+//! reproduction suite. Integration tests and examples live in this package.
+pub use jsdetect as detector;
+pub use jsdetect_ast as ast;
+pub use jsdetect_codegen as codegen;
+pub use jsdetect_corpus as corpus;
+pub use jsdetect_features as features;
+pub use jsdetect_flow as flow;
+pub use jsdetect_lexer as lexer;
+pub use jsdetect_ml as ml;
+pub use jsdetect_parser as parser;
+pub use jsdetect_transform as transform;

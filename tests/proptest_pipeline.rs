@@ -1,0 +1,130 @@
+//! Property-based tests over the front-end pipeline: the generator, the
+//! transformation passes, the parser/printer pair, and feature extraction.
+
+use jsdetect_suite::codegen::{to_minified, to_source};
+use jsdetect_suite::corpus::RegularJsGenerator;
+use jsdetect_suite::parser::parse;
+use jsdetect_suite::transform::{apply, Technique};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated "regular" program parses and pretty-printing it is
+    /// a fixpoint.
+    #[test]
+    fn generated_programs_parse_and_print_stably(seed in 0u64..10_000) {
+        let src = RegularJsGenerator::new(seed).generate();
+        let prog = parse(&src).expect("generated program must parse");
+        let printed = to_source(&prog);
+        let reparsed = parse(&printed).expect("printed program must reparse");
+        prop_assert_eq!(printed, to_source(&reparsed));
+    }
+
+    /// Compact printing never changes the syntactic structure.
+    #[test]
+    fn minified_print_preserves_kind_stream(seed in 0u64..10_000) {
+        let src = RegularJsGenerator::new(seed).generate();
+        let prog = parse(&src).unwrap();
+        let min = to_minified(&prog);
+        let reparsed = parse(&min).expect("minified output must reparse");
+        prop_assert_eq!(
+            jsdetect_suite::ast::kind_stream(&prog),
+            jsdetect_suite::ast::kind_stream(&reparsed)
+        );
+    }
+
+    /// Every technique yields parseable output on arbitrary generated
+    /// programs (or reports a structured error).
+    #[test]
+    fn techniques_preserve_parseability(seed in 0u64..5_000, t_idx in 0usize..10) {
+        let src = RegularJsGenerator::new(seed).generate();
+        let technique = Technique::ALL[t_idx];
+        if let Ok(out) = apply(&src, &[technique], seed) {
+            prop_assert!(
+                parse(&out).is_ok(),
+                "{} produced unparseable output for seed {}",
+                technique,
+                seed
+            );
+        }
+    }
+
+    /// The no-alphanumeric pass emits only its six-character alphabet.
+    #[test]
+    fn jsfuck_alphabet_invariant(seed in 0u64..2_000) {
+        let src = RegularJsGenerator::new(seed).generate();
+        if let Ok(out) = apply(&src, &[Technique::NoAlphanumeric], seed) {
+            prop_assert!(out.chars().all(|c| "[]()!+".contains(c)));
+        }
+    }
+
+    /// Identifier obfuscation leaves no original binding name behind and
+    /// is deterministic per seed.
+    #[test]
+    fn identifier_obfuscation_properties(seed in 0u64..5_000) {
+        let src = RegularJsGenerator::new(seed).generate();
+        let a = apply(&src, &[Technique::IdentifierObfuscation], seed).unwrap();
+        let b = apply(&src, &[Technique::IdentifierObfuscation], seed).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.contains("_0x"));
+    }
+
+    /// Feature extraction never produces NaN/∞ and has a stable width.
+    #[test]
+    fn features_always_finite(seed in 0u64..5_000, t_idx in 0usize..10) {
+        let src = RegularJsGenerator::new(seed).generate();
+        let out = apply(&src, &[Technique::ALL[t_idx]], seed).unwrap_or(src);
+        let analysis = jsdetect_suite::features::analyze_script(&out).unwrap();
+        let f = jsdetect_suite::features::handpicked_features(&analysis);
+        prop_assert_eq!(f.len(), jsdetect_suite::features::N_HANDPICKED);
+        for (i, v) in f.iter().enumerate() {
+            prop_assert!(v.is_finite(), "feature {} not finite", i);
+        }
+    }
+
+    /// The parser never panics on arbitrary byte soup (errors are fine).
+    #[test]
+    fn parser_total_on_arbitrary_input(src in "\\PC*") {
+        let _ = parse(&src);
+    }
+
+    /// The parser never panics on JS-flavoured token soup either.
+    #[test]
+    fn parser_total_on_js_like_input(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("var ".to_string()),
+                Just("function ".to_string()),
+                Just("if".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just(";".to_string()),
+                Just("=".to_string()),
+                Just("=>".to_string()),
+                Just("+".to_string()),
+                Just("'str'".to_string()),
+                Just("`tpl${".to_string()),
+                Just("/".to_string()),
+                Just("x".to_string()),
+                Just("1".to_string()),
+                Just(",".to_string()),
+                Just(".".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let src: String = tokens.concat();
+        let _ = parse(&src);
+    }
+
+    /// The lexer is total as well.
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in "\\PC*") {
+        let _ = jsdetect_suite::lexer::tokenize(&src);
+    }
+}
