@@ -494,12 +494,7 @@ pub enum Stmt {
     /// `SwitchStatement`
     Switch { discriminant: Expr, cases: Vec<SwitchCase>, span: Span },
     /// `TryStatement`
-    Try {
-        block: Vec<Stmt>,
-        handler: Option<CatchClause>,
-        finalizer: Option<Vec<Stmt>>,
-        span: Span,
-    },
+    Try { block: Vec<Stmt>, handler: Option<CatchClause>, finalizer: Option<Vec<Stmt>>, span: Span },
     /// `ThrowStatement`
     Throw { arg: Expr, span: Span },
     /// `ReturnStatement`

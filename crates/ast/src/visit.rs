@@ -569,8 +569,7 @@ mod tests {
             })],
             span: Span::DUMMY,
         };
-        let idents =
-            kind_stream(&prog).iter().filter(|k| **k == NodeKind::Identifier).count();
+        let idents = kind_stream(&prog).iter().filter(|k| **k == NodeKind::Identifier).count();
         assert_eq!(idents, 1);
     }
 

@@ -139,10 +139,8 @@ pub fn walk_stmt_mut<V: MutVisitor>(v: &mut V, s: &mut Stmt) {
             }
         }
         Stmt::Labeled { body, .. } => v.visit_stmt_mut(body),
-        Stmt::Break { .. }
-        | Stmt::Continue { .. }
-        | Stmt::Empty { .. }
-        | Stmt::Debugger { .. } => {}
+        Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Empty { .. } | Stmt::Debugger { .. } => {
+        }
         Stmt::With { object, body, .. } => {
             v.visit_expr_mut(object);
             v.visit_stmt_mut(body);

@@ -12,12 +12,9 @@ fn bench_detector(c: &mut Criterion) {
     let out = train_pipeline(48, 9, &DetectorConfig::fast().with_seed(9));
     let detectors = out.detectors;
     let regular = fixture_script();
-    let obfuscated = apply(
-        &regular,
-        &[Technique::IdentifierObfuscation, Technique::StringObfuscation],
-        3,
-    )
-    .unwrap();
+    let obfuscated =
+        apply(&regular, &[Technique::IdentifierObfuscation, Technique::StringObfuscation], 3)
+            .unwrap();
 
     let mut group = c.benchmark_group("detector");
     group.throughput(Throughput::Bytes(regular.len() as u64));

@@ -18,18 +18,14 @@ fn bench_frontend(c: &mut Criterion) {
     group.bench_function("tokenize", |b| {
         b.iter(|| jsdetect_lexer::tokenize(std::hint::black_box(&src)).unwrap())
     });
-    group.bench_function("parse", |b| {
-        b.iter(|| parse(std::hint::black_box(&src)).unwrap())
-    });
+    group.bench_function("parse", |b| b.iter(|| parse(std::hint::black_box(&src)).unwrap()));
     group.bench_function("print_pretty", |b| {
         b.iter(|| jsdetect_codegen::to_source(std::hint::black_box(&prog)))
     });
     group.bench_function("print_minified", |b| {
         b.iter(|| jsdetect_codegen::to_minified(std::hint::black_box(&prog)))
     });
-    group.bench_function("flow_analysis", |b| {
-        b.iter(|| analyze(std::hint::black_box(&prog)))
-    });
+    group.bench_function("flow_analysis", |b| b.iter(|| analyze(std::hint::black_box(&prog))));
     group.bench_function("full_analysis", |b| {
         b.iter(|| analyze_script(std::hint::black_box(&src)).unwrap())
     });

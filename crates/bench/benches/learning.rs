@@ -2,9 +2,7 @@
 //! classifier chains vs. binary relevance, naive-Bayes baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use jsdetect_ml::{
-    BaseParams, ForestParams, GaussianNb, MultiLabel, RandomForest, Strategy,
-};
+use jsdetect_ml::{BaseParams, ForestParams, GaussianNb, MultiLabel, RandomForest, Strategy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

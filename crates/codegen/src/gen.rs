@@ -203,8 +203,7 @@ impl Gen {
                 self.w.token("(");
                 self.expr(test, PREC_SEQ);
                 self.w.token(")");
-                let needs_brace =
-                    alternate.is_some() && ends_with_open_if(consequent);
+                let needs_brace = alternate.is_some() && ends_with_open_if(consequent);
                 if needs_brace {
                     self.w.space();
                     self.w.token("{");
@@ -425,9 +424,7 @@ impl Gen {
 
     fn loop_body(&mut self, s: &Stmt) {
         let body = match s {
-            Stmt::For { body, .. }
-            | Stmt::ForIn { body, .. }
-            | Stmt::ForOf { body, .. } => body,
+            Stmt::For { body, .. } | Stmt::ForIn { body, .. } | Stmt::ForOf { body, .. } => body,
             _ => unreachable!(),
         };
         self.nested(body);
@@ -840,10 +837,9 @@ impl Gen {
             }
             Expr::Member { object, property, optional, .. } => {
                 // Numeric literal objects need parens: `(1).toString()`.
-                let needs_parens = matches!(
-                    &**object,
-                    Expr::Lit(Lit { value: LitValue::Num(_), .. })
-                ) || expr_prec(object) < PREC_CALL;
+                let needs_parens =
+                    matches!(&**object, Expr::Lit(Lit { value: LitValue::Num(_), .. }))
+                        || expr_prec(object) < PREC_CALL;
                 if needs_parens {
                     self.w.token("(");
                     self.expr(object, PREC_SEQ);

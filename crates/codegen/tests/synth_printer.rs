@@ -1,0 +1,219 @@
+//! Randomized printer tests over *arbitrary synthesized ASTs* (not just
+//! parsed sources): pretty and compact printing produce programs that
+//! reparse, and printing is a fixpoint. This reaches printer paths that
+//! source-derived tests cannot (unusual nestings, holes, empty bodies,
+//! keyword-ish names in safe positions). A hand-rolled seeded generator
+//! replaces the earlier proptest strategies (proptest is unavailable in
+//! the offline build environment).
+
+use jsdetect_ast::builder as b;
+use jsdetect_ast::*;
+use jsdetect_codegen::{to_minified, to_source};
+use jsdetect_parser::parse;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Identifier names drawn from a safe pool (plus a few adversarial ones
+/// that stress the writer's token-boundary logic).
+fn gen_ident(rng: &mut StdRng) -> String {
+    ["x", "value", "_private", "$jq", "ifx", "letters", "newish", "_0x1a2b", "a"]
+        .choose(rng)
+        .unwrap()
+        .to_string()
+}
+
+fn gen_string(rng: &mut StdRng) -> String {
+    [
+        "",
+        "hello",
+        "it's",
+        "tab\there",
+        "line\nbreak",
+        "back\\slash",
+        "${not-a-template}",
+        "héllo ünïcode",
+    ]
+    .choose(rng)
+    .unwrap()
+    .to_string()
+}
+
+fn gen_literal(rng: &mut StdRng) -> Expr {
+    match rng.gen_range(0..6u8) {
+        0 => b::num_lit(rng.gen_range(0..1000u32) as f64),
+        1 => b::num_lit(0.5),
+        2 => b::num_lit(1e21),
+        3 => b::bool_lit(rng.gen_bool(0.5)),
+        4 => b::null_lit(),
+        _ => b::str_lit(gen_string(rng)),
+    }
+}
+
+fn gen_expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..3u8) {
+            0 => gen_literal(rng),
+            1 => b::ident(gen_ident(rng)),
+            _ => Expr::This { span: Span::DUMMY },
+        };
+    }
+    let d = depth - 1;
+    match rng.gen_range(0..11u8) {
+        0 => {
+            let ops = [
+                BinaryOp::Add,
+                BinaryOp::Sub,
+                BinaryOp::Mul,
+                BinaryOp::Div,
+                BinaryOp::Lt,
+                BinaryOp::EqEqEq,
+                BinaryOp::BitAnd,
+                BinaryOp::Exp,
+            ];
+            b::binary(*ops.choose(rng).unwrap(), gen_expr(rng, d), gen_expr(rng, d))
+        }
+        1 => b::logical(LogicalOp::And, gen_expr(rng, d), gen_expr(rng, d)),
+        2 => {
+            let ops = [UnaryOp::Not, UnaryOp::Minus, UnaryOp::TypeOf, UnaryOp::Void];
+            b::unary(*ops.choose(rng).unwrap(), gen_expr(rng, d))
+        }
+        3 => b::conditional(gen_expr(rng, d), gen_expr(rng, d), gen_expr(rng, d)),
+        4 => {
+            let args = (0..rng.gen_range(0..3usize)).map(|_| gen_expr(rng, d)).collect();
+            b::call(gen_expr(rng, d), args)
+        }
+        5 => b::member(gen_expr(rng, d), gen_ident(rng)),
+        6 => b::index(gen_expr(rng, d), gen_expr(rng, d)),
+        7 => Expr::Array {
+            elements: (0..rng.gen_range(0..4usize))
+                .map(|_| if rng.gen_bool(0.25) { None } else { Some(gen_expr(rng, d)) })
+                .collect(),
+            span: Span::DUMMY,
+        },
+        8 => b::assign_ident(gen_ident(rng), gen_expr(rng, d)),
+        9 => Expr::Sequence {
+            exprs: (0..rng.gen_range(2..4usize)).map(|_| gen_expr(rng, d)).collect(),
+            span: Span::DUMMY,
+        },
+        _ => {
+            if rng.gen_bool(0.5) {
+                // Object literal with identifier keys.
+                Expr::Object {
+                    props: (0..rng.gen_range(0..3usize))
+                        .map(|_| Property {
+                            key: PropKey::Ident(Ident::new(gen_ident(rng))),
+                            value: gen_expr(rng, d),
+                            kind: PropKind::Init,
+                            computed: false,
+                            shorthand: false,
+                            method: false,
+                            span: Span::DUMMY,
+                        })
+                        .collect(),
+                    span: Span::DUMMY,
+                }
+            } else {
+                // Arrow with expression body.
+                Expr::Arrow {
+                    params: vec![Pat::Ident(Ident::new(gen_ident(rng)))],
+                    body: ArrowBody::Expr(Box::new(gen_expr(rng, d))),
+                    is_async: false,
+                    span: Span::DUMMY,
+                }
+            }
+        }
+    }
+}
+
+fn gen_stmt(rng: &mut StdRng, depth: usize) -> Stmt {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return match rng.gen_range(0..6u8) {
+            0 => b::expr_stmt(gen_expr(rng, 3)),
+            1 => b::var_decl(VarKind::Var, gen_ident(rng), Some(gen_expr(rng, 3))),
+            2 => b::var_decl(VarKind::Const, gen_ident(rng), Some(gen_expr(rng, 3))),
+            3 => b::ret(Some(gen_expr(rng, 3))),
+            4 => Stmt::Empty { span: Span::DUMMY },
+            _ => Stmt::Debugger { span: Span::DUMMY },
+        };
+    }
+    let d = depth - 1;
+    match rng.gen_range(0..7u8) {
+        0 => {
+            let alt = if rng.gen_bool(0.5) { Some(gen_stmt(rng, d)) } else { None };
+            b::if_stmt(gen_expr(rng, 3), gen_stmt(rng, d), alt)
+        }
+        1 => b::while_stmt(gen_expr(rng, 3), gen_stmt(rng, d)),
+        2 => b::block((0..rng.gen_range(0..4usize)).map(|_| gen_stmt(rng, d)).collect()),
+        3 => b::fn_decl(
+            gen_ident(rng),
+            vec!["p", "q"],
+            (0..rng.gen_range(0..3usize)).map(|_| gen_stmt(rng, d)).collect(),
+        ),
+        4 => Stmt::ForIn {
+            target: ForTarget::Var { kind: VarKind::Var, pat: Pat::Ident(Ident::new("k")) },
+            object: gen_expr(rng, 3),
+            body: Box::new(gen_stmt(rng, d)),
+            span: Span::DUMMY,
+        },
+        5 => Stmt::DoWhile {
+            body: Box::new(gen_stmt(rng, d)),
+            test: gen_expr(rng, 3),
+            span: Span::DUMMY,
+        },
+        _ => Stmt::Try {
+            block: vec![gen_stmt(rng, d)],
+            handler: Some(CatchClause {
+                param: Some(Pat::Ident(Ident::new("e"))),
+                body: vec![],
+                span: Span::DUMMY,
+            }),
+            finalizer: None,
+            span: Span::DUMMY,
+        },
+    }
+}
+
+fn gen_program(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(0..6usize);
+    b::program((0..n).map(|_| gen_stmt(&mut rng, 3)).collect())
+}
+
+const CASES: u64 = 192;
+
+#[test]
+fn synthesized_ast_pretty_prints_reparse() {
+    for seed in 0..CASES {
+        let prog = gen_program(seed);
+        let printed = to_source(&prog);
+        let reparsed = parse(&printed).unwrap_or_else(|e| {
+            panic!("pretty output failed to parse (seed {}): {}\n---\n{}", seed, e, printed)
+        });
+        let again = to_source(&reparsed);
+        assert_eq!(printed, again, "pretty print not a fixpoint (seed {})", seed);
+    }
+}
+
+#[test]
+fn synthesized_ast_minified_prints_reparse() {
+    for seed in 0..CASES {
+        let prog = gen_program(seed);
+        let printed = to_minified(&prog);
+        let reparsed = parse(&printed).unwrap_or_else(|e| {
+            panic!("minified output failed to parse (seed {}): {}\n---\n{}", seed, e, printed)
+        });
+        let again = to_minified(&reparsed);
+        assert_eq!(printed, again, "minified print not a fixpoint (seed {})", seed);
+    }
+}
+
+#[test]
+fn pretty_and_minified_agree_structurally() {
+    for seed in 0..CASES {
+        let prog = gen_program(seed);
+        let pretty = parse(&to_source(&prog)).unwrap();
+        let minified = parse(&to_minified(&prog)).unwrap();
+        assert_eq!(kind_stream(&pretty), kind_stream(&minified), "seed {}", seed);
+    }
+}

@@ -97,8 +97,7 @@ impl Level1Detector {
         cfg: &DetectorConfig,
     ) -> Self {
         assert!(!samples.is_empty(), "no training sample parsed");
-        let space =
-            VectorSpace::fit(samples.iter().map(|(a, _)| *a), cfg.max_ngrams, cfg.features);
+        let space = VectorSpace::fit(samples.iter().map(|(a, _)| *a), cfg.max_ngrams, cfg.features);
         let x: Vec<Vec<f32>> = samples.iter().map(|(a, _)| space.vectorize(a)).collect();
         let y: Vec<Vec<bool>> = samples.iter().map(|(_, t)| t.label_vector()).collect();
         let model = MultiLabel::fit(&x, &y, cfg.strategy, &cfg.base);

@@ -41,8 +41,7 @@ impl Level2Detector {
         cfg: &DetectorConfig,
     ) -> Self {
         assert!(!samples.is_empty(), "no training sample parsed");
-        let space =
-            VectorSpace::fit(samples.iter().map(|(a, _)| *a), cfg.max_ngrams, cfg.features);
+        let space = VectorSpace::fit(samples.iter().map(|(a, _)| *a), cfg.max_ngrams, cfg.features);
         let x: Vec<Vec<f32>> = samples.iter().map(|(a, _)| space.vectorize(a)).collect();
         let y: Vec<Vec<bool>> = samples.iter().map(|(_, l)| l.clone()).collect();
         let model = MultiLabel::fit(&x, &y, cfg.strategy, &cfg.base);
@@ -76,10 +75,7 @@ impl Level2Detector {
         threshold: f32,
     ) -> Result<Vec<Technique>, ParseError> {
         let probs = self.predict_proba(src)?;
-        Ok(thresholded_top_k(&probs, k, threshold)
-            .into_iter()
-            .map(|i| Technique::ALL[i])
-            .collect())
+        Ok(thresholded_top_k(&probs, k, threshold).into_iter().map(|i| Technique::ALL[i]).collect())
     }
 
     /// The fitted vector space (for inspection).

@@ -120,9 +120,7 @@ pub fn train_pipeline(n_regular: usize, seed: u64, cfg: &DetectorConfig) -> Pipe
 
     let mut l1_set = Vec::new();
     let mut l2_set = Vec::new();
-    for ((sample, analysis), in_l1) in
-        train_samples.iter().zip(&analyses).zip(&l1_quota)
-    {
+    for ((sample, analysis), in_l1) in train_samples.iter().zip(&analyses).zip(&l1_quota) {
         if let Some(a) = analysis {
             if *in_l1 {
                 l1_set.push((a, Level1Truth::from_techniques(&sample.techniques)));

@@ -83,11 +83,7 @@ pub fn implied_labels(techniques: &[Technique]) -> Vec<Technique> {
 /// Returns `None` when the transformation fails *or is a no-op* (e.g.
 /// control-flow flattening finds no eligible statement list) — a sample
 /// whose code did not change must not carry a transformation label.
-pub fn transform_sample(
-    src: &str,
-    techniques: &[Technique],
-    seed: u64,
-) -> Option<LabeledSample> {
+pub fn transform_sample(src: &str, techniques: &[Technique], seed: u64) -> Option<LabeledSample> {
     let out = apply(src, techniques, seed).ok()?;
     let untouched = apply(src, &[], seed).ok()?;
     if out == untouched {
@@ -154,10 +150,7 @@ pub fn random_combo(rng: &mut StdRng) -> Vec<Technique> {
         DebugProtection,
     ];
     let n_obf = rng.gen_range(0..=4usize);
-    let mut picked: Vec<Technique> = obfuscations
-        .choose_multiple(rng, n_obf)
-        .copied()
-        .collect();
+    let mut picked: Vec<Technique> = obfuscations.choose_multiple(rng, n_obf).copied().collect();
     // Optionally add one minification flavour.
     match rng.gen_range(0..3u8) {
         0 => picked.push(MinificationSimple),
@@ -188,7 +181,7 @@ pub fn partial_sample(seed: u64) -> Option<LabeledSample> {
         GenOptions { min_bytes: 512, max_bytes: 1024 },
     )
     .generate();
-    let technique = if seed % 2 == 0 {
+    let technique = if seed.is_multiple_of(2) {
         Technique::MinificationSimple
     } else {
         Technique::MinificationAdvanced
@@ -207,8 +200,7 @@ pub fn mixed_set(n: usize, seed: u64) -> Vec<LabeledSample> {
     let mut i = 0u64;
     while out.len() < n {
         i += 1;
-        let src =
-            crate::generator::RegularJsGenerator::new(seed.wrapping_add(i * 131)).generate();
+        let src = crate::generator::RegularJsGenerator::new(seed.wrapping_add(i * 131)).generate();
         let combo = random_combo(&mut rng);
         if let Some(s) = transform_sample(&src, &combo, seed.wrapping_add(i)) {
             out.push(s);
@@ -225,8 +217,7 @@ pub fn packer_set(n: usize, seed: u64) -> Vec<LabeledSample> {
     let mut i = 0u64;
     while out.len() < n {
         i += 1;
-        let src =
-            crate::generator::RegularJsGenerator::new(seed.wrapping_add(i * 977)).generate();
+        let src = crate::generator::RegularJsGenerator::new(seed.wrapping_add(i * 977)).generate();
         if let Ok(packed) = jsdetect_transform::apply_packer(&src, seed.wrapping_add(i)) {
             out.push(LabeledSample {
                 src: packed,

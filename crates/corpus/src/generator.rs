@@ -132,8 +132,7 @@ impl RegularJsGenerator {
             4 => member(self.name_ref(names), self.pick(PROPS)),
             5 => self.call_expr(names),
             _ => {
-                let elems =
-                    (0..self.rng.gen_range(0..4usize)).map(|_| self.literal()).collect();
+                let elems = (0..self.rng.gen_range(0..4usize)).map(|_| self.literal()).collect();
                 array(elems)
             }
         }
@@ -192,7 +191,8 @@ impl RegularJsGenerator {
     }
 
     fn statement(&mut self, depth: usize, names: &mut Vec<String>) -> Stmt {
-        let roll = if depth >= 2 { self.rng.gen_range(0..5u8) } else { self.rng.gen_range(0..10u8) };
+        let roll =
+            if depth >= 2 { self.rng.gen_range(0..5u8) } else { self.rng.gen_range(0..10u8) };
         match roll {
             0 | 1 => {
                 let name = self.var_name();
@@ -202,10 +202,9 @@ impl RegularJsGenerator {
                     self.simple_expr(names)
                 };
                 names.push(name.clone());
-                let kind =
-                    *[VarKind::Var, VarKind::Var, VarKind::Let, VarKind::Const]
-                        .choose(&mut self.rng)
-                        .unwrap();
+                let kind = *[VarKind::Var, VarKind::Var, VarKind::Let, VarKind::Const]
+                    .choose(&mut self.rng)
+                    .unwrap();
                 var_decl(kind, name, Some(init))
             }
             2 => expr_stmt(self.call_expr(names)),
@@ -238,10 +237,7 @@ impl RegularJsGenerator {
                 if_stmt(test, cons, alt)
             }
             6 => self.for_loop(depth, names),
-            7 => {
-                
-                self.function_decl(depth, names)
-            }
+            7 => self.function_decl(depth, names),
             8 => Stmt::Try {
                 block: self.body(depth + 1, names),
                 handler: Some(CatchClause {
@@ -283,10 +279,7 @@ impl RegularJsGenerator {
     fn for_loop(&mut self, depth: usize, names: &mut Vec<String>) -> Stmt {
         let i = *["i", "j", "k", "idx"].choose(&mut self.rng).unwrap();
         let coll = self.name_ref(names);
-        let body = block(vec![
-            self.statement(depth + 1, names),
-            expr_stmt(self.call_expr(names)),
-        ]);
+        let body = block(vec![self.statement(depth + 1, names), expr_stmt(self.call_expr(names))]);
         Stmt::For {
             init: Some(ForInit::Var {
                 kind: VarKind::Var,
@@ -357,10 +350,10 @@ impl RegularJsGenerator {
             Pat::Member(Box::new(member(ident("window"), self.fn_name()))),
             self.name_ref(&names),
         )));
-        program(vec![expr_stmt(call(fn_expr(vec!["window", "document"], inner), vec![
-            ident("window"),
-            ident("document"),
-        ]))])
+        program(vec![expr_stmt(call(
+            fn_expr(vec!["window", "document"], inner),
+            vec![ident("window"), ident("document")],
+        ))])
     }
 
     fn node_module(&mut self) -> Program {
@@ -420,10 +413,7 @@ impl RegularJsGenerator {
                 vec!["options"],
                 vec![
                     expr_stmt(assign(
-                        Pat::Member(Box::new(member(
-                            Expr::This { span: Span::DUMMY },
-                            "options",
-                        ))),
+                        Pat::Member(Box::new(member(Expr::This { span: Span::DUMMY }, "options"))),
                         ident("options"),
                     )),
                     expr_stmt(assign(
@@ -479,8 +469,7 @@ impl RegularJsGenerator {
         }
         for line in lines {
             if self.rng.gen_bool(0.08) && !line.trim().is_empty() {
-                let indent: String =
-                    line.chars().take_while(|c| *c == ' ').collect();
+                let indent: String = line.chars().take_while(|c| *c == ' ').collect();
                 let c = COMMENTS[self.rng.gen_range(0..COMMENTS.len())];
                 out.push_str(&indent);
                 out.push_str("// ");
@@ -504,9 +493,7 @@ fn capitalize(s: &str) -> String {
 
 /// Generates `n` regular scripts with seeds derived from `seed`.
 pub fn regular_corpus(n: usize, seed: u64) -> Vec<String> {
-    (0..n)
-        .map(|i| RegularJsGenerator::new(seed.wrapping_add(i as u64)).generate())
-        .collect()
+    (0..n).map(|i| RegularJsGenerator::new(seed.wrapping_add(i as u64)).generate()).collect()
 }
 
 #[cfg(test)]

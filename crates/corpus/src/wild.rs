@@ -259,8 +259,7 @@ pub fn npm_population(
         let rank = rank_start + pkg;
         let mut model = npm_model(month, rank, &mut rng);
         let p_transformer = (model.transform_rate / INNER_RATE).min(1.0);
-        model.transform_rate =
-            if rng.gen_bool(p_transformer) { INNER_RATE } else { 0.004 };
+        model.transform_rate = if rng.gen_bool(p_transformer) { INNER_RATE } else { 0.004 };
         let n_scripts = rng.gen_range(2..6usize);
         for s in 0..n_scripts {
             let sseed = seed
@@ -336,9 +335,8 @@ pub fn malware_population(
     n: usize,
     seed: u64,
 ) -> Vec<WildScript> {
-    let mut rng = StdRng::seed_from_u64(
-        seed ^ 0x3a1 ^ ((source as u64) << 32) ^ ((month as u64) << 16),
-    );
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ 0x3a1 ^ ((source as u64) << 32) ^ ((month as u64) << 16));
     let model = malware_model(source, month, &mut rng);
     let mut out = Vec::new();
     let mut wave = 0usize;
@@ -348,8 +346,7 @@ pub fn malware_population(
         let base_seed = seed.wrapping_add((wave as u64) << 24).wrapping_add(month as u64);
         let base = RegularJsGenerator::new(base_seed).generate();
         let transformed = rng.gen_bool(model.transform_rate);
-        let techniques =
-            if transformed { model.sample_techniques(&mut rng) } else { Vec::new() };
+        let techniques = if transformed { model.sample_techniques(&mut rng) } else { Vec::new() };
         // §IV-C1: most malware the paper's manual analysis found to be
         // "regular-looking" still randomizes its variable names — but with
         // word-shaped names, so the syntactic structure stays regular.
@@ -399,16 +396,15 @@ pub fn malware_population(
 /// keep the script's syntax looking regular.
 fn lightly_randomize_names(src: &str, seed: u64) -> Option<String> {
     const SYLLABLES: &[&str] = &[
-        "ba", "co", "da", "fe", "gi", "ho", "ja", "ke", "lu", "ma", "ne", "or", "pa", "qu",
-        "ra", "se", "ti", "ul", "va", "we",
+        "ba", "co", "da", "fe", "gi", "ho", "ja", "ke", "lu", "ma", "ne", "or", "pa", "qu", "ra",
+        "se", "ti", "ul", "va", "we",
     ];
     let mut prog = jsdetect_parser::parse(src).ok()?;
     let mut rng = StdRng::seed_from_u64(seed ^ 0x1164f);
     let mut used = std::collections::HashSet::new();
     jsdetect_transform::rename::rename_bindings(&mut prog, &mut || loop {
         let n = rng.gen_range(2..4usize);
-        let name: String =
-            (0..n).map(|_| SYLLABLES[rng.gen_range(0..SYLLABLES.len())]).collect();
+        let name: String = (0..n).map(|_| SYLLABLES[rng.gen_range(0..SYLLABLES.len())]).collect();
         if used.insert(name.clone()) {
             break name;
         }
@@ -444,12 +440,9 @@ mod tests {
         let rate = pop.iter().filter(|s| s.is_transformed()).count() as f64 / pop.len() as f64;
         assert!((0.5..0.95).contains(&rate), "rate={}", rate);
         // Mostly minified.
-        let minified = pop
-            .iter()
-            .filter(|s| s.truth.iter().any(|t| t.is_minification()))
-            .count() as f64;
-        let transformed =
-            pop.iter().filter(|s| s.is_transformed()).count().max(1) as f64;
+        let minified =
+            pop.iter().filter(|s| s.truth.iter().any(|t| t.is_minification())).count() as f64;
+        let transformed = pop.iter().filter(|s| s.is_transformed()).count().max(1) as f64;
         assert!(minified / transformed > 0.75, "{}", minified / transformed);
     }
 
@@ -475,8 +468,7 @@ mod tests {
     #[test]
     fn npm_rate_much_lower_than_alexa() {
         let npm = npm_population(64, 80, 1_000, 3);
-        let npm_rate =
-            npm.iter().filter(|s| s.is_transformed()).count() as f64 / npm.len() as f64;
+        let npm_rate = npm.iter().filter(|s| s.is_transformed()).count() as f64 / npm.len() as f64;
         assert!(npm_rate < 0.35, "npm rate={}", npm_rate);
     }
 
@@ -496,12 +488,7 @@ mod tests {
         }
         let top_rate = top as f64 / top_n as f64;
         let rest_rate = rest as f64 / rest_n as f64;
-        assert!(
-            rest_rate > top_rate * 1.5,
-            "top={} rest={}",
-            top_rate,
-            rest_rate
-        );
+        assert!(rest_rate > top_rate * 1.5, "top={} rest={}", top_rate, rest_rate);
     }
 
     #[test]

@@ -89,10 +89,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!(
-                "unknown --kind {} (expected regular|alexa|npm|malware|groundtruth)",
-                other
-            );
+            eprintln!("unknown --kind {} (expected regular|alexa|npm|malware|groundtruth)", other);
             std::process::exit(2);
         }
     }

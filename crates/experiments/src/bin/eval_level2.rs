@@ -35,14 +35,11 @@ fn main() {
         }
     }
 
-    let hard: Vec<Vec<bool>> = kept_probs
-        .iter()
-        .map(|p| p.iter().map(|v| *v >= 0.5).collect())
-        .collect();
+    let hard: Vec<Vec<bool>> =
+        kept_probs.iter().map(|p| p.iter().map(|v| *v >= 0.5).collect()).collect();
     let exact = 100.0 * metrics::exact_match(&hard, &kept_truth);
-    let top_k: Vec<f64> = (1..=3)
-        .map(|k| 100.0 * metrics::top_k_accuracy(&kept_probs, &kept_truth, k))
-        .collect();
+    let top_k: Vec<f64> =
+        (1..=3).map(|k| 100.0 * metrics::top_k_accuracy(&kept_probs, &kept_truth, k)).collect();
 
     let mut recalls = Vec::new();
     for t in Technique::ALL {
@@ -72,12 +69,7 @@ fn main() {
     println!("{:-<64}", "");
     println!("exact-set accuracy: {:.2}% (paper: 86.95%)", exact);
     for (i, v) in top_k.iter().enumerate() {
-        println!(
-            "top-{} accuracy:     {:.2}% (paper: {:.2}%)",
-            i + 1,
-            v,
-            result.paper_top_k[i]
-        );
+        println!("top-{} accuracy:     {:.2}% (paper: {:.2}%)", i + 1, v, result.paper_top_k[i]);
     }
     println!("\nper-technique recall at threshold 0.5:");
     for (name, r, n) in &recalls {

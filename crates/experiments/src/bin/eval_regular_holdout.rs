@@ -36,9 +36,9 @@ fn main() {
     println!("Fresh regular-corpus holdout (§IV-B1 verification), n={}", total);
     println!("classified regular: {:.2}% (paper, Raychev corpus: 98.65%)", acc);
 
-    write_json(&args, "eval_regular_holdout", &HoldoutResult {
-        regular_acc: acc,
-        n: total,
-        paper_acc: 98.65,
-    });
+    write_json(
+        &args,
+        "eval_regular_holdout",
+        &HoldoutResult { regular_acc: acc, n: total, paper_acc: 98.65 },
+    );
 }

@@ -57,10 +57,7 @@ fn main() {
     println!("Unmonitored technique: obfuscated field reference (§II-C)");
     println!("{:-<64}", "");
     println!("rewritten samples flagged transformed: {:.2}%", result.flagged_pct);
-    println!(
-        "untouched baseline flagged transformed: {:.2}%",
-        result.regular_baseline_flagged_pct
-    );
+    println!("untouched baseline flagged transformed: {:.2}%", result.regular_baseline_flagged_pct);
     println!(
         "mean obfuscated confidence: {:.3} -> {:.3}",
         result.mean_obfuscated_confidence_before, result.mean_obfuscated_confidence_after

@@ -32,10 +32,7 @@ struct MaliciousnessResult {
 }
 
 /// 13-dimensional meta-feature vector: level-1 + level-2 confidences.
-fn meta_features(
-    detectors: &jsdetect::TrainedDetectors,
-    srcs: &[&str],
-) -> Vec<Option<Vec<f32>>> {
+fn meta_features(detectors: &jsdetect::TrainedDetectors, srcs: &[&str]) -> Vec<Option<Vec<f32>>> {
     let l1 = detectors.level1.predict_many(srcs);
     let l2 = detectors.level2.predict_proba_many(srcs);
     l1.into_iter()
@@ -99,8 +96,7 @@ fn main() {
 
     // Naive baseline: "transformed ⇒ malicious" (level-1 transformed flag:
     // minified or obfuscated confidence ≥ 0.5 → indices 1 and 2).
-    let naive_pred: Vec<bool> =
-        x_test.iter().map(|f| f[1] >= 0.5 || f[2] >= 0.5).collect();
+    let naive_pred: Vec<bool> = x_test.iter().map(|f| f[1] >= 0.5 || f[2] >= 0.5).collect();
     let naive = metrics::prf(&naive_pred, &y_test);
 
     // Learned: forest over the 13 detector confidences.
@@ -138,17 +134,21 @@ fn main() {
          the classes well."
     );
 
-    write_json(&args, "ext_maliciousness", &MaliciousnessResult {
-        naive_precision: 100.0 * naive.precision,
-        naive_recall: 100.0 * naive.recall,
-        naive_f1: 100.0 * naive.f1,
-        learned_precision: 100.0 * learned.precision,
-        learned_recall: 100.0 * learned.recall,
-        learned_f1: 100.0 * learned.f1,
-        learned_accuracy: 100.0 * learned_acc,
-        n_train: x_train.len(),
-        n_test: x_test.len(),
-    });
+    write_json(
+        &args,
+        "ext_maliciousness",
+        &MaliciousnessResult {
+            naive_precision: 100.0 * naive.precision,
+            naive_recall: 100.0 * naive.recall,
+            naive_f1: 100.0 * naive.f1,
+            learned_precision: 100.0 * learned.precision,
+            learned_recall: 100.0 * learned.recall,
+            learned_f1: 100.0 * learned.f1,
+            learned_accuracy: 100.0 * learned_acc,
+            n_train: x_train.len(),
+            n_test: x_test.len(),
+        },
+    );
 }
 
 /// Seed salt decorrelating the held-out test stream from training.

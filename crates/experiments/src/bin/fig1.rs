@@ -84,11 +84,8 @@ fn main() {
     let threshold_50 = sweep(0.50);
     // §III-E2: "even with a threshold of 50% we could only recognize 3 or
     // 4 techniques" — the largest number of labels any prediction keeps.
-    let max_at_50 = kept_probs
-        .iter()
-        .map(|p| metrics::thresholded_top_k(p, 10, 0.5).len())
-        .max()
-        .unwrap_or(0);
+    let max_at_50 =
+        kept_probs.iter().map(|p| metrics::thresholded_top_k(p, 10, 0.5).len()).max().unwrap_or(0);
 
     println!("Figure 1 / Test Set 2 — mixed-technique samples (n={})", kept_probs.len());
     println!("level-1 transformed accuracy: {:.2}% (paper: 99.99%)", l1_acc);
@@ -107,10 +104,7 @@ fn main() {
             );
         }
     }
-    println!(
-        "\nmax techniques ever kept at threshold 50%: {} (paper: 3-4)",
-        max_at_50
-    );
+    println!("\nmax techniques ever kept at threshold 50%: {} (paper: 3-4)", max_at_50);
 
     let result = Fig1Result {
         level1_transformed_acc: l1_acc,

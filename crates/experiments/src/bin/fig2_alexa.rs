@@ -79,19 +79,14 @@ fn main() {
     }
     let pct = |a: usize, b: usize| 100.0 * a as f64 / b.max(1) as f64;
     let sites_with = site_any.values().filter(|v| **v).count();
-    let bucket_pct: Vec<f64> =
-        bucket_counts.iter().map(|(t, n)| pct(*t, *n)).collect();
-    let gen_rate = pct(
-        all_scripts.iter().filter(|s| s.is_transformed()).count(),
-        all_scripts.len(),
-    );
+    let bucket_pct: Vec<f64> = bucket_counts.iter().map(|(t, n)| pct(*t, *n)).collect();
+    let gen_rate =
+        pct(all_scripts.iter().filter(|s| s.is_transformed()).count(), all_scripts.len());
 
     // Figure 2: technique usage probability over transformed scripts.
     let (usage, n_transformed) = technique_usage_probability(&detectors, &srcs);
-    let usage_rows: Vec<(String, f64)> = Technique::ALL
-        .iter()
-        .map(|t| (t.as_str().to_string(), 100.0 * usage[t.index()]))
-        .collect();
+    let usage_rows: Vec<(String, f64)> =
+        Technique::ALL.iter().map(|t| (t.as_str().to_string(), 100.0 * usage[t.index()])).collect();
 
     println!("Alexa Top 10k (simulated), month 2020-09, {} scripts", total);
     println!("{:-<70}", "");

@@ -68,16 +68,12 @@ fn main() {
     }
     let pct = |a: usize, b: usize| 100.0 * a as f64 / b.max(1) as f64;
     let pkgs_with = pkg_any.values().filter(|v| **v).count();
-    let gen_rate = pct(
-        all_scripts.iter().filter(|s| s.is_transformed()).count(),
-        all_scripts.len(),
-    );
+    let gen_rate =
+        pct(all_scripts.iter().filter(|s| s.is_transformed()).count(), all_scripts.len());
 
     let (usage, n_transformed) = technique_usage_probability(&detectors, &srcs);
-    let usage_rows: Vec<(String, f64)> = Technique::ALL
-        .iter()
-        .map(|t| (t.as_str().to_string(), 100.0 * usage[t.index()]))
-        .collect();
+    let usage_rows: Vec<(String, f64)> =
+        Technique::ALL.iter().map(|t| (t.as_str().to_string(), 100.0 * usage[t.index()])).collect();
 
     println!("npm Top 10k (simulated), {} scripts", total);
     println!("{:-<70}", "");

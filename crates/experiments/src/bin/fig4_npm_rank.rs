@@ -86,15 +86,12 @@ fn main() {
             b.n
         );
     }
-    println!(
-        "\ntop-1k is {:.1}x less transformed than the rest (paper: 2.4-4.4x)",
-        factor
-    );
+    println!("\ntop-1k is {:.1}x less transformed than the rest (paper: 2.4-4.4x)", factor);
     println!("paper: top-1k splits 49/47 basic/advanced; rest 58/37");
 
-    write_json(&args, "fig4_npm_rank", &Fig4Result {
-        buckets,
-        top1k_vs_rest_factor: factor,
-        paper_factor_range: [2.4, 4.4],
-    });
+    write_json(
+        &args,
+        "fig4_npm_rank",
+        &Fig4Result { buckets, top1k_vs_rest_factor: factor, paper_factor_range: [2.4, 4.4] },
+    );
 }

@@ -30,12 +30,7 @@ fn main() {
         let alexa = alexa_population(month, sites, 0, args.seed ^ (month as u64));
         // Top-2k packages: sample both rank halves.
         let mut npm = npm_population(month, packages / 2, 0, args.seed ^ (month as u64) ^ 0x99);
-        npm.extend(npm_population(
-            month,
-            packages / 2,
-            1000,
-            args.seed ^ (month as u64) ^ 0x9a,
-        ));
+        npm.extend(npm_population(month, packages / 2, 1000, args.seed ^ (month as u64) ^ 0x9a));
         let rate = |pop: &[jsdetect_corpus::WildScript]| -> (f64, f64) {
             let srcs: Vec<&str> = pop.iter().map(|s| s.src.as_str()).collect();
             let l1 = detectors.level1.predict_many(&srcs);
@@ -47,8 +42,7 @@ fn main() {
                     tr += 1;
                 }
             }
-            let truth =
-                pop.iter().filter(|s| s.is_transformed()).count() as f64 / pop.len() as f64;
+            let truth = pop.iter().filter(|s| s.is_transformed()).count() as f64 / pop.len() as f64;
             (100.0 * tr as f64 / n.max(1) as f64, 100.0 * truth)
         };
         let (a, at) = rate(&alexa);
@@ -65,7 +59,10 @@ fn main() {
 
     println!("Figure 6 — transformed-script proportion over time");
     println!("{:-<66}", "");
-    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "month", "alexa", "npm", "alexa-truth", "npm-truth");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "month", "alexa", "npm", "alexa-truth", "npm-truth"
+    );
     for p in &points {
         println!(
             "{:>6} {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}%",
@@ -74,31 +71,17 @@ fn main() {
     }
 
     // Shape checks against the paper.
-    let first_third: f64 =
-        points.iter().take(points.len() / 3).map(|p| p.alexa_pct).sum::<f64>()
-            / (points.len() / 3).max(1) as f64;
-    let last_third: f64 = points
-        .iter()
-        .skip(2 * points.len() / 3)
-        .map(|p| p.alexa_pct)
-        .sum::<f64>()
-        / (points.len() - 2 * points.len() / 3).max(1) as f64;
-    println!(
-        "\nAlexa rises from ~{:.1}% to ~{:.1}% (paper: steady rise)",
-        first_third, last_third
-    );
-    let npm_early: f64 = points
-        .iter()
-        .filter(|p| p.month < 12)
-        .map(|p| p.npm_pct)
-        .sum::<f64>()
+    let first_third: f64 = points.iter().take(points.len() / 3).map(|p| p.alexa_pct).sum::<f64>()
+        / (points.len() / 3).max(1) as f64;
+    let last_third: f64 =
+        points.iter().skip(2 * points.len() / 3).map(|p| p.alexa_pct).sum::<f64>()
+            / (points.len() - 2 * points.len() / 3).max(1) as f64;
+    println!("\nAlexa rises from ~{:.1}% to ~{:.1}% (paper: steady rise)", first_third, last_third);
+    let npm_early: f64 = points.iter().filter(|p| p.month < 12).map(|p| p.npm_pct).sum::<f64>()
         / points.iter().filter(|p| p.month < 12).count().max(1) as f64;
-    let npm_mid: f64 = points
-        .iter()
-        .filter(|p| (12..49).contains(&p.month))
-        .map(|p| p.npm_pct)
-        .sum::<f64>()
-        / points.iter().filter(|p| (12..49).contains(&p.month)).count().max(1) as f64;
+    let npm_mid: f64 =
+        points.iter().filter(|p| (12..49).contains(&p.month)).map(|p| p.npm_pct).sum::<f64>()
+            / points.iter().filter(|p| (12..49).contains(&p.month)).count().max(1) as f64;
     println!(
         "npm phases: early ~{:.1}% (paper 7.4%), middle ~{:.1}% (paper 17.95%)",
         npm_early, npm_mid

@@ -47,11 +47,13 @@ fn main() {
 
     println!("Figure 7 — Alexa technique usage over time");
     println!("{:-<76}", "");
-    println!("{:>6} {:>11} {:>11} {:>11} {:>8}", "month", "min simple", "min adv", "ident obf", "n");
+    println!(
+        "{:>6} {:>11} {:>11} {:>11} {:>8}",
+        "month", "min simple", "min adv", "ident obf", "n"
+    );
     for p in &points {
-        let get = |name: &str| {
-            p.usage.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0.0)
-        };
+        let get =
+            |name: &str| p.usage.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0.0);
         println!(
             "{:>6} {:>10.2}% {:>10.2}% {:>10.2}% {:>8}",
             p.month,

@@ -46,12 +46,14 @@ fn main() {
 
     println!("Figure 8 — npm technique usage over time");
     println!("{:-<76}", "");
-    println!("{:>6} {:>11} {:>11} {:>11} {:>8}", "month", "min simple", "min adv", "ident obf", "n");
+    println!(
+        "{:>6} {:>11} {:>11} {:>11} {:>8}",
+        "month", "min simple", "min adv", "ident obf", "n"
+    );
     let mut avg = [0.0f64; 3];
     for p in &points {
-        let get = |name: &str| {
-            p.usage.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0.0)
-        };
+        let get =
+            |name: &str| p.usage.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0.0);
         avg[0] += get("minification_simple");
         avg[1] += get("minification_advanced");
         avg[2] += get("identifier_obfuscation");

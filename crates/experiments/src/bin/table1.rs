@@ -43,8 +43,9 @@ fn main() {
         (MalwareSource::Hynek, 6, 60, 29_484),
         (MalwareSource::Bsi, 3, 140, 36_475),
     ] {
-        let n: usize =
-            (0..months).map(|m| malware_population(source, m, args.scaled(per_month), args.seed).len()).sum();
+        let n: usize = (0..months)
+            .map(|m| malware_population(source, m, args.scaled(per_month), args.seed).len())
+            .sum();
         rows.push(Row {
             source: format!("{} (sim)", source.as_str()),
             creation: if source == MalwareSource::Bsi { "2017".into() } else { "2015-2017".into() },
@@ -82,10 +83,7 @@ fn main() {
 
     println!("Table I — dataset summary (simulated at scale {})", args.scale);
     println!("{:-<96}", "");
-    println!(
-        "{:46} {:10} {:>8} {:>10} {:>12}",
-        "Source", "Creation", "#JS", "Class", "paper #JS"
-    );
+    println!("{:46} {:10} {:>8} {:>10} {:>12}", "Source", "Creation", "#JS", "Class", "paper #JS");
     for r in &rows {
         println!(
             "{:46} {:10} {:>8} {:>10} {:>12}",

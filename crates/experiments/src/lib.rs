@@ -217,10 +217,6 @@ mod tests {
         assert_eq!(a.test_regular.len(), b.test_regular.len());
         assert_eq!(a.test_regular.len(), 4); // n/4
         assert_eq!(a.validation_regular.len(), 4);
-        assert!(a
-            .test_regular
-            .iter()
-            .zip(&b.test_regular)
-            .all(|(x, y)| x.src == y.src));
+        assert!(a.test_regular.iter().zip(&b.test_regular).all(|(x, y)| x.src == y.src));
     }
 }

@@ -8,6 +8,7 @@ use jsdetect_ast::metrics::{KindCounts, TreeShape};
 use jsdetect_ast::Program;
 use jsdetect_flow::{analyze_with, DataFlowOptions, ProgramGraph};
 use jsdetect_lexer::{Comment, Token};
+use jsdetect_lint::{LintRunner, LintSummary};
 use jsdetect_parser::{parse_with_comments, ParseError};
 
 /// Everything the feature extractors need about one script.
@@ -27,6 +28,8 @@ pub struct ScriptAnalysis {
     pub shape: TreeShape,
     /// Per-kind node counts.
     pub kinds: KindCounts,
+    /// Obfuscation-signature lint summary (per-rule hit counts).
+    pub lint: LintSummary,
 }
 
 /// Parses and analyzes one script.
@@ -48,6 +51,7 @@ pub fn analyze_script(src: &str) -> Result<ScriptAnalysis, ParseError> {
     let graph = analyze_with(&program, &DataFlowOptions::default());
     let shape = jsdetect_ast::metrics::tree_shape(&program);
     let kinds = KindCounts::of(&program);
+    let (_, lint) = LintRunner::default().run_with_summary(src, &program, &graph);
     Ok(ScriptAnalysis {
         src: src.to_string(),
         program,
@@ -56,6 +60,7 @@ pub fn analyze_script(src: &str) -> Result<ScriptAnalysis, ParseError> {
         graph,
         shape,
         kinds,
+        lint,
     })
 }
 
@@ -82,8 +87,11 @@ mod tests {
     fn empty_and_comment_only_scripts() {
         let a = analyze_script("").unwrap();
         assert_eq!(a.shape.node_count, 1); // just the Program node
-        let b = analyze_script("// only a comment
-/* and a block */").unwrap();
+        let b = analyze_script(
+            "// only a comment
+/* and a block */",
+        )
+        .unwrap();
         assert_eq!(b.comments.len(), 2);
         assert_eq!(b.program.body.len(), 0);
     }

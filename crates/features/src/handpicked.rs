@@ -106,12 +106,8 @@ pub fn handpicked_features(a: &ScriptAnalysis) -> Vec<f32> {
     let ws_chars = src.chars().filter(|c| c.is_whitespace()).count() as f64;
     let max_line = src.lines().map(str::len).max().unwrap_or(0) as f64;
 
-    let hex_bindings =
-        bindings.iter().filter(|b| is_hex_name(&b.name)).count() as f64;
-    let short_bindings = bindings
-        .iter()
-        .filter(|b| b.name.len() <= 2)
-        .count() as f64;
+    let hex_bindings = bindings.iter().filter(|b| is_hex_name(&b.name)).count() as f64;
+    let short_bindings = bindings.iter().filter(|b| b.name.len() <= 2).count() as f64;
     let binding_len_sum: usize = bindings.iter().map(|b| b.name.len()).sum();
 
     let computed_defs = a
@@ -135,20 +131,12 @@ pub fn handpicked_features(a: &ScriptAnalysis) -> Vec<f32> {
 
     let n_refs = a.graph.scopes.references().len().max(1) as f64;
     let global_refs = a.graph.scopes.global_refs().count() as f64;
-    let read_refs = a
-        .graph
-        .scopes
-        .references()
-        .iter()
-        .filter(|r| r.kind != RefKind::Write)
-        .count()
-        .max(1) as f64;
+    let read_refs =
+        a.graph.scopes.references().iter().filter(|r| r.kind != RefKind::Write).count().max(1)
+            as f64;
 
-    let punct_tokens = a
-        .tokens
-        .iter()
-        .filter(|t| matches!(t.kind, TokenKind::Punct(_)))
-        .count() as f64;
+    let punct_tokens =
+        a.tokens.iter().filter(|t| matches!(t.kind, TokenKind::Punct(_))).count() as f64;
     let n_tokens = a.tokens.len().max(1) as f64;
 
     let jsfuck_chars =
@@ -186,10 +174,8 @@ pub fn handpicked_features(a: &ScriptAnalysis) -> Vec<f32> {
         (w.hexlike_strings as f64 / n_strings) as f32,
         (a.kinds.get(NodeKind::ConditionalExpression) as f64 / n_statements) as f32,
         (w.computed_members as f64 / n_members) as f32,
-        (w.array_elems_sum as f64 / a.kinds.get(NodeKind::ArrayExpression).max(1) as f64)
-            as f32,
-        (w.object_props_sum as f64 / a.kinds.get(NodeKind::ObjectExpression).max(1) as f64)
-            as f32,
+        (w.array_elems_sum as f64 / a.kinds.get(NodeKind::ArrayExpression).max(1) as f64) as f32,
+        (w.object_props_sum as f64 / a.kinds.get(NodeKind::ObjectExpression).max(1) as f64) as f32,
         (computed_defs / total_defs) as f32,
         (w.string_op_calls as f64 / n_calls) as f32,
         (w.eval_like_calls as f64 / n_calls) as f32,
@@ -198,8 +184,8 @@ pub fn handpicked_features(a: &ScriptAnalysis) -> Vec<f32> {
         if w.packed_regex { 1.0 } else { 0.0 },
         (w.case_count as f64 / a.kinds.get(NodeKind::SwitchStatement).max(1) as f64) as f32,
         (w.literal_true_loops as f64 / n_loops) as f32,
-        (a.graph.control_flow.edges.len() as f64
-            / a.graph.control_flow.node_count.max(1) as f64) as f32,
+        (a.graph.control_flow.edges.len() as f64 / a.graph.control_flow.node_count.max(1) as f64)
+            as f32,
         (a.graph.dataflow.edges.len() as f64 / read_refs) as f32,
         (global_refs / n_refs) as f32,
         (n_functions / lines) as f32,
@@ -213,8 +199,7 @@ pub fn handpicked_features(a: &ScriptAnalysis) -> Vec<f32> {
         a.kinds.proportion(NodeKind::SequenceExpression) as f32,
         (w.not_on_number as f64 / nodes) as f32,
         (w.void_zero as f64 / nodes) as f32,
-        (w.switch_in_loop as f64 / a.kinds.get(NodeKind::SwitchStatement).max(1) as f64)
-            as f32,
+        (w.switch_in_loop as f64 / a.kinds.get(NodeKind::SwitchStatement).max(1) as f64) as f32,
         (w.string_concat_chains as f64 / n_strings) as f32,
         (unused_bindings / n_bindings) as f32,
         (w.opaque_string_tests as f64 / n_statements) as f32,
@@ -246,9 +231,7 @@ fn loop_count(kinds: &jsdetect_ast::metrics::KindCounts) -> usize {
 }
 
 fn is_hex_name(name: &str) -> bool {
-    name.len() >= 4
-        && name.starts_with("_0x")
-        && name[3..].chars().all(|c| c.is_ascii_hexdigit())
+    name.len() >= 4 && name.starts_with("_0x") && name[3..].chars().all(|c| c.is_ascii_hexdigit())
 }
 
 /// Methods whose calls indicate string manipulation.
@@ -331,10 +314,9 @@ impl Walked {
 
     fn stmt(&mut self, s: &Stmt) {
         match s {
-            Stmt::If { test, .. }
-                if is_ident_vs_string_test(test) => {
-                    self.opaque_string_tests += 1;
-                }
+            Stmt::If { test, .. } if is_ident_vs_string_test(test) => {
+                self.opaque_string_tests += 1;
+            }
             Stmt::While { test, body, .. } | Stmt::DoWhile { test, body, .. } => {
                 if is_literal_true(test) {
                     self.literal_true_loops += 1;
@@ -378,10 +360,9 @@ impl Walked {
                     }
                 }
                 LitValue::Num(_) => self.number_count += 1,
-                LitValue::Regex { pattern, .. }
-                    if is_packed_regex_source(pattern) => {
-                        self.packed_regex = true;
-                    }
+                LitValue::Regex { pattern, .. } if is_packed_regex_source(pattern) => {
+                    self.packed_regex = true;
+                }
                 _ => {}
             },
             Expr::Member { property, .. } => {
@@ -446,9 +427,8 @@ impl Walked {
             }
             Expr::Binary { op: BinaryOp::Add, left, right, .. } => {
                 // String-literal concatenation chain member (split signal).
-                let str_side = |e: &Expr| {
-                    matches!(e, Expr::Lit(Lit { value: LitValue::Str(_), .. }))
-                };
+                let str_side =
+                    |e: &Expr| matches!(e, Expr::Lit(Lit { value: LitValue::Str(_), .. }));
                 if str_side(left) && str_side(right) {
                     self.string_concat_chains += 1;
                 } else if str_side(right) {
@@ -494,9 +474,7 @@ fn is_literal_true(e: &Expr) -> bool {
 fn contains_direct_switch(body: &Stmt) -> bool {
     match body {
         Stmt::Switch { .. } => true,
-        Stmt::Block { body, .. } => {
-            body.iter().any(|s| matches!(s, Stmt::Switch { .. }))
-        }
+        Stmt::Block { body, .. } => body.iter().any(|s| matches!(s, Stmt::Switch { .. })),
         _ => false,
     }
 }
@@ -552,14 +530,9 @@ mod tests {
 
     #[test]
     fn all_features_finite() {
-        for src in [
-            "",
-            "var x = 1;",
-            "f();",
-            "'just a string';",
-            "function f(){};",
-            "while(true){}",
-        ] {
+        for src in
+            ["", "var x = 1;", "f();", "'just a string';", "function f(){};", "while(true){}"]
+        {
             if let Ok(a) = analyze_script(src) {
                 for (i, v) in handpicked_features(&a).iter().enumerate() {
                     assert!(v.is_finite(), "feature {} ({}) = {}", i, FEATURE_NAMES[i], v);
@@ -572,9 +545,7 @@ mod tests {
     fn minified_code_has_long_lines() {
         let pretty = "var alpha = 1;\nvar beta = 2;\nvar gamma = alpha + beta;\n";
         let mini = "var alpha=1,beta=2,gamma=alpha+beta;";
-        assert!(
-            feature(mini, "avg_chars_per_line") > feature(pretty, "avg_chars_per_line")
-        );
+        assert!(feature(mini, "avg_chars_per_line") > feature(pretty, "avg_chars_per_line"));
         assert!(feature(mini, "whitespace_ratio") < feature(pretty, "whitespace_ratio"));
     }
 
@@ -614,9 +585,7 @@ mod tests {
     fn eval_like_detection() {
         assert!(feature("eval('code');", "eval_like_per_call") > 0.0);
         assert!(feature("setTimeout('x()', 10);", "eval_like_per_call") > 0.0);
-        assert!(
-            feature("(function(){}.constructor('debugger'))();", "eval_like_per_call") > 0.0
-        );
+        assert!(feature("(function(){}.constructor('debugger'))();", "eval_like_per_call") > 0.0);
         assert_eq!(feature("setTimeout(fn, 10);", "eval_like_per_call"), 0.0);
     }
 
@@ -628,10 +597,7 @@ mod tests {
 
     #[test]
     fn packed_regex_detection() {
-        assert_eq!(
-            feature("s.search('(((.+)+)+)+$');", "packed_regex_present"),
-            1.0
-        );
+        assert_eq!(feature("s.search('(((.+)+)+)+$');", "packed_regex_present"), 1.0);
         assert_eq!(feature("s.search('abc');", "packed_regex_present"), 0.0);
     }
 
@@ -655,9 +621,7 @@ mod tests {
     fn string_entropy_distinguishes_encoded() {
         let plain = "x = 'aaaaaaaaaaaaaaaaaaaa';";
         let encoded = "x = '9f8a7b6c5d4e3f2a1b0c';";
-        assert!(
-            feature(encoded, "avg_string_entropy") > feature(plain, "avg_string_entropy")
-        );
+        assert!(feature(encoded, "avg_string_entropy") > feature(plain, "avg_string_entropy"));
     }
 
     #[test]

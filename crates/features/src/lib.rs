@@ -17,5 +17,6 @@ mod space;
 
 pub use analysis::{analyze_script, ScriptAnalysis};
 pub use handpicked::{handpicked_features, FEATURE_NAMES, N_HANDPICKED};
+pub use jsdetect_lint::LintSummary;
 pub use ngrams::{ngram_counts, Gram, NgramVocab};
-pub use space::{FeatureConfig, VectorSpace};
+pub use space::{FeatureConfig, VectorSpace, FEATURE_SPACE_VERSION};

@@ -85,11 +85,7 @@ impl NgramVocab {
         let g = self.grams[i];
         g.iter()
             .map(|&id| {
-                NodeKind::ALL
-                    .iter()
-                    .find(|k| k.id() == id)
-                    .map(|k| k.as_str())
-                    .unwrap_or("?")
+                NodeKind::ALL.iter().find(|k| k.id() == id).map(|k| k.as_str()).unwrap_or("?")
             })
             .collect::<Vec<_>>()
             .join(">")

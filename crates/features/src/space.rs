@@ -5,7 +5,16 @@
 use crate::analysis::ScriptAnalysis;
 use crate::handpicked::{handpicked_features, FEATURE_NAMES, N_HANDPICKED};
 use crate::ngrams::{ngram_counts, NgramVocab};
+use jsdetect_lint::LintSummary;
 use serde::{Deserialize, Serialize};
+
+/// Version of the vector-space layout. Bumped when the dimension layout
+/// changes (v2: lint-summary densities appended to the hand-picked
+/// block); serialized models from other versions must be refitted.
+pub const FEATURE_SPACE_VERSION: u32 = 2;
+
+/// Number of lint-summary dimensions.
+const N_LINT: usize = LintSummary::N_FEATURES;
 
 /// Which feature families a vector space includes (used for the feature
 /// ablation benchmarks).
@@ -15,17 +24,20 @@ pub struct FeatureConfig {
     pub handpicked: bool,
     /// Include the 4-gram features.
     pub ngrams: bool,
+    /// Include the lint-rule densities.
+    pub lint: bool,
 }
 
 impl Default for FeatureConfig {
     fn default() -> Self {
-        FeatureConfig { handpicked: true, ngrams: true }
+        FeatureConfig { handpicked: true, ngrams: true, lint: true }
     }
 }
 
 /// A fitted vector space: consistent dimensions for every script.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VectorSpace {
+    version: u32,
     config: FeatureConfig,
     vocab: NgramVocab,
 }
@@ -38,7 +50,12 @@ impl VectorSpace {
     {
         let docs: Vec<_> = corpus.into_iter().map(|a| ngram_counts(&a.program)).collect();
         let vocab = NgramVocab::build(docs.iter(), max_ngrams);
-        VectorSpace { config, vocab }
+        VectorSpace { version: FEATURE_SPACE_VERSION, config, vocab }
+    }
+
+    /// Layout version this space was fitted with.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Total vector dimensionality.
@@ -46,6 +63,9 @@ impl VectorSpace {
         let mut d = 0;
         if self.config.handpicked {
             d += N_HANDPICKED;
+        }
+        if self.config.lint {
+            d += N_LINT;
         }
         if self.config.ngrams {
             d += self.vocab.dim();
@@ -59,6 +79,9 @@ impl VectorSpace {
         if self.config.handpicked {
             v.extend(handpicked_features(a));
         }
+        if self.config.lint {
+            v.extend(a.lint.features());
+        }
         if self.config.ngrams {
             v.extend(self.vocab.vectorize(&ngram_counts(&a.program)));
         }
@@ -67,10 +90,19 @@ impl VectorSpace {
 
     /// Name of dimension `i`.
     pub fn dim_name(&self, i: usize) -> String {
-        if self.config.handpicked && i < N_HANDPICKED {
-            return FEATURE_NAMES[i].to_string();
+        let mut j = i;
+        if self.config.handpicked {
+            if j < N_HANDPICKED {
+                return FEATURE_NAMES[j].to_string();
+            }
+            j -= N_HANDPICKED;
         }
-        let j = if self.config.handpicked { i - N_HANDPICKED } else { i };
+        if self.config.lint {
+            if j < N_LINT {
+                return LintSummary::feature_names()[j].clone();
+            }
+            j -= N_LINT;
+        }
         format!("4gram:{}", self.vocab.gram_name(j))
     }
 
@@ -107,7 +139,7 @@ mod tests {
         let vs = VectorSpace::fit(
             analyses.iter(),
             64,
-            FeatureConfig { handpicked: true, ngrams: false },
+            FeatureConfig { handpicked: true, ngrams: false, lint: false },
         );
         assert_eq!(vs.dim(), crate::handpicked::N_HANDPICKED);
     }
@@ -118,18 +150,52 @@ mod tests {
         let vs = VectorSpace::fit(
             analyses.iter(),
             64,
-            FeatureConfig { handpicked: false, ngrams: true },
+            FeatureConfig { handpicked: false, ngrams: true, lint: false },
         );
         assert!(vs.dim() > 0);
         assert!(vs.dim() <= 64);
     }
 
     #[test]
-    fn dim_names_cover_both_families() {
+    fn lint_only_config() {
+        let analyses = vec![analyze_script("var x = 1;").unwrap()];
+        let vs = VectorSpace::fit(
+            analyses.iter(),
+            64,
+            FeatureConfig { handpicked: false, ngrams: false, lint: true },
+        );
+        assert_eq!(vs.dim(), LintSummary::N_FEATURES);
+        assert_eq!(vs.dim_name(0), format!("lint:{}", jsdetect_lint::RULE_NAMES[0]));
+    }
+
+    #[test]
+    fn dim_names_cover_all_families() {
         let (vs, _) = spaces(&["var x = 1; var y = 2;"]);
         assert_eq!(vs.dim_name(0), "avg_chars_per_line");
-        let gram_name = vs.dim_name(crate::handpicked::N_HANDPICKED);
+        let lint_name = vs.dim_name(crate::handpicked::N_HANDPICKED);
+        assert!(lint_name.starts_with("lint:"), "{}", lint_name);
+        let gram_name = vs.dim_name(crate::handpicked::N_HANDPICKED + LintSummary::N_FEATURES);
         assert!(gram_name.starts_with("4gram:"), "{}", gram_name);
+    }
+
+    #[test]
+    fn fitted_space_carries_current_version() {
+        let (vs, _) = spaces(&["var x = 1;"]);
+        assert_eq!(vs.version(), FEATURE_SPACE_VERSION);
+    }
+
+    #[test]
+    fn lint_dimensions_separate_obfuscated_from_clean() {
+        let dirty = "while (running) { debugger; step(); }";
+        let (vs, analyses) = spaces(&[dirty, "var x = 1; f(x);"]);
+        let v = vs.vectorize(&analyses[0]);
+        let lint_block = &v[crate::handpicked::N_HANDPICKED
+            ..crate::handpicked::N_HANDPICKED + LintSummary::N_FEATURES];
+        assert!(lint_block.iter().any(|&x| x > 0.0), "{:?}", lint_block);
+        let clean = vs.vectorize(&analyses[1]);
+        let clean_block = &clean[crate::handpicked::N_HANDPICKED
+            ..crate::handpicked::N_HANDPICKED + LintSummary::N_FEATURES];
+        assert!(clean_block.iter().all(|&x| x == 0.0), "{:?}", clean_block);
     }
 
     #[test]

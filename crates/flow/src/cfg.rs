@@ -51,7 +51,12 @@ pub struct CfEdge {
 pub struct ControlFlow {
     /// All edges, in construction order.
     pub edges: Vec<CfEdge>,
-    /// Number of control-flow nodes seen.
+    /// All registered nodes, in construction order.
+    pub nodes: Vec<CfNode>,
+    /// Entry nodes: the program's first statement plus the first statement
+    /// of every function body (any function may be invoked externally).
+    pub roots: Vec<CfNode>,
+    /// Number of control-flow nodes seen (`nodes.len()`).
     pub node_count: usize,
 }
 
@@ -60,15 +65,57 @@ impl ControlFlow {
     pub fn count(&self, kind: CfEdgeKind) -> usize {
         self.edges.iter().filter(|e| e.kind == kind).count()
     }
+
+    /// Nodes reachable from the entry roots by following edges of any kind
+    /// (BFS order). Statements after a `return`/`throw`/`break`/`continue`
+    /// get no fallthrough edge, so they are not reachable this way.
+    pub fn reachable_from_entry(&self) -> impl Iterator<Item = CfNode> {
+        let mut adjacency: std::collections::HashMap<CfNode, Vec<CfNode>> =
+            std::collections::HashMap::new();
+        for e in &self.edges {
+            adjacency.entry(e.from).or_default().push(e.to);
+        }
+        let mut seen: std::collections::HashSet<CfNode> = std::collections::HashSet::new();
+        let mut order: Vec<CfNode> = Vec::new();
+        let mut queue: std::collections::VecDeque<CfNode> = std::collections::VecDeque::new();
+        for &root in &self.roots {
+            if seen.insert(root) {
+                order.push(root);
+                queue.push_back(root);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            if let Some(next) = adjacency.get(&n) {
+                for &m in next {
+                    if seen.insert(m) {
+                        order.push(m);
+                        queue.push_back(m);
+                    }
+                }
+            }
+        }
+        order.into_iter()
+    }
+
+    /// Registered nodes that are *not* reachable from any entry root, in
+    /// construction order.
+    pub fn unreachable_nodes(&self) -> Vec<CfNode> {
+        let reachable: std::collections::HashSet<CfNode> = self.reachable_from_entry().collect();
+        self.nodes.iter().copied().filter(|n| !reachable.contains(n)).collect()
+    }
 }
 
 /// Builds control-flow edges for a program.
 pub fn build_cfg(program: &Program) -> ControlFlow {
     let mut cf = ControlFlow::default();
+    if let Some(first) = program.body.first() {
+        cf.roots.push(node_of(first));
+    }
     seq_edges(&program.body, &mut cf);
     for s in &program.body {
         stmt_edges(s, &mut cf);
     }
+    cf.node_count = cf.nodes.len();
     cf
 }
 
@@ -76,11 +123,45 @@ fn node_of(s: &Stmt) -> CfNode {
     CfNode { kind: stmt_kind(s), span: s.span() }
 }
 
-fn seq_edges(stmts: &[Stmt], cf: &mut ControlFlow) {
-    cf.node_count += stmts.len();
-    for pair in stmts.windows(2) {
-        cf.edges.push(CfEdge { from: node_of(&pair[0]), to: node_of(&pair[1]), kind: CfEdgeKind::Seq });
+/// True for statements that never fall through to their successor.
+fn is_terminator(s: &Stmt) -> bool {
+    matches!(
+        s,
+        Stmt::Return { .. } | Stmt::Throw { .. } | Stmt::Break { .. } | Stmt::Continue { .. }
+    )
+}
+
+/// Registers a function body: its first statement becomes an entry root
+/// (the function may be called from anywhere), then normal edges follow.
+fn fn_body_edges(body: &[Stmt], cf: &mut ControlFlow) {
+    if let Some(first) = body.first() {
+        cf.roots.push(node_of(first));
     }
+    seq_edges(body, cf);
+    for st in body {
+        stmt_edges(st, cf);
+    }
+}
+
+fn seq_edges(stmts: &[Stmt], cf: &mut ControlFlow) {
+    cf.nodes.extend(stmts.iter().map(node_of));
+    for pair in stmts.windows(2) {
+        if is_terminator(&pair[0]) {
+            continue; // no fallthrough edge out of return/throw/break/continue
+        }
+        cf.edges.push(CfEdge {
+            from: node_of(&pair[0]),
+            to: node_of(&pair[1]),
+            kind: CfEdgeKind::Seq,
+        });
+    }
+}
+
+/// Registers a statement that is a branch/loop target but not part of a
+/// statement list (an `if` arm, a loop body). Each such statement has
+/// exactly one parent context, so no node is registered twice.
+fn register_body(s: &Stmt, cf: &mut ControlFlow) {
+    cf.nodes.push(node_of(s));
 }
 
 fn stmt_edges(s: &Stmt, cf: &mut ControlFlow) {
@@ -103,18 +184,19 @@ fn stmt_edges(s: &Stmt, cf: &mut ControlFlow) {
                 }
             }
         }
-        Stmt::FunctionDecl(f) => {
-            seq_edges(&f.body, cf);
-            for st in &f.body {
-                stmt_edges(st, cf);
-            }
-        }
+        Stmt::FunctionDecl(f) => fn_body_edges(&f.body, cf),
         Stmt::ClassDecl(c) => class_edges(c, cf),
         Stmt::If { test, consequent, alternate, .. } => {
             expr_edges(test, me, cf);
-            cf.edges.push(CfEdge { from: me, to: node_of(consequent), kind: CfEdgeKind::BranchTrue });
+            register_body(consequent, cf);
+            cf.edges.push(CfEdge {
+                from: me,
+                to: node_of(consequent),
+                kind: CfEdgeKind::BranchTrue,
+            });
             stmt_edges(consequent, cf);
             if let Some(alt) = alternate {
+                register_body(alt, cf);
                 cf.edges.push(CfEdge { from: me, to: node_of(alt), kind: CfEdgeKind::BranchFalse });
                 stmt_edges(alt, cf);
             }
@@ -151,10 +233,14 @@ fn stmt_edges(s: &Stmt, cf: &mut ControlFlow) {
             expr_edges(discriminant, me, cf);
             for c in cases {
                 let case_node = CfNode { kind: NodeKind::SwitchCase, span: c.span };
-                cf.node_count += 1;
+                cf.nodes.push(case_node);
                 cf.edges.push(CfEdge { from: me, to: case_node, kind: CfEdgeKind::CaseMatch });
                 if let Some(first) = c.body.first() {
-                    cf.edges.push(CfEdge { from: case_node, to: node_of(first), kind: CfEdgeKind::Seq });
+                    cf.edges.push(CfEdge {
+                        from: case_node,
+                        to: node_of(first),
+                        kind: CfEdgeKind::Seq,
+                    });
                 }
                 seq_edges(&c.body, cf);
                 for st in &c.body {
@@ -172,7 +258,7 @@ fn stmt_edges(s: &Stmt, cf: &mut ControlFlow) {
             }
             if let Some(h) = handler {
                 let catch_node = CfNode { kind: NodeKind::CatchClause, span: h.span };
-                cf.node_count += 1;
+                cf.nodes.push(catch_node);
                 cf.edges.push(CfEdge { from: me, to: catch_node, kind: CfEdgeKind::Exception });
                 if let Some(first) = h.body.first() {
                     cf.edges.push(CfEdge {
@@ -188,7 +274,11 @@ fn stmt_edges(s: &Stmt, cf: &mut ControlFlow) {
             }
             if let Some(fin) = finalizer {
                 if let Some(first) = fin.first() {
-                    cf.edges.push(CfEdge { from: me, to: node_of(first), kind: CfEdgeKind::Finally });
+                    cf.edges.push(CfEdge {
+                        from: me,
+                        to: node_of(first),
+                        kind: CfEdgeKind::Finally,
+                    });
                 }
                 seq_edges(fin, cf);
                 for st in fin {
@@ -203,22 +293,23 @@ fn stmt_edges(s: &Stmt, cf: &mut ControlFlow) {
             }
         }
         Stmt::Labeled { body, .. } => {
+            register_body(body, cf);
             cf.edges.push(CfEdge { from: me, to: node_of(body), kind: CfEdgeKind::Seq });
             stmt_edges(body, cf);
         }
         Stmt::With { body, object, .. } => {
             expr_edges(object, me, cf);
+            register_body(body, cf);
             cf.edges.push(CfEdge { from: me, to: node_of(body), kind: CfEdgeKind::Seq });
             stmt_edges(body, cf);
         }
-        Stmt::Break { .. }
-        | Stmt::Continue { .. }
-        | Stmt::Empty { .. }
-        | Stmt::Debugger { .. } => {}
+        Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Empty { .. } | Stmt::Debugger { .. } => {
+        }
     }
 }
 
 fn loop_edges(me: CfNode, body: &Stmt, cf: &mut ControlFlow) {
+    register_body(body, cf);
     cf.edges.push(CfEdge { from: me, to: node_of(body), kind: CfEdgeKind::BranchTrue });
     cf.edges.push(CfEdge { from: node_of(body), to: me, kind: CfEdgeKind::LoopBack });
     stmt_edges(body, cf);
@@ -227,10 +318,7 @@ fn loop_edges(me: CfNode, body: &Stmt, cf: &mut ControlFlow) {
 fn class_edges(c: &Class, cf: &mut ControlFlow) {
     for m in &c.body {
         if let ClassMemberValue::Method(f) = &m.value {
-            seq_edges(&f.body, cf);
-            for st in &f.body {
-                stmt_edges(st, cf);
-            }
+            fn_body_edges(&f.body, cf);
         }
     }
 }
@@ -241,7 +329,7 @@ fn expr_edges(e: &Expr, enclosing: CfNode, cf: &mut ControlFlow) {
     match e {
         Expr::Conditional { test, consequent, alternate, .. } => {
             let node = CfNode { kind: NodeKind::ConditionalExpression, span: e.span() };
-            cf.node_count += 1;
+            cf.nodes.push(node);
             cf.edges.push(CfEdge { from: enclosing, to: node, kind: CfEdgeKind::Seq });
             expr_edges(test, node, cf);
             cf.edges.push(CfEdge {
@@ -257,20 +345,10 @@ fn expr_edges(e: &Expr, enclosing: CfNode, cf: &mut ControlFlow) {
             expr_edges(consequent, node, cf);
             expr_edges(alternate, node, cf);
         }
-        Expr::Function(f) => {
-            seq_edges(&f.body, cf);
-            for st in &f.body {
-                stmt_edges(st, cf);
-            }
-        }
+        Expr::Function(f) => fn_body_edges(&f.body, cf),
         Expr::Arrow { body, .. } => match body {
             ArrowBody::Expr(inner) => expr_edges(inner, enclosing, cf),
-            ArrowBody::Block(stmts) => {
-                seq_edges(stmts, cf);
-                for st in stmts {
-                    stmt_edges(st, cf);
-                }
-            }
+            ArrowBody::Block(stmts) => fn_body_edges(stmts, cf),
         },
         Expr::Class(c) => class_edges(c, cf),
         Expr::Array { elements, .. } => {
@@ -392,6 +470,51 @@ mod tests {
     fn function_bodies_are_traversed() {
         let cf = cfg("function f() { if (x) a(); }");
         assert_eq!(cf.count(CfEdgeKind::BranchTrue), 1);
+    }
+
+    #[test]
+    fn straight_line_code_is_fully_reachable() {
+        let cf = cfg("a(); b(); c();");
+        assert_eq!(cf.reachable_from_entry().count(), 3);
+        assert!(cf.unreachable_nodes().is_empty());
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        let cf = cfg("function f() { return 1; dead(); }");
+        let dead: Vec<_> = cf.unreachable_nodes();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].kind, NodeKind::ExpressionStatement);
+    }
+
+    #[test]
+    fn code_after_throw_and_break_is_unreachable() {
+        let cf = cfg("while (x) { break; dead1(); } function g() { throw e; dead2(); }");
+        assert_eq!(cf.unreachable_nodes().len(), 2);
+    }
+
+    #[test]
+    fn branch_targets_are_reachable() {
+        // Single-statement if arms and loop bodies are not inside a
+        // statement list; they must still be registered and reachable.
+        let cf = cfg("if (x) a(); else b(); while (y) c();");
+        assert!(cf.unreachable_nodes().is_empty());
+        assert!(cf.reachable_from_entry().count() >= 5);
+    }
+
+    #[test]
+    fn function_bodies_are_entry_roots() {
+        // `f` is never called, but its body must not be flagged dead.
+        let cf = cfg("var z = 1; function f() { inner(); }");
+        assert!(cf.unreachable_nodes().is_empty());
+        assert_eq!(cf.roots.len(), 2);
+    }
+
+    #[test]
+    fn node_count_matches_registered_nodes() {
+        let cf = cfg("if (a) { b(); } else { c(); } try { d(); } catch (e) { g(); }");
+        assert_eq!(cf.node_count, cf.nodes.len());
+        assert!(cf.node_count > 0);
     }
 
     #[test]

@@ -49,11 +49,15 @@ pub struct DataFlow {
     /// `false` if construction hit the budget and the graph is partial
     /// (the paper's timeout fallback).
     pub complete: bool,
+    /// Binding ids whose def×use pairing was cut off by
+    /// [`DataFlowOptions::max_pairs_per_binding`]. Empty when `complete`
+    /// is only false because of the global `max_refs` budget.
+    pub truncated_bindings: Vec<usize>,
 }
 
 /// Builds def→use edges from a scope analysis.
 pub fn build_dataflow(scopes: &ScopeTree, opts: &DataFlowOptions) -> DataFlow {
-    let mut df = DataFlow { edges: Vec::new(), complete: true };
+    let mut df = DataFlow { edges: Vec::new(), complete: true, truncated_bindings: Vec::new() };
     if scopes.references().len() > opts.max_refs {
         df.complete = false;
         return df;
@@ -86,12 +90,15 @@ pub fn build_dataflow(scopes: &ScopeTree, opts: &DataFlowOptions) -> DataFlow {
                 if d == u {
                     continue; // a ReadWrite site does not flow to itself
                 }
-                df.edges.push(DfEdge { def: *d, use_: *u, binding: b });
-                pairs += 1;
-                if pairs >= opts.max_pairs_per_binding {
+                // Check *before* pushing: a binding whose pair count lands
+                // exactly on the cap lost nothing and stays complete.
+                if pairs == opts.max_pairs_per_binding {
                     df.complete = false;
+                    df.truncated_bindings.push(b);
                     break 'outer;
                 }
+                df.edges.push(DfEdge { def: *d, use_: *u, binding: b });
+                pairs += 1;
             }
         }
     }
@@ -147,7 +154,8 @@ mod tests {
     fn budget_marks_incomplete() {
         let prog = parse("var x = 1; f(x);").unwrap();
         let scopes = analyze_scopes(&prog);
-        let d = build_dataflow(&scopes, &DataFlowOptions { max_refs: 0, max_pairs_per_binding: 10 });
+        let d =
+            build_dataflow(&scopes, &DataFlowOptions { max_refs: 0, max_pairs_per_binding: 10 });
         assert!(!d.complete);
         assert!(d.edges.is_empty());
     }
@@ -158,12 +166,40 @@ mod tests {
         let src = "var x = 1; x = 2; x = 3; f(x); g(x); h(x);";
         let prog = parse(src).unwrap();
         let scopes = analyze_scopes(&prog);
-        let d = build_dataflow(
-            &scopes,
-            &DataFlowOptions { max_refs: 1000, max_pairs_per_binding: 4 },
-        );
+        let d =
+            build_dataflow(&scopes, &DataFlowOptions { max_refs: 1000, max_pairs_per_binding: 4 });
         assert!(!d.complete);
         assert_eq!(d.edges.len(), 4);
+        assert_eq!(d.truncated_bindings.len(), 1);
+    }
+
+    #[test]
+    fn exactly_at_cap_stays_complete() {
+        // 1 def × 3 uses = 3 pairs, cap at exactly 3: nothing was dropped,
+        // so the graph must still report complete (regression: the old
+        // check ran after the push and flagged exact-cap bindings).
+        let src = "var x = 1; f(x); g(x); h(x);";
+        let prog = parse(src).unwrap();
+        let scopes = analyze_scopes(&prog);
+        let d =
+            build_dataflow(&scopes, &DataFlowOptions { max_refs: 1000, max_pairs_per_binding: 3 });
+        assert!(d.complete, "exact-cap binding must not be marked truncated");
+        assert_eq!(d.edges.len(), 3);
+        assert!(d.truncated_bindings.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_recorded_per_binding() {
+        // `x` exceeds the cap; `y` fits under it.
+        let src = "var x = 1; f(x); g(x); h(x); var y = 2; f(y);";
+        let prog = parse(src).unwrap();
+        let scopes = analyze_scopes(&prog);
+        let d =
+            build_dataflow(&scopes, &DataFlowOptions { max_refs: 1000, max_pairs_per_binding: 2 });
+        assert!(!d.complete);
+        assert_eq!(d.truncated_bindings.len(), 1);
+        let b = d.truncated_bindings[0];
+        assert_eq!(scopes.bindings()[b].name, "x");
     }
 
     use crate::scope::ScopeTree;

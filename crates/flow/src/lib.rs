@@ -29,8 +29,8 @@ mod scope;
 pub use cfg::{build_cfg, CfEdge, CfEdgeKind, CfNode, ControlFlow};
 pub use dataflow::{build_dataflow, DataFlow, DataFlowOptions, DfEdge};
 pub use scope::{
-    analyze_scopes, classify_def_value, Binding, BindingId, BindingKind, DefValueKind,
-    RefKind, Reference, Scope, ScopeId, ScopeKind, ScopeTree,
+    analyze_scopes, classify_def_value, Binding, BindingId, BindingKind, DefValueKind, RefKind,
+    Reference, Scope, ScopeId, ScopeKind, ScopeTree,
 };
 
 use jsdetect_ast::Program;
@@ -79,6 +79,9 @@ mod tests {
         let prog = parse("if (a) { b(); } else { c(); }").unwrap();
         let g = analyze(&prog);
         let g2 = g.clone();
-        assert_eq!(format!("{:?}", g.control_flow.node_count), format!("{:?}", g2.control_flow.node_count));
+        assert_eq!(
+            format!("{:?}", g.control_flow.node_count),
+            format!("{:?}", g2.control_flow.node_count)
+        );
     }
 }

@@ -170,6 +170,23 @@ impl ScopeTree {
         self.references.iter().filter(move |r| r.binding == Some(binding))
     }
 
+    /// `(reads, writes)` for a binding. A `ReadWrite` reference (compound
+    /// assignment, update expression) counts toward both.
+    pub fn rw_counts(&self, binding: BindingId) -> (usize, usize) {
+        let (mut reads, mut writes) = (0usize, 0usize);
+        for r in self.refs_of(binding) {
+            match r.kind {
+                RefKind::Read => reads += 1,
+                RefKind::Write => writes += 1,
+                RefKind::ReadWrite => {
+                    reads += 1;
+                    writes += 1;
+                }
+            }
+        }
+        (reads, writes)
+    }
+
     /// Definition-site value classifications: one entry per declaration
     /// initializer or plain assignment whose target is a simple variable.
     pub fn def_values(&self) -> &[(Option<BindingId>, DefValueKind)] {
@@ -283,9 +300,7 @@ impl Builder {
             Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => {
                 self.hoist_stmt(body, fn_scope)
             }
-            Stmt::Labeled { body, .. } | Stmt::With { body, .. } => {
-                self.hoist_stmt(body, fn_scope)
-            }
+            Stmt::Labeled { body, .. } | Stmt::With { body, .. } => self.hoist_stmt(body, fn_scope),
             Stmt::Switch { cases, .. } => {
                 for c in cases {
                     self.hoist_stmts(&c.body, fn_scope, fn_scope);
@@ -626,10 +641,7 @@ impl Builder {
     fn expr(&mut self, e: &Expr, scope: ScopeId) {
         match e {
             Expr::Ident(i) => self.reference(scope, &i.name, i.span, RefKind::Read),
-            Expr::Lit(_)
-            | Expr::This { .. }
-            | Expr::Super { .. }
-            | Expr::MetaProperty { .. } => {}
+            Expr::Lit(_) | Expr::This { .. } | Expr::Super { .. } | Expr::MetaProperty { .. } => {}
             Expr::Array { elements, .. } => {
                 for el in elements.iter().flatten() {
                     self.expr(el, scope);
@@ -790,16 +802,10 @@ mod tests {
     fn function_params_shadow_globals() {
         let t = tree("var a = 1; function f(a) { return a; }");
         // The `a` read inside f must resolve to the Param binding.
-        let param = t
-            .bindings()
-            .iter()
-            .position(|b| b.kind == BindingKind::Param)
-            .expect("param binding");
-        let read = t
-            .references()
-            .iter()
-            .find(|r| r.name == "a" && r.kind == RefKind::Read)
-            .unwrap();
+        let param =
+            t.bindings().iter().position(|b| b.kind == BindingKind::Param).expect("param binding");
+        let read =
+            t.references().iter().find(|r| r.name == "a" && r.kind == RefKind::Read).unwrap();
         assert_eq!(read.binding, Some(param));
     }
 
@@ -814,22 +820,16 @@ mod tests {
     #[test]
     fn named_function_expression_binds_own_name() {
         let t = tree("var f = function rec(n) { return n ? rec(n - 1) : 0; };");
-        let rec_read = t
-            .references()
-            .iter()
-            .find(|r| r.name == "rec" && r.kind == RefKind::Read)
-            .unwrap();
+        let rec_read =
+            t.references().iter().find(|r| r.name == "rec" && r.kind == RefKind::Read).unwrap();
         assert!(rec_read.binding.is_some());
     }
 
     #[test]
     fn closures_resolve_through_scope_chain() {
         let t = tree("function outer() { var v = 1; return function () { return v; }; }");
-        let reads: Vec<_> = t
-            .references()
-            .iter()
-            .filter(|r| r.name == "v" && r.kind == RefKind::Read)
-            .collect();
+        let reads: Vec<_> =
+            t.references().iter().filter(|r| r.name == "v" && r.kind == RefKind::Read).collect();
         assert_eq!(reads.len(), 1);
         assert!(reads[0].binding.is_some());
     }
@@ -837,19 +837,13 @@ mod tests {
     #[test]
     fn update_is_read_write() {
         let t = tree("var i = 0; i++;");
-        assert!(t
-            .references()
-            .iter()
-            .any(|r| r.name == "i" && r.kind == RefKind::ReadWrite));
+        assert!(t.references().iter().any(|r| r.name == "i" && r.kind == RefKind::ReadWrite));
     }
 
     #[test]
     fn compound_assign_is_read_write() {
         let t = tree("var s = ''; s += 'a';");
-        assert!(t
-            .references()
-            .iter()
-            .any(|r| r.name == "s" && r.kind == RefKind::ReadWrite));
+        assert!(t.references().iter().any(|r| r.name == "s" && r.kind == RefKind::ReadWrite));
     }
 
     #[test]
@@ -884,22 +878,16 @@ mod tests {
     fn class_name_binds() {
         let t = tree("class Widget {} new Widget();");
         assert!(t.bindings().iter().any(|b| b.kind == BindingKind::Class));
-        let read = t
-            .references()
-            .iter()
-            .find(|r| r.name == "Widget" && r.kind == RefKind::Read)
-            .unwrap();
+        let read =
+            t.references().iter().find(|r| r.name == "Widget" && r.kind == RefKind::Read).unwrap();
         assert!(read.binding.is_some());
     }
 
     #[test]
     fn arrow_params_bind() {
         let t = tree("xs.map(x => x * 2);");
-        let reads: Vec<_> = t
-            .references()
-            .iter()
-            .filter(|r| r.name == "x" && r.kind == RefKind::Read)
-            .collect();
+        let reads: Vec<_> =
+            t.references().iter().filter(|r| r.name == "x" && r.kind == RefKind::Read).collect();
         assert_eq!(reads.len(), 1);
         assert!(reads[0].binding.is_some());
     }

@@ -429,9 +429,7 @@ impl<'s> Lexer<'s> {
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string literal")),
-                Some(b'\n') | Some(b'\r') => {
-                    return Err(self.err("unterminated string literal"))
-                }
+                Some(b'\n') | Some(b'\r') => return Err(self.err("unterminated string literal")),
                 Some(b) if b == quote => {
                     self.pos += 1;
                     break;
@@ -467,8 +465,7 @@ impl<'s> Lexer<'s> {
                 let mut v = 0u32;
                 for _ in 0..2 {
                     let b = self.peek().ok_or_else(|| self.err("truncated hex escape"))?;
-                    let d =
-                        (b as char).to_digit(16).ok_or_else(|| self.err("bad hex escape"))?;
+                    let d = (b as char).to_digit(16).ok_or_else(|| self.err("bad hex escape"))?;
                     v = v * 16 + d;
                     self.pos += 1;
                 }
@@ -554,9 +551,7 @@ impl<'s> Lexer<'s> {
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated regex literal")),
-                Some(b'\n') | Some(b'\r') => {
-                    return Err(self.err("unterminated regex literal"))
-                }
+                Some(b'\n') | Some(b'\r') => return Err(self.err("unterminated regex literal")),
                 Some(b'\\') => {
                     // Consume the backslash plus one full (possibly
                     // multi-byte) escaped character.

@@ -323,11 +323,12 @@ impl TokenKind {
             | TokenKind::Regex { .. }
             | TokenKind::TemplateNoSub { .. }
             | TokenKind::TemplateTail { .. } => false,
-            TokenKind::Keyword(kw) => !matches!(kw, Kw::This | Kw::Super | Kw::Null | Kw::True | Kw::False),
-            TokenKind::Punct(p) => !matches!(
-                p,
-                Punct::RParen | Punct::RBracket | Punct::PlusPlus | Punct::MinusMinus
-            ),
+            TokenKind::Keyword(kw) => {
+                !matches!(kw, Kw::This | Kw::Super | Kw::Null | Kw::True | Kw::False)
+            }
+            TokenKind::Punct(p) => {
+                !matches!(p, Punct::RParen | Punct::RBracket | Punct::PlusPlus | Punct::MinusMinus)
+            }
             _ => true,
         }
     }

@@ -1,0 +1,664 @@
+//! Single-pass fact collection shared by every rule.
+//!
+//! All rules read from one [`Facts`] bundle collected in a single AST
+//! walk, keeping the engine O(nodes) regardless of rule count. The walk
+//! tracks the parent context a generic child-order visitor cannot see: a
+//! `switch` *inside* a literal-true loop, a `debugger` *inside* a loop
+//! body, an equality test *guarding* a block.
+
+use jsdetect_ast::*;
+use jsdetect_flow::ProgramGraph;
+use std::collections::HashMap;
+
+/// Everything a [`crate::Rule`] can look at.
+pub struct LintContext<'a> {
+    /// Original source text.
+    pub src: &'a str,
+    /// Parsed program.
+    pub program: &'a Program,
+    /// Scope / control-flow / data-flow layers.
+    pub graph: &'a ProgramGraph,
+    /// Facts gathered in one AST pass.
+    pub facts: Facts,
+}
+
+impl<'a> LintContext<'a> {
+    /// Walks the program once and collects all facts.
+    pub fn collect(src: &'a str, program: &'a Program, graph: &'a ProgramGraph) -> Self {
+        let mut w = Walk { facts: Facts::default(), loop_depth: 0, lt_loops: Vec::new() };
+        w.stmts(&program.body);
+        LintContext { src, program, graph, facts: w.facts }
+    }
+}
+
+/// A `switch` statement found inside a literal-true loop — the dispatcher
+/// shape control-flow flattening produces.
+#[derive(Debug, Clone)]
+pub struct DispatchSwitch {
+    /// Span of the `switch` statement.
+    pub span: Span,
+    /// Span of the enclosing literal-true loop.
+    pub loop_span: Span,
+    /// Identifiers appearing in the discriminant (dispatch state).
+    pub state_idents: Vec<String>,
+    /// Number of cases.
+    pub cases: usize,
+    /// Cases whose test is a string literal (flattened order keys).
+    pub string_cases: usize,
+    /// Whether the discriminant itself mutates state (`order[i++]`).
+    pub has_update: bool,
+}
+
+/// A variable initialized with an all-string-literal array.
+#[derive(Debug, Clone)]
+pub struct StringArray {
+    /// Declared name.
+    pub name: String,
+    /// Span of the array literal.
+    pub span: Span,
+    /// Number of elements.
+    pub len: usize,
+}
+
+/// A function whose body returns a computed index into a named array —
+/// the accessor/decoder shim of the global-string-array technique.
+#[derive(Debug, Clone)]
+pub struct DecoderFn {
+    /// Function name (declaration id or the variable it is assigned to).
+    pub name: Option<String>,
+    /// Span of the function.
+    pub span: Span,
+    /// Name of the array it indexes.
+    pub array: String,
+}
+
+/// A block guarded by an `IDENT === 'string'` comparison (an opaque
+/// predicate candidate from dead-code injection).
+#[derive(Debug, Clone)]
+pub struct OpaqueBranch {
+    /// Span of the guarded block (if-consequent or while-body).
+    pub body_span: Span,
+    /// Span of the comparison expression.
+    pub test_span: Span,
+    /// The compared identifier.
+    pub ident: String,
+    /// The string the identifier is compared against.
+    pub expected: String,
+}
+
+/// Facts gathered by the single collection pass.
+#[derive(Debug, Default)]
+pub struct Facts {
+    /// Total statements walked (density denominator).
+    pub statements: u32,
+    /// Switches found inside literal-true loops.
+    pub dispatch_switches: Vec<DispatchSwitch>,
+    /// All-string-literal array declarations (length ≥ 2).
+    pub string_arrays: Vec<StringArray>,
+    /// Non-literal computed-member reads (`name[expr]`, not `name[0]`)
+    /// per identifier.
+    pub computed_reads: HashMap<String, u32>,
+    /// Expression-position uses per identifier (excluding declarations
+    /// and assignment targets).
+    pub ident_uses: HashMap<String, u32>,
+    /// Decoder-shim candidates.
+    pub decoders: Vec<DecoderFn>,
+    /// Direct calls per callee identifier.
+    pub call_counts: HashMap<String, u32>,
+    /// `debugger` statements lexically inside a loop body.
+    pub debugger_in_loop: Vec<Span>,
+    /// `x.constructor('…debugger…')` call sites.
+    pub constructor_code_calls: Vec<Span>,
+    /// `.search()` / `.test()` calls whose pattern is a regex-pump string.
+    pub packed_search_calls: Vec<Span>,
+    /// `IDENT === 'string'` guarded blocks.
+    pub opaque_branches: Vec<OpaqueBranch>,
+    /// String values assigned to each name at declaration sites.
+    pub const_strings: HashMap<String, Vec<String>>,
+}
+
+struct Walk {
+    facts: Facts,
+    loop_depth: usize,
+    /// Spans of enclosing loops whose condition is literally true.
+    lt_loops: Vec<Span>,
+}
+
+impl Walk {
+    fn stmts(&mut self, list: &[Stmt]) {
+        for s in list {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.facts.statements += 1;
+        match s {
+            Stmt::Expr { expr, .. } => self.expr(expr),
+            Stmt::Block { body, .. } => self.stmts(body),
+            Stmt::VarDecl { decls, .. } => {
+                for d in decls {
+                    self.declarator(d);
+                }
+            }
+            Stmt::FunctionDecl(f) => self.function(f, None),
+            Stmt::ClassDecl(c) => self.class(c),
+            Stmt::If { test, consequent, alternate, .. } => {
+                if let Some((ident, expected, test_span)) = as_opaque_test(test) {
+                    self.facts.opaque_branches.push(OpaqueBranch {
+                        body_span: consequent.span(),
+                        test_span,
+                        ident,
+                        expected,
+                    });
+                }
+                self.expr(test);
+                self.stmt(consequent);
+                if let Some(a) = alternate {
+                    self.stmt(a);
+                }
+            }
+            Stmt::For { init, test, update, body, span } => {
+                match init {
+                    Some(ForInit::Var { decls, .. }) => {
+                        for d in decls {
+                            self.declarator(d);
+                        }
+                    }
+                    Some(ForInit::Expr(e)) => self.expr(e),
+                    None => {}
+                }
+                if let Some(t) = test {
+                    self.expr(t);
+                }
+                if let Some(u) = update {
+                    self.expr(u);
+                }
+                // `for (;;)` loops forever just like `while (true)`.
+                let lt = test.as_ref().is_none_or(is_literal_true);
+                self.enter_loop(*span, lt);
+                self.stmt(body);
+                self.exit_loop(lt);
+            }
+            Stmt::ForIn { target, object, body, span } => {
+                self.for_target(target);
+                self.expr(object);
+                self.enter_loop(*span, false);
+                self.stmt(body);
+                self.exit_loop(false);
+            }
+            Stmt::ForOf { target, iterable, body, span } => {
+                self.for_target(target);
+                self.expr(iterable);
+                self.enter_loop(*span, false);
+                self.stmt(body);
+                self.exit_loop(false);
+            }
+            Stmt::While { test, body, span } => {
+                if let Some((ident, expected, test_span)) = as_opaque_test(test) {
+                    self.facts.opaque_branches.push(OpaqueBranch {
+                        body_span: body.span(),
+                        test_span,
+                        ident,
+                        expected,
+                    });
+                }
+                self.expr(test);
+                let lt = is_literal_true(test);
+                self.enter_loop(*span, lt);
+                self.stmt(body);
+                self.exit_loop(lt);
+            }
+            Stmt::DoWhile { body, test, span } => {
+                self.expr(test);
+                let lt = is_literal_true(test);
+                self.enter_loop(*span, lt);
+                self.stmt(body);
+                self.exit_loop(lt);
+            }
+            Stmt::Switch { discriminant, cases, .. } => {
+                if let Some(&loop_span) = self.lt_loops.last() {
+                    let mut state_idents = Vec::new();
+                    collect_idents(discriminant, &mut state_idents);
+                    let string_cases = cases
+                        .iter()
+                        .filter(|c| {
+                            matches!(&c.test, Some(Expr::Lit(Lit { value: LitValue::Str(_), .. })))
+                        })
+                        .count();
+                    self.facts.dispatch_switches.push(DispatchSwitch {
+                        span: s.span(),
+                        loop_span,
+                        state_idents,
+                        cases: cases.len(),
+                        string_cases,
+                        has_update: contains_update(discriminant),
+                    });
+                }
+                self.expr(discriminant);
+                for c in cases {
+                    if let Some(t) = &c.test {
+                        self.expr(t);
+                    }
+                    self.stmts(&c.body);
+                }
+            }
+            Stmt::Try { block, handler, finalizer, .. } => {
+                self.stmts(block);
+                if let Some(h) = handler {
+                    if let Some(p) = &h.param {
+                        self.pat(p);
+                    }
+                    self.stmts(&h.body);
+                }
+                if let Some(f) = finalizer {
+                    self.stmts(f);
+                }
+            }
+            Stmt::Throw { arg, .. } => self.expr(arg),
+            Stmt::Return { arg, .. } => {
+                if let Some(a) = arg {
+                    self.expr(a);
+                }
+            }
+            Stmt::Labeled { body, .. } => self.stmt(body),
+            Stmt::With { object, body, .. } => {
+                self.expr(object);
+                self.stmt(body);
+            }
+            Stmt::Debugger { span } => {
+                if self.loop_depth > 0 {
+                    self.facts.debugger_in_loop.push(*span);
+                }
+            }
+            Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Empty { .. } => {}
+        }
+    }
+
+    fn enter_loop(&mut self, span: Span, literal_true: bool) {
+        self.loop_depth += 1;
+        if literal_true {
+            self.lt_loops.push(span);
+        }
+    }
+
+    fn exit_loop(&mut self, literal_true: bool) {
+        self.loop_depth -= 1;
+        if literal_true {
+            self.lt_loops.pop();
+        }
+    }
+
+    fn declarator(&mut self, d: &VarDeclarator) {
+        let Some(name) = d.id.as_ident().map(|i| i.name.clone()) else {
+            self.pat(&d.id);
+            if let Some(init) = &d.init {
+                self.expr(init);
+            }
+            return;
+        };
+        match &d.init {
+            Some(Expr::Lit(Lit { value: LitValue::Str(s), .. })) => {
+                self.facts.const_strings.entry(name).or_default().push(s.clone());
+            }
+            Some(arr @ Expr::Array { elements, span }) => {
+                let strings = elements
+                    .iter()
+                    .filter(|e| matches!(e, Some(Expr::Lit(Lit { value: LitValue::Str(_), .. }))))
+                    .count();
+                if elements.len() >= 2 && strings == elements.len() {
+                    self.facts.string_arrays.push(StringArray {
+                        name,
+                        span: *span,
+                        len: elements.len(),
+                    });
+                }
+                self.expr(arr);
+            }
+            Some(Expr::Function(f)) => self.function(f, Some(&d.id)),
+            Some(other) => self.expr(other),
+            None => {}
+        }
+    }
+
+    /// Walks a function; `assigned_to` supplies the name when an anonymous
+    /// function expression is bound by a declarator (`var f = function…`).
+    fn function(&mut self, f: &Function, assigned_to: Option<&Pat>) {
+        let name =
+            f.id.as_ref()
+                .map(|i| i.name.clone())
+                .or_else(|| assigned_to.and_then(|p| p.as_ident()).map(|i| i.name.clone()));
+        self.record_decoder(name, f);
+        for p in &f.params {
+            self.pat(p);
+        }
+        self.stmts(&f.body);
+    }
+
+    /// Records the decoder-shim shape: a direct `return ARR[expr]` in the
+    /// function body.
+    fn record_decoder(&mut self, name: Option<String>, f: &Function) {
+        for s in &f.body {
+            if let Stmt::Return {
+                arg: Some(Expr::Member { object, property: MemberProp::Computed(_), .. }),
+                ..
+            } = s
+            {
+                if let Expr::Ident(arr) = object.as_ref() {
+                    self.facts.decoders.push(DecoderFn {
+                        name,
+                        span: f.span,
+                        array: arr.name.clone(),
+                    });
+                    return;
+                }
+            }
+        }
+    }
+
+    fn class(&mut self, c: &Class) {
+        if let Some(sc) = &c.super_class {
+            self.expr(sc);
+        }
+        for m in &c.body {
+            if let PropKey::Computed(k) = &m.key {
+                self.expr(k);
+            }
+            match &m.value {
+                ClassMemberValue::Method(f) => self.function(f, None),
+                ClassMemberValue::Field(Some(e)) => self.expr(e),
+                ClassMemberValue::Field(None) => {}
+            }
+        }
+    }
+
+    fn for_target(&mut self, t: &ForTarget) {
+        match t {
+            ForTarget::Var { pat, .. } | ForTarget::Pat(pat) => self.pat(pat),
+        }
+    }
+
+    fn use_ident(&mut self, name: &str) {
+        *self.facts.ident_uses.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    fn member(&mut self, e: &Expr) {
+        let Expr::Member { object, property, .. } = e else { return };
+        match object.as_ref() {
+            Expr::Ident(i) => {
+                self.use_ident(&i.name);
+                // Literal indices (`arr[0]`) are ordinary element access;
+                // decoder shims index with a computed expression.
+                if matches!(property, MemberProp::Computed(k) if !matches!(k.as_ref(), Expr::Lit(_)))
+                {
+                    *self.facts.computed_reads.entry(i.name.clone()).or_insert(0) += 1;
+                }
+            }
+            other => self.expr(other),
+        }
+        if let MemberProp::Computed(k) = property {
+            self.expr(k);
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Ident(i) => self.use_ident(&i.name),
+            Expr::Lit(_) | Expr::This { .. } | Expr::Super { .. } | Expr::MetaProperty { .. } => {}
+            Expr::Array { elements, .. } => {
+                for el in elements.iter().flatten() {
+                    self.expr(el);
+                }
+            }
+            Expr::Object { props, .. } => {
+                for p in props {
+                    if let PropKey::Computed(k) = &p.key {
+                        self.expr(k);
+                    }
+                    self.expr(&p.value);
+                }
+            }
+            Expr::Function(f) => self.function(f, None),
+            Expr::Arrow { params, body, .. } => {
+                for p in params {
+                    self.pat(p);
+                }
+                match body {
+                    ArrowBody::Expr(e) => self.expr(e),
+                    ArrowBody::Block(b) => self.stmts(b),
+                }
+            }
+            Expr::Class(c) => self.class(c),
+            Expr::Template { exprs, .. } => {
+                for e in exprs {
+                    self.expr(e);
+                }
+            }
+            Expr::TaggedTemplate { tag, exprs, .. } => {
+                self.expr(tag);
+                for e in exprs {
+                    self.expr(e);
+                }
+            }
+            Expr::Unary { arg, .. }
+            | Expr::Update { arg, .. }
+            | Expr::Spread { arg, .. }
+            | Expr::Await { arg, .. } => self.expr(arg),
+            Expr::Yield { arg, .. } => {
+                if let Some(a) = arg {
+                    self.expr(a);
+                }
+            }
+            Expr::Binary { left, right, .. } | Expr::Logical { left, right, .. } => {
+                self.expr(left);
+                self.expr(right);
+            }
+            Expr::Assign { target, value, .. } => {
+                self.pat(target);
+                self.expr(value);
+            }
+            Expr::Conditional { test, consequent, alternate, .. } => {
+                self.expr(test);
+                self.expr(consequent);
+                self.expr(alternate);
+            }
+            Expr::Sequence { exprs, .. } => {
+                for e in exprs {
+                    self.expr(e);
+                }
+            }
+            Expr::Member { .. } => self.member(e),
+            Expr::Call { callee, args, span } => {
+                match callee.as_ref() {
+                    Expr::Ident(i) => {
+                        self.use_ident(&i.name);
+                        *self.facts.call_counts.entry(i.name.clone()).or_insert(0) += 1;
+                    }
+                    m @ Expr::Member { property: MemberProp::Ident(p), .. } => {
+                        match p.name.as_str() {
+                            "search" | "test"
+                                if args.first().is_some_and(is_packed_pattern_arg) =>
+                            {
+                                self.facts.packed_search_calls.push(*span);
+                            }
+                            "constructor" => {
+                                if let Some(Expr::Lit(Lit { value: LitValue::Str(s), .. })) =
+                                    args.first()
+                                {
+                                    if s.contains("debugger") {
+                                        self.facts.constructor_code_calls.push(*span);
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                        self.expr(m);
+                    }
+                    other => self.expr(other),
+                }
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::New { callee, args, .. } => {
+                self.expr(callee);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+        }
+    }
+
+    fn pat(&mut self, p: &Pat) {
+        match p {
+            // Binding / write position: not a value use.
+            Pat::Ident(_) => {}
+            Pat::Array { elements, .. } => {
+                for el in elements.iter().flatten() {
+                    self.pat(el);
+                }
+            }
+            Pat::Object { props, .. } => {
+                for pr in props {
+                    if let PropKey::Computed(k) = &pr.key {
+                        self.expr(k);
+                    }
+                    self.pat(&pr.value);
+                }
+            }
+            Pat::Assign { target, value, .. } => {
+                self.pat(target);
+                self.expr(value);
+            }
+            Pat::Rest { arg, .. } => self.pat(arg),
+            Pat::Member(e) => self.member(e),
+        }
+    }
+}
+
+fn lit_truthy(l: &Lit) -> bool {
+    match &l.value {
+        LitValue::Bool(b) => *b,
+        LitValue::Num(n) => *n != 0.0,
+        LitValue::Str(s) => !s.is_empty(),
+        LitValue::Null => false,
+        LitValue::Regex { .. } => true,
+    }
+}
+
+/// `true`, nonzero numbers, and the obfuscator spellings `!![]` / `!!{}` /
+/// `!0`.
+fn is_literal_true(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(l) => lit_truthy(l),
+        Expr::Unary { op: UnaryOp::Not, arg, .. } => match arg.as_ref() {
+            Expr::Unary { op: UnaryOp::Not, arg: inner, .. } => match inner.as_ref() {
+                Expr::Array { .. } | Expr::Object { .. } => true,
+                Expr::Lit(l) => lit_truthy(l),
+                _ => false,
+            },
+            Expr::Lit(l) => !lit_truthy(l),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Matches `IDENT === 'string'` (either operand order, `==` or `===`).
+fn as_opaque_test(e: &Expr) -> Option<(String, String, Span)> {
+    let Expr::Binary { op, left, right, span } = e else { return None };
+    if !matches!(op, BinaryOp::EqEq | BinaryOp::EqEqEq) {
+        return None;
+    }
+    let (id, lit) = match (left.as_ref(), right.as_ref()) {
+        (Expr::Ident(i), Expr::Lit(l)) | (Expr::Lit(l), Expr::Ident(i)) => (i, l),
+        _ => return None,
+    };
+    let LitValue::Str(s) = &lit.value else { return None };
+    Some((id.name.clone(), s.clone(), *span))
+}
+
+fn contains_update(e: &Expr) -> bool {
+    match e {
+        Expr::Update { .. } => true,
+        Expr::Member { object, property, .. } => {
+            contains_update(object)
+                || match property {
+                    MemberProp::Computed(k) => contains_update(k),
+                    MemberProp::Ident(_) => false,
+                }
+        }
+        Expr::Binary { left, right, .. } | Expr::Logical { left, right, .. } => {
+            contains_update(left) || contains_update(right)
+        }
+        Expr::Call { callee, args, .. } | Expr::New { callee, args, .. } => {
+            contains_update(callee) || args.iter().any(contains_update)
+        }
+        Expr::Unary { arg, .. } | Expr::Spread { arg, .. } | Expr::Await { arg, .. } => {
+            contains_update(arg)
+        }
+        Expr::Conditional { test, consequent, alternate, .. } => {
+            contains_update(test) || contains_update(consequent) || contains_update(alternate)
+        }
+        Expr::Sequence { exprs, .. } => exprs.iter().any(contains_update),
+        Expr::Assign { value, .. } => contains_update(value),
+        _ => false,
+    }
+}
+
+fn collect_idents(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Ident(i) => out.push(i.name.clone()),
+        Expr::Member { object, property, .. } => {
+            collect_idents(object, out);
+            if let MemberProp::Computed(k) = property {
+                collect_idents(k, out);
+            }
+        }
+        Expr::Binary { left, right, .. } | Expr::Logical { left, right, .. } => {
+            collect_idents(left, out);
+            collect_idents(right, out);
+        }
+        Expr::Call { callee, args, .. } | Expr::New { callee, args, .. } => {
+            collect_idents(callee, out);
+            for a in args {
+                collect_idents(a, out);
+            }
+        }
+        Expr::Unary { arg, .. } | Expr::Update { arg, .. } | Expr::Spread { arg, .. } => {
+            collect_idents(arg, out)
+        }
+        Expr::Conditional { test, consequent, alternate, .. } => {
+            collect_idents(test, out);
+            collect_idents(consequent, out);
+            collect_idents(alternate, out);
+        }
+        Expr::Sequence { exprs, .. } => {
+            for e in exprs {
+                collect_idents(e, out);
+            }
+        }
+        Expr::Assign { target, value, .. } => {
+            if let Pat::Ident(i) = target.as_ref() {
+                out.push(i.name.clone());
+            }
+            collect_idents(value, out);
+        }
+        _ => {}
+    }
+}
+
+fn is_packed_pattern_arg(e: &Expr) -> bool {
+    let pattern = match e {
+        Expr::Lit(Lit { value: LitValue::Str(s), .. }) => s.as_str(),
+        Expr::Lit(Lit { value: LitValue::Regex { pattern, .. }, .. }) => pattern.as_str(),
+        _ => return false,
+    };
+    is_packed_pattern(pattern)
+}
+
+/// Nested quantified groups — `(((.+)+)+)+` — the catastrophic-
+/// backtracking pump self-defending guards run against their own source.
+pub(crate) fn is_packed_pattern(s: &str) -> bool {
+    s.contains("(((") && s.contains(".+)+")
+}

@@ -1,0 +1,41 @@
+//! `debugger-in-loop`: anti-debugging probes.
+
+use crate::{Diagnostic, LintContext, Rule, Severity};
+
+/// Flags `debugger` statements inside loop bodies and `debugger` source
+/// injected through the `Function` constructor — the devtools-hammering
+/// probe debug protection installs on a timer (paper §II-A).
+pub struct DebuggerInLoop;
+
+impl Rule for DebuggerInLoop {
+    fn name(&self) -> &'static str {
+        "debugger-in-loop"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Signature
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for &span in &ctx.facts.debugger_in_loop {
+            out.push(Diagnostic {
+                rule: self.name(),
+                span,
+                severity: self.severity(),
+                message: "debugger statement inside a loop body (anti-debugging)".to_string(),
+                data: vec![("form", "statement".to_string())],
+            });
+        }
+        for &span in &ctx.facts.constructor_code_calls {
+            out.push(Diagnostic {
+                rule: self.name(),
+                span,
+                severity: self.severity(),
+                message:
+                    "'debugger' injected through the Function constructor (anti-debugging probe)"
+                        .to_string(),
+                data: vec![("form", "constructor".to_string())],
+            });
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! `string-decoder-call`: the accessor shim in front of a string pool.
+
+use crate::rules::global_array::MIN_POOL;
+use crate::{Diagnostic, LintContext, Rule, Severity};
+
+/// Flags a function whose body returns a computed index into a string
+/// pool and that is actually called — the decoder shim every pooled
+/// literal is routed through (`var f = function (i) { return ARR[...] }`).
+pub struct StringDecoderCall;
+
+impl Rule for StringDecoderCall {
+    fn name(&self) -> &'static str {
+        "string-decoder-call"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Signature
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for d in &ctx.facts.decoders {
+            let pooled =
+                ctx.facts.string_arrays.iter().any(|a| a.name == d.array && a.len >= MIN_POOL);
+            if !pooled {
+                continue;
+            }
+            let Some(name) = &d.name else { continue };
+            let calls = ctx.facts.call_counts.get(name).copied().unwrap_or(0);
+            if calls == 0 {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.name(),
+                span: d.span,
+                severity: self.severity(),
+                message: format!(
+                    "'{}' decodes values out of string array '{}' and is called {} time(s)",
+                    name, d.array, calls
+                ),
+                data: vec![
+                    ("decoder", name.clone()),
+                    ("array", d.array.clone()),
+                    ("calls", calls.to_string()),
+                ],
+            });
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! `non-alphanumeric-density`: identifier-charset and source-charset
+//! anomalies.
+
+use crate::{Diagnostic, LintContext, Rule, Severity};
+
+/// Minimum binding count before the hex-identifier ratio is meaningful.
+const MIN_BINDINGS: usize = 4;
+/// Hex-pattern share of bindings that triggers the rule.
+const HEX_RATIO: f32 = 0.5;
+/// Minimum source size before the charset ratio is meaningful.
+const MIN_SRC_LEN: usize = 64;
+/// Share of `[]()!+` bytes that triggers the no-alphanumeric finding.
+const CHARSET_RATIO: f32 = 0.5;
+
+/// Flags two charset anomalies: most declared names drawn from the
+/// `_0x…` hex namespace (identifier obfuscation), and source text
+/// composed mostly of the six JSFuck characters `[]()!+`
+/// (no-alphanumeric encoding).
+pub struct NonAlphanumericDensity;
+
+fn is_hex_name(name: &str) -> bool {
+    name.strip_prefix("_0x")
+        .is_some_and(|rest| !rest.is_empty() && rest.chars().take(4).all(|c| c.is_ascii_hexdigit()))
+}
+
+impl Rule for NonAlphanumericDensity {
+    fn name(&self) -> &'static str {
+        "non-alphanumeric-density"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let bindings = ctx.graph.scopes.bindings();
+        if bindings.len() >= MIN_BINDINGS {
+            let hex = bindings.iter().filter(|b| is_hex_name(&b.name)).count();
+            let ratio = hex as f32 / bindings.len() as f32;
+            if ratio >= HEX_RATIO {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    span: ctx.program.span,
+                    severity: self.severity(),
+                    message: format!(
+                        "{} of {} declared names are hex-pattern identifiers (_0x…)",
+                        hex,
+                        bindings.len()
+                    ),
+                    data: vec![("hex_ratio", format!("{:.2}", ratio))],
+                });
+            }
+        }
+        if ctx.src.len() >= MIN_SRC_LEN {
+            let charset = ctx
+                .src
+                .bytes()
+                .filter(|b| matches!(b, b'[' | b']' | b'(' | b')' | b'!' | b'+'))
+                .count();
+            let ratio = charset as f32 / ctx.src.len() as f32;
+            if ratio >= CHARSET_RATIO {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    span: ctx.program.span,
+                    severity: self.severity(),
+                    message: format!(
+                        "{:.0}% of the source is the []()!+ charset (no-alphanumeric encoding)",
+                        100.0 * ratio
+                    ),
+                    data: vec![("charset_ratio", format!("{:.2}", ratio))],
+                });
+            }
+        }
+    }
+}

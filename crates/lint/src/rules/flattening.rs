@@ -1,0 +1,57 @@
+//! `flattening-dispatcher`: the switch-in-infinite-loop dispatcher shape.
+
+use crate::{Diagnostic, LintContext, Rule, Severity};
+use jsdetect_ast::Span;
+use jsdetect_flow::RefKind;
+
+/// Minimum case count before a switch counts as a dispatcher.
+const MIN_CASES: usize = 3;
+
+/// Flags a `switch` inside a literal-true loop whose discriminant is
+/// driven by mutated state and whose cases are keyed by string literals —
+/// control-flow flattening's dispatcher (paper §II-A, obfuscator.io).
+pub struct FlatteningDispatcher;
+
+fn within(outer: Span, inner: Span) -> bool {
+    inner.start >= outer.start && inner.end <= outer.end
+}
+
+impl Rule for FlatteningDispatcher {
+    fn name(&self) -> &'static str {
+        "flattening-dispatcher"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Signature
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for ds in &ctx.facts.dispatch_switches {
+            if ds.cases < MIN_CASES || ds.string_cases * 2 < ds.cases {
+                continue;
+            }
+            let state_mutated = ds.has_update
+                || ctx.graph.scopes.references().iter().any(|r| {
+                    r.kind != RefKind::Read
+                        && within(ds.loop_span, r.span)
+                        && ds.state_idents.iter().any(|n| n == &r.name)
+                });
+            if !state_mutated {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.name(),
+                span: ds.span,
+                severity: self.severity(),
+                message: format!(
+                    "switch on mutated state inside an infinite loop dispatches {} string-keyed cases (control-flow flattening)",
+                    ds.cases
+                ),
+                data: vec![
+                    ("cases", ds.cases.to_string()),
+                    ("state", ds.state_idents.join(",")),
+                ],
+            });
+        }
+    }
+}

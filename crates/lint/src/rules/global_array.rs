@@ -1,0 +1,51 @@
+//! `global-string-array`: the pooled string-literal array.
+
+use crate::{Diagnostic, LintContext, Rule, Severity};
+
+/// Minimum pool size before an all-string array is suspicious.
+pub(crate) const MIN_POOL: usize = 4;
+
+/// Flags a variable initialized with an array of ≥ 4 string literals that
+/// is accessed predominantly through computed indices — the literal pool
+/// the global-array technique hoists every string into (paper §II-A).
+pub struct GlobalStringArray;
+
+impl Rule for GlobalStringArray {
+    fn name(&self) -> &'static str {
+        "global-string-array"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Signature
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for sa in &ctx.facts.string_arrays {
+            if sa.len < MIN_POOL {
+                continue;
+            }
+            let computed = ctx.facts.computed_reads.get(&sa.name).copied().unwrap_or(0);
+            let uses = ctx.facts.ident_uses.get(&sa.name).copied().unwrap_or(0);
+            // At least one computed read, and computed reads must make up
+            // at least half of all uses (the rest being the rotation IIFE
+            // handing the pool around by name).
+            if computed == 0 || computed * 2 < uses {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.name(),
+                span: sa.span,
+                severity: self.severity(),
+                message: format!(
+                    "array '{}' pools {} string literals and is read almost only by computed index (string-array pool)",
+                    sa.name, sa.len
+                ),
+                data: vec![
+                    ("name", sa.name.clone()),
+                    ("strings", sa.len.to_string()),
+                    ("computed_reads", computed.to_string()),
+                ],
+            });
+        }
+    }
+}

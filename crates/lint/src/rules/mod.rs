@@ -1,0 +1,38 @@
+//! The built-in rule set.
+//!
+//! One module per rule; [`default_rules`] instantiates them in
+//! [`crate::RULE_NAMES`] order.
+
+mod debugger;
+mod decoder;
+mod density;
+mod flattening;
+mod global_array;
+mod self_defending;
+mod unreachable;
+mod unused;
+
+pub use debugger::DebuggerInLoop;
+pub use decoder::StringDecoderCall;
+pub use density::NonAlphanumericDensity;
+pub use flattening::FlatteningDispatcher;
+pub use global_array::GlobalStringArray;
+pub use self_defending::SelfDefendingToString;
+pub use unreachable::UnreachableCode;
+pub use unused::UnusedBinding;
+
+use crate::Rule;
+
+/// All built-in rules, in [`crate::RULE_NAMES`] order.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(UnreachableCode),
+        Box::new(UnusedBinding),
+        Box::new(FlatteningDispatcher),
+        Box::new(GlobalStringArray),
+        Box::new(StringDecoderCall),
+        Box::new(DebuggerInLoop),
+        Box::new(SelfDefendingToString),
+        Box::new(NonAlphanumericDensity),
+    ]
+}

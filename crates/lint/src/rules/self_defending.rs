@@ -1,0 +1,33 @@
+//! `self-defending-tostring`: the formatting guard's regex pump.
+
+use crate::{Diagnostic, LintContext, Rule, Severity};
+
+/// Flags `.search()` / `.test()` calls whose pattern is a nested
+/// quantified group like `(((.+)+)+)+` — the catastrophic-backtracking
+/// pump a self-defending wrapper runs against its own `toString()` output
+/// to punish beautification (paper §II-A).
+pub struct SelfDefendingToString;
+
+impl Rule for SelfDefendingToString {
+    fn name(&self) -> &'static str {
+        "self-defending-tostring"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Signature
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for &span in &ctx.facts.packed_search_calls {
+            out.push(Diagnostic {
+                rule: self.name(),
+                span,
+                severity: self.severity(),
+                message:
+                    "catastrophic-backtracking regex applied to a function's own source (self-defending guard)"
+                        .to_string(),
+                data: Vec::new(),
+            });
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! `unreachable-code`: statements no execution path can reach.
+
+use crate::{Diagnostic, LintContext, Rule, Severity};
+
+/// Flags statements the control-flow graph cannot reach from any entry
+/// root, plus blocks guarded by statically false opaque predicates — the
+/// two shapes dead-code injection leaves behind (paper §II-A).
+pub struct UnreachableCode;
+
+impl Rule for UnreachableCode {
+    fn name(&self) -> &'static str {
+        "unreachable-code"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for n in ctx.graph.control_flow.unreachable_nodes() {
+            out.push(Diagnostic {
+                rule: self.name(),
+                span: n.span,
+                severity: self.severity(),
+                message: "statement is unreachable from any entry point".to_string(),
+                data: vec![("kind", format!("{:?}", n.kind))],
+            });
+        }
+        let scopes = &ctx.graph.scopes;
+        for ob in &ctx.facts.opaque_branches {
+            let Some(values) = ctx.facts.const_strings.get(&ob.ident) else { continue };
+            if values.len() != 1 || values[0] == ob.expected {
+                continue;
+            }
+            // The guard variable's initializer must be its only write,
+            // otherwise the comparison is not statically decidable.
+            let reassigned = scopes
+                .bindings()
+                .iter()
+                .enumerate()
+                .any(|(id, b)| b.name == ob.ident && scopes.rw_counts(id).1 > 1);
+            if reassigned {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.name(),
+                span: ob.body_span,
+                severity: self.severity(),
+                message: format!(
+                    "block guarded by statically false comparison: '{}' is always \"{}\", never \"{}\"",
+                    ob.ident, values[0], ob.expected
+                ),
+                data: vec![
+                    ("state_var", ob.ident.clone()),
+                    ("expected", ob.expected.clone()),
+                    ("actual", values[0].clone()),
+                ],
+            });
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! `unused-binding`: declared names that are never read.
+
+use crate::{Diagnostic, LintContext, Rule, Severity};
+use jsdetect_flow::{BindingKind, ScopeKind};
+
+/// Flags bindings with zero read references. Junk declarations from
+/// dead-code injection are never read; real code reads almost everything
+/// it declares. Parameters and top-level functions/classes are exempt
+/// (callers may be external to the script).
+pub struct UnusedBinding;
+
+impl Rule for UnusedBinding {
+    fn name(&self) -> &'static str {
+        "unused-binding"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let scopes = &ctx.graph.scopes;
+        for (id, b) in scopes.bindings().iter().enumerate() {
+            if matches!(b.kind, BindingKind::Param | BindingKind::CatchParam) {
+                continue;
+            }
+            let top_level = scopes.scopes()[b.scope].kind == ScopeKind::Global;
+            if top_level && matches!(b.kind, BindingKind::Function | BindingKind::Class) {
+                continue;
+            }
+            let (reads, _) = scopes.rw_counts(id);
+            if reads > 0 {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.name(),
+                span: b.decl_span,
+                severity: self.severity(),
+                message: format!("'{}' is declared but never read", b.name),
+                data: vec![("name", b.name.clone()), ("kind", format!("{:?}", b.kind))],
+            });
+        }
+    }
+}

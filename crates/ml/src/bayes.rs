@@ -36,12 +36,8 @@ impl GaussianNb {
                     if rows.is_empty() {
                         return (0.0, 1.0);
                     }
-                    let mean =
-                        rows.iter().map(|r| r[j] as f64).sum::<f64>() / rows.len() as f64;
-                    let var = rows
-                        .iter()
-                        .map(|r| (r[j] as f64 - mean).powi(2))
-                        .sum::<f64>()
+                    let mean = rows.iter().map(|r| r[j] as f64).sum::<f64>() / rows.len() as f64;
+                    let var = rows.iter().map(|r| (r[j] as f64 - mean).powi(2)).sum::<f64>()
                         / rows.len() as f64;
                     (mean, var.max(VAR_FLOOR))
                 })
@@ -130,8 +126,7 @@ mod tests {
         let x = vec![vec![0.0], vec![1.0]];
         let y = vec![false, true];
         let nb = GaussianNb::fit(&x, &y);
-        let back: GaussianNb =
-            serde_json::from_str(&serde_json::to_string(&nb).unwrap()).unwrap();
+        let back: GaussianNb = serde_json::from_str(&serde_json::to_string(&nb).unwrap()).unwrap();
         assert_eq!(back.predict_proba(&[0.3]), nb.predict_proba(&[0.3]));
     }
 }

@@ -96,11 +96,7 @@ impl RandomForest {
     }
 }
 
-fn bootstrap_sample(
-    x: &[Vec<f32>],
-    y: &[bool],
-    rng: &mut StdRng,
-) -> (Vec<Vec<f32>>, Vec<bool>) {
+fn bootstrap_sample(x: &[Vec<f32>], y: &[bool], rng: &mut StdRng) -> (Vec<Vec<f32>>, Vec<bool>) {
     let n = x.len();
     let mut bx = Vec::with_capacity(n);
     let mut by = Vec::with_capacity(n);
@@ -136,24 +132,15 @@ mod tests {
     #[test]
     fn learns_nonlinear_boundary() {
         let (x, y) = moons(200);
-        let forest = RandomForest::fit(
-            &x,
-            &y,
-            &ForestParams { n_trees: 16, ..Default::default() },
-        );
-        let correct = x
-            .iter()
-            .zip(&y)
-            .filter(|(xi, yi)| forest.predict(xi) == **yi)
-            .count();
+        let forest = RandomForest::fit(&x, &y, &ForestParams { n_trees: 16, ..Default::default() });
+        let correct = x.iter().zip(&y).filter(|(xi, yi)| forest.predict(xi) == **yi).count();
         assert!(correct as f64 / x.len() as f64 > 0.95, "{}/{}", correct, x.len());
     }
 
     #[test]
     fn proba_in_unit_interval() {
         let (x, y) = moons(60);
-        let forest =
-            RandomForest::fit(&x, &y, &ForestParams { n_trees: 8, ..Default::default() });
+        let forest = RandomForest::fit(&x, &y, &ForestParams { n_trees: 8, ..Default::default() });
         for xi in &x {
             let p = forest.predict_proba(xi);
             assert!((0.0..=1.0).contains(&p), "p={}", p);
@@ -174,8 +161,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let (x, y) = moons(80);
-        let a = RandomForest::fit(&x, &y, &ForestParams { n_trees: 4, seed: 1, ..Default::default() });
-        let b = RandomForest::fit(&x, &y, &ForestParams { n_trees: 4, seed: 2, ..Default::default() });
+        let a =
+            RandomForest::fit(&x, &y, &ForestParams { n_trees: 4, seed: 1, ..Default::default() });
+        let b =
+            RandomForest::fit(&x, &y, &ForestParams { n_trees: 4, seed: 2, ..Default::default() });
         let differs = x.iter().any(|xi| a.predict_proba(xi) != b.predict_proba(xi));
         assert!(differs);
     }
@@ -183,8 +172,7 @@ mod tests {
     #[test]
     fn n_trees_respected() {
         let (x, y) = moons(40);
-        let forest =
-            RandomForest::fit(&x, &y, &ForestParams { n_trees: 7, ..Default::default() });
+        let forest = RandomForest::fit(&x, &y, &ForestParams { n_trees: 7, ..Default::default() });
         assert_eq!(forest.n_trees(), 7);
     }
 
@@ -198,8 +186,7 @@ mod tests {
             x.push(vec![v, ((i * 7) % 5) as f32]);
             y.push(v > 6.0);
         }
-        let forest =
-            RandomForest::fit(&x, &y, &ForestParams { n_trees: 12, ..Default::default() });
+        let forest = RandomForest::fit(&x, &y, &ForestParams { n_trees: 12, ..Default::default() });
         let imp = forest.feature_importances(2);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(imp[0] > imp[1], "informative {} vs noise {}", imp[0], imp[1]);
@@ -208,8 +195,7 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let (x, y) = moons(40);
-        let forest =
-            RandomForest::fit(&x, &y, &ForestParams { n_trees: 4, ..Default::default() });
+        let forest = RandomForest::fit(&x, &y, &ForestParams { n_trees: 4, ..Default::default() });
         let json = serde_json::to_string(&forest).unwrap();
         let back: RandomForest = serde_json::from_str(&json).unwrap();
         assert_eq!(back.predict_proba(&x[0]), forest.predict_proba(&x[0]));

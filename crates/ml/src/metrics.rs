@@ -102,12 +102,7 @@ pub struct TopKStats {
 }
 
 /// Evaluates the thresholded Top-k rule over many samples.
-pub fn top_k_stats(
-    probs: &[Vec<f32>],
-    truth: &[Vec<bool>],
-    k: usize,
-    threshold: f32,
-) -> TopKStats {
+pub fn top_k_stats(probs: &[Vec<f32>], truth: &[Vec<bool>], k: usize, threshold: f32) -> TopKStats {
     assert_eq!(probs.len(), truth.len());
     let n = probs.len().max(1) as f64;
     let mut exact = 0usize;

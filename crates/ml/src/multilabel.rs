@@ -47,8 +47,7 @@ impl BaseModel {
                 BaseModel::Forest(RandomForest::fit(x, y, &p))
             }
             BaseParams::Tree(p, seed) => {
-                let mut rng =
-                    StdRng::seed_from_u64(seed.wrapping_add(label_idx as u64 * 7919));
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(label_idx as u64 * 7919));
                 BaseModel::Tree(DecisionTree::fit(x, y, p, &mut rng))
             }
             BaseParams::Bayes => BaseModel::Bayes(GaussianNb::fit(x, y)),
@@ -132,9 +131,7 @@ impl MultiLabel {
     pub fn predict_proba(&self, row: &[f32]) -> Vec<f32> {
         assert_eq!(row.len(), self.n_features, "feature width mismatch");
         match self.strategy {
-            Strategy::BinaryRelevance => {
-                self.models.iter().map(|m| m.predict_proba(row)).collect()
-            }
+            Strategy::BinaryRelevance => self.models.iter().map(|m| m.predict_proba(row)).collect(),
             Strategy::ClassifierChain => {
                 let mut augmented = row.to_vec();
                 let mut probs = Vec::with_capacity(self.models.len());
@@ -270,8 +267,7 @@ mod tests {
     fn serde_roundtrip() {
         let (x, labels) = dataset(60);
         let ml = MultiLabel::fit(&x, &labels, Strategy::ClassifierChain, &forest_base());
-        let back: MultiLabel =
-            serde_json::from_str(&serde_json::to_string(&ml).unwrap()).unwrap();
+        let back: MultiLabel = serde_json::from_str(&serde_json::to_string(&ml).unwrap()).unwrap();
         assert_eq!(back.predict_proba(&x[3]), ml.predict_proba(&x[3]));
     }
 

@@ -52,15 +52,8 @@ impl Default for TreeParams {
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node {
-    Leaf {
-        prob: f32,
-    },
-    Split {
-        feature: usize,
-        threshold: f32,
-        left: usize,
-        right: usize,
-    },
+    Leaf { prob: f32 },
+    Split { feature: usize, threshold: f32, left: usize, right: usize },
 }
 
 /// A fitted binary decision tree; [`DecisionTree::predict_proba`] returns
@@ -151,19 +144,15 @@ impl Builder<'_> {
         let prob = positives as f32 / idx.len() as f32;
 
         let perfect = positives == 0 || positives == idx.len();
-        if perfect
-            || depth >= self.params.max_depth
-            || idx.len() < self.params.min_samples_split
-        {
+        if perfect || depth >= self.params.max_depth || idx.len() < self.params.min_samples_split {
             nodes.push(Node::Leaf { prob });
             return nodes.len() - 1;
         }
 
         match self.best_split(&idx) {
             Some((feature, threshold)) => {
-                let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = idx
-                    .iter()
-                    .partition(|&&i| self.x[i as usize][feature] <= threshold);
+                let (left_idx, right_idx): (Vec<u32>, Vec<u32>) =
+                    idx.iter().partition(|&&i| self.x[i as usize][feature] <= threshold);
                 if left_idx.len() < self.params.min_samples_leaf
                     || right_idx.len() < self.params.min_samples_leaf
                 {
@@ -198,9 +187,7 @@ impl Builder<'_> {
         let mut vals: Vec<(f32, bool)> = Vec::with_capacity(idx.len());
         for f in features {
             vals.clear();
-            vals.extend(
-                idx.iter().map(|&i| (self.x[i as usize][f], self.y[i as usize])),
-            );
+            vals.extend(idx.iter().map(|&i| (self.x[i as usize][f], self.y[i as usize])));
             vals.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             // Sweep split points between distinct adjacent values.
             let mut left_n = 0f64;
@@ -282,12 +269,7 @@ mod tests {
 
     #[test]
     fn xor_needs_depth() {
-        let x = vec![
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ];
+        let x = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
         let y = vec![false, true, true, false];
         let tree = DecisionTree::fit(
             &x,

@@ -150,8 +150,7 @@ impl<'s> Parser<'s> {
             TokenKind::Punct(Punct::Slash) | TokenKind::Punct(Punct::SlashEq)
         ) && self.peeked.is_none()
         {
-            self.cur =
-                self.lexer.rescan_regex(self.cur.span.start, self.cur.newline_before)?;
+            self.cur = self.lexer.rescan_regex(self.cur.span.start, self.cur.newline_before)?;
         }
         Ok(())
     }
@@ -260,10 +259,7 @@ impl<'s> Parser<'s> {
                 }
                 // Label: `ident :`
                 if self.peek()?.is_punct(Punct::Colon) {
-                    let label = Ident {
-                        name: name.clone(),
-                        span: self.cur.span,
-                    };
+                    let label = Ident { name: name.clone(), span: self.cur.span };
                     self.advance()?; // ident
                     self.advance()?; // :
                     let body = self.parse_stmt()?;
@@ -342,10 +338,7 @@ impl<'s> Parser<'s> {
         } else {
             None
         };
-        let end = alternate
-            .as_ref()
-            .map(|s| s.span().end)
-            .unwrap_or_else(|| consequent.span().end);
+        let end = alternate.as_ref().map(|s| s.span().end).unwrap_or_else(|| consequent.span().end);
         Ok(Stmt::If { test, consequent, alternate, span: Span::new(start, end) })
     }
 
@@ -392,7 +385,12 @@ impl<'s> Parser<'s> {
                 self.expect_punct(Punct::RParen)?;
                 let body = Box::new(self.parse_stmt()?);
                 let span = Span::new(start, body.span().end);
-                return Ok(Stmt::ForIn { target: ForTarget::Var { kind, pat }, object, body, span });
+                return Ok(Stmt::ForIn {
+                    target: ForTarget::Var { kind, pat },
+                    object,
+                    body,
+                    span,
+                });
             }
             if self.is_ident("of") {
                 self.advance()?;
@@ -409,11 +407,8 @@ impl<'s> Parser<'s> {
             }
             // Classic for with declaration init.
             let mut decls = Vec::new();
-            let init = if self.eat_punct(Punct::Eq)? {
-                Some(self.parse_assignment(false)?)
-            } else {
-                None
-            };
+            let init =
+                if self.eat_punct(Punct::Eq)? { Some(self.parse_assignment(false)?) } else { None };
             let dspan = Span::new(
                 pat.span().start,
                 init.as_ref().map(|e| e.span().end).unwrap_or(pat.span().end),
@@ -453,8 +448,7 @@ impl<'s> Parser<'s> {
     fn parse_for_rest(&mut self, start: u32, init: Option<ForInit>) -> Result<Stmt, ParseError> {
         let test = if self.is_punct(Punct::Semi) { None } else { Some(self.parse_expr(true)?) };
         self.expect_punct(Punct::Semi)?;
-        let update =
-            if self.is_punct(Punct::RParen) { None } else { Some(self.parse_expr(true)?) };
+        let update = if self.is_punct(Punct::RParen) { None } else { Some(self.parse_expr(true)?) };
         self.expect_punct(Punct::RParen)?;
         let body = Box::new(self.parse_stmt()?);
         let span = Span::new(start, body.span().end);
@@ -512,9 +506,7 @@ impl<'s> Parser<'s> {
             };
             self.expect_punct(Punct::Colon)?;
             let mut body = Vec::new();
-            while !self.is_punct(Punct::RBrace)
-                && !self.is_kw(Kw::Case)
-                && !self.is_kw(Kw::Default)
+            while !self.is_punct(Punct::RBrace) && !self.is_kw(Kw::Case) && !self.is_kw(Kw::Default)
             {
                 if self.cur.is_eof() {
                     return Err(self.err_here("unterminated switch"));
@@ -668,7 +660,14 @@ impl<'s> Parser<'s> {
         };
         let params = self.parse_params()?;
         let (body, end) = self.parse_fn_body()?;
-        Ok(Function { id, params, body, is_generator, is_async: false, span: Span::new(start, end) })
+        Ok(Function {
+            id,
+            params,
+            body,
+            is_generator,
+            is_async: false,
+            span: Span::new(start, end),
+        })
     }
 
     fn parse_params(&mut self) -> Result<Vec<Pat>, ParseError> {
@@ -797,13 +796,9 @@ impl<'s> Parser<'s> {
             })
         } else {
             // Field: `name = value;` or `name;`
-            let value = if self.eat_punct(Punct::Eq)? {
-                Some(self.parse_assignment(true)?)
-            } else {
-                None
-            };
-            let end =
-                value.as_ref().map(|v| v.span().end).unwrap_or(self.cur.span.start);
+            let value =
+                if self.eat_punct(Punct::Eq)? { Some(self.parse_assignment(true)?) } else { None };
+            let end = value.as_ref().map(|v| v.span().end).unwrap_or(self.cur.span.start);
             self.consume_semi("class field")?;
             Ok(ClassMember {
                 key,
@@ -841,8 +836,7 @@ impl<'s> Parser<'s> {
                 Ok((PropKey::Lit(lit), false))
             }
             TokenKind::Num(n) => {
-                let lit =
-                    Lit { value: LitValue::Num(*n), raw: String::new(), span: self.cur.span };
+                let lit = Lit { value: LitValue::Num(*n), raw: String::new(), span: self.cur.span };
                 self.advance()?;
                 Ok((PropKey::Lit(lit), false))
             }
@@ -939,12 +933,7 @@ impl<'s> Parser<'s> {
             self.advance()?;
             let value = self.parse_assignment(in_allowed)?;
             let span = Span::new(target.span().start, value.span().end);
-            return Ok(Expr::Assign {
-                op,
-                target: Box::new(target),
-                value: Box::new(value),
-                span,
-            });
+            return Ok(Expr::Assign { op, target: Box::new(target), value: Box::new(value), span });
         }
         Ok(lhs)
     }
@@ -1079,7 +1068,9 @@ impl<'s> Parser<'s> {
         loop {
             let (prec, right_assoc, kind) = match &self.cur.kind {
                 TokenKind::Keyword(Kw::In) if !in_allowed => break,
-                TokenKind::Keyword(Kw::In) => (BinaryOp::In.precedence(), false, BinKind::Bin(BinaryOp::In)),
+                TokenKind::Keyword(Kw::In) => {
+                    (BinaryOp::In.precedence(), false, BinKind::Bin(BinaryOp::In))
+                }
                 TokenKind::Keyword(Kw::Instanceof) => {
                     (BinaryOp::InstanceOf.precedence(), false, BinKind::Bin(BinaryOp::InstanceOf))
                 }
@@ -1101,18 +1092,12 @@ impl<'s> Parser<'s> {
             let right = self.parse_binary(next_min, in_allowed)?;
             let span = Span::new(left.span().start, right.span().end);
             left = match kind {
-                BinKind::Bin(op) => Expr::Binary {
-                    op,
-                    left: Box::new(left),
-                    right: Box::new(right),
-                    span,
-                },
-                BinKind::Log(op) => Expr::Logical {
-                    op,
-                    left: Box::new(left),
-                    right: Box::new(right),
-                    span,
-                },
+                BinKind::Bin(op) => {
+                    Expr::Binary { op, left: Box::new(left), right: Box::new(right), span }
+                }
+                BinKind::Log(op) => {
+                    Expr::Logical { op, left: Box::new(left), right: Box::new(right), span }
+                }
             };
         }
         Ok(left)
@@ -1287,8 +1272,7 @@ impl<'s> Parser<'s> {
                             };
                         }
                         TokenKind::Keyword(kw) => {
-                            let prop =
-                                Ident { name: kw.as_str().to_string(), span: self.cur.span };
+                            let prop = Ident { name: kw.as_str().to_string(), span: self.cur.span };
                             let span = Span::new(e.span().start, self.cur.span.end);
                             self.advance()?;
                             e = Expr::Member {
@@ -1562,10 +1546,7 @@ impl<'s> Parser<'s> {
             let next = self.peek()?;
             let key_follows = matches!(
                 &next.kind,
-                TokenKind::Ident(_)
-                    | TokenKind::Keyword(_)
-                    | TokenKind::Str(_)
-                    | TokenKind::Num(_)
+                TokenKind::Ident(_) | TokenKind::Keyword(_) | TokenKind::Str(_) | TokenKind::Num(_)
             ) || next.is_punct(Punct::LBracket)
                 || next.is_punct(Punct::Star);
             if key_follows && !next.newline_before {
@@ -1581,10 +1562,7 @@ impl<'s> Parser<'s> {
             let next = self.peek()?;
             let key_follows = matches!(
                 &next.kind,
-                TokenKind::Ident(_)
-                    | TokenKind::Keyword(_)
-                    | TokenKind::Str(_)
-                    | TokenKind::Num(_)
+                TokenKind::Ident(_) | TokenKind::Keyword(_) | TokenKind::Str(_) | TokenKind::Num(_)
             ) || next.is_punct(Punct::LBracket);
             if key_follows {
                 kind = if self.is_ident("get") { PropKind::Get } else { PropKind::Set };
@@ -1927,11 +1905,9 @@ pub(crate) fn expr_to_pat(e: Expr) -> Result<Pat, ParseError> {
             }
             Ok(Pat::Object { props: out, span })
         }
-        Expr::Assign { op: AssignOp::Assign, target, value, span } => Ok(Pat::Assign {
-            target,
-            value,
-            span,
-        }),
+        Expr::Assign { op: AssignOp::Assign, target, value, span } => {
+            Ok(Pat::Assign { target, value, span })
+        }
         _ => Err(ParseError::new("invalid assignment target", pos)),
     }
 }

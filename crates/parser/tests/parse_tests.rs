@@ -132,8 +132,7 @@ fn while_and_do_while() {
 
 #[test]
 fn switch_with_cases_and_default() {
-    match &p("switch (x) { case 1: a(); break; case 2: case 3: b(); break; default: c(); }")
-        .body[0]
+    match &p("switch (x) { case 1: a(); break; case 2: case 3: b(); break; default: c(); }").body[0]
     {
         Stmt::Switch { cases, .. } => {
             assert_eq!(cases.len(), 4);
@@ -242,10 +241,7 @@ fn default_and_rest_params() {
 
 #[test]
 fn arrow_functions_all_shapes() {
-    assert!(matches!(
-        first_expr("x => x + 1;"),
-        Expr::Arrow { body: ArrowBody::Expr(_), .. }
-    ));
+    assert!(matches!(first_expr("x => x + 1;"), Expr::Arrow { body: ArrowBody::Expr(_), .. }));
     assert!(matches!(
         first_expr("() => 0;"),
         Expr::Arrow { ref params, .. } if params.is_empty()
@@ -254,14 +250,8 @@ fn arrow_functions_all_shapes() {
         first_expr("(a, b) => { return a * b; };"),
         Expr::Arrow { body: ArrowBody::Block(_), .. }
     ));
-    assert!(matches!(
-        first_expr("async x => await x;"),
-        Expr::Arrow { is_async: true, .. }
-    ));
-    assert!(matches!(
-        first_expr("async (a, b) => a + b;"),
-        Expr::Arrow { is_async: true, .. }
-    ));
+    assert!(matches!(first_expr("async x => await x;"), Expr::Arrow { is_async: true, .. }));
+    assert!(matches!(first_expr("async (a, b) => a + b;"), Expr::Arrow { is_async: true, .. }));
     assert!(matches!(
         first_expr("({a, b}) => a + b;"),
         Expr::Arrow { ref params, .. } if matches!(params[0], Pat::Object { .. })
@@ -548,10 +538,7 @@ fn optional_chaining() {
 
 #[test]
 fn regex_literals_in_expression_positions() {
-    assert!(matches!(
-        first_expr("/ab/g;"),
-        Expr::Lit(Lit { value: LitValue::Regex { .. }, .. })
-    ));
+    assert!(matches!(first_expr("/ab/g;"), Expr::Lit(Lit { value: LitValue::Regex { .. }, .. })));
     // After `(`:
     assert!(kinds("f(/x/);").contains(&NodeKind::Literal));
     // After `=`:

@@ -116,10 +116,7 @@ fn jquery_style_chains() {
 #[test]
 fn iife_with_conditional_operator_soup() {
     // Minifier-style nested ternaries and comma operators.
-    assert_parses(
-        "ternary-soup",
-        "var r=a?b?1:2:c?3:4,s=(f(),g(),h()),t=x==null?void 0:x.y;",
-    );
+    assert_parses("ternary-soup", "var r=a?b?1:2:c?3:4,s=(f(),g(),h()),t=x==null?void 0:x.y;");
 }
 
 #[test]

@@ -76,11 +76,8 @@ impl Injector<'_> {
             if self.injected >= self.max {
                 break;
             }
-            let pos = if body.len() > skip {
-                self.rng.gen_range(skip..=body.len())
-            } else {
-                body.len()
-            };
+            let pos =
+                if body.len() > skip { self.rng.gen_range(skip..=body.len()) } else { body.len() };
             let junk = self.junk_stmt();
             body.insert(pos, junk);
             self.injected += 1;
@@ -204,11 +201,7 @@ impl Injector<'_> {
                 let name = self.junk_name();
                 var_decl(VarKind::Var, name, Some(self.junk_value()))
             }
-            1 => expr_stmt(method_call(
-                ident("console"),
-                "log",
-                vec![self.junk_value()],
-            )),
+            1 => expr_stmt(method_call(ident("console"), "log", vec![self.junk_value()])),
             _ => expr_stmt(self.junk_value()),
         }
     }
@@ -277,8 +270,11 @@ mod tests {
     fn injects_into_function_bodies() {
         let mut prog = parse("function deep() { inner(); }").unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let n =
-            inject_dead_code(&mut prog, &mut rng, &DeadCodeOptions { density: 1.0, max_injected: 10 });
+        let n = inject_dead_code(
+            &mut prog,
+            &mut rng,
+            &DeadCodeOptions { density: 1.0, max_injected: 10 },
+        );
         assert!(n >= 3, "expected several injections, got {}", n);
     }
 

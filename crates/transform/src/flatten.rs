@@ -184,8 +184,7 @@ fn flatten_list(body: &mut Vec<Stmt>, rng: &mut StdRng, opts: &FlattenOptions) -
     let decls: Vec<usize> = (skip..body.len())
         .filter(|&i| matches!(body[i], Stmt::FunctionDecl(_) | Stmt::ClassDecl(_)))
         .collect();
-    let flatten_idx: Vec<usize> =
-        (skip..body.len()).filter(|i| !decls.contains(i)).collect();
+    let flatten_idx: Vec<usize> = (skip..body.len()).filter(|i| !decls.contains(i)).collect();
     if flatten_idx.len() < opts.min_stmts || flatten_idx.len() > opts.max_stmts {
         return 0;
     }
@@ -209,8 +208,7 @@ fn flatten_list(body: &mut Vec<Stmt>, rng: &mut StdRng, opts: &FlattenOptions) -
     let mut case_ids: Vec<usize> = (0..n).collect();
     case_ids.shuffle(rng);
     // case_ids[j] = the dispatch key of the j-th statement to execute.
-    let order_string =
-        case_ids.iter().map(|k| k.to_string()).collect::<Vec<_>>().join("|");
+    let order_string = case_ids.iter().map(|k| k.to_string()).collect::<Vec<_>>().join("|");
 
     let order_name = format!("_0x{:x}o", rng.gen_range(0x1000u32..0xFFFF));
     let idx_name = format!("_0x{:x}i", rng.gen_range(0x1000u32..0xFFFF));
@@ -221,11 +219,7 @@ fn flatten_list(body: &mut Vec<Stmt>, rng: &mut StdRng, opts: &FlattenOptions) -
         decls: vec![
             VarDeclarator {
                 id: Pat::Ident(Ident::new(order_name.clone())),
-                init: Some(method_call(
-                    str_lit(order_string),
-                    "split",
-                    vec![str_lit("|")],
-                )),
+                init: Some(method_call(str_lit(order_string), "split", vec![str_lit("|")])),
                 span: Span::DUMMY,
             },
             VarDeclarator {
@@ -270,10 +264,8 @@ fn flatten_list(body: &mut Vec<Stmt>, rng: &mut StdRng, opts: &FlattenOptions) -
         UnaryOp::Not,
         unary(UnaryOp::Not, Expr::Array { elements: vec![], span: Span::DUMMY }),
     );
-    let loop_stmt = while_stmt(
-        cond,
-        block(vec![switch_stmt, Stmt::Break { label: None, span: Span::DUMMY }]),
-    );
+    let loop_stmt =
+        while_stmt(cond, block(vec![switch_stmt, Stmt::Break { label: None, span: Span::DUMMY }]));
 
     // Reassemble: directives, declarations, dispatcher.
     let mut out = Vec::new();

@@ -106,10 +106,7 @@ impl MutVisitor for Replace<'_> {
     fn visit_expr_mut(&mut self, e: &mut Expr) {
         if let Expr::Lit(Lit { value: LitValue::Str(s), .. }) = e {
             if let Some(&i) = self.index_of.get(s) {
-                *e = call(
-                    ident(self.acc_name.to_string()),
-                    vec![str_lit(format!("0x{:x}", i))],
-                );
+                *e = call(ident(self.acc_name.to_string()), vec![str_lit(format!("0x{:x}", i))]);
                 self.replaced += 1;
             }
             return;

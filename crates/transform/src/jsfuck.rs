@@ -128,11 +128,7 @@ impl JsfuckEncoder {
         }
         // Everything else through unescape("%XX") / unescape("%uXXXX").
         let code = c as u32;
-        let hex = if code < 256 {
-            format!("{:02x}", code)
-        } else {
-            format!("u{:04x}", code)
-        };
+        let hex = if code < 256 { format!("{:02x}", code) } else { format!("u{:04x}", code) };
         let mut payload = self.percent_expr();
         for h in hex.chars() {
             payload = format!("{}+{}", payload, self.encode_char(h));

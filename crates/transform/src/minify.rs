@@ -268,22 +268,20 @@ fn prune_literal_branches(stmts: &mut Vec<Stmt>) {
     let old = std::mem::take(stmts);
     for s in old {
         match s {
-            Stmt::If { test: Expr::Lit(l), consequent, alternate, .. } => {
-                match truthy(&l.value) {
-                    Some(true) => stmts.push(*consequent),
-                    Some(false) => {
-                        if let Some(alt) = alternate {
-                            stmts.push(*alt);
-                        }
+            Stmt::If { test: Expr::Lit(l), consequent, alternate, .. } => match truthy(&l.value) {
+                Some(true) => stmts.push(*consequent),
+                Some(false) => {
+                    if let Some(alt) = alternate {
+                        stmts.push(*alt);
                     }
-                    None => stmts.push(Stmt::If {
-                        test: Expr::Lit(l),
-                        consequent,
-                        alternate,
-                        span: Span::DUMMY,
-                    }),
                 }
-            }
+                None => stmts.push(Stmt::If {
+                    test: Expr::Lit(l),
+                    consequent,
+                    alternate,
+                    span: Span::DUMMY,
+                }),
+            },
             other => stmts.push(other),
         }
     }

@@ -5,11 +5,51 @@ use rand::Rng;
 
 /// Words that can never be used as identifiers.
 pub const RESERVED: &[&str] = &[
-    "break", "case", "catch", "class", "const", "continue", "debugger", "default", "delete",
-    "do", "else", "enum", "export", "extends", "false", "finally", "for", "function", "if",
-    "implements", "import", "in", "instanceof", "interface", "let", "new", "null", "package",
-    "private", "protected", "public", "return", "static", "super", "switch", "this", "throw",
-    "true", "try", "typeof", "var", "void", "while", "with", "yield",
+    "break",
+    "case",
+    "catch",
+    "class",
+    "const",
+    "continue",
+    "debugger",
+    "default",
+    "delete",
+    "do",
+    "else",
+    "enum",
+    "export",
+    "extends",
+    "false",
+    "finally",
+    "for",
+    "function",
+    "if",
+    "implements",
+    "import",
+    "in",
+    "instanceof",
+    "interface",
+    "let",
+    "new",
+    "null",
+    "package",
+    "private",
+    "protected",
+    "public",
+    "return",
+    "static",
+    "super",
+    "switch",
+    "this",
+    "throw",
+    "true",
+    "try",
+    "typeof",
+    "var",
+    "void",
+    "while",
+    "with",
+    "yield",
 ];
 
 /// Returns `true` if `name` is a legal identifier (and not reserved).
@@ -135,10 +175,12 @@ mod tests {
 
     #[test]
     fn hex_names_deterministic_per_seed() {
-        let a: Vec<_> =
-            (0..5).scan(HexNameGen::new(StdRng::seed_from_u64(1)), |g, _| Some(g.next_name())).collect();
-        let b: Vec<_> =
-            (0..5).scan(HexNameGen::new(StdRng::seed_from_u64(1)), |g, _| Some(g.next_name())).collect();
+        let a: Vec<_> = (0..5)
+            .scan(HexNameGen::new(StdRng::seed_from_u64(1)), |g, _| Some(g.next_name()))
+            .collect();
+        let b: Vec<_> = (0..5)
+            .scan(HexNameGen::new(StdRng::seed_from_u64(1)), |g, _| Some(g.next_name()))
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -59,11 +59,8 @@ pub fn pack(src: &str) -> String {
     payload.push_str(rest);
 
     // Words equal to their own code can be omitted from the dictionary.
-    let dict: Vec<&str> = order
-        .iter()
-        .enumerate()
-        .map(|(i, w)| if base62(i) == **w { "" } else { *w })
-        .collect();
+    let dict: Vec<&str> =
+        order.iter().enumerate().map(|(i, w)| if base62(i) == **w { "" } else { *w }).collect();
 
     let payload_quoted = escape_single(&payload);
     let dict_joined = dict.join("|");

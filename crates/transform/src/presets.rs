@@ -307,8 +307,7 @@ mod tests {
         // value for many seeds by folding with the advanced minifier.
         for seed in 0..12 {
             let out = obfuscate_integers("check(7777);", seed).unwrap();
-            let folded =
-                crate::apply(&out, &[Technique::MinificationAdvanced], 0).unwrap();
+            let folded = crate::apply(&out, &[Technique::MinificationAdvanced], 0).unwrap();
             assert!(
                 folded.contains("check(7777)"),
                 "seed {}: constant folding must recover 7777: {} -> {}",

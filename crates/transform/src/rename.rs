@@ -418,10 +418,7 @@ impl<'g> Renamer<'g> {
     fn expr(&mut self, e: &mut Expr, env: &mut Env) {
         match e {
             Expr::Ident(i) => self.ident(i, env),
-            Expr::Lit(_)
-            | Expr::This { .. }
-            | Expr::Super { .. }
-            | Expr::MetaProperty { .. } => {}
+            Expr::Lit(_) | Expr::This { .. } | Expr::Super { .. } | Expr::MetaProperty { .. } => {}
             Expr::Array { elements, .. } => {
                 for el in elements.iter_mut().flatten() {
                     self.expr(el, env);
@@ -573,8 +570,7 @@ mod tests {
 
     #[test]
     fn let_block_scoping() {
-        let out =
-            rename_with_counter("let a = 1; { let a = 2; inner(a); } outer(a);");
+        let out = rename_with_counter("let a = 1; { let a = 2; inner(a); } outer(a);");
         // Two distinct new names: the inner block shadows.
         assert!(parse(&out).is_ok());
         let inner = out.split("inner(").nth(1).unwrap().split(')').next().unwrap();

@@ -89,10 +89,7 @@ pub fn obfuscate_strings(
 pub(crate) fn directive_count(body: &[Stmt]) -> usize {
     body.iter()
         .take_while(|s| {
-            matches!(
-                s,
-                Stmt::Expr { expr: Expr::Lit(Lit { value: LitValue::Str(_), .. }), .. }
-            )
+            matches!(s, Stmt::Expr { expr: Expr::Lit(Lit { value: LitValue::Str(_), .. }), .. })
         })
         .count()
 }
@@ -133,8 +130,7 @@ impl MutVisitor for StringObf<'_> {
 impl StringObf<'_> {
     fn rewrite(&mut self, s: &str) -> Expr {
         let mut mode = self.opts.modes[self.rng.gen_range(0..self.opts.modes.len())];
-        if mode == StringObfMode::FromCharCode && s.chars().count() > self.opts.max_char_code_len
-        {
+        if mode == StringObfMode::FromCharCode && s.chars().count() > self.opts.max_char_code_len {
             mode = StringObfMode::Split;
         }
         match mode {
@@ -182,11 +178,7 @@ impl StringObf<'_> {
 fn reverse_expr(s: &str) -> Expr {
     let reversed: String = s.chars().rev().collect();
     method_call(
-        method_call(
-            method_call(str_lit(reversed), "split", vec![str_lit("")]),
-            "reverse",
-            vec![],
-        ),
+        method_call(method_call(str_lit(reversed), "split", vec![str_lit("")]), "reverse", vec![]),
         "join",
         vec![str_lit("")],
     )
@@ -194,10 +186,7 @@ fn reverse_expr(s: &str) -> Expr {
 
 /// `String.fromCharCode(104, 105, ...)`
 fn from_char_code_expr(s: &str) -> Expr {
-    let codes: Vec<Expr> = s
-        .encode_utf16()
-        .map(|u| num_lit(u as f64))
-        .collect();
+    let codes: Vec<Expr> = s.encode_utf16().map(|u| num_lit(u as f64)).collect();
     from_char_code(codes)
 }
 
@@ -212,10 +201,7 @@ fn hex_encode(s: &str) -> String {
 fn decoder_decl(name: &str) -> Stmt {
     let parse_call = call(
         ident("parseInt"),
-        vec![
-            method_call(ident("h"), "substr", vec![ident("i"), num_lit(4.0)]),
-            num_lit(16.0),
-        ],
+        vec![method_call(ident("h"), "substr", vec![ident("i"), num_lit(4.0)]), num_lit(16.0)],
     );
     let body = vec![
         var_decl(VarKind::Var, "s", Some(str_lit(""))),
@@ -228,11 +214,7 @@ fn decoder_decl(name: &str) -> Stmt {
                     span: Span::DUMMY,
                 }],
             }),
-            test: Some(binary(
-                BinaryOp::Lt,
-                ident("i"),
-                member(ident("h"), "length"),
-            )),
+            test: Some(binary(BinaryOp::Lt, ident("i"), member(ident("h"), "length"))),
             update: Some(Expr::Assign {
                 op: AssignOp::AddAssign,
                 target: Box::new(Pat::Ident(Ident::new("i"))),
@@ -314,10 +296,8 @@ mod tests {
 
     #[test]
     fn function_directives_untouched() {
-        let out = run(
-            "function f() { 'use strict'; return 'payload'; }",
-            vec![StringObfMode::Reverse],
-        );
+        let out =
+            run("function f() { 'use strict'; return 'payload'; }", vec![StringObfMode::Reverse]);
         assert!(out.contains("'use strict';"), "{}", out);
         assert!(out.contains("'daolyap'"), "{}", out);
     }

@@ -83,11 +83,7 @@ fn main() {
         techniques.push(Technique::StringObfuscation);
     }
 
-    let result = if packer {
-        apply_packer(&src, seed)
-    } else {
-        apply(&src, &techniques, seed)
-    };
+    let result = if packer { apply_packer(&src, seed) } else { apply(&src, &techniques, seed) };
     match result {
         Ok(out) => {
             eprintln!(

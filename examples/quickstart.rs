@@ -35,12 +35,9 @@ fn main() {
     );
 
     // 3. Obfuscate the same script and classify again.
-    let obfuscated = apply(
-        regular,
-        &[Technique::IdentifierObfuscation, Technique::StringObfuscation],
-        99,
-    )
-    .unwrap();
+    let obfuscated =
+        apply(regular, &[Technique::IdentifierObfuscation, Technique::StringObfuscation], 99)
+            .unwrap();
     let verdict = detectors.level1.predict(&obfuscated).unwrap();
     println!(
         "obfuscated script → transformed={} (regular={:.2} minified={:.2} obfuscated={:.2})",
@@ -51,10 +48,8 @@ fn main() {
     );
 
     // 4. Ask level 2 which techniques were used (thresholded Top-k rule).
-    let techniques = detectors
-        .level2
-        .predict_techniques(&obfuscated, 4, DEFAULT_THRESHOLD)
-        .unwrap();
+    let techniques =
+        detectors.level2.predict_techniques(&obfuscated, 4, DEFAULT_THRESHOLD).unwrap();
     println!("\nlevel-2 report for the obfuscated script:");
     for t in techniques {
         println!("  - {}", t);

@@ -30,18 +30,12 @@ fn audit(detectors: &jsdetect_suite::detector::TrainedDetectors, name: &str, src
         if verdict.is_transformed() { "TRANSFORMED" } else { "regular" }
     );
     if verdict.is_transformed() {
-        let techniques = detectors
-            .level2
-            .predict_techniques(src, 4, DEFAULT_THRESHOLD)
-            .unwrap_or_default();
+        let techniques =
+            detectors.level2.predict_techniques(src, 4, DEFAULT_THRESHOLD).unwrap_or_default();
         println!(
             "  level 2 (top-4 over {:.0}% threshold): {}",
             DEFAULT_THRESHOLD * 100.0,
-            techniques
-                .iter()
-                .map(|t| t.as_str())
-                .collect::<Vec<_>>()
-                .join(", ")
+            techniques.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(", ")
         );
     }
 
@@ -97,8 +91,7 @@ fn main() {
         vec![Technique::ControlFlowFlattening, Technique::StringObfuscation],
         vec![Technique::NoAlphanumeric],
     ] {
-        let label =
-            techniques.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(" + ");
+        let label = techniques.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(" + ");
         match apply(demo, &techniques, 1234) {
             Ok(src) => audit(&detectors, &label, &src),
             Err(e) => println!("\n=== {} === failed: {}", label, e),

@@ -10,17 +10,23 @@
 //!
 //! # Transform a file (ground-truth tooling):
 //! jsdetect-cli transform --technique identifier_obfuscation a.js
+//!
+//! # Explain which obfuscation signatures a file exhibits:
+//! jsdetect-cli lint a.js
+//! jsdetect-cli lint --emit-diagnostics json a.js
 //! ```
 
 use jsdetect_suite::detector::{
     train_pipeline, DetectorConfig, Technique, TrainedDetectors, DEFAULT_THRESHOLD,
 };
+use jsdetect_suite::lint::LintRunner;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  jsdetect-cli train --model <out.json> [--n 240] [--seed 42]\n  \
          jsdetect-cli classify --model <model.json> <file.js>...\n  \
-         jsdetect-cli transform --technique <name> [--seed 42] <file.js>\n\n\
+         jsdetect-cli transform --technique <name> [--seed 42] <file.js>\n  \
+         jsdetect-cli lint [--emit-diagnostics json] <file.js>...\n\n\
          techniques: {}",
         Technique::ALL.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(", ")
     );
@@ -37,6 +43,7 @@ fn main() {
         Some("train") => cmd_train(&argv),
         Some("classify") => cmd_classify(&argv),
         Some("transform") => cmd_transform(&argv),
+        Some("lint") => cmd_lint(&argv),
         _ => usage(),
     }
 }
@@ -93,11 +100,7 @@ fn cmd_classify(argv: &[String]) {
         if src.len() < 512 {
             // The paper only analyzes files ≥ 512 bytes: smaller scripts
             // carry too few features to classify reliably.
-            println!(
-                "{}: too small to classify reliably ({} bytes < 512)",
-                path,
-                src.len()
-            );
+            println!("{}: too small to classify reliably ({} bytes < 512)", path, src.len());
             continue;
         }
         match detectors.level1.predict(&src) {
@@ -115,25 +118,126 @@ fn cmd_classify(argv: &[String]) {
                     path,
                     v.minified,
                     v.obfuscated,
-                    techniques
-                        .iter()
-                        .map(|t| t.as_str())
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    techniques.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(", ")
                 );
             }
         }
     }
 }
 
+/// One diagnostic flattened into owned, serializable fields.
+#[derive(serde::Serialize)]
+struct DiagnosticRow {
+    file: String,
+    rule: String,
+    severity: String,
+    line: u32,
+    col: u32,
+    start: u32,
+    end: u32,
+    message: String,
+    data: Vec<String>,
+}
+
+fn cmd_lint(argv: &[String]) {
+    let emit = arg_value(argv, "--emit-diagnostics");
+    let json = match emit.as_deref() {
+        Some("json") => true,
+        None => false,
+        Some(other) => {
+            eprintln!("unsupported --emit-diagnostics format: {}", other);
+            usage()
+        }
+    };
+    let files: Vec<&String> = argv
+        .iter()
+        .skip(2)
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| emit.as_deref() != Some(a.as_str()))
+        .collect();
+    if files.is_empty() {
+        usage();
+    }
+    let runner = LintRunner::default();
+    let mut rows: Vec<DiagnosticRow> = Vec::new();
+    let mut had_error = false;
+    for path in files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: unreadable ({})", path, e);
+                had_error = true;
+                continue;
+            }
+        };
+        let program = match jsdetect_suite::parser::parse(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: not valid JavaScript ({})", path, e);
+                had_error = true;
+                continue;
+            }
+        };
+        let graph = jsdetect_suite::flow::analyze(&program);
+        for d in runner.run(&src, &program, &graph) {
+            let (line, col) = jsdetect_suite::ast::line_col(&src, d.span.start);
+            if json {
+                rows.push(DiagnosticRow {
+                    file: path.to_string(),
+                    rule: d.rule.to_string(),
+                    severity: d.severity.as_str().to_string(),
+                    line,
+                    col,
+                    start: d.span.start,
+                    end: d.span.end,
+                    message: d.message,
+                    data: d.data.iter().map(|(k, v)| format!("{}={}", k, v)).collect(),
+                });
+            } else {
+                let extra = if d.data.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " ({})",
+                        d.data
+                            .iter()
+                            .map(|(k, v)| format!("{}={}", k, v))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                println!(
+                    "{}:{}:{}: {} [{}] {}{}",
+                    path,
+                    line,
+                    col,
+                    d.severity.as_str(),
+                    d.rule,
+                    d.message,
+                    extra
+                );
+            }
+        }
+    }
+    if json {
+        match serde_json::to_string_pretty(&rows) {
+            Ok(s) => println!("{}", s),
+            Err(e) => {
+                eprintln!("cannot serialize diagnostics: {}", e);
+                std::process::exit(1);
+            }
+        }
+    }
+    if had_error {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_transform(argv: &[String]) {
     let name = arg_value(argv, "--technique").unwrap_or_else(|| usage());
     let seed: u64 = arg_value(argv, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
-    let technique = Technique::ALL
-        .iter()
-        .find(|t| t.as_str() == name)
-        .copied()
-        .unwrap_or_else(|| {
+    let technique =
+        Technique::ALL.iter().find(|t| t.as_str() == name).copied().unwrap_or_else(|| {
             eprintln!("unknown technique: {}", name);
             usage()
         });

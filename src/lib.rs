@@ -7,6 +7,7 @@ pub use jsdetect_corpus as corpus;
 pub use jsdetect_features as features;
 pub use jsdetect_flow as flow;
 pub use jsdetect_lexer as lexer;
+pub use jsdetect_lint as lint;
 pub use jsdetect_ml as ml;
 pub use jsdetect_parser as parser;
 pub use jsdetect_transform as transform;

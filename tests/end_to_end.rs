@@ -105,11 +105,7 @@ fn packer_generalization() {
     let samples = packer_set(12, 777);
     let srcs: Vec<&str> = samples.iter().map(|s| s.src.as_str()).collect();
     let preds = detectors.level1.predict_many(&srcs);
-    let flagged = preds
-        .iter()
-        .flatten()
-        .filter(|p| p.is_transformed())
-        .count();
+    let flagged = preds.iter().flatten().filter(|p| p.is_transformed()).count();
     assert!(
         flagged as f64 / samples.len() as f64 >= 0.8,
         "only {}/{} packed samples flagged",
@@ -151,8 +147,7 @@ fn unmonitored_technique_still_flagged_transformed() {
         if obf == *src {
             continue; // no member accesses to rewrite
         }
-        let (Ok(p0), Ok(p1)) =
-            (detectors.level1.predict(src), detectors.level1.predict(&obf))
+        let (Ok(p0), Ok(p1)) = (detectors.level1.predict(src), detectors.level1.predict(&obf))
         else {
             continue;
         };
@@ -187,13 +182,7 @@ fn tool_presets_detectable() {
                 }
             }
         }
-        assert!(
-            flagged * 4 >= total * 3,
-            "{}: only {}/{} flagged",
-            tool.as_str(),
-            flagged,
-            total
-        );
+        assert!(flagged * 4 >= total * 3, "{}: only {}/{} flagged", tool.as_str(), flagged, total);
     }
 }
 
@@ -239,10 +228,7 @@ fn thresholded_topk_reports_applied_technique() {
         9,
     )
     .unwrap();
-    let report = detectors
-        .level2
-        .predict_techniques(&obf, 4, DEFAULT_THRESHOLD)
-        .unwrap();
+    let report = detectors.level2.predict_techniques(&obf, 4, DEFAULT_THRESHOLD).unwrap();
     assert!(
         report.contains(&Technique::IdentifierObfuscation)
             || report.contains(&Technique::GlobalArray),

@@ -1,0 +1,245 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container cannot fetch crates.io, so this crate implements the
+//! subset of criterion's API the workspace benches use — `criterion_group!`/
+//! `criterion_main!`, `Criterion::benchmark_group`, `Bencher::iter`/
+//! `iter_batched`, `Throughput`, `BatchSize` — over `std::time::Instant`.
+//! It reports mean/min wall time per iteration (and throughput when
+//! declared). Statistical analysis, plotting, and baselines are out of
+//! scope; the numbers are good enough to track order-of-magnitude regressions.
+
+#![allow(clippy::all)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget: stop sampling once exceeded.
+const SAMPLE_BUDGET: Duration = Duration::from_secs(5);
+/// Target duration of one measured sample when batching fast routines.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// Declared workload size, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; all variants behave identically here
+/// (setup runs per sample and is excluded from timing).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small input: criterion would batch many per allocation.
+    SmallInput,
+    /// Large input: criterion would batch few.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, f: F)
+where
+    F: FnOnce(&mut Bencher),
+{
+    let mut b = Bencher { sample_size, samples: Vec::new() };
+    f(&mut b);
+    report(id, &b.samples, throughput);
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, batching fast routines so each sample is long enough
+    /// to measure reliably.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup + calibration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let single = t0.elapsed();
+        let iters: u32 = if single >= SAMPLE_TARGET {
+            1
+        } else {
+            (SAMPLE_TARGET.as_nanos() / single.as_nanos().max(1)).clamp(1, 100_000) as u32
+        };
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters);
+            if started.elapsed() > SAMPLE_BUDGET && self.samples.len() >= 2 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let started = Instant::now();
+        for _ in 0..self.sample_size.max(8) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if started.elapsed() > SAMPLE_BUDGET && self.samples.len() >= 2 {
+                break;
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{id:<44} no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().unwrap();
+    let mut line = format!(
+        "{id:<44} mean {:>12}  min {:>12}  ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        samples.len()
+    );
+    if let Some(t) = throughput {
+        let per_sec = |work: u64| work as f64 / mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:.2} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:.0} elem/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{} ns", ns)
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

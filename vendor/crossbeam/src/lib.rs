@@ -1,0 +1,55 @@
+//! Offline-compatible shim for the slice of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` with `scope.spawn(move |_| …)`. Implemented on
+//! top of `std::thread::scope` (stable since Rust 1.63), so no external
+//! dependency is needed.
+
+#![allow(clippy::all)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Handle passed to the scope closure; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (commonly
+        /// ignored as `|_|`), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// `scope` returns. Unlike upstream crossbeam, a panicking child panics
+    /// the parent (via `std::thread::scope`) instead of surfacing through the
+    /// `Err` branch; callers here unwrap the result either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

@@ -1,0 +1,255 @@
+//! Deterministic, offline-compatible subset of the `rand 0.8` API.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! slice of `rand` it actually uses: `StdRng` seeded via `seed_from_u64`,
+//! `Rng::{gen, gen_range, gen_bool}`, and `seq::SliceRandom`. The generator
+//! is SplitMix64 — not the upstream ChaCha-based `StdRng`, so absolute
+//! sequences differ from crates.io `rand`, but every consumer in this
+//! workspace only relies on determinism and uniformity, not on matching
+//! upstream streams.
+
+#![allow(clippy::all)]
+
+pub mod rngs {
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    pub(crate) fn next_u64_impl(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seeding support (`StdRng::seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut rng = StdRng { state: seed ^ 0x5851_F42D_4C95_7F2D };
+        // Warm up so small seeds diverge immediately.
+        rng.next_u64_impl();
+        rng
+    }
+}
+
+/// Core random-value methods.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in the given range (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.unit_f64() < p
+    }
+
+    /// Uniform value of the full type domain.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::gen_standard(self)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn unit_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+impl<T: Rng> Rng for &mut T {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard {
+    /// Draws a uniform value.
+    fn gen_standard<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn gen_standard<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn gen_standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn gen_standard<R: Rng>(rng: &mut R) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler over a range. The single blanket
+/// `SampleRange` impl below keeps type inference identical to upstream
+/// rand (a `{float}` range literal unifies with surrounding arithmetic).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[start, end)`.
+    fn sample_half_open<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self;
+    /// Uniform sample from `[start, end]`.
+    fn sample_inclusive<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                let span = (end as i128 - start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+
+            fn sample_inclusive<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                start + rng.unit_f64() as $t * (end - start)
+            }
+
+            fn sample_inclusive<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                Self::sample_half_open(rng, start, end)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+pub mod seq {
+    //! Sequence-related helpers (`SliceRandom`).
+
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// `amount` distinct elements in random order (fewer if the slice is
+        /// shorter).
+        fn choose_multiple<R: Rng>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                Some(&self[i])
+            }
+        }
+
+        fn choose_multiple<R: Rng>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            // Partial Fisher–Yates: the first `amount` slots become the sample.
+            for i in 0..amount {
+                let j = i + (rng.next_u64() % (idx.len() - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            idx[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}

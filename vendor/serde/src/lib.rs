@@ -1,0 +1,428 @@
+//! Minimal, offline-compatible subset of the `serde` data model.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors just enough of serde's surface to support the repository's needs:
+//! `#[derive(Serialize, Deserialize)]` on non-generic structs and enums (with
+//! serde's external enum tagging), the `#[serde(skip)]` field attribute, and
+//! the `serde_json` string round-trip. Instead of serde's visitor machinery,
+//! both traits go through an owned [`Value`] tree, which is dramatically
+//! simpler and fast enough for model/result (de)serialization.
+
+#![allow(clippy::all)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Owned JSON-shaped value tree: the intermediate data model for both
+/// serialization directions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (also covers unsigned values up to `i64::MAX`).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object: insertion-ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the object entries if the value is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the array elements if the value is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj().and_then(|entries| {
+            entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        })
+    }
+
+    /// One-word description of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Builds an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Builds an "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError::new(format!("expected {}, found {}", what, found.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to the intermediate value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from the intermediate value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up a struct field by name; missing fields deserialize from `Null`
+/// (so `Option<T>` fields default to `None` and required fields report a
+/// useful error). Used by the derive macro.
+pub fn from_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| DeError::new(format!("field `{}`: {}", name, e))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::new(format!("missing field `{}`", name))),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[allow(irrefutable_let_patterns)]
+            fn to_value(&self) -> Value {
+                if let Ok(i) = i64::try_from(*self) {
+                    Value::Int(i)
+                } else {
+                    Value::UInt(*self as u64)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    _ => Err(DeError::expected("integer", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Float(f) => Ok(*f),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(DeError::expected("number", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-char string", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected array of {}, found {}", N, len)))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$i.to_value()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $i; 1 })+;
+                let items = v.as_arr().ok_or_else(|| DeError::expected("tuple array", v))?;
+                if items.len() != LEN {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {}, found array of {}", LEN, items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Map keys that serialize to JSON object keys.
+pub trait SerKey {
+    /// Renders the key as an object-key string.
+    fn ser_key(&self) -> String;
+}
+
+/// Map keys that parse back from JSON object keys.
+pub trait DeKey: Sized {
+    /// Parses the key from an object-key string.
+    fn de_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl SerKey for String {
+    fn ser_key(&self) -> String {
+        self.clone()
+    }
+}
+
+impl SerKey for &str {
+    fn ser_key(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl DeKey for String {
+    fn de_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl SerKey for $t {
+            fn ser_key(&self) -> String {
+                self.to_string()
+            }
+        }
+
+        impl DeKey for $t {
+            fn de_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| DeError::new(format!("bad integer key `{}`", key)))
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: SerKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.ser_key(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+
+impl<K: DeKey + std::hash::Hash + Eq, V: Deserialize, S> Deserialize for HashMap<K, V, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v.as_obj().ok_or_else(|| DeError::expected("object", v))?;
+        entries
+            .iter()
+            .map(|(k, val)| Ok((K::de_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: SerKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.ser_key(), v.to_value())).collect())
+    }
+}
+
+impl<K: DeKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v.as_obj().ok_or_else(|| DeError::expected("object", v))?;
+        entries
+            .iter()
+            .map(|(k, val)| Ok((K::de_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}

@@ -1,0 +1,441 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote`, which are unavailable in the
+//! offline build container). Supports non-generic structs and enums with
+//! unit, newtype, tuple, and struct variants — serde's external enum tagging
+//! — plus the `#[serde(skip)]` field attribute. Anything fancier panics with
+//! a clear message at expansion time.
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` (vendored subset).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_ser_struct(name, fields),
+        Item::Enum { name, variants } => gen_ser_enum(name, variants),
+    };
+    code.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (vendored subset).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_de_struct(name, fields),
+        Item::Enum { name, variants } => gen_de_enum(name, variants),
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// True if the attribute group tokens are exactly `serde(... skip ...)`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes, returning whether any was `#[serde(skip)]`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut skip = false;
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                skip |= attr_is_serde_skip(&g);
+            }
+            other => panic!("serde_derive: expected attribute body, found {:?}", other),
+        }
+    }
+    skip
+}
+
+/// Consumes `pub`, `pub(...)` if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {:?}", other),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {:?}", other),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (type `{}`)", name);
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {:?}", other),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {:?}", other),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: cannot derive for `{}` items", other),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let skip = skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {:?}", other),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, found {:?}", other),
+        }
+        // Consume the type: everything up to a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        for t in tokens.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts comma-separated entries at angle-depth zero (tuple arity).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens = false;
+    let mut pending = false;
+    for t in stream {
+        saw_tokens = true;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        arity += 1;
+    }
+    if saw_tokens && arity == 0 {
+        panic!("serde_derive: could not count tuple fields");
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {:?}", other),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                tokens.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                tokens.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive: explicit discriminants are not supported");
+        }
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Serialize generation
+// ---------------------------------------------------------------------------
+
+fn gen_ser_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(fs) => {
+            let mut entries = String::new();
+            for f in fs.iter().filter(|f| !f.skip) {
+                write!(
+                    entries,
+                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})),",
+                    f.name
+                )
+                .unwrap();
+            }
+            format!("::serde::Value::Obj(vec![{}])", entries)
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                write!(items, "::serde::Serialize::to_value(&self.{}),", i).unwrap();
+            }
+            format!("::serde::Value::Arr(vec![{}])", items)
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n    fn to_value(&self) -> ::serde::Value {{ {} }}\n}}",
+        name, body
+    )
+}
+
+fn gen_ser_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                write!(
+                    arms,
+                    "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                )
+                .unwrap();
+            }
+            Fields::Tuple(1) => {
+                write!(
+                    arms,
+                    "{name}::{vn}(a0) => ::serde::Value::Obj(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(a0))]),"
+                )
+                .unwrap();
+            }
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("a{}", i)).collect();
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({})", b))
+                    .collect();
+                write!(
+                    arms,
+                    "{name}::{vn}({binds}) => ::serde::Value::Obj(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Arr(vec![{items}]))]),",
+                    binds = binders.join(", "),
+                    items = items.join(", "),
+                )
+                .unwrap();
+            }
+            Fields::Named(fs) => {
+                let binders: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+                let entries: Vec<String> = fs
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                write!(
+                    arms,
+                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Obj(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Obj(vec![{entries}]))]),",
+                    binds = binders.join(", "),
+                    entries = entries.join(", "),
+                )
+                .unwrap();
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {} {{\n    fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}\n}}",
+        name, arms
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize generation
+// ---------------------------------------------------------------------------
+
+fn gen_de_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({})", name),
+        Fields::Named(fs) => {
+            let mut inits = String::new();
+            for f in fs {
+                if f.skip {
+                    write!(inits, "{}: ::std::default::Default::default(),", f.name).unwrap();
+                } else {
+                    write!(inits, "{0}: ::serde::from_field(entries, \"{0}\")?,", f.name).unwrap();
+                }
+            }
+            format!(
+                "let entries = v.as_obj().ok_or_else(|| ::serde::DeError::expected(\"struct {name}\", v))?;\n        ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({}(::serde::Deserialize::from_value(v)?))", name)
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{}])?", i))
+                .collect();
+            format!(
+                "let items = v.as_arr().ok_or_else(|| ::serde::DeError::expected(\"tuple struct {name}\", v))?;\n        if items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::new(\"wrong tuple arity for {name}\")); }}\n        ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", "),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}"
+    )
+}
+
+fn gen_de_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    for v in variants.iter().filter(|v| matches!(v.fields, Fields::Unit)) {
+        write!(unit_arms, "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name)
+            .unwrap();
+    }
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => continue,
+            Fields::Tuple(1) => {
+                write!(
+                    tagged_arms,
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                )
+                .unwrap();
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{}])?", i))
+                    .collect();
+                write!(
+                    tagged_arms,
+                    "\"{vn}\" => {{\n            let items = inner.as_arr().ok_or_else(|| ::serde::DeError::expected(\"tuple variant {name}::{vn}\", inner))?;\n            if items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::new(\"wrong arity for {name}::{vn}\")); }}\n            ::std::result::Result::Ok({name}::{vn}({items}))\n        }}",
+                    items = items.join(", "),
+                )
+                .unwrap();
+            }
+            Fields::Named(fs) => {
+                let mut inits = String::new();
+                for f in fs {
+                    if f.skip {
+                        write!(inits, "{}: ::std::default::Default::default(),", f.name).unwrap();
+                    } else {
+                        write!(inits, "{0}: ::serde::from_field(entries, \"{0}\")?,", f.name)
+                            .unwrap();
+                    }
+                }
+                write!(
+                    tagged_arms,
+                    "\"{vn}\" => {{\n            let entries = inner.as_obj().ok_or_else(|| ::serde::DeError::expected(\"struct variant {name}::{vn}\", inner))?;\n            ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n        }}"
+                )
+                .unwrap();
+            }
+        }
+    }
+    format!(
+        r#"impl ::serde::Deserialize for {name} {{
+    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+        match v {{
+            ::serde::Value::Str(s) => match s.as_str() {{
+                {unit_arms}
+                other => ::std::result::Result::Err(::serde::DeError::new(format!("unknown variant `{{}}` of {name}", other))),
+            }},
+            ::serde::Value::Obj(obj) if obj.len() == 1 => {{
+                let (tag, inner) = &obj[0];
+                let _ = inner;
+                match tag.as_str() {{
+                    {tagged_arms}
+                    other => ::std::result::Result::Err(::serde::DeError::new(format!("unknown variant `{{}}` of {name}", other))),
+                }}
+            }}
+            _ => ::std::result::Result::Err(::serde::DeError::expected("enum {name}", v)),
+        }}
+    }}
+}}"#
+    )
+}
