@@ -2,7 +2,9 @@
 //! classifier chains vs. binary relevance, naive-Bayes baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use jsdetect_ml::{BaseParams, ForestParams, GaussianNb, MultiLabel, RandomForest, Strategy};
+use jsdetect_ml::{
+    BaseParams, Dataset, ForestParams, GaussianNb, MultiLabel, RandomForest, Strategy,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,9 +33,17 @@ fn bench_learning(c: &mut Criterion) {
         b.iter(|| RandomForest::fit(std::hint::black_box(&x), &y, &forest_params))
     });
 
+    let data = Dataset::from_rows(&x).unwrap();
+    group.bench_function("forest_fit_columnar_800x60", |b| {
+        b.iter(|| RandomForest::fit_dataset(std::hint::black_box(&data), &y, &forest_params))
+    });
+
     let forest = RandomForest::fit(&x, &y, &forest_params);
     group.bench_function("forest_predict", |b| {
         b.iter(|| forest.predict_proba(std::hint::black_box(&x[0])))
+    });
+    group.bench_function("forest_predict_batch_800", |b| {
+        b.iter(|| forest.predict_proba_batch(std::hint::black_box(&data)))
     });
 
     group.bench_function("bayes_fit_800x60", |b| {

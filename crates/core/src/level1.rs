@@ -2,9 +2,9 @@
 //! (paper §III-C).
 
 use crate::config::DetectorConfig;
-use crate::vectorize::{analyze_many, vectorize_many};
+use crate::vectorize::{analyze_many, vectorize_dataset};
 use jsdetect_features::VectorSpace;
-use jsdetect_ml::MultiLabel;
+use jsdetect_ml::{Dataset, MultiLabel};
 use jsdetect_parser::ParseError;
 use serde::{Deserialize, Serialize};
 
@@ -98,9 +98,16 @@ impl Level1Detector {
     ) -> Self {
         assert!(!samples.is_empty(), "no training sample parsed");
         let space = VectorSpace::fit(samples.iter().map(|(a, _)| *a), cfg.max_ngrams, cfg.features);
-        let x: Vec<Vec<f32>> = samples.iter().map(|(a, _)| space.vectorize(a)).collect();
+        // Vectorize straight into the columnar store, reusing one scratch
+        // row instead of materializing Vec<Vec<f32>>.
+        let mut data = Dataset::zeros(samples.len(), space.dim());
+        let mut row = Vec::with_capacity(space.dim());
+        for (i, (a, _)) in samples.iter().enumerate() {
+            space.vectorize_into(a, &mut row);
+            data.fill_row(i, &row);
+        }
         let y: Vec<Vec<bool>> = samples.iter().map(|(_, t)| t.label_vector()).collect();
-        let model = MultiLabel::fit(&x, &y, cfg.strategy, &cfg.base);
+        let model = MultiLabel::fit_dataset(&data, &y, cfg.strategy, &cfg.base);
         Level1Detector { space, model }
     }
 
@@ -116,16 +123,20 @@ impl Level1Detector {
         Ok(Level1Prediction { regular: p[0], minified: p[1], obfuscated: p[2] })
     }
 
-    /// Classifies many scripts in parallel; unparseable scripts yield
-    /// `None`.
+    /// Classifies many scripts in parallel (vectorized into one columnar
+    /// batch, predicted with the flattened-forest batch path); unparseable
+    /// scripts yield `None`.
     pub fn predict_many(&self, srcs: &[&str]) -> Vec<Option<Level1Prediction>> {
-        let vecs = vectorize_many(&self.space, srcs);
-        vecs.into_iter()
-            .map(|v| {
-                v.map(|v| {
-                    let p = self.model.predict_proba(&v);
-                    Level1Prediction { regular: p[0], minified: p[1], obfuscated: p[2] }
-                })
+        if srcs.is_empty() {
+            return Vec::new();
+        }
+        let (data, parsed) = vectorize_dataset(&self.space, srcs);
+        let probs = self.model.predict_proba_batch(&data);
+        parsed
+            .into_iter()
+            .zip(probs)
+            .map(|(ok, p)| {
+                ok.then(|| Level1Prediction { regular: p[0], minified: p[1], obfuscated: p[2] })
             })
             .collect()
     }
@@ -142,9 +153,11 @@ impl Level1Detector {
         named_importances(&self.space, self.model.feature_importances(class))
     }
 
-    /// Restores internal indexes after deserialization.
+    /// Restores internal indexes after deserialization and validates the
+    /// flattened forest arrays.
     pub fn rebuild_index(&mut self) {
         self.space.rebuild_index();
+        self.model.rebuild_index();
     }
 }
 

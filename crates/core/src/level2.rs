@@ -2,10 +2,10 @@
 //! used (paper §III-C).
 
 use crate::config::DetectorConfig;
-use crate::vectorize::{analyze_many, vectorize_many};
+use crate::vectorize::{analyze_many, vectorize_dataset};
 use jsdetect_features::VectorSpace;
 use jsdetect_ml::metrics::thresholded_top_k;
-use jsdetect_ml::MultiLabel;
+use jsdetect_ml::{Dataset, MultiLabel};
 use jsdetect_parser::ParseError;
 use jsdetect_transform::Technique;
 use serde::{Deserialize, Serialize};
@@ -42,9 +42,16 @@ impl Level2Detector {
     ) -> Self {
         assert!(!samples.is_empty(), "no training sample parsed");
         let space = VectorSpace::fit(samples.iter().map(|(a, _)| *a), cfg.max_ngrams, cfg.features);
-        let x: Vec<Vec<f32>> = samples.iter().map(|(a, _)| space.vectorize(a)).collect();
+        // Vectorize straight into the columnar store, reusing one scratch
+        // row instead of materializing Vec<Vec<f32>>.
+        let mut data = Dataset::zeros(samples.len(), space.dim());
+        let mut row = Vec::with_capacity(space.dim());
+        for (i, (a, _)) in samples.iter().enumerate() {
+            space.vectorize_into(a, &mut row);
+            data.fill_row(i, &row);
+        }
         let y: Vec<Vec<bool>> = samples.iter().map(|(_, l)| l.clone()).collect();
-        let model = MultiLabel::fit(&x, &y, cfg.strategy, &cfg.base);
+        let model = MultiLabel::fit_dataset(&data, &y, cfg.strategy, &cfg.base);
         Level2Detector { space, model }
     }
 
@@ -58,12 +65,16 @@ impl Level2Detector {
         Ok(self.model.predict_proba(&self.space.vectorize(&a)))
     }
 
-    /// Batch probabilities (parallel); unparseable scripts yield `None`.
+    /// Batch probabilities (parallel vectorization into one columnar
+    /// batch, flattened-forest batch inference); unparseable scripts
+    /// yield `None`.
     pub fn predict_proba_many(&self, srcs: &[&str]) -> Vec<Option<Vec<f32>>> {
-        vectorize_many(&self.space, srcs)
-            .into_iter()
-            .map(|v| v.map(|v| self.model.predict_proba(&v)))
-            .collect()
+        if srcs.is_empty() {
+            return Vec::new();
+        }
+        let (data, parsed) = vectorize_dataset(&self.space, srcs);
+        let probs = self.model.predict_proba_batch(&data);
+        parsed.into_iter().zip(probs).map(|(ok, p)| ok.then_some(p)).collect()
     }
 
     /// The thresholded Top-k rule of §III-E2: the `k` most probable
@@ -91,9 +102,11 @@ impl Level2Detector {
         )
     }
 
-    /// Restores internal indexes after deserialization.
+    /// Restores internal indexes after deserialization and validates the
+    /// flattened forest arrays.
     pub fn rebuild_index(&mut self) {
         self.space.rebuild_index();
+        self.model.rebuild_index();
     }
 }
 

@@ -35,7 +35,7 @@ pub use config::DetectorConfig;
 pub use level1::{Level1Detector, Level1Prediction, Level1Truth};
 pub use level2::{Level2Detector, DEFAULT_THRESHOLD};
 pub use pipeline::{train_pipeline, PipelineOutput, TrainedDetectors};
-pub use vectorize::{analyze_many, vectorize_many};
+pub use vectorize::{analyze_many, vectorize_dataset, vectorize_many};
 
 // Re-export the vocabulary types users need alongside the detectors.
 pub use jsdetect_ml::metrics;

@@ -1,42 +1,97 @@
 //! Parallel script vectorization.
+//!
+//! Work is distributed with a shared atomic claim counter instead of
+//! static chunking: obfuscated samples are 10–100× slower to analyze than
+//! regular ones, so pre-partitioned chunks would let one pathological
+//! script idle every other thread. Workers claim the next unprocessed
+//! index and stream `(index, result)` pairs back over a channel; the
+//! calling thread scatters them into the output (or straight into a
+//! columnar [`Dataset`]).
 
 use jsdetect_features::{analyze_script, ScriptAnalysis, VectorSpace};
+use jsdetect_ml::Dataset;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Runs `work(i)` for every `i in 0..n` across all cores with
+/// work-stealing, delivering results to `sink(i, result)` on the calling
+/// thread (in completion order, not index order).
+fn run_stealing<T, W, S>(n: usize, work: W, mut sink: S)
+where
+    T: Send,
+    W: Fn(usize) -> T + Sync,
+    S: FnMut(usize, T),
+{
+    if n == 0 {
+        return;
+    }
+    let n_threads =
+        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4).min(n).max(1);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            let tx = tx.clone();
+            let next = &next;
+            let work = &work;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n || tx.send((i, work(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx.iter() {
+            sink(i, r);
+        }
+    })
+    .expect("vectorization threads panicked");
+}
 
 /// Analyzes many scripts in parallel. Scripts that fail to parse yield
 /// `None` (the paper's pipeline skips unparseable files).
 pub fn analyze_many(srcs: &[&str]) -> Vec<Option<ScriptAnalysis>> {
-    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let mut out: Vec<Option<ScriptAnalysis>> = (0..srcs.len()).map(|_| None).collect();
-    let chunk = srcs.len().div_ceil(n_threads.max(1)).max(1);
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, src_chunk) in out.chunks_mut(chunk).zip(srcs.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (slot, src) in slot_chunk.iter_mut().zip(src_chunk) {
-                    *slot = analyze_script(src).ok();
-                }
-            });
-        }
-    })
-    .expect("analysis threads panicked");
+    run_stealing(srcs.len(), |i| analyze_script(srcs[i]).ok(), |i, r| out[i] = r);
     out
 }
 
 /// Vectorizes many scripts in parallel against a fitted space.
 pub fn vectorize_many(space: &VectorSpace, srcs: &[&str]) -> Vec<Option<Vec<f32>>> {
-    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let mut out: Vec<Option<Vec<f32>>> = vec![None; srcs.len()];
-    let chunk = srcs.len().div_ceil(n_threads.max(1)).max(1);
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, src_chunk) in out.chunks_mut(chunk).zip(srcs.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (slot, src) in slot_chunk.iter_mut().zip(src_chunk) {
-                    *slot = analyze_script(src).ok().map(|a| space.vectorize(&a));
-                }
-            });
-        }
-    })
-    .expect("vectorization threads panicked");
+    run_stealing(
+        srcs.len(),
+        |i| analyze_script(srcs[i]).ok().map(|a| space.vectorize(&a)),
+        |i, r| out[i] = r,
+    );
     out
+}
+
+/// Vectorizes many scripts straight into a columnar [`Dataset`] (one row
+/// per script; unparseable scripts leave an all-zero row and a `false` in
+/// the returned mask). This is the batch-inference entry point: the
+/// dataset feeds `predict_proba_batch` without ever materializing
+/// `Vec<Vec<f32>>`.
+///
+/// # Panics
+///
+/// Panics if `srcs` is empty.
+pub fn vectorize_dataset(space: &VectorSpace, srcs: &[&str]) -> (Dataset, Vec<bool>) {
+    assert!(!srcs.is_empty(), "cannot vectorize zero scripts into a dataset");
+    let mut data = Dataset::zeros(srcs.len(), space.dim());
+    let mut parsed = vec![false; srcs.len()];
+    run_stealing(
+        srcs.len(),
+        |i| analyze_script(srcs[i]).ok().map(|a| space.vectorize(&a)),
+        |i, r| {
+            if let Some(row) = r {
+                data.fill_row(i, &row);
+                parsed[i] = true;
+            }
+        },
+    );
+    (data, parsed)
 }
 
 #[cfg(test)]
@@ -62,5 +117,33 @@ mod tests {
         for (a, p) in analyses.iter().zip(&par) {
             assert_eq!(p.as_ref().unwrap(), &space.vectorize(a));
         }
+    }
+
+    #[test]
+    fn work_stealing_covers_many_more_items_than_threads() {
+        let srcs: Vec<String> = (0..97).map(|i| format!("var v{} = {};", i, i)).collect();
+        let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+        let out = analyze_many(&refs);
+        assert_eq!(out.len(), 97);
+        assert!(out.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn vectorize_dataset_matches_row_path_and_masks_failures() {
+        let srcs = vec!["var x = 1;", "var ;;; broken", "function f() { return 2; }"];
+        let analyses: Vec<_> =
+            [srcs[0], srcs[2]].iter().map(|s| analyze_script(s).unwrap()).collect();
+        let space = VectorSpace::fit(analyses.iter(), 32, FeatureConfig::default());
+        let (data, parsed) = vectorize_dataset(&space, &srcs);
+        assert_eq!(parsed, vec![true, false, true]);
+        assert_eq!(data.n_rows(), 3);
+        assert_eq!(data.n_cols(), space.dim());
+        let mut row = Vec::new();
+        data.copy_row_into(0, &mut row);
+        assert_eq!(row, space.vectorize(&analyses[0]));
+        data.copy_row_into(1, &mut row);
+        assert!(row.iter().all(|&v| v == 0.0));
+        data.copy_row_into(2, &mut row);
+        assert_eq!(row, space.vectorize(&analyses[1]));
     }
 }

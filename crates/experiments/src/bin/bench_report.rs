@@ -1,0 +1,221 @@
+//! Persisted perf trajectory for the ML hot paths.
+//!
+//! Measures forest fit (legacy row-major vs columnar presorted), forest
+//! inference (serial row-major vs flattened batch), and parallel script
+//! analysis at a fixed synthetic scale mirroring the default pipeline
+//! (level-2 training is ~1300 rows × ~317 features × 32 trees), then
+//! appends the numbers to `BENCH_ml.json` so the speedups are tracked
+//! across PRs instead of living in commit messages.
+//!
+//! Flags: `--smoke` (tiny scale, standalone output file for CI),
+//! `--out-file <path>` (default `BENCH_ml.json`), `--label <name>`
+//! (trajectory entry label; an existing entry with the same label is
+//! replaced).
+
+use jsdetect::analyze_many;
+use jsdetect_ml::reference::RowMajorForest;
+use jsdetect_ml::{Dataset, ForestParams, RandomForest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+#[derive(Serialize, Deserialize, Clone)]
+struct StageStat {
+    name: String,
+    median_ms: f64,
+    rows_per_sec: f64,
+    repeats: usize,
+}
+
+#[derive(Serialize, Deserialize, Clone)]
+struct BenchEntry {
+    label: String,
+    smoke: bool,
+    n_rows: usize,
+    n_features: usize,
+    n_trees: usize,
+    stages: Vec<StageStat>,
+    /// forest_fit_row_major / forest_fit_columnar (higher = faster now).
+    fit_speedup: f64,
+    /// forest_predict_serial / forest_predict_batch.
+    predict_speedup: f64,
+    peak_rss_kb: Option<u64>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchFile {
+    description: String,
+    trajectory: Vec<BenchEntry>,
+}
+
+/// Synthetic matrix shaped like the default pipeline's level-2 training
+/// set: a mix of quantized (tie-heavy) and continuous columns.
+fn synthetic(n: usize, d: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f32> = (0..d)
+            .map(|j| {
+                if j % 4 == 0 {
+                    rng.gen_range(0..12) as f32
+                } else {
+                    (rng.gen_range(0..100_000) as f32) / 12_500.0 - 4.0
+                }
+            })
+            .collect();
+        let label = (row[0] > 5.0) ^ (row[1] > 0.0) ^ (rng.gen_range(0..10) == 0);
+        x.push(row);
+        y.push(label);
+    }
+    (x, y)
+}
+
+/// Median wall time of `repeats` runs of `f`, in milliseconds.
+fn median_ms<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn stage(name: &str, rows: usize, repeats: usize, f: impl FnMut()) -> StageStat {
+    let ms = median_ms(repeats, f);
+    let stat = StageStat {
+        name: name.to_string(),
+        median_ms: ms,
+        rows_per_sec: rows as f64 / (ms / 1e3),
+        repeats,
+    };
+    println!("  {:28} {:>10.1} ms   {:>12.0} rows/s", stat.name, stat.median_ms, stat.rows_per_sec);
+    stat
+}
+
+/// Peak resident set size in kB from /proc/self/status (Linux only).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| -> Option<String> {
+        argv.iter().position(|a| a == name).and_then(|i| argv.get(i + 1).cloned())
+    };
+    let out_file = flag("--out-file").unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_ml_smoke.json".to_string()
+        } else {
+            "BENCH_ml.json".to_string()
+        }
+    });
+    let label = flag("--label").unwrap_or_else(|| {
+        if smoke {
+            "smoke".to_string()
+        } else {
+            "current".to_string()
+        }
+    });
+
+    // Default pipeline scale: level-2 training is ~1300 samples × ~317
+    // features with 32-tree forests.
+    let (n, d, n_trees, fit_reps, pred_reps) =
+        if smoke { (160, 40, 8, 1, 2) } else { (1300, 317, 32, 3, 5) };
+    let (x, y) = synthetic(n, d, 42);
+    let data = Dataset::from_rows(&x).expect("synthetic matrix");
+    let params = ForestParams { n_trees, seed: 42, ..Default::default() };
+
+    println!("bench_report: {} rows × {} features, {} trees ({})", n, d, n_trees, label);
+    let mut stages = Vec::new();
+
+    stages.push(stage("forest_fit_row_major", n, fit_reps, || {
+        std::hint::black_box(RowMajorForest::fit(&x, &y, &params));
+    }));
+    stages.push(stage("forest_fit_columnar", n, fit_reps, || {
+        std::hint::black_box(RandomForest::fit_dataset(&data, &y, &params));
+    }));
+
+    let legacy = RowMajorForest::fit(&x, &y, &params);
+    let forest = RandomForest::fit_dataset(&data, &y, &params);
+    stages.push(stage("forest_predict_serial", n, pred_reps, || {
+        for row in &x {
+            std::hint::black_box(legacy.predict_proba(row));
+        }
+    }));
+    stages.push(stage("forest_predict_batch", n, pred_reps, || {
+        std::hint::black_box(forest.predict_proba_batch(&data));
+    }));
+
+    // Analysis throughput (work-stealing over uneven script sizes).
+    let n_scripts = if smoke { 24 } else { 150 };
+    let scripts: Vec<String> = (0..n_scripts)
+        .map(|i| {
+            let stmts = 5 + (i * 37) % 120;
+            (0..stmts).map(|s| format!("var v{}_{} = {} + f({});", i, s, s, s)).collect::<String>()
+        })
+        .collect();
+    let refs: Vec<&str> = scripts.iter().map(String::as_str).collect();
+    stages.push(stage("analyze_many", n_scripts, fit_reps, || {
+        std::hint::black_box(analyze_many(&refs));
+    }));
+
+    let ms_of = |name: &str| stages.iter().find(|s| s.name == name).map(|s| s.median_ms).unwrap();
+    let entry = BenchEntry {
+        label,
+        smoke,
+        n_rows: n,
+        n_features: d,
+        n_trees,
+        fit_speedup: ms_of("forest_fit_row_major") / ms_of("forest_fit_columnar"),
+        predict_speedup: ms_of("forest_predict_serial") / ms_of("forest_predict_batch"),
+        stages,
+        peak_rss_kb: peak_rss_kb(),
+    };
+    println!(
+        "\n  fit speedup    {:.2}x (row-major → columnar)\n  predict speedup {:.2}x (serial → batch)",
+        entry.fit_speedup, entry.predict_speedup
+    );
+
+    // Append to (or start) the persisted trajectory; same-label entries
+    // are replaced so re-runs stay idempotent. Smoke runs write a
+    // standalone file and never touch the committed trajectory.
+    let mut file = if smoke {
+        BenchFile { description: smoke_description(), trajectory: Vec::new() }
+    } else {
+        std::fs::read_to_string(&out_file)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .unwrap_or_else(|| BenchFile { description: description(), trajectory: Vec::new() })
+    };
+    file.trajectory.retain(|e| e.label != entry.label);
+    file.trajectory.push(entry);
+    if let Some(dir) = std::path::Path::new(&out_file).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).ok();
+        }
+    }
+    let json = serde_json::to_string_pretty(&file).expect("serialize bench file");
+    std::fs::write(&out_file, json).expect("write bench file");
+    println!("\nwrote {}", out_file);
+}
+
+fn description() -> String {
+    "ML hot-path perf trajectory: forest fit/predict and parallel analysis, \
+     measured by crates/experiments/src/bin/bench_report.rs at the default \
+     pipeline scale. One entry per tracked change; medians in milliseconds."
+        .to_string()
+}
+
+fn smoke_description() -> String {
+    "Smoke-scale bench_report output (CI bitrot check only — numbers are not \
+     meaningful at this scale)."
+        .to_string()
+}

@@ -76,16 +76,24 @@ impl VectorSpace {
     /// Vectorizes one analyzed script.
     pub fn vectorize(&self, a: &ScriptAnalysis) -> Vec<f32> {
         let mut v = Vec::with_capacity(self.dim());
+        self.vectorize_into(a, &mut v);
+        v
+    }
+
+    /// Vectorizes into a caller-owned buffer (cleared first), so batch
+    /// vectorization can reuse one scratch row instead of allocating per
+    /// script.
+    pub fn vectorize_into(&self, a: &ScriptAnalysis, out: &mut Vec<f32>) {
+        out.clear();
         if self.config.handpicked {
-            v.extend(handpicked_features(a));
+            out.extend(handpicked_features(a));
         }
         if self.config.lint {
-            v.extend(a.lint.features());
+            out.extend(a.lint.features());
         }
         if self.config.ngrams {
-            v.extend(self.vocab.vectorize(&ngram_counts(&a.program)));
+            out.extend(self.vocab.vectorize(&ngram_counts(&a.program)));
         }
-        v
     }
 
     /// Name of dimension `i`.

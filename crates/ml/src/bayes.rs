@@ -1,6 +1,7 @@
 //! Gaussian naive Bayes — the NoFus-style baseline used in the paper's
 //! off-the-shelf model comparison (§III-D3).
 
+use crate::dataset::Dataset;
 use serde::{Deserialize, Serialize};
 
 /// A fitted Gaussian naive-Bayes binary classifier.
@@ -44,6 +45,66 @@ impl GaussianNb {
                 .collect()
         };
         GaussianNb { prior_pos, pos: stats(true), neg: stats(false) }
+    }
+
+    /// Fits means/variances per class from a columnar dataset. Sums run
+    /// over rows in ascending order per feature — the same accumulation
+    /// order as [`GaussianNb::fit`], so the fitted parameters are
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != data.n_rows()`.
+    pub fn fit_dataset(data: &Dataset, y: &[bool]) -> Self {
+        assert_eq!(y.len(), data.n_rows(), "feature/label length mismatch");
+        let d = data.n_cols();
+        let n_pos = y.iter().filter(|&&l| l).count();
+        let prior_pos = (n_pos as f64 + 1.0) / (data.n_rows() as f64 + 2.0); // Laplace
+        let stats = |cls: bool| -> Vec<(f64, f64)> {
+            let n_cls = y.iter().filter(|&&l| l == cls).count();
+            (0..d)
+                .map(|j| {
+                    if n_cls == 0 {
+                        return (0.0, 1.0);
+                    }
+                    let col = data.column(j);
+                    let class_vals =
+                        || col.iter().zip(y).filter(|(_, &l)| l == cls).map(|(&v, _)| v as f64);
+                    let mean = class_vals().sum::<f64>() / n_cls as f64;
+                    let var = class_vals().map(|v| (v - mean).powi(2)).sum::<f64>() / n_cls as f64;
+                    (mean, var.max(VAR_FLOOR))
+                })
+                .collect()
+        };
+        GaussianNb { prior_pos, pos: stats(true), neg: stats(false) }
+    }
+
+    /// Positive-class probability for every dataset row. Likelihoods are
+    /// accumulated feature-by-feature (ascending), matching the per-row
+    /// order of [`GaussianNb::predict_proba`] exactly.
+    pub fn predict_proba_batch(&self, data: &Dataset) -> Vec<f32> {
+        let n = data.n_rows();
+        let mut log_pos = vec![self.prior_pos.ln(); n];
+        let mut log_neg = vec![(1.0 - self.prior_pos).ln(); n];
+        for j in 0..data.n_cols() {
+            let col = data.column(j);
+            let (pm, pv) = self.pos[j];
+            let (nm, nv) = self.neg[j];
+            for ((lp, lneg), &v) in log_pos.iter_mut().zip(log_neg.iter_mut()).zip(col) {
+                *lp += log_gauss(v as f64, pm, pv);
+                *lneg += log_gauss(v as f64, nm, nv);
+            }
+        }
+        log_pos
+            .into_iter()
+            .zip(log_neg)
+            .map(|(lp, ln)| {
+                let m = lp.max(ln);
+                let p = (lp - m).exp();
+                let q = (ln - m).exp();
+                (p / (p + q)) as f32
+            })
+            .collect()
     }
 
     /// Positive-class probability for `row`.

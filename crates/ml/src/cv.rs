@@ -1,6 +1,7 @@
 //! K-fold cross-validation (the paper's validation methodology, §III-D3:
 //! model selection over off-the-shelf systems on a dedicated split).
 
+use crate::dataset::Dataset;
 use crate::multilabel::{BaseParams, MultiLabel, Strategy};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -43,22 +44,34 @@ pub fn cross_validate(
     seed: u64,
 ) -> CvResult {
     assert_eq!(x.len(), labels.len());
+    let data =
+        Dataset::from_rows(x).expect("cross-validation needs a non-ragged, non-empty matrix");
     let folds = k_folds(x.len(), k, seed);
     let mut fold_scores = Vec::with_capacity(k);
     for held in &folds {
+        if held.is_empty() {
+            fold_scores.push(0.0);
+            continue;
+        }
         let held_set: std::collections::HashSet<usize> = held.iter().copied().collect();
-        let mut train_x = Vec::new();
-        let mut train_y = Vec::new();
-        for i in 0..x.len() {
+        // Training rows are gathered by index into a fresh columnar
+        // dataset — no per-row clones.
+        let mut train_rows = Vec::with_capacity(x.len() - held.len());
+        let mut train_y = Vec::with_capacity(x.len() - held.len());
+        for (i, row_labels) in labels.iter().enumerate() {
             if !held_set.contains(&i) {
-                train_x.push(x[i].clone());
-                train_y.push(labels[i].clone());
+                train_rows.push(i as u32);
+                train_y.push(row_labels.clone());
             }
         }
-        let model = MultiLabel::fit(&train_x, &train_y, strategy, base);
+        let train_data = data.gather_rows(&train_rows);
+        let model = MultiLabel::fit_dataset(&train_data, &train_y, strategy, base);
+        let held_rows: Vec<u32> = held.iter().map(|&i| i as u32).collect();
+        let probs = model.predict_proba_batch(&data.gather_rows(&held_rows));
         let mut ok = 0usize;
-        for &i in held {
-            if model.predict(&x[i]) == labels[i] {
+        for (&i, p) in held.iter().zip(&probs) {
+            let pred: Vec<bool> = p.iter().map(|&v| v >= 0.5).collect();
+            if pred == labels[i] {
                 ok += 1;
             }
         }

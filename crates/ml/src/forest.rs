@@ -1,6 +1,12 @@
 //! Bagged random forests over CART trees.
+//!
+//! Trees are grown over a columnar [`Dataset`] with bootstrap resampling
+//! done purely on `u32` row indices (no feature row is ever cloned), then
+//! compiled into one merged flattened struct-of-arrays node block so batch
+//! inference walks contiguous memory instead of per-tree enum node soups.
 
-use crate::tree::{DecisionTree, TreeParams};
+use crate::dataset::{Dataset, DatasetError};
+use crate::tree::{DecisionTree, FlatNodes, TreeParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -14,7 +20,7 @@ pub struct ForestParams {
     pub bootstrap: bool,
     /// Per-tree growing parameters.
     pub tree: TreeParams,
-    /// Base RNG seed; tree `i` uses `seed + i`.
+    /// Base RNG seed; tree `i` derives its stream via [`ForestParams::tree_seed`].
     pub seed: u64,
 }
 
@@ -24,20 +30,79 @@ impl Default for ForestParams {
     }
 }
 
+impl ForestParams {
+    /// Deterministic per-tree RNG seed: a SplitMix64-style finalizer over
+    /// `(seed, i)`.
+    ///
+    /// The previous scheme, `(seed + i) * γ` with γ = `0x9E3779B97F4A7C15`,
+    /// produced correlated streams: γ is exactly the SplitMix64 gamma, so
+    /// consecutive tree indices seeded generator states one step apart.
+    /// Hash-mixing the index first decorrelates the streams.
+    pub fn tree_seed(&self, i: usize) -> u64 {
+        let mut z = self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
 /// A fitted random forest (binary classifier with probability output).
+///
+/// All trees share one flattened node block; `roots[t]` is tree `t`'s root
+/// node id. The flattened arrays are what gets serialized; loaders should
+/// call [`RandomForest::rebuild_index`] to bounds-check untrusted input.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RandomForest {
-    trees: Vec<DecisionTree>,
+    roots: Vec<u32>,
+    nodes: FlatNodes,
 }
 
 impl RandomForest {
-    /// Fits the forest; trees are trained in parallel with deterministic
-    /// per-tree seeds, so results are reproducible regardless of thread
-    /// scheduling.
+    /// Fits the forest on row-major samples (convenience wrapper that
+    /// builds a columnar [`Dataset`] once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, ragged, or `x.len() != y.len()`.
     pub fn fit(x: &[Vec<f32>], y: &[bool], params: &ForestParams) -> Self {
-        assert!(!x.is_empty(), "cannot fit a forest on an empty dataset");
+        let data = match Dataset::from_rows(x) {
+            Ok(d) => d,
+            Err(DatasetError::Empty) => panic!("cannot fit a forest on an empty dataset"),
+            Err(e) => panic!("invalid training matrix: {}", e),
+        };
         assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        Self::fit_dataset(&data, y, params)
+    }
+
+    /// Fits the forest on a columnar dataset using all available cores.
+    pub fn fit_dataset(data: &Dataset, y: &[bool], params: &ForestParams) -> Self {
         let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Self::fit_dataset_threads(data, y, params, n_threads)
+    }
+
+    /// Fits the forest with an explicit worker count. Trees are trained in
+    /// parallel with deterministic per-tree seeds, so the fitted model is
+    /// bit-identical for a fixed seed regardless of `n_threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != data.n_rows()`.
+    pub fn fit_dataset_threads(
+        data: &Dataset,
+        y: &[bool],
+        params: &ForestParams,
+        n_threads: usize,
+    ) -> Self {
+        assert_eq!(y.len(), data.n_rows(), "feature/label length mismatch");
+        // In the per-node-sort regime, build per-column distinct-value
+        // rank tables once up front and share them read-only across all
+        // trees: they do not depend on the bootstrap index sets, and
+        // nodes counting-sort low-cardinality columns through them.
+        let ranks = (params.n_trees > 1
+            && crate::tree::wants_value_ranks(&params.tree, data.n_rows(), data.n_cols()))
+        .then(|| crate::tree::ValueRanks::build(data))
+        .flatten();
+        let vr = ranks.as_ref();
         let mut trees: Vec<Option<DecisionTree>> = vec![None; params.n_trees];
         let chunk = params.n_trees.div_ceil(n_threads.max(1)).max(1);
         crossbeam::thread::scope(|scope| {
@@ -46,28 +111,36 @@ impl RandomForest {
                 scope.spawn(move |_| {
                     for (off, slot) in slot_chunk.iter_mut().enumerate() {
                         let i = base + off;
-                        let mut rng = StdRng::seed_from_u64(
-                            params.seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15),
-                        );
-                        let tree = if params.bootstrap {
-                            let (bx, by) = bootstrap_sample(x, y, &mut rng);
-                            DecisionTree::fit(&bx, &by, &params.tree, &mut rng)
-                        } else {
-                            DecisionTree::fit(x, y, &params.tree, &mut rng)
-                        };
-                        *slot = Some(tree);
+                        let mut rng = StdRng::seed_from_u64(params.tree_seed(i));
+                        let idx = sample_indices(data.n_rows(), params.bootstrap, &mut rng);
+                        *slot = Some(DecisionTree::fit_dataset_with_ranks(
+                            data,
+                            &idx,
+                            y,
+                            &params.tree,
+                            &mut rng,
+                            vr,
+                        ));
                     }
                 });
             }
         })
         .expect("forest training threads panicked");
-        RandomForest { trees: trees.into_iter().map(Option::unwrap).collect() }
+
+        // Compile per-tree node blocks into one merged arena, in tree
+        // order (deterministic regardless of which thread grew what).
+        let mut roots = Vec::with_capacity(params.n_trees);
+        let mut nodes = FlatNodes::new();
+        for tree in trees.into_iter().map(Option::unwrap) {
+            roots.push(nodes.append(tree.nodes()));
+        }
+        RandomForest { roots, nodes }
     }
 
     /// Mean positive-class probability across trees.
     pub fn predict_proba(&self, row: &[f32]) -> f32 {
-        let sum: f32 = self.trees.iter().map(|t| t.predict_proba(row)).sum();
-        sum / self.trees.len() as f32
+        let sum: f32 = self.roots.iter().map(|&r| self.nodes.predict_row(r, row)).sum();
+        sum / self.roots.len() as f32
     }
 
     /// Hard prediction at the 0.5 threshold.
@@ -75,9 +148,72 @@ impl RandomForest {
         self.predict_proba(row) >= 0.5
     }
 
+    /// Mean positive-class probability for every dataset row, parallelized
+    /// over row chunks. Exactly equals mapping [`RandomForest::predict_proba`]
+    /// over the rows (same per-row tree-sum order).
+    ///
+    /// Each worker gathers its rows into one contiguous scratch buffer
+    /// before traversal: the gather is a constant-stride pass over the
+    /// columnar store (prefetch-friendly), and the per-tree walks then
+    /// stay inside one cache-resident row instead of striding across the
+    /// whole column block once per node.
+    pub fn predict_proba_batch(&self, data: &Dataset) -> Vec<f32> {
+        let n = data.n_rows();
+        let mut out = vec![0f32; n];
+        let predict_chunk = |base: usize, out_chunk: &mut [f32]| {
+            let mut row_buf = Vec::with_capacity(data.n_cols());
+            for (off, slot) in out_chunk.iter_mut().enumerate() {
+                data.copy_row_into(base + off, &mut row_buf);
+                let sum: f32 =
+                    self.roots.iter().map(|&r| self.nodes.predict_row(r, &row_buf)).sum();
+                *slot = sum / self.roots.len() as f32;
+            }
+        };
+        // Below ~a thread-quantum of traversal work, spawning costs more
+        // than it buys; run on the caller's thread.
+        if n * self.roots.len() < 16_384 {
+            predict_chunk(0, &mut out);
+            return out;
+        }
+        let n_threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+        let chunk = n.div_ceil(n_threads.max(1)).max(1);
+        crossbeam::thread::scope(|scope| {
+            for (c, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move |_| predict_chunk(c * chunk, out_chunk));
+            }
+        })
+        .expect("forest prediction threads panicked");
+        out
+    }
+
     /// Number of trees.
     pub fn n_trees(&self) -> usize {
-        self.trees.len()
+        self.roots.len()
+    }
+
+    /// Total node count across all trees.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Validates the flattened arrays after deserialization (array lengths
+    /// agree, child/root ids in bounds). Call after loading a serialized
+    /// model; corrupt input panics here instead of misindexing later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn rebuild_index(&mut self) {
+        if let Err(msg) = self.nodes.check_invariants(u16::MAX as usize) {
+            panic!("corrupt serialized forest: {}", msg);
+        }
+        for &r in &self.roots {
+            assert!(
+                (r as usize) < self.nodes.len(),
+                "corrupt serialized forest: root {} out of range",
+                r
+            );
+        }
     }
 
     /// Split-frequency feature importances, normalized to sum to 1 (or all
@@ -85,9 +221,7 @@ impl RandomForest {
     /// importance.
     pub fn feature_importances(&self, n_features: usize) -> Vec<f64> {
         let mut counts = vec![0u32; n_features];
-        for t in &self.trees {
-            t.accumulate_split_counts(&mut counts);
-        }
+        self.nodes.accumulate_split_counts(&mut counts);
         let total: u32 = counts.iter().sum();
         if total == 0 {
             return vec![0.0; n_features];
@@ -96,16 +230,16 @@ impl RandomForest {
     }
 }
 
-fn bootstrap_sample(x: &[Vec<f32>], y: &[bool], rng: &mut StdRng) -> (Vec<Vec<f32>>, Vec<bool>) {
-    let n = x.len();
-    let mut bx = Vec::with_capacity(n);
-    let mut by = Vec::with_capacity(n);
-    for _ in 0..n {
-        let i = rng.gen_range(0..n);
-        bx.push(x[i].clone());
-        by.push(y[i]);
+/// Bootstrap resampling as index resampling: a multiset of `n` row ids
+/// (or the identity permutation when bagging is off). Draws exactly `n`
+/// `gen_range` values, matching the legacy row-cloning sampler's RNG
+/// consumption.
+fn sample_indices(n: usize, bootstrap: bool, rng: &mut StdRng) -> Vec<u32> {
+    if bootstrap {
+        (0..n).map(|_| rng.gen_range(0..n) as u32).collect()
+    } else {
+        (0..n as u32).collect()
     }
-    (bx, by)
 }
 
 #[cfg(test)]
@@ -197,7 +331,48 @@ mod tests {
         let (x, y) = moons(40);
         let forest = RandomForest::fit(&x, &y, &ForestParams { n_trees: 4, ..Default::default() });
         let json = serde_json::to_string(&forest).unwrap();
-        let back: RandomForest = serde_json::from_str(&json).unwrap();
+        let mut back: RandomForest = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
         assert_eq!(back.predict_proba(&x[0]), forest.predict_proba(&x[0]));
+    }
+
+    #[test]
+    fn tree_seeds_are_decorrelated() {
+        let p = ForestParams::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            assert!(seen.insert(p.tree_seed(i)), "duplicate seed for tree {}", i);
+        }
+        // Consecutive seeds should differ in roughly half their bits, not
+        // by a single generator step.
+        let xor = p.tree_seed(0) ^ p.tree_seed(1);
+        assert!(xor.count_ones() > 10, "seeds too similar: {:064b}", xor);
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let (x, y) = moons(90);
+        let forest = RandomForest::fit(&x, &y, &ForestParams { n_trees: 8, ..Default::default() });
+        let data = Dataset::from_rows(&x).unwrap();
+        let batch = forest.predict_proba_batch(&data);
+        assert_eq!(batch.len(), x.len());
+        for (row, b) in x.iter().zip(&batch) {
+            assert_eq!(*b, forest.predict_proba(row));
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_fit() {
+        let (x, y) = moons(80);
+        let data = Dataset::from_rows(&x).unwrap();
+        let params = ForestParams { n_trees: 9, seed: 5, ..Default::default() };
+        let a = RandomForest::fit_dataset_threads(&data, &y, &params, 1);
+        let b = RandomForest::fit_dataset_threads(&data, &y, &params, 2);
+        let c = RandomForest::fit_dataset_threads(&data, &y, &params, 8);
+        for xi in &x {
+            let p = a.predict_proba(xi);
+            assert_eq!(p, b.predict_proba(xi));
+            assert_eq!(p, c.predict_proba(xi));
+        }
     }
 }

@@ -23,12 +23,15 @@
 
 mod bayes;
 pub mod cv;
+mod dataset;
 mod forest;
 pub mod metrics;
 mod multilabel;
+pub mod reference;
 mod tree;
 
 pub use bayes::GaussianNb;
+pub use dataset::{Dataset, DatasetError};
 pub use forest::{ForestParams, RandomForest};
 pub use multilabel::{BaseModel, BaseParams, MultiLabel, Strategy};
-pub use tree::{DecisionTree, MaxFeatures, TreeParams};
+pub use tree::{DecisionTree, MaxFeatures, SplitMode, TreeParams};

@@ -7,8 +7,13 @@
 //! position `p` additionally receives the labels of positions `0..p` as
 //! features (ground truth while training, thresholded predictions at
 //! inference) [38], [41], [43].
+//!
+//! Both fitting and batch inference run over the columnar [`Dataset`];
+//! chain augmentation is an O(rows) [`Dataset::push_column`] instead of a
+//! push onto every row vector.
 
 use crate::bayes::GaussianNb;
+use crate::dataset::{Dataset, DatasetError};
 use crate::forest::{ForestParams, RandomForest};
 use crate::tree::{DecisionTree, TreeParams};
 use rand::rngs::StdRng;
@@ -38,19 +43,20 @@ pub enum BaseModel {
 }
 
 impl BaseModel {
-    fn fit(params: &BaseParams, x: &[Vec<f32>], y: &[bool], label_idx: usize) -> BaseModel {
+    fn fit(params: &BaseParams, data: &Dataset, y: &[bool], label_idx: usize) -> BaseModel {
         match params {
             BaseParams::Forest(p) => {
                 let mut p = p.clone();
                 // Decorrelate per-label forests.
                 p.seed = p.seed.wrapping_add(label_idx as u64 * 7919);
-                BaseModel::Forest(RandomForest::fit(x, y, &p))
+                BaseModel::Forest(RandomForest::fit_dataset(data, y, &p))
             }
             BaseParams::Tree(p, seed) => {
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(label_idx as u64 * 7919));
-                BaseModel::Tree(DecisionTree::fit(x, y, p, &mut rng))
+                let idx: Vec<u32> = (0..data.n_rows() as u32).collect();
+                BaseModel::Tree(DecisionTree::fit_dataset(data, &idx, y, p, &mut rng))
             }
-            BaseParams::Bayes => BaseModel::Bayes(GaussianNb::fit(x, y)),
+            BaseParams::Bayes => BaseModel::Bayes(GaussianNb::fit_dataset(data, y)),
         }
     }
 
@@ -59,6 +65,14 @@ impl BaseModel {
             BaseModel::Forest(m) => m.predict_proba(row),
             BaseModel::Tree(m) => m.predict_proba(row),
             BaseModel::Bayes(m) => m.predict_proba(row),
+        }
+    }
+
+    fn predict_proba_batch(&self, data: &Dataset) -> Vec<f32> {
+        match self {
+            BaseModel::Forest(m) => m.predict_proba_batch(data),
+            BaseModel::Tree(m) => m.predict_proba_batch(data),
+            BaseModel::Bayes(m) => m.predict_proba_batch(data),
         }
     }
 }
@@ -81,45 +95,63 @@ pub struct MultiLabel {
 }
 
 impl MultiLabel {
-    /// Fits one binary classifier per label column.
+    /// Fits one binary classifier per label column from row-major samples
+    /// (convenience wrapper that builds a columnar [`Dataset`] once).
     ///
     /// `labels[i]` is the label vector for row `i`; all rows must have the
     /// same number of labels.
     ///
     /// # Panics
     ///
-    /// Panics on empty input or ragged label rows.
+    /// Panics on empty input, ragged feature rows, or ragged label rows.
     pub fn fit(
         x: &[Vec<f32>],
         labels: &[Vec<bool>],
         strategy: Strategy,
         base: &BaseParams,
     ) -> Self {
-        assert!(!x.is_empty(), "cannot fit on an empty dataset");
-        assert_eq!(x.len(), labels.len(), "feature/label length mismatch");
+        let data = match Dataset::from_rows(x) {
+            Ok(d) => d,
+            Err(DatasetError::Empty) => panic!("cannot fit on an empty dataset"),
+            Err(e) => panic!("invalid training matrix: {}", e),
+        };
+        Self::fit_dataset(&data, labels, strategy, base)
+    }
+
+    /// Fits one binary classifier per label column over a columnar dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count mismatch or ragged label rows.
+    pub fn fit_dataset(
+        data: &Dataset,
+        labels: &[Vec<bool>],
+        strategy: Strategy,
+        base: &BaseParams,
+    ) -> Self {
+        assert_eq!(data.n_rows(), labels.len(), "feature/label length mismatch");
         let n_labels = labels[0].len();
         assert!(labels.iter().all(|l| l.len() == n_labels), "ragged label rows");
-        let n_features = x[0].len();
+        let n_features = data.n_cols();
 
         let mut models = Vec::with_capacity(n_labels);
         match strategy {
             Strategy::BinaryRelevance => {
                 for j in 0..n_labels {
                     let y: Vec<bool> = labels.iter().map(|l| l[j]).collect();
-                    models.push(BaseModel::fit(base, x, &y, j));
+                    models.push(BaseModel::fit(base, data, &y, j));
                 }
             }
             Strategy::ClassifierChain => {
                 // Augment features with the ground-truth labels of all
-                // previous positions.
-                let mut augmented: Vec<Vec<f32>> = x.to_vec();
+                // previous positions: one pushed column per position.
+                let mut augmented = data.clone();
                 for j in 0..n_labels {
                     let y: Vec<bool> = labels.iter().map(|l| l[j]).collect();
                     models.push(BaseModel::fit(base, &augmented, &y, j));
                     if j + 1 < n_labels {
-                        for (row, l) in augmented.iter_mut().zip(labels) {
-                            row.push(if l[j] { 1.0 } else { 0.0 });
-                        }
+                        let col: Vec<f32> = y.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+                        augmented.push_column(&col);
                     }
                 }
             }
@@ -147,6 +179,41 @@ impl MultiLabel {
         }
     }
 
+    /// Per-label positive probabilities for every dataset row, using each
+    /// base model's batch path. Row `i` of the result equals
+    /// `predict_proba(row_i)` exactly: chained label columns are
+    /// thresholded per row just like the serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.n_cols() != n_features`.
+    pub fn predict_proba_batch(&self, data: &Dataset) -> Vec<Vec<f32>> {
+        assert_eq!(data.n_cols(), self.n_features, "feature width mismatch");
+        let n = data.n_rows();
+        let mut per_label: Vec<Vec<f32>> = Vec::with_capacity(self.models.len());
+        match self.strategy {
+            Strategy::BinaryRelevance => {
+                for m in &self.models {
+                    per_label.push(m.predict_proba_batch(data));
+                }
+            }
+            Strategy::ClassifierChain => {
+                let mut augmented = data.clone();
+                for (j, m) in self.models.iter().enumerate() {
+                    let probs = m.predict_proba_batch(&augmented);
+                    if j + 1 < self.models.len() {
+                        let col: Vec<f32> =
+                            probs.iter().map(|&p| if p >= 0.5 { 1.0 } else { 0.0 }).collect();
+                        augmented.push_column(&col);
+                    }
+                    per_label.push(probs);
+                }
+            }
+        }
+        // Transpose label-major to row-major.
+        (0..n).map(|r| per_label.iter().map(|col| col[r]).collect()).collect()
+    }
+
     /// Hard label set at the 0.5 threshold.
     pub fn predict(&self, row: &[f32]) -> Vec<bool> {
         self.predict_proba(row).into_iter().map(|p| p >= 0.5).collect()
@@ -160,6 +227,20 @@ impl MultiLabel {
     /// The strategy used.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// Validates every forest base model's flattened node arrays after
+    /// deserialization (see [`RandomForest::rebuild_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a serialized forest is corrupt.
+    pub fn rebuild_index(&mut self) {
+        for m in &mut self.models {
+            if let BaseModel::Forest(f) = m {
+                f.rebuild_index();
+            }
+        }
     }
 
     /// Feature importances of the classifier for `label` (forest base
@@ -267,7 +348,9 @@ mod tests {
     fn serde_roundtrip() {
         let (x, labels) = dataset(60);
         let ml = MultiLabel::fit(&x, &labels, Strategy::ClassifierChain, &forest_base());
-        let back: MultiLabel = serde_json::from_str(&serde_json::to_string(&ml).unwrap()).unwrap();
+        let mut back: MultiLabel =
+            serde_json::from_str(&serde_json::to_string(&ml).unwrap()).unwrap();
+        back.rebuild_index();
         assert_eq!(back.predict_proba(&x[3]), ml.predict_proba(&x[3]));
     }
 
@@ -277,5 +360,21 @@ mod tests {
         let a = MultiLabel::fit(&x, &labels, Strategy::ClassifierChain, &forest_base());
         let b = MultiLabel::fit(&x, &labels, Strategy::ClassifierChain, &forest_base());
         assert_eq!(a.predict_proba(&x[7]), b.predict_proba(&x[7]));
+    }
+
+    #[test]
+    fn batch_matches_serial_for_every_base_and_strategy() {
+        let (x, labels) = dataset(80);
+        let data = Dataset::from_rows(&x).unwrap();
+        let bases = [forest_base(), BaseParams::Tree(TreeParams::default(), 3), BaseParams::Bayes];
+        for base in &bases {
+            for strategy in [Strategy::BinaryRelevance, Strategy::ClassifierChain] {
+                let ml = MultiLabel::fit(&x, &labels, strategy, base);
+                let batch = ml.predict_proba_batch(&data);
+                for (row, b) in x.iter().zip(&batch) {
+                    assert_eq!(*b, ml.predict_proba(row), "strategy {:?}", strategy);
+                }
+            }
+        }
     }
 }

@@ -1,5 +1,17 @@
 //! CART decision trees with Gini impurity (binary classification).
+//!
+//! Trees grow over a columnar [`Dataset`] plus a `&[u32]` row-index set
+//! (bootstrap resampling is index resampling — no feature row is ever
+//! cloned). Exact split search sweeps each candidate column in value
+//! order, obtained adaptively: per-column order arrays sorted once per
+//! tree and stably partitioned down the recursion (classic
+//! presorted-CART) when most features are examined per split, or cheap
+//! per-node packed-integer sorts of just the sampled features in the
+//! subsampled √d regime. Histogram-binned search is available for large
+//! corpora. Fitted trees are stored in a flattened struct-of-arrays node
+//! layout traversed without pointer chasing.
 
+use crate::dataset::{Dataset, DatasetError};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
@@ -26,6 +38,24 @@ impl MaxFeatures {
     }
 }
 
+/// Split-search strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum SplitMode {
+    /// Exact search over value-sorted column views: every distinct
+    /// adjacent value pair is a candidate threshold (bit-identical to the
+    /// row-major implementation this replaced).
+    #[default]
+    Exact,
+    /// Histogram-binned search: node values are bucketed into `bins`
+    /// equal-width bins per candidate feature and only bin edges are
+    /// candidate thresholds. Approximate, but O(n) per feature with no
+    /// presorting — intended for very large corpora.
+    Histogram {
+        /// Number of value bins per feature (≥ 2).
+        bins: u16,
+    },
+}
+
 /// Tree-growing parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TreeParams {
@@ -37,6 +67,10 @@ pub struct TreeParams {
     pub min_samples_leaf: usize,
     /// Features considered per split.
     pub max_features: MaxFeatures,
+    /// Split-search strategy. Skipped by serde (older serialized params
+    /// lack the field; it defaults to [`SplitMode::Exact`] on load).
+    #[serde(skip)]
+    pub split_mode: SplitMode,
 }
 
 impl Default for TreeParams {
@@ -46,52 +80,253 @@ impl Default for TreeParams {
             min_samples_split: 4,
             min_samples_leaf: 1,
             max_features: MaxFeatures::Sqrt,
+            split_mode: SplitMode::Exact,
         }
     }
 }
 
+/// Leaf sentinel in the flattened `feature` array.
+const LEAF: u16 = u16::MAX;
+
+/// Flattened struct-of-arrays node storage shared by trees and forests.
+///
+/// Nodes are laid out in pre-order: the left child of split `i` is always
+/// `i + 1`, so only the right child needs storing. `feature[i]` is the
+/// split feature (or [`LEAF`]), `threshold[i]` the split threshold — or,
+/// for leaves, the positive-class probability held inline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-enum Node {
-    Leaf { prob: f32 },
-    Split { feature: usize, threshold: f32, left: usize, right: usize },
+pub(crate) struct FlatNodes {
+    pub(crate) feature: Vec<u16>,
+    pub(crate) threshold: Vec<f32>,
+    pub(crate) children: Vec<u32>,
+}
+
+impl FlatNodes {
+    pub(crate) fn new() -> Self {
+        FlatNodes { feature: Vec::new(), threshold: Vec::new(), children: Vec::new() }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.feature.len()
+    }
+
+    fn push_leaf(&mut self, prob: f32) -> u32 {
+        self.feature.push(LEAF);
+        self.threshold.push(prob);
+        self.children.push(0);
+        (self.feature.len() - 1) as u32
+    }
+
+    fn set_split(&mut self, i: u32, feature: u16, threshold: f32, right: u32) {
+        let i = i as usize;
+        self.feature[i] = feature;
+        self.threshold[i] = threshold;
+        self.children[i] = right;
+    }
+
+    /// Appends another node block, returning the id offset its nodes got.
+    pub(crate) fn append(&mut self, other: &FlatNodes) -> u32 {
+        let offset = self.len() as u32;
+        self.feature.extend_from_slice(&other.feature);
+        self.threshold.extend_from_slice(&other.threshold);
+        self.children.extend(other.children.iter().map(|&c| {
+            if c == 0 {
+                0 // leaf placeholder; never followed
+            } else {
+                c + offset
+            }
+        }));
+        offset
+    }
+
+    /// Walks the tree rooted at `root` for one row-major sample.
+    #[inline]
+    pub(crate) fn predict_row(&self, root: u32, row: &[f32]) -> f32 {
+        let mut i = root as usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.threshold[i];
+            }
+            i = if row[f as usize] <= self.threshold[i] {
+                i + 1
+            } else {
+                self.children[i] as usize
+            };
+        }
+    }
+
+    /// Walks the tree rooted at `root` for row `r` of a columnar dataset.
+    #[inline]
+    pub(crate) fn predict_dataset_row(&self, root: u32, data: &Dataset, r: usize) -> f32 {
+        let mut i = root as usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.threshold[i];
+            }
+            i = if data.get(r, f as usize) <= self.threshold[i] {
+                i + 1
+            } else {
+                self.children[i] as usize
+            };
+        }
+    }
+
+    pub(crate) fn accumulate_split_counts(&self, counts: &mut [u32]) {
+        for &f in &self.feature {
+            if f != LEAF {
+                if let Some(c) = counts.get_mut(f as usize) {
+                    *c += 1;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn depth_from(&self, i: u32) -> usize {
+        let i = i as usize;
+        if self.feature[i] == LEAF {
+            0
+        } else {
+            1 + self.depth_from(i as u32 + 1).max(self.depth_from(self.children[i]))
+        }
+    }
+
+    /// Bounds-checks child and feature ids after deserialization; returns
+    /// the first violation as a message.
+    pub(crate) fn check_invariants(&self, n_features_upper: usize) -> Result<(), String> {
+        let n = self.len();
+        if self.threshold.len() != n || self.children.len() != n {
+            return Err(format!(
+                "flat node arrays disagree: {} features, {} thresholds, {} children",
+                n,
+                self.threshold.len(),
+                self.children.len()
+            ));
+        }
+        for i in 0..n {
+            if self.feature[i] == LEAF {
+                continue;
+            }
+            if (self.feature[i] as usize) >= n_features_upper {
+                return Err(format!(
+                    "node {} splits on out-of-range feature {}",
+                    i, self.feature[i]
+                ));
+            }
+            if i + 1 >= n || (self.children[i] as usize) >= n {
+                return Err(format!("node {} has out-of-range children", i));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A fitted binary decision tree; [`DecisionTree::predict_proba`] returns
 /// the positive-class probability.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DecisionTree {
-    nodes: Vec<Node>,
+    nodes: FlatNodes,
 }
 
 impl DecisionTree {
-    /// Fits a tree on rows `x` (each of equal length) with binary labels
-    /// `y`. `rng` drives the per-split feature subsampling.
+    /// Fits a tree on row-major samples (convenience wrapper that builds a
+    /// columnar [`Dataset`] once and delegates to
+    /// [`DecisionTree::fit_dataset`]).
     ///
     /// # Panics
     ///
-    /// Panics if `x` is empty or `x.len() != y.len()`.
+    /// Panics if `x` is empty, ragged, or `x.len() != y.len()`.
     pub fn fit(x: &[Vec<f32>], y: &[bool], params: &TreeParams, rng: &mut StdRng) -> Self {
-        assert!(!x.is_empty(), "cannot fit a tree on an empty dataset");
+        let data = match Dataset::from_rows(x) {
+            Ok(d) => d,
+            Err(DatasetError::Empty) => panic!("cannot fit a tree on an empty dataset"),
+            Err(e) => panic!("invalid training matrix: {}", e),
+        };
         assert_eq!(x.len(), y.len(), "feature/label length mismatch");
-        let n_features = x[0].len();
-        let mut tree = DecisionTree { nodes: Vec::new() };
         let idx: Vec<u32> = (0..x.len() as u32).collect();
-        let mut builder = Builder { x, y, params, rng, n_features };
-        builder.grow(&mut tree.nodes, idx, 0);
-        tree
+        Self::fit_dataset(&data, &idx, y, params, rng)
+    }
+
+    /// Fits a tree over the row multiset `idx` of a columnar dataset.
+    /// `y[r]` labels dataset row `r`; `idx` may repeat rows (bootstrap).
+    /// `rng` drives the per-split feature subsampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is empty, `y.len() != data.n_rows()`, or the
+    /// feature count exceeds `u16::MAX - 1`.
+    pub fn fit_dataset(
+        data: &Dataset,
+        idx: &[u32],
+        y: &[bool],
+        params: &TreeParams,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self::fit_dataset_with_ranks(data, idx, y, params, rng, None)
+    }
+
+    /// [`DecisionTree::fit_dataset`] with optional forest-shared
+    /// [`ValueRanks`]; forests pass them so nodes counting-sort
+    /// low-cardinality columns instead of comparison-sorting them.
+    pub(crate) fn fit_dataset_with_ranks(
+        data: &Dataset,
+        idx: &[u32],
+        y: &[bool],
+        params: &TreeParams,
+        rng: &mut StdRng,
+        ranks: Option<&ValueRanks>,
+    ) -> Self {
+        assert!(!idx.is_empty(), "cannot fit a tree on an empty dataset");
+        assert_eq!(y.len(), data.n_rows(), "feature/label length mismatch");
+        assert!(data.n_cols() < LEAF as usize, "feature count exceeds the u16 node layout");
+        let n = idx.len();
+        let n_features = data.n_cols();
+
+        // Presorted order arrays cost one sort per column per tree plus a
+        // stable partition of every column at every split — profitable
+        // only when most columns are actually examined per node
+        // (MaxFeatures::All and friends). In the subsampled √d regime,
+        // sorting just the k sampled features at each node (packed-u64
+        // sorts over contiguous column gathers) is strictly less work, so
+        // Exact mode picks whichever costs less. All variants scan the
+        // same candidate thresholds and are bit-identical.
+        let use_presort = matches!(params.split_mode, SplitMode::Exact)
+            && presort_profitable(params.max_features.resolve(n_features), n, n_features);
+        let order = if use_presort { presort_columns(data, idx) } else { Vec::new() };
+        let ranks = if use_presort { None } else { ranks };
+        let n_hist = ranks.map_or(0, |r| r.max_distinct);
+        let mut grower = Grower {
+            data,
+            y,
+            params,
+            rng,
+            n_features,
+            use_presort,
+            idx: idx.to_vec(),
+            order,
+            mask: vec![false; data.n_rows()],
+            scratch: Vec::with_capacity(n),
+            feat_buf: Vec::with_capacity(n_features),
+            keyed: if use_presort { Vec::new() } else { Vec::with_capacity(n) },
+            ranks,
+            hist: vec![0; n_hist],
+            pos_hist: vec![0; n_hist],
+            rank_buf: if ranks.is_some() { Vec::with_capacity(n) } else { Vec::new() },
+        };
+        let mut nodes = FlatNodes::new();
+        grower.grow(&mut nodes, 0, n, 0);
+        DecisionTree { nodes }
     }
 
     /// Probability that `row` belongs to the positive class.
     pub fn predict_proba(&self, row: &[f32]) -> f32 {
-        let mut i = 0;
-        loop {
-            match &self.nodes[i] {
-                Node::Leaf { prob } => return *prob,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
-                }
-            }
-        }
+        self.nodes.predict_row(0, row)
+    }
+
+    /// Positive-class probability for every row of a columnar dataset.
+    pub fn predict_proba_batch(&self, data: &Dataset) -> Vec<f32> {
+        (0..data.n_rows()).map(|r| self.nodes.predict_dataset_row(0, data, r)).collect()
     }
 
     /// Number of nodes in the tree.
@@ -102,115 +337,460 @@ impl DecisionTree {
     /// Accumulates the number of split nodes per feature into `counts`
     /// (features beyond `counts.len()` are ignored).
     pub fn accumulate_split_counts(&self, counts: &mut [u32]) {
-        for n in &self.nodes {
-            if let Node::Split { feature, .. } = n {
-                if let Some(c) = counts.get_mut(*feature) {
-                    *c += 1;
-                }
-            }
-        }
+        self.nodes.accumulate_split_counts(counts);
     }
 
     /// Maximum depth of the fitted tree.
     pub fn depth(&self) -> usize {
-        fn depth_of(nodes: &[Node], i: usize) -> usize {
-            match &nodes[i] {
-                Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => {
-                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
-                }
-            }
-        }
-        if self.nodes.is_empty() {
+        if self.nodes.len() == 0 {
             0
         } else {
-            depth_of(&self.nodes, 0)
+            self.nodes.depth_from(0)
+        }
+    }
+
+    pub(crate) fn nodes(&self) -> &FlatNodes {
+        &self.nodes
+    }
+}
+
+/// Monotonic total-order key for an f32 (sign-flip trick): `a <= b` for
+/// non-NaN floats iff `sort_key(a) <= sort_key(b)`, with `-0.0` ordered
+/// just below `+0.0` (harmless: the split sweep compares values with `==`,
+/// which treats them as the tie they are).
+#[inline]
+fn sort_key(v: f32) -> u32 {
+    let b = v.to_bits();
+    if b & 0x8000_0000 != 0 {
+        !b
+    } else {
+        b | 0x8000_0000
+    }
+}
+
+/// Whether maintained presorted order arrays beat per-node sorts: the
+/// per-node alternative costs ~`k · log2(n)` work units per row per
+/// split level, the presort alternative `d` (one partition pass over
+/// every column).
+pub(crate) fn presort_profitable(k: usize, n: usize, d: usize) -> bool {
+    k * (usize::BITS - n.leading_zeros()).max(1) as usize >= d
+}
+
+/// Whether a forest should build shared [`ValueRanks`] for this matrix:
+/// only useful in the per-node-sort regime, where nodes can counting-sort
+/// low-cardinality columns instead of comparison-sorting them.
+pub(crate) fn wants_value_ranks(params: &TreeParams, n: usize, d: usize) -> bool {
+    matches!(params.split_mode, SplitMode::Exact)
+        && !presort_profitable(params.max_features.resolve(d), n, d)
+}
+
+/// Per-column distinct-value tables: for every column, its sorted distinct
+/// values and each row's rank among them. Independent of any bootstrap
+/// index set, so a forest builds this once and shares it read-only across
+/// all trees and threads; a node then derives a column's value-ordered
+/// view by counting over ranks (O(rows + distinct)) instead of sorting
+/// whenever the column's cardinality is small relative to the node.
+pub(crate) struct ValueRanks {
+    /// `ranks[f * n_rows + r]`: rank of row `r`'s value in column `f`.
+    ranks: Vec<u16>,
+    /// Flattened per-column sorted distinct values.
+    values: Vec<f32>,
+    /// Column `f`'s distinct values live at `offsets[f]..offsets[f + 1]`.
+    offsets: Vec<u32>,
+    /// Largest per-column distinct count (sizes the counting buffers).
+    max_distinct: usize,
+}
+
+impl ValueRanks {
+    /// Builds the tables; `None` when a rank could overflow `u16`.
+    pub(crate) fn build(data: &Dataset) -> Option<ValueRanks> {
+        let n = data.n_rows();
+        if n > u16::MAX as usize {
+            return None;
+        }
+        let d = data.n_cols();
+        let mut ranks = vec![0u16; d * n];
+        let mut values = Vec::new();
+        let mut offsets = Vec::with_capacity(d + 1);
+        offsets.push(0u32);
+        let mut max_distinct = 0usize;
+        let mut keyed: Vec<u64> = Vec::with_capacity(n);
+        for f in 0..d {
+            let col = data.column(f);
+            keyed.clear();
+            keyed.extend(
+                col.iter().enumerate().map(|(r, &v)| ((sort_key(v) as u64) << 32) | r as u64),
+            );
+            keyed.sort_unstable();
+            // Assign ranks by f32 equality (merging -0.0 with +0.0, whose
+            // sort keys differ) so equal values never form a boundary.
+            let mut prev: Option<f32> = None;
+            for &e in &keyed {
+                let v = decode_key((e >> 32) as u32);
+                if prev != Some(v) {
+                    values.push(v);
+                    prev = Some(v);
+                }
+                ranks[f * n + e as u32 as usize] = (values.len() - 1 - offsets[f] as usize) as u16;
+            }
+            max_distinct = max_distinct.max(values.len() - offsets[f] as usize);
+            offsets.push(values.len() as u32);
+        }
+        Some(ValueRanks { ranks, values, offsets, max_distinct })
+    }
+
+    /// Column `f`'s `(sorted distinct values, per-row ranks)`.
+    fn column(&self, f: usize, n_rows: usize) -> (&[f32], &[u16]) {
+        let vals = &self.values[self.offsets[f] as usize..self.offsets[f + 1] as usize];
+        (vals, &self.ranks[f * n_rows..(f + 1) * n_rows])
+    }
+}
+
+/// Sorts each feature column's view of the sample multiset once per tree:
+/// `order[f * n + j]` is the dataset row holding the `j`-th smallest value
+/// of feature `f` among `idx`. Keys are packed into one `u64` so the sort
+/// is branch-cheap and allocation-free per column.
+fn presort_columns(data: &Dataset, idx: &[u32]) -> Vec<u32> {
+    let n = idx.len();
+    let d = data.n_cols();
+    let mut order = vec![0u32; d * n];
+    let mut keyed: Vec<u64> = Vec::with_capacity(n);
+    for f in 0..d {
+        let col = data.column(f);
+        keyed.clear();
+        keyed.extend(idx.iter().map(|&r| ((sort_key(col[r as usize]) as u64) << 32) | r as u64));
+        keyed.sort_unstable();
+        for (j, k) in keyed.iter().enumerate() {
+            order[f * n + j] = *k as u32;
+        }
+    }
+    order
+}
+
+/// Inverse of [`sort_key`]: recovers the exact f32 a key was built from.
+#[inline]
+fn decode_key(k: u32) -> f32 {
+    if k & 0x8000_0000 != 0 {
+        f32::from_bits(k ^ 0x8000_0000)
+    } else {
+        f32::from_bits(!k)
+    }
+}
+
+/// Sweeps packed `(sort_key << 32) | row` entries in sorted order,
+/// decoding values straight from the keys (no column reads).
+fn sweep_keyed(
+    keyed: &[u64],
+    y: &[bool],
+    f: u16,
+    n: f64,
+    total_pos: f64,
+    best: &mut Option<(u16, f32, f64)>,
+) {
+    let mut left_n = 0f64;
+    let mut left_pos = 0f64;
+    for w in 0..keyed.len() - 1 {
+        let e = keyed[w];
+        left_n += 1.0;
+        if y[e as u32 as usize] {
+            left_pos += 1.0;
+        }
+        let v = decode_key((e >> 32) as u32);
+        let v_next = decode_key((keyed[w + 1] >> 32) as u32);
+        if v == v_next {
+            continue;
+        }
+        let right_n = n - left_n;
+        let right_pos = total_pos - left_pos;
+        let weighted = (left_n * gini(left_pos, left_n) + right_n * gini(right_pos, right_n)) / n;
+        if best.is_none_or(|(_, _, b)| weighted < b) {
+            *best = Some((f, midpoint(v, v_next), weighted));
         }
     }
 }
 
-struct Builder<'a> {
-    x: &'a [Vec<f32>],
+/// Sweeps sorted packed `(rank << 1) | label` entries; ranks merge equal
+/// values, so the integer rank comparison is exactly the `v != v_next`
+/// boundary predicate, and values are only looked up at boundaries.
+fn sweep_ranked(
+    seg: &[u32],
+    vals: &[f32],
+    f: u16,
+    n: f64,
+    total_pos: f64,
+    best: &mut Option<(u16, f32, f64)>,
+) {
+    let mut left_n = 0f64;
+    let mut left_pos = 0f64;
+    for w in 0..seg.len() - 1 {
+        let e = seg[w];
+        left_n += 1.0;
+        left_pos += (e & 1) as f64;
+        let rk = e >> 1;
+        let rk_next = seg[w + 1] >> 1;
+        if rk == rk_next {
+            continue;
+        }
+        let right_n = n - left_n;
+        let right_pos = total_pos - left_pos;
+        let weighted = (left_n * gini(left_pos, left_n) + right_n * gini(right_pos, right_n)) / n;
+        if best.is_none_or(|(_, _, b)| weighted < b) {
+            *best = Some((f, midpoint(vals[rk as usize], vals[rk_next as usize]), weighted));
+        }
+    }
+}
+
+/// Sweeps a column's per-rank `(count, positives)` histogram in ascending
+/// value order. A boundary is evaluated between consecutive *occupied*
+/// ranks, with the left sums covering everything at or below the lower
+/// value — exactly the states the sorted-multiset sweep evaluates, with
+/// the same integer-valued f64 sums.
+fn sweep_hist(
+    vals: &[f32],
+    hist: &[u32],
+    pos_hist: &[u32],
+    f: u16,
+    n: f64,
+    total_pos: f64,
+    best: &mut Option<(u16, f32, f64)>,
+) {
+    let mut left_n = 0f64;
+    let mut left_pos = 0f64;
+    let mut prev: Option<f32> = None;
+    for rk in 0..vals.len() {
+        let c = hist[rk];
+        if c == 0 {
+            continue;
+        }
+        let v = vals[rk];
+        if let Some(pv) = prev {
+            let right_n = n - left_n;
+            let right_pos = total_pos - left_pos;
+            let weighted =
+                (left_n * gini(left_pos, left_n) + right_n * gini(right_pos, right_n)) / n;
+            if best.is_none_or(|(_, _, b)| weighted < b) {
+                *best = Some((f, midpoint(pv, v), weighted));
+            }
+        }
+        left_n += c as f64;
+        left_pos += pos_hist[rk] as f64;
+        prev = Some(v);
+    }
+}
+
+/// Sweeps one feature's rows in value order, proposing a candidate
+/// threshold between every distinct adjacent value pair and keeping the
+/// lowest weighted Gini in `best`.
+fn sweep_sorted(
+    col: &[f32],
+    y: &[bool],
+    seg: &[u32],
+    f: u16,
+    n: f64,
+    total_pos: f64,
+    best: &mut Option<(u16, f32, f64)>,
+) {
+    let mut left_n = 0f64;
+    let mut left_pos = 0f64;
+    for w in 0..seg.len() - 1 {
+        let r = seg[w] as usize;
+        left_n += 1.0;
+        if y[r] {
+            left_pos += 1.0;
+        }
+        let v = col[r];
+        let v_next = col[seg[w + 1] as usize];
+        if v == v_next {
+            continue;
+        }
+        let right_n = n - left_n;
+        let right_pos = total_pos - left_pos;
+        let weighted = (left_n * gini(left_pos, left_n) + right_n * gini(right_pos, right_n)) / n;
+        if best.is_none_or(|(_, _, b)| weighted < b) {
+            *best = Some((f, midpoint(v, v_next), weighted));
+        }
+    }
+}
+
+/// Stable in-place partition of `seg` by `mask[row]` (left = `true`),
+/// using `scratch` as the spill buffer. Returns the left-side size.
+fn stable_partition(seg: &mut [u32], mask: &[bool], scratch: &mut Vec<u32>) -> usize {
+    scratch.clear();
+    let mut w = 0;
+    for j in 0..seg.len() {
+        let r = seg[j];
+        if mask[r as usize] {
+            seg[w] = r;
+            w += 1;
+        } else {
+            scratch.push(r);
+        }
+    }
+    seg[w..].copy_from_slice(scratch);
+    w
+}
+
+struct Grower<'a> {
+    data: &'a Dataset,
     y: &'a [bool],
     params: &'a TreeParams,
     rng: &'a mut StdRng,
     n_features: usize,
+    /// Exact mode flavour: `true` maintains presorted order arrays down
+    /// the recursion, `false` sorts only the sampled features per node.
+    use_presort: bool,
+    /// The row multiset, partitioned in place down the recursion.
+    idx: Vec<u32>,
+    /// Presort flavour only: per-feature presorted views of `idx`
+    /// (column-major, `n_features × idx.len()`), partitioned in lockstep
+    /// with `idx`. Empty otherwise.
+    order: Vec<u32>,
+    /// Per-dataset-row side mask for the current split.
+    mask: Vec<bool>,
+    scratch: Vec<u32>,
+    feat_buf: Vec<u16>,
+    /// Per-node sort flavour: reusable packed `(sort_key << 32) | row`
+    /// buffer.
+    keyed: Vec<u64>,
+    /// Forest-shared per-column distinct-value tables; when a column's
+    /// cardinality is small relative to the node, its value-ordered view
+    /// is derived by counting over ranks instead of sorting.
+    ranks: Option<&'a ValueRanks>,
+    /// Counting buffers (sized `max_distinct`): per-rank row count and
+    /// positive-label count for the current node.
+    hist: Vec<u32>,
+    pos_hist: Vec<u32>,
+    /// Reusable packed `(rank << 1) | label` sort buffer for
+    /// high-cardinality columns when ranks are available.
+    rank_buf: Vec<u32>,
 }
 
-impl Builder<'_> {
-    /// Grows a subtree over `idx`; returns the node index.
-    fn grow(&mut self, nodes: &mut Vec<Node>, idx: Vec<u32>, depth: usize) -> usize {
-        let positives = idx.iter().filter(|&&i| self.y[i as usize]).count();
-        let prob = positives as f32 / idx.len() as f32;
+impl Grower<'_> {
+    /// Grows the subtree over `idx[lo..hi]`; returns the node id.
+    fn grow(&mut self, nodes: &mut FlatNodes, lo: usize, hi: usize, depth: usize) -> u32 {
+        let n_node = hi - lo;
+        let positives = self.idx[lo..hi].iter().filter(|&&r| self.y[r as usize]).count();
+        let prob = positives as f32 / n_node as f32;
 
-        let perfect = positives == 0 || positives == idx.len();
-        if perfect || depth >= self.params.max_depth || idx.len() < self.params.min_samples_split {
-            nodes.push(Node::Leaf { prob });
-            return nodes.len() - 1;
+        let perfect = positives == 0 || positives == n_node;
+        if perfect || depth >= self.params.max_depth || n_node < self.params.min_samples_split {
+            return nodes.push_leaf(prob);
         }
 
-        match self.best_split(&idx) {
+        let split = match self.params.split_mode {
+            SplitMode::Exact => self.best_split_exact(lo, hi, positives as f64),
+            SplitMode::Histogram { bins } => {
+                self.best_split_hist(lo, hi, positives as f64, bins.max(2) as usize)
+            }
+        };
+        match split {
             Some((feature, threshold)) => {
-                let (left_idx, right_idx): (Vec<u32>, Vec<u32>) =
-                    idx.iter().partition(|&&i| self.x[i as usize][feature] <= threshold);
-                if left_idx.len() < self.params.min_samples_leaf
-                    || right_idx.len() < self.params.min_samples_leaf
+                let left_n = self.partition(lo, hi, feature, threshold);
+                if left_n < self.params.min_samples_leaf
+                    || n_node - left_n < self.params.min_samples_leaf
+                    || left_n == 0
+                    || left_n == n_node
                 {
-                    nodes.push(Node::Leaf { prob });
-                    return nodes.len() - 1;
+                    return nodes.push_leaf(prob);
                 }
-                let me = nodes.len();
-                nodes.push(Node::Leaf { prob }); // placeholder
-                let left = self.grow(nodes, left_idx, depth + 1);
-                let right = self.grow(nodes, right_idx, depth + 1);
-                nodes[me] = Node::Split { feature, threshold, left, right };
+                let me = nodes.push_leaf(prob); // placeholder
+                let left = self.grow(nodes, lo, lo + left_n, depth + 1);
+                debug_assert_eq!(left, me + 1, "pre-order layout violated");
+                let right = self.grow(nodes, lo + left_n, hi, depth + 1);
+                nodes.set_split(me, feature, threshold, right);
                 me
             }
-            None => {
-                nodes.push(Node::Leaf { prob });
-                nodes.len() - 1
-            }
+            None => nodes.push_leaf(prob),
         }
     }
 
-    /// Finds the Gini-optimal split over a random feature subset.
-    fn best_split(&mut self, idx: &[u32]) -> Option<(usize, f32)> {
+    /// Draws the per-split feature subset (same RNG consumption as the
+    /// legacy row-major path: one full shuffle, then truncate).
+    fn sample_features(&mut self) -> usize {
         let k = self.params.max_features.resolve(self.n_features);
-        let mut features: Vec<usize> = (0..self.n_features).collect();
-        features.shuffle(self.rng);
-        features.truncate(k);
+        self.feat_buf.clear();
+        self.feat_buf.extend(0..self.n_features as u16);
+        self.feat_buf.shuffle(self.rng);
+        self.feat_buf.truncate(k);
+        k
+    }
 
-        let total_pos = idx.iter().filter(|&&i| self.y[i as usize]).count() as f64;
-        let n = idx.len() as f64;
+    /// Finds the Gini-optimal split over a random feature subset by
+    /// sweeping each candidate column in value order — either a presorted
+    /// view maintained down the recursion, or a per-node packed-u64 sort
+    /// of just this node's rows. The sweep (and hence the chosen split)
+    /// is identical either way; only how the sorted view is obtained
+    /// differs, and neither consumes RNG state.
+    fn best_split_exact(&mut self, lo: usize, hi: usize, total_pos: f64) -> Option<(u16, f32)> {
+        self.sample_features();
+        let n_total = self.idx.len();
+        let n_rows = self.data.n_rows();
+        let n_node = hi - lo;
+        let n = n_node as f64;
+        let feat_buf = std::mem::take(&mut self.feat_buf);
 
-        let mut best: Option<(usize, f32, f64)> = None;
-        let mut vals: Vec<(f32, bool)> = Vec::with_capacity(idx.len());
-        for f in features {
-            vals.clear();
-            vals.extend(idx.iter().map(|&i| (self.x[i as usize][f], self.y[i as usize])));
-            vals.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-            // Sweep split points between distinct adjacent values.
-            let mut left_n = 0f64;
-            let mut left_pos = 0f64;
-            for w in 0..vals.len() - 1 {
-                left_n += 1.0;
-                if vals[w].1 {
-                    left_pos += 1.0;
+        let mut best: Option<(u16, f32, f64)> = None;
+        for &f in &feat_buf {
+            if self.use_presort {
+                let col = self.data.column(f as usize);
+                let seg = &self.order[f as usize * n_total + lo..f as usize * n_total + hi];
+                sweep_sorted(col, self.y, seg, f, n, total_pos, &mut best);
+                continue;
+            }
+            // Counting-sort the column by precomputed value ranks when its
+            // cardinality is small relative to the node (O(m + distinct)
+            // beats O(m log m)); the per-rank sums are integer-valued f64
+            // accumulations, so the sweep is bit-identical to sweeping the
+            // sorted multiset.
+            let counting = self.ranks.and_then(|vr| {
+                let (vals, rks) = vr.column(f as usize, n_rows);
+                (vals.len() <= 2 * n_node).then_some((vals, rks))
+            });
+            if let Some((vals, rks)) = counting {
+                let vc = vals.len();
+                self.hist[..vc].fill(0);
+                self.pos_hist[..vc].fill(0);
+                for &r in &self.idx[lo..hi] {
+                    let r = r as usize;
+                    let rk = rks[r] as usize;
+                    self.hist[rk] += 1;
+                    self.pos_hist[rk] += self.y[r] as u32;
                 }
-                if vals[w].0 == vals[w + 1].0 {
-                    continue;
-                }
-                let right_n = n - left_n;
-                let right_pos = total_pos - left_pos;
-                let gini_left = gini(left_pos, left_n);
-                let gini_right = gini(right_pos, right_n);
-                let weighted = (left_n * gini_left + right_n * gini_right) / n;
-                if best.is_none_or(|(_, _, b)| weighted < b) {
-                    let threshold = midpoint(vals[w].0, vals[w + 1].0);
-                    best = Some((f, threshold, weighted));
-                }
+                sweep_hist(
+                    vals,
+                    &self.hist[..vc],
+                    &self.pos_hist[..vc],
+                    f,
+                    n,
+                    total_pos,
+                    &mut best,
+                );
+            } else if let Some(vr) = self.ranks {
+                // High-cardinality column: sort packed `(rank << 1) | label`
+                // u32s — half the bandwidth of value/row keys, and the
+                // sweep compares integer ranks instead of floats.
+                let (vals, rks) = vr.column(f as usize, n_rows);
+                self.rank_buf.clear();
+                self.rank_buf.extend(
+                    self.idx[lo..hi]
+                        .iter()
+                        .map(|&r| ((rks[r as usize] as u32) << 1) | self.y[r as usize] as u32),
+                );
+                self.rank_buf.sort_unstable();
+                sweep_ranked(&self.rank_buf, vals, f, n, total_pos, &mut best);
+            } else {
+                let col = self.data.column(f as usize);
+                self.keyed.clear();
+                self.keyed.extend(
+                    self.idx[lo..hi]
+                        .iter()
+                        .map(|&r| ((sort_key(col[r as usize]) as u64) << 32) | r as u64),
+                );
+                self.keyed.sort_unstable();
+                sweep_keyed(&self.keyed, self.y, f, n, total_pos, &mut best);
             }
         }
+        self.feat_buf = feat_buf;
         // Split whenever weighted child impurity does not exceed the
         // parent's (zero-improvement splits are allowed, as in sklearn —
         // they are what lets greedy CART stack splits to solve XOR).
@@ -219,6 +799,89 @@ impl Builder<'_> {
             Some((f, t, g)) if g <= parent_gini + 1e-12 => Some((f, t)),
             _ => None,
         }
+    }
+
+    /// Histogram-binned split search: O(n) per candidate feature, no
+    /// presorted arrays. Thresholds are equal-width bin edges.
+    fn best_split_hist(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        total_pos: f64,
+        bins: usize,
+    ) -> Option<(u16, f32)> {
+        self.sample_features();
+        let n = (hi - lo) as f64;
+        let mut bin_n = vec![0u32; bins];
+        let mut bin_pos = vec![0u32; bins];
+
+        let mut best: Option<(u16, f32, f64)> = None;
+        for &f in &self.feat_buf {
+            let col = self.data.column(f as usize);
+            let (mut min, mut max) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &r in &self.idx[lo..hi] {
+                let v = col[r as usize];
+                min = min.min(v);
+                max = max.max(v);
+            }
+            // f32::min/max skip NaN operands, so min/max are never NaN.
+            if min >= max {
+                continue; // constant (or non-finite) feature: no split
+            }
+            bin_n.iter_mut().for_each(|c| *c = 0);
+            bin_pos.iter_mut().for_each(|c| *c = 0);
+            let scale = bins as f32 / (max - min);
+            for &r in &self.idx[lo..hi] {
+                let r = r as usize;
+                let b = (((col[r] - min) * scale) as usize).min(bins - 1);
+                bin_n[b] += 1;
+                if self.y[r] {
+                    bin_pos[b] += 1;
+                }
+            }
+            let mut left_n = 0f64;
+            let mut left_pos = 0f64;
+            let width = (max - min) / bins as f32;
+            for b in 0..bins - 1 {
+                left_n += bin_n[b] as f64;
+                left_pos += bin_pos[b] as f64;
+                if left_n == 0.0 || left_n == n {
+                    continue;
+                }
+                let right_n = n - left_n;
+                let right_pos = total_pos - left_pos;
+                let weighted =
+                    (left_n * gini(left_pos, left_n) + right_n * gini(right_pos, right_n)) / n;
+                if best.is_none_or(|(_, _, bst)| weighted < bst) {
+                    best = Some((f, min + width * (b + 1) as f32, weighted));
+                }
+            }
+        }
+        let parent_gini = gini(total_pos, n);
+        match best {
+            Some((f, t, g)) if g <= parent_gini + 1e-12 => Some((f, t)),
+            _ => None,
+        }
+    }
+
+    /// Routes the node's rows by the chosen split and stably partitions
+    /// `idx` (and, in the presort flavour, every presorted column) in
+    /// place. Returns the left-side size.
+    fn partition(&mut self, lo: usize, hi: usize, feature: u16, threshold: f32) -> usize {
+        let col = self.data.column(feature as usize);
+        for &r in &self.idx[lo..hi] {
+            self.mask[r as usize] = col[r as usize] <= threshold;
+        }
+        let left_n = stable_partition(&mut self.idx[lo..hi], &self.mask, &mut self.scratch);
+        if self.use_presort {
+            let n_total = self.idx.len();
+            for f in 0..self.n_features {
+                let seg = &mut self.order[f * n_total + lo..f * n_total + hi];
+                let left = stable_partition(seg, &self.mask, &mut self.scratch);
+                debug_assert_eq!(left, left_n, "order column diverged from idx partition");
+            }
+        }
+        left_n
     }
 }
 
@@ -342,5 +1005,56 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn empty_dataset_panics() {
         let _ = fit(&[], &[]);
+    }
+
+    #[test]
+    fn bootstrap_index_multiset_weights_duplicates() {
+        // Row 1 repeated three times dominates the leaf probability.
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![false, true];
+        let data = Dataset::from_rows(&x).unwrap();
+        let params =
+            TreeParams { max_features: MaxFeatures::All, max_depth: 0, ..Default::default() };
+        let tree = DecisionTree::fit_dataset(&data, &[0, 1, 1, 1], &y, &params, &mut rng());
+        assert_eq!(tree.node_count(), 1);
+        assert!((tree.predict_proba(&[0.5]) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let x: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 11) as f32, (i % 5) as f32]).collect();
+        let y: Vec<bool> = (0..40).map(|i| (i % 11) > 5).collect();
+        let tree = fit(&x, &y);
+        let data = Dataset::from_rows(&x).unwrap();
+        let batch = tree.predict_proba_batch(&data);
+        for (row, b) in x.iter().zip(&batch) {
+            assert_eq!(*b, tree.predict_proba(row));
+        }
+    }
+
+    #[test]
+    fn histogram_mode_learns_separable_data() {
+        let x: Vec<Vec<f32>> = (0..80).map(|i| vec![i as f32, (i % 3) as f32]).collect();
+        let y: Vec<bool> = (0..80).map(|i| i >= 40).collect();
+        let params = TreeParams {
+            max_features: MaxFeatures::All,
+            split_mode: SplitMode::Histogram { bins: 16 },
+            ..Default::default()
+        };
+        let a = DecisionTree::fit(&x, &y, &params, &mut rng());
+        let b = DecisionTree::fit(&x, &y, &params, &mut rng());
+        assert!(a.predict_proba(&[5.0, 0.0]) < 0.5);
+        assert!(a.predict_proba(&[70.0, 1.0]) > 0.5);
+        // Deterministic for a fixed seed.
+        assert_eq!(a.predict_proba(&[39.0, 2.0]), b.predict_proba(&[39.0, 2.0]));
+    }
+
+    #[test]
+    fn sort_key_is_monotonic() {
+        let vals = [-f32::INFINITY, -3.5, -0.0, 0.0, 1e-9, 2.0, f32::INFINITY];
+        for w in vals.windows(2) {
+            assert!(sort_key(w[0]) <= sort_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        assert!(sort_key(-0.0) < sort_key(0.0));
     }
 }
