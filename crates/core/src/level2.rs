@@ -41,6 +41,7 @@ impl Level2Detector {
         cfg: &DetectorConfig,
     ) -> Self {
         assert!(!samples.is_empty(), "no training sample parsed");
+        let _t = jsdetect_obs::span("level2_train");
         let space = VectorSpace::fit(samples.iter().map(|(a, _)| *a), cfg.max_ngrams, cfg.features);
         // Vectorize straight into the columnar store, reusing one scratch
         // row instead of materializing Vec<Vec<f32>>.
@@ -61,6 +62,7 @@ impl Level2Detector {
     ///
     /// Returns the parse error for invalid JavaScript.
     pub fn predict_proba(&self, src: &str) -> Result<Vec<f32>, ParseError> {
+        let _t = jsdetect_obs::span("level2_predict");
         let a = jsdetect_features::analyze_script(src)?;
         Ok(self.model.predict_proba(&self.space.vectorize(&a)))
     }
@@ -72,6 +74,7 @@ impl Level2Detector {
         if srcs.is_empty() {
             return Vec::new();
         }
+        let _t = jsdetect_obs::span("level2_predict_batch");
         let (data, parsed) = vectorize_dataset(&self.space, srcs);
         let probs = self.model.predict_proba_batch(&data);
         parsed.into_iter().zip(probs).map(|(ok, p)| ok.then_some(p)).collect()

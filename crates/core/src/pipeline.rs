@@ -25,8 +25,13 @@ pub struct TrainedDetectors {
 
 impl TrainedDetectors {
     /// Serializes to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("detector serialization cannot fail")
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serializer error (e.g. a non-finite float
+    /// in a trained model) instead of panicking.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     /// Deserializes from JSON and rebuilds internal indexes.
@@ -81,6 +86,7 @@ const OBFUSCATIONS: [Technique; 8] = [
 
 /// Runs the full training protocol on `n_regular` generated scripts.
 pub fn train_pipeline(n_regular: usize, seed: u64, cfg: &DetectorConfig) -> PipelineOutput {
+    let _t = jsdetect_obs::span("train_pipeline");
     let gt = GroundTruth::generate(n_regular, seed);
     let sp = split(n_regular);
 

@@ -27,6 +27,7 @@ where
     }
     let n_threads =
         std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4).min(n).max(1);
+    jsdetect_obs::gauge_set("analyze_threads", n_threads as f64);
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, T)>();
     crossbeam::thread::scope(|scope| {
@@ -34,11 +35,17 @@ where
             let tx = tx.clone();
             let next = &next;
             let work = &work;
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n || tx.send((i, work(i))).is_err() {
-                    break;
+            scope.spawn(move |_| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n || tx.send((i, work(i))).is_err() {
+                        break;
+                    }
                 }
+                // Scoped threads signal completion when this closure
+                // returns, before TLS destructors run; flush explicitly so
+                // the coordinator's snapshot sees this worker's telemetry.
+                jsdetect_obs::flush();
             });
         }
         drop(tx);
@@ -52,6 +59,8 @@ where
 /// Analyzes many scripts in parallel. Scripts that fail to parse yield
 /// `None` (the paper's pipeline skips unparseable files).
 pub fn analyze_many(srcs: &[&str]) -> Vec<Option<ScriptAnalysis>> {
+    let _t = jsdetect_obs::span("analyze_many");
+    jsdetect_obs::counter_add("scripts_analyzed", srcs.len() as u64);
     let mut out: Vec<Option<ScriptAnalysis>> = (0..srcs.len()).map(|_| None).collect();
     run_stealing(srcs.len(), |i| analyze_script(srcs[i]).ok(), |i, r| out[i] = r);
     out
@@ -59,6 +68,8 @@ pub fn analyze_many(srcs: &[&str]) -> Vec<Option<ScriptAnalysis>> {
 
 /// Vectorizes many scripts in parallel against a fitted space.
 pub fn vectorize_many(space: &VectorSpace, srcs: &[&str]) -> Vec<Option<Vec<f32>>> {
+    let _t = jsdetect_obs::span("vectorize_batch");
+    jsdetect_obs::counter_add("scripts_analyzed", srcs.len() as u64);
     let mut out: Vec<Option<Vec<f32>>> = vec![None; srcs.len()];
     run_stealing(
         srcs.len(),
@@ -79,6 +90,8 @@ pub fn vectorize_many(space: &VectorSpace, srcs: &[&str]) -> Vec<Option<Vec<f32>
 /// Panics if `srcs` is empty.
 pub fn vectorize_dataset(space: &VectorSpace, srcs: &[&str]) -> (Dataset, Vec<bool>) {
     assert!(!srcs.is_empty(), "cannot vectorize zero scripts into a dataset");
+    let _t = jsdetect_obs::span("vectorize_batch");
+    jsdetect_obs::counter_add("scripts_analyzed", srcs.len() as u64);
     let mut data = Dataset::zeros(srcs.len(), space.dim());
     let mut parsed = vec![false; srcs.len()];
     run_stealing(

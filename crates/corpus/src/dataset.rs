@@ -107,6 +107,7 @@ impl GroundTruth {
     /// ten techniques (the paper transforms its 21,000 scripts 10 times
     /// and stores the variants separately).
     pub fn generate(n: usize, seed: u64) -> Self {
+        let _t = jsdetect_obs::span("corpus_generate");
         let regular_srcs = regular_corpus(n, seed);
         let mut pools: Vec<Vec<LabeledSample>> = vec![Vec::new(); Technique::ALL.len()];
         for (i, src) in regular_srcs.iter().enumerate() {

@@ -10,7 +10,13 @@
 //! Flags: `--smoke` (tiny scale, standalone output file for CI),
 //! `--out-file <path>` (default `BENCH_ml.json`), `--label <name>`
 //! (trajectory entry label; an existing entry with the same label is
-//! replaced).
+//! replaced), `--seed <u64>` (synthetic-data seed, default 42),
+//! `--scale <f64>` (multiplier on row/script counts, default 1.0).
+//!
+//! Each entry also records provenance (seed, scale, git SHA, feature-space
+//! version) and a per-stage telemetry breakdown of `analyze_many` captured
+//! through `jsdetect-obs`, so trajectory points are attributable and the
+//! analysis wall time can be decomposed without a profiler.
 
 use jsdetect::analyze_many;
 use jsdetect_ml::reference::RowMajorForest;
@@ -28,6 +34,30 @@ struct StageStat {
     repeats: usize,
 }
 
+/// One span path's share of the telemetry capture run.
+#[derive(Serialize, Deserialize, Clone)]
+struct TelemetryStage {
+    path: String,
+    count: u64,
+    total_ms: f64,
+}
+
+/// Per-stage decomposition of one instrumented `analyze_many` run. The
+/// child-span sum is expected to land within ~10% of the parent `analyze`
+/// total (the front-end stages cover nearly all of the per-script work).
+#[derive(Serialize, Deserialize, Clone)]
+struct TelemetryBreakdown {
+    stages: Vec<TelemetryStage>,
+    /// Total wall time inside `analyze` spans (all scripts, all threads).
+    analyze_total_ms: f64,
+    /// Sum over the direct `analyze/...` child spans.
+    stage_sum_ms: f64,
+    /// `stage_sum_ms / analyze_total_ms`.
+    stage_sum_ratio: f64,
+}
+
+// Provenance and telemetry fields are Options so entries written by older
+// versions of this tool still deserialize from the committed trajectory.
 #[derive(Serialize, Deserialize, Clone)]
 struct BenchEntry {
     label: String,
@@ -41,6 +71,11 @@ struct BenchEntry {
     /// forest_predict_serial / forest_predict_batch.
     predict_speedup: f64,
     peak_rss_kb: Option<u64>,
+    seed: Option<u64>,
+    scale: Option<f64>,
+    git_sha: Option<String>,
+    feature_space_version: Option<u32>,
+    telemetry: Option<TelemetryBreakdown>,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -104,6 +139,49 @@ fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
+/// Short git commit SHA of the working tree, if available.
+fn git_sha() -> Option<String> {
+    let out = std::process::Command::new("git").args(["rev-parse", "--short", "HEAD"]).output();
+    match out {
+        Ok(o) if o.status.success() => {
+            Some(String::from_utf8_lossy(&o.stdout).trim().to_string()).filter(|s| !s.is_empty())
+        }
+        _ => None,
+    }
+}
+
+/// Runs one instrumented `analyze_many` pass and decomposes the `analyze`
+/// span into its per-stage children.
+fn capture_telemetry(refs: &[&str]) -> TelemetryBreakdown {
+    jsdetect_obs::set_enabled(true);
+    jsdetect_obs::reset();
+    std::hint::black_box(analyze_many(refs));
+    let snap = jsdetect_obs::snapshot();
+    jsdetect_obs::set_enabled(false);
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut stages = Vec::new();
+    let mut analyze_total_ms = 0.0;
+    let mut stage_sum_ms = 0.0;
+    for s in &snap.spans {
+        if s.path == "analyze" {
+            analyze_total_ms = ms(s.total_ns);
+        }
+        if let Some(rest) = s.path.strip_prefix("analyze/") {
+            if !rest.contains('/') {
+                stage_sum_ms += ms(s.total_ns);
+            }
+        }
+        stages.push(TelemetryStage {
+            path: s.path.clone(),
+            count: s.count,
+            total_ms: ms(s.total_ns),
+        });
+    }
+    let ratio = if analyze_total_ms > 0.0 { stage_sum_ms / analyze_total_ms } else { 0.0 };
+    TelemetryBreakdown { stages, analyze_total_ms, stage_sum_ms, stage_sum_ratio: ratio }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
@@ -125,15 +203,21 @@ fn main() {
         }
     });
 
+    let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let scale: f64 = flag("--scale").and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    assert!(scale > 0.0, "--scale must be positive");
+
     // Default pipeline scale: level-2 training is ~1300 samples × ~317
     // features with 32-tree forests.
-    let (n, d, n_trees, fit_reps, pred_reps) =
+    let (base_n, d, n_trees, fit_reps, pred_reps) =
         if smoke { (160, 40, 8, 1, 2) } else { (1300, 317, 32, 3, 5) };
-    let (x, y) = synthetic(n, d, 42);
+    let n = ((base_n as f64 * scale) as usize).max(8);
+    let (x, y) = synthetic(n, d, seed);
     let data = Dataset::from_rows(&x).expect("synthetic matrix");
-    let params = ForestParams { n_trees, seed: 42, ..Default::default() };
+    let params = ForestParams { n_trees, seed, ..Default::default() };
 
     println!("bench_report: {} rows × {} features, {} trees ({})", n, d, n_trees, label);
+    println!("  seed {} scale {} sha {}", seed, scale, git_sha().as_deref().unwrap_or("unknown"));
     let mut stages = Vec::new();
 
     stages.push(stage("forest_fit_row_major", n, fit_reps, || {
@@ -155,7 +239,7 @@ fn main() {
     }));
 
     // Analysis throughput (work-stealing over uneven script sizes).
-    let n_scripts = if smoke { 24 } else { 150 };
+    let n_scripts = (((if smoke { 24 } else { 150 }) as f64 * scale) as usize).max(4);
     let scripts: Vec<String> = (0..n_scripts)
         .map(|i| {
             let stmts = 5 + (i * 37) % 120;
@@ -166,6 +250,10 @@ fn main() {
     stages.push(stage("analyze_many", n_scripts, fit_reps, || {
         std::hint::black_box(analyze_many(&refs));
     }));
+
+    // One extra instrumented pass decomposes the analysis wall time into
+    // per-stage spans (the timed stage above ran with telemetry off).
+    let telemetry = capture_telemetry(&refs);
 
     let ms_of = |name: &str| stages.iter().find(|s| s.name == name).map(|s| s.median_ms).unwrap();
     let entry = BenchEntry {
@@ -178,11 +266,30 @@ fn main() {
         predict_speedup: ms_of("forest_predict_serial") / ms_of("forest_predict_batch"),
         stages,
         peak_rss_kb: peak_rss_kb(),
+        seed: Some(seed),
+        scale: Some(scale),
+        git_sha: git_sha(),
+        feature_space_version: Some(jsdetect_features::FEATURE_SPACE_VERSION),
+        telemetry: Some(telemetry),
     };
     println!(
         "\n  fit speedup    {:.2}x (row-major → columnar)\n  predict speedup {:.2}x (serial → batch)",
         entry.fit_speedup, entry.predict_speedup
     );
+    if let Some(t) = &entry.telemetry {
+        println!("\n  analyze stage breakdown (one instrumented pass):");
+        for s in &t.stages {
+            if s.path.starts_with("analyze/") {
+                println!("    {:24} {:>9.2} ms  ({} spans)", s.path, s.total_ms, s.count);
+            }
+        }
+        println!(
+            "    stage sum {:.2} ms / analyze total {:.2} ms = {:.1}%",
+            t.stage_sum_ms,
+            t.analyze_total_ms,
+            t.stage_sum_ratio * 100.0
+        );
+    }
 
     // Append to (or start) the persisted trajectory; same-label entries
     // are replaced so re-runs stay idempotent. Smoke runs write a

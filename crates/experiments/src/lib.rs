@@ -126,8 +126,13 @@ pub fn train_cached(args: &Args) -> (jsdetect::TrainedDetectors, Pools) {
     let t0 = std::time::Instant::now();
     let out = train_pipeline(n, args.seed, &cfg);
     eprintln!("[experiments] trained in {:.1?}", t0.elapsed());
-    if let Err(e) = std::fs::write(&cache, out.detectors.to_json()) {
-        eprintln!("[experiments] could not cache model: {}", e);
+    match out.detectors.to_json() {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&cache, json) {
+                eprintln!("[experiments] could not cache model: {}", e);
+            }
+        }
+        Err(e) => eprintln!("[experiments] could not serialize model: {}", e),
     }
     let pools = Pools {
         test_regular: out.test_regular,

@@ -46,12 +46,40 @@ pub struct ScriptAnalysis {
 /// assert!(a.shape.node_count > 4);
 /// ```
 pub fn analyze_script(src: &str) -> Result<ScriptAnalysis, ParseError> {
-    let (program, comments) = parse_with_comments(src)?;
-    let tokens = jsdetect_lexer::tokenize(src).unwrap_or_default();
-    let graph = analyze_with(&program, &DataFlowOptions::default());
-    let shape = jsdetect_ast::metrics::tree_shape(&program);
-    let kinds = KindCounts::of(&program);
-    let (_, lint) = LintRunner::default().run_with_summary(src, &program, &graph);
+    let _t = jsdetect_obs::span("analyze");
+    jsdetect_obs::observe("script_bytes", src.len() as u64);
+    let (program, comments) = {
+        let _s = jsdetect_obs::span("parse");
+        parse_with_comments(src).inspect_err(|_| jsdetect_obs::counter_add("parse_failures", 1))?
+    };
+    let tokens = {
+        let _s = jsdetect_obs::span("lex");
+        jsdetect_lexer::tokenize(src).unwrap_or_else(|_| {
+            jsdetect_obs::counter_add("lexer_errors", 1);
+            Vec::new()
+        })
+    };
+    let graph = {
+        let _s = jsdetect_obs::span("flow");
+        analyze_with(&program, &DataFlowOptions::default())
+    };
+    if !graph.dataflow.complete {
+        jsdetect_obs::counter_add("flow_truncations", 1);
+        jsdetect_obs::counter_add(
+            "flow_truncated_bindings",
+            graph.dataflow.truncated_bindings.len() as u64,
+        );
+    }
+    let (shape, kinds) = {
+        let _s = jsdetect_obs::span("metrics");
+        (jsdetect_ast::metrics::tree_shape(&program), KindCounts::of(&program))
+    };
+    let lint = {
+        let _s = jsdetect_obs::span("lint");
+        let (diagnostics, lint) = LintRunner::default().run_with_summary(src, &program, &graph);
+        jsdetect_obs::counter_add("lint_fires", diagnostics.len() as u64);
+        lint
+    };
     Ok(ScriptAnalysis {
         src: src.to_string(),
         program,

@@ -48,6 +48,7 @@ impl VectorSpace {
     where
         I: IntoIterator<Item = &'a ScriptAnalysis>,
     {
+        let _t = jsdetect_obs::span("fit_space");
         let docs: Vec<_> = corpus.into_iter().map(|a| ngram_counts(&a.program)).collect();
         let vocab = NgramVocab::build(docs.iter(), max_ngrams);
         VectorSpace { version: FEATURE_SPACE_VERSION, config, vocab }
@@ -84,14 +85,17 @@ impl VectorSpace {
     /// vectorization can reuse one scratch row instead of allocating per
     /// script.
     pub fn vectorize_into(&self, a: &ScriptAnalysis, out: &mut Vec<f32>) {
+        let _t = jsdetect_obs::span("vectorize");
         out.clear();
         if self.config.handpicked {
+            let _s = jsdetect_obs::span("handpicked");
             out.extend(handpicked_features(a));
         }
         if self.config.lint {
             out.extend(a.lint.features());
         }
         if self.config.ngrams {
+            let _s = jsdetect_obs::span("ngrams");
             out.extend(self.vocab.vectorize(&ngram_counts(&a.program)));
         }
     }

@@ -313,9 +313,13 @@ impl DecisionTree {
             hist: vec![0; n_hist],
             pos_hist: vec![0; n_hist],
             rank_buf: if ranks.is_some() { Vec::with_capacity(n) } else { Vec::new() },
+            regime_cols: [0; 5],
         };
         let mut nodes = FlatNodes::new();
         grower.grow(&mut nodes, 0, n, 0);
+        for (name, &c) in REGIME_COUNTERS.iter().zip(&grower.regime_cols) {
+            jsdetect_obs::counter_add(name, c);
+        }
         DecisionTree { nodes }
     }
 
@@ -663,7 +667,22 @@ struct Grower<'a> {
     /// Reusable packed `(rank << 1) | label` sort buffer for
     /// high-cardinality columns when ranks are available.
     rank_buf: Vec<u32>,
+    /// Column-sweep counts per split regime, indexed like
+    /// [`REGIME_COUNTERS`]; accumulated locally (the hot loop never takes
+    /// the telemetry lock) and flushed once per tree.
+    regime_cols: [u64; 5],
 }
+
+/// Telemetry counter names for the five split regimes, index-aligned with
+/// `Grower::regime_cols`: presorted order arrays, counting-sort over value
+/// ranks, rank-u32 per-node sort, key-u64 per-node sort, histogram bins.
+const REGIME_COUNTERS: [&str; 5] = [
+    "split_presort_cols",
+    "split_counting_cols",
+    "split_ranked_cols",
+    "split_keyed_cols",
+    "split_hist_cols",
+];
 
 impl Grower<'_> {
     /// Grows the subtree over `idx[lo..hi]`; returns the node id.
@@ -732,6 +751,7 @@ impl Grower<'_> {
         let mut best: Option<(u16, f32, f64)> = None;
         for &f in &feat_buf {
             if self.use_presort {
+                self.regime_cols[0] += 1;
                 let col = self.data.column(f as usize);
                 let seg = &self.order[f as usize * n_total + lo..f as usize * n_total + hi];
                 sweep_sorted(col, self.y, seg, f, n, total_pos, &mut best);
@@ -747,6 +767,7 @@ impl Grower<'_> {
                 (vals.len() <= 2 * n_node).then_some((vals, rks))
             });
             if let Some((vals, rks)) = counting {
+                self.regime_cols[1] += 1;
                 let vc = vals.len();
                 self.hist[..vc].fill(0);
                 self.pos_hist[..vc].fill(0);
@@ -769,6 +790,7 @@ impl Grower<'_> {
                 // High-cardinality column: sort packed `(rank << 1) | label`
                 // u32s — half the bandwidth of value/row keys, and the
                 // sweep compares integer ranks instead of floats.
+                self.regime_cols[2] += 1;
                 let (vals, rks) = vr.column(f as usize, n_rows);
                 self.rank_buf.clear();
                 self.rank_buf.extend(
@@ -779,6 +801,7 @@ impl Grower<'_> {
                 self.rank_buf.sort_unstable();
                 sweep_ranked(&self.rank_buf, vals, f, n, total_pos, &mut best);
             } else {
+                self.regime_cols[3] += 1;
                 let col = self.data.column(f as usize);
                 self.keyed.clear();
                 self.keyed.extend(
@@ -811,6 +834,7 @@ impl Grower<'_> {
         bins: usize,
     ) -> Option<(u16, f32)> {
         self.sample_features();
+        self.regime_cols[4] += self.feat_buf.len() as u64;
         let n = (hi - lo) as f64;
         let mut bin_n = vec![0u32; bins];
         let mut bin_pos = vec![0u32; bins];

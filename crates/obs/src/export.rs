@@ -1,0 +1,208 @@
+//! Telemetry exporters: a human summary table and a JSONL event stream.
+//!
+//! The JSONL schema is a **contract**: line order, record types, and field
+//! names are stable within a `SCHEMA_VERSION` and pinned by a golden-file
+//! test. Consumers parse one JSON object per line and dispatch on `type`:
+//!
+//! - `meta` — first line: `schema`, `span_paths`, `events`,
+//!   `dropped_events`.
+//! - `span_stat` — one per span path (sorted): `path`, `count`,
+//!   `total_ns`, `min_ns`, `max_ns`, `p50_ns`, `p99_ns`.
+//! - `span` — one per raw occurrence (flush order): `path`, `thread`,
+//!   `start_ns`, `dur_ns`.
+//! - `counter` — `name`, `value`.
+//! - `gauge` — `name`, `value`.
+//! - `hist` — `name`, `count`, `sum`, `min`, `max`, and `buckets` as
+//!   `[lo, hi, count]` triples for non-empty buckets.
+
+use crate::registry::Snapshot;
+use std::fmt::Write;
+
+/// Version of the JSONL schema emitted by [`to_jsonl`].
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// JSON string escaping (control characters, quotes, backslashes).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON number for a gauge: finite floats print naturally; non-finite
+/// values (not representable in JSON) become null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{}", v)
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the snapshot as a JSONL event stream (one JSON object per
+/// line). Deterministic given deterministic recorded data.
+pub fn to_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"schema\":{},\"span_paths\":{},\"events\":{},\"dropped_events\":{}}}",
+        SCHEMA_VERSION,
+        snap.spans.len(),
+        snap.events.len(),
+        snap.dropped_events
+    );
+    for s in &snap.spans {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span_stat\",\"path\":\"{}\",\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+            esc(&s.path),
+            s.count,
+            s.total_ns,
+            s.min_ns,
+            s.max_ns,
+            s.latency.quantile(0.5),
+            s.latency.quantile(0.99),
+        );
+    }
+    for ev in &snap.events {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"path\":\"{}\",\"thread\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+            esc(&ev.path),
+            ev.thread,
+            ev.start_ns,
+            ev.dur_ns
+        );
+    }
+    for (name, v) in &snap.counters {
+        let _ =
+            writeln!(out, "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}", esc(name), v);
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            esc(name),
+            json_f64(*v)
+        );
+    }
+    for (name, h) in &snap.hists {
+        let buckets: Vec<String> = h
+            .nonempty_buckets()
+            .into_iter()
+            .map(|(lo, hi, c)| format!("[{},{},{}]", lo, hi, c))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+            esc(name),
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            buckets.join(",")
+        );
+    }
+    out
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders the snapshot as a human-readable summary table.
+pub fn render_summary(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== telemetry summary (schema v{}) ==", SCHEMA_VERSION);
+    if !snap.spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<40} {:>8} {:>12} {:>10} {:>10} {:>10}",
+            "span", "count", "total ms", "mean ms", "p50 ms", "max ms"
+        );
+        for s in &snap.spans {
+            let _ = writeln!(
+                out,
+                "{:<40} {:>8} {:>12.2} {:>10.3} {:>10.3} {:>10.3}",
+                s.path,
+                s.count,
+                ms(s.total_ns),
+                ms(s.total_ns) / s.count.max(1) as f64,
+                ms(s.latency.quantile(0.5)),
+                ms(s.max_ns),
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "counters");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {:<38} {:>10}", name, v);
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {:<38} {:>10}", name, v);
+        }
+    }
+    if !snap.hists.is_empty() {
+        let _ = writeln!(out, "histograms");
+        for (name, h) in &snap.hists {
+            let _ = writeln!(
+                out,
+                "  {:<24} count={} sum={} min={} max={} p50<={} p99<={}",
+                name,
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "span events retained: {} (dropped {})",
+        snap.events.len(),
+        snap.dropped_events
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn gauge_numbers_are_json_safe() {
+        assert_eq!(json_f64(4.0), "4");
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = Snapshot::default();
+        assert!(to_jsonl(&snap).starts_with("{\"type\":\"meta\""));
+        assert!(render_summary(&snap).contains("telemetry summary"));
+    }
+}

@@ -1,0 +1,273 @@
+//! The global telemetry registry and its per-thread buffers.
+//!
+//! Recording always goes through a thread-local buffer: spans, counter
+//! deltas, and histogram deltas accumulate lock-free on the recording
+//! thread and are merged into the global registry under one short-lived
+//! mutex hold — when the buffer fills, when the thread exits (thread-local
+//! destructor), or on an explicit [`flush`]. Readers call [`snapshot`],
+//! which flushes the calling thread first.
+//!
+//! Worker threads inside `std::thread::scope` (and the crossbeam shim over
+//! it) MUST call [`flush`] at the end of their closure: the scope signals
+//! completion when the closure returns, *before* TLS destructors run, so
+//! a destructor-only flush races with — and routinely loses to — the
+//! coordinator's snapshot. The destructor flush remains as a safety net
+//! for plain `spawn`/`join` threads, where join does wait for TLS
+//! destructors.
+
+use crate::histogram::Histogram;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{LazyLock, Mutex, MutexGuard};
+
+/// Flush the thread buffer to the global registry every this many span
+/// events.
+const FLUSH_EVERY: usize = 256;
+
+/// Cap on retained raw span events (aggregated stats are unaffected;
+/// events beyond the cap are counted in `dropped_events`).
+const EVENT_CAP: usize = 262_144;
+
+/// One completed span occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Slash-joined nesting path, e.g. `analyze/parse`.
+    pub path: String,
+    /// Start offset from the process telemetry epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Telemetry-assigned recording-thread id (dense, starts at 0).
+    pub thread: u64,
+}
+
+/// Aggregate statistics for one span path.
+#[derive(Debug, Clone)]
+pub struct SpanStat {
+    /// Slash-joined nesting path.
+    pub path: String,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total duration in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest occurrence in nanoseconds.
+    pub min_ns: u64,
+    /// Longest occurrence in nanoseconds.
+    pub max_ns: u64,
+    /// Log-scaled latency distribution (nanoseconds).
+    pub latency: Histogram,
+}
+
+/// A point-in-time copy of everything the registry has collected.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Per-path span aggregates, sorted by path.
+    pub spans: Vec<SpanStat>,
+    /// Raw span events in flush order (capped; see `dropped_events`).
+    pub events: Vec<SpanEvent>,
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges (last write wins), sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Value histograms, sorted by name.
+    pub hists: Vec<(String, Histogram)>,
+    /// Raw span events dropped after the retention cap was hit.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// The aggregate for one span path, if recorded.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// A counter's value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// A value histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+#[derive(Default)]
+struct Global {
+    spans: BTreeMap<String, SpanAgg>,
+    events: Vec<SpanEvent>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+    dropped_events: u64,
+}
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    latency: Histogram,
+}
+
+impl SpanAgg {
+    fn record(&mut self, dur_ns: u64) {
+        if self.count == 0 {
+            self.min_ns = dur_ns;
+        } else {
+            self.min_ns = self.min_ns.min(dur_ns);
+        }
+        self.max_ns = self.max_ns.max(dur_ns);
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(dur_ns);
+        self.latency.record(dur_ns);
+    }
+}
+
+static GLOBAL: LazyLock<Mutex<Global>> = LazyLock::new(|| Mutex::new(Global::default()));
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+/// Poison-tolerant lock: a panic on another recording thread must not take
+/// telemetry down with it.
+fn global() -> MutexGuard<'static, Global> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Global {
+    fn record_event(&mut self, ev: SpanEvent) {
+        self.spans.entry(ev.path.clone()).or_default().record(ev.dur_ns);
+        if self.events.len() < EVENT_CAP {
+            self.events.push(ev);
+        } else {
+            self.dropped_events += 1;
+        }
+    }
+}
+
+pub(crate) struct ThreadState {
+    pub(crate) thread: u64,
+    /// Names of the currently open spans, innermost last.
+    pub(crate) stack: Vec<&'static str>,
+    events: Vec<SpanEvent>,
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState {
+            thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+            stack: Vec::new(),
+            events: Vec::new(),
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn push_event(&mut self, ev: SpanEvent) {
+        self.events.push(ev);
+        if self.events.len() >= FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    pub(crate) fn add_counter(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    pub(crate) fn observe(&mut self, name: &'static str, v: u64) {
+        self.hists.entry(name).or_default().record(v);
+    }
+
+    fn flush(&mut self) {
+        if self.events.is_empty() && self.counters.is_empty() && self.hists.is_empty() {
+            return;
+        }
+        let mut g = global();
+        for ev in self.events.drain(..) {
+            g.record_event(ev);
+        }
+        for (name, n) in std::mem::take(&mut self.counters) {
+            *g.counters.entry(name.to_string()).or_insert(0) += n;
+        }
+        for (name, h) in std::mem::take(&mut self.hists) {
+            g.hists.entry(name.to_string()).or_default().merge(&h);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.events.clear();
+        self.counters.clear();
+        self.hists.clear();
+    }
+}
+
+impl Drop for ThreadState {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static STATE: RefCell<ThreadState> = RefCell::new(ThreadState::new());
+}
+
+/// Runs `f` with the calling thread's buffer. Returns `None` if the
+/// thread-local has already been torn down (thread exit).
+pub(crate) fn with_state<R>(f: impl FnOnce(&mut ThreadState) -> R) -> Option<R> {
+    STATE.try_with(|s| f(&mut s.borrow_mut())).ok()
+}
+
+/// Sets a gauge (last write wins). Gauges are rare, so they go straight to
+/// the global registry instead of the per-thread buffer.
+pub(crate) fn gauge_store(name: &'static str, v: f64) {
+    global().gauges.insert(name.to_string(), v);
+}
+
+/// Records one span occurrence directly into the global registry,
+/// bypassing the calling thread's clock and span stack. This is the
+/// deterministic back door for exporter tests and for external tools that
+/// import timings measured elsewhere.
+pub fn record_span_ns(path: &str, start_ns: u64, dur_ns: u64, thread: u64) {
+    global().record_event(SpanEvent { path: path.to_string(), start_ns, dur_ns, thread });
+}
+
+/// Flushes the calling thread's buffer into the global registry.
+pub fn flush() {
+    with_state(|s| s.flush());
+}
+
+/// Clears all collected telemetry (global registry and the calling
+/// thread's buffer). The enabled flag is untouched.
+pub fn reset() {
+    with_state(|s| s.clear());
+    let mut g = global();
+    *g = Global::default();
+}
+
+/// Flushes the calling thread and copies out everything collected so far.
+pub fn snapshot() -> Snapshot {
+    flush();
+    let g = global();
+    Snapshot {
+        spans: g
+            .spans
+            .iter()
+            .map(|(path, a)| SpanStat {
+                path: path.clone(),
+                count: a.count,
+                total_ns: a.total_ns,
+                min_ns: a.min_ns,
+                max_ns: a.max_ns,
+                latency: a.latency.clone(),
+            })
+            .collect(),
+        events: g.events.clone(),
+        counters: g.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        gauges: g.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        hists: g.hists.iter().map(|(k, h)| (k.clone(), h.clone())).collect(),
+        dropped_events: g.dropped_events,
+    }
+}

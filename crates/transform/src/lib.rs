@@ -152,6 +152,12 @@ impl From<jsfuck::JsfuckError> for TransformError {
 /// any combination composes sensibly; the order matches how the paper's
 /// tools chain their own internal passes.
 pub fn apply(src: &str, techniques: &[Technique], seed: u64) -> Result<String, TransformError> {
+    let _t = jsdetect_obs::span("transform_apply");
+    apply_passes(src, techniques, seed)
+        .inspect_err(|_| jsdetect_obs::counter_add("transform_failures", 1))
+}
+
+fn apply_passes(src: &str, techniques: &[Technique], seed: u64) -> Result<String, TransformError> {
     use Technique::*;
     let has = |t: Technique| techniques.contains(&t);
     let mut rng = StdRng::seed_from_u64(seed);

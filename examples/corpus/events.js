@@ -1,0 +1,27 @@
+// A tiny event-emitter, written in plain ES5 style.
+function EventEmitter() {
+    this.listeners = {};
+}
+
+EventEmitter.prototype.on = function (name, handler) {
+    if (!this.listeners[name]) {
+        this.listeners[name] = [];
+    }
+    this.listeners[name].push(handler);
+    return this;
+};
+
+EventEmitter.prototype.emit = function (name, payload) {
+    var handlers = this.listeners[name] || [];
+    for (var i = 0; i < handlers.length; i++) {
+        handlers[i](payload);
+    }
+    return handlers.length;
+};
+
+var bus = new EventEmitter();
+bus.on("tick", function (n) {
+    console.log("tick " + n);
+});
+bus.emit("tick", 1);
+bus.emit("tick", 2);

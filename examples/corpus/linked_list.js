@@ -1,0 +1,53 @@
+// Singly linked list with a reversal pass.
+function Node(value) {
+    this.value = value;
+    this.next = null;
+}
+
+function List() {
+    this.head = null;
+    this.size = 0;
+}
+
+List.prototype.push = function (value) {
+    var node = new Node(value);
+    if (!this.head) {
+        this.head = node;
+    } else {
+        var cur = this.head;
+        while (cur.next) {
+            cur = cur.next;
+        }
+        cur.next = node;
+    }
+    this.size = this.size + 1;
+    return this;
+};
+
+List.prototype.reverse = function () {
+    var prev = null;
+    var cur = this.head;
+    while (cur) {
+        var next = cur.next;
+        cur.next = prev;
+        prev = cur;
+        cur = next;
+    }
+    this.head = prev;
+    return this;
+};
+
+List.prototype.toArray = function () {
+    var out = [];
+    var cur = this.head;
+    while (cur) {
+        out.push(cur.value);
+        cur = cur.next;
+    }
+    return out;
+};
+
+var list = new List();
+list.push(1).push(2).push(3).push(4);
+list.reverse();
+console.log(list.toArray().join(","));

@@ -1,0 +1,49 @@
+// Summary statistics over a numeric array.
+function mean(values) {
+    var sum = 0;
+    for (var i = 0; i < values.length; i++) {
+        sum = sum + values[i];
+    }
+    return values.length ? sum / values.length : 0;
+}
+
+function variance(values) {
+    var m = mean(values);
+    var acc = 0;
+    for (var i = 0; i < values.length; i++) {
+        var d = values[i] - m;
+        acc = acc + d * d;
+    }
+    return values.length ? acc / values.length : 0;
+}
+
+function histogram(values, buckets) {
+    var counts = [];
+    for (var b = 0; b < buckets; b++) {
+        counts.push(0);
+    }
+    var lo = values[0];
+    var hi = values[0];
+    for (var i = 1; i < values.length; i++) {
+        if (values[i] < lo) {
+            lo = values[i];
+        }
+        if (values[i] > hi) {
+            hi = values[i];
+        }
+    }
+    var width = (hi - lo) / buckets || 1;
+    for (var j = 0; j < values.length; j++) {
+        var slot = Math.floor((values[j] - lo) / width);
+        if (slot >= buckets) {
+            slot = buckets - 1;
+        }
+        counts[slot] = counts[slot] + 1;
+    }
+    return counts;
+}
+
+var samples = [4, 8, 15, 16, 23, 42, 8, 4, 15, 16];
+console.log("mean", mean(samples));
+console.log("variance", variance(samples));
+console.log("histogram", histogram(samples, 4));

@@ -14,6 +14,10 @@
 //! # Explain which obfuscation signatures a file exhibits:
 //! jsdetect-cli lint a.js
 //! jsdetect-cli lint --emit-diagnostics json a.js
+//!
+//! # Run the analysis front-end with telemetry (spans, counters, histograms):
+//! jsdetect-cli analyze --telemetry summary examples/
+//! jsdetect-cli analyze --telemetry jsonl --telemetry-out trace.jsonl a.js
 //! ```
 
 use jsdetect_suite::detector::{
@@ -26,7 +30,9 @@ fn usage() -> ! {
         "usage:\n  jsdetect-cli train --model <out.json> [--n 240] [--seed 42]\n  \
          jsdetect-cli classify --model <model.json> <file.js>...\n  \
          jsdetect-cli transform --technique <name> [--seed 42] <file.js>\n  \
-         jsdetect-cli lint [--emit-diagnostics json] <file.js>...\n\n\
+         jsdetect-cli lint [--emit-diagnostics json] <file.js>...\n  \
+         jsdetect-cli analyze [--telemetry summary|jsonl] [--telemetry-out <file>] \
+         [--strict] <file.js|dir>...\n\n\
          techniques: {}",
         Technique::ALL.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(", ")
     );
@@ -44,6 +50,7 @@ fn main() {
         Some("classify") => cmd_classify(&argv),
         Some("transform") => cmd_transform(&argv),
         Some("lint") => cmd_lint(&argv),
+        Some("analyze") => cmd_analyze(&argv),
         _ => usage(),
     }
 }
@@ -56,7 +63,14 @@ fn cmd_train(argv: &[String]) {
     let t0 = std::time::Instant::now();
     let out = train_pipeline(n, seed, &DetectorConfig::default().with_seed(seed));
     eprintln!("trained in {:.1?}", t0.elapsed());
-    if let Err(e) = std::fs::write(&model_path, out.detectors.to_json()) {
+    let json = match out.detectors.to_json() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot serialize model: {}", e);
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&model_path, json) {
         eprintln!("cannot write {}: {}", model_path, e);
         std::process::exit(1);
     }
@@ -229,6 +243,114 @@ fn cmd_lint(argv: &[String]) {
         }
     }
     if had_error {
+        std::process::exit(1);
+    }
+}
+
+/// Collects `.js` files from file and directory arguments (directories are
+/// walked recursively, entries visited in sorted order for determinism).
+fn collect_js_files(paths: &[&String]) -> Vec<std::path::PathBuf> {
+    fn walk(path: &std::path::Path, out: &mut Vec<std::path::PathBuf>) {
+        if path.is_dir() {
+            let mut entries: Vec<_> = match std::fs::read_dir(path) {
+                Ok(rd) => rd.filter_map(Result::ok).map(|e| e.path()).collect(),
+                Err(e) => {
+                    eprintln!("cannot read directory {}: {}", path.display(), e);
+                    return;
+                }
+            };
+            entries.sort();
+            for entry in entries {
+                walk(&entry, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "js") {
+            out.push(path.to_path_buf());
+        }
+    }
+    let mut out = Vec::new();
+    for p in paths {
+        let path = std::path::Path::new(p.as_str());
+        if !path.exists() {
+            eprintln!("no such file or directory: {}", p);
+            std::process::exit(2);
+        }
+        if path.is_file() {
+            // Explicitly named files are analyzed regardless of extension.
+            out.push(path.to_path_buf());
+        } else {
+            walk(path, &mut out);
+        }
+    }
+    out
+}
+
+/// Runs the full per-script analysis front-end over the given files and
+/// reports the collected telemetry. `--strict` exits non-zero when any
+/// script fails to parse (used by CI to keep the example corpus green).
+fn cmd_analyze(argv: &[String]) {
+    let format = arg_value(argv, "--telemetry").unwrap_or_else(|| "summary".to_string());
+    if format != "summary" && format != "jsonl" {
+        eprintln!("unsupported --telemetry format: {} (expected summary or jsonl)", format);
+        usage();
+    }
+    let out_path = arg_value(argv, "--telemetry-out");
+    let strict = argv.iter().any(|a| a == "--strict");
+    let flag_values = [arg_value(argv, "--telemetry"), out_path.clone()];
+    let inputs: Vec<&String> = argv
+        .iter()
+        .skip(2)
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| !flag_values.iter().any(|v| v.as_deref() == Some(a.as_str())))
+        .collect();
+    if inputs.is_empty() {
+        usage();
+    }
+    let files = collect_js_files(&inputs);
+    if files.is_empty() {
+        eprintln!("no .js files found under the given paths");
+        std::process::exit(2);
+    }
+
+    let mut srcs = Vec::with_capacity(files.len());
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(s) => srcs.push(s),
+            Err(e) => {
+                eprintln!("cannot read {}: {}", f.display(), e);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    jsdetect_suite::obs::set_enabled(true);
+    let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+    let analyses = jsdetect_suite::detector::analyze_many(&refs);
+    for (f, a) in files.iter().zip(&analyses) {
+        if a.is_none() {
+            eprintln!("{}: failed to parse", f.display());
+        }
+    }
+    let n_ok = analyses.iter().filter(|a| a.is_some()).count();
+    eprintln!("analyzed {}/{} scripts", n_ok, files.len());
+
+    let snap = jsdetect_suite::obs::snapshot();
+    let report = match format.as_str() {
+        "jsonl" => jsdetect_suite::obs::to_jsonl(&snap),
+        _ => jsdetect_suite::obs::render_summary(&snap),
+    };
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, report) {
+                eprintln!("cannot write {}: {}", p, e);
+                std::process::exit(1);
+            }
+            eprintln!("telemetry written to {}", p);
+        }
+        None => print!("{}", report),
+    }
+
+    if strict && snap.counter("parse_failures") > 0 {
+        eprintln!("--strict: {} parse failure(s)", snap.counter("parse_failures"));
         std::process::exit(1);
     }
 }

@@ -85,7 +85,7 @@ fn level2_top1_identifies_techniques() {
 #[test]
 fn detectors_roundtrip_through_json() {
     let (detectors, pools) = trained();
-    let json = detectors.to_json();
+    let json = detectors.to_json().expect("serialization");
     let restored = TrainedDetectors::from_json(&json).expect("deserialization");
     let sample = &pools.level2[0].src;
     assert_eq!(

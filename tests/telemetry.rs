@@ -1,0 +1,163 @@
+//! Integration tests for the telemetry layer as wired through the real
+//! pipeline: expected span coverage, failure counters, stage-sum
+//! accounting, and the disabled-path overhead bound.
+
+use jsdetect_suite::detector::analyze_many;
+use jsdetect_suite::obs;
+use std::sync::Mutex;
+
+/// The telemetry registry is process-global; tests that enable/reset it
+/// must not interleave.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const FIXTURE: &str = "function add(a, b) { return a + b; }\n\
+    var total = 0;\n\
+    for (var i = 0; i < 10; i++) { total = add(total, i); }\n\
+    console.log(total);\n";
+
+#[test]
+fn analyze_emits_expected_span_set() {
+    let _g = locked();
+    obs::set_enabled(true);
+    obs::reset();
+    let out = analyze_many(&[FIXTURE, FIXTURE]);
+    assert!(out.iter().all(Option::is_some));
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+
+    for path in [
+        "analyze",
+        "analyze/parse",
+        "analyze/lex",
+        "analyze/flow",
+        "analyze/metrics",
+        "analyze/lint",
+        "analyze_many",
+    ] {
+        let stat = snap.span(path).unwrap_or_else(|| panic!("missing span {}", path));
+        assert!(stat.count >= 1, "span {} has zero count", path);
+    }
+    assert_eq!(snap.span("analyze").unwrap().count, 2);
+    assert_eq!(snap.counter("scripts_analyzed"), 2);
+    assert_eq!(snap.counter("parse_failures"), 0);
+    assert_eq!(snap.hist("script_bytes").unwrap().count(), 2);
+}
+
+#[test]
+fn parse_failure_counter_increments_on_malformed_script() {
+    let _g = locked();
+    obs::set_enabled(true);
+    obs::reset();
+    let out = analyze_many(&[FIXTURE, "var ;;; broken ((", FIXTURE]);
+    assert_eq!(out.iter().filter(|a| a.is_some()).count(), 2);
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+    assert_eq!(snap.counter("parse_failures"), 1);
+    assert_eq!(snap.counter("scripts_analyzed"), 3);
+}
+
+#[test]
+fn stage_spans_sum_close_to_analyze_total() {
+    let _g = locked();
+    // Large enough scripts that the front-end stages dominate the
+    // analyze wall time (struct assembly outside any child span is
+    // negligible at this size).
+    let srcs: Vec<String> = (0..8)
+        .map(|i| {
+            (0..200).map(|s| format!("var v{}_{} = {} + f({});", i, s, s, s)).collect::<String>()
+        })
+        .collect();
+    let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+    obs::set_enabled(true);
+    obs::reset();
+    let out = analyze_many(&refs);
+    assert!(out.iter().all(Option::is_some));
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+
+    let total = snap.span("analyze").expect("analyze span").total_ns as f64;
+    let stage_sum: u64 = snap
+        .spans
+        .iter()
+        .filter(|s| s.path.strip_prefix("analyze/").is_some_and(|rest| !rest.contains('/')))
+        .map(|s| s.total_ns)
+        .sum();
+    let ratio = stage_sum as f64 / total;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "stage sum {}ns vs analyze total {}ns (ratio {:.3})",
+        stage_sum,
+        total,
+        ratio
+    );
+}
+
+#[test]
+fn disabled_telemetry_overhead_is_negligible() {
+    let _g = locked();
+    obs::set_enabled(false);
+
+    // Per-call cost of the disabled path, amortized over many calls.
+    let calls = 1_000_000u32;
+    let t0 = std::time::Instant::now();
+    for _ in 0..calls {
+        let _s = obs::span("bench");
+        obs::counter_add("bench", 1);
+    }
+    let per_call_ns = t0.elapsed().as_nanos() as f64 / calls as f64;
+
+    // The analyze front-end passes ~25 instrumentation points per script.
+    let srcs: Vec<String> = (0..16)
+        .map(|i| (0..60).map(|s| format!("var q{}_{} = {};", i, s, s)).collect::<String>())
+        .collect();
+    let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+    let mut medians: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(analyze_many(&refs));
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    medians.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let workload_ns = medians[medians.len() / 2];
+
+    let overhead_ns = per_call_ns * 25.0 * refs.len() as f64;
+    let overhead = overhead_ns / workload_ns;
+    assert!(
+        overhead <= 0.02,
+        "disabled telemetry overhead {:.4}% exceeds 2% ({}ns per call, workload {}ns)",
+        overhead * 100.0,
+        per_call_ns,
+        workload_ns
+    );
+}
+
+#[test]
+fn worker_telemetry_lands_before_snapshot_and_reset_isolates_runs() {
+    // Regression: scoped worker threads signal completion before their
+    // TLS destructors run, so a destructor-only flush raced with the
+    // coordinator's snapshot — events either went missing or leaked into
+    // the *next* run's (post-reset) snapshot. Workers now flush
+    // explicitly; two back-to-back runs must each see exactly their own
+    // scripts.
+    let _g = locked();
+    for n_scripts in [2usize, 8, 3] {
+        let srcs: Vec<String> = (0..n_scripts)
+            .map(|i| (0..50).map(|s| format!("var w{}_{} = {};", i, s, s)).collect::<String>())
+            .collect();
+        let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+        obs::set_enabled(true);
+        obs::reset();
+        let out = analyze_many(&refs);
+        assert!(out.iter().all(Option::is_some));
+        let snap = obs::snapshot();
+        obs::set_enabled(false);
+        let analyze = snap.span("analyze").expect("analyze span recorded");
+        assert_eq!(analyze.count, n_scripts as u64, "run with {} scripts", n_scripts);
+        assert_eq!(snap.counter("scripts_analyzed"), n_scripts as u64);
+    }
+}

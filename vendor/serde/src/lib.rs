@@ -56,9 +56,7 @@ impl Value {
 
     /// Looks up a key in an object value.
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.as_obj().and_then(|entries| {
-            entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-        })
+        self.as_obj().and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
     }
 
     /// One-word description of the value's shape, for error messages.
@@ -115,15 +113,25 @@ pub trait Deserialize: Sized {
 /// Looks up a struct field by name; missing fields deserialize from `Null`
 /// (so `Option<T>` fields default to `None` and required fields report a
 /// useful error). Used by the derive macro.
-pub fn from_field<T: Deserialize>(
-    entries: &[(String, Value)],
-    name: &str,
-) -> Result<T, DeError> {
+pub fn from_field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, DeError> {
     match entries.iter().find(|(k, _)| k == name) {
-        Some((_, v)) => T::from_value(v)
-            .map_err(|e| DeError::new(format!("field `{}`: {}", name, e))),
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::new(format!("field `{}`: {}", name, e)))
+        }
         None => T::from_value(&Value::Null)
             .map_err(|_| DeError::new(format!("missing field `{}`", name))),
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
     }
 }
 
@@ -404,10 +412,7 @@ where
 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let entries = v.as_obj().ok_or_else(|| DeError::expected("object", v))?;
-        entries
-            .iter()
-            .map(|(k, val)| Ok((K::de_key(k)?, V::from_value(val)?)))
-            .collect()
+        entries.iter().map(|(k, val)| Ok((K::de_key(k)?, V::from_value(val)?))).collect()
     }
 }
 
@@ -420,9 +425,6 @@ impl<K: SerKey, V: Serialize> Serialize for BTreeMap<K, V> {
 impl<K: DeKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let entries = v.as_obj().ok_or_else(|| DeError::expected("object", v))?;
-        entries
-            .iter()
-            .map(|(k, val)| Ok((K::de_key(k)?, V::from_value(val)?)))
-            .collect()
+        entries.iter().map(|(k, val)| Ok((K::de_key(k)?, V::from_value(val)?))).collect()
     }
 }

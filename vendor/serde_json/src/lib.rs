@@ -9,6 +9,8 @@
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
+pub use serde::Value as JsonValue;
+
 /// Error produced by JSON parsing or value decoding.
 #[derive(Debug, Clone)]
 pub struct Error {
@@ -72,17 +74,35 @@ fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize)
         }
         Value::Float(f) => write_float(*f, out),
         Value::Str(s) => write_escaped(s, out),
-        Value::Arr(items) => write_seq(items.iter(), items.len(), out, indent, depth, '[', ']', |item, out, indent, depth| {
-            write_value(item, out, indent, depth);
-        }),
-        Value::Obj(entries) => write_seq(entries.iter(), entries.len(), out, indent, depth, '{', '}', |(k, val), out, indent, depth| {
-            write_escaped(k, out);
-            out.push(':');
-            if indent.is_some() {
-                out.push(' ');
-            }
-            write_value(val, out, indent, depth);
-        }),
+        Value::Arr(items) => write_seq(
+            items.iter(),
+            items.len(),
+            out,
+            indent,
+            depth,
+            '[',
+            ']',
+            |item, out, indent, depth| {
+                write_value(item, out, indent, depth);
+            },
+        ),
+        Value::Obj(entries) => write_seq(
+            entries.iter(),
+            entries.len(),
+            out,
+            indent,
+            depth,
+            '{',
+            '}',
+            |(k, val), out, indent, depth| {
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth);
+            },
+        ),
     }
 }
 
@@ -181,10 +201,7 @@ impl<'a> Parser<'a> {
 
     fn peek(&mut self) -> Result<u8, Error> {
         self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| Error::new("unexpected end of JSON input"))
+        self.bytes.get(self.pos).copied().ok_or_else(|| Error::new("unexpected end of JSON input"))
     }
 
     fn expect(&mut self, b: u8) -> Result<(), Error> {
@@ -192,10 +209,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::new(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error::new(format!("expected `{}` at byte {}", b as char, self.pos)))
         }
     }
 
@@ -276,10 +290,7 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
-            let b = *self
-                .bytes
-                .get(self.pos)
-                .ok_or_else(|| Error::new("unterminated string"))?;
+            let b = *self.bytes.get(self.pos).ok_or_else(|| Error::new("unterminated string"))?;
             match b {
                 b'"' => {
                     self.pos += 1;
