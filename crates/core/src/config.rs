@@ -1,6 +1,7 @@
 //! Detector configuration.
 
 use jsdetect_features::FeatureConfig;
+use jsdetect_guard::Limits;
 use jsdetect_ml::{BaseParams, ForestParams, Strategy};
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +30,42 @@ impl Default for DetectorConfig {
             features: FeatureConfig::default(),
             seed: 0,
         }
+    }
+}
+
+/// Configuration for hardened batch analysis
+/// ([`crate::analyze_many_guarded`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Per-script resource budgets.
+    pub limits: Limits,
+    /// Stop reporting after the first rejected script instead of
+    /// quarantining it and continuing (the CLI's `--fail-fast`).
+    pub fail_fast: bool,
+}
+
+impl Default for AnalysisConfig {
+    /// Defaults to keep-going scanning under [`Limits::wild`].
+    fn default() -> Self {
+        AnalysisConfig { limits: Limits::wild(), fail_fast: false }
+    }
+}
+
+impl AnalysisConfig {
+    /// Preset for wild-corpus scanning (the default).
+    pub fn wild() -> Self {
+        AnalysisConfig::default()
+    }
+
+    /// Preset for trusted inputs: only the stack-overflow depth guard,
+    /// results identical to the pre-sandbox pipeline.
+    pub fn trusted() -> Self {
+        AnalysisConfig { limits: Limits::trusted(), fail_fast: false }
+    }
+
+    /// Preset for interactive / latency-sensitive use.
+    pub fn interactive() -> Self {
+        AnalysisConfig { limits: Limits::interactive(), fail_fast: false }
     }
 }
 

@@ -31,13 +31,15 @@ mod level2;
 mod pipeline;
 mod vectorize;
 
-pub use config::DetectorConfig;
+pub use config::{AnalysisConfig, DetectorConfig};
 pub use level1::{Level1Detector, Level1Prediction, Level1Truth};
 pub use level2::{Level2Detector, DEFAULT_THRESHOLD};
 pub use pipeline::{train_pipeline, PipelineOutput, TrainedDetectors};
-pub use vectorize::{analyze_many, vectorize_dataset, vectorize_many};
+pub use vectorize::{analyze_many, analyze_many_guarded, vectorize_dataset, vectorize_many};
 
 // Re-export the vocabulary types users need alongside the detectors.
+pub use jsdetect_features::GuardedScript;
+pub use jsdetect_guard::{AnalysisError, Limits, OutcomeKind, QuarantineReport};
 pub use jsdetect_ml::metrics;
 pub use jsdetect_ml::Strategy;
 pub use jsdetect_transform::Technique;

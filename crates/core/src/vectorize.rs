@@ -8,10 +8,28 @@
 //! calling thread scatters them into the output (or straight into a
 //! columnar [`Dataset`]).
 
-use jsdetect_features::{analyze_script, ScriptAnalysis, VectorSpace};
+use crate::config::AnalysisConfig;
+use jsdetect_features::{
+    analyze_script, analyze_script_guarded, GuardedScript, ScriptAnalysis, VectorSpace,
+};
+use jsdetect_guard::{isolate, OutcomeKind};
 use jsdetect_ml::Dataset;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// Runs one script's work behind a panic fence: a residual panic in any
+/// stage degrades to a `None` result (with the `guard/stage_panicked`
+/// counter bumped) instead of unwinding into the scoped-thread pool and
+/// tearing the whole batch down.
+fn fenced<T>(f: impl FnOnce() -> Option<T>) -> Option<T> {
+    match isolate("analyze", f) {
+        Ok(r) => r,
+        Err(e) => {
+            jsdetect_obs::counter_add(e.counter_name(), 1);
+            None
+        }
+    }
+}
 
 /// Runs `work(i)` for every `i in 0..n` across all cores with
 /// work-stealing, delivering results to `sink(i, result)` on the calling
@@ -56,14 +74,37 @@ where
     .expect("vectorization threads panicked");
 }
 
-/// Analyzes many scripts in parallel. Scripts that fail to parse yield
-/// `None` (the paper's pipeline skips unparseable files).
+/// Analyzes many scripts in parallel. Scripts that fail to parse (or that
+/// panic a stage) yield `None` (the paper's pipeline skips unparseable
+/// files).
 pub fn analyze_many(srcs: &[&str]) -> Vec<Option<ScriptAnalysis>> {
     let _t = jsdetect_obs::span("analyze_many");
     jsdetect_obs::counter_add("scripts_analyzed", srcs.len() as u64);
     let mut out: Vec<Option<ScriptAnalysis>> = (0..srcs.len()).map(|_| None).collect();
-    run_stealing(srcs.len(), |i| analyze_script(srcs[i]).ok(), |i, r| out[i] = r);
+    run_stealing(srcs.len(), |i| fenced(|| analyze_script(srcs[i]).ok()), |i, r| out[i] = r);
     out
+}
+
+/// Analyzes many scripts in parallel under the hardened sandbox: per-script
+/// resource budgets from `config.limits`, per-script panic isolation, and a
+/// three-way ok/degraded/rejected verdict for every input — one hostile
+/// file costs one rejected record, never the batch.
+pub fn analyze_many_guarded(srcs: &[&str], config: &AnalysisConfig) -> Vec<GuardedScript> {
+    let _t = jsdetect_obs::span("analyze_many");
+    jsdetect_obs::counter_add("scripts_analyzed", srcs.len() as u64);
+    let mut out: Vec<Option<GuardedScript>> = (0..srcs.len()).map(|_| None).collect();
+    run_stealing(
+        srcs.len(),
+        |i| match isolate("analyze", || analyze_script_guarded(srcs[i], &config.limits)) {
+            Ok(g) => g,
+            Err(e) => {
+                jsdetect_obs::counter_add(e.counter_name(), 1);
+                GuardedScript { analysis: None, outcome: OutcomeKind::Rejected, error: Some(e) }
+            }
+        },
+        |i, r| out[i] = Some(r),
+    );
+    out.into_iter().map(|g| g.expect("work-stealing covered every index")).collect()
 }
 
 /// Vectorizes many scripts in parallel against a fitted space.
@@ -73,7 +114,7 @@ pub fn vectorize_many(space: &VectorSpace, srcs: &[&str]) -> Vec<Option<Vec<f32>
     let mut out: Vec<Option<Vec<f32>>> = vec![None; srcs.len()];
     run_stealing(
         srcs.len(),
-        |i| analyze_script(srcs[i]).ok().map(|a| space.vectorize(&a)),
+        |i| fenced(|| analyze_script(srcs[i]).ok().map(|a| space.vectorize(&a))),
         |i, r| out[i] = r,
     );
     out
@@ -96,7 +137,7 @@ pub fn vectorize_dataset(space: &VectorSpace, srcs: &[&str]) -> (Dataset, Vec<bo
     let mut parsed = vec![false; srcs.len()];
     run_stealing(
         srcs.len(),
-        |i| analyze_script(srcs[i]).ok().map(|a| space.vectorize(&a)),
+        |i| fenced(|| analyze_script(srcs[i]).ok().map(|a| space.vectorize(&a))),
         |i, r| {
             if let Some(row) = r {
                 data.fill_row(i, &row);
@@ -130,6 +171,41 @@ mod tests {
         for (a, p) in analyses.iter().zip(&par) {
             assert_eq!(p.as_ref().unwrap(), &space.vectorize(a));
         }
+    }
+
+    #[test]
+    fn injected_panicking_stage_is_contained_by_the_fence() {
+        // A worker panic must degrade to `None` for that item, not tear
+        // down the scoped-thread pool.
+        let mut out: Vec<Option<usize>> = vec![None; 5];
+        run_stealing(
+            5,
+            |i| {
+                fenced(|| {
+                    if i == 2 {
+                        panic!("injected stage panic");
+                    }
+                    Some(i)
+                })
+            },
+            |i, r| out[i] = r,
+        );
+        assert_eq!(out[2], None);
+        for i in [0, 1, 3, 4] {
+            assert_eq!(out[i], Some(i));
+        }
+    }
+
+    #[test]
+    fn analyze_many_guarded_quarantines_hostile_files() {
+        let bomb = format!("{}1{}", "(".repeat(50_000), ")".repeat(50_000));
+        let srcs = ["var x = 1;", "var ;;; broken", bomb.as_str()];
+        let out = analyze_many_guarded(&srcs, &AnalysisConfig::default());
+        assert_eq!(out[0].outcome, OutcomeKind::Ok);
+        assert_eq!(out[1].outcome, OutcomeKind::Degraded);
+        assert!(out[1].analysis.as_ref().unwrap().degraded);
+        assert_eq!(out[2].outcome, OutcomeKind::Rejected);
+        assert_eq!(out[2].error.as_ref().unwrap().kind(), "ast_depth_exceeded");
     }
 
     #[test]

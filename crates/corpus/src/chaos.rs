@@ -1,0 +1,211 @@
+//! Deterministic pathological-input generator (the chaos corpus).
+//!
+//! Every case is a reproducible adversarial script drawn from the failure
+//! modes wild-scale scanning actually meets (ISSUE 4 / paper §IV): nesting
+//! bombs that recurse parsers off the stack, megabyte one-liners, token
+//! floods, truncated escapes, null bytes, JSFuck- and packer-shaped soup.
+//! The hardened pipeline must survive the whole set, classifying each file
+//! as ok / degraded / rejected — never crashing the process.
+//!
+//! The generator is pure (no RNG, no clock): the same case list and bytes
+//! on every run, so CI failures bisect cleanly.
+
+/// One pathological input with a stable name.
+#[derive(Debug, Clone)]
+pub struct ChaosCase {
+    /// Stable case name, usable as a file stem.
+    pub name: &'static str,
+    /// The script bytes (valid UTF-8; encoding attacks live inside string
+    /// escapes so the cases stay writable as `.js` files).
+    pub src: String,
+}
+
+/// Builds the full chaos corpus, in a fixed order.
+///
+/// Includes at minimum a 50k-deep `((((…))))` nesting bomb and a one-liner
+/// over 8 MB, per the ISSUE-4 acceptance criteria.
+///
+/// # Examples
+///
+/// ```
+/// let corpus = jsdetect_corpus::chaos_corpus();
+/// assert!(corpus.len() >= 25);
+/// assert!(corpus.iter().any(|c| c.src.len() >= 8 * 1024 * 1024));
+/// ```
+pub fn chaos_corpus() -> Vec<ChaosCase> {
+    let mut cases = Vec::new();
+    let mut case = |name: &'static str, src: String| cases.push(ChaosCase { name, src });
+
+    // --- nesting bombs: every recursive parser path -----------------------
+    case("paren_bomb_50k", format!("{}1{}", "(".repeat(50_000), ")".repeat(50_000)));
+    case("bracket_bomb", format!("x = {}1{};", "[".repeat(40_000), "]".repeat(40_000)));
+    case("brace_object_bomb", format!("x = {}1{};", "{a:".repeat(40_000), "}".repeat(40_000)));
+    case("unary_bomb", format!("x = {}1;", "!".repeat(60_000)));
+    case("ternary_bomb", {
+        let mut s = String::from("x = ");
+        for _ in 0..30_000 {
+            s.push_str("a ? ");
+        }
+        s.push('1');
+        for _ in 0..30_000 {
+            s.push_str(" : 0");
+        }
+        s.push(';');
+        s
+    });
+    case("new_bomb", format!("{}a;", "new ".repeat(50_000)));
+    case("binding_pattern_bomb", format!("var {}a{} = x;", "[".repeat(40_000), "]".repeat(40_000)));
+    case("arrow_bomb", format!("{}1{};", "() => (".repeat(20_000), ")".repeat(20_000)));
+    case("binary_chain", {
+        let mut s = String::from("x = 1");
+        for _ in 0..200_000 {
+            s.push_str("+1");
+        }
+        s.push(';');
+        s
+    });
+    case("call_chain", format!("f{};", "()".repeat(100_000)));
+    case("member_chain", format!("a{};", ".b".repeat(100_000)));
+
+    // --- size and token floods -------------------------------------------
+    // ≥ 8 MB single line, but only a handful of tokens: must pass `wild()`
+    // limits (giant minified bundles are legitimate inputs).
+    case("eight_mb_one_liner", format!("var s = \"{}\";", "A".repeat(9 * 1024 * 1024)));
+    // Over the 10 MB wild() input cap: rejected before any work.
+    case("twelve_mb_input", format!("var s = \"{}\";", "B".repeat(12 * 1024 * 1024)));
+    // More than wild()'s 2M-token budget on one line.
+    case("token_flood", "a;".repeat(1_100_000));
+    case("comment_flood", format!("{}var x = 1;", "/* c */ ".repeat(120_000)));
+    case("array_of_numbers_flood", {
+        let mut s = String::from("var a = [");
+        for i in 0..300_000u32 {
+            s.push_str(&format!("{},", i % 10));
+        }
+        s.push_str("];");
+        s
+    });
+
+    // --- malformed / hostile encodings -----------------------------------
+    case("null_bytes_in_string", "var x = 'a\\u0000b'; var y = \"\u{0}\";".to_string());
+    case("truncated_unicode_escape", "var x = '\\u12".to_string());
+    case("lone_surrogate_escape", "var x = '\\uD800';".to_string());
+    case("unterminated_string", "var x = 'never closed".to_string());
+    case("unterminated_template", format!("var t = `abc${{x}}{}", "y".repeat(1_000)));
+    case("unterminated_block_comment", format!("/* {}", "comment ".repeat(10_000)));
+    case("unterminated_regex", "var r = /[a-".to_string());
+    case("bom_and_unicode_separators", "\u{FEFF}var x\u{2028}= 1;\u{2029}f(x);".to_string());
+    case("bare_garbage", "### @@@ %%% ~~~ ⊕⊕⊕".to_string());
+
+    // --- obfuscation-shaped soup -----------------------------------------
+    case("jsfuck_soup", {
+        let unit = "[][(![]+[])[+[]]+(![]+[])[!+[]+!+[]]]";
+        format!("x = {};", vec![unit; 2_000].join("+"))
+    });
+    case("packer_like_eval", {
+        let payload = "x9k2".repeat(30_000);
+        format!(
+            "eval(function(p,a,c,k,e,d){{while(c--)if(k[c])p=p.replace(new RegExp(c,'g'),k[c]);\
+             return p}}('{}',62,4,'a|b|c|d'.split('|'),0,{{}}))",
+            payload
+        )
+    });
+    case("deep_but_legal_nesting", {
+        // Nesting well inside the depth cap — the guard counts parser
+        // recursion frames, several per syntactic level, so this sits
+        // around 120 of the 150 budgeted frames. Must stay `ok`, pinning
+        // the guard against over-tightening.
+        let depth = 18;
+        format!("x = {}1{};", "(".repeat(depth), ")".repeat(depth))
+    });
+    case("string_concat_obfuscation", {
+        let parts: Vec<String> = (0..20_000).map(|i| format!("\"s{}\"", i % 100)).collect();
+        format!("var s = {};", parts.join("+"))
+    });
+    case("hex_identifier_soup", {
+        let mut s = String::new();
+        for i in 0..20_000u32 {
+            s.push_str(&format!("var _0x{:x} = _0x{:x};", i + 1, i));
+        }
+        s
+    });
+    case("nested_templates", {
+        let depth = 120;
+        let mut s = String::from("x = ");
+        for _ in 0..depth {
+            s.push_str("`${");
+        }
+        s.push('1');
+        for _ in 0..depth {
+            s.push_str("}`");
+        }
+        s.push(';');
+        s
+    });
+
+    // --- degenerate small inputs -----------------------------------------
+    case("empty_file", String::new());
+    case("whitespace_only", " \t\n\r  \u{00A0}\u{2003} ".to_string());
+    case("single_null_like", "null".to_string());
+
+    cases
+}
+
+/// Writes every chaos case to `dir` as `<name>.js`, creating the directory
+/// if needed. Returns the written paths. IO failures propagate with the
+/// offending path in the message (no panics on unwritable targets).
+pub fn write_chaos_corpus(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use std::io::Error;
+    std::fs::create_dir_all(dir)
+        .map_err(|e| Error::other(format!("cannot create {}: {}", dir.display(), e)))?;
+    let mut paths = Vec::new();
+    for case in chaos_corpus() {
+        let path = dir.join(format!("{}.js", case.name));
+        std::fs::write(&path, &case.src)
+            .map_err(|e| Error::other(format!("cannot write {}: {}", path.display(), e)))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_meets_acceptance_floor() {
+        let corpus = chaos_corpus();
+        assert!(corpus.len() >= 25, "need ≥25 cases, have {}", corpus.len());
+        // The two named acceptance inputs.
+        let bomb = corpus.iter().find(|c| c.name == "paren_bomb_50k").unwrap();
+        assert!(bomb.src.starts_with(&"(".repeat(50_000)));
+        let big = corpus.iter().find(|c| c.name == "eight_mb_one_liner").unwrap();
+        assert!(big.src.len() >= 8 * 1024 * 1024);
+        assert!(!big.src.contains('\n'), "the big case must be one line");
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_names_unique() {
+        let a = chaos_corpus();
+        let b = chaos_corpus();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.src, y.src);
+        }
+        let mut names: Vec<_> = a.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), a.len(), "duplicate case names");
+    }
+
+    #[test]
+    fn corpus_round_trips_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!("jsdetect-chaos-{}", std::process::id()));
+        let paths = write_chaos_corpus(&dir).expect("write chaos corpus");
+        assert_eq!(paths.len(), chaos_corpus().len());
+        for p in &paths {
+            assert!(p.exists());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

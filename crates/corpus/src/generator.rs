@@ -125,7 +125,9 @@ impl RegularJsGenerator {
             0 | 1 => self.literal(),
             2 => self.name_ref(names),
             3 => binary(
-                *[BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul].choose(&mut self.rng).unwrap(),
+                *[BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul]
+                    .choose(&mut self.rng)
+                    .unwrap_or(&BinaryOp::Add),
                 self.name_ref(names),
                 self.literal(),
             ),
@@ -204,7 +206,7 @@ impl RegularJsGenerator {
                 names.push(name.clone());
                 let kind = *[VarKind::Var, VarKind::Var, VarKind::Let, VarKind::Const]
                     .choose(&mut self.rng)
-                    .unwrap();
+                    .unwrap_or(&VarKind::Var);
                 var_decl(kind, name, Some(init))
             }
             2 => expr_stmt(self.call_expr(names)),
@@ -224,7 +226,7 @@ impl RegularJsGenerator {
                 let test = binary(
                     *[BinaryOp::Lt, BinaryOp::Gt, BinaryOp::EqEqEq, BinaryOp::NotEqEq]
                         .choose(&mut self.rng)
-                        .unwrap(),
+                        .unwrap_or(&BinaryOp::Lt),
                     self.name_ref(names),
                     self.literal(),
                 );
@@ -277,7 +279,7 @@ impl RegularJsGenerator {
     }
 
     fn for_loop(&mut self, depth: usize, names: &mut Vec<String>) -> Stmt {
-        let i = *["i", "j", "k", "idx"].choose(&mut self.rng).unwrap();
+        let i = *["i", "j", "k", "idx"].choose(&mut self.rng).unwrap_or(&"i");
         let coll = self.name_ref(names);
         let body = block(vec![self.statement(depth + 1, names), expr_stmt(self.call_expr(names))]);
         Stmt::For {

@@ -1,6 +1,6 @@
 //! Corpus construction for the `jsdetect` suite.
 //!
-//! Three layers substitute for the paper's data sources:
+//! Four layers substitute for the paper's data sources:
 //!
 //! - [`generator`]: seeded realistic regular-JavaScript generation
 //!   (stand-in for 21,000 GitHub/library scripts, §III-D1);
@@ -8,16 +8,20 @@
 //!   techniques (training / validation / test pools, mixed-technique and
 //!   packer test sets, §III-D2 and §III-E);
 //! - [`wild`]: population simulators calibrated to the paper's reported
-//!   wild measurements (Alexa / npm / malware feeds / longitudinal, §IV).
+//!   wild measurements (Alexa / npm / malware feeds / longitudinal, §IV);
+//! - [`chaos`]: deterministic pathological inputs (nesting bombs, megabyte
+//!   one-liners, token floods) exercising the hardened-analysis sandbox.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod dataset;
 pub mod generator;
 pub mod wild;
 pub mod words;
 
+pub use chaos::{chaos_corpus, write_chaos_corpus, ChaosCase};
 pub use dataset::{
     implied_labels, mixed_set, packer_set, random_combo, transform_sample, GroundTruth,
     LabeledSample,

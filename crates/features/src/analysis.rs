@@ -30,6 +30,10 @@ pub struct ScriptAnalysis {
     pub kinds: KindCounts,
     /// Obfuscation-signature lint summary (per-rule hit counts).
     pub lint: LintSummary,
+    /// True when this is the lexer-only fallback produced after a parse
+    /// failure: `program`/`graph`/`shape`/`kinds` describe an empty program
+    /// and only `src`/`tokens`/`comments` carry real signal.
+    pub degraded: bool,
 }
 
 /// Parses and analyzes one script.
@@ -89,6 +93,7 @@ pub fn analyze_script(src: &str) -> Result<ScriptAnalysis, ParseError> {
         shape,
         kinds,
         lint,
+        degraded: false,
     })
 }
 

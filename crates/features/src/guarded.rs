@@ -1,0 +1,285 @@
+//! The hardened analysis front-end: budgets, degradation, typed outcomes.
+//!
+//! [`analyze_script_guarded`] is the sandboxed sibling of
+//! [`crate::analyze_script`]: same stages, but every stage charges a
+//! [`Budget`] and every failure is classified into the three-way
+//! [`OutcomeKind`] verdict wild-scale batch drivers need — full result,
+//! lexer-only fallback, or quarantined reject.
+
+use crate::analysis::ScriptAnalysis;
+use jsdetect_ast::metrics::KindCounts;
+use jsdetect_ast::{Program, Span};
+use jsdetect_flow::{analyze_with, DataFlowOptions};
+use jsdetect_guard::{AnalysisError, Budget, Limits, OutcomeKind};
+use jsdetect_lexer::{tokenize_lossy, tokenize_with_budget};
+use jsdetect_lint::LintRunner;
+use jsdetect_parser::parse_with_comments_budget;
+
+/// One script's result under the hardened pipeline.
+#[derive(Debug)]
+pub struct GuardedScript {
+    /// The analysis bundle: the full thing for `Ok`, the lexer-only
+    /// fallback (with [`ScriptAnalysis::degraded`] set) for `Degraded`,
+    /// absent for `Rejected`.
+    pub analysis: Option<ScriptAnalysis>,
+    /// Three-way verdict.
+    pub outcome: OutcomeKind,
+    /// The failure, absent only for `Ok`.
+    pub error: Option<AnalysisError>,
+}
+
+impl GuardedScript {
+    fn ok(analysis: ScriptAnalysis) -> GuardedScript {
+        GuardedScript { analysis: Some(analysis), outcome: OutcomeKind::Ok, error: None }
+    }
+
+    fn degraded(analysis: ScriptAnalysis, error: AnalysisError) -> GuardedScript {
+        jsdetect_obs::counter_add(error.counter_name(), 1);
+        GuardedScript {
+            analysis: Some(analysis),
+            outcome: OutcomeKind::Degraded,
+            error: Some(error),
+        }
+    }
+
+    fn rejected(error: AnalysisError) -> GuardedScript {
+        jsdetect_obs::counter_add(error.counter_name(), 1);
+        GuardedScript { analysis: None, outcome: OutcomeKind::Rejected, error: Some(error) }
+    }
+}
+
+/// Analyzes one script under `limits`, never panicking on budget-class
+/// failures and degrading to a lexer-only feature bundle when only the
+/// parse fails.
+///
+/// # Examples
+///
+/// ```
+/// use jsdetect_features::analyze_script_guarded;
+/// use jsdetect_guard::{Limits, OutcomeKind};
+///
+/// let ok = analyze_script_guarded("var x = 1;", &Limits::wild());
+/// assert_eq!(ok.outcome, OutcomeKind::Ok);
+///
+/// let bomb = format!("{}1{}", "(".repeat(50_000), ")".repeat(50_000));
+/// let r = analyze_script_guarded(&bomb, &Limits::wild());
+/// assert_eq!(r.outcome, OutcomeKind::Rejected);
+/// assert_eq!(r.error.unwrap().kind(), "ast_depth_exceeded");
+/// ```
+pub fn analyze_script_guarded(src: &str, limits: &Limits) -> GuardedScript {
+    let _t = jsdetect_obs::span("analyze");
+    jsdetect_obs::observe("script_bytes", src.len() as u64);
+    let budget = Budget::new(limits);
+    if let Err(e) = budget.check_input(src.len()) {
+        return GuardedScript::rejected(e);
+    }
+
+    let (program, comments) = {
+        let _s = jsdetect_obs::span("parse");
+        match parse_with_comments_budget(src, &budget) {
+            Ok(pc) => pc,
+            Err(parse_err) => {
+                jsdetect_obs::counter_add("parse_failures", 1);
+                // A budget violation travels through `ParseError` stringly;
+                // the typed cause sits in the budget's side channel.
+                let e = budget
+                    .take_violation()
+                    .unwrap_or(AnalysisError::Parse { msg: parse_err.msg, pos: parse_err.pos });
+                if e.is_resource() {
+                    return GuardedScript::rejected(e);
+                }
+                return degraded_fallback(src, &budget, e);
+            }
+        }
+    };
+    if let Err(e) = budget.check_deadline() {
+        return GuardedScript::rejected(e);
+    }
+
+    let tokens = {
+        let _s = jsdetect_obs::span("lex");
+        match tokenize_with_budget(src, &budget) {
+            Ok((tokens, _)) => tokens,
+            Err(_) => {
+                if let Some(v) = budget.take_violation() {
+                    return GuardedScript::rejected(v);
+                }
+                // Same tolerance as the legacy path: the AST parsed, so a
+                // standalone-lex hiccup only costs the token list.
+                jsdetect_obs::counter_add("lexer_errors", 1);
+                Vec::new()
+            }
+        }
+    };
+
+    let (shape, kinds) = {
+        let _s = jsdetect_obs::span("metrics");
+        (jsdetect_ast::metrics::tree_shape(&program), KindCounts::of(&program))
+    };
+    // Charge the realized tree size before running the recursive consumers
+    // (flow, lint) over a potential node bomb.
+    if let Err(e) = budget.charge_nodes(shape.node_count as u64) {
+        return GuardedScript::rejected(e);
+    }
+    if let Err(e) = budget.check_deadline() {
+        return GuardedScript::rejected(e);
+    }
+
+    let graph = {
+        let _s = jsdetect_obs::span("flow");
+        analyze_with(&program, &DataFlowOptions::default())
+    };
+    if !graph.dataflow.complete {
+        jsdetect_obs::counter_add("flow_truncations", 1);
+        jsdetect_obs::counter_add(
+            "flow_truncated_bindings",
+            graph.dataflow.truncated_bindings.len() as u64,
+        );
+    }
+    if let Err(e) = budget.check_cfg_edges(graph.control_flow.edges.len() as u64) {
+        return GuardedScript::rejected(e);
+    }
+    if let Err(e) = budget.check_deadline() {
+        return GuardedScript::rejected(e);
+    }
+
+    let lint = {
+        let _s = jsdetect_obs::span("lint");
+        let (diagnostics, lint) = LintRunner::default().run_with_summary(src, &program, &graph);
+        jsdetect_obs::counter_add("lint_fires", diagnostics.len() as u64);
+        lint
+    };
+
+    GuardedScript::ok(ScriptAnalysis {
+        src: src.to_string(),
+        program,
+        tokens,
+        comments,
+        graph,
+        shape,
+        kinds,
+        lint,
+        degraded: false,
+    })
+}
+
+/// Builds the lexer-only fallback bundle after a recoverable parse failure
+/// (paper-faithful: the paper drops unparseable files; we additionally keep
+/// their lexical signal, flagged by [`ScriptAnalysis::degraded`]).
+fn degraded_fallback(src: &str, budget: &Budget, cause: AnalysisError) -> GuardedScript {
+    let _s = jsdetect_obs::span("degraded_fallback");
+    let (tokens, comments, _lex_err) = tokenize_lossy(src, Some(budget));
+    // The lossy scan itself may blow a budget axis (token flood inside a
+    // syntactically broken file) — that escalates to a reject.
+    if let Some(v) = budget.take_violation() {
+        if v.is_resource() {
+            return GuardedScript::rejected(v);
+        }
+    }
+    let program = Program { body: Vec::new(), span: Span::new(0, src.len() as u32) };
+    let graph = analyze_with(&program, &DataFlowOptions::default());
+    let (shape, kinds) = (jsdetect_ast::metrics::tree_shape(&program), KindCounts::of(&program));
+    let lint = LintRunner::default().run_with_summary(src, &program, &graph).1;
+    jsdetect_obs::counter_add("degraded_fallbacks", 1);
+    GuardedScript::degraded(
+        ScriptAnalysis {
+            src: src.to_string(),
+            program,
+            tokens,
+            comments,
+            graph,
+            shape,
+            kinds,
+            lint,
+            degraded: true,
+        },
+        cause,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_script_is_ok_and_matches_legacy() {
+        let g = analyze_script_guarded("var x = 1; if (x) { f(x); }", &Limits::wild());
+        assert_eq!(g.outcome, OutcomeKind::Ok);
+        assert!(g.error.is_none());
+        let a = g.analysis.unwrap();
+        assert!(!a.degraded);
+        let legacy = crate::analyze_script("var x = 1; if (x) { f(x); }").unwrap();
+        assert_eq!(a.shape.node_count, legacy.shape.node_count);
+        assert_eq!(a.tokens.len(), legacy.tokens.len());
+    }
+
+    #[test]
+    fn syntax_error_degrades_with_lexical_signal() {
+        let g = analyze_script_guarded("var x = ;;;=", &Limits::wild());
+        assert_eq!(g.outcome, OutcomeKind::Degraded);
+        let a = g.analysis.unwrap();
+        assert!(a.degraded);
+        assert!(!a.tokens.is_empty(), "fallback should keep the token prefix");
+        assert_eq!(a.program.body.len(), 0);
+        assert_eq!(g.error.unwrap().kind(), "parse_error");
+    }
+
+    #[test]
+    fn input_cap_rejects_before_any_work() {
+        let limits = Limits { max_input_bytes: 8, ..Limits::wild() };
+        let g = analyze_script_guarded("var x = 1;", &limits);
+        assert_eq!(g.outcome, OutcomeKind::Rejected);
+        assert!(g.analysis.is_none());
+        assert_eq!(g.error.unwrap().kind(), "input_too_large");
+    }
+
+    #[test]
+    fn depth_bomb_rejects_with_typed_cause() {
+        let bomb = format!("{}1{}", "(".repeat(50_000), ")".repeat(50_000));
+        let g = analyze_script_guarded(&bomb, &Limits::wild());
+        assert_eq!(g.outcome, OutcomeKind::Rejected);
+        assert_eq!(g.error.unwrap().kind(), "ast_depth_exceeded");
+    }
+
+    #[test]
+    fn token_flood_rejects_even_when_unparseable() {
+        // Fails the parse *and* floods the token budget: must reject, not
+        // degrade.
+        let limits = Limits { max_tokens: 100, ..Limits::wild() };
+        let flood = format!("var x = ;;;= {}", "a ".repeat(1_000));
+        let g = analyze_script_guarded(&flood, &limits);
+        assert_eq!(g.outcome, OutcomeKind::Rejected);
+        assert_eq!(g.error.unwrap().kind(), "token_budget_exceeded");
+    }
+
+    #[test]
+    fn node_budget_rejects_wide_programs() {
+        let limits = Limits { max_ast_nodes: 50, ..Limits::wild() };
+        let wide = "var a=0;".to_string() + &"a=a+1;".repeat(100);
+        let g = analyze_script_guarded(&wide, &limits);
+        assert_eq!(g.outcome, OutcomeKind::Rejected);
+        assert_eq!(g.error.unwrap().kind(), "ast_node_budget_exceeded");
+    }
+
+    #[test]
+    fn cfg_edge_budget_rejects_branchy_programs() {
+        let limits = Limits { max_cfg_edges: 3, ..Limits::wild() };
+        let branchy = "if (a) { f(); } else { g(); } while (b) { h(); }";
+        let g = analyze_script_guarded(branchy, &limits);
+        assert_eq!(g.outcome, OutcomeKind::Rejected);
+        assert_eq!(g.error.unwrap().kind(), "cfg_edge_budget_exceeded");
+    }
+
+    #[test]
+    fn trusted_preset_matches_legacy_pipeline() {
+        for src in ["var x = 1;", "", "function f(a) { return a ? a + 1 : 0; }"] {
+            let g = analyze_script_guarded(src, &Limits::trusted());
+            assert_eq!(g.outcome, OutcomeKind::Ok);
+            let a = g.analysis.unwrap();
+            let legacy = crate::analyze_script(src).unwrap();
+            assert_eq!(a.shape.node_count, legacy.shape.node_count);
+            assert_eq!(a.kinds.total(), legacy.kinds.total());
+            assert_eq!(a.tokens.len(), legacy.tokens.len());
+        }
+    }
+}

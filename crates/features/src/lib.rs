@@ -11,11 +11,13 @@
 #![forbid(unsafe_code)]
 
 mod analysis;
+mod guarded;
 mod handpicked;
 mod ngrams;
 mod space;
 
 pub use analysis::{analyze_script, ScriptAnalysis};
+pub use guarded::{analyze_script_guarded, GuardedScript};
 pub use handpicked::{handpicked_features, FEATURE_NAMES, N_HANDPICKED};
 pub use jsdetect_lint::LintSummary;
 pub use ngrams::{ngram_counts, Gram, NgramVocab};

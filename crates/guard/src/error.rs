@@ -1,0 +1,150 @@
+//! The typed failure taxonomy for hardened analysis.
+
+use std::fmt;
+
+/// Every way a single script can fail analysis, stage × cause.
+///
+/// The taxonomy is deliberately flat and closed: batch drivers match on it
+/// to decide between *degraded* (recoverable front-end failures where a
+/// lexer-only fallback is still meaningful) and *rejected* (resource
+/// exhaustion or a caught panic, where nothing trustworthy survives).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// Input byte length exceeded the configured cap before any work ran.
+    InputTooLarge {
+        /// Observed input size in bytes.
+        bytes: usize,
+        /// Configured `max_input_bytes`.
+        limit: usize,
+    },
+    /// The lexer produced more tokens than the budget allows.
+    TokenBudgetExceeded {
+        /// Configured `max_tokens`.
+        limit: u64,
+    },
+    /// Parser recursion exceeded the AST depth cap (the pre-stack-overflow
+    /// guard for `((((…))))`-style nesting bombs).
+    AstDepthExceeded {
+        /// Configured `max_ast_depth`.
+        limit: u32,
+    },
+    /// The parsed tree holds more nodes than the budget allows.
+    AstNodeBudgetExceeded {
+        /// Configured `max_ast_nodes`.
+        limit: u64,
+    },
+    /// Control-flow construction produced more edges than the budget allows.
+    CfgEdgeBudgetExceeded {
+        /// Configured `max_cfg_edges`.
+        limit: u64,
+    },
+    /// The fuel-metered wall-clock deadline elapsed mid-analysis.
+    DeadlineExceeded {
+        /// Configured `deadline_ms`.
+        ms: u64,
+    },
+    /// A pipeline stage panicked and was contained by [`crate::isolate`].
+    StagePanicked {
+        /// Stage label passed to [`crate::isolate`].
+        stage: &'static str,
+        /// Panic payload when it was a string, else a placeholder.
+        detail: String,
+    },
+    /// The parser rejected the script (a plain syntax error).
+    Parse {
+        /// Parser message.
+        msg: String,
+        /// Byte offset of the offending token.
+        pos: u32,
+    },
+    /// The lexer rejected the script outright (lossy recovery not possible).
+    Lex {
+        /// Lexer message.
+        msg: String,
+        /// Byte offset of the offending character.
+        pos: u32,
+    },
+    /// Reading the script from disk failed (missing, unreadable).
+    Io {
+        /// Path the read was attempted on.
+        path: String,
+        /// Underlying `io::Error` rendering.
+        msg: String,
+    },
+}
+
+impl AnalysisError {
+    /// Stable machine-readable kind tag, used in quarantine JSONL records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AnalysisError::InputTooLarge { .. } => "input_too_large",
+            AnalysisError::TokenBudgetExceeded { .. } => "token_budget_exceeded",
+            AnalysisError::AstDepthExceeded { .. } => "ast_depth_exceeded",
+            AnalysisError::AstNodeBudgetExceeded { .. } => "ast_node_budget_exceeded",
+            AnalysisError::CfgEdgeBudgetExceeded { .. } => "cfg_edge_budget_exceeded",
+            AnalysisError::DeadlineExceeded { .. } => "deadline_exceeded",
+            AnalysisError::StagePanicked { .. } => "stage_panicked",
+            AnalysisError::Parse { .. } => "parse_error",
+            AnalysisError::Lex { .. } => "lex_error",
+            AnalysisError::Io { .. } => "io_error",
+        }
+    }
+
+    /// Per-kind `jsdetect-obs` counter name (`guard/<kind>`); `&'static str`
+    /// because the obs counter API interns names by static reference.
+    pub fn counter_name(&self) -> &'static str {
+        match self {
+            AnalysisError::InputTooLarge { .. } => "guard/input_too_large",
+            AnalysisError::TokenBudgetExceeded { .. } => "guard/token_budget_exceeded",
+            AnalysisError::AstDepthExceeded { .. } => "guard/ast_depth_exceeded",
+            AnalysisError::AstNodeBudgetExceeded { .. } => "guard/ast_node_budget_exceeded",
+            AnalysisError::CfgEdgeBudgetExceeded { .. } => "guard/cfg_edge_budget_exceeded",
+            AnalysisError::DeadlineExceeded { .. } => "guard/deadline_exceeded",
+            AnalysisError::StagePanicked { .. } => "guard/stage_panicked",
+            AnalysisError::Parse { .. } => "guard/parse_error",
+            AnalysisError::Lex { .. } => "guard/lex_error",
+            AnalysisError::Io { .. } => "guard/io_error",
+        }
+    }
+
+    /// Whether this error means a resource budget was blown (or a stage
+    /// panicked): the script is *rejected*, no fallback vector is safe to
+    /// emit. Syntax-level failures (`Parse`/`Lex`) return `false` — the
+    /// lexer-only degraded path still applies to those.
+    pub fn is_resource(&self) -> bool {
+        !matches!(self, AnalysisError::Parse { .. } | AnalysisError::Lex { .. })
+    }
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::InputTooLarge { bytes, limit } => {
+                write!(f, "input too large: {} bytes exceeds cap of {}", bytes, limit)
+            }
+            AnalysisError::TokenBudgetExceeded { limit } => {
+                write!(f, "token budget exceeded: more than {} tokens", limit)
+            }
+            AnalysisError::AstDepthExceeded { limit } => {
+                write!(f, "AST depth exceeded: nesting deeper than {}", limit)
+            }
+            AnalysisError::AstNodeBudgetExceeded { limit } => {
+                write!(f, "AST node budget exceeded: more than {} nodes", limit)
+            }
+            AnalysisError::CfgEdgeBudgetExceeded { limit } => {
+                write!(f, "CFG edge budget exceeded: more than {} edges", limit)
+            }
+            AnalysisError::DeadlineExceeded { ms } => {
+                write!(f, "deadline exceeded: analysis ran past {} ms", ms)
+            }
+            AnalysisError::StagePanicked { stage, detail } => {
+                write!(f, "stage `{}` panicked: {}", stage, detail)
+            }
+            AnalysisError::Parse { msg, pos } => write!(f, "parse error at {}: {}", pos, msg),
+            AnalysisError::Lex { msg, pos } => write!(f, "lex error at {}: {}", pos, msg),
+            AnalysisError::Io { path, msg } => write!(f, "io error on {}: {}", path, msg),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}

@@ -1,0 +1,106 @@
+//! `jsdetect-guard`: the hardened-analysis sandbox for wild-scale scanning.
+//!
+//! The paper's study runs over millions of wild scripts — exactly the
+//! population (JSFuck payloads, packer output, megabyte one-liners,
+//! pathologically nested expressions) most likely to blow up a static
+//! pipeline. This crate supplies the four primitives every analysis layer
+//! shares so that one hostile input costs one quarantined record, not the
+//! process:
+//!
+//! - [`AnalysisError`]: the typed failure taxonomy (stage × cause).
+//! - [`Limits`] / [`Budget`]: cooperative resource budgets — input bytes,
+//!   token count, AST depth/nodes, CFG edges, and a fuel-metered wall-clock
+//!   deadline — charged at loop heads and threaded by `&Budget` through
+//!   lexer, parser, and the feature front-end.
+//! - [`isolate`]: `catch_unwind`-based stage fencing that converts a
+//!   residual panic into [`AnalysisError::StagePanicked`].
+//! - [`QuarantineReport`] / [`OutcomeKind`]: per-file ok/degraded/rejected
+//!   accounting with a JSONL export next to the telemetry stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use jsdetect_guard::{Budget, Limits, isolate, AnalysisError};
+//!
+//! let budget = Budget::new(&Limits::wild());
+//! budget.check_input(42).unwrap();
+//! budget.charge_tokens(10).unwrap();
+//!
+//! let err = isolate("demo", || panic!("boom")).unwrap_err();
+//! assert_eq!(err.kind(), "stage_panicked");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod budget;
+mod error;
+mod limits;
+mod quarantine;
+
+pub use budget::Budget;
+pub use error::AnalysisError;
+pub use limits::{Limits, LEGACY_MAX_DEPTH};
+pub use quarantine::{OutcomeKind, QuarantineRecord, QuarantineReport};
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f` with a panic fence: a panic inside `f` is caught and converted
+/// to [`AnalysisError::StagePanicked`] carrying `stage` and the payload
+/// text, instead of unwinding into the batch driver (where it would tear
+/// down the whole scoped-thread pool).
+///
+/// `AssertUnwindSafe` is sound here because callers only pass closures
+/// whose captured state is either owned by the closure or discarded when
+/// the fence reports an error — no shared structure is observed in a
+/// half-mutated state afterwards.
+///
+/// Note: this cannot catch aborts or stack overflow; recursion depth must
+/// be bounded *before* the stack runs out, which is what
+/// [`Budget::check_depth`] is for.
+pub fn isolate<T>(stage: &'static str, f: impl FnOnce() -> T) -> Result<T, AnalysisError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(AnalysisError::StagePanicked { stage, detail })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolate_passes_values_through() {
+        assert_eq!(isolate("ok", || 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn isolate_catches_str_and_string_panics() {
+        let e = isolate("s1", || panic!("static message")).unwrap_err();
+        assert_eq!(
+            e,
+            AnalysisError::StagePanicked { stage: "s1", detail: "static message".into() }
+        );
+        let e = isolate("s2", || panic!("formatted {}", 3)).unwrap_err();
+        assert_eq!(e, AnalysisError::StagePanicked { stage: "s2", detail: "formatted 3".into() });
+    }
+
+    #[test]
+    fn error_kinds_and_counters_are_stable() {
+        let e = AnalysisError::DeadlineExceeded { ms: 10 };
+        assert_eq!(e.kind(), "deadline_exceeded");
+        assert_eq!(e.counter_name(), "guard/deadline_exceeded");
+        assert!(e.is_resource());
+        let p = AnalysisError::Parse { msg: "x".into(), pos: 0 };
+        assert!(!p.is_resource());
+    }
+}

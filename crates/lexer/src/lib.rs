@@ -21,7 +21,9 @@
 mod scanner;
 mod token;
 
-pub use scanner::{tokenize, tokenize_with_comments, LexError, Lexer};
+pub use scanner::{
+    tokenize, tokenize_lossy, tokenize_with_budget, tokenize_with_comments, LexError, Lexer,
+};
 pub use token::{Comment, Kw, Punct, Token, TokenKind};
 
 #[cfg(test)]
@@ -309,5 +311,31 @@ mod tests {
     fn unicode_line_separators_count_as_newline() {
         let toks = tokenize("a\u{2028}b").unwrap();
         assert!(toks[1].newline_before);
+    }
+
+    #[test]
+    fn token_budget_stops_token_floods() {
+        use jsdetect_guard::{AnalysisError, Budget, Limits};
+        let src = "1 + 1 + 1 + 1";
+        let limits = Limits { max_tokens: 4, ..Limits::unbounded() };
+        let budget = Budget::new(&limits);
+        assert!(tokenize_with_budget(src, &budget).is_err());
+        assert_eq!(budget.take_violation(), Some(AnalysisError::TokenBudgetExceeded { limit: 4 }));
+        // Under the cap, budgeted tokenization matches the plain one.
+        let budget = Budget::new(&Limits::unbounded());
+        let (toks, _) = tokenize_with_budget(src, &budget).unwrap();
+        assert_eq!(toks.len(), tokenize(src).unwrap().len());
+        assert!(budget.tokens_used() >= toks.len() as u64);
+    }
+
+    #[test]
+    fn lossy_tokenize_returns_prefix_and_error() {
+        let (toks, _, err) = tokenize_lossy("var x = 'abc", None);
+        assert!(err.is_some());
+        assert!(toks.len() >= 3, "expected the `var x =` prefix, got {:?}", toks);
+        let (toks, comments, err) = tokenize_lossy("a /* c */ b", None);
+        assert!(err.is_none());
+        assert_eq!(toks.len(), 3); // a b EOF
+        assert_eq!(comments.len(), 1);
     }
 }

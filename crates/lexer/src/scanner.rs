@@ -2,6 +2,7 @@
 
 use crate::token::{Comment, Kw, Punct, Token, TokenKind};
 use jsdetect_ast::Span;
+use jsdetect_guard::Budget;
 use std::fmt;
 
 /// A lexical error with its byte position.
@@ -32,12 +33,22 @@ pub struct Lexer<'s> {
     src: &'s str,
     pos: usize,
     comments: Vec<Comment>,
+    budget: Option<&'s Budget>,
+    /// Running count of tokens produced by *this* lexer, including re-lexes
+    /// during parser backtracking. Reconciled with the shared budget via
+    /// [`Budget::note_tokens`] (max across lexing passes).
+    produced: u64,
 }
 
 impl<'s> Lexer<'s> {
     /// Creates a lexer over `src`.
     pub fn new(src: &'s str) -> Self {
-        Lexer { src, pos: 0, comments: Vec::new() }
+        Lexer { src, pos: 0, comments: Vec::new(), budget: None, produced: 0 }
+    }
+
+    /// Creates a lexer that charges every produced token to `budget`.
+    pub fn with_budget(src: &'s str, budget: &'s Budget) -> Self {
+        Lexer { src, pos: 0, comments: Vec::new(), budget: Some(budget), produced: 0 }
     }
 
     /// Comments encountered so far.
@@ -78,6 +89,7 @@ impl<'s> Lexer<'s> {
         self.pos = start as usize;
         debug_assert_eq!(self.peek(), Some(b'/'));
         let kind = self.lex_regex()?;
+        self.charge()?;
         Ok(Token { kind, span: Span::new(start, self.pos as u32), newline_before })
     }
 
@@ -111,6 +123,19 @@ impl<'s> Lexer<'s> {
 
     fn err(&self, msg: impl Into<String>) -> LexError {
         LexError { msg: msg.into(), pos: self.pos as u32 }
+    }
+
+    /// Charges one produced token to the budget (if any). A budget violation
+    /// is downgraded to a `LexError` here — the typed cause stays recorded in
+    /// the budget for callers to recover via `Budget::take_violation`.
+    fn charge(&mut self) -> Result<(), LexError> {
+        if let Some(budget) = self.budget {
+            self.produced += 1;
+            budget
+                .note_tokens(self.produced)
+                .map_err(|e| LexError { msg: e.to_string(), pos: self.pos as u32 })?;
+        }
+        Ok(())
     }
 
     /// Skips whitespace and comments; returns whether a line terminator was
@@ -211,6 +236,7 @@ impl<'s> Lexer<'s> {
                 _ => self.lex_punct()?,
             },
         };
+        self.charge()?;
         Ok(Token { kind, span: Span::new(start, self.pos as u32), newline_before })
     }
 
@@ -227,6 +253,7 @@ impl<'s> Lexer<'s> {
         } else {
             TokenKind::TemplateMiddle { cooked, raw }
         };
+        self.charge()?;
         Ok(Token { kind, span: Span::new(start, self.pos as u32), newline_before: false })
     }
 
@@ -712,6 +739,43 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
 pub fn tokenize_with_comments(src: &str) -> Result<(Vec<Token>, Vec<Comment>), LexError> {
     let mut lexer = Lexer::new(src);
     let mut tokens = Vec::new();
+    tokenize_into(&mut lexer, &mut tokens)?;
+    Ok((tokens, lexer.into_comments()))
+}
+
+/// Tokenizes under a [`Budget`]: every produced token is charged, so a
+/// token flood fails with a `LexError` whose typed cause is recorded in the
+/// budget ([`Budget::take_violation`]).
+pub fn tokenize_with_budget<'s>(
+    src: &'s str,
+    budget: &'s Budget,
+) -> Result<(Vec<Token>, Vec<Comment>), LexError> {
+    let mut lexer = Lexer::with_budget(src, budget);
+    let mut tokens = Vec::new();
+    tokenize_into(&mut lexer, &mut tokens)?;
+    Ok((tokens, lexer.into_comments()))
+}
+
+/// Best-effort tokenization for the degraded fallback path: returns the
+/// prefix of tokens produced before the first lexical error (if any) plus
+/// the error itself. With a budget, a budget violation also stops the scan —
+/// callers must consult [`Budget::take_violation`] to tell resource
+/// exhaustion (reject) from a plain lexical error (degrade).
+pub fn tokenize_lossy(
+    src: &str,
+    budget: Option<&Budget>,
+) -> (Vec<Token>, Vec<Comment>, Option<LexError>) {
+    let mut lexer = match budget {
+        Some(b) => Lexer::with_budget(src, b),
+        None => Lexer::new(src),
+    };
+    let mut tokens = Vec::new();
+    let err = tokenize_into(&mut lexer, &mut tokens).err();
+    (tokens, lexer.into_comments(), err)
+}
+
+/// The shared driver loop behind every `tokenize*` entry point.
+fn tokenize_into(lexer: &mut Lexer<'_>, tokens: &mut Vec<Token>) -> Result<(), LexError> {
     let mut regex_allowed = true;
     // Brace-depth bookkeeping: when a `}` closes a template substitution we
     // must re-lex it as a template continuation.
@@ -750,8 +814,7 @@ pub fn tokenize_with_comments(src: &str) -> Result<(Vec<Token>, Vec<Comment>), L
                     pos: lexer.pos(),
                 });
             }
-            break;
+            return Ok(());
         }
     }
-    Ok((tokens, lexer.into_comments()))
 }

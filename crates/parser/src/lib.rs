@@ -20,4 +20,4 @@ mod error;
 mod parser;
 
 pub use error::ParseError;
-pub use parser::{parse, parse_with_comments};
+pub use parser::{parse, parse_with_budget, parse_with_comments, parse_with_comments_budget};

@@ -9,14 +9,26 @@
 
 use crate::error::ParseError;
 use jsdetect_ast::*;
+use jsdetect_guard::Budget;
 use jsdetect_lexer::{Comment, Kw, Lexer, Punct, Token, TokenKind};
 
 /// Maximum AST nesting depth accepted by the parser.
 ///
 /// Protects against stack exhaustion on pathological inputs (deeply nested
 /// parentheses or arrays), which matters because the property-based tests
-/// feed the parser arbitrary byte strings.
-const MAX_DEPTH: u32 = 150;
+/// feed the parser arbitrary byte strings. Budgeted entry points use the
+/// budget's own `max_ast_depth` instead.
+const MAX_DEPTH: u32 = jsdetect_guard::LEGACY_MAX_DEPTH;
+
+/// Left-deep chains (`1+1+1+…`, `f()()()`, `a.b.b.b`) are built by loops,
+/// so the recursion guard never sees their nesting — yet every recursive
+/// consumer of the AST (metrics, flow, drop glue) descends them one frame
+/// per link. Chains therefore charge one depth unit per this many links
+/// while they grow, released when the chain's loop exits. Consumer frames
+/// are much smaller than parser frames, so the grain keeps legitimate
+/// minified chains (hundreds of links) inside the cap while bounding the
+/// worst case at `grain × max_depth` AST levels.
+const CHAIN_DEPTH_GRAIN: u32 = 8;
 
 /// Parses a complete program.
 ///
@@ -38,12 +50,31 @@ pub fn parse_with_comments(src: &str) -> Result<(Program, Vec<Comment>), ParseEr
     Ok((prog, p.lexer.into_comments()))
 }
 
+/// Parses under a [`Budget`]: tokens and recursion depth are charged as the
+/// parse runs. A blown budget surfaces as a `ParseError` here — the precise
+/// typed cause stays recorded in the budget for the caller to recover via
+/// `Budget::take_violation`.
+pub fn parse_with_budget(src: &str, budget: &Budget) -> Result<Program, ParseError> {
+    Parser::new_with_budget(src, budget)?.parse_program()
+}
+
+/// [`parse_with_budget`], returning the comments alongside.
+pub fn parse_with_comments_budget<'s>(
+    src: &'s str,
+    budget: &'s Budget,
+) -> Result<(Program, Vec<Comment>), ParseError> {
+    let mut p = Parser::new_with_budget(src, budget)?;
+    let prog = p.parse_program()?;
+    Ok((prog, p.lexer.into_comments()))
+}
+
 struct Parser<'s> {
     lexer: Lexer<'s>,
     cur: Token,
     peeked: Option<Token>,
     depth: u32,
     src_len: u32,
+    budget: Option<&'s Budget>,
 }
 
 /// Snapshot for backtracking (arrow-function cover grammar).
@@ -57,7 +88,20 @@ impl<'s> Parser<'s> {
     fn new(src: &'s str) -> Result<Self, ParseError> {
         let mut lexer = Lexer::new(src);
         let cur = lexer.next_token(false)?;
-        Ok(Parser { lexer, cur, peeked: None, depth: 0, src_len: src.len() as u32 })
+        Ok(Parser { lexer, cur, peeked: None, depth: 0, src_len: src.len() as u32, budget: None })
+    }
+
+    fn new_with_budget(src: &'s str, budget: &'s Budget) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::with_budget(src, budget);
+        let cur = lexer.next_token(false)?;
+        Ok(Parser {
+            lexer,
+            cur,
+            peeked: None,
+            depth: 0,
+            src_len: src.len() as u32,
+            budget: Some(budget),
+        })
     }
 
     // ---- token plumbing -------------------------------------------------
@@ -155,16 +199,51 @@ impl<'s> Parser<'s> {
         Ok(())
     }
 
+    fn check_depth_now(&mut self) -> Result<(), ParseError> {
+        match self.budget {
+            // The budget records the typed `AstDepthExceeded`; only the
+            // stringly rendering travels through the legacy `ParseError`.
+            Some(budget) => {
+                if let Err(e) = budget.check_depth(self.depth) {
+                    return Err(self.err_here(e.to_string()));
+                }
+            }
+            None => {
+                if self.depth > MAX_DEPTH {
+                    return Err(self.err_here("nesting too deep"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn enter(&mut self) -> Result<DepthGuard, ParseError> {
         self.depth += 1;
-        if self.depth > MAX_DEPTH {
-            return Err(self.err_here("nesting too deep"));
-        }
+        self.check_depth_now()?;
         Ok(DepthGuard)
     }
 
     fn leave(&mut self, _g: DepthGuard) {
         self.depth -= 1;
+    }
+
+    /// Charges one more link of an iteratively-built chain against the
+    /// depth budget (see [`CHAIN_DEPTH_GRAIN`]). Call once per wrap inside
+    /// a chain loop; pair with [`Parser::chain_release`] on every exit.
+    fn chain_link(&mut self, links: &mut u32) -> Result<(), ParseError> {
+        *links += 1;
+        if links.is_multiple_of(CHAIN_DEPTH_GRAIN) {
+            self.depth += 1;
+            self.check_depth_now()?;
+        }
+        Ok(())
+    }
+
+    /// Releases the depth charged by `links` chain links. Exact for any
+    /// final `links` value: the charge is `links / GRAIN` whether the loop
+    /// finished or errored mid-chain.
+    fn chain_release(&mut self, links: u32) {
+        self.depth -= links / CHAIN_DEPTH_GRAIN;
     }
 
     /// Automatic semicolon insertion at the end of a statement.
@@ -1064,7 +1143,20 @@ impl<'s> Parser<'s> {
     }
 
     fn parse_binary_inner(&mut self, min_prec: u8, in_allowed: bool) -> Result<Expr, ParseError> {
-        let mut left = self.parse_unary(in_allowed)?;
+        let left = self.parse_unary(in_allowed)?;
+        let mut links = 0u32;
+        let r = self.parse_binary_chain(left, min_prec, in_allowed, &mut links);
+        self.chain_release(links);
+        r
+    }
+
+    fn parse_binary_chain(
+        &mut self,
+        mut left: Expr,
+        min_prec: u8,
+        in_allowed: bool,
+        links: &mut u32,
+    ) -> Result<Expr, ParseError> {
         loop {
             let (prec, right_assoc, kind) = match &self.cur.kind {
                 TokenKind::Keyword(Kw::In) if !in_allowed => break,
@@ -1086,6 +1178,7 @@ impl<'s> Parser<'s> {
             if prec < min_prec {
                 break;
             }
+            self.chain_link(links)?;
             self.advance()?;
             self.rescan_regex_if_slash()?;
             let next_min = if right_assoc { prec } else { prec + 1 };
@@ -1192,7 +1285,7 @@ impl<'s> Parser<'s> {
 
     fn parse_lhs_inner(&mut self) -> Result<Expr, ParseError> {
         let start = self.cur.span.start;
-        let mut e = if self.is_kw(Kw::New) {
+        let e = if self.is_kw(Kw::New) {
             // `new.target` or `new Callee(args)`.
             if self.peek()?.is_punct(Punct::Dot) {
                 let meta = Ident { name: "new".into(), span: self.cur.span };
@@ -1220,9 +1313,17 @@ impl<'s> Parser<'s> {
             self.parse_primary()?
         };
 
+        let mut links = 0u32;
+        let r = self.parse_lhs_chain(e, &mut links);
+        self.chain_release(links);
+        r
+    }
+
+    fn parse_lhs_chain(&mut self, mut e: Expr, links: &mut u32) -> Result<Expr, ParseError> {
         loop {
             match &self.cur.kind {
                 TokenKind::Punct(Punct::Dot) => {
+                    self.chain_link(links)?;
                     self.advance()?;
                     let name = match &self.cur.kind {
                         TokenKind::Ident(n) => n.clone(),
@@ -1240,6 +1341,7 @@ impl<'s> Parser<'s> {
                     };
                 }
                 TokenKind::Punct(Punct::OptionalChain) => {
+                    self.chain_link(links)?;
                     self.advance()?;
                     match &self.cur.kind {
                         TokenKind::Punct(Punct::LParen) => {
@@ -1286,6 +1388,7 @@ impl<'s> Parser<'s> {
                     }
                 }
                 TokenKind::Punct(Punct::LBracket) => {
+                    self.chain_link(links)?;
                     self.advance()?;
                     let idx = self.parse_expr(true)?;
                     let end = self.cur.span.end;
@@ -1299,11 +1402,13 @@ impl<'s> Parser<'s> {
                     };
                 }
                 TokenKind::Punct(Punct::LParen) => {
+                    self.chain_link(links)?;
                     let (args, end) = self.parse_args()?;
                     let span = Span::new(e.span().start, end);
                     e = Expr::Call { callee: Box::new(e), args, span };
                 }
                 TokenKind::TemplateNoSub { .. } | TokenKind::TemplateHead { .. } => {
+                    self.chain_link(links)?;
                     let (quasis, exprs, end) = self.parse_template_parts()?;
                     let span = Span::new(e.span().start, end);
                     e = Expr::TaggedTemplate { tag: Box::new(e), quasis, exprs, span };
@@ -1315,10 +1420,18 @@ impl<'s> Parser<'s> {
     }
 
     /// Like [`Parser::parse_lhs_inner`] but stops before call arguments —
-    /// used for `new Callee`.
+    /// used for `new Callee`. Depth-guarded: `new new new …` recurses here
+    /// without passing through `parse_unary`.
     fn parse_member_only(&mut self) -> Result<Expr, ParseError> {
+        let g = self.enter()?;
+        let r = self.parse_member_only_inner();
+        self.leave(g);
+        r
+    }
+
+    fn parse_member_only_inner(&mut self) -> Result<Expr, ParseError> {
         let start = self.cur.span.start;
-        let mut e = if self.is_kw(Kw::New) {
+        let e = if self.is_kw(Kw::New) {
             self.advance()?;
             let callee = self.parse_member_only()?;
             let (args, end) = if self.is_punct(Punct::LParen) {
@@ -1330,9 +1443,21 @@ impl<'s> Parser<'s> {
         } else {
             self.parse_primary()?
         };
+        let mut links = 0u32;
+        let r = self.parse_member_only_chain(e, &mut links);
+        self.chain_release(links);
+        r
+    }
+
+    fn parse_member_only_chain(
+        &mut self,
+        mut e: Expr,
+        links: &mut u32,
+    ) -> Result<Expr, ParseError> {
         loop {
             match &self.cur.kind {
                 TokenKind::Punct(Punct::Dot) => {
+                    self.chain_link(links)?;
                     self.advance()?;
                     let name = match &self.cur.kind {
                         TokenKind::Ident(n) => n.clone(),
@@ -1350,6 +1475,7 @@ impl<'s> Parser<'s> {
                     };
                 }
                 TokenKind::Punct(Punct::LBracket) => {
+                    self.chain_link(links)?;
                     self.advance()?;
                     let idx = self.parse_expr(true)?;
                     let end = self.cur.span.end;
@@ -1759,7 +1885,16 @@ fn assign_op_of(p: Punct) -> Option<AssignOp> {
 impl<'s> Parser<'s> {
     // ---- patterns --------------------------------------------------------
 
+    /// Depth-guarded: nested array/object patterns recurse here without
+    /// passing through the expression-level guards.
     fn parse_binding_pat(&mut self) -> Result<Pat, ParseError> {
+        let g = self.enter()?;
+        let r = self.parse_binding_pat_inner();
+        self.leave(g);
+        r
+    }
+
+    fn parse_binding_pat_inner(&mut self) -> Result<Pat, ParseError> {
         match &self.cur.kind {
             TokenKind::Ident(name) => {
                 let id = Ident { name: name.clone(), span: self.cur.span };

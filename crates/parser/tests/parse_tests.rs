@@ -662,6 +662,66 @@ fn deeply_nested_input_errors_instead_of_overflowing() {
 }
 
 #[test]
+fn fifty_k_deep_paren_bomb_errors_instead_of_overflowing() {
+    // The ISSUE-4 regression input: 50k-deep `((((…))))`.
+    let src = format!("{}1{}", "(".repeat(50_000), ")".repeat(50_000));
+    assert!(parse(&src).is_err());
+}
+
+#[test]
+fn new_chain_and_binding_pattern_bombs_error_instead_of_overflowing() {
+    // `new new new … a` recurses through parse_member_only, which used to
+    // have no depth guard.
+    let src = format!("{}a", "new ".repeat(50_000));
+    assert!(parse(&src).is_err());
+    // Nested binding patterns recurse through parse_binding_pat, which also
+    // used to have no depth guard.
+    let pat = format!("var {}a{} = x;", "[".repeat(50_000), "]".repeat(50_000));
+    assert!(parse(&pat).is_err());
+    let obj = format!("var {}a{} = x;", "{a:".repeat(50_000), "}".repeat(50_000));
+    assert!(parse(&obj).is_err());
+}
+
+#[test]
+fn iterative_chain_bombs_error_instead_of_overflowing() {
+    // Left-deep chains are built by parser loops, not recursion, so the
+    // plain recursion guard never fires on them — but downstream recursive
+    // consumers (and drop glue) descend one frame per link. The chain
+    // charge must bound them all the same.
+    let binary = format!("x = 1{};", "+1".repeat(200_000));
+    assert!(parse(&binary).is_err());
+    let call = format!("f{};", "()".repeat(100_000));
+    assert!(parse(&call).is_err());
+    let member = format!("a{};", ".b".repeat(100_000));
+    assert!(parse(&member).is_err());
+    let new_member = format!("new a{};", ".b".repeat(100_000));
+    assert!(parse(&new_member).is_err());
+    // Moderate chains — routine in minified bundles — still parse.
+    let legit_binary = format!("x = 1{};", "+1".repeat(500));
+    assert!(parse(&legit_binary).is_ok());
+    let legit_member = format!("a{};", ".b".repeat(500));
+    assert!(parse(&legit_member).is_ok());
+}
+
+#[test]
+fn budgeted_parse_records_typed_depth_violation() {
+    use jsdetect_guard::{AnalysisError, Budget, Limits};
+    let src = format!("{}1{}", "(".repeat(50_000), ")".repeat(50_000));
+    let budget = Budget::new(&Limits::wild());
+    assert!(jsdetect_parser::parse_with_budget(&src, &budget).is_err());
+    assert_eq!(
+        budget.take_violation(),
+        Some(AnalysisError::AstDepthExceeded { limit: Limits::wild().max_ast_depth })
+    );
+    // A shallow program under the same preset parses fine and records
+    // nothing.
+    let budget = Budget::new(&Limits::wild());
+    assert!(jsdetect_parser::parse_with_budget("var x = (1 + 2) * 3;", &budget).is_ok());
+    assert!(budget.take_violation().is_none());
+    assert!(budget.tokens_used() > 0);
+}
+
+#[test]
 fn realistic_program_parses() {
     let src = r#"
         (function (global, factory) {

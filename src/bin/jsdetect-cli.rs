@@ -32,7 +32,9 @@ fn usage() -> ! {
          jsdetect-cli transform --technique <name> [--seed 42] <file.js>\n  \
          jsdetect-cli lint [--emit-diagnostics json] <file.js>...\n  \
          jsdetect-cli analyze [--telemetry summary|jsonl] [--telemetry-out <file>] \
-         [--strict] <file.js|dir>...\n\n\
+         [--limits wild|trusted|interactive] [--keep-going|--fail-fast] \
+         [--quarantine-out <file>] [--strict] <file.js|dir>...\n  \
+         jsdetect-cli chaos-corpus --out <dir>\n\n\
          techniques: {}",
         Technique::ALL.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(", ")
     );
@@ -51,7 +53,22 @@ fn main() {
         Some("transform") => cmd_transform(&argv),
         Some("lint") => cmd_lint(&argv),
         Some("analyze") => cmd_analyze(&argv),
+        Some("chaos-corpus") => cmd_chaos_corpus(&argv),
         _ => usage(),
+    }
+}
+
+/// Materializes the deterministic chaos corpus (pathological inputs the
+/// hardened sandbox must survive) into a directory, for CI and manual
+/// stress runs.
+fn cmd_chaos_corpus(argv: &[String]) {
+    let dir = arg_value(argv, "--out").unwrap_or_else(|| usage());
+    match jsdetect_suite::corpus::write_chaos_corpus(std::path::Path::new(&dir)) {
+        Ok(paths) => eprintln!("wrote {} chaos cases to {}", paths.len(), dir),
+        Err(e) => {
+            eprintln!("{}", e);
+            std::process::exit(1);
+        }
     }
 }
 
@@ -284,18 +301,45 @@ fn collect_js_files(paths: &[&String]) -> Vec<std::path::PathBuf> {
     out
 }
 
-/// Runs the full per-script analysis front-end over the given files and
-/// reports the collected telemetry. `--strict` exits non-zero when any
-/// script fails to parse (used by CI to keep the example corpus green).
+/// Runs the hardened per-script analysis front-end over the given files,
+/// prints a per-file outcome summary (ok/degraded/rejected), and reports
+/// the collected telemetry.
+///
+/// `--keep-going` (default) quarantines failures and continues;
+/// `--fail-fast` exits non-zero at the first non-ok outcome. `--strict`
+/// exits non-zero only when *rejects* occur (resource exhaustion, panics,
+/// unreadable files) — degraded parse failures are tolerated.
 fn cmd_analyze(argv: &[String]) {
+    use jsdetect_suite::detector::{analyze_many_guarded, AnalysisConfig};
+    use jsdetect_suite::guard::{AnalysisError, Limits, OutcomeKind, QuarantineReport};
+
     let format = arg_value(argv, "--telemetry").unwrap_or_else(|| "summary".to_string());
     if format != "summary" && format != "jsonl" {
         eprintln!("unsupported --telemetry format: {} (expected summary or jsonl)", format);
         usage();
     }
     let out_path = arg_value(argv, "--telemetry-out");
+    let quarantine_out = arg_value(argv, "--quarantine-out");
     let strict = argv.iter().any(|a| a == "--strict");
-    let flag_values = [arg_value(argv, "--telemetry"), out_path.clone()];
+    let fail_fast = argv.iter().any(|a| a == "--fail-fast");
+    if fail_fast && argv.iter().any(|a| a == "--keep-going") {
+        eprintln!("--fail-fast and --keep-going are mutually exclusive");
+        usage();
+    }
+    let limits_name = arg_value(argv, "--limits").unwrap_or_else(|| "wild".to_string());
+    let limits = Limits::from_name(&limits_name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown --limits preset: {} (expected wild, trusted, or interactive)",
+            limits_name
+        );
+        usage()
+    });
+    let flag_values = [
+        arg_value(argv, "--telemetry"),
+        out_path.clone(),
+        quarantine_out.clone(),
+        arg_value(argv, "--limits"),
+    ];
     let inputs: Vec<&String> = argv
         .iter()
         .skip(2)
@@ -311,27 +355,65 @@ fn cmd_analyze(argv: &[String]) {
         std::process::exit(2);
     }
 
-    let mut srcs = Vec::with_capacity(files.len());
+    jsdetect_suite::obs::set_enabled(true);
+
+    // Read as bytes so unreadable or non-UTF8 files become quarantined
+    // `Io` records instead of aborting the whole batch.
+    let mut sources: Vec<Result<String, AnalysisError>> = Vec::with_capacity(files.len());
     for f in &files {
-        match std::fs::read_to_string(f) {
-            Ok(s) => srcs.push(s),
+        let read = match std::fs::read(f) {
+            Ok(bytes) => String::from_utf8(bytes).map_err(|e| AnalysisError::Io {
+                path: f.display().to_string(),
+                msg: format!("not valid UTF-8: {}", e.utf8_error()),
+            }),
+            Err(e) => Err(AnalysisError::Io { path: f.display().to_string(), msg: e.to_string() }),
+        };
+        sources.push(read);
+    }
+
+    let refs: Vec<&str> =
+        sources.iter().filter_map(|s| s.as_ref().ok()).map(String::as_str).collect();
+    let config = AnalysisConfig { limits, fail_fast };
+    let results = analyze_many_guarded(&refs, &config);
+
+    // Reassemble per-file outcomes in input order (read failures never
+    // reached the batch).
+    let mut quarantine = QuarantineReport::new();
+    let mut results_iter = results.into_iter();
+    for (f, src) in files.iter().zip(&sources) {
+        match src {
             Err(e) => {
-                eprintln!("cannot read {}: {}", f.display(), e);
-                std::process::exit(1);
+                jsdetect_suite::obs::counter_add(e.counter_name(), 1);
+                quarantine.push(f.display().to_string(), OutcomeKind::Rejected, Some(e));
+            }
+            Ok(_) => {
+                let r = results_iter.next().expect("one result per readable file");
+                quarantine.push(f.display().to_string(), r.outcome, r.error.as_ref());
             }
         }
     }
-
-    jsdetect_suite::obs::set_enabled(true);
-    let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
-    let analyses = jsdetect_suite::detector::analyze_many(&refs);
-    for (f, a) in files.iter().zip(&analyses) {
-        if a.is_none() {
-            eprintln!("{}: failed to parse", f.display());
+    for r in quarantine.records() {
+        if r.outcome != OutcomeKind::Ok {
+            let detail = r.error.as_deref().unwrap_or("unknown error");
+            eprintln!("{}: {} ({})", r.file, r.outcome.as_str(), detail);
         }
     }
-    let n_ok = analyses.iter().filter(|a| a.is_some()).count();
-    eprintln!("analyzed {}/{} scripts", n_ok, files.len());
+    let (n_ok, n_degraded, n_rejected) = quarantine.counts();
+    eprintln!(
+        "analyzed {} scripts: {} ok, {} degraded, {} rejected",
+        files.len(),
+        n_ok,
+        n_degraded,
+        n_rejected
+    );
+
+    if let Some(p) = quarantine_out {
+        if let Err(e) = std::fs::write(&p, quarantine.to_jsonl()) {
+            eprintln!("cannot write {}: {}", p, e);
+            std::process::exit(1);
+        }
+        eprintln!("quarantine report written to {}", p);
+    }
 
     let snap = jsdetect_suite::obs::snapshot();
     let report = match format.as_str() {
@@ -349,8 +431,14 @@ fn cmd_analyze(argv: &[String]) {
         None => print!("{}", report),
     }
 
-    if strict && snap.counter("parse_failures") > 0 {
-        eprintln!("--strict: {} parse failure(s)", snap.counter("parse_failures"));
+    if fail_fast && (n_degraded > 0 || n_rejected > 0) {
+        if let Some(r) = quarantine.records().iter().find(|r| r.outcome != OutcomeKind::Ok) {
+            eprintln!("--fail-fast: first failure was {} ({})", r.file, r.outcome.as_str());
+        }
+        std::process::exit(1);
+    }
+    if strict && n_rejected > 0 {
+        eprintln!("--strict: {} rejected script(s)", n_rejected);
         std::process::exit(1);
     }
 }

@@ -6,6 +6,7 @@ pub use jsdetect_codegen as codegen;
 pub use jsdetect_corpus as corpus;
 pub use jsdetect_features as features;
 pub use jsdetect_flow as flow;
+pub use jsdetect_guard as guard;
 pub use jsdetect_lexer as lexer;
 pub use jsdetect_lint as lint;
 pub use jsdetect_ml as ml;
