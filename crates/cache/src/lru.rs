@@ -1,0 +1,145 @@
+//! A small LRU map used as the in-memory front of the on-disk store.
+//!
+//! Recency is tracked with a monotonically increasing tick per access and
+//! a `BTreeMap<tick, key>` ordered index, so get/insert/evict are all
+//! `O(log n)` without unsafe pointer juggling (the workspace forbids
+//! `unsafe`). Capacities are small (thousands of entries), so the log
+//! factor is noise next to the disk read it saves.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A fixed-capacity least-recently-used map.
+#[derive(Debug)]
+pub struct LruMap<K: Eq + Hash + Clone, V> {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<K, (u64, V)>,
+    by_age: BTreeMap<u64, K>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
+    /// Creates a map holding at most `capacity` entries. A capacity of 0
+    /// disables the map (every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruMap { capacity, tick: 0, entries: HashMap::new(), by_age: BTreeMap::new() }
+    }
+
+    /// Number of live entries (test observability).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty (test observability).
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks `key` up, refreshing its recency on hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let (age, _) = self.entries.get(key)?;
+        let old_age = *age;
+        self.tick += 1;
+        let tick = self.tick;
+        self.by_age.remove(&old_age);
+        let entry = self.entries.get_mut(key).expect("entry just found");
+        entry.0 = tick;
+        self.by_age.insert(tick, key.clone());
+        Some(entry.1.clone())
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((old_age, _)) = self.entries.get(&key) {
+            self.by_age.remove(&{ *old_age });
+        } else if self.entries.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.by_age.iter().next() {
+                if let Some(victim) = self.by_age.remove(&oldest) {
+                    self.entries.remove(&victim);
+                }
+            }
+        }
+        self.by_age.insert(tick, key.clone());
+        self.entries.insert(key, (tick, value));
+    }
+
+    /// Removes `key` if present (used when a disk record is evicted as
+    /// corrupt, so memory never outlives disk truth).
+    pub fn remove(&mut self, key: &K) {
+        if let Some((age, _)) = self.entries.remove(key) {
+            self.by_age.remove(&age);
+        }
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.by_age.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruMap::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.get(&"a"), Some(1)); // refresh a; b is now oldest
+        lru.insert("c", 3);
+        assert_eq!(lru.get(&"b"), None);
+        assert_eq!(lru.get(&"a"), Some(1));
+        assert_eq!(lru.get(&"c"), Some(3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_growing() {
+        let mut lru = LruMap::new(2);
+        lru.insert("a", 1);
+        lru.insert("a", 10);
+        lru.insert("b", 2);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&"a"), Some(10));
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut lru = LruMap::new(0);
+        lru.insert("a", 1);
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&"a"), None);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut lru = LruMap::new(4);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.remove(&"a");
+        assert_eq!(lru.get(&"a"), None);
+        assert_eq!(lru.len(), 1);
+        lru.clear();
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn heavy_mixed_workload_respects_capacity() {
+        let mut lru = LruMap::new(16);
+        for i in 0..1000u32 {
+            lru.insert(i % 40, i);
+            lru.get(&(i % 7));
+            assert!(lru.len() <= 16);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Offline maintenance over a cache directory: `stats`, `verify`, `gc`.
+//!
+//! These walk the sharded layout directly (no [`AnalysisCache`] handle
+//! needed), so the CLI can inspect or repair a store regardless of which
+//! preset or feature-space version wrote it. A missing directory is an
+//! empty store, not an error — `jsdetect-cli cache stats` on a fresh
+//! checkout should report zeros, not fail.
+//!
+//! [`AnalysisCache`]: crate::AnalysisCache
+
+use crate::record::{decode_embedded, peek_header, DecodeError, RECORD_SCHEMA_VERSION};
+use crate::store::RECORD_EXT;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// What one walked file turned out to be.
+enum Walked {
+    Record(PathBuf, u64),
+    Tmp(PathBuf),
+}
+
+/// Yields every record / tmp file under `dir`'s two-hex shard directories.
+fn walk(dir: &Path) -> std::io::Result<Vec<Walked>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for shard in std::fs::read_dir(dir)? {
+        let shard = shard?;
+        let name = shard.file_name();
+        let name = name.to_string_lossy();
+        // Only two-hex shard directories belong to the store; anything
+        // else in the root (user files, other tools) is left alone.
+        if name.len() != 2 || !name.bytes().all(|b| b.is_ascii_hexdigit()) {
+            continue;
+        }
+        if !shard.file_type()?.is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(shard.path())? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let path = entry.path();
+            let fname = entry.file_name();
+            let fname = fname.to_string_lossy();
+            if fname.starts_with(".tmp-") {
+                out.push(Walked::Tmp(path));
+            } else if fname.ends_with(&format!(".{}", RECORD_EXT)) {
+                out.push(Walked::Record(path, entry.metadata()?.len()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a record file name into its `(hash prefix hex, preset tag)`
+/// parts, or `None` when the name does not follow the store's convention.
+fn parse_record_name(path: &Path) -> Option<(String, String)> {
+    let stem = path.file_name()?.to_str()?.strip_suffix(&format!(".{}", RECORD_EXT))?;
+    if stem.len() < 34 || stem.as_bytes()[32] != b'-' {
+        return None;
+    }
+    let prefix = &stem[..32];
+    if !prefix.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    Some((prefix.to_string(), stem[33..].to_string()))
+}
+
+/// Aggregate figures for one cache directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStats {
+    /// Readable, current-schema records.
+    pub records: u64,
+    /// Total bytes across all record files.
+    pub bytes: u64,
+    /// Record count per limits-preset tag.
+    pub by_preset: BTreeMap<String, u64>,
+    /// Record count per feature-space version.
+    pub by_feature_version: BTreeMap<u32, u64>,
+    /// Records written under another record schema.
+    pub stale_schema: u64,
+    /// Records that fail checksum / structural validation.
+    pub corrupt: u64,
+    /// Leftover tmp files from interrupted writers.
+    pub tmp_files: u64,
+    /// Shard directories holding at least one file.
+    pub shards_used: u64,
+}
+
+/// Walks `dir` and summarizes what the store holds.
+///
+/// # Errors
+///
+/// Propagates directory-walk IO errors; unreadable individual records are
+/// counted as corrupt instead of failing the walk.
+pub fn stats(dir: &Path) -> std::io::Result<CacheStats> {
+    let mut s = CacheStats::default();
+    let mut shards = std::collections::BTreeSet::new();
+    for item in walk(dir)? {
+        match item {
+            Walked::Tmp(path) => {
+                s.tmp_files += 1;
+                if let Some(parent) = path.parent() {
+                    shards.insert(parent.to_path_buf());
+                }
+            }
+            Walked::Record(path, len) => {
+                s.bytes += len;
+                if let Some(parent) = path.parent() {
+                    shards.insert(parent.to_path_buf());
+                }
+                let bytes = match std::fs::read(&path) {
+                    Ok(b) => b,
+                    Err(_) => {
+                        s.corrupt += 1;
+                        continue;
+                    }
+                };
+                match peek_header(&bytes) {
+                    Ok((schema, _, _)) if schema != RECORD_SCHEMA_VERSION => s.stale_schema += 1,
+                    Ok((_, feature_version, preset)) => {
+                        s.records += 1;
+                        *s.by_preset.entry(preset).or_insert(0) += 1;
+                        *s.by_feature_version.entry(feature_version).or_insert(0) += 1;
+                    }
+                    Err(e) if e.is_stale() => s.stale_schema += 1,
+                    Err(_) => s.corrupt += 1,
+                }
+            }
+        }
+    }
+    s.shards_used = shards.len() as u64;
+    Ok(s)
+}
+
+/// Outcome of a full-store integrity pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
+pub struct VerifyReport {
+    /// Record files examined.
+    pub total: u64,
+    /// Records that fully decode and whose file name matches their
+    /// embedded hash prefix and preset tag.
+    pub ok: u64,
+    /// Well-formed records from another schema version.
+    pub stale: u64,
+    /// Damaged or misnamed records, with the reason (path rendered as a
+    /// string so the report serializes with the vendored serde).
+    pub corrupt: Vec<(String, String)>,
+}
+
+impl VerifyReport {
+    /// Whether the store is fully healthy (stale records are healthy —
+    /// they decode and will be replaced or collected, never served).
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty()
+    }
+}
+
+/// Fully decodes every record (checksum, structure, payload) and checks
+/// that each file name agrees with the record inside it.
+///
+/// # Errors
+///
+/// Propagates directory-walk IO errors.
+pub fn verify(dir: &Path) -> std::io::Result<VerifyReport> {
+    let mut report = VerifyReport::default();
+    for item in walk(dir)? {
+        let (path, _) = match item {
+            Walked::Record(p, len) => (p, len),
+            Walked::Tmp(_) => continue,
+        };
+        report.total += 1;
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                report.corrupt.push((path.display().to_string(), format!("unreadable: {}", e)));
+                continue;
+            }
+        };
+        match decode_embedded(&bytes) {
+            Ok((_, hash, _, preset)) => match parse_record_name(&path) {
+                Some((name_prefix, name_preset))
+                    if name_prefix == hash.prefix_hex() && name_preset == preset =>
+                {
+                    report.ok += 1;
+                }
+                Some(_) => report.corrupt.push((
+                    path.display().to_string(),
+                    "file name disagrees with embedded record".to_string(),
+                )),
+                None => report
+                    .corrupt
+                    .push((path.display().to_string(), "unparseable record file name".to_string())),
+            },
+            Err(e) if e.is_stale() => report.stale += 1,
+            Err(e) => report.corrupt.push((path.display().to_string(), e.to_string())),
+        }
+    }
+    Ok(report)
+}
+
+/// Outcome of a garbage-collection pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
+pub struct GcReport {
+    /// Records removed because they were written under another schema or
+    /// feature-space version.
+    pub removed_stale: u64,
+    /// Records removed because they fail validation.
+    pub removed_corrupt: u64,
+    /// Interrupted-writer tmp files removed.
+    pub removed_tmp: u64,
+    /// Healthy records kept.
+    pub kept: u64,
+}
+
+/// Removes everything the store can no longer serve: corrupt records,
+/// records from other schema or feature-space versions, and tmp litter.
+/// Records for *other presets* under the current versions are kept — they
+/// are valid answers for their own scans.
+///
+/// # Errors
+///
+/// Propagates directory-walk IO errors; per-file remove failures leave the
+/// file for the next pass rather than aborting.
+pub fn gc(dir: &Path, current_feature_version: u32) -> std::io::Result<GcReport> {
+    let mut report = GcReport::default();
+    for item in walk(dir)? {
+        match item {
+            Walked::Tmp(path) => {
+                if std::fs::remove_file(&path).is_ok() {
+                    report.removed_tmp += 1;
+                }
+            }
+            Walked::Record(path, _) => {
+                let verdict = std::fs::read(&path)
+                    .map_err(|_| DecodeError::Malformed("unreadable"))
+                    .and_then(|b| decode_embedded(&b).map(|(_, _, fv, _)| fv));
+                match verdict {
+                    Ok(fv) if fv == current_feature_version => report.kept += 1,
+                    Ok(_) => {
+                        if std::fs::remove_file(&path).is_ok() {
+                            report.removed_stale += 1;
+                        }
+                    }
+                    Err(e) if e.is_stale() => {
+                        if std::fs::remove_file(&path).is_ok() {
+                            report.removed_stale += 1;
+                        }
+                    }
+                    Err(_) => {
+                        if std::fs::remove_file(&path).is_ok() {
+                            report.removed_corrupt += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blake::ContentHash;
+    use crate::record::{encode, CacheRecord};
+    use crate::store::{AnalysisCache, CacheConfig};
+    use jsdetect_guard::{Limits, OutcomeKind};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn scratch() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "jsdetect-cache-maint-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn rec() -> CacheRecord {
+        CacheRecord {
+            outcome: OutcomeKind::Ok,
+            error_kind: String::new(),
+            error_msg: String::new(),
+            payload: None,
+        }
+    }
+
+    fn seeded(dir: &Path, n: usize) -> AnalysisCache {
+        let cache = AnalysisCache::open(CacheConfig::new(dir, &Limits::wild())).unwrap();
+        for i in 0..n {
+            let h = ContentHash::of(format!("var v{} = {};", i, i).as_bytes());
+            cache.put(&h, &rec());
+        }
+        cache
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_store() {
+        let dir = scratch().join("nope");
+        assert_eq!(stats(&dir).unwrap(), CacheStats::default());
+        assert_eq!(verify(&dir).unwrap(), VerifyReport::default());
+        assert_eq!(gc(&dir, 2).unwrap(), GcReport::default());
+    }
+
+    #[test]
+    fn stats_counts_records_presets_and_versions() {
+        let dir = scratch();
+        seeded(&dir, 5);
+        let s = stats(&dir).unwrap();
+        assert_eq!(s.records, 5);
+        assert_eq!(s.by_preset.get("wild"), Some(&5));
+        assert_eq!(s.by_feature_version.len(), 1);
+        assert!(s.bytes > 0);
+        assert!(s.shards_used >= 1);
+        assert_eq!(s.corrupt, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_flags_corruption_and_misnamed_files() {
+        let dir = scratch();
+        let cache = seeded(&dir, 3);
+        assert!(verify(&dir).unwrap().is_clean());
+
+        // Corrupt one record in place.
+        let h = ContentHash::of(b"var v0 = 0;");
+        let victim = cache.record_path(&h);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        // Plant a record whose file name lies about its content.
+        let other = ContentHash::of(b"something else entirely");
+        let liar = dir.join(other.shard()).join(format!("{}-wild.jdc", other.prefix_hex()));
+        std::fs::create_dir_all(liar.parent().unwrap()).unwrap();
+        std::fs::write(&liar, encode(&rec(), &h, 2, "wild")).unwrap();
+
+        let report = verify(&dir).unwrap();
+        assert_eq!(report.total, 4);
+        assert_eq!(report.ok, 2);
+        assert_eq!(report.corrupt.len(), 2);
+        assert!(!report.is_clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_removes_stale_corrupt_and_tmp_but_keeps_other_presets() {
+        let dir = scratch();
+        let cache = seeded(&dir, 2);
+        let fv = cache.config().feature_version;
+
+        // Another preset at the current version: must survive.
+        let trusted = AnalysisCache::open(CacheConfig::new(&dir, &Limits::trusted())).unwrap();
+        let h = ContentHash::of(b"keep me");
+        trusted.put(&h, &rec());
+
+        // A stale-feature-version record.
+        let mut cfg = CacheConfig::new(&dir, &Limits::wild());
+        cfg.feature_version = fv + 1;
+        let future = AnalysisCache::open(cfg).unwrap();
+        let h2 = ContentHash::of(b"stale me");
+        future.put(&h2, &rec());
+
+        // A zero-length (corrupt) record and an orphan tmp file.
+        let h3 = ContentHash::of(b"corrupt me");
+        std::fs::create_dir_all(dir.join(h3.shard())).unwrap();
+        std::fs::write(dir.join(h3.shard()).join(format!("{}-wild.jdc", h3.prefix_hex())), b"")
+            .unwrap();
+        std::fs::write(dir.join(h3.shard()).join(".tmp-999-0"), b"partial").unwrap();
+
+        let report = gc(&dir, fv).unwrap();
+        assert_eq!(report.kept, 3, "{:?}", report);
+        assert_eq!(report.removed_stale, 1);
+        assert_eq!(report.removed_corrupt, 1);
+        assert_eq!(report.removed_tmp, 1);
+        assert!(trusted.record_path(&h).exists());
+        assert!(!future.record_path(&h2).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,424 @@
+//! The sharded on-disk store with an in-memory LRU front.
+//!
+//! Layout: `<dir>/<2-hex shard>/<32-hex hash prefix>-<preset>.jdc`, 256
+//! shards keyed by the first digest byte. Writers publish with
+//! write-to-tmp + atomic rename, so readers (in this process or another)
+//! never observe a half-written record; a per-shard mutex serializes this
+//! process's IO per shard so two workers that miss on the same script
+//! don't interleave tmp files. Cross-process writers are safe without
+//! file locks because both sides publish byte-identical content for the
+//! same key and rename is atomic — last writer wins with the same bytes.
+//!
+//! Every failure mode degrades to a recompute, never an abort: a corrupt
+//! record (truncated, bit-flipped, zero-length) is evicted from disk and
+//! counted under `cache/corrupt_evicted`; a record from another
+//! feature-space or schema version is left for `gc` and counted under
+//! `cache/stale_version`; both count a `cache/miss` so hit-rate math stays
+//! honest.
+
+use crate::blake::ContentHash;
+use crate::lru::LruMap;
+use crate::record::{decode, encode, CacheRecord};
+use jsdetect_guard::Limits;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of two-hex-prefix shard directories.
+pub const N_SHARDS: usize = 256;
+
+/// Default in-memory LRU capacity (records).
+pub const DEFAULT_LRU_CAPACITY: usize = 4096;
+
+/// File extension of cache records.
+pub const RECORD_EXT: &str = "jdc";
+
+/// Stable tag naming the limits a cached verdict was produced under.
+///
+/// Named presets map to themselves; any other [`Limits`] value gets a
+/// content-derived `custom-<12 hex>` tag, so two different custom budgets
+/// can never replay each other's verdicts.
+pub fn preset_tag(limits: &Limits) -> String {
+    for (name, preset) in [
+        ("wild", Limits::wild()),
+        ("trusted", Limits::trusted()),
+        ("interactive", Limits::interactive()),
+        ("unbounded", Limits::unbounded()),
+    ] {
+        if *limits == preset {
+            return name.to_string();
+        }
+    }
+    let json = serde_json::to_string(limits).unwrap_or_default();
+    let digest = ContentHash::of(json.as_bytes()).to_hex();
+    format!("custom-{}", &digest[..12])
+}
+
+/// Configuration for one opened cache.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Root directory of the store.
+    pub dir: PathBuf,
+    /// Feature-space version the cached payloads must match
+    /// (`jsdetect_features::FEATURE_SPACE_VERSION` in production; tests
+    /// inject other values to exercise invalidation).
+    pub feature_version: u32,
+    /// Limits preset tag (see [`preset_tag`]) baked into every key.
+    pub preset: String,
+    /// When set, lookups work but misses are never published back.
+    pub readonly: bool,
+    /// Capacity of the in-memory LRU front, in records.
+    pub lru_capacity: usize,
+}
+
+impl CacheConfig {
+    /// A read-write config for `dir` under the current feature-space
+    /// version and the given limits.
+    pub fn new(dir: impl Into<PathBuf>, limits: &Limits) -> CacheConfig {
+        CacheConfig {
+            dir: dir.into(),
+            feature_version: jsdetect_features::FEATURE_SPACE_VERSION,
+            preset: preset_tag(limits),
+            readonly: false,
+            lru_capacity: DEFAULT_LRU_CAPACITY,
+        }
+    }
+}
+
+/// A content-addressed feature-vector cache:
+/// `(content hash, feature-space version, limits preset) → CacheRecord`.
+#[derive(Debug)]
+pub struct AnalysisCache {
+    config: CacheConfig,
+    /// Per-shard IO locks; index = first digest byte.
+    shards: Vec<Mutex<()>>,
+    lru: Mutex<LruMap<[u8; ContentHash::PREFIX_LEN], Arc<CacheRecord>>>,
+    tmp_seq: AtomicU64,
+}
+
+impl AnalysisCache {
+    /// Opens (creating if needed) the store rooted at `config.dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error when the root directory cannot be
+    /// created (readonly opens tolerate a missing directory: every lookup
+    /// just misses).
+    pub fn open(config: CacheConfig) -> std::io::Result<AnalysisCache> {
+        if !config.readonly {
+            std::fs::create_dir_all(&config.dir)?;
+        }
+        let shards = (0..N_SHARDS).map(|_| Mutex::new(())).collect();
+        let lru = Mutex::new(LruMap::new(config.lru_capacity));
+        Ok(AnalysisCache { config, shards, lru, tmp_seq: AtomicU64::new(0) })
+    }
+
+    /// The configuration this cache was opened with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The on-disk path of `hash`'s record.
+    pub fn record_path(&self, hash: &ContentHash) -> PathBuf {
+        self.config.dir.join(hash.shard()).join(format!(
+            "{}-{}.{}",
+            hash.prefix_hex(),
+            self.config.preset,
+            RECORD_EXT
+        ))
+    }
+
+    fn lru_key(hash: &ContentHash) -> [u8; ContentHash::PREFIX_LEN] {
+        hash.0[..ContentHash::PREFIX_LEN].try_into().expect("prefix length")
+    }
+
+    fn shard_lock(&self, hash: &ContentHash) -> std::sync::MutexGuard<'_, ()> {
+        self.shards[hash.shard_index()].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks one content hash up. `None` is always a recompute signal; the
+    /// reason (plain miss, stale version, corrupt record) is reported
+    /// through the `cache/*` counters.
+    pub fn get(&self, hash: &ContentHash) -> Option<Arc<CacheRecord>> {
+        let _t = jsdetect_obs::span("cache_get");
+        if let Some(rec) =
+            self.lru.lock().unwrap_or_else(|e| e.into_inner()).get(&Self::lru_key(hash))
+        {
+            jsdetect_obs::counter_add("cache/hit", 1);
+            return Some(rec);
+        }
+        let path = self.record_path(hash);
+        let bytes = {
+            let _guard = self.shard_lock(hash);
+            match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(_) => {
+                    jsdetect_obs::counter_add("cache/miss", 1);
+                    return None;
+                }
+            }
+        };
+        match decode(&bytes, hash, self.config.feature_version, &self.config.preset) {
+            Ok(rec) => {
+                jsdetect_obs::counter_add("cache/hit", 1);
+                let rec = Arc::new(rec);
+                self.lru
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(Self::lru_key(hash), rec.clone());
+                Some(rec)
+            }
+            Err(e) if e.is_stale() => {
+                // Valid record from another version: recompute (and let
+                // `put` overwrite / `gc` collect it), but never delete a
+                // file another feature-space version could still serve.
+                jsdetect_obs::counter_add("cache/stale_version", 1);
+                jsdetect_obs::counter_add("cache/miss", 1);
+                None
+            }
+            Err(_) => {
+                // Corrupt on disk: evict the file so the next pass
+                // rewrites it, and drop any memory copy.
+                jsdetect_obs::counter_add("cache/corrupt_evicted", 1);
+                jsdetect_obs::counter_add("cache/miss", 1);
+                let _guard = self.shard_lock(hash);
+                let _ = std::fs::remove_file(&path);
+                self.lru.lock().unwrap_or_else(|e| e.into_inner()).remove(&Self::lru_key(hash));
+                None
+            }
+        }
+    }
+
+    /// Publishes one record under `hash`. Errors are counted
+    /// (`cache/publish_failed`) and swallowed: a cache that cannot write
+    /// degrades to a slower scan, never a failed one.
+    pub fn put(&self, hash: &ContentHash, record: &CacheRecord) {
+        if self.config.readonly {
+            return;
+        }
+        let _t = jsdetect_obs::span("cache_put");
+        let bytes = encode(record, hash, self.config.feature_version, &self.config.preset);
+        let path = self.record_path(hash);
+        let shard_dir = path.parent().expect("record path has a shard directory");
+        let tmp = shard_dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _guard = self.shard_lock(hash);
+        let wrote = std::fs::create_dir_all(shard_dir)
+            .and_then(|_| std::fs::write(&tmp, &bytes))
+            .and_then(|_| std::fs::rename(&tmp, &path));
+        match wrote {
+            Ok(()) => {
+                jsdetect_obs::counter_add("cache/put", 1);
+                self.lru
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(Self::lru_key(hash), Arc::new(record.clone()));
+            }
+            Err(_) => {
+                jsdetect_obs::counter_add("cache/publish_failed", 1);
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// Drops the in-memory front (disk records stay). Tests use this to
+    /// force disk reads; long-running services can use it to bound memory.
+    pub fn drop_memory(&self) {
+        self.lru.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Root directory of this store.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsdetect_features::FeaturePayload;
+    use jsdetect_guard::OutcomeKind;
+    use std::sync::atomic::AtomicU32;
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    /// A unique scratch dir per test (no tempfile crate offline).
+    fn scratch() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "jsdetect-cache-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample() -> CacheRecord {
+        CacheRecord {
+            outcome: OutcomeKind::Ok,
+            error_kind: String::new(),
+            error_msg: String::new(),
+            payload: Some(FeaturePayload {
+                handpicked: vec![1.0, 2.0],
+                lint: vec![0.5],
+                ngrams: vec![([1, 2, 3, 4], 9)],
+                degraded: false,
+            }),
+        }
+    }
+
+    fn open(dir: &Path) -> AnalysisCache {
+        AnalysisCache::open(CacheConfig::new(dir, &Limits::wild())).unwrap()
+    }
+
+    #[test]
+    fn put_then_get_roundtrips_via_disk_and_memory() {
+        let dir = scratch();
+        let cache = open(&dir);
+        let h = ContentHash::of(b"var x = 1;");
+        assert!(cache.get(&h).is_none());
+        cache.put(&h, &sample());
+        assert_eq!(*cache.get(&h).unwrap(), sample());
+        // Force the disk path.
+        cache.drop_memory();
+        assert_eq!(*cache.get(&h).unwrap(), sample());
+        // A second instance (fresh process, cold memory) sees it too.
+        let cache2 = open(&dir);
+        assert_eq!(*cache2.get(&h).unwrap(), sample());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn records_land_in_two_hex_shards() {
+        let dir = scratch();
+        let cache = open(&dir);
+        let h = ContentHash::of(b"f();");
+        cache.put(&h, &sample());
+        let path = cache.record_path(&h);
+        assert!(path.exists());
+        let shard = path.parent().unwrap().file_name().unwrap().to_str().unwrap();
+        assert_eq!(shard.len(), 2);
+        assert_eq!(shard, &h.to_hex()[..2]);
+        assert!(path.file_name().unwrap().to_str().unwrap().ends_with("-wild.jdc"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_presets_do_not_share_records() {
+        let dir = scratch();
+        let wild = open(&dir);
+        let trusted = AnalysisCache::open(CacheConfig::new(&dir, &Limits::trusted())).unwrap();
+        let h = ContentHash::of(b"g();");
+        wild.put(&h, &sample());
+        assert!(trusted.get(&h).is_none(), "trusted must not replay a wild verdict");
+        assert!(wild.get(&h).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn feature_version_bump_is_a_stale_miss_and_put_overwrites() {
+        let dir = scratch();
+        let h = ContentHash::of(b"h();");
+        open(&dir).put(&h, &sample());
+        let mut cfg = CacheConfig::new(&dir, &Limits::wild());
+        cfg.feature_version += 1;
+        let bumped = AnalysisCache::open(cfg).unwrap();
+        assert!(bumped.get(&h).is_none());
+        // The stale file survives the miss (gc's job), but a publish under
+        // the new version overwrites it in place.
+        assert!(bumped.record_path(&h).exists());
+        bumped.put(&h, &sample());
+        assert!(bumped.get(&h).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_record_is_evicted_and_recovers_on_next_put() {
+        let dir = scratch();
+        let cache = open(&dir);
+        let h = ContentHash::of(b"k();");
+        cache.put(&h, &sample());
+        let path = cache.record_path(&h);
+        // Bit-flip the stored payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        cache.drop_memory();
+        assert!(cache.get(&h).is_none());
+        assert!(!path.exists(), "corrupt record must be evicted from disk");
+        cache.put(&h, &sample());
+        assert_eq!(*cache.get(&h).unwrap(), sample());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn readonly_cache_reads_but_never_writes() {
+        let dir = scratch();
+        let rw = open(&dir);
+        let h = ContentHash::of(b"m();");
+        rw.put(&h, &sample());
+        let mut cfg = CacheConfig::new(&dir, &Limits::wild());
+        cfg.readonly = true;
+        let ro = AnalysisCache::open(cfg).unwrap();
+        assert!(ro.get(&h).is_some());
+        let h2 = ContentHash::of(b"n();");
+        ro.put(&h2, &sample());
+        assert!(!ro.record_path(&h2).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn readonly_open_tolerates_missing_directory() {
+        let dir = scratch().join("never-created");
+        let mut cfg = CacheConfig::new(&dir, &Limits::wild());
+        cfg.readonly = true;
+        let ro = AnalysisCache::open(cfg).unwrap();
+        assert!(ro.get(&ContentHash::of(b"x")).is_none());
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn preset_tags_are_stable_and_collision_free() {
+        assert_eq!(preset_tag(&Limits::wild()), "wild");
+        assert_eq!(preset_tag(&Limits::trusted()), "trusted");
+        assert_eq!(preset_tag(&Limits::interactive()), "interactive");
+        assert_eq!(preset_tag(&Limits::unbounded()), "unbounded");
+        let custom_a = Limits { max_tokens: 123, ..Limits::wild() };
+        let custom_b = Limits { max_tokens: 124, ..Limits::wild() };
+        let tag_a = preset_tag(&custom_a);
+        assert!(tag_a.starts_with("custom-"), "{}", tag_a);
+        assert_eq!(tag_a, preset_tag(&custom_a.clone()));
+        assert_ne!(tag_a, preset_tag(&custom_b));
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_key_converge() {
+        let dir = scratch();
+        let cache = open(&dir);
+        let h = ContentHash::of(b"r();");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..16 {
+                        cache.put(&h, &sample());
+                        if let Some(rec) = cache.get(&h) {
+                            assert_eq!(*rec, sample());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(*cache.get(&h).unwrap(), sample());
+        // No tmp litter left behind.
+        let shard_dir = cache.record_path(&h);
+        for entry in std::fs::read_dir(shard_dir.parent().unwrap()).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(!name.to_string_lossy().starts_with(".tmp-"), "leftover tmp file {:?}", name);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

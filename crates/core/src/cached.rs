@@ -1,0 +1,182 @@
+//! Cache-aware batch analysis: consult the content-addressed store before
+//! lexing, publish verdicts on miss.
+//!
+//! A cache hit replays the *distilled* verdict — the three-way outcome,
+//! the typed failure for quarantined scripts, and the space-independent
+//! [`FeaturePayload`] — not the full AST. That is deliberate: everything
+//! downstream of a batch scan (vectorization, quarantine reporting,
+//! outcome accounting) runs off exactly those fields, and storing ASTs
+//! would tie cache records to parser internals. Misses run the same
+//! hardened path as [`analyze_many_guarded`](crate::analyze_many_guarded)
+//! and publish the result, so a second scan over unchanged bytes touches
+//! neither the lexer nor the parser.
+
+use crate::config::AnalysisConfig;
+use crate::vectorize::run_stealing;
+use jsdetect_cache::{AnalysisCache, CacheRecord, ContentHash};
+use jsdetect_features::{analyze_script_guarded, FeaturePayload, GuardedScript, VectorSpace};
+use jsdetect_guard::{isolate, OutcomeKind};
+
+/// One script's verdict as produced by [`analyze_many_cached`]: either
+/// replayed from the store or freshly computed (and published).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedScript {
+    /// BLAKE2s-256 of the source bytes — the cache key this verdict lives
+    /// under.
+    pub hash: ContentHash,
+    /// Three-way guard verdict.
+    pub outcome: OutcomeKind,
+    /// Stable failure kind tag (`AnalysisError::kind()`), empty when ok.
+    pub error_kind: String,
+    /// Human-readable failure rendering, empty when ok.
+    pub error_msg: String,
+    /// Feature payload; present for ok and degraded outcomes.
+    pub payload: Option<FeaturePayload>,
+    /// Whether this verdict came out of the store (`true`) or was computed
+    /// this scan (`false`).
+    pub from_cache: bool,
+}
+
+impl CachedScript {
+    /// Projects the payload into a fitted space. `None` for rejected
+    /// scripts (no payload survives rejection).
+    pub fn vectorize(&self, space: &VectorSpace) -> Option<Vec<f32>> {
+        self.payload.as_ref().map(|p| space.vectorize_payload(p))
+    }
+}
+
+fn distill(hash: ContentHash, g: &GuardedScript, from_cache: bool) -> CachedScript {
+    CachedScript {
+        hash,
+        outcome: g.outcome,
+        error_kind: g.error.as_ref().map(|e| e.kind().to_string()).unwrap_or_default(),
+        error_msg: g.error.as_ref().map(|e| e.to_string()).unwrap_or_default(),
+        payload: g.analysis.as_ref().map(FeaturePayload::extract),
+        from_cache,
+    }
+}
+
+fn replay(hash: ContentHash, rec: &CacheRecord) -> CachedScript {
+    CachedScript {
+        hash,
+        outcome: rec.outcome,
+        error_kind: rec.error_kind.clone(),
+        error_msg: rec.error_msg.clone(),
+        payload: rec.payload.clone(),
+        from_cache: true,
+    }
+}
+
+/// Analyzes many scripts in parallel, consulting `cache` before any
+/// lexing or parsing and publishing fresh verdicts on miss.
+///
+/// Equivalent to [`analyze_many_guarded`](crate::analyze_many_guarded)
+/// followed by payload extraction: outcomes are identical, and payloads
+/// vectorize bit-identically whether replayed or freshly computed. The
+/// cache's own preset must match `config.limits` (callers normally build
+/// it with `CacheConfig::new(dir, &config.limits)`); a mismatched store
+/// simply never hits, it cannot replay a wrong verdict.
+pub fn analyze_many_cached(
+    srcs: &[&str],
+    config: &AnalysisConfig,
+    cache: &AnalysisCache,
+) -> Vec<CachedScript> {
+    let _t = jsdetect_obs::span("analyze_many");
+    jsdetect_obs::counter_add("scripts_analyzed", srcs.len() as u64);
+    let mut out: Vec<Option<CachedScript>> = (0..srcs.len()).map(|_| None).collect();
+    run_stealing(
+        srcs.len(),
+        |i| {
+            let hash = ContentHash::of(srcs[i].as_bytes());
+            if let Some(rec) = cache.get(&hash) {
+                return replay(hash, &rec);
+            }
+            let guarded = match isolate("analyze", || {
+                analyze_script_guarded(srcs[i], &config.limits)
+            }) {
+                Ok(g) => g,
+                Err(e) => {
+                    jsdetect_obs::counter_add(e.counter_name(), 1);
+                    GuardedScript { analysis: None, outcome: OutcomeKind::Rejected, error: Some(e) }
+                }
+            };
+            let result = distill(hash, &guarded, false);
+            cache.put(
+                &hash,
+                &CacheRecord {
+                    outcome: result.outcome,
+                    error_kind: result.error_kind.clone(),
+                    error_msg: result.error_msg.clone(),
+                    payload: result.payload.clone(),
+                },
+            );
+            result
+        },
+        |i, r| out[i] = Some(r),
+    );
+    out.into_iter().map(|c| c.expect("work-stealing covered every index")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_many_guarded;
+    use jsdetect_cache::CacheConfig;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn scratch() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "jsdetect-core-cached-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn warm_scan_replays_identical_verdicts_without_reanalysis() {
+        let dir = scratch();
+        let config = AnalysisConfig::default();
+        let cache = AnalysisCache::open(CacheConfig::new(&dir, &config.limits)).unwrap();
+        let bomb = format!("{}1{}", "(".repeat(50_000), ")".repeat(50_000));
+        let srcs = ["var x = 1; f(x);", "var ;;; broken", bomb.as_str()];
+
+        let cold = analyze_many_cached(&srcs, &config, &cache);
+        assert!(cold.iter().all(|c| !c.from_cache));
+        assert_eq!(cold[0].outcome, OutcomeKind::Ok);
+        assert_eq!(cold[1].outcome, OutcomeKind::Degraded);
+        assert_eq!(cold[2].outcome, OutcomeKind::Rejected);
+        assert_eq!(cold[2].error_kind, "ast_depth_exceeded");
+        assert!(cold[2].payload.is_none());
+
+        // Fresh handle: memory cold, disk warm.
+        let cache2 = AnalysisCache::open(CacheConfig::new(&dir, &config.limits)).unwrap();
+        let warm = analyze_many_cached(&srcs, &config, &cache2);
+        assert!(warm.iter().all(|c| c.from_cache));
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.outcome, w.outcome);
+            assert_eq!(c.error_kind, w.error_kind);
+            assert_eq!(c.error_msg, w.error_msg);
+            assert_eq!(c.payload, w.payload);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_outcomes_match_the_uncached_guarded_path() {
+        let dir = scratch();
+        let config = AnalysisConfig::default();
+        let cache = AnalysisCache::open(CacheConfig::new(&dir, &config.limits)).unwrap();
+        let srcs = ["var x = 1;", "function f(a) { return a + 1; }", "var ;;; broken"];
+        let cached = analyze_many_cached(&srcs, &config, &cache);
+        let guarded = analyze_many_guarded(&srcs, &config);
+        for (c, g) in cached.iter().zip(&guarded) {
+            assert_eq!(c.outcome, g.outcome);
+            assert_eq!(c.payload, g.analysis.as_ref().map(FeaturePayload::extract));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cached;
 mod config;
 mod level1;
 mod level2;
 mod pipeline;
 mod vectorize;
 
+pub use cached::{analyze_many_cached, CachedScript};
 pub use config::{AnalysisConfig, DetectorConfig};
 pub use level1::{Level1Detector, Level1Prediction, Level1Truth};
 pub use level2::{Level2Detector, DEFAULT_THRESHOLD};

@@ -34,7 +34,7 @@ fn fenced<T>(f: impl FnOnce() -> Option<T>) -> Option<T> {
 /// Runs `work(i)` for every `i in 0..n` across all cores with
 /// work-stealing, delivering results to `sink(i, result)` on the calling
 /// thread (in completion order, not index order).
-fn run_stealing<T, W, S>(n: usize, work: W, mut sink: S)
+pub(crate) fn run_stealing<T, W, S>(n: usize, work: W, mut sink: S)
 where
     T: Send,
     W: Fn(usize) -> T + Sync,

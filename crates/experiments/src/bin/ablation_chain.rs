@@ -6,7 +6,7 @@
 //! split.
 
 use jsdetect::{train_pipeline, DetectorConfig, Strategy};
-use jsdetect_experiments::{write_json, Args};
+use jsdetect_experiments::{or_exit, write_json, Args};
 use jsdetect_ml::{metrics, BaseParams, ForestParams, TreeParams};
 use serde::Serialize;
 
@@ -127,5 +127,5 @@ fn main() {
     }
 
     println!("\npaper: the random forest with classifier chains performed best.");
-    write_json(&args, "ablation_chain", &rows);
+    or_exit(write_json(&args, "ablation_chain", &rows));
 }

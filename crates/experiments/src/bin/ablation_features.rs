@@ -3,7 +3,7 @@
 //! family's contribution.
 
 use jsdetect::{train_pipeline, DetectorConfig};
-use jsdetect_experiments::{write_json, Args};
+use jsdetect_experiments::{or_exit, write_json, Args};
 use jsdetect_features::FeatureConfig;
 use jsdetect_ml::metrics;
 use serde::Serialize;
@@ -71,5 +71,5 @@ fn main() {
             dims_note: format!("l1 space dim = {}", out.detectors.level1.space().dim()),
         });
     }
-    write_json(&args, "ablation_features", &rows);
+    or_exit(write_json(&args, "ablation_features", &rows));
 }

@@ -7,7 +7,7 @@
 //! extra dimensions help each per-technique head.
 
 use jsdetect::{train_pipeline, DetectorConfig, Technique};
-use jsdetect_experiments::{write_json, Args};
+use jsdetect_experiments::{or_exit, write_json, Args};
 use jsdetect_features::FeatureConfig;
 use jsdetect_ml::metrics;
 use serde::Serialize;
@@ -65,5 +65,5 @@ fn main() {
         }
         println!("  {:24} exact-match {:5.2}%", "(all techniques)", exact);
     }
-    write_json(&args, "ablation_lint", &rows);
+    or_exit(write_json(&args, "ablation_lint", &rows));
 }

@@ -18,7 +18,9 @@
 //! through `jsdetect-obs`, so trajectory points are attributable and the
 //! analysis wall time can be decomposed without a profiler.
 
-use jsdetect::analyze_many;
+use jsdetect::{analyze_many, analyze_many_cached, AnalysisConfig};
+use jsdetect_cache::{preset_tag, AnalysisCache, CacheConfig};
+use jsdetect_experiments::{or_exit, IoError};
 use jsdetect_ml::reference::RowMajorForest;
 use jsdetect_ml::{Dataset, ForestParams, RandomForest};
 use rand::rngs::StdRng;
@@ -40,6 +42,25 @@ struct TelemetryStage {
     path: String,
     count: u64,
     total_ms: f64,
+}
+
+/// Warm-vs-cold comparison of the content-addressed analysis cache over
+/// the same synthetic script set: cold scans analyze and publish, warm
+/// scans replay verdicts off disk through a fresh handle (the
+/// incremental-rescan scenario).
+#[derive(Serialize, Deserialize, Clone)]
+struct CacheBench {
+    n_scripts: usize,
+    /// Limits preset the records were keyed under.
+    preset: String,
+    /// Feature-space version embedded in the records.
+    feature_version: u32,
+    /// Median cold scan: empty store, full analysis + record publish.
+    scan_cold_ms: f64,
+    /// Median warm scan: populated store, cold in-memory LRU, disk replay.
+    scan_warm_ms: f64,
+    /// scan_cold_ms / scan_warm_ms (higher = rescans are cheaper).
+    warm_speedup: f64,
 }
 
 /// Per-stage decomposition of one instrumented `analyze_many` run. The
@@ -76,6 +97,7 @@ struct BenchEntry {
     git_sha: Option<String>,
     feature_space_version: Option<u32>,
     telemetry: Option<TelemetryBreakdown>,
+    cache: Option<CacheBench>,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -251,11 +273,45 @@ fn main() {
         std::hint::black_box(analyze_many(&refs));
     }));
 
+    // Incremental-rescan cost: the same scripts through the content-
+    // addressed cache. Cold reps each get a fresh empty store (so every
+    // rep pays full analysis + publish); the warm stage replays a
+    // populated store through a fresh handle per rep, so the in-memory
+    // LRU starts cold and the replay comes off disk.
+    let config = AnalysisConfig::default();
+    let cache_base =
+        std::env::temp_dir().join(format!("jsdetect-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_base);
+    let open_cache = |dir: &std::path::Path| {
+        AnalysisCache::open(CacheConfig::new(dir, &config.limits)).expect("open bench cache")
+    };
+    let mut cold_rep = 0u32;
+    stages.push(stage("scan_cold", n_scripts, fit_reps, || {
+        cold_rep += 1;
+        let cache = open_cache(&cache_base.join(format!("cold-{}", cold_rep)));
+        std::hint::black_box(analyze_many_cached(&refs, &config, &cache));
+    }));
+    let warm_dir = cache_base.join("warm");
+    analyze_many_cached(&refs, &config, &open_cache(&warm_dir)); // populate, untimed
+    stages.push(stage("scan_warm", n_scripts, pred_reps, || {
+        let cache = open_cache(&warm_dir);
+        std::hint::black_box(analyze_many_cached(&refs, &config, &cache));
+    }));
+    let _ = std::fs::remove_dir_all(&cache_base);
+
     // One extra instrumented pass decomposes the analysis wall time into
     // per-stage spans (the timed stage above ran with telemetry off).
     let telemetry = capture_telemetry(&refs);
 
     let ms_of = |name: &str| stages.iter().find(|s| s.name == name).map(|s| s.median_ms).unwrap();
+    let cache_bench = CacheBench {
+        n_scripts,
+        preset: preset_tag(&config.limits),
+        feature_version: jsdetect_features::FEATURE_SPACE_VERSION,
+        scan_cold_ms: ms_of("scan_cold"),
+        scan_warm_ms: ms_of("scan_warm"),
+        warm_speedup: ms_of("scan_cold") / ms_of("scan_warm"),
+    };
     let entry = BenchEntry {
         label,
         smoke,
@@ -271,11 +327,18 @@ fn main() {
         git_sha: git_sha(),
         feature_space_version: Some(jsdetect_features::FEATURE_SPACE_VERSION),
         telemetry: Some(telemetry),
+        cache: Some(cache_bench),
     };
     println!(
         "\n  fit speedup    {:.2}x (row-major → columnar)\n  predict speedup {:.2}x (serial → batch)",
         entry.fit_speedup, entry.predict_speedup
     );
+    if let Some(c) = &entry.cache {
+        println!(
+            "  warm rescan    {:.2}x (cold {:.1} ms → warm {:.1} ms, preset {}, fv {})",
+            c.warm_speedup, c.scan_cold_ms, c.scan_warm_ms, c.preset, c.feature_version
+        );
+    }
     if let Some(t) = &entry.telemetry {
         println!("\n  analyze stage breakdown (one instrumented pass):");
         for s in &t.stages {
@@ -309,8 +372,16 @@ fn main() {
             std::fs::create_dir_all(dir).ok();
         }
     }
-    let json = serde_json::to_string_pretty(&file).expect("serialize bench file");
-    std::fs::write(&out_file, json).expect("write bench file");
+    let json = or_exit(serde_json::to_string_pretty(&file).map_err(|e| IoError {
+        op: "serialize",
+        path: out_file.clone().into(),
+        msg: e.to_string(),
+    }));
+    or_exit(std::fs::write(&out_file, json).map_err(|e| IoError {
+        op: "write",
+        path: out_file.clone().into(),
+        msg: e.to_string(),
+    }));
     println!("\nwrote {}", out_file);
 }
 

@@ -33,7 +33,10 @@ fn main() {
     let n: usize = get("--n", "10").parse().unwrap_or(10);
     let seed: u64 = get("--seed", "42").parse().unwrap_or(42);
     let out = std::path::PathBuf::from(get("--out", "corpus_dump"));
-    std::fs::create_dir_all(&out).expect("cannot create output directory");
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("cannot create directory {}: {}", out.display(), e);
+        std::process::exit(1);
+    }
 
     match kind.as_str() {
         "regular" => {

@@ -5,7 +5,7 @@
 //! overall 99.41%; transformed-vs-regular 99.69%.
 
 use jsdetect_corpus::LabeledSample;
-use jsdetect_experiments::{train_cached, write_json, Args};
+use jsdetect_experiments::{or_exit, train_cached, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -32,7 +32,7 @@ struct PaperRef {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, pools) = train_cached(&args);
+    let (detectors, pools) = or_exit(train_cached(&args));
 
     let count = |samples: &[LabeledSample], check: &dyn Fn(&jsdetect::Level1Prediction) -> bool| {
         let srcs: Vec<&str> = samples.iter().map(|s| s.src.as_str()).collect();
@@ -100,5 +100,5 @@ fn main() {
         "{:24} {:>11.2}% {:>11.2}%",
         "transformed", result.transformed_acc, result.paper.transformed_acc
     );
-    write_json(&args, "eval_level1", &result);
+    or_exit(write_json(&args, "eval_level1", &result));
 }

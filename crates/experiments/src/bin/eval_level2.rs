@@ -6,7 +6,7 @@
 //! truths carry up to 3 labels). Also reports per-technique recall.
 
 use jsdetect::Technique;
-use jsdetect_experiments::{train_cached, write_json, Args};
+use jsdetect_experiments::{or_exit, train_cached, write_json, Args};
 use jsdetect_ml::metrics;
 use serde::Serialize;
 
@@ -22,7 +22,7 @@ struct Level2Result {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, pools) = train_cached(&args);
+    let (detectors, pools) = or_exit(train_cached(&args));
 
     let srcs: Vec<&str> = pools.test_level2.iter().map(|s| s.src.as_str()).collect();
     let probs = detectors.level2.predict_proba_many(&srcs);
@@ -81,5 +81,5 @@ fn main() {
          techniques than obfuscator.io, so Top-2/Top-3 are lower here\n\
          while exact-set accuracy exceeds the paper's."
     );
-    write_json(&args, "eval_level2", &result);
+    or_exit(write_json(&args, "eval_level2", &result));
 }

@@ -7,7 +7,7 @@
 
 use jsdetect::Technique;
 use jsdetect_corpus::packer_set;
-use jsdetect_experiments::{train_cached, write_json, Args};
+use jsdetect_experiments::{or_exit, train_cached, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -20,7 +20,7 @@ struct PackerResult {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, _pools) = train_cached(&args);
+    let (detectors, _pools) = or_exit(train_cached(&args));
 
     let n = args.scaled(150);
     eprintln!("[packer] generating {} packed samples...", n);
@@ -75,5 +75,5 @@ fn main() {
         n: total,
         paper_transformed_acc: 99.52,
     };
-    write_json(&args, "eval_packer", &result);
+    or_exit(write_json(&args, "eval_packer", &result));
 }

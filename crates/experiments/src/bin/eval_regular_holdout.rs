@@ -3,7 +3,7 @@
 //! target: 98.65% classified regular).
 
 use jsdetect_corpus::regular_corpus;
-use jsdetect_experiments::{train_cached, write_json, Args};
+use jsdetect_experiments::{or_exit, train_cached, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -15,7 +15,7 @@ struct HoldoutResult {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, _pools) = train_cached(&args);
+    let (detectors, _pools) = or_exit(train_cached(&args));
 
     let n = args.scaled(400);
     eprintln!("[holdout] generating {} fresh regular scripts (unseen seeds)...", n);
@@ -36,9 +36,9 @@ fn main() {
     println!("Fresh regular-corpus holdout (§IV-B1 verification), n={}", total);
     println!("classified regular: {:.2}% (paper, Raychev corpus: 98.65%)", acc);
 
-    write_json(
+    or_exit(write_json(
         &args,
         "eval_regular_holdout",
         &HoldoutResult { regular_acc: acc, n: total, paper_acc: 98.65 },
-    );
+    ));
 }

@@ -4,7 +4,7 @@
 //! reference** (dot accesses rewritten to bracket notation).
 
 use jsdetect_corpus::regular_corpus;
-use jsdetect_experiments::{train_cached, write_json, Args};
+use jsdetect_experiments::{or_exit, train_cached, write_json, Args};
 use jsdetect_transform::presets::obfuscate_field_references;
 use serde::Serialize;
 
@@ -19,7 +19,7 @@ struct UnmonitoredResult {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, _pools) = train_cached(&args);
+    let (detectors, _pools) = or_exit(train_cached(&args));
 
     let n = args.scaled(200);
     let base = regular_corpus(n, args.seed.wrapping_add(0xF1E1D));
@@ -66,5 +66,5 @@ fn main() {
         "\npaper's claim: level 1 recognizes transformed samples even for\n\
          techniques it has no level-2 label for."
     );
-    write_json(&args, "eval_unmonitored", &result);
+    or_exit(write_json(&args, "eval_unmonitored", &result));
 }

@@ -14,7 +14,7 @@
 //!    technique *mixture* carries the signal the paper points at.
 
 use jsdetect_corpus::{alexa_population, malware_population, npm_population, MalwareSource};
-use jsdetect_experiments::{train_cached, write_json, Args};
+use jsdetect_experiments::{or_exit, train_cached, write_json, Args};
 use jsdetect_ml::{metrics, Dataset, ForestParams, RandomForest};
 use serde::Serialize;
 
@@ -88,7 +88,7 @@ fn collect(
 
 fn main() {
     let args = Args::parse();
-    let (detectors, _pools) = train_cached(&args);
+    let (detectors, _pools) = or_exit(train_cached(&args));
 
     eprintln!("[ext] building benign/malicious meta-feature sets...");
     let (x_train, y_train) = collect(&detectors, args.seed ^ 0xbad, args.scale);
@@ -138,7 +138,7 @@ fn main() {
          the classes well."
     );
 
-    write_json(
+    or_exit(write_json(
         &args,
         "ext_maliciousness",
         &MaliciousnessResult {
@@ -152,7 +152,7 @@ fn main() {
             n_train: x_train.len(),
             n_test: x_test.len(),
         },
-    );
+    ));
 }
 
 /// Seed salt decorrelating the held-out test stream from training.

@@ -7,7 +7,7 @@
 //! minification on layout statistics, no-alphanumeric on charset ratios).
 
 use jsdetect::Technique;
-use jsdetect_experiments::{train_cached, write_json, Args};
+use jsdetect_experiments::{or_exit, train_cached, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -22,7 +22,7 @@ fn top(named: Vec<(String, f64)>, k: usize) -> Vec<(String, f64)> {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, _pools) = train_cached(&args);
+    let (detectors, _pools) = or_exit(train_cached(&args));
 
     let mut report = ImportanceReport { level1: Vec::new(), level2: Vec::new() };
 
@@ -48,5 +48,5 @@ fn main() {
         report.level2.push((t.as_str().to_string(), imp));
     }
 
-    write_json(&args, "feature_importance", &report);
+    or_exit(write_json(&args, "feature_importance", &report));
 }

@@ -6,7 +6,7 @@
 //! plus the level-1 transformed rate on mixed samples (paper: 99.99%).
 
 use jsdetect_corpus::mixed_set;
-use jsdetect_experiments::{train_cached, write_json, Args};
+use jsdetect_experiments::{or_exit, train_cached, write_json, Args};
 use jsdetect_ml::metrics;
 use serde::Serialize;
 
@@ -32,7 +32,7 @@ struct Fig1Result {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, _pools) = train_cached(&args);
+    let (detectors, _pools) = or_exit(train_cached(&args));
 
     let n_mixed = args.scaled(320);
     eprintln!("[fig1] generating {} mixed-technique samples...", n_mixed);
@@ -115,7 +115,7 @@ fn main() {
         n: kept_probs.len(),
         labels_histogram,
     };
-    write_json(&args, "fig1", &result);
+    or_exit(write_json(&args, "fig1", &result));
 }
 
 /// Salt decorrelating the mixed-set RNG stream from training.

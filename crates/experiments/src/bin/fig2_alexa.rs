@@ -10,7 +10,7 @@
 use jsdetect::Technique;
 use jsdetect_corpus::alexa_population;
 use jsdetect_experiments::{
-    print_technique_table, technique_usage_probability, train_cached, write_json, Args,
+    or_exit, print_technique_table, technique_usage_probability, train_cached, write_json, Args,
 };
 use serde::Serialize;
 use std::collections::HashMap;
@@ -30,7 +30,7 @@ struct AlexaResult {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, _pools) = train_cached(&args);
+    let (detectors, _pools) = or_exit(train_cached(&args));
 
     // 10 rank buckets of sites sampled across the top 10k.
     let sites_per_bucket = args.scaled(14);
@@ -130,5 +130,5 @@ fn main() {
         n_scripts: total,
         paper,
     };
-    write_json(&args, "fig2_alexa", &result);
+    or_exit(write_json(&args, "fig2_alexa", &result));
 }

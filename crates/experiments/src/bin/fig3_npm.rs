@@ -8,7 +8,7 @@
 use jsdetect::Technique;
 use jsdetect_corpus::npm_population;
 use jsdetect_experiments::{
-    print_technique_table, technique_usage_probability, train_cached, write_json, Args,
+    or_exit, print_technique_table, technique_usage_probability, train_cached, write_json, Args,
 };
 use serde::Serialize;
 use std::collections::HashMap;
@@ -27,7 +27,7 @@ struct NpmResult {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, _pools) = train_cached(&args);
+    let (detectors, _pools) = or_exit(train_cached(&args));
 
     let packages_per_bucket = args.scaled(18);
     let month = 64;
@@ -112,5 +112,5 @@ fn main() {
         n_scripts: total,
         paper,
     };
-    write_json(&args, "fig3_npm", &result);
+    or_exit(write_json(&args, "fig3_npm", &result));
 }

@@ -7,7 +7,7 @@
 
 use jsdetect::Technique;
 use jsdetect_corpus::npm_population;
-use jsdetect_experiments::{technique_usage_probability, train_cached, write_json, Args};
+use jsdetect_experiments::{or_exit, technique_usage_probability, train_cached, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -28,7 +28,7 @@ struct Fig4Result {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, _pools) = train_cached(&args);
+    let (detectors, _pools) = or_exit(train_cached(&args));
 
     let packages_per_bucket = args.scaled(30);
     let month = 64;
@@ -89,9 +89,9 @@ fn main() {
     println!("\ntop-1k is {:.1}x less transformed than the rest (paper: 2.4-4.4x)", factor);
     println!("paper: top-1k splits 49/47 basic/advanced; rest 58/37");
 
-    write_json(
+    or_exit(write_json(
         &args,
         "fig4_npm_rank",
         &Fig4Result { buckets, top1k_vs_rest_factor: factor, paper_factor_range: [2.4, 4.4] },
-    );
+    ));
 }

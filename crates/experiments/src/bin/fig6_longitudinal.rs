@@ -5,7 +5,7 @@
 //! stable ~17.95%, then ~15.17%).
 
 use jsdetect_corpus::{alexa_population, npm_population};
-use jsdetect_experiments::{train_cached, write_json, Args};
+use jsdetect_experiments::{or_exit, train_cached, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -19,7 +19,7 @@ struct MonthPoint {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, _pools) = train_cached(&args);
+    let (detectors, _pools) = or_exit(train_cached(&args));
 
     let sites = args.scaled(12);
     let packages = args.scaled(16);
@@ -86,5 +86,5 @@ fn main() {
         "npm phases: early ~{:.1}% (paper 7.4%), middle ~{:.1}% (paper 17.95%)",
         npm_early, npm_mid
     );
-    write_json(&args, "fig6_longitudinal", &points);
+    or_exit(write_json(&args, "fig6_longitudinal", &points));
 }

@@ -6,7 +6,7 @@
 
 use jsdetect::Technique;
 use jsdetect_corpus::alexa_population;
-use jsdetect_experiments::{technique_usage_probability, train_cached, write_json, Args};
+use jsdetect_experiments::{or_exit, technique_usage_probability, train_cached, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -18,7 +18,7 @@ struct TimePoint {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, _pools) = train_cached(&args);
+    let (detectors, _pools) = or_exit(train_cached(&args));
 
     let sites = args.scaled(28);
     let stride = 8usize;
@@ -64,5 +64,5 @@ fn main() {
         );
     }
     println!("\npaper: simple 38.74%→47.02%, advanced 43.77%→40%, ident 8.23%→6.21%");
-    write_json(&args, "fig7_alexa_time", &points);
+    or_exit(write_json(&args, "fig7_alexa_time", &points));
 }

@@ -5,7 +5,7 @@
 
 use jsdetect::Technique;
 use jsdetect_corpus::npm_population;
-use jsdetect_experiments::{technique_usage_probability, train_cached, write_json, Args};
+use jsdetect_experiments::{or_exit, technique_usage_probability, train_cached, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -17,7 +17,7 @@ struct TimePoint {
 
 fn main() {
     let args = Args::parse();
-    let (detectors, _pools) = train_cached(&args);
+    let (detectors, _pools) = or_exit(train_cached(&args));
 
     let packages = args.scaled(30);
     let stride = 8usize;
@@ -74,5 +74,5 @@ fn main() {
         avg[2] / n
     );
     println!("paper averages: simple 58.62%, advanced 34.28%, ident 9.71%");
-    write_json(&args, "fig8_npm_time", &points);
+    or_exit(write_json(&args, "fig8_npm_time", &points));
 }

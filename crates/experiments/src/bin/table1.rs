@@ -4,7 +4,7 @@
 //! scale (paper counts in parentheses).
 
 use jsdetect_corpus::{alexa_population, malware_population, npm_population, MalwareSource};
-use jsdetect_experiments::{write_json, Args};
+use jsdetect_experiments::{or_exit, write_json, Args};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -90,5 +90,5 @@ fn main() {
             r.source, r.creation, r.n_js, r.class, r.paper_n_js
         );
     }
-    write_json(&args, "table1", &rows);
+    or_exit(write_json(&args, "table1", &rows));
 }

@@ -8,6 +8,48 @@ use jsdetect::{train_pipeline, DetectorConfig, Technique};
 use serde::Serialize;
 use std::path::PathBuf;
 
+/// A file-IO failure with enough context to act on: the operation that was
+/// attempted, the path it was attempted on, and the OS rendering.
+///
+/// The experiment binaries historically printed IO failures to stderr and
+/// exited 0, which made a full result sweep impossible to trust — a
+/// missing `results/` directory silently produced no files. Every file
+/// operation in this crate now surfaces one of these, and the bins exit
+/// non-zero through [`or_exit`].
+#[derive(Debug)]
+pub struct IoError {
+    /// What was being attempted (`"write"`, `"create directory"`, ...).
+    pub op: &'static str,
+    /// The path the operation failed on.
+    pub path: PathBuf,
+    /// The underlying error rendering.
+    pub msg: String,
+}
+
+impl IoError {
+    fn new(op: &'static str, path: impl Into<PathBuf>, e: impl std::fmt::Display) -> IoError {
+        IoError { op, path: path.into(), msg: e.to_string() }
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot {} {}: {}", self.op, self.path.display(), self.msg)
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Unwraps an experiment result, exiting non-zero with the path-rich
+/// rendering on failure — the shared error boundary of every experiment
+/// binary.
+pub fn or_exit<T>(r: Result<T, IoError>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("[experiments] {}", e);
+        std::process::exit(1);
+    })
+}
+
 /// Base number of regular source scripts at `--scale 1.0`. The paper uses
 /// 21,000; experiments here default to laptop scale.
 pub const BASE_TRAIN_SCRIPTS: usize = 240;
@@ -111,15 +153,23 @@ pub fn make_pools(n: usize, seed: u64) -> Pools {
 /// Trains the detectors, reusing a JSON cache under `results/` so the
 /// experiment binaries share one training run per (seed, n). Returns the
 /// detectors along with the deterministic held-out pools.
-pub fn train_cached(args: &Args) -> (jsdetect::TrainedDetectors, Pools) {
+///
+/// # Errors
+///
+/// Returns a path-contextualized [`IoError`] when the output directory
+/// cannot be created or the freshly trained model cannot be persisted
+/// (a *read* failure on the model cache just falls through to retraining —
+/// a missing cache is the normal first run).
+pub fn train_cached(args: &Args) -> Result<(jsdetect::TrainedDetectors, Pools), IoError> {
     let n = args.n_train();
     let cfg = DetectorConfig::default().with_seed(args.seed);
     let cache = args.out_dir.join(format!("model_n{}_s{}.json", n, args.seed));
-    std::fs::create_dir_all(&args.out_dir).ok();
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| IoError::new("create directory", &args.out_dir, e))?;
     if let Ok(json) = std::fs::read_to_string(&cache) {
         if let Ok(detectors) = jsdetect::TrainedDetectors::from_json(&json) {
             eprintln!("[experiments] loaded cached detectors from {}", cache.display());
-            return (detectors, make_pools(n, args.seed));
+            return Ok((detectors, make_pools(n, args.seed)));
         }
     }
     eprintln!("[experiments] training detectors (n={}, seed={})...", n, args.seed);
@@ -128,9 +178,7 @@ pub fn train_cached(args: &Args) -> (jsdetect::TrainedDetectors, Pools) {
     eprintln!("[experiments] trained in {:.1?}", t0.elapsed());
     match out.detectors.to_json() {
         Ok(json) => {
-            if let Err(e) = std::fs::write(&cache, json) {
-                eprintln!("[experiments] could not cache model: {}", e);
-            }
+            std::fs::write(&cache, json).map_err(|e| IoError::new("write", &cache, e))?;
         }
         Err(e) => eprintln!("[experiments] could not serialize model: {}", e),
     }
@@ -141,23 +189,24 @@ pub fn train_cached(args: &Args) -> (jsdetect::TrainedDetectors, Pools) {
         test_level2: out.test_level2,
         validation_regular: out.validation_regular,
     };
-    (out.detectors, pools)
+    Ok((out.detectors, pools))
 }
 
-/// Writes a JSON result record.
-pub fn write_json<T: Serialize>(args: &Args, name: &str, value: &T) {
-    std::fs::create_dir_all(&args.out_dir).ok();
+/// Writes a JSON result record, returning the path it landed on.
+///
+/// # Errors
+///
+/// Returns a path-contextualized [`IoError`] when the output directory
+/// cannot be created or the record cannot be written or serialized.
+pub fn write_json<T: Serialize>(args: &Args, name: &str, value: &T) -> Result<PathBuf, IoError> {
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| IoError::new("create directory", &args.out_dir, e))?;
     let path = args.out_dir.join(format!("{}.json", name));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("[experiments] could not write {}: {}", path.display(), e);
-            } else {
-                eprintln!("[experiments] wrote {}", path.display());
-            }
-        }
-        Err(e) => eprintln!("[experiments] serialization failed: {}", e),
-    }
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| IoError::new("serialize", &path, e))?;
+    std::fs::write(&path, json).map_err(|e| IoError::new("write", &path, e))?;
+    eprintln!("[experiments] wrote {}", path.display());
+    Ok(path)
 }
 
 /// Mean per-technique probability over scripts flagged transformed —

@@ -14,6 +14,7 @@ mod analysis;
 mod guarded;
 mod handpicked;
 mod ngrams;
+mod payload;
 mod space;
 
 pub use analysis::{analyze_script, ScriptAnalysis};
@@ -21,4 +22,5 @@ pub use guarded::{analyze_script_guarded, GuardedScript};
 pub use handpicked::{handpicked_features, FEATURE_NAMES, N_HANDPICKED};
 pub use jsdetect_lint::LintSummary;
 pub use ngrams::{ngram_counts, Gram, NgramVocab};
+pub use payload::FeaturePayload;
 pub use space::{FeatureConfig, VectorSpace, FEATURE_SPACE_VERSION};

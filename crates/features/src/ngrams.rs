@@ -80,6 +80,24 @@ impl NgramVocab {
         v
     }
 
+    /// Vectorizes pre-counted gram pairs — the cache-replay sibling of
+    /// [`NgramVocab::vectorize`]. Bit-identical to counting the grams
+    /// fresh: the total is an exact integer sum (order-independent) and
+    /// each dimension is the same single f32 division.
+    pub fn vectorize_pairs(&self, pairs: &[(Gram, u32)]) -> Vec<f32> {
+        let total: u32 = pairs.iter().map(|(_, c)| *c).sum();
+        let mut v = vec![0f32; self.grams.len()];
+        if total == 0 {
+            return v;
+        }
+        for (gram, c) in pairs {
+            if let Some(&i) = self.index.get(gram) {
+                v[i] = *c as f32 / total as f32;
+            }
+        }
+        v
+    }
+
     /// Human-readable name of dimension `i`.
     pub fn gram_name(&self, i: usize) -> String {
         let g = self.grams[i];

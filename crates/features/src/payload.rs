@@ -1,0 +1,91 @@
+//! The space-independent feature payload — the unit the analysis cache
+//! stores.
+//!
+//! A fitted [`VectorSpace`](crate::VectorSpace) is corpus-dependent (its
+//! 4-gram vocabulary comes from training), so caching final vectors would
+//! tie every cache record to one trained model. Instead the cache stores a
+//! [`FeaturePayload`]: the hand-picked and lint feature values exactly as
+//! computed (f32), plus the *raw* 4-gram counts. Projecting a payload into
+//! any fitted space with
+//! [`VectorSpace::vectorize_payload`](crate::VectorSpace::vectorize_payload)
+//! reproduces [`VectorSpace::vectorize`](crate::VectorSpace::vectorize)
+//! bit for bit: the stored blocks are copied verbatim and the n-gram block
+//! is recomputed from exact integer counts with the same f32 operations.
+
+use crate::analysis::ScriptAnalysis;
+use crate::handpicked::handpicked_features;
+use crate::ngrams::{ngram_counts, Gram};
+
+/// Everything needed to re-vectorize one analyzed script without its AST.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeaturePayload {
+    /// Hand-picked feature values ([`crate::N_HANDPICKED`] of them).
+    pub handpicked: Vec<f32>,
+    /// Lint-summary feature values ([`jsdetect_lint::LintSummary::N_FEATURES`]).
+    pub lint: Vec<f32>,
+    /// Raw 4-gram counts of the pre-order kind stream, sorted by gram for
+    /// a deterministic serialized form.
+    pub ngrams: Vec<(Gram, u32)>,
+    /// Whether the analysis this was extracted from was the lexer-only
+    /// degraded fallback.
+    pub degraded: bool,
+}
+
+impl FeaturePayload {
+    /// Distills one analysis into its cacheable payload.
+    pub fn extract(a: &ScriptAnalysis) -> FeaturePayload {
+        let mut ngrams: Vec<(Gram, u32)> = ngram_counts(&a.program).into_iter().collect();
+        ngrams.sort_unstable_by_key(|(g, _)| *g);
+        FeaturePayload {
+            handpicked: handpicked_features(a),
+            lint: a.lint.features(),
+            ngrams,
+            degraded: a.degraded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_script;
+    use crate::space::{FeatureConfig, VectorSpace};
+    use crate::{LintSummary, N_HANDPICKED};
+
+    #[test]
+    fn extract_carries_all_three_blocks() {
+        let a = analyze_script("var x = 1; if (x) { f(x); }").unwrap();
+        let p = FeaturePayload::extract(&a);
+        assert_eq!(p.handpicked.len(), N_HANDPICKED);
+        assert_eq!(p.lint.len(), LintSummary::N_FEATURES);
+        assert!(!p.ngrams.is_empty());
+        assert!(!p.degraded);
+    }
+
+    #[test]
+    fn ngram_pairs_are_sorted_and_deduplicated() {
+        let a = analyze_script("var x = 1; var y = 2; var z = 3;").unwrap();
+        let p = FeaturePayload::extract(&a);
+        for w in p.ngrams.windows(2) {
+            assert!(w[0].0 < w[1].0, "grams must be strictly increasing");
+        }
+    }
+
+    #[test]
+    fn payload_vectorizes_bit_identically_for_every_config() {
+        let srcs = ["var x = 1; f(x);", "function g(a) { return a ? a + 1 : 0; }"];
+        let analyses: Vec<_> = srcs.iter().map(|s| analyze_script(s).unwrap()).collect();
+        for config in [
+            FeatureConfig::default(),
+            FeatureConfig { handpicked: true, ngrams: false, lint: false },
+            FeatureConfig { handpicked: false, ngrams: true, lint: false },
+            FeatureConfig { handpicked: false, ngrams: false, lint: true },
+        ] {
+            let vs = VectorSpace::fit(analyses.iter(), 64, config);
+            for a in &analyses {
+                let payload = FeaturePayload::extract(a);
+                assert_eq!(vs.vectorize_payload(&payload), vs.vectorize(a));
+            }
+        }
+    }
+}

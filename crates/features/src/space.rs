@@ -100,6 +100,26 @@ impl VectorSpace {
         }
     }
 
+    /// Vectorizes a cached [`FeaturePayload`](crate::FeaturePayload)
+    /// without touching source text or AST. Bit-identical to
+    /// [`VectorSpace::vectorize`] on the analysis the payload was
+    /// extracted from: the hand-picked and lint blocks are replayed
+    /// verbatim and the n-gram block is recomputed from exact counts.
+    pub fn vectorize_payload(&self, p: &crate::FeaturePayload) -> Vec<f32> {
+        let _t = jsdetect_obs::span("vectorize");
+        let mut out = Vec::with_capacity(self.dim());
+        if self.config.handpicked {
+            out.extend_from_slice(&p.handpicked);
+        }
+        if self.config.lint {
+            out.extend_from_slice(&p.lint);
+        }
+        if self.config.ngrams {
+            out.extend(self.vocab.vectorize_pairs(&p.ngrams));
+        }
+        out
+    }
+
     /// Name of dimension `i`.
     pub fn dim_name(&self, i: usize) -> String {
         let mut j = i;

@@ -33,8 +33,10 @@ pub struct QuarantineRecord {
     pub file: String,
     /// Three-way verdict.
     pub outcome: OutcomeKind,
-    /// Machine-readable error kind (absent for `Ok`).
-    pub error_kind: Option<&'static str>,
+    /// Machine-readable error kind (absent for `Ok`). Owned rather than
+    /// `&'static` so replayed verdicts (e.g. from the analysis cache) can
+    /// carry kinds that were deserialized, not freshly matched.
+    pub error_kind: Option<String>,
     /// Human-readable error rendering (absent for `Ok`).
     pub error: Option<String>,
 }
@@ -61,8 +63,26 @@ impl QuarantineReport {
         self.records.push(QuarantineRecord {
             file: file.into(),
             outcome,
-            error_kind: error.map(AnalysisError::kind),
+            error_kind: error.map(|e| e.kind().to_string()),
             error: error.map(|e| e.to_string()),
+        });
+    }
+
+    /// Records one file's outcome from already-rendered error fields (the
+    /// replay path: cache records store the kind tag and message, not the
+    /// structured [`AnalysisError`]). Empty strings mean "no error".
+    pub fn push_replayed(
+        &mut self,
+        file: impl Into<String>,
+        outcome: OutcomeKind,
+        error_kind: &str,
+        error: &str,
+    ) {
+        self.records.push(QuarantineRecord {
+            file: file.into(),
+            outcome,
+            error_kind: (!error_kind.is_empty()).then(|| error_kind.to_string()),
+            error: (!error.is_empty()).then(|| error.to_string()),
         });
     }
 
@@ -85,16 +105,16 @@ impl QuarantineReport {
     }
 
     /// Per-error-kind counts (sorted by kind), for summary tables.
-    pub fn error_kind_counts(&self) -> Vec<(&'static str, u64)> {
-        let mut out: Vec<(&'static str, u64)> = Vec::new();
+    pub fn error_kind_counts(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
         for r in &self.records {
-            let Some(kind) = r.error_kind else { continue };
-            match out.iter_mut().find(|(k, _)| *k == kind) {
+            let Some(kind) = &r.error_kind else { continue };
+            match out.iter_mut().find(|(k, _)| k == kind) {
                 Some((_, n)) => *n += 1,
-                None => out.push((kind, 1)),
+                None => out.push((kind.clone(), 1)),
             }
         }
-        out.sort_by_key(|(k, _)| *k);
+        out.sort();
         out
     }
 
@@ -110,7 +130,7 @@ impl QuarantineReport {
             out.push_str("\",\"outcome\":\"");
             out.push_str(r.outcome.as_str());
             out.push_str("\",\"error_kind\":");
-            match r.error_kind {
+            match &r.error_kind {
                 Some(k) => {
                     out.push('"');
                     escape_json_into(k, &mut out);
@@ -173,7 +193,10 @@ mod tests {
             Some(&AnalysisError::AstDepthExceeded { limit: 150 }),
         );
         assert_eq!(q.counts(), (1, 1, 2));
-        assert_eq!(q.error_kind_counts(), vec![("ast_depth_exceeded", 2), ("parse_error", 1)]);
+        assert_eq!(
+            q.error_kind_counts(),
+            vec![("ast_depth_exceeded".to_string(), 2), ("parse_error".to_string(), 1)]
+        );
     }
 
     #[test]

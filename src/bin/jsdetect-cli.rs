@@ -18,6 +18,11 @@
 //! # Run the analysis front-end with telemetry (spans, counters, histograms):
 //! jsdetect-cli analyze --telemetry summary examples/
 //! jsdetect-cli analyze --telemetry jsonl --telemetry-out trace.jsonl a.js
+//!
+//! # Incremental rescans: verdicts for unchanged bytes replay from a
+//! # content-addressed cache instead of re-running the front-end:
+//! jsdetect-cli analyze --cache-dir .jsdetect-cache examples/
+//! jsdetect-cli cache stats --cache-dir .jsdetect-cache
 //! ```
 
 use jsdetect_suite::detector::{
@@ -33,7 +38,9 @@ fn usage() -> ! {
          jsdetect-cli lint [--emit-diagnostics json] <file.js>...\n  \
          jsdetect-cli analyze [--telemetry summary|jsonl] [--telemetry-out <file>] \
          [--limits wild|trusted|interactive] [--keep-going|--fail-fast] \
-         [--quarantine-out <file>] [--strict] <file.js|dir>...\n  \
+         [--quarantine-out <file>] [--strict] \
+         [--cache-dir <dir>] [--cache-readonly] <file.js|dir>...\n  \
+         jsdetect-cli cache stats|verify|gc --cache-dir <dir>\n  \
          jsdetect-cli chaos-corpus --out <dir>\n\n\
          techniques: {}",
         Technique::ALL.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(", ")
@@ -53,8 +60,66 @@ fn main() {
         Some("transform") => cmd_transform(&argv),
         Some("lint") => cmd_lint(&argv),
         Some("analyze") => cmd_analyze(&argv),
+        Some("cache") => cmd_cache(&argv),
         Some("chaos-corpus") => cmd_chaos_corpus(&argv),
         _ => usage(),
+    }
+}
+
+/// Inspects or repairs a content-addressed analysis cache directory
+/// (`cache stats|verify|gc --cache-dir <dir>`). `verify` exits non-zero
+/// when any record is corrupt; `gc` removes corrupt records, records from
+/// other schema / feature-space versions, and interrupted-writer tmp
+/// files.
+fn cmd_cache(argv: &[String]) {
+    use jsdetect_suite::cache;
+
+    let action = argv.get(2).map(String::as_str).unwrap_or_else(|| usage());
+    let dir = arg_value(argv, "--cache-dir").unwrap_or_else(|| usage());
+    let path = std::path::Path::new(&dir);
+
+    fn emit<T: serde::Serialize>(report: &T) {
+        match serde_json::to_string_pretty(report) {
+            Ok(s) => println!("{}", s),
+            Err(e) => {
+                eprintln!("cannot serialize report: {}", e);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    match action {
+        "stats" => match cache::stats(path) {
+            Ok(s) => emit(&s),
+            Err(e) => {
+                eprintln!("cache stats failed on {}: {}", dir, e);
+                std::process::exit(1);
+            }
+        },
+        "verify" => match cache::verify(path) {
+            Ok(r) => {
+                emit(&r);
+                if !r.is_clean() {
+                    eprintln!("cache verify: {} corrupt record(s) under {}", r.corrupt.len(), dir);
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("cache verify failed on {}: {}", dir, e);
+                std::process::exit(1);
+            }
+        },
+        "gc" => match cache::gc(path, jsdetect_suite::features::FEATURE_SPACE_VERSION) {
+            Ok(r) => emit(&r),
+            Err(e) => {
+                eprintln!("cache gc failed on {}: {}", dir, e);
+                std::process::exit(1);
+            }
+        },
+        other => {
+            eprintln!("unknown cache action: {} (expected stats, verify, or gc)", other);
+            usage()
+        }
     }
 }
 
@@ -309,8 +374,13 @@ fn collect_js_files(paths: &[&String]) -> Vec<std::path::PathBuf> {
 /// `--fail-fast` exits non-zero at the first non-ok outcome. `--strict`
 /// exits non-zero only when *rejects* occur (resource exhaustion, panics,
 /// unreadable files) — degraded parse failures are tolerated.
+///
+/// With `--cache-dir`, verdicts are replayed from (and published to) a
+/// content-addressed cache keyed by source bytes × feature-space version ×
+/// limits preset; `--cache-readonly` consults the store without writing.
 fn cmd_analyze(argv: &[String]) {
-    use jsdetect_suite::detector::{analyze_many_guarded, AnalysisConfig};
+    use jsdetect_suite::cache::{AnalysisCache, CacheConfig};
+    use jsdetect_suite::detector::{analyze_many_cached, analyze_many_guarded, AnalysisConfig};
     use jsdetect_suite::guard::{AnalysisError, Limits, OutcomeKind, QuarantineReport};
 
     let format = arg_value(argv, "--telemetry").unwrap_or_else(|| "summary".to_string());
@@ -334,11 +404,14 @@ fn cmd_analyze(argv: &[String]) {
         );
         usage()
     });
+    let cache_dir = arg_value(argv, "--cache-dir");
+    let cache_readonly = argv.iter().any(|a| a == "--cache-readonly");
     let flag_values = [
         arg_value(argv, "--telemetry"),
         out_path.clone(),
         quarantine_out.clone(),
         arg_value(argv, "--limits"),
+        cache_dir.clone(),
     ];
     let inputs: Vec<&String> = argv
         .iter()
@@ -374,21 +447,54 @@ fn cmd_analyze(argv: &[String]) {
     let refs: Vec<&str> =
         sources.iter().filter_map(|s| s.as_ref().ok()).map(String::as_str).collect();
     let config = AnalysisConfig { limits, fail_fast };
-    let results = analyze_many_guarded(&refs, &config);
 
     // Reassemble per-file outcomes in input order (read failures never
     // reached the batch).
     let mut quarantine = QuarantineReport::new();
-    let mut results_iter = results.into_iter();
-    for (f, src) in files.iter().zip(&sources) {
-        match src {
-            Err(e) => {
-                jsdetect_suite::obs::counter_add(e.counter_name(), 1);
-                quarantine.push(f.display().to_string(), OutcomeKind::Rejected, Some(e));
+    match &cache_dir {
+        Some(dir) => {
+            let mut ccfg = CacheConfig::new(dir, &config.limits);
+            ccfg.readonly = cache_readonly;
+            let store = AnalysisCache::open(ccfg).unwrap_or_else(|e| {
+                eprintln!("cannot open cache directory {}: {}", dir, e);
+                std::process::exit(1);
+            });
+            let results = analyze_many_cached(&refs, &config, &store);
+            let n_replayed = results.iter().filter(|r| r.from_cache).count();
+            eprintln!("cache: {} of {} verdicts replayed from {}", n_replayed, results.len(), dir);
+            let mut results_iter = results.into_iter();
+            for (f, src) in files.iter().zip(&sources) {
+                match src {
+                    Err(e) => {
+                        jsdetect_suite::obs::counter_add(e.counter_name(), 1);
+                        quarantine.push(f.display().to_string(), OutcomeKind::Rejected, Some(e));
+                    }
+                    Ok(_) => {
+                        let r = results_iter.next().expect("one result per readable file");
+                        quarantine.push_replayed(
+                            f.display().to_string(),
+                            r.outcome,
+                            &r.error_kind,
+                            &r.error_msg,
+                        );
+                    }
+                }
             }
-            Ok(_) => {
-                let r = results_iter.next().expect("one result per readable file");
-                quarantine.push(f.display().to_string(), r.outcome, r.error.as_ref());
+        }
+        None => {
+            let results = analyze_many_guarded(&refs, &config);
+            let mut results_iter = results.into_iter();
+            for (f, src) in files.iter().zip(&sources) {
+                match src {
+                    Err(e) => {
+                        jsdetect_suite::obs::counter_add(e.counter_name(), 1);
+                        quarantine.push(f.display().to_string(), OutcomeKind::Rejected, Some(e));
+                    }
+                    Ok(_) => {
+                        let r = results_iter.next().expect("one result per readable file");
+                        quarantine.push(f.display().to_string(), r.outcome, r.error.as_ref());
+                    }
+                }
             }
         }
     }

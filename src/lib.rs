@@ -2,6 +2,7 @@
 //! reproduction suite. Integration tests and examples live in this package.
 pub use jsdetect as detector;
 pub use jsdetect_ast as ast;
+pub use jsdetect_cache as cache;
 pub use jsdetect_codegen as codegen;
 pub use jsdetect_corpus as corpus;
 pub use jsdetect_features as features;

@@ -1,0 +1,120 @@
+//! Deterministic codegen round-trip property tests.
+//!
+//! The cache stores verdicts keyed by *source bytes*, and the ground-truth
+//! corpus pipeline routinely re-prints programs (transforms emit printed
+//! code that is later re-parsed). Both rest on the printer being a
+//! structure-preserving inverse of the parser, so this suite pins that
+//! property over seeded generator samples across every transform config:
+//! for `p1 = parse(src)` and `p2 = parse(print(p1))`, the two programs
+//! have identical pre-order node-kind streams, and printing reaches a
+//! fixed point (`print(p2) == print(p1)`, minified and readable alike).
+//!
+//! Node-kind streams (plus the fixed point) stand in for `p1 == p2`
+//! because AST equality includes spans, which legitimately shift when a
+//! program is re-printed.
+
+use jsdetect_suite::ast::kind_stream;
+use jsdetect_suite::codegen::{to_minified, to_source};
+use jsdetect_suite::corpus::RegularJsGenerator;
+use jsdetect_suite::parser::parse;
+use jsdetect_suite::transform::{apply, Technique};
+
+/// Asserts the full round-trip property for one source, in both printer
+/// modes, and returns the sample's kind-stream length (for coverage
+/// accounting in the caller).
+fn assert_roundtrip(src: &str, label: &str) -> usize {
+    let p1 = parse(src).unwrap_or_else(|e| panic!("{}: original does not parse: {}", label, e));
+    let stream1 = kind_stream(&p1);
+
+    for (mode, printed) in [("readable", to_source(&p1)), ("minified", to_minified(&p1))] {
+        let p2 = parse(&printed).unwrap_or_else(|e| {
+            panic!("{} [{}]: printed output does not re-parse: {}\n{}", label, mode, e, printed)
+        });
+        assert_eq!(
+            stream1,
+            kind_stream(&p2),
+            "{} [{}]: node-kind stream changed across print→parse",
+            label,
+            mode
+        );
+        // Fixed point: printing the re-parsed program reproduces the
+        // first print exactly, so repeated round-trips cannot drift.
+        let reprinted = match mode {
+            "readable" => to_source(&p2),
+            _ => to_minified(&p2),
+        };
+        assert_eq!(printed, reprinted, "{} [{}]: printer is not a fixed point", label, mode);
+    }
+    stream1.len()
+}
+
+#[test]
+fn generator_samples_roundtrip_untransformed() {
+    let mut gen = RegularJsGenerator::new(0xC0FFEE);
+    let mut total_nodes = 0;
+    for i in 0..24 {
+        let src = gen.generate();
+        total_nodes += assert_roundtrip(&src, &format!("sample {}", i));
+    }
+    assert!(total_nodes > 1000, "generator samples too trivial to pin anything");
+}
+
+#[test]
+fn every_single_technique_roundtrips() {
+    let mut gen = RegularJsGenerator::new(0xBEEF);
+    let samples: Vec<String> = (0..4).map(|_| gen.generate()).collect();
+    for t in Technique::ALL {
+        for (i, src) in samples.iter().enumerate() {
+            let transformed = apply(src, &[t], 7 + i as u64)
+                .unwrap_or_else(|e| panic!("{}: transform failed: {}", t.as_str(), e));
+            assert_roundtrip(&transformed, &format!("{} on sample {}", t.as_str(), i));
+        }
+    }
+}
+
+#[test]
+fn stacked_technique_combinations_roundtrip() {
+    let mut gen = RegularJsGenerator::new(0xFACADE);
+    let samples: Vec<String> = (0..3).map(|_| gen.generate()).collect();
+    // Adjacent pairs plus the full stack: the combinations the ground
+    // truth pipeline actually emits.
+    let mut configs: Vec<Vec<Technique>> = Technique::ALL.windows(2).map(|w| w.to_vec()).collect();
+    configs.push(Technique::ALL.to_vec());
+    for (ci, techniques) in configs.iter().enumerate() {
+        for (i, src) in samples.iter().enumerate() {
+            let Ok(transformed) = apply(src, techniques, 11 + ci as u64) else {
+                // Some stacks legitimately refuse some inputs; the
+                // property only covers what the pipeline can emit.
+                continue;
+            };
+            assert_roundtrip(&transformed, &format!("config {} on sample {}", ci, i));
+        }
+    }
+}
+
+#[test]
+fn edge_case_literals_and_syntax_roundtrip() {
+    // Hand-picked sources that historically break printers: escapes,
+    // numeric edge cases, nested ternaries, regex-adjacent division,
+    // postfix/prefix mixes, and empty constructs.
+    let cases = [
+        r#"var s = "quote \" backslash \\ newline \n tab \t end";"#,
+        "var n = 0.5; var m = 1e21; var k = 0x1f; var z = -0;",
+        "var x = a ? b ? c : d : e ? f : g;",
+        "var r = a / b / c; var q = (a + b) / (c - d);",
+        "i++; ++i; i--; --i; x = -(-y); z = +(+w);",
+        "function f() {} var g = function () {}; (function () {})();",
+        "for (;;) { break; } for (var i = 0; ; i++) { continue; }",
+        "var o = { \"a b\": 1, c: { d: [1, [2, [3]]] } };",
+        "if (a) {} else if (b) {} else {}",
+        "while (a) do b(); while (c);",
+        "switch (x) { case 1: case 2: f(); break; default: g(); }",
+        "try { f(); } catch (e) { g(e); } finally { h(); }",
+        "a = b = c = d, e = (f, g);",
+        "new Foo(); new Foo(1, 2); new (bar())();",
+        "var u; var v = void 0; delete o.p; typeof t;",
+    ];
+    for (i, src) in cases.iter().enumerate() {
+        assert_roundtrip(src, &format!("edge case {}", i));
+    }
+}
