@@ -21,6 +21,7 @@
 //!   degraded       u8
 //!   handpicked     u16 n + n × f32
 //!   lint           u16 n + n × f32
+//!   normalize      u16 n + n × f32
 //!   ngrams         u32 n + n × (4-byte gram + u32 count)
 //! checksum         u64   checksum64 of every preceding byte
 //! ```
@@ -37,8 +38,9 @@ use jsdetect_guard::OutcomeKind;
 use std::fmt;
 
 /// Version of the binary record layout. Bump on any layout change;
-/// decoders treat other schemas as stale, never as corrupt.
-pub const RECORD_SCHEMA_VERSION: u16 = 1;
+/// decoders treat other schemas as stale, never as corrupt (v2: the
+/// normalization-delta f32 block between the lint and ngram blocks).
+pub const RECORD_SCHEMA_VERSION: u16 = 2;
 
 /// File magic: "JsDetect Cache", layout generation 1.
 pub const MAGIC: [u8; 4] = *b"JDC1";
@@ -167,6 +169,10 @@ pub fn encode(
             for v in &p.lint {
                 buf.extend_from_slice(&v.to_le_bytes());
             }
+            buf.extend_from_slice(&(p.normalize.len() as u16).to_le_bytes());
+            for v in &p.normalize {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
             buf.extend_from_slice(&(p.ngrams.len() as u32).to_le_bytes());
             for (g, c) in &p.ngrams {
                 buf.extend_from_slice(g);
@@ -276,6 +282,11 @@ pub fn decode_embedded(
             for _ in 0..n_lint {
                 lint.push(r.f32()?);
             }
+            let n_norm = r.u16()? as usize;
+            let mut normalize = Vec::with_capacity(n_norm);
+            for _ in 0..n_norm {
+                normalize.push(r.f32()?);
+            }
             let n_grams = r.u32()? as usize;
             // A length field cannot promise more entries than bytes left.
             if n_grams > (body.len() - r.pos) / 8 {
@@ -287,7 +298,7 @@ pub fn decode_embedded(
                 let gram = [g[0], g[1], g[2], g[3]];
                 ngrams.push((gram, r.u32()?));
             }
-            Some(FeaturePayload { handpicked, lint, ngrams, degraded })
+            Some(FeaturePayload { handpicked, lint, normalize, ngrams, degraded })
         }
         _ => return Err(DecodeError::Malformed("unknown payload tag")),
     };
@@ -352,6 +363,7 @@ mod tests {
             payload: Some(FeaturePayload {
                 handpicked: vec![1.5, -0.25, 3.0],
                 lint: vec![0.0, 0.125],
+                normalize: vec![1.0, -0.5],
                 ngrams: vec![([1, 2, 3, 4], 7), ([9, 9, 9, 9], 1)],
                 degraded: false,
             }),

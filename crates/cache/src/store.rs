@@ -264,6 +264,7 @@ mod tests {
             payload: Some(FeaturePayload {
                 handpicked: vec![1.0, 2.0],
                 lint: vec![0.5],
+                normalize: vec![1.0],
                 ngrams: vec![([1, 2, 3, 4], 9)],
                 degraded: false,
             }),

@@ -22,9 +22,15 @@ fn main() {
     let mut rows = Vec::new();
 
     for (name, features) in [
-        ("both", FeatureConfig { handpicked: true, ngrams: true, lint: false }),
-        ("handpicked only", FeatureConfig { handpicked: true, ngrams: false, lint: false }),
-        ("4-grams only", FeatureConfig { handpicked: false, ngrams: true, lint: false }),
+        ("both", FeatureConfig { handpicked: true, ngrams: true, lint: false, normalize: false }),
+        (
+            "handpicked only",
+            FeatureConfig { handpicked: true, ngrams: false, lint: false, normalize: false },
+        ),
+        (
+            "4-grams only",
+            FeatureConfig { handpicked: false, ngrams: true, lint: false, normalize: false },
+        ),
     ] {
         let cfg = DetectorConfig { features, ..DetectorConfig::default() }.with_seed(args.seed);
         let out = train_pipeline(n, args.seed, &cfg);

@@ -27,7 +27,9 @@ fn main() {
     let mut rows = Vec::new();
 
     for (name, lint) in [("without lint", false), ("with lint", true)] {
-        let features = FeatureConfig { handpicked: true, ngrams: true, lint };
+        // Normalization deltas stay off in both arms so the comparison
+        // isolates the lint family.
+        let features = FeatureConfig { handpicked: true, ngrams: true, lint, normalize: false };
         let cfg = DetectorConfig { features, ..DetectorConfig::default() }.with_seed(args.seed);
         let out = train_pipeline(n, args.seed, &cfg);
 

@@ -63,6 +63,22 @@ struct CacheBench {
     warm_speedup: f64,
 }
 
+/// Throughput and effect of the deobfuscation pass suite over an
+/// obfuscated copy of the synthetic script set: each rep parses and
+/// drives every script to its normalization fixpoint.
+#[derive(Serialize, Deserialize, Clone)]
+struct NormalizeBench {
+    n_scripts: usize,
+    /// Median full-suite run (parse + fixpoint) over all scripts.
+    normalize_ms: f64,
+    /// Total rewrites the suite performed across the script set.
+    rewrites_total: u64,
+    /// Total fixpoint rounds across the script set.
+    rounds_total: u64,
+    /// Scripts that ended `ok` (vs degraded) out of `n_scripts`.
+    n_ok: usize,
+}
+
 /// Per-stage decomposition of one instrumented `analyze_many` run. The
 /// child-span sum is expected to land within ~10% of the parent `analyze`
 /// total (the front-end stages cover nearly all of the per-script work).
@@ -98,12 +114,16 @@ struct BenchEntry {
     feature_space_version: Option<u32>,
     telemetry: Option<TelemetryBreakdown>,
     cache: Option<CacheBench>,
+    normalize: Option<NormalizeBench>,
 }
 
 #[derive(Serialize, Deserialize)]
 struct BenchFile {
     description: String,
     trajectory: Vec<BenchEntry>,
+    /// Headline numbers merged in by `normalization_study`; carried as
+    /// an opaque value so bench_report rewrites preserve it.
+    normalize: Option<serde_json::JsonValue>,
 }
 
 /// Synthetic matrix shaped like the default pipeline's level-2 training
@@ -299,6 +319,46 @@ fn main() {
     }));
     let _ = std::fs::remove_dir_all(&cache_base);
 
+    // Deobfuscation throughput: each rep parses an obfuscated script set
+    // and drives every script to its fixpoint. The analyze-stage scripts
+    // above carry no string literals or adjacent expression statements,
+    // so the transforms would no-op on them; this set is built to give
+    // the string-pool and sequence transforms something to chew on.
+    let obfuscated: Vec<String> = (0..n_scripts)
+        .map(|i| {
+            let stmts = 5 + (i * 37) % 120;
+            let decls: String =
+                (0..stmts).map(|s| format!("var a{}_{} = 'payload {} {}';", i, s, i, s)).collect();
+            let calls: String =
+                (0..stmts).map(|s| format!("use(a{}_{}, 'key {}');", i, s, s)).collect();
+            let src = decls + &calls;
+            let t = if i % 2 == 0 {
+                jsdetect::Technique::GlobalArray
+            } else {
+                jsdetect::Technique::MinificationAdvanced
+            };
+            jsdetect_transform::apply(&src, &[t], seed + i as u64).unwrap_or_else(|_| src)
+        })
+        .collect();
+    let norm_opts = jsdetect_normalize::NormalizeOptions::wild();
+    let (mut rewrites_total, mut rounds_total, mut norm_ok) = (0u64, 0u64, 0usize);
+    stages.push(stage("normalize", n_scripts, fit_reps, || {
+        rewrites_total = 0;
+        rounds_total = 0;
+        norm_ok = 0;
+        for src in &obfuscated {
+            if let Ok(mut program) = jsdetect_parser::parse(src) {
+                let report = jsdetect_normalize::normalize_program(&mut program, &norm_opts);
+                rewrites_total += report.total_rewrites();
+                rounds_total += u64::from(report.rounds);
+                if report.outcome == jsdetect_guard::OutcomeKind::Ok {
+                    norm_ok += 1;
+                }
+                std::hint::black_box(&program);
+            }
+        }
+    }));
+
     // One extra instrumented pass decomposes the analysis wall time into
     // per-stage spans (the timed stage above ran with telemetry off).
     let telemetry = capture_telemetry(&refs);
@@ -311,6 +371,13 @@ fn main() {
         scan_cold_ms: ms_of("scan_cold"),
         scan_warm_ms: ms_of("scan_warm"),
         warm_speedup: ms_of("scan_cold") / ms_of("scan_warm"),
+    };
+    let normalize_bench = NormalizeBench {
+        n_scripts,
+        normalize_ms: ms_of("normalize"),
+        rewrites_total,
+        rounds_total,
+        n_ok: norm_ok,
     };
     let entry = BenchEntry {
         label,
@@ -328,6 +395,7 @@ fn main() {
         feature_space_version: Some(jsdetect_features::FEATURE_SPACE_VERSION),
         telemetry: Some(telemetry),
         cache: Some(cache_bench),
+        normalize: Some(normalize_bench),
     };
     println!(
         "\n  fit speedup    {:.2}x (row-major → columnar)\n  predict speedup {:.2}x (serial → batch)",
@@ -337,6 +405,12 @@ fn main() {
         println!(
             "  warm rescan    {:.2}x (cold {:.1} ms → warm {:.1} ms, preset {}, fv {})",
             c.warm_speedup, c.scan_cold_ms, c.scan_warm_ms, c.preset, c.feature_version
+        );
+    }
+    if let Some(nb) = &entry.normalize {
+        println!(
+            "  normalize      {:.1} ms for {} scripts ({} rewrites, {} rounds, {} ok)",
+            nb.normalize_ms, nb.n_scripts, nb.rewrites_total, nb.rounds_total, nb.n_ok
         );
     }
     if let Some(t) = &entry.telemetry {
@@ -358,12 +432,16 @@ fn main() {
     // are replaced so re-runs stay idempotent. Smoke runs write a
     // standalone file and never touch the committed trajectory.
     let mut file = if smoke {
-        BenchFile { description: smoke_description(), trajectory: Vec::new() }
+        BenchFile { description: smoke_description(), trajectory: Vec::new(), normalize: None }
     } else {
         std::fs::read_to_string(&out_file)
             .ok()
             .and_then(|s| serde_json::from_str(&s).ok())
-            .unwrap_or_else(|| BenchFile { description: description(), trajectory: Vec::new() })
+            .unwrap_or_else(|| BenchFile {
+                description: description(),
+                trajectory: Vec::new(),
+                normalize: None,
+            })
     };
     file.trajectory.retain(|e| e.label != entry.label);
     file.trajectory.push(entry);

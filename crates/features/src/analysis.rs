@@ -30,6 +30,10 @@ pub struct ScriptAnalysis {
     pub kinds: KindCounts,
     /// Obfuscation-signature lint summary (per-rule hit counts).
     pub lint: LintSummary,
+    /// Normalized-vs-original delta features
+    /// ([`crate::deltas::N_NORMALIZE`] of them; the neutral vector when
+    /// the analysis is degraded or normalization itself degrades).
+    pub normalize: Vec<f32>,
     /// True when this is the lexer-only fallback produced after a parse
     /// failure: `program`/`graph`/`shape`/`kinds` describe an empty program
     /// and only `src`/`tokens`/`comments` carry real signal.
@@ -84,6 +88,7 @@ pub fn analyze_script(src: &str) -> Result<ScriptAnalysis, ParseError> {
         jsdetect_obs::counter_add("lint_fires", diagnostics.len() as u64);
         lint
     };
+    let normalize = crate::deltas::normalize_deltas(src, &program, shape.node_count, &lint);
     Ok(ScriptAnalysis {
         src: src.to_string(),
         program,
@@ -93,6 +98,7 @@ pub fn analyze_script(src: &str) -> Result<ScriptAnalysis, ParseError> {
         shape,
         kinds,
         lint,
+        normalize,
         degraded: false,
     })
 }

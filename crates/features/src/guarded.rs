@@ -150,6 +150,8 @@ pub fn analyze_script_guarded(src: &str, limits: &Limits) -> GuardedScript {
         lint
     };
 
+    let normalize = crate::deltas::normalize_deltas(src, &program, shape.node_count, &lint);
+
     GuardedScript::ok(ScriptAnalysis {
         src: src.to_string(),
         program,
@@ -159,6 +161,7 @@ pub fn analyze_script_guarded(src: &str, limits: &Limits) -> GuardedScript {
         shape,
         kinds,
         lint,
+        normalize,
         degraded: false,
     })
 }
@@ -191,6 +194,7 @@ fn degraded_fallback(src: &str, budget: &Budget, cause: AnalysisError) -> Guarde
             shape,
             kinds,
             lint,
+            normalize: crate::deltas::neutral_deltas(),
             degraded: true,
         },
         cause,

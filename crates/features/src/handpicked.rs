@@ -490,7 +490,7 @@ fn is_packed_regex_source(s: &str) -> bool {
 }
 
 /// Shannon entropy over bytes, in bits.
-fn byte_entropy(s: &str) -> f64 {
+pub(crate) fn byte_entropy(s: &str) -> f64 {
     if s.is_empty() {
         return 0.0;
     }

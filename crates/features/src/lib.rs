@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 mod analysis;
+pub mod deltas;
 mod guarded;
 mod handpicked;
 mod ngrams;
@@ -18,6 +19,7 @@ mod payload;
 mod space;
 
 pub use analysis::{analyze_script, ScriptAnalysis};
+pub use deltas::{delta_feature_names, neutral_deltas, normalize_deltas, N_NORMALIZE};
 pub use guarded::{analyze_script_guarded, GuardedScript};
 pub use handpicked::{handpicked_features, FEATURE_NAMES, N_HANDPICKED};
 pub use jsdetect_lint::LintSummary;

@@ -23,6 +23,8 @@ pub struct FeaturePayload {
     pub handpicked: Vec<f32>,
     /// Lint-summary feature values ([`jsdetect_lint::LintSummary::N_FEATURES`]).
     pub lint: Vec<f32>,
+    /// Normalization-delta feature values ([`crate::deltas::N_NORMALIZE`]).
+    pub normalize: Vec<f32>,
     /// Raw 4-gram counts of the pre-order kind stream, sorted by gram for
     /// a deterministic serialized form.
     pub ngrams: Vec<(Gram, u32)>,
@@ -39,6 +41,7 @@ impl FeaturePayload {
         FeaturePayload {
             handpicked: handpicked_features(a),
             lint: a.lint.features(),
+            normalize: a.normalize.clone(),
             ngrams,
             degraded: a.degraded,
         }
@@ -58,6 +61,7 @@ mod tests {
         let p = FeaturePayload::extract(&a);
         assert_eq!(p.handpicked.len(), N_HANDPICKED);
         assert_eq!(p.lint.len(), LintSummary::N_FEATURES);
+        assert_eq!(p.normalize.len(), crate::deltas::N_NORMALIZE);
         assert!(!p.ngrams.is_empty());
         assert!(!p.degraded);
     }
@@ -77,9 +81,10 @@ mod tests {
         let analyses: Vec<_> = srcs.iter().map(|s| analyze_script(s).unwrap()).collect();
         for config in [
             FeatureConfig::default(),
-            FeatureConfig { handpicked: true, ngrams: false, lint: false },
-            FeatureConfig { handpicked: false, ngrams: true, lint: false },
-            FeatureConfig { handpicked: false, ngrams: false, lint: true },
+            FeatureConfig { handpicked: true, ngrams: false, lint: false, normalize: false },
+            FeatureConfig { handpicked: false, ngrams: true, lint: false, normalize: false },
+            FeatureConfig { handpicked: false, ngrams: false, lint: true, normalize: false },
+            FeatureConfig { handpicked: false, ngrams: false, lint: false, normalize: true },
         ] {
             let vs = VectorSpace::fit(analyses.iter(), 64, config);
             for a in &analyses {

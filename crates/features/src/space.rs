@@ -10,11 +10,16 @@ use serde::{Deserialize, Serialize};
 
 /// Version of the vector-space layout. Bumped when the dimension layout
 /// changes (v2: lint-summary densities appended to the hand-picked
-/// block); serialized models from other versions must be refitted.
-pub const FEATURE_SPACE_VERSION: u32 = 2;
+/// block; v3: normalized-vs-original delta block after the lint block,
+/// plus the ninth lint rule); serialized models from other versions must
+/// be refitted.
+pub const FEATURE_SPACE_VERSION: u32 = 3;
 
 /// Number of lint-summary dimensions.
 const N_LINT: usize = LintSummary::N_FEATURES;
+
+/// Number of normalization-delta dimensions.
+const N_NORM: usize = crate::deltas::N_NORMALIZE;
 
 /// Which feature families a vector space includes (used for the feature
 /// ablation benchmarks).
@@ -26,11 +31,13 @@ pub struct FeatureConfig {
     pub ngrams: bool,
     /// Include the lint-rule densities.
     pub lint: bool,
+    /// Include the normalized-vs-original delta features.
+    pub normalize: bool,
 }
 
 impl Default for FeatureConfig {
     fn default() -> Self {
-        FeatureConfig { handpicked: true, ngrams: true, lint: true }
+        FeatureConfig { handpicked: true, ngrams: true, lint: true, normalize: true }
     }
 }
 
@@ -68,6 +75,9 @@ impl VectorSpace {
         if self.config.lint {
             d += N_LINT;
         }
+        if self.config.normalize {
+            d += N_NORM;
+        }
         if self.config.ngrams {
             d += self.vocab.dim();
         }
@@ -94,6 +104,9 @@ impl VectorSpace {
         if self.config.lint {
             out.extend(a.lint.features());
         }
+        if self.config.normalize {
+            out.extend_from_slice(&a.normalize);
+        }
         if self.config.ngrams {
             let _s = jsdetect_obs::span("ngrams");
             out.extend(self.vocab.vectorize(&ngram_counts(&a.program)));
@@ -113,6 +126,9 @@ impl VectorSpace {
         }
         if self.config.lint {
             out.extend_from_slice(&p.lint);
+        }
+        if self.config.normalize {
+            out.extend_from_slice(&p.normalize);
         }
         if self.config.ngrams {
             out.extend(self.vocab.vectorize_pairs(&p.ngrams));
@@ -134,6 +150,12 @@ impl VectorSpace {
                 return LintSummary::feature_names()[j].clone();
             }
             j -= N_LINT;
+        }
+        if self.config.normalize {
+            if j < N_NORM {
+                return crate::deltas::delta_feature_names()[j].clone();
+            }
+            j -= N_NORM;
         }
         format!("4gram:{}", self.vocab.gram_name(j))
     }
@@ -171,7 +193,7 @@ mod tests {
         let vs = VectorSpace::fit(
             analyses.iter(),
             64,
-            FeatureConfig { handpicked: true, ngrams: false, lint: false },
+            FeatureConfig { handpicked: true, ngrams: false, lint: false, normalize: false },
         );
         assert_eq!(vs.dim(), crate::handpicked::N_HANDPICKED);
     }
@@ -182,7 +204,7 @@ mod tests {
         let vs = VectorSpace::fit(
             analyses.iter(),
             64,
-            FeatureConfig { handpicked: false, ngrams: true, lint: false },
+            FeatureConfig { handpicked: false, ngrams: true, lint: false, normalize: false },
         );
         assert!(vs.dim() > 0);
         assert!(vs.dim() <= 64);
@@ -194,7 +216,7 @@ mod tests {
         let vs = VectorSpace::fit(
             analyses.iter(),
             64,
-            FeatureConfig { handpicked: false, ngrams: false, lint: true },
+            FeatureConfig { handpicked: false, ngrams: false, lint: true, normalize: false },
         );
         assert_eq!(vs.dim(), LintSummary::N_FEATURES);
         assert_eq!(vs.dim_name(0), format!("lint:{}", jsdetect_lint::RULE_NAMES[0]));
@@ -206,7 +228,11 @@ mod tests {
         assert_eq!(vs.dim_name(0), "avg_chars_per_line");
         let lint_name = vs.dim_name(crate::handpicked::N_HANDPICKED);
         assert!(lint_name.starts_with("lint:"), "{}", lint_name);
-        let gram_name = vs.dim_name(crate::handpicked::N_HANDPICKED + LintSummary::N_FEATURES);
+        let norm_name = vs.dim_name(crate::handpicked::N_HANDPICKED + LintSummary::N_FEATURES);
+        assert_eq!(norm_name, "normalize:node_ratio");
+        let gram_name = vs.dim_name(
+            crate::handpicked::N_HANDPICKED + LintSummary::N_FEATURES + crate::deltas::N_NORMALIZE,
+        );
         assert!(gram_name.starts_with("4gram:"), "{}", gram_name);
     }
 

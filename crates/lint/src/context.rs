@@ -111,6 +111,8 @@ pub struct Facts {
     pub constructor_code_calls: Vec<Span>,
     /// `.search()` / `.test()` calls whose pattern is a regex-pump string.
     pub packed_search_calls: Vec<Span>,
+    /// Comma-sequence expressions and their element counts.
+    pub sequence_chains: Vec<(Span, usize)>,
     /// `IDENT === 'string'` guarded blocks.
     pub opaque_branches: Vec<OpaqueBranch>,
     /// String values assigned to each name at declaration sites.
@@ -462,7 +464,8 @@ impl Walk {
                 self.expr(consequent);
                 self.expr(alternate);
             }
-            Expr::Sequence { exprs, .. } => {
+            Expr::Sequence { exprs, span } => {
+                self.facts.sequence_chains.push((*span, exprs.len()));
                 for e in exprs {
                     self.expr(e);
                 }

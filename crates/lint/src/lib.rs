@@ -75,7 +75,7 @@ pub trait Rule {
 }
 
 /// Number of built-in rules.
-pub const N_RULES: usize = 8;
+pub const N_RULES: usize = 9;
 
 /// Built-in rule identifiers, in [`LintSummary::counts`] order.
 pub const RULE_NAMES: [&str; N_RULES] = [
@@ -87,6 +87,7 @@ pub const RULE_NAMES: [&str; N_RULES] = [
     "debugger-in-loop",
     "self-defending-tostring",
     "non-alphanumeric-density",
+    "comma-sequence-density",
 ];
 
 /// Runs a set of rules over one program in a single collection pass.

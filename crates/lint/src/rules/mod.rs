@@ -3,6 +3,7 @@
 //! One module per rule; [`default_rules`] instantiates them in
 //! [`crate::RULE_NAMES`] order.
 
+mod comma_sequence;
 mod debugger;
 mod decoder;
 mod density;
@@ -12,6 +13,7 @@ mod self_defending;
 mod unreachable;
 mod unused;
 
+pub use comma_sequence::CommaSequenceDensity;
 pub use debugger::DebuggerInLoop;
 pub use decoder::StringDecoderCall;
 pub use density::NonAlphanumericDensity;
@@ -34,5 +36,6 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(DebuggerInLoop),
         Box::new(SelfDefendingToString),
         Box::new(NonAlphanumericDensity),
+        Box::new(CommaSequenceDensity),
     ]
 }

@@ -165,6 +165,41 @@ fn density_fires_on_no_alphanumeric() {
 }
 
 #[test]
+fn comma_sequence_fires_on_long_chains() {
+    let src = "init(), step(), step(), step(), finish();";
+    let diags = lint(src);
+    let found = hits(&diags, "comma-sequence-density");
+    assert_eq!(found.len(), 1, "a 5-element chain must be flagged:\n{:#?}", diags);
+    assert!(found[0].data.iter().any(|(k, v)| *k == "chain_len" && v == "5"));
+    assert_anchored(&diags, src);
+}
+
+#[test]
+fn comma_sequence_silent_on_short_chains() {
+    let src = "for (var i = 0, j = 9; i < j; i++, j--) { swap(i, j); }\nlog((probe(), value));";
+    let diags = lint(src);
+    assert!(
+        hits(&diags, "comma-sequence-density").is_empty(),
+        "short idiomatic sequences must not be flagged:\n{:#?}",
+        diags
+    );
+}
+
+#[test]
+fn comma_sequence_fires_on_advanced_minification() {
+    // Enough adjacent expression statements for the minifier's
+    // statement-merge to build a chain past the rule threshold.
+    let plain = "setup();\nwork(1);\nwork(2);\nwork(3);\nteardown();";
+    let src = apply(plain, &[Technique::MinificationAdvanced], 11).expect("preset must apply");
+    let diags = lint(&src);
+    assert!(
+        !hits(&diags, "comma-sequence-density").is_empty(),
+        "statement-merged output must contain long comma chains:\n{}",
+        src
+    );
+}
+
+#[test]
 fn signature_rules_silent_on_generated_regular_corpus() {
     let gt = jsdetect_corpus::GroundTruth::generate(12, 7);
     for sample in &gt.regular {

@@ -1,0 +1,151 @@
+//! Shared literal evaluation helpers used by the passes.
+//!
+//! Everything here is deliberately conservative: a helper returns `Some`
+//! only when the JavaScript result is fully determined by the static shape
+//! *and* evaluating the operand twice (or not at all) is observably
+//! equivalent — i.e. the expression is side-effect free. That is what lets
+//! the dead-branch pass discard a condition without emitting it.
+
+use jsdetect_ast::*;
+
+/// The statically known truthiness of a *side-effect free* expression.
+///
+/// Returns `None` for anything whose value or purity is not certain.
+/// Handles the spellings minifiers and obfuscators actually emit: plain
+/// literals, `!0` / `!1`, `!![]`, `!!{}`, and `void 0`.
+pub(crate) fn truthiness(e: &Expr) -> Option<bool> {
+    match e {
+        Expr::Lit(l) => Some(match &l.value {
+            LitValue::Str(s) => !s.is_empty(),
+            LitValue::Num(n) => *n != 0.0 && !n.is_nan(),
+            LitValue::Bool(b) => *b,
+            LitValue::Null => false,
+            LitValue::Regex { .. } => true,
+        }),
+        Expr::Unary { op: UnaryOp::Not, arg, .. } => truthiness(arg).map(|b| !b),
+        // `void <pure>` is `undefined`, which is falsy. Only the canonical
+        // literal-argument form is certain to be pure.
+        Expr::Unary { op: UnaryOp::Void, arg, .. } if matches!(**arg, Expr::Lit(_)) => Some(false),
+        // Empty array/object literals allocate but have no observable side
+        // effect a condition could depend on; both are truthy.
+        Expr::Array { elements, .. } if elements.is_empty() => Some(true),
+        Expr::Object { props, .. } if props.is_empty() => Some(true),
+        _ => None,
+    }
+}
+
+/// Numeric value of a literal-shaped expression: a number literal,
+/// optionally under unary `-` / `+`. Side-effect free by construction.
+pub(crate) fn num_value(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Lit(Lit { value: LitValue::Num(n), .. }) => Some(*n),
+        Expr::Unary { op: UnaryOp::Minus, arg, .. } => num_value(arg).map(|n| -n),
+        Expr::Unary { op: UnaryOp::Plus, arg, .. } => num_value(arg),
+        _ => None,
+    }
+}
+
+/// ECMAScript `ToInt32` on an already-numeric value.
+pub(crate) fn to_int32(n: f64) -> i32 {
+    to_uint32(n) as i32
+}
+
+/// ECMAScript `ToUint32` on an already-numeric value.
+pub(crate) fn to_uint32(n: f64) -> u32 {
+    if !n.is_finite() || n == 0.0 {
+        return 0;
+    }
+    let t = n.trunc();
+    // Euclidean remainder gives the value mod 2^32 in [0, 2^32).
+    (t.rem_euclid(4_294_967_296.0)) as u32
+}
+
+/// Wraps a folded numeric result as a printable expression, or refuses.
+///
+/// Negative values are emitted as unary minus over the positive literal so
+/// the printer never has to format a negative number literal; `NaN`,
+/// infinities, and `-0` have no literal spelling and are not folded.
+pub(crate) fn num_expr(value: f64, span: Span) -> Option<Expr> {
+    if !value.is_finite() {
+        return None;
+    }
+    if value == 0.0 && value.is_sign_negative() {
+        return None;
+    }
+    if value < 0.0 {
+        return Some(Expr::Unary {
+            op: UnaryOp::Minus,
+            arg: Box::new(Expr::Lit(Lit {
+                value: LitValue::Num(-value),
+                raw: String::new(),
+                span,
+            })),
+            span,
+        });
+    }
+    Some(Expr::Lit(Lit { value: LitValue::Num(value), raw: String::new(), span }))
+}
+
+/// A string literal expression carrying `span`.
+pub(crate) fn str_expr(value: String, span: Span) -> Expr {
+    Expr::Lit(Lit { value: LitValue::Str(value), raw: String::new(), span })
+}
+
+/// A boolean literal expression carrying `span`.
+pub(crate) fn bool_expr(value: bool, span: Span) -> Expr {
+    Expr::Lit(Lit { value: LitValue::Bool(value), raw: String::new(), span })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsdetect_parser::parse;
+
+    fn first_expr(src: &str) -> Expr {
+        match parse(src).unwrap().body.into_iter().next().unwrap() {
+            Stmt::Expr { expr, .. } => expr,
+            other => panic!("expected expression statement, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn truthiness_of_obfuscator_spellings() {
+        assert_eq!(truthiness(&first_expr("!0;")), Some(true));
+        assert_eq!(truthiness(&first_expr("!1;")), Some(false));
+        assert_eq!(truthiness(&first_expr("!![];")), Some(true));
+        assert_eq!(truthiness(&first_expr("!!{};")), Some(true));
+        assert_eq!(truthiness(&first_expr("void 0;")), Some(false));
+        assert_eq!(truthiness(&first_expr("'x';")), Some(true));
+        assert_eq!(truthiness(&first_expr("'';")), Some(false));
+        assert_eq!(truthiness(&first_expr("null;")), Some(false));
+    }
+
+    #[test]
+    fn impure_or_unknown_shapes_are_not_constant() {
+        assert_eq!(truthiness(&first_expr("x;")), None);
+        assert_eq!(truthiness(&first_expr("[f()];")), None);
+        assert_eq!(truthiness(&first_expr("!f();")), None);
+        assert_eq!(truthiness(&first_expr("({a: f()});")), None);
+    }
+
+    #[test]
+    fn to_int32_matches_spec_edge_cases() {
+        assert_eq!(to_int32(0.0), 0);
+        assert_eq!(to_int32(-1.0), -1);
+        assert_eq!(to_int32(4_294_967_296.0), 0);
+        assert_eq!(to_int32(2_147_483_648.0), -2_147_483_648);
+        assert_eq!(to_int32(f64::NAN), 0);
+        assert_eq!(to_int32(f64::INFINITY), 0);
+        assert_eq!(to_int32(-3.9), -3);
+        assert_eq!(to_uint32(-1.0), 4_294_967_295);
+    }
+
+    #[test]
+    fn num_expr_avoids_unprintable_values() {
+        assert!(num_expr(f64::NAN, Span::DUMMY).is_none());
+        assert!(num_expr(f64::INFINITY, Span::DUMMY).is_none());
+        assert!(num_expr(-0.0, Span::DUMMY).is_none());
+        assert!(matches!(num_expr(3.5, Span::DUMMY), Some(Expr::Lit(_))));
+        assert!(matches!(num_expr(-2.0, Span::DUMMY), Some(Expr::Unary { .. })));
+    }
+}

@@ -41,9 +41,17 @@ fn usage() -> ! {
          [--quarantine-out <file>] [--strict] \
          [--cache-dir <dir>] [--cache-readonly] <file.js|dir>...\n  \
          jsdetect-cli cache stats|verify|gc --cache-dir <dir>\n  \
+         jsdetect-cli normalize [--passes <p1,p2,...>] [--emit] \
+         [--limits wild|trusted|interactive] [--max-rounds 8] <file.js|dir>...\n  \
          jsdetect-cli chaos-corpus --out <dir>\n\n\
-         techniques: {}",
-        Technique::ALL.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(", ")
+         techniques: {}\n\
+         normalize passes: {}",
+        Technique::ALL.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(", "),
+        jsdetect_suite::normalize::PassKind::ALL
+            .iter()
+            .map(|p| p.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     std::process::exit(2);
 }
@@ -61,6 +69,7 @@ fn main() {
         Some("lint") => cmd_lint(&argv),
         Some("analyze") => cmd_analyze(&argv),
         Some("cache") => cmd_cache(&argv),
+        Some("normalize") => cmd_normalize(&argv),
         Some("chaos-corpus") => cmd_chaos_corpus(&argv),
         _ => usage(),
     }
@@ -545,6 +554,113 @@ fn cmd_analyze(argv: &[String]) {
     }
     if strict && n_rejected > 0 {
         eprintln!("--strict: {} rejected script(s)", n_rejected);
+        std::process::exit(1);
+    }
+}
+
+/// Runs the deobfuscation pass suite over files and reports, per file,
+/// the outcome (`ok` / `degraded`), fixpoint rounds, and rewrite count.
+/// With `--emit` the cleaned source is printed to stdout via codegen
+/// (unparseable inputs pass through unchanged, flagged `degraded`).
+/// Exits non-zero only for failures outside {ok, degraded} — unreadable
+/// files, in practice, since the normalizer itself never rejects.
+fn cmd_normalize(argv: &[String]) {
+    use jsdetect_suite::guard::{Limits, OutcomeKind};
+    use jsdetect_suite::normalize::{normalize_program, NormalizeOptions, PassKind};
+
+    let emit = argv.iter().any(|a| a == "--emit");
+    let limits_name = arg_value(argv, "--limits").unwrap_or_else(|| "wild".to_string());
+    let limits = Limits::from_name(&limits_name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown --limits preset: {} (expected wild, trusted, or interactive)",
+            limits_name
+        );
+        usage()
+    });
+    let max_rounds: u32 = arg_value(argv, "--max-rounds").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let passes: Vec<PassKind> = match arg_value(argv, "--passes") {
+        None => PassKind::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                PassKind::from_name(name).unwrap_or_else(|| {
+                    eprintln!("unknown normalize pass: {}", name);
+                    usage()
+                })
+            })
+            .collect(),
+    };
+    let flag_values =
+        [arg_value(argv, "--passes"), arg_value(argv, "--limits"), arg_value(argv, "--max-rounds")];
+    let inputs: Vec<&String> = argv
+        .iter()
+        .skip(2)
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| !flag_values.iter().any(|v| v.as_deref() == Some(a.as_str())))
+        .collect();
+    if inputs.is_empty() {
+        usage();
+    }
+    let files = collect_js_files(&inputs);
+    if files.is_empty() {
+        eprintln!("no .js files found under the given paths");
+        std::process::exit(2);
+    }
+
+    jsdetect_suite::obs::set_enabled(true);
+    let opts = NormalizeOptions { passes, max_rounds, limits, ..NormalizeOptions::default() };
+    let (mut n_ok, mut n_degraded, mut n_failed) = (0usize, 0usize, 0usize);
+    for f in &files {
+        let path = f.display();
+        let src = match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: failed (unreadable: {})", path, e);
+                n_failed += 1;
+                continue;
+            }
+        };
+        let mut program = match jsdetect_suite::parser::parse(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                // Not valid JavaScript: nothing to normalize, but the
+                // pipeline stays total — pass the bytes through.
+                eprintln!("{}: degraded (parse error: {})", path, e);
+                n_degraded += 1;
+                if emit {
+                    print!("{}", src);
+                }
+                continue;
+            }
+        };
+        let report = normalize_program(&mut program, &opts);
+        match report.outcome {
+            OutcomeKind::Ok => n_ok += 1,
+            _ => n_degraded += 1,
+        }
+        let detail = report.error.as_ref().map(|e| format!(", {}", e)).unwrap_or_default();
+        eprintln!(
+            "{}: {} ({} rounds, {} rewrites{})",
+            path,
+            report.outcome.as_str(),
+            report.rounds,
+            report.total_rewrites(),
+            detail
+        );
+        if emit {
+            println!("{}", jsdetect_suite::codegen::to_source(&program));
+        }
+    }
+    eprintln!(
+        "normalized {} scripts: {} ok, {} degraded, {} failed",
+        files.len(),
+        n_ok,
+        n_degraded,
+        n_failed
+    );
+    if n_failed > 0 {
         std::process::exit(1);
     }
 }

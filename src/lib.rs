@@ -11,6 +11,7 @@ pub use jsdetect_guard as guard;
 pub use jsdetect_lexer as lexer;
 pub use jsdetect_lint as lint;
 pub use jsdetect_ml as ml;
+pub use jsdetect_normalize as normalize;
 pub use jsdetect_obs as obs;
 pub use jsdetect_parser as parser;
 pub use jsdetect_transform as transform;

@@ -155,6 +155,53 @@ fn feature_space_version_bump_forces_observable_stale_misses() {
 }
 
 #[test]
+// The constant comparison is the point: pin that the version the cache
+// keys by is the one the normalization-delta block shipped in.
+#[allow(clippy::assertions_on_constants)]
+fn the_current_feature_space_bump_invalidates_previous_era_records() {
+    let _g = locked();
+    let fixtures = fixture_sources();
+    let srcs: Vec<&str> = fixtures.iter().map(|(_, s)| s.as_str()).collect();
+    let config = AnalysisConfig::default();
+    let dir = scratch();
+
+    // Pin that the bump actually shipped end to end: the default cache
+    // keys records under the current feature-space version, and that
+    // version covers the normalization-delta block (v3+).
+    assert_eq!(
+        CacheConfig::new(&dir, &config.limits).feature_version,
+        jsdetect_suite::features::FEATURE_SPACE_VERSION,
+        "cache must key records under the live feature-space version"
+    );
+    assert!(
+        jsdetect_suite::features::FEATURE_SPACE_VERSION >= 3,
+        "normalization deltas shipped in feature-space v3"
+    );
+
+    // Populate the store the way a session from the previous feature
+    // era would have (one version behind the live constant).
+    let mut old_cfg = CacheConfig::new(&dir, &config.limits);
+    old_cfg.feature_version -= 1;
+    let old = AnalysisCache::open(old_cfg).expect("open cache");
+    counted_scan(&srcs, &config, &old);
+
+    // A default-configured session over the same store must observe
+    // every previous-era record as a stale miss — never replay it.
+    let (results, hits, misses, stale, corrupt) =
+        counted_scan(&srcs, &config, &open(&dir, &config));
+    assert_eq!(hits, 0, "previous-era records must never replay");
+    assert_eq!(misses, srcs.len() as u64);
+    assert_eq!(stale, srcs.len() as u64, "each record must surface under cache/stale_version");
+    assert_eq!(corrupt, 0);
+    assert!(results.iter().all(|c| !c.from_cache));
+
+    // The rescan republished under the live version: warm from here on.
+    let (_, hits, misses, _, _) = counted_scan(&srcs, &config, &open(&dir, &config));
+    assert_eq!((hits, misses), (srcs.len() as u64, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn preset_change_forces_plain_misses_not_cross_replay() {
     let _g = locked();
     let fixtures = fixture_sources();

@@ -1,0 +1,154 @@
+//! Normalization pass-suite invariants at the workspace level.
+//!
+//! The crate-level unit tests pin each pass in isolation; this suite
+//! pins the properties the rest of the pipeline depends on when the
+//! whole suite runs over real (generated + transformed) programs:
+//!
+//! 1. **Round-trip**: normalized programs still satisfy the printer
+//!    round-trip property (print → re-parse preserves the node-kind
+//!    stream, printing is a fixed point) for every transform preset —
+//!    normalization must never produce unprintable or drifting ASTs.
+//! 2. **Idempotence**: `normalize(normalize(x)) == normalize(x)`. The
+//!    fixpoint driver claims convergence; a second full run must find
+//!    nothing left to rewrite.
+//! 3. **Reversal**: the array-inline pass exactly undoes
+//!    `Technique::GlobalArray` on generator corpora, not just on
+//!    hand-written fixtures.
+
+use jsdetect_suite::ast::kind_stream;
+use jsdetect_suite::codegen::{to_minified, to_source};
+use jsdetect_suite::corpus::RegularJsGenerator;
+use jsdetect_suite::guard::{Limits, OutcomeKind};
+use jsdetect_suite::normalize::{normalize_program, NormalizeOptions, PassKind};
+use jsdetect_suite::parser::parse;
+use jsdetect_suite::transform::{apply, Technique};
+
+/// Deterministic options: deadline off, deterministic fuel/round caps
+/// only — the same configuration feature extraction uses.
+fn opts() -> NormalizeOptions {
+    NormalizeOptions { limits: Limits::unbounded(), ..NormalizeOptions::default() }
+}
+
+/// Parses, normalizes, and returns (program printed readable, report
+/// outcome), panicking on parse failure.
+fn normalize_src(src: &str, label: &str) -> (String, OutcomeKind) {
+    let mut p = parse(src).unwrap_or_else(|e| panic!("{}: does not parse: {}", label, e));
+    let report = normalize_program(&mut p, &opts());
+    (to_source(&p), report.outcome)
+}
+
+/// The printer round-trip property from `tests/roundtrip.rs`, applied
+/// to an already-normalized source.
+fn assert_roundtrip(src: &str, label: &str) {
+    let p1 =
+        parse(src).unwrap_or_else(|e| panic!("{}: normalized output does not parse: {}", label, e));
+    let stream1 = kind_stream(&p1);
+    for (mode, printed) in [("readable", to_source(&p1)), ("minified", to_minified(&p1))] {
+        let p2 = parse(&printed).unwrap_or_else(|e| {
+            panic!("{} [{}]: printed output does not re-parse: {}\n{}", label, mode, e, printed)
+        });
+        assert_eq!(
+            stream1,
+            kind_stream(&p2),
+            "{} [{}]: node-kind stream changed across print→parse",
+            label,
+            mode
+        );
+        let reprinted = match mode {
+            "readable" => to_source(&p2),
+            _ => to_minified(&p2),
+        };
+        assert_eq!(printed, reprinted, "{} [{}]: printer is not a fixed point", label, mode);
+    }
+}
+
+#[test]
+fn normalized_output_roundtrips_for_every_technique() {
+    let mut gen = RegularJsGenerator::new(0xDECAF);
+    let samples: Vec<String> = (0..3).map(|_| gen.generate()).collect();
+    for t in Technique::ALL {
+        for (i, src) in samples.iter().enumerate() {
+            let label = format!("{} on sample {}", t.as_str(), i);
+            let transformed = apply(src, &[t], 23 + i as u64)
+                .unwrap_or_else(|e| panic!("{}: transform failed: {}", label, e));
+            let (normalized, outcome) = normalize_src(&transformed, &label);
+            assert_ne!(outcome, OutcomeKind::Rejected, "{}: normalize rejected", label);
+            assert_roundtrip(&normalized, &label);
+        }
+    }
+}
+
+#[test]
+fn normalized_output_roundtrips_for_stacked_techniques() {
+    let mut gen = RegularJsGenerator::new(0x5EED);
+    let samples: Vec<String> = (0..2).map(|_| gen.generate()).collect();
+    let mut configs: Vec<Vec<Technique>> = Technique::ALL.windows(2).map(|w| w.to_vec()).collect();
+    configs.push(Technique::ALL.to_vec());
+    for (ci, techniques) in configs.iter().enumerate() {
+        for (i, src) in samples.iter().enumerate() {
+            let Ok(transformed) = apply(src, techniques, 31 + ci as u64) else {
+                continue;
+            };
+            let label = format!("stack {} on sample {}", ci, i);
+            let (normalized, _) = normalize_src(&transformed, &label);
+            assert_roundtrip(&normalized, &label);
+        }
+    }
+}
+
+#[test]
+fn normalization_is_idempotent_across_presets() {
+    let mut gen = RegularJsGenerator::new(0x1D0);
+    let samples: Vec<String> = (0..3).map(|_| gen.generate()).collect();
+    // Untransformed plus every single-technique preset.
+    let mut sources: Vec<(String, String)> =
+        samples.iter().enumerate().map(|(i, s)| (format!("plain {}", i), s.clone())).collect();
+    for t in Technique::ALL {
+        for (i, src) in samples.iter().enumerate() {
+            if let Ok(transformed) = apply(src, &[t], 47 + i as u64) {
+                sources.push((format!("{} on sample {}", t.as_str(), i), transformed));
+            }
+        }
+    }
+    for (label, src) in &sources {
+        let (once, _) = normalize_src(src, label);
+        let mut p =
+            parse(&once).unwrap_or_else(|e| panic!("{}: once does not parse: {}", label, e));
+        let report = normalize_program(&mut p, &opts());
+        assert_eq!(
+            report.total_rewrites(),
+            0,
+            "{}: second normalize still rewrote {} times",
+            label,
+            report.total_rewrites()
+        );
+        assert_eq!(to_source(&p), *once, "{}: normalize is not idempotent", label);
+    }
+}
+
+#[test]
+fn array_inline_reverses_global_array_on_generated_corpora() {
+    let mut gen = RegularJsGenerator::new(0xA11A);
+    let inline_only =
+        NormalizeOptions { passes: vec![PassKind::ArrayInline], ..NormalizeOptions::default() };
+    let mut reversed = 0;
+    for i in 0..6 {
+        let src = gen.generate();
+        let canonical = to_minified(&parse(&src).unwrap());
+        let Ok(obf) = apply(&src, &[Technique::GlobalArray], 101 + i) else {
+            continue;
+        };
+        let mut p = parse(&obf).unwrap();
+        let report = normalize_program(&mut p, &inline_only);
+        assert_eq!(
+            to_minified(&p),
+            canonical,
+            "sample {}: array-inline did not reverse the transform",
+            i
+        );
+        if report.total_rewrites() > 0 {
+            reversed += 1;
+        }
+    }
+    assert!(reversed >= 3, "transform only took effect on {} of 6 samples", reversed);
+}
