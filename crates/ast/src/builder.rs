@@ -4,17 +4,18 @@
 //! of AST by hand; these helpers keep that code readable. All nodes carry
 //! [`Span::DUMMY`].
 
+use crate::atom::Atom;
 use crate::nodes::*;
 use crate::ops::*;
 use crate::span::Span;
 
 /// An identifier expression.
-pub fn ident(name: impl Into<String>) -> Expr {
+pub fn ident(name: impl Into<Atom>) -> Expr {
     Expr::Ident(Ident::new(name))
 }
 
 /// A string literal expression.
-pub fn str_lit(s: impl Into<String>) -> Expr {
+pub fn str_lit(s: impl Into<Atom>) -> Expr {
     Expr::Lit(Lit::str(s))
 }
 
@@ -49,7 +50,7 @@ pub fn new_expr(callee: Expr, args: Vec<Expr>) -> Expr {
 }
 
 /// Dot-notation member access: `object.name`.
-pub fn member(object: Expr, name: impl Into<String>) -> Expr {
+pub fn member(object: Expr, name: impl Into<Atom>) -> Expr {
     Expr::Member {
         object: Box::new(object),
         property: MemberProp::Ident(Ident::new(name)),
@@ -69,7 +70,7 @@ pub fn index(object: Expr, idx: Expr) -> Expr {
 }
 
 /// A method call: `object.name(args)`.
-pub fn method_call(object: Expr, name: impl Into<String>, args: Vec<Expr>) -> Expr {
+pub fn method_call(object: Expr, name: impl Into<Atom>, args: Vec<Expr>) -> Expr {
     call(member(object, name), args)
 }
 
@@ -109,7 +110,7 @@ pub fn assign(target: Pat, value: Expr) -> Expr {
 }
 
 /// Assignment to an identifier: `name = value`.
-pub fn assign_ident(name: impl Into<String>, value: Expr) -> Expr {
+pub fn assign_ident(name: impl Into<Atom>, value: Expr) -> Expr {
     assign(Pat::Ident(Ident::new(name)), value)
 }
 
@@ -129,7 +130,7 @@ pub fn ret(arg: Option<Expr>) -> Stmt {
 }
 
 /// A variable declaration with a single declarator.
-pub fn var_decl(kind: VarKind, name: impl Into<String>, init: Option<Expr>) -> Stmt {
+pub fn var_decl(kind: VarKind, name: impl Into<Atom>, init: Option<Expr>) -> Stmt {
     Stmt::VarDecl {
         kind,
         decls: vec![VarDeclarator { id: Pat::Ident(Ident::new(name)), init, span: Span::DUMMY }],
@@ -153,7 +154,7 @@ pub fn while_stmt(test: Expr, body: Stmt) -> Stmt {
 }
 
 /// A function declaration.
-pub fn fn_decl(name: impl Into<String>, params: Vec<&str>, body: Vec<Stmt>) -> Stmt {
+pub fn fn_decl(name: impl Into<Atom>, params: Vec<&str>, body: Vec<Stmt>) -> Stmt {
     Stmt::FunctionDecl(function(Some(name.into()), params, body))
 }
 
@@ -163,7 +164,7 @@ pub fn fn_expr(params: Vec<&str>, body: Vec<Stmt>) -> Expr {
 }
 
 /// Builds a [`Function`] payload with identifier parameters.
-pub fn function(name: Option<String>, params: Vec<&str>, body: Vec<Stmt>) -> Function {
+pub fn function(name: Option<Atom>, params: Vec<&str>, body: Vec<Stmt>) -> Function {
     Function {
         id: name.map(Ident::new),
         params: params.into_iter().map(|p| Pat::Ident(Ident::new(p))).collect(),

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod atom;
 pub mod builder;
 mod kind;
 pub mod metrics;
@@ -42,6 +43,7 @@ mod span;
 pub mod visit;
 pub mod visit_mut;
 
+pub use atom::{global as global_interner, Atom, Interner, InternerStats};
 pub use kind::NodeKind;
 pub use nodes::{
     ArrowBody, CatchClause, Class, ClassMember, ClassMemberValue, Expr, ForInit, ForTarget,

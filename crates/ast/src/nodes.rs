@@ -5,6 +5,7 @@
 //! auxiliary nodes (`SwitchCase`, `CatchClause`, `Property`,
 //! `TemplateElement`, `VariableDeclarator`, `MethodDefinition`).
 
+use crate::atom::Atom;
 use crate::ops::{AssignOp, BinaryOp, LogicalOp, UnaryOp, UpdateOp, VarKind};
 use crate::span::Span;
 use serde::{Deserialize, Serialize};
@@ -19,26 +20,26 @@ pub struct Program {
 }
 
 /// An identifier (ESTree `Identifier`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Ident {
-    /// The identifier's name.
-    pub name: String,
+    /// The identifier's name (interned).
+    pub name: Atom,
     /// Source span.
     pub span: Span,
 }
 
 impl Ident {
     /// Creates a synthesized identifier with a dummy span.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Atom>) -> Self {
         Ident { name: name.into(), span: Span::DUMMY }
     }
 }
 
 /// A literal value (ESTree `Literal`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum LitValue {
-    /// String literal; the decoded (cooked) value.
-    Str(String),
+    /// String literal; the decoded (cooked) value, interned.
+    Str(Atom),
     /// Numeric literal.
     Num(f64),
     /// Boolean literal.
@@ -48,42 +49,42 @@ pub enum LitValue {
     /// Regular expression literal: pattern and flags.
     Regex {
         /// Pattern between the slashes, uninterpreted.
-        pattern: String,
+        pattern: Atom,
         /// Flag characters (`gimsuy`).
-        flags: String,
+        flags: Atom,
     },
 }
 
 /// A literal node, keeping both decoded value and raw source text.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Lit {
     /// Decoded value.
     pub value: LitValue,
     /// Raw text as it appeared in the source (empty for synthesized nodes).
-    pub raw: String,
+    pub raw: Atom,
     /// Source span.
     pub span: Span,
 }
 
 impl Lit {
     /// Synthesizes a string literal.
-    pub fn str(s: impl Into<String>) -> Self {
-        Lit { value: LitValue::Str(s.into()), raw: String::new(), span: Span::DUMMY }
+    pub fn str(s: impl Into<Atom>) -> Self {
+        Lit { value: LitValue::Str(s.into()), raw: Atom::empty(), span: Span::DUMMY }
     }
 
     /// Synthesizes a numeric literal.
     pub fn num(n: f64) -> Self {
-        Lit { value: LitValue::Num(n), raw: String::new(), span: Span::DUMMY }
+        Lit { value: LitValue::Num(n), raw: Atom::empty(), span: Span::DUMMY }
     }
 
     /// Synthesizes a boolean literal.
     pub fn bool(b: bool) -> Self {
-        Lit { value: LitValue::Bool(b), raw: String::new(), span: Span::DUMMY }
+        Lit { value: LitValue::Bool(b), raw: Atom::empty(), span: Span::DUMMY }
     }
 
     /// Synthesizes the `null` literal.
     pub fn null() -> Self {
-        Lit { value: LitValue::Null, raw: String::new(), span: Span::DUMMY }
+        Lit { value: LitValue::Null, raw: Atom::empty(), span: Span::DUMMY }
     }
 }
 
@@ -155,9 +156,9 @@ impl PropKey {
     /// The key's name if statically known.
     pub fn static_name(&self) -> Option<String> {
         match self {
-            PropKey::Ident(i) => Some(i.name.clone()),
+            PropKey::Ident(i) => Some(i.name.to_string()),
             PropKey::Lit(l) => match &l.value {
-                LitValue::Str(s) => Some(s.clone()),
+                LitValue::Str(s) => Some(s.to_string()),
                 LitValue::Num(n) => Some(format!("{}", n)),
                 _ => None,
             },
@@ -223,12 +224,12 @@ pub enum ArrowBody {
 }
 
 /// A template literal element (ESTree `TemplateElement`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TemplateElement {
-    /// Cooked (decoded) text.
-    pub cooked: String,
-    /// Raw text.
-    pub raw: String,
+    /// Cooked (decoded) text, interned.
+    pub cooked: Atom,
+    /// Raw text, interned.
+    pub raw: Atom,
     /// Whether this is the final quasi.
     pub tail: bool,
     /// Source span.
@@ -398,7 +399,7 @@ impl Expr {
     pub fn as_str_lit(&self) -> Option<&str> {
         match self {
             Expr::Lit(l) => match &l.value {
-                LitValue::Str(s) => Some(s),
+                LitValue::Str(s) => Some(s.as_str()),
                 _ => None,
             },
             _ => None,

@@ -213,7 +213,7 @@ impl RegularJsGenerator {
             3 => {
                 let target = self.name_ref(names);
                 if let Expr::Ident(i) = &target {
-                    expr_stmt(assign_ident(i.name.clone(), self.simple_expr(names)))
+                    expr_stmt(assign_ident(i.name, self.simple_expr(names)))
                 } else {
                     expr_stmt(self.call_expr(names))
                 }

@@ -1,8 +1,10 @@
 //! Persisted perf trajectory for the ML hot paths.
 //!
 //! Measures forest fit (legacy row-major vs columnar presorted), forest
-//! inference (serial row-major vs flattened batch), and parallel script
-//! analysis at a fixed synthetic scale mirroring the default pipeline
+//! inference (serial row-major vs flattened batch), front-end tokenization
+//! (zero-copy byte-level scanner vs the preserved char-level reference),
+//! and parallel script analysis at a fixed synthetic scale mirroring the
+//! default pipeline
 //! (level-2 training is ~1300 rows × ~317 features × 32 trees), then
 //! appends the numbers to `BENCH_ml.json` so the speedups are tracked
 //! across PRs instead of living in commit messages.
@@ -79,6 +81,29 @@ struct NormalizeBench {
     n_ok: usize,
 }
 
+/// Front-end tokenization throughput: the zero-copy byte-level scanner
+/// against the preserved char-level reference lexer, over a realistic
+/// mixed corpus (regular scripts plus one variant per transformation
+/// technique).
+#[derive(Serialize, Deserialize, Clone)]
+struct LexBench {
+    n_scripts: usize,
+    /// Total source bytes lexed per rep.
+    bytes_total: usize,
+    /// Total tokens produced per rep.
+    tokens_total: u64,
+    /// Median full-corpus pass with the current scanner.
+    lex_ms: f64,
+    /// Source megabytes per second through the current scanner.
+    mb_per_sec: f64,
+    /// Tokens per second through the current scanner.
+    tokens_per_sec: f64,
+    /// Median full-corpus pass with the pre-refactor reference scanner.
+    reference_ms: f64,
+    /// reference_ms / lex_ms (higher = the rewrite is faster).
+    speedup_vs_reference: f64,
+}
+
 /// Per-stage decomposition of one instrumented `analyze_many` run. The
 /// child-span sum is expected to land within ~10% of the parent `analyze`
 /// total (the front-end stages cover nearly all of the per-script work).
@@ -115,6 +140,7 @@ struct BenchEntry {
     telemetry: Option<TelemetryBreakdown>,
     cache: Option<CacheBench>,
     normalize: Option<NormalizeBench>,
+    lex: Option<LexBench>,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -359,6 +385,39 @@ fn main() {
         }
     }));
 
+    // Tokenization throughput, current scanner vs the preserved reference.
+    // The corpus mixes plain generated scripts with one variant per
+    // transformation technique so literal-heavy and minified shapes are
+    // both represented.
+    let lex_corpus: Vec<String> = {
+        let mut v = jsdetect_corpus::regular_corpus(if smoke { 6 } else { 48 }, seed);
+        let base_len = v.len();
+        for (i, t) in jsdetect::Technique::ALL.iter().enumerate() {
+            let base = v[i % base_len].clone();
+            if let Ok(obf) = jsdetect_transform::apply(&base, &[*t], seed + i as u64) {
+                v.push(obf);
+            }
+        }
+        v
+    };
+    let lex_bytes: usize = lex_corpus.iter().map(String::len).sum();
+    let mut lex_tokens = 0u64;
+    stages.push(stage("lex_throughput", lex_corpus.len(), pred_reps, || {
+        lex_tokens = 0;
+        for src in &lex_corpus {
+            let toks = jsdetect_lexer::tokenize(src).expect("lex corpus tokenizes");
+            lex_tokens += toks.len() as u64;
+            std::hint::black_box(&toks);
+        }
+    }));
+    stages.push(stage("lex_reference", lex_corpus.len(), pred_reps, || {
+        for src in &lex_corpus {
+            let toks = jsdetect_lexer::reference::tokenize_reference(src)
+                .expect("lex corpus tokenizes (reference)");
+            std::hint::black_box(&toks);
+        }
+    }));
+
     // One extra instrumented pass decomposes the analysis wall time into
     // per-stage spans (the timed stage above ran with telemetry off).
     let telemetry = capture_telemetry(&refs);
@@ -379,6 +438,17 @@ fn main() {
         rounds_total,
         n_ok: norm_ok,
     };
+    let lex_ms = ms_of("lex_throughput");
+    let lex_bench = LexBench {
+        n_scripts: lex_corpus.len(),
+        bytes_total: lex_bytes,
+        tokens_total: lex_tokens,
+        lex_ms,
+        mb_per_sec: lex_bytes as f64 / 1e6 / (lex_ms / 1e3),
+        tokens_per_sec: lex_tokens as f64 / (lex_ms / 1e3),
+        reference_ms: ms_of("lex_reference"),
+        speedup_vs_reference: ms_of("lex_reference") / lex_ms,
+    };
     let entry = BenchEntry {
         label,
         smoke,
@@ -396,6 +466,7 @@ fn main() {
         telemetry: Some(telemetry),
         cache: Some(cache_bench),
         normalize: Some(normalize_bench),
+        lex: Some(lex_bench),
     };
     println!(
         "\n  fit speedup    {:.2}x (row-major → columnar)\n  predict speedup {:.2}x (serial → batch)",
@@ -411,6 +482,17 @@ fn main() {
         println!(
             "  normalize      {:.1} ms for {} scripts ({} rewrites, {} rounds, {} ok)",
             nb.normalize_ms, nb.n_scripts, nb.rewrites_total, nb.rounds_total, nb.n_ok
+        );
+    }
+    if let Some(l) = &entry.lex {
+        println!(
+            "  lex throughput {:.1} MB/s, {:.2}M tokens/s ({:.2}x vs reference: {:.1} ms → {:.1} ms over {:.2} MB)",
+            l.mb_per_sec,
+            l.tokens_per_sec / 1e6,
+            l.speedup_vs_reference,
+            l.reference_ms,
+            l.lex_ms,
+            l.bytes_total as f64 / 1e6
         );
     }
     if let Some(t) = &entry.telemetry {

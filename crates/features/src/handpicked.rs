@@ -262,7 +262,7 @@ const STRING_OPS: &[&str] = &[
 struct Walked {
     ident_occurrences: usize,
     ident_len_sum: usize,
-    unique_idents: std::collections::HashSet<String>,
+    unique_idents: std::collections::HashSet<Atom>,
     string_count: usize,
     number_count: usize,
     string_len_sum: usize,
@@ -296,20 +296,18 @@ impl Walked {
     fn visit(&mut self, node: NodeRef<'_>) {
         match node {
             NodeRef::Expr(e) => self.expr(e),
-            NodeRef::Pat(Pat::Ident(i)) => self.ident(&i.name),
-            NodeRef::Ident(i) => self.ident(&i.name),
+            NodeRef::Pat(Pat::Ident(i)) => self.ident(i.name),
+            NodeRef::Ident(i) => self.ident(i.name),
             NodeRef::Stmt(s) => self.stmt(s),
             NodeRef::SwitchCase(_) => self.case_count += 1,
             _ => {}
         }
     }
 
-    fn ident(&mut self, name: &str) {
+    fn ident(&mut self, name: Atom) {
         self.ident_occurrences += 1;
         self.ident_len_sum += name.len();
-        if !self.unique_idents.contains(name) {
-            self.unique_idents.insert(name.to_string());
-        }
+        self.unique_idents.insert(name);
     }
 
     fn stmt(&mut self, s: &Stmt) {
@@ -342,7 +340,7 @@ impl Walked {
 
     fn expr(&mut self, e: &Expr) {
         match e {
-            Expr::Ident(i) => self.ident(&i.name),
+            Expr::Ident(i) => self.ident(i.name),
             Expr::Lit(l) => match &l.value {
                 LitValue::Str(s) => {
                     self.string_count += 1;

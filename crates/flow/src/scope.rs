@@ -50,7 +50,7 @@ pub enum BindingKind {
 #[derive(Debug, Clone)]
 pub struct Binding {
     /// The declared name.
-    pub name: String,
+    pub name: Atom,
     /// How the name was declared.
     pub kind: BindingKind,
     /// Span of the declaring identifier.
@@ -74,7 +74,7 @@ pub enum RefKind {
 #[derive(Debug, Clone)]
 pub struct Reference {
     /// Referenced name.
-    pub name: String,
+    pub name: Atom,
     /// Span of the identifier occurrence.
     pub span: Span,
     /// Resolved binding, or `None` for globals/undeclared.
@@ -92,7 +92,7 @@ pub struct Scope {
     pub parent: Option<ScopeId>,
     /// What introduced the scope.
     pub kind: ScopeKind,
-    names: HashMap<String, BindingId>,
+    names: HashMap<Atom, BindingId>,
 }
 
 /// Classification of the value expression assigned to a variable,
@@ -194,10 +194,11 @@ impl ScopeTree {
     }
 
     /// Looks a name up through the scope chain starting at `scope`.
-    pub fn lookup(&self, mut scope: ScopeId, name: &str) -> Option<BindingId> {
+    pub fn lookup(&self, mut scope: ScopeId, name: impl Into<Atom>) -> Option<BindingId> {
+        let name = name.into();
         loop {
             let s = &self.scopes[scope];
-            if let Some(&b) = s.names.get(name) {
+            if let Some(&b) = s.names.get(&name) {
                 return Some(b);
             }
             match s.parent {
@@ -237,20 +238,20 @@ impl Builder {
         id
     }
 
-    fn declare(&mut self, scope: ScopeId, name: &str, kind: BindingKind, span: Span) -> BindingId {
-        if let Some(&existing) = self.tree.scopes[scope].names.get(name) {
+    fn declare(&mut self, scope: ScopeId, name: Atom, kind: BindingKind, span: Span) -> BindingId {
+        if let Some(&existing) = self.tree.scopes[scope].names.get(&name) {
             // Redeclaration (`var x; var x;`): keep the first binding.
             return existing;
         }
         let id = self.tree.bindings.len();
-        self.tree.bindings.push(Binding { name: name.to_string(), kind, decl_span: span, scope });
-        self.tree.scopes[scope].names.insert(name.to_string(), id);
+        self.tree.bindings.push(Binding { name, kind, decl_span: span, scope });
+        self.tree.scopes[scope].names.insert(name, id);
         id
     }
 
-    fn reference(&mut self, scope: ScopeId, name: &str, span: Span, kind: RefKind) {
+    fn reference(&mut self, scope: ScopeId, name: Atom, span: Span, kind: RefKind) {
         let binding = self.tree.lookup(scope, name);
-        self.tree.references.push(Reference { name: name.to_string(), span, binding, kind });
+        self.tree.references.push(Reference { name, span, binding, kind });
     }
 
     // ---- hoisting pre-pass -------------------------------------------------
@@ -273,7 +274,7 @@ impl Builder {
             }
             Stmt::FunctionDecl(f) => {
                 if let Some(id) = &f.id {
-                    self.declare(fn_scope, &id.name, BindingKind::Function, id.span);
+                    self.declare(fn_scope, id.name, BindingKind::Function, id.span);
                 }
             }
             Stmt::Block { body, .. } => self.hoist_stmts(body, fn_scope, fn_scope),
@@ -327,7 +328,7 @@ impl Builder {
     fn bind_pat(&mut self, p: &Pat, scope: ScopeId, kind: BindingKind) {
         match p {
             Pat::Ident(i) => {
-                self.declare(scope, &i.name, kind, i.span);
+                self.declare(scope, i.name, kind, i.span);
             }
             Pat::Array { elements, .. } => {
                 for el in elements.iter().flatten() {
@@ -374,7 +375,7 @@ impl Builder {
                         self.expr(init, scope);
                         self.pat_def_refs(&d.id, scope);
                         if let Pat::Ident(i) = &d.id {
-                            let b = self.tree.lookup(scope, &i.name);
+                            let b = self.tree.lookup(scope, i.name);
                             self.tree.def_values.push((b, classify_def_value(init)));
                         }
                     }
@@ -383,7 +384,7 @@ impl Builder {
             Stmt::FunctionDecl(f) => self.function(f, scope, false),
             Stmt::ClassDecl(c) => {
                 if let Some(id) = &c.id {
-                    self.declare(scope, &id.name, BindingKind::Class, id.span);
+                    self.declare(scope, id.name, BindingKind::Class, id.span);
                 }
                 self.class(c, scope);
             }
@@ -508,13 +509,13 @@ impl Builder {
                 }
                 Stmt::ClassDecl(c) => {
                     if let Some(id) = &c.id {
-                        self.declare(scope, &id.name, BindingKind::Class, id.span);
+                        self.declare(scope, id.name, BindingKind::Class, id.span);
                     }
                 }
                 Stmt::FunctionDecl(f) => {
                     // Block-level function declarations (sloppy mode).
                     if let Some(id) = &f.id {
-                        self.declare(scope, &id.name, BindingKind::Function, id.span);
+                        self.declare(scope, id.name, BindingKind::Function, id.span);
                     }
                 }
                 _ => {}
@@ -527,7 +528,7 @@ impl Builder {
     fn bind_pat_names_only(&mut self, p: &Pat, scope: ScopeId, kind: BindingKind) {
         match p {
             Pat::Ident(i) => {
-                self.declare(scope, &i.name, kind, i.span);
+                self.declare(scope, i.name, kind, i.span);
             }
             Pat::Array { elements, .. } => {
                 for el in elements.iter().flatten() {
@@ -561,7 +562,7 @@ impl Builder {
     /// binds (a declaration with an initializer *defines* those names).
     fn pat_def_refs(&mut self, p: &Pat, scope: ScopeId) {
         match p {
-            Pat::Ident(i) => self.reference(scope, &i.name, i.span, RefKind::Write),
+            Pat::Ident(i) => self.reference(scope, i.name, i.span, RefKind::Write),
             Pat::Array { elements, .. } => {
                 for el in elements.iter().flatten() {
                     self.pat_def_refs(el, scope);
@@ -581,7 +582,7 @@ impl Builder {
     /// Records references for an assignment-target pattern.
     fn pat_write_refs(&mut self, p: &Pat, scope: ScopeId) {
         match p {
-            Pat::Ident(i) => self.reference(scope, &i.name, i.span, RefKind::Write),
+            Pat::Ident(i) => self.reference(scope, i.name, i.span, RefKind::Write),
             Pat::Array { elements, .. } => {
                 for el in elements.iter().flatten() {
                     self.pat_write_refs(el, scope);
@@ -609,7 +610,7 @@ impl Builder {
         let fscope = self.new_scope(Some(scope), ScopeKind::Function);
         if is_expr {
             if let Some(id) = &f.id {
-                self.declare(fscope, &id.name, BindingKind::Function, id.span);
+                self.declare(fscope, id.name, BindingKind::Function, id.span);
             }
         }
         for p in &f.params {
@@ -640,7 +641,7 @@ impl Builder {
 
     fn expr(&mut self, e: &Expr, scope: ScopeId) {
         match e {
-            Expr::Ident(i) => self.reference(scope, &i.name, i.span, RefKind::Read),
+            Expr::Ident(i) => self.reference(scope, i.name, i.span, RefKind::Read),
             Expr::Lit(_) | Expr::This { .. } | Expr::Super { .. } | Expr::MetaProperty { .. } => {}
             Expr::Array { elements, .. } => {
                 for el in elements.iter().flatten() {
@@ -689,7 +690,7 @@ impl Builder {
             }
             Expr::Update { arg, .. } => {
                 if let Expr::Ident(i) = &**arg {
-                    self.reference(scope, &i.name, i.span, RefKind::ReadWrite);
+                    self.reference(scope, i.name, i.span, RefKind::ReadWrite);
                 } else {
                     self.expr(arg, scope);
                 }
@@ -702,11 +703,11 @@ impl Builder {
                 if op.is_plain() {
                     self.pat_write_refs(target, scope);
                     if let Pat::Ident(i) = &**target {
-                        let b = self.tree.lookup(scope, &i.name);
+                        let b = self.tree.lookup(scope, i.name);
                         self.tree.def_values.push((b, classify_def_value(value)));
                     }
                 } else if let Pat::Ident(i) = &**target {
-                    self.reference(scope, &i.name, i.span, RefKind::ReadWrite);
+                    self.reference(scope, i.name, i.span, RefKind::ReadWrite);
                 } else {
                     self.pat_write_refs(target, scope);
                 }

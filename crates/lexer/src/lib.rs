@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod reference;
 mod scanner;
 mod token;
 
@@ -48,7 +49,7 @@ mod tests {
         kinds(src)
             .into_iter()
             .filter_map(|k| match k {
-                TokenKind::Str(s) => Some(s),
+                TokenKind::Str(s) => Some(s.to_string()),
                 _ => None,
             })
             .collect()

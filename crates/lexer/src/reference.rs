@@ -1,0 +1,699 @@
+//! The pre-atom, `String`-allocating scanner, kept verbatim as a
+//! differential oracle.
+//!
+//! This is the scanner as it stood before the zero-copy/interned front end
+//! (PR 7): per-token `String` payloads, char-oriented dispatch, no byte
+//! class table. `tests/frontend_differential.rs` runs it side by side with
+//! the production [`crate::Lexer`] over the generated and chaos corpora and
+//! asserts identical token-kind streams (with atoms resolved back to
+//! strings). It is compiled unconditionally — like `jsdetect_ml::reference`
+//! — so the oracle cannot silently rot.
+//!
+//! Budget support is stripped: the oracle is only ever used for equivalence
+//! checks, never inside the guarded pipeline.
+
+use crate::token::{Kw, Punct};
+use crate::LexError;
+use jsdetect_ast::Span;
+
+/// Token payload mirroring the pre-atom `TokenKind` (owned strings).
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum RefTokenKind {
+    Ident(String),
+    Keyword(Kw),
+    Num(f64),
+    Str(String),
+    Regex { pattern: String, flags: String },
+    TemplateNoSub { cooked: String, raw: String },
+    TemplateHead { cooked: String, raw: String },
+    TemplateMiddle { cooked: String, raw: String },
+    TemplateTail { cooked: String, raw: String },
+    Punct(Punct),
+    Eof,
+}
+
+impl RefTokenKind {
+    fn allows_regex_after(&self) -> bool {
+        match self {
+            RefTokenKind::Ident(_)
+            | RefTokenKind::Num(_)
+            | RefTokenKind::Str(_)
+            | RefTokenKind::Regex { .. }
+            | RefTokenKind::TemplateNoSub { .. }
+            | RefTokenKind::TemplateTail { .. } => false,
+            RefTokenKind::Keyword(kw) => {
+                !matches!(kw, Kw::This | Kw::Super | Kw::Null | Kw::True | Kw::False)
+            }
+            RefTokenKind::Punct(p) => {
+                !matches!(p, Punct::RParen | Punct::RBracket | Punct::PlusPlus | Punct::MinusMinus)
+            }
+            _ => true,
+        }
+    }
+}
+
+/// A token produced by the reference scanner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefToken {
+    /// Token payload.
+    pub kind: RefTokenKind,
+    /// Byte range in the source.
+    pub span: Span,
+    /// Whether a line terminator preceded the token.
+    pub newline_before: bool,
+}
+
+struct RefLexer<'s> {
+    src: &'s str,
+    pos: usize,
+}
+
+impl<'s> RefLexer<'s> {
+    fn new(src: &'s str) -> Self {
+        RefLexer { src, pos: 0 }
+    }
+
+    fn bytes(&self) -> &[u8] {
+        self.src.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes().get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump_char(&mut self) -> Option<char> {
+        let c = self.peek_char()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError { msg: msg.into(), pos: self.pos as u32 }
+    }
+
+    fn skip_trivia(&mut self) -> Result<bool, LexError> {
+        let mut newline = false;
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(0x0b) | Some(0x0c) => {
+                    self.pos += 1;
+                }
+                Some(b'\n') | Some(b'\r') => {
+                    newline = true;
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' || b == b'\r' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.err("unterminated block comment")),
+                            Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(b'\n') | Some(b'\r') => {
+                                newline = true;
+                                self.pos += 1;
+                            }
+                            _ => {
+                                self.pos += 1;
+                            }
+                        }
+                    }
+                }
+                Some(b) if b >= 0x80 => {
+                    let c = self.peek_char().unwrap();
+                    if c == '\u{2028}' || c == '\u{2029}' {
+                        newline = true;
+                        self.pos += c.len_utf8();
+                    } else if c.is_whitespace() {
+                        self.pos += c.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(newline)
+    }
+
+    fn next_token(&mut self, regex_allowed: bool) -> Result<RefToken, LexError> {
+        let newline_before = self.skip_trivia()?;
+        let start = self.pos as u32;
+        let kind = match self.peek() {
+            None => RefTokenKind::Eof,
+            Some(b) => match b {
+                b'0'..=b'9' => self.lex_number()?,
+                b'"' | b'\'' => self.lex_string()?,
+                b'`' => self.lex_template_start()?,
+                b'/' if regex_allowed => self.lex_regex()?,
+                c if is_ident_start_byte(c) => self.lex_ident()?,
+                _ if b >= 0x80 => {
+                    let c = self.peek_char().unwrap();
+                    if is_ident_start_char(c) {
+                        self.lex_ident()?
+                    } else {
+                        return Err(self.err(format!("unexpected character `{}`", c)));
+                    }
+                }
+                b'.' if matches!(self.peek_at(1), Some(b'0'..=b'9')) => self.lex_number()?,
+                _ => self.lex_punct()?,
+            },
+        };
+        Ok(RefToken { kind, span: Span::new(start, self.pos as u32), newline_before })
+    }
+
+    fn continue_template(&mut self, rbrace_start: u32) -> Result<RefToken, LexError> {
+        self.pos = rbrace_start as usize;
+        debug_assert_eq!(self.peek(), Some(b'}'));
+        self.pos += 1; // consume `}`
+        let start = rbrace_start;
+        let (cooked, raw, is_tail) = self.scan_template_chars()?;
+        let kind = if is_tail {
+            RefTokenKind::TemplateTail { cooked, raw }
+        } else {
+            RefTokenKind::TemplateMiddle { cooked, raw }
+        };
+        Ok(RefToken { kind, span: Span::new(start, self.pos as u32), newline_before: false })
+    }
+
+    fn lex_ident(&mut self) -> Result<RefTokenKind, LexError> {
+        let start = self.pos;
+        let mut has_escape = false;
+        let mut name = String::new();
+        loop {
+            match self.peek() {
+                Some(b'\\') if self.peek_at(1) == Some(b'u') => {
+                    has_escape = true;
+                    self.pos += 2;
+                    let c = self.lex_unicode_escape_body()?;
+                    name.push(c);
+                }
+                Some(b) if is_ident_part_byte(b) => {
+                    name.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) if b >= 0x80 => {
+                    let c = self.peek_char().unwrap();
+                    if is_ident_part_char(c) {
+                        name.push(c);
+                        self.pos += c.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if name.is_empty() {
+            self.pos = start;
+            return Err(self.err("empty identifier"));
+        }
+        if !has_escape {
+            if let Some(kw) = Kw::lookup(&name) {
+                return Ok(RefTokenKind::Keyword(kw));
+            }
+        }
+        Ok(RefTokenKind::Ident(name))
+    }
+
+    fn lex_unicode_escape_body(&mut self) -> Result<char, LexError> {
+        // Positioned after `\u`.
+        if self.peek() == Some(b'{') {
+            self.pos += 1;
+            let mut v: u32 = 0;
+            let mut digits = 0;
+            while let Some(b) = self.peek() {
+                if b == b'}' {
+                    break;
+                }
+                let d = (b as char).to_digit(16).ok_or_else(|| self.err("bad unicode escape"))?;
+                v = v.wrapping_mul(16).wrapping_add(d);
+                digits += 1;
+                self.pos += 1;
+            }
+            if self.peek() != Some(b'}') || digits == 0 {
+                return Err(self.err("unterminated unicode escape"));
+            }
+            self.pos += 1;
+            char::from_u32(v).ok_or_else(|| self.err("invalid code point"))
+        } else {
+            let mut v: u32 = 0;
+            for _ in 0..4 {
+                let b = self.peek().ok_or_else(|| self.err("truncated unicode escape"))?;
+                let d = (b as char).to_digit(16).ok_or_else(|| self.err("bad unicode escape"))?;
+                v = v * 16 + d;
+                self.pos += 1;
+            }
+            char::from_u32(v).ok_or_else(|| self.err("invalid code point"))
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<RefTokenKind, LexError> {
+        let start = self.pos;
+        let b0 = self.peek().unwrap();
+        if b0 == b'0' {
+            match self.peek_at(1) {
+                Some(b'x') | Some(b'X') => return self.lex_radix_number(16, 2),
+                Some(b'o') | Some(b'O') => return self.lex_radix_number(8, 2),
+                Some(b'b') | Some(b'B') => return self.lex_radix_number(2, 2),
+                Some(b'0'..=b'7') => {
+                    // Legacy octal: 0123. If it contains 8/9 it is decimal.
+                    let mut p = self.pos + 1;
+                    let mut octal = true;
+                    while let Some(&d) = self.bytes().get(p) {
+                        match d {
+                            b'0'..=b'7' => p += 1,
+                            b'8' | b'9' => {
+                                octal = false;
+                                p += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    if octal && !matches!(self.bytes().get(p), Some(b'.') | Some(b'e') | Some(b'E'))
+                    {
+                        self.pos += 1;
+                        return self.lex_radix_number(8, 0);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut saw_digit = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    saw_digit = true;
+                    self.pos += 1;
+                }
+                b'_' => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while let Some(b) = self.peek() {
+                match b {
+                    b'0'..=b'9' => {
+                        saw_digit = true;
+                        self.pos += 1;
+                    }
+                    b'_' => {
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        if !saw_digit {
+            return Err(self.err("malformed number"));
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            let mut exp_digits = false;
+            while let Some(b'0'..=b'9') = self.peek() {
+                exp_digits = true;
+                self.pos += 1;
+            }
+            if !exp_digits {
+                self.pos = save;
+            }
+        }
+        if self.peek() == Some(b'n') {
+            // BigInt suffix; value kept as f64 approximation.
+            self.pos += 1;
+            let text: String =
+                self.src[start..self.pos - 1].chars().filter(|c| *c != '_').collect();
+            let v = text.parse::<f64>().map_err(|_| self.err("malformed number"))?;
+            return Ok(RefTokenKind::Num(v));
+        }
+        let text: String = self.src[start..self.pos].chars().filter(|c| *c != '_').collect();
+        let v = text.parse::<f64>().map_err(|_| self.err("malformed number"))?;
+        Ok(RefTokenKind::Num(v))
+    }
+
+    fn lex_radix_number(&mut self, radix: u32, skip: usize) -> Result<RefTokenKind, LexError> {
+        self.pos += skip;
+        let mut v: f64 = 0.0;
+        let mut digits = 0;
+        while let Some(b) = self.peek() {
+            if b == b'_' {
+                self.pos += 1;
+                continue;
+            }
+            match (b as char).to_digit(radix) {
+                Some(d) => {
+                    v = v * radix as f64 + d as f64;
+                    digits += 1;
+                    self.pos += 1;
+                }
+                None => break,
+            }
+        }
+        if digits == 0 {
+            return Err(self.err("missing digits in number"));
+        }
+        if self.peek() == Some(b'n') {
+            self.pos += 1;
+        }
+        Ok(RefTokenKind::Num(v))
+    }
+
+    fn lex_string(&mut self) -> Result<RefTokenKind, LexError> {
+        let quote = self.bump().unwrap();
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'\n') | Some(b'\r') => return Err(self.err("unterminated string literal")),
+                Some(b) if b == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.lex_escape_into(&mut value)?;
+                }
+                Some(b) if b < 0x80 => {
+                    value.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let c = self.bump_char().unwrap();
+                    value.push(c);
+                }
+            }
+        }
+        Ok(RefTokenKind::Str(value))
+    }
+
+    fn lex_escape_into(&mut self, out: &mut String) -> Result<(), LexError> {
+        let c = self.bump_char().ok_or_else(|| self.err("truncated escape"))?;
+        match c {
+            'n' => out.push('\n'),
+            't' => out.push('\t'),
+            'r' => out.push('\r'),
+            'b' => out.push('\u{8}'),
+            'f' => out.push('\u{c}'),
+            'v' => out.push('\u{b}'),
+            '0' if !matches!(self.peek(), Some(b'0'..=b'9')) => out.push('\0'),
+            'x' => {
+                let mut v = 0u32;
+                for _ in 0..2 {
+                    let b = self.peek().ok_or_else(|| self.err("truncated hex escape"))?;
+                    let d = (b as char).to_digit(16).ok_or_else(|| self.err("bad hex escape"))?;
+                    v = v * 16 + d;
+                    self.pos += 1;
+                }
+                out.push(char::from_u32(v).unwrap());
+            }
+            'u' => {
+                let c = self.lex_unicode_escape_body()?;
+                out.push(c);
+            }
+            '\n' => {}
+            '\r' => {
+                if self.peek() == Some(b'\n') {
+                    self.pos += 1;
+                }
+            }
+            '0'..='7' => {
+                // Legacy octal escape: up to 3 octal digits.
+                let mut v = c.to_digit(8).unwrap();
+                for _ in 0..2 {
+                    match self.peek() {
+                        Some(b @ b'0'..=b'7') if v * 8 + ((b - b'0') as u32) <= 255 => {
+                            v = v * 8 + (b - b'0') as u32;
+                            self.pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                out.push(char::from_u32(v).unwrap());
+            }
+            other => out.push(other),
+        }
+        Ok(())
+    }
+
+    fn lex_template_start(&mut self) -> Result<RefTokenKind, LexError> {
+        self.pos += 1; // backtick
+        let (cooked, raw, is_tail) = self.scan_template_chars()?;
+        Ok(if is_tail {
+            RefTokenKind::TemplateNoSub { cooked, raw }
+        } else {
+            RefTokenKind::TemplateHead { cooked, raw }
+        })
+    }
+
+    fn scan_template_chars(&mut self) -> Result<(String, String, bool), LexError> {
+        let raw_start = self.pos;
+        let mut cooked = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated template literal")),
+                Some(b'`') => {
+                    let raw = self.src[raw_start..self.pos].to_string();
+                    self.pos += 1;
+                    return Ok((cooked, raw, true));
+                }
+                Some(b'$') if self.peek_at(1) == Some(b'{') => {
+                    let raw = self.src[raw_start..self.pos].to_string();
+                    self.pos += 2;
+                    return Ok((cooked, raw, false));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.lex_escape_into(&mut cooked)?;
+                }
+                Some(b) if b < 0x80 => {
+                    cooked.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let c = self.bump_char().unwrap();
+                    cooked.push(c);
+                }
+            }
+        }
+    }
+
+    fn lex_regex(&mut self) -> Result<RefTokenKind, LexError> {
+        self.pos += 1; // leading slash
+        let pat_start = self.pos;
+        let mut in_class = false;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated regex literal")),
+                Some(b'\n') | Some(b'\r') => return Err(self.err("unterminated regex literal")),
+                Some(b'\\') => {
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(b'\n') | Some(b'\r')) {
+                        return Err(self.err("unterminated regex literal"));
+                    }
+                    self.bump_char();
+                }
+                Some(b'[') => {
+                    in_class = true;
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    in_class = false;
+                    self.pos += 1;
+                }
+                Some(b'/') if !in_class => break,
+                Some(b) if b < 0x80 => {
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    self.bump_char();
+                }
+            }
+        }
+        let pattern = self.src[pat_start..self.pos].to_string();
+        self.pos += 1; // closing slash
+        let flag_start = self.pos;
+        while let Some(b) = self.peek() {
+            if is_ident_part_byte(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let flags = self.src[flag_start..self.pos].to_string();
+        Ok(RefTokenKind::Regex { pattern, flags })
+    }
+
+    fn lex_punct(&mut self) -> Result<RefTokenKind, LexError> {
+        use Punct::*;
+        let rest = &self.bytes()[self.pos..];
+        // Longest-match over multi-byte punctuators.
+        const TABLE: &[(&[u8], Punct)] = &[
+            (b">>>=", UShrEq),
+            (b"...", Ellipsis),
+            (b"===", EqEqEq),
+            (b"!==", NotEqEq),
+            (b"**=", StarStarEq),
+            (b"<<=", ShlEq),
+            (b">>=", ShrEq),
+            (b">>>", UShr),
+            (b"&&=", AmpAmpEq),
+            (b"||=", PipePipeEq),
+            (b"??=", QuestionQuestionEq),
+            (b"=>", Arrow),
+            (b"==", EqEq),
+            (b"!=", NotEq),
+            (b"<=", LtEq),
+            (b">=", GtEq),
+            (b"&&", AmpAmp),
+            (b"||", PipePipe),
+            (b"??", QuestionQuestion),
+            (b"++", PlusPlus),
+            (b"--", MinusMinus),
+            (b"+=", PlusEq),
+            (b"-=", MinusEq),
+            (b"*=", StarEq),
+            (b"/=", SlashEq),
+            (b"%=", PercentEq),
+            (b"&=", AmpEq),
+            (b"|=", PipeEq),
+            (b"^=", CaretEq),
+            (b"**", StarStar),
+            (b"<<", Shl),
+            (b">>", Shr),
+            (b"?.", OptionalChain),
+            (b"(", LParen),
+            (b")", RParen),
+            (b"[", LBracket),
+            (b"]", RBracket),
+            (b"{", LBrace),
+            (b"}", RBrace),
+            (b";", Semi),
+            (b",", Comma),
+            (b".", Dot),
+            (b":", Colon),
+            (b"?", Question),
+            (b"+", Plus),
+            (b"-", Minus),
+            (b"*", Star),
+            (b"/", Slash),
+            (b"%", Percent),
+            (b"<", Lt),
+            (b">", Gt),
+            (b"=", Eq),
+            (b"&", Amp),
+            (b"|", Pipe),
+            (b"^", Caret),
+            (b"!", Bang),
+            (b"~", Tilde),
+        ];
+        for (text, p) in TABLE {
+            if rest.starts_with(text) {
+                // `?.3` must lex as `?` then `.3`.
+                if *p == OptionalChain && matches!(rest.get(2), Some(b'0'..=b'9')) {
+                    continue;
+                }
+                self.pos += text.len();
+                return Ok(RefTokenKind::Punct(*p));
+            }
+        }
+        Err(self.err(format!(
+            "unexpected character `{}`",
+            self.peek_char().map(String::from).unwrap_or_default()
+        )))
+    }
+}
+
+fn is_ident_start_byte(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'$' || b == b'_' || b == b'\\'
+}
+
+fn is_ident_part_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'$' || b == b'_'
+}
+
+fn is_ident_start_char(c: char) -> bool {
+    c.is_alphabetic() || c == '$' || c == '_'
+}
+
+fn is_ident_part_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '$' || c == '_' || c == '\u{200c}' || c == '\u{200d}'
+}
+
+/// Tokenizes an entire source with the reference scanner, mirroring
+/// [`crate::tokenize`] (same prev-token regex heuristic, same template
+/// brace-depth driver).
+pub fn tokenize_reference(src: &str) -> Result<Vec<RefToken>, LexError> {
+    let mut lexer = RefLexer::new(src);
+    let mut tokens = Vec::new();
+    let mut regex_allowed = true;
+    let mut brace_stack: Vec<bool> = Vec::new(); // true = template substitution
+    loop {
+        let tok = lexer.next_token(regex_allowed)?;
+        let tok = match &tok.kind {
+            RefTokenKind::Punct(Punct::LBrace) => {
+                brace_stack.push(false);
+                tok
+            }
+            RefTokenKind::Punct(Punct::RBrace) => {
+                if brace_stack.pop() == Some(true) {
+                    let cont = lexer.continue_template(tok.span.start)?;
+                    if matches!(cont.kind, RefTokenKind::TemplateMiddle { .. }) {
+                        brace_stack.push(true);
+                    }
+                    cont
+                } else {
+                    tok
+                }
+            }
+            RefTokenKind::TemplateHead { .. } => {
+                brace_stack.push(true);
+                tok
+            }
+            _ => tok,
+        };
+        regex_allowed = tok.kind.allows_regex_after();
+        let eof = matches!(tok.kind, RefTokenKind::Eof);
+        tokens.push(tok);
+        if eof {
+            if brace_stack.contains(&true) {
+                return Err(LexError {
+                    msg: "unterminated template substitution".into(),
+                    pos: lexer.pos as u32,
+                });
+            }
+            return Ok(tokens);
+        }
+    }
+}

@@ -1,7 +1,15 @@
 //! The scanner: turns source text into [`Token`]s.
+//!
+//! This is the zero-copy byte-level implementation: a 256-entry byte-class
+//! table ([`CLASS`]) drives dispatch, whitespace/identifier/string runs
+//! advance with tight inner loops over `&[u8]`, and token payloads are
+//! interned [`jsdetect_ast::Atom`]s built directly from source slices — the
+//! common case (no escapes, no numeric separators) never allocates.
+//! `crates/lexer/src/reference.rs` preserves the original character-level
+//! scanner as a differential oracle.
 
 use crate::token::{Comment, Kw, Punct, Token, TokenKind};
-use jsdetect_ast::Span;
+use jsdetect_ast::{Atom, Span};
 use jsdetect_guard::Budget;
 use std::fmt;
 
@@ -21,6 +29,82 @@ impl fmt::Display for LexError {
 }
 
 impl std::error::Error for LexError {}
+
+/// Byte classes for the 256-entry dispatch table. One table lookup replaces
+/// the chain of range tests the scanner previously ran per token start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Class {
+    /// `0-9`
+    Digit,
+    /// `"` or `'`
+    Quote,
+    /// `` ` ``
+    Backtick,
+    /// `/` — comment, regex, or division depending on context
+    Slash,
+    /// ASCII letter, `$`, `_`, or `\` (unicode-escape ident start)
+    IdentStart,
+    /// `.` — punctuator unless followed by a digit
+    Dot,
+    /// Bytes `>= 0x80`: decode a char, then classify
+    Unicode,
+    /// Everything else ASCII: punctuator or error
+    Other,
+}
+
+/// Byte → [`Class`] dispatch table for token starts.
+const CLASS: [Class; 256] = {
+    let mut t = [Class::Other; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let c = b as u8;
+        t[b] = if c.is_ascii_digit() {
+            Class::Digit
+        } else if c == b'"' || c == b'\'' {
+            Class::Quote
+        } else if c == b'`' {
+            Class::Backtick
+        } else if c == b'/' {
+            Class::Slash
+        } else if c.is_ascii_alphabetic() || c == b'$' || c == b'_' || c == b'\\' {
+            Class::IdentStart
+        } else if c == b'.' {
+            Class::Dot
+        } else if c >= 0x80 {
+            Class::Unicode
+        } else {
+            Class::Other
+        };
+        b += 1;
+    }
+    t
+};
+
+/// `true` for ASCII bytes that continue an identifier (`[A-Za-z0-9$_]`).
+/// Drives the tight identifier run loop; bytes `>= 0x80` and `\` fall out of
+/// the loop and are handled by the slow path.
+const IDENT_PART: [bool; 256] = {
+    let mut t = [false; 256];
+    let mut b = 0usize;
+    while b < 128 {
+        let c = b as u8;
+        t[b] = c.is_ascii_alphanumeric() || c == b'$' || c == b'_';
+        b += 1;
+    }
+    t
+};
+
+/// `true` for simple ASCII whitespace (space, tab, VT, FF) — the bytes the
+/// trivia skipper can consume in a run without any bookkeeping.
+const WS_SIMPLE: [bool; 256] = {
+    let mut t = [false; 256];
+    t[b' ' as usize] = true;
+    t[b'\t' as usize] = true;
+    t[0x0b] = true;
+    t[0x0c] = true;
+    t
+};
 
 /// On-demand lexer over a source string.
 ///
@@ -139,28 +223,32 @@ impl<'s> Lexer<'s> {
     }
 
     /// Skips whitespace and comments; returns whether a line terminator was
-    /// crossed.
+    /// crossed. Simple whitespace advances in a run loop; only comment
+    /// delimiters and non-ASCII bytes take the per-byte match.
     fn skip_trivia(&mut self) -> Result<bool, LexError> {
         let mut newline = false;
+        let bytes = self.src.as_bytes();
+        let len = bytes.len();
         loop {
-            match self.peek() {
-                Some(b' ') | Some(b'\t') | Some(0x0b) | Some(0x0c) => {
+            let b = match bytes.get(self.pos) {
+                None => break,
+                Some(&b) => b,
+            };
+            match b {
+                _ if WS_SIMPLE[b as usize] => {
                     self.pos += 1;
+                    while self.pos < len && WS_SIMPLE[bytes[self.pos] as usize] {
+                        self.pos += 1;
+                    }
                 }
-                Some(b'\n') => {
+                b'\n' | b'\r' => {
                     newline = true;
                     self.pos += 1;
                 }
-                Some(b'\r') => {
-                    newline = true;
-                    self.pos += 1;
-                }
-                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                b'/' if self.peek_at(1) == Some(b'/') => {
                     let start = self.pos;
-                    while let Some(b) = self.peek() {
-                        if b == b'\n' || b == b'\r' {
-                            break;
-                        }
+                    self.pos += 2;
+                    while self.pos < len && bytes[self.pos] != b'\n' && bytes[self.pos] != b'\r' {
                         self.pos += 1;
                     }
                     self.comments.push(Comment {
@@ -168,13 +256,21 @@ impl<'s> Lexer<'s> {
                         block: false,
                     });
                 }
-                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                b'/' if self.peek_at(1) == Some(b'*') => {
                     let start = self.pos;
                     self.pos += 2;
                     loop {
-                        match self.peek() {
+                        // Run to the next byte that needs a decision.
+                        while self.pos < len
+                            && bytes[self.pos] != b'*'
+                            && bytes[self.pos] != b'\n'
+                            && bytes[self.pos] != b'\r'
+                        {
+                            self.pos += 1;
+                        }
+                        match bytes.get(self.pos) {
                             None => return Err(self.err("unterminated block comment")),
-                            Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                            Some(b'*') if bytes.get(self.pos + 1) == Some(&b'/') => {
                                 self.pos += 2;
                                 break;
                             }
@@ -192,7 +288,7 @@ impl<'s> Lexer<'s> {
                         block: true,
                     });
                 }
-                Some(b) if b >= 0x80 => {
+                b if b >= 0x80 => {
                     // Unicode whitespace / line separators.
                     let c = self.peek_char().unwrap();
                     if c == '\u{2028}' || c == '\u{2029}' {
@@ -218,13 +314,14 @@ impl<'s> Lexer<'s> {
         let start = self.pos as u32;
         let kind = match self.peek() {
             None => TokenKind::Eof,
-            Some(b) => match b {
-                b'0'..=b'9' => self.lex_number()?,
-                b'"' | b'\'' => self.lex_string()?,
-                b'`' => self.lex_template_start()?,
-                b'/' if regex_allowed => self.lex_regex()?,
-                c if is_ident_start_byte(c) => self.lex_ident()?,
-                _ if b >= 0x80 => {
+            Some(b) => match CLASS[b as usize] {
+                Class::Digit => self.lex_number()?,
+                Class::Quote => self.lex_string()?,
+                Class::Backtick => self.lex_template_start()?,
+                Class::Slash if regex_allowed => self.lex_regex()?,
+                Class::Slash => self.lex_punct()?,
+                Class::IdentStart => self.lex_ident()?,
+                Class::Unicode => {
                     let c = self.peek_char().unwrap();
                     if is_ident_start_char(c) {
                         self.lex_ident()?
@@ -232,8 +329,8 @@ impl<'s> Lexer<'s> {
                         return Err(self.err(format!("unexpected character `{}`", c)));
                     }
                 }
-                b'.' if matches!(self.peek_at(1), Some(b'0'..=b'9')) => self.lex_number()?,
-                _ => self.lex_punct()?,
+                Class::Dot if matches!(self.peek_at(1), Some(b'0'..=b'9')) => self.lex_number()?,
+                Class::Dot | Class::Other => self.lex_punct()?,
             },
         };
         self.charge()?;
@@ -259,8 +356,44 @@ impl<'s> Lexer<'s> {
 
     fn lex_ident(&mut self) -> Result<TokenKind, LexError> {
         let start = self.pos;
+        let bytes = self.src.as_bytes();
+        let len = bytes.len();
+        // Fast path: pure-ASCII identifier, interned straight from the
+        // source slice — no per-token allocation.
+        let mut p = self.pos;
+        while p < len && IDENT_PART[bytes[p] as usize] {
+            p += 1;
+        }
+        match bytes.get(p) {
+            Some(b'\\') if bytes.get(p + 1) == Some(&b'u') => {
+                self.pos = p;
+                return self.lex_ident_slow(start);
+            }
+            Some(&b) if b >= 0x80 => {
+                // Might be a unicode ident-part; let the slow path decide.
+                self.pos = p;
+                return self.lex_ident_slow(start);
+            }
+            _ => {}
+        }
+        self.pos = p;
+        let text = &self.src[start..p];
+        if text.is_empty() {
+            // Only reachable via a leading `\` not followed by `u`.
+            return Err(self.err("empty identifier"));
+        }
+        if let Some(kw) = Kw::lookup(text) {
+            return Ok(TokenKind::Keyword(kw));
+        }
+        Ok(TokenKind::Ident(Atom::new(text)))
+    }
+
+    /// Slow path for identifiers containing `\u` escapes or non-ASCII
+    /// characters. `start` is the identifier's first byte; `self.pos` sits at
+    /// the first byte the fast path could not consume.
+    fn lex_ident_slow(&mut self, start: usize) -> Result<TokenKind, LexError> {
         let mut has_escape = false;
-        let mut name = String::new();
+        let mut name = String::from(&self.src[start..self.pos]);
         loop {
             match self.peek() {
                 Some(b'\\') if self.peek_at(1) == Some(b'u') => {
@@ -269,7 +402,7 @@ impl<'s> Lexer<'s> {
                     let c = self.lex_unicode_escape_body()?;
                     name.push(c);
                 }
-                Some(b) if is_ident_part_byte(b) => {
+                Some(b) if IDENT_PART[b as usize] => {
                     name.push(b as char);
                     self.pos += 1;
                 }
@@ -294,7 +427,7 @@ impl<'s> Lexer<'s> {
                 return Ok(TokenKind::Keyword(kw));
             }
         }
-        Ok(TokenKind::Ident(name))
+        Ok(TokenKind::Ident(Atom::new(&name)))
     }
 
     fn lex_unicode_escape_body(&mut self) -> Result<char, LexError> {
@@ -363,6 +496,7 @@ impl<'s> Lexer<'s> {
         }
         // Decimal: integer part, optional fraction, optional exponent.
         let mut saw_digit = false;
+        let mut saw_sep = false;
         while let Some(b) = self.peek() {
             match b {
                 b'0'..=b'9' => {
@@ -370,6 +504,7 @@ impl<'s> Lexer<'s> {
                     self.pos += 1;
                 }
                 b'_' => {
+                    saw_sep = true;
                     self.pos += 1;
                 }
                 _ => break,
@@ -384,6 +519,7 @@ impl<'s> Lexer<'s> {
                         self.pos += 1;
                     }
                     b'_' => {
+                        saw_sep = true;
                         self.pos += 1;
                     }
                     _ => break,
@@ -408,16 +544,21 @@ impl<'s> Lexer<'s> {
                 self.pos = save;
             }
         }
-        if self.peek() == Some(b'n') {
+        let end = if self.peek() == Some(b'n') {
             // BigInt suffix; value kept as f64 approximation.
             self.pos += 1;
-            let text: String =
-                self.src[start..self.pos - 1].chars().filter(|c| *c != '_').collect();
-            let v = text.parse::<f64>().map_err(|_| self.err("malformed number"))?;
-            return Ok(TokenKind::Num(v));
-        }
-        let text: String = self.src[start..self.pos].chars().filter(|c| *c != '_').collect();
-        let v = text.parse::<f64>().map_err(|_| self.err("malformed number"))?;
+            self.pos - 1
+        } else {
+            self.pos
+        };
+        // Fast path: no numeric separators, parse straight from the slice.
+        let v = if saw_sep {
+            let text: String = self.src[start..end].chars().filter(|c| *c != '_').collect();
+            text.parse::<f64>()
+        } else {
+            self.src[start..end].parse::<f64>()
+        };
+        let v = v.map_err(|_| self.err("malformed number"))?;
         Ok(TokenKind::Num(v))
     }
 
@@ -452,7 +593,31 @@ impl<'s> Lexer<'s> {
 
     fn lex_string(&mut self) -> Result<TokenKind, LexError> {
         let quote = self.bump().unwrap();
-        let mut value = String::new();
+        let bytes = self.src.as_bytes();
+        let content_start = self.pos;
+        // Fast path: scan bytes until a sentinel. Multi-byte UTF-8 sequences
+        // pass through untouched (all their bytes are >= 0x80), so the
+        // escape-free cooked value is exactly the source slice.
+        let mut p = self.pos;
+        loop {
+            match bytes.get(p) {
+                None | Some(b'\n') | Some(b'\r') => {
+                    self.pos = p;
+                    return Err(self.err("unterminated string literal"));
+                }
+                Some(&b) if b == quote => {
+                    let value = Atom::new(&self.src[content_start..p]);
+                    self.pos = p + 1;
+                    return Ok(TokenKind::Str(value));
+                }
+                Some(b'\\') => break,
+                Some(_) => p += 1,
+            }
+        }
+        // Slow path: at least one escape; cook into a buffer seeded with the
+        // escape-free prefix.
+        let mut value = String::from(&self.src[content_start..p]);
+        self.pos = p;
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string literal")),
@@ -475,7 +640,7 @@ impl<'s> Lexer<'s> {
                 }
             }
         }
-        Ok(TokenKind::Str(value))
+        Ok(TokenKind::Str(Atom::new(&value)))
     }
 
     fn lex_escape_into(&mut self, out: &mut String) -> Result<(), LexError> {
@@ -538,22 +703,49 @@ impl<'s> Lexer<'s> {
     }
 
     /// Scans template characters until `` ` `` (tail) or `${` (head/middle).
-    /// Returns `(cooked, raw, is_tail)`.
-    fn scan_template_chars(&mut self) -> Result<(String, String, bool), LexError> {
+    /// Returns `(cooked, raw, is_tail)`. Escape-free chunks are zero-copy:
+    /// cooked and raw are the same source slice (and thus the same atom).
+    fn scan_template_chars(&mut self) -> Result<(Atom, Atom, bool), LexError> {
         let raw_start = self.pos;
-        let mut cooked = String::new();
+        let bytes = self.src.as_bytes();
+        // Fast path: only `` ` ``, `${`, `\` and EOF stop the byte run;
+        // newlines and multi-byte UTF-8 flow through.
+        let mut p = self.pos;
+        loop {
+            match bytes.get(p) {
+                None => {
+                    self.pos = p;
+                    return Err(self.err("unterminated template literal"));
+                }
+                Some(b'`') => {
+                    let chunk = Atom::new(&self.src[raw_start..p]);
+                    self.pos = p + 1;
+                    return Ok((chunk, chunk, true));
+                }
+                Some(b'$') if bytes.get(p + 1) == Some(&b'{') => {
+                    let chunk = Atom::new(&self.src[raw_start..p]);
+                    self.pos = p + 2;
+                    return Ok((chunk, chunk, false));
+                }
+                Some(b'\\') => break,
+                Some(_) => p += 1,
+            }
+        }
+        // Slow path: escapes present; cooked diverges from raw.
+        let mut cooked = String::from(&self.src[raw_start..p]);
+        self.pos = p;
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated template literal")),
                 Some(b'`') => {
-                    let raw = self.src[raw_start..self.pos].to_string();
+                    let raw = Atom::new(&self.src[raw_start..self.pos]);
                     self.pos += 1;
-                    return Ok((cooked, raw, true));
+                    return Ok((Atom::new(&cooked), raw, true));
                 }
                 Some(b'$') if self.peek_at(1) == Some(b'{') => {
-                    let raw = self.src[raw_start..self.pos].to_string();
+                    let raw = Atom::new(&self.src[raw_start..self.pos]);
                     self.pos += 2;
-                    return Ok((cooked, raw, false));
+                    return Ok((Atom::new(&cooked), raw, false));
                 }
                 Some(b'\\') => {
                     self.pos += 1;
@@ -605,107 +797,136 @@ impl<'s> Lexer<'s> {
                 }
             }
         }
-        let pattern = self.src[pat_start..self.pos].to_string();
+        let pattern = Atom::new(&self.src[pat_start..self.pos]);
         self.pos += 1; // closing slash
         let flag_start = self.pos;
         while let Some(b) = self.peek() {
-            if is_ident_part_byte(b) {
+            if IDENT_PART[b as usize] {
                 self.pos += 1;
             } else {
                 break;
             }
         }
-        let flags = self.src[flag_start..self.pos].to_string();
+        let flags = Atom::new(&self.src[flag_start..self.pos]);
         Ok(TokenKind::Regex { pattern, flags })
     }
 
+    /// Punctuator dispatch: a nested match on the first byte replaces the
+    /// old linear longest-match table scan (59 prefix comparisons worst
+    /// case → at most three byte reads).
     fn lex_punct(&mut self) -> Result<TokenKind, LexError> {
         use Punct::*;
-        let rest = &self.bytes()[self.pos..];
-        // Longest-match over multi-byte punctuators.
-        const TABLE: &[(&[u8], Punct)] = &[
-            (b">>>=", UShrEq),
-            (b"...", Ellipsis),
-            (b"===", EqEqEq),
-            (b"!==", NotEqEq),
-            (b"**=", StarStarEq),
-            (b"<<=", ShlEq),
-            (b">>=", ShrEq),
-            (b">>>", UShr),
-            (b"&&=", AmpAmpEq),
-            (b"||=", PipePipeEq),
-            (b"??=", QuestionQuestionEq),
-            (b"=>", Arrow),
-            (b"==", EqEq),
-            (b"!=", NotEq),
-            (b"<=", LtEq),
-            (b">=", GtEq),
-            (b"&&", AmpAmp),
-            (b"||", PipePipe),
-            (b"??", QuestionQuestion),
-            (b"++", PlusPlus),
-            (b"--", MinusMinus),
-            (b"+=", PlusEq),
-            (b"-=", MinusEq),
-            (b"*=", StarEq),
-            (b"/=", SlashEq),
-            (b"%=", PercentEq),
-            (b"&=", AmpEq),
-            (b"|=", PipeEq),
-            (b"^=", CaretEq),
-            (b"**", StarStar),
-            (b"<<", Shl),
-            (b">>", Shr),
-            (b"?.", OptionalChain),
-            (b"(", LParen),
-            (b")", RParen),
-            (b"[", LBracket),
-            (b"]", RBracket),
-            (b"{", LBrace),
-            (b"}", RBrace),
-            (b";", Semi),
-            (b",", Comma),
-            (b".", Dot),
-            (b":", Colon),
-            (b"?", Question),
-            (b"+", Plus),
-            (b"-", Minus),
-            (b"*", Star),
-            (b"/", Slash),
-            (b"%", Percent),
-            (b"<", Lt),
-            (b">", Gt),
-            (b"=", Eq),
-            (b"&", Amp),
-            (b"|", Pipe),
-            (b"^", Caret),
-            (b"!", Bang),
-            (b"~", Tilde),
-        ];
-        for (text, p) in TABLE {
-            if rest.starts_with(text) {
+        let b0 = self.peek().unwrap();
+        let b1 = self.peek_at(1);
+        let b2 = self.peek_at(2);
+        let (p, len) = match b0 {
+            b'(' => (LParen, 1),
+            b')' => (RParen, 1),
+            b'[' => (LBracket, 1),
+            b']' => (RBracket, 1),
+            b'{' => (LBrace, 1),
+            b'}' => (RBrace, 1),
+            b';' => (Semi, 1),
+            b',' => (Comma, 1),
+            b':' => (Colon, 1),
+            b'~' => (Tilde, 1),
+            b'.' => {
+                if b1 == Some(b'.') && b2 == Some(b'.') {
+                    (Ellipsis, 3)
+                } else {
+                    (Dot, 1)
+                }
+            }
+            b'=' => match b1 {
+                Some(b'=') if b2 == Some(b'=') => (EqEqEq, 3),
+                Some(b'=') => (EqEq, 2),
+                Some(b'>') => (Arrow, 2),
+                _ => (Eq, 1),
+            },
+            b'!' => match b1 {
+                Some(b'=') if b2 == Some(b'=') => (NotEqEq, 3),
+                Some(b'=') => (NotEq, 2),
+                _ => (Bang, 1),
+            },
+            b'<' => match b1 {
+                Some(b'<') if b2 == Some(b'=') => (ShlEq, 3),
+                Some(b'<') => (Shl, 2),
+                Some(b'=') => (LtEq, 2),
+                _ => (Lt, 1),
+            },
+            b'>' => match b1 {
+                Some(b'>') if b2 == Some(b'>') => {
+                    if self.peek_at(3) == Some(b'=') {
+                        (UShrEq, 4)
+                    } else {
+                        (UShr, 3)
+                    }
+                }
+                Some(b'>') if b2 == Some(b'=') => (ShrEq, 3),
+                Some(b'>') => (Shr, 2),
+                Some(b'=') => (GtEq, 2),
+                _ => (Gt, 1),
+            },
+            b'&' => match b1 {
+                Some(b'&') if b2 == Some(b'=') => (AmpAmpEq, 3),
+                Some(b'&') => (AmpAmp, 2),
+                Some(b'=') => (AmpEq, 2),
+                _ => (Amp, 1),
+            },
+            b'|' => match b1 {
+                Some(b'|') if b2 == Some(b'=') => (PipePipeEq, 3),
+                Some(b'|') => (PipePipe, 2),
+                Some(b'=') => (PipeEq, 2),
+                _ => (Pipe, 1),
+            },
+            b'?' => match b1 {
+                Some(b'?') if b2 == Some(b'=') => (QuestionQuestionEq, 3),
+                Some(b'?') => (QuestionQuestion, 2),
                 // `?.3` must lex as `?` then `.3` (optional chain cannot be
                 // followed by a digit).
-                if *p == OptionalChain && matches!(rest.get(2), Some(b'0'..=b'9')) {
-                    continue;
-                }
-                self.pos += text.len();
-                return Ok(TokenKind::Punct(*p));
+                Some(b'.') if !matches!(b2, Some(b'0'..=b'9')) => (OptionalChain, 2),
+                _ => (Question, 1),
+            },
+            b'+' => match b1 {
+                Some(b'+') => (PlusPlus, 2),
+                Some(b'=') => (PlusEq, 2),
+                _ => (Plus, 1),
+            },
+            b'-' => match b1 {
+                Some(b'-') => (MinusMinus, 2),
+                Some(b'=') => (MinusEq, 2),
+                _ => (Minus, 1),
+            },
+            b'*' => match b1 {
+                Some(b'*') if b2 == Some(b'=') => (StarStarEq, 3),
+                Some(b'*') => (StarStar, 2),
+                Some(b'=') => (StarEq, 2),
+                _ => (Star, 1),
+            },
+            b'/' => match b1 {
+                Some(b'=') => (SlashEq, 2),
+                _ => (Slash, 1),
+            },
+            b'%' => match b1 {
+                Some(b'=') => (PercentEq, 2),
+                _ => (Percent, 1),
+            },
+            b'^' => match b1 {
+                Some(b'=') => (CaretEq, 2),
+                _ => (Caret, 1),
+            },
+            _ => {
+                // Satellite fix: format the offending char directly instead
+                // of materializing a one-char `String` first.
+                return Err(match self.peek_char() {
+                    Some(c) => self.err(format!("unexpected character `{}`", c)),
+                    None => self.err("unexpected character ``"),
+                });
             }
-        }
-        Err(self.err(format!(
-            "unexpected character `{}`",
-            self.peek_char().map(String::from).unwrap_or_default()
-        )))
+        };
+        self.pos += len;
+        Ok(TokenKind::Punct(p))
     }
-}
-
-fn is_ident_start_byte(b: u8) -> bool {
-    b.is_ascii_alphabetic() || b == b'$' || b == b'_' || b == b'\\'
-}
-
-fn is_ident_part_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'$' || b == b'_'
 }
 
 fn is_ident_start_char(c: char) -> bool {

@@ -1,6 +1,6 @@
 //! Token definitions.
 
-use jsdetect_ast::Span;
+use jsdetect_ast::{Atom, Span};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -128,6 +128,12 @@ impl Kw {
             With => "with",
             Yield => "yield",
         }
+    }
+
+    /// The keyword's text as an interned atom (used when a keyword is
+    /// accepted in identifier position, e.g. `obj.delete`).
+    pub fn atom(self) -> Atom {
+        Atom::new(self.as_str())
     }
 }
 
@@ -261,50 +267,53 @@ impl Punct {
 }
 
 /// The payload of a token.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// All text payloads are interned [`Atom`]s, so `TokenKind` (and [`Token`])
+/// is `Copy`: producing, buffering, and re-lexing tokens never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TokenKind {
-    /// Identifier or contextual keyword; text in the `String`.
-    Ident(String),
+    /// Identifier or contextual keyword.
+    Ident(Atom),
     /// Reserved keyword.
     Keyword(Kw),
     /// Numeric literal (decoded value).
     Num(f64),
     /// String literal (cooked value).
-    Str(String),
+    Str(Atom),
     /// Regular expression literal.
     Regex {
         /// Pattern between the slashes.
-        pattern: String,
+        pattern: Atom,
         /// Flag characters.
-        flags: String,
+        flags: Atom,
     },
     /// `` `text` `` — template with no substitution.
     TemplateNoSub {
         /// Decoded text.
-        cooked: String,
+        cooked: Atom,
         /// Raw text between the backticks.
-        raw: String,
+        raw: Atom,
     },
     /// `` `text${ `` — head of a substituted template.
     TemplateHead {
         /// Decoded text.
-        cooked: String,
+        cooked: Atom,
         /// Raw text.
-        raw: String,
+        raw: Atom,
     },
     /// `}text${` — middle chunk of a substituted template.
     TemplateMiddle {
         /// Decoded text.
-        cooked: String,
+        cooked: Atom,
         /// Raw text.
-        raw: String,
+        raw: Atom,
     },
     /// `` }text` `` — tail chunk of a substituted template.
     TemplateTail {
         /// Decoded text.
-        cooked: String,
+        cooked: Atom,
         /// Raw text.
-        raw: String,
+        raw: Atom,
     },
     /// Punctuator.
     Punct(Punct),
@@ -335,7 +344,7 @@ impl TokenKind {
 }
 
 /// A lexed token.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Token {
     /// Token payload.
     pub kind: TokenKind,
@@ -349,8 +358,13 @@ pub struct Token {
 impl Token {
     /// Returns the identifier text if this token is an identifier.
     pub fn ident_name(&self) -> Option<&str> {
+        self.ident_atom().map(Atom::as_str)
+    }
+
+    /// Returns the identifier atom if this token is an identifier.
+    pub fn ident_atom(&self) -> Option<Atom> {
         match &self.kind {
-            TokenKind::Ident(s) => Some(s),
+            TokenKind::Ident(s) => Some(*s),
             _ => None,
         }
     }

@@ -40,7 +40,7 @@ pub struct DispatchSwitch {
     /// Span of the enclosing literal-true loop.
     pub loop_span: Span,
     /// Identifiers appearing in the discriminant (dispatch state).
-    pub state_idents: Vec<String>,
+    pub state_idents: Vec<Atom>,
     /// Number of cases.
     pub cases: usize,
     /// Cases whose test is a string literal (flattened order keys).
@@ -53,7 +53,7 @@ pub struct DispatchSwitch {
 #[derive(Debug, Clone)]
 pub struct StringArray {
     /// Declared name.
-    pub name: String,
+    pub name: Atom,
     /// Span of the array literal.
     pub span: Span,
     /// Number of elements.
@@ -65,11 +65,11 @@ pub struct StringArray {
 #[derive(Debug, Clone)]
 pub struct DecoderFn {
     /// Function name (declaration id or the variable it is assigned to).
-    pub name: Option<String>,
+    pub name: Option<Atom>,
     /// Span of the function.
     pub span: Span,
     /// Name of the array it indexes.
-    pub array: String,
+    pub array: Atom,
 }
 
 /// A block guarded by an `IDENT === 'string'` comparison (an opaque
@@ -81,9 +81,9 @@ pub struct OpaqueBranch {
     /// Span of the comparison expression.
     pub test_span: Span,
     /// The compared identifier.
-    pub ident: String,
+    pub ident: Atom,
     /// The string the identifier is compared against.
-    pub expected: String,
+    pub expected: Atom,
 }
 
 /// Facts gathered by the single collection pass.
@@ -97,14 +97,14 @@ pub struct Facts {
     pub string_arrays: Vec<StringArray>,
     /// Non-literal computed-member reads (`name[expr]`, not `name[0]`)
     /// per identifier.
-    pub computed_reads: HashMap<String, u32>,
+    pub computed_reads: HashMap<Atom, u32>,
     /// Expression-position uses per identifier (excluding declarations
     /// and assignment targets).
-    pub ident_uses: HashMap<String, u32>,
+    pub ident_uses: HashMap<Atom, u32>,
     /// Decoder-shim candidates.
     pub decoders: Vec<DecoderFn>,
     /// Direct calls per callee identifier.
-    pub call_counts: HashMap<String, u32>,
+    pub call_counts: HashMap<Atom, u32>,
     /// `debugger` statements lexically inside a loop body.
     pub debugger_in_loop: Vec<Span>,
     /// `x.constructor('…debugger…')` call sites.
@@ -116,7 +116,7 @@ pub struct Facts {
     /// `IDENT === 'string'` guarded blocks.
     pub opaque_branches: Vec<OpaqueBranch>,
     /// String values assigned to each name at declaration sites.
-    pub const_strings: HashMap<String, Vec<String>>,
+    pub const_strings: HashMap<Atom, Vec<Atom>>,
 }
 
 struct Walk {
@@ -292,7 +292,7 @@ impl Walk {
     }
 
     fn declarator(&mut self, d: &VarDeclarator) {
-        let Some(name) = d.id.as_ident().map(|i| i.name.clone()) else {
+        let Some(name) = d.id.as_ident().map(|i| i.name) else {
             self.pat(&d.id);
             if let Some(init) = &d.init {
                 self.expr(init);
@@ -301,7 +301,7 @@ impl Walk {
         };
         match &d.init {
             Some(Expr::Lit(Lit { value: LitValue::Str(s), .. })) => {
-                self.facts.const_strings.entry(name).or_default().push(s.clone());
+                self.facts.const_strings.entry(name).or_default().push(*s);
             }
             Some(arr @ Expr::Array { elements, span }) => {
                 let strings = elements
@@ -328,8 +328,8 @@ impl Walk {
     fn function(&mut self, f: &Function, assigned_to: Option<&Pat>) {
         let name =
             f.id.as_ref()
-                .map(|i| i.name.clone())
-                .or_else(|| assigned_to.and_then(|p| p.as_ident()).map(|i| i.name.clone()));
+                .map(|i| i.name)
+                .or_else(|| assigned_to.and_then(|p| p.as_ident()).map(|i| i.name));
         self.record_decoder(name, f);
         for p in &f.params {
             self.pat(p);
@@ -339,7 +339,7 @@ impl Walk {
 
     /// Records the decoder-shim shape: a direct `return ARR[expr]` in the
     /// function body.
-    fn record_decoder(&mut self, name: Option<String>, f: &Function) {
+    fn record_decoder(&mut self, name: Option<Atom>, f: &Function) {
         for s in &f.body {
             if let Stmt::Return {
                 arg: Some(Expr::Member { object, property: MemberProp::Computed(_), .. }),
@@ -347,11 +347,7 @@ impl Walk {
             } = s
             {
                 if let Expr::Ident(arr) = object.as_ref() {
-                    self.facts.decoders.push(DecoderFn {
-                        name,
-                        span: f.span,
-                        array: arr.name.clone(),
-                    });
+                    self.facts.decoders.push(DecoderFn { name, span: f.span, array: arr.name });
                     return;
                 }
             }
@@ -380,20 +376,20 @@ impl Walk {
         }
     }
 
-    fn use_ident(&mut self, name: &str) {
-        *self.facts.ident_uses.entry(name.to_string()).or_insert(0) += 1;
+    fn use_ident(&mut self, name: Atom) {
+        *self.facts.ident_uses.entry(name).or_insert(0) += 1;
     }
 
     fn member(&mut self, e: &Expr) {
         let Expr::Member { object, property, .. } = e else { return };
         match object.as_ref() {
             Expr::Ident(i) => {
-                self.use_ident(&i.name);
+                self.use_ident(i.name);
                 // Literal indices (`arr[0]`) are ordinary element access;
                 // decoder shims index with a computed expression.
                 if matches!(property, MemberProp::Computed(k) if !matches!(k.as_ref(), Expr::Lit(_)))
                 {
-                    *self.facts.computed_reads.entry(i.name.clone()).or_insert(0) += 1;
+                    *self.facts.computed_reads.entry(i.name).or_insert(0) += 1;
                 }
             }
             other => self.expr(other),
@@ -405,7 +401,7 @@ impl Walk {
 
     fn expr(&mut self, e: &Expr) {
         match e {
-            Expr::Ident(i) => self.use_ident(&i.name),
+            Expr::Ident(i) => self.use_ident(i.name),
             Expr::Lit(_) | Expr::This { .. } | Expr::Super { .. } | Expr::MetaProperty { .. } => {}
             Expr::Array { elements, .. } => {
                 for el in elements.iter().flatten() {
@@ -474,8 +470,8 @@ impl Walk {
             Expr::Call { callee, args, span } => {
                 match callee.as_ref() {
                     Expr::Ident(i) => {
-                        self.use_ident(&i.name);
-                        *self.facts.call_counts.entry(i.name.clone()).or_insert(0) += 1;
+                        self.use_ident(i.name);
+                        *self.facts.call_counts.entry(i.name).or_insert(0) += 1;
                     }
                     m @ Expr::Member { property: MemberProp::Ident(p), .. } => {
                         match p.name.as_str() {
@@ -568,7 +564,7 @@ fn is_literal_true(e: &Expr) -> bool {
 }
 
 /// Matches `IDENT === 'string'` (either operand order, `==` or `===`).
-fn as_opaque_test(e: &Expr) -> Option<(String, String, Span)> {
+fn as_opaque_test(e: &Expr) -> Option<(Atom, Atom, Span)> {
     let Expr::Binary { op, left, right, span } = e else { return None };
     if !matches!(op, BinaryOp::EqEq | BinaryOp::EqEqEq) {
         return None;
@@ -578,7 +574,7 @@ fn as_opaque_test(e: &Expr) -> Option<(String, String, Span)> {
         _ => return None,
     };
     let LitValue::Str(s) = &lit.value else { return None };
-    Some((id.name.clone(), s.clone(), *span))
+    Some((id.name, *s, *span))
 }
 
 fn contains_update(e: &Expr) -> bool {
@@ -609,9 +605,9 @@ fn contains_update(e: &Expr) -> bool {
     }
 }
 
-fn collect_idents(e: &Expr, out: &mut Vec<String>) {
+fn collect_idents(e: &Expr, out: &mut Vec<Atom>) {
     match e {
-        Expr::Ident(i) => out.push(i.name.clone()),
+        Expr::Ident(i) => out.push(i.name),
         Expr::Member { object, property, .. } => {
             collect_idents(object, out);
             if let MemberProp::Computed(k) = property {
@@ -643,7 +639,7 @@ fn collect_idents(e: &Expr, out: &mut Vec<String>) {
         }
         Expr::Assign { target, value, .. } => {
             if let Pat::Ident(i) = target.as_ref() {
-                out.push(i.name.clone());
+                out.push(i.name);
             }
             collect_idents(value, out);
         }

@@ -38,8 +38,8 @@ impl Rule for StringDecoderCall {
                     name, d.array, calls
                 ),
                 data: vec![
-                    ("decoder", name.clone()),
-                    ("array", d.array.clone()),
+                    ("decoder", name.to_string()),
+                    ("array", d.array.to_string()),
                     ("calls", calls.to_string()),
                 ],
             });

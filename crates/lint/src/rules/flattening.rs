@@ -49,7 +49,7 @@ impl Rule for FlatteningDispatcher {
                 ),
                 data: vec![
                     ("cases", ds.cases.to_string()),
-                    ("state", ds.state_idents.join(",")),
+                    ("state", ds.state_idents.iter().map(|a| a.as_str()).collect::<Vec<_>>().join(",")),
                 ],
             });
         }

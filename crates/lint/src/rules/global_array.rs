@@ -41,7 +41,7 @@ impl Rule for GlobalStringArray {
                     sa.name, sa.len
                 ),
                 data: vec![
-                    ("name", sa.name.clone()),
+                    ("name", sa.name.to_string()),
                     ("strings", sa.len.to_string()),
                     ("computed_reads", computed.to_string()),
                 ],

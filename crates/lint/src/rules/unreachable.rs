@@ -51,9 +51,9 @@ impl Rule for UnreachableCode {
                     ob.ident, values[0], ob.expected
                 ),
                 data: vec![
-                    ("state_var", ob.ident.clone()),
-                    ("expected", ob.expected.clone()),
-                    ("actual", values[0].clone()),
+                    ("state_var", ob.ident.to_string()),
+                    ("expected", ob.expected.to_string()),
+                    ("actual", values[0].to_string()),
                 ],
             });
         }

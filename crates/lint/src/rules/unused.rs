@@ -37,7 +37,7 @@ impl Rule for UnusedBinding {
                 span: b.decl_span,
                 severity: self.severity(),
                 message: format!("'{}' is declared but never read", b.name),
-                data: vec![("name", b.name.clone()), ("kind", format!("{:?}", b.kind))],
+                data: vec![("name", b.name.to_string()), ("kind", format!("{:?}", b.kind))],
             });
         }
     }

@@ -74,9 +74,9 @@ struct Pool {
     arr_index: usize,
     iife_index: Option<usize>,
     acc_index: usize,
-    arr_name: String,
-    acc_name: String,
-    strings: Vec<String>,
+    arr_name: Atom,
+    acc_name: Atom,
+    strings: Vec<Atom>,
     /// Rotation IIFE count argument, when the IIFE is present.
     rotation: Option<usize>,
     /// Whether the accessor indexes via `parseInt(i, 16)` (hex string
@@ -118,7 +118,7 @@ fn find_pool(program: &Program, from: usize) -> Option<Pool> {
 }
 
 /// `var ARR = ['...', '...'];` with at least one all-string element.
-fn string_array_decl(s: &Stmt) -> Option<(String, Vec<String>)> {
+fn string_array_decl(s: &Stmt) -> Option<(Atom, Vec<Atom>)> {
     let Stmt::VarDecl { decls, .. } = s else { return None };
     let [d] = decls.as_slice() else { return None };
     let Pat::Ident(id) = &d.id else { return None };
@@ -129,11 +129,11 @@ fn string_array_decl(s: &Stmt) -> Option<(String, Vec<String>)> {
     let mut strings = Vec::with_capacity(elements.len());
     for el in elements {
         match el {
-            Some(Expr::Lit(Lit { value: LitValue::Str(s), .. })) => strings.push(s.clone()),
+            Some(Expr::Lit(Lit { value: LitValue::Str(s), .. })) => strings.push(*s),
             _ => return None,
         }
     }
-    Some((id.name.clone(), strings))
+    Some((id.name, strings))
 }
 
 /// `(function (arr, times) { ... })(ARR, K);` — matched loosely: any
@@ -157,7 +157,7 @@ fn rotation_iife(s: &Stmt, arr_name: &str) -> Option<usize> {
 
 /// `var ACC = function (i) { return ARR[parseInt(i, 16)]; };` or the
 /// direct-index variant `return ARR[i];`.
-fn accessor_decl(s: &Stmt, arr_name: &str) -> Option<(String, bool)> {
+fn accessor_decl(s: &Stmt, arr_name: &str) -> Option<(Atom, bool)> {
     let Stmt::VarDecl { decls, .. } = s else { return None };
     let [d] = decls.as_slice() else { return None };
     let Pat::Ident(acc) = &d.id else { return None };
@@ -188,7 +188,7 @@ fn accessor_decl(s: &Stmt, arr_name: &str) -> Option<(String, bool)> {
         }
         _ => return None,
     };
-    Some((acc.name.clone(), hex))
+    Some((acc.name, hex))
 }
 
 /// The rewrite is only safe when each prelude name binds exactly once in
@@ -206,7 +206,7 @@ fn names_bind_once(program: &mut Program, pool: &Pool) -> bool {
 struct Inline<'a, 'b> {
     cx: &'a PassCx<'b>,
     pool: &'a Pool,
-    strings: &'a [String],
+    strings: &'a [Atom],
     count: u64,
 }
 
@@ -223,7 +223,7 @@ impl MutVisitor for Inline<'_, '_> {
         let Some(idx) = decode_index(arg, self.pool.hex_index) else { return };
         let Some(s) = self.strings.get(idx) else { return };
         if self.cx.spend() {
-            *e = str_expr(s.clone(), *span);
+            *e = str_expr(*s, *span);
             self.count += 1;
         }
     }

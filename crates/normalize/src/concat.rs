@@ -111,7 +111,7 @@ fn reverse_chain(callee: &Expr, join_args: &[Expr], span: Span) -> Option<Expr> 
         return None;
     }
     let reversed = str_of(receiver)?;
-    Some(str_expr(reversed.chars().rev().collect(), span))
+    Some(str_expr(reversed.chars().rev().collect::<String>(), span))
 }
 
 /// If `e` is `<object>.<name>`, returns the object (and whether the access

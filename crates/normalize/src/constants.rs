@@ -85,7 +85,7 @@ fn propagate(program: &mut Program, cx: &PassCx) -> u64 {
         }
         for r in tree.refs_of(id) {
             if r.kind == RefKind::Read && r.span != Span::DUMMY {
-                subst.insert(r.span, lit.clone());
+                subst.insert(r.span, *lit);
             }
         }
     }
@@ -126,7 +126,7 @@ impl MutVisitor for CollectDecls<'_> {
             for d in decls.iter() {
                 if let (Pat::Ident(id), Some(Expr::Lit(lit))) = (&d.id, &d.init) {
                     if id.span != Span::DUMMY && propagatable_lit(lit) {
-                        self.decl_lits.insert(id.span, lit.clone());
+                        self.decl_lits.insert(id.span, *lit);
                     }
                 }
             }
@@ -146,7 +146,7 @@ impl MutVisitor for Substitute<'_, '_> {
         if let Expr::Ident(id) = e {
             if let Some(lit) = self.subst.get(&id.span) {
                 if self.cx.spend() {
-                    let mut lit = lit.clone();
+                    let mut lit = *lit;
                     lit.span = id.span;
                     *e = Expr::Lit(lit);
                     self.count += 1;

@@ -77,23 +77,23 @@ pub(crate) fn num_expr(value: f64, span: Span) -> Option<Expr> {
             op: UnaryOp::Minus,
             arg: Box::new(Expr::Lit(Lit {
                 value: LitValue::Num(-value),
-                raw: String::new(),
+                raw: Atom::empty(),
                 span,
             })),
             span,
         });
     }
-    Some(Expr::Lit(Lit { value: LitValue::Num(value), raw: String::new(), span }))
+    Some(Expr::Lit(Lit { value: LitValue::Num(value), raw: Atom::empty(), span }))
 }
 
 /// A string literal expression carrying `span`.
-pub(crate) fn str_expr(value: String, span: Span) -> Expr {
-    Expr::Lit(Lit { value: LitValue::Str(value), raw: String::new(), span })
+pub(crate) fn str_expr(value: impl Into<Atom>, span: Span) -> Expr {
+    Expr::Lit(Lit { value: LitValue::Str(value.into()), raw: Atom::empty(), span })
 }
 
 /// A boolean literal expression carrying `span`.
 pub(crate) fn bool_expr(value: bool, span: Span) -> Expr {
-    Expr::Lit(Lit { value: LitValue::Bool(value), raw: String::new(), span })
+    Expr::Lit(Lit { value: LitValue::Bool(value), raw: Atom::empty(), span })
 }
 
 #[cfg(test)]

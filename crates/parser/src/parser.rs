@@ -129,7 +129,7 @@ impl<'s> Parser<'s> {
                 Some(t) => t.span.start,
                 None => self.lexer.pos(),
             },
-            cur: self.cur.clone(),
+            cur: self.cur,
             comments_len: self.lexer.comments_len(),
         }
     }
@@ -316,7 +316,7 @@ impl<'s> Parser<'s> {
                 _ => self.parse_expr_stmt(start),
             },
             TokenKind::Ident(_) => {
-                let name = self.cur.ident_name().unwrap_or_default().to_string();
+                let name = self.cur.ident_atom().unwrap_or_default();
                 // `let` declaration (contextual), `async function`, labels.
                 if name == "let" {
                     let next = self.peek()?;
@@ -338,7 +338,7 @@ impl<'s> Parser<'s> {
                 }
                 // Label: `ident :`
                 if self.peek()?.is_punct(Punct::Colon) {
-                    let label = Ident { name: name.clone(), span: self.cur.span };
+                    let label = Ident { name, span: self.cur.span };
                     self.advance()?; // ident
                     self.advance()?; // :
                     let body = self.parse_stmt()?;
@@ -688,7 +688,7 @@ impl<'s> Parser<'s> {
             if self.cur.newline_before {
                 None
             } else {
-                let id = Ident { name: name.clone(), span: self.cur.span };
+                let id = Ident { name: *name, span: self.cur.span };
                 end = self.cur.span.end;
                 self.advance()?;
                 Some(id)
@@ -729,7 +729,7 @@ impl<'s> Parser<'s> {
         self.expect_kw(Kw::Function)?;
         let is_generator = self.eat_punct(Punct::Star)?;
         let id = if let TokenKind::Ident(name) = &self.cur.kind {
-            let id = Ident { name: name.clone(), span: self.cur.span };
+            let id = Ident { name: *name, span: self.cur.span };
             self.advance()?;
             Some(id)
         } else if !expr_ctx {
@@ -787,7 +787,7 @@ impl<'s> Parser<'s> {
         let start = self.cur.span.start;
         self.expect_kw(Kw::Class)?;
         let id = if let TokenKind::Ident(name) = &self.cur.kind {
-            let id = Ident { name: name.clone(), span: self.cur.span };
+            let id = Ident { name: *name, span: self.cur.span };
             self.advance()?;
             Some(id)
         } else {
@@ -895,27 +895,23 @@ impl<'s> Parser<'s> {
     fn parse_prop_key(&mut self) -> Result<(PropKey, bool), ParseError> {
         match &self.cur.kind {
             TokenKind::Ident(name) => {
-                let id = Ident { name: name.clone(), span: self.cur.span };
+                let id = Ident { name: *name, span: self.cur.span };
                 self.advance()?;
                 Ok((PropKey::Ident(id), false))
             }
             TokenKind::Keyword(kw) => {
                 // Keywords are valid property names: `{new: 1}`, `obj.class`.
-                let id = Ident { name: kw.as_str().to_string(), span: self.cur.span };
+                let id = Ident { name: kw.atom(), span: self.cur.span };
                 self.advance()?;
                 Ok((PropKey::Ident(id), false))
             }
             TokenKind::Str(s) => {
-                let lit = Lit {
-                    value: LitValue::Str(s.clone()),
-                    raw: String::new(),
-                    span: self.cur.span,
-                };
+                let lit = Lit { value: LitValue::Str(*s), raw: Atom::empty(), span: self.cur.span };
                 self.advance()?;
                 Ok((PropKey::Lit(lit), false))
             }
             TokenKind::Num(n) => {
-                let lit = Lit { value: LitValue::Num(*n), raw: String::new(), span: self.cur.span };
+                let lit = Lit { value: LitValue::Num(*n), raw: Atom::empty(), span: self.cur.span };
                 self.advance()?;
                 Ok((PropKey::Lit(lit), false))
             }
@@ -1025,7 +1021,7 @@ impl<'s> Parser<'s> {
 
         // `ident => ...`
         if let TokenKind::Ident(name) = &self.cur.kind {
-            let name = name.clone();
+            let name = *name;
             if name != "async" {
                 let next = self.peek()?;
                 if next.is_punct(Punct::Arrow) && !next.newline_before {
@@ -1039,7 +1035,7 @@ impl<'s> Parser<'s> {
                 let next = self.peek()?;
                 if !next.newline_before {
                     if let TokenKind::Ident(pname) = &next.kind {
-                        let pname = pname.clone();
+                        let pname = *pname;
                         let pspan = next.span;
                         let st = self.save();
                         self.advance()?; // async
@@ -1292,7 +1288,7 @@ impl<'s> Parser<'s> {
                 self.advance()?; // new
                 self.advance()?; // .
                 let property = match &self.cur.kind {
-                    TokenKind::Ident(n) => Ident { name: n.clone(), span: self.cur.span },
+                    TokenKind::Ident(n) => Ident { name: *n, span: self.cur.span },
                     _ => return Err(self.unexpected("meta property")),
                 };
                 let span = Span::new(start, self.cur.span.end);
@@ -1326,8 +1322,8 @@ impl<'s> Parser<'s> {
                     self.chain_link(links)?;
                     self.advance()?;
                     let name = match &self.cur.kind {
-                        TokenKind::Ident(n) => n.clone(),
-                        TokenKind::Keyword(kw) => kw.as_str().to_string(),
+                        TokenKind::Ident(n) => *n,
+                        TokenKind::Keyword(kw) => kw.atom(),
                         _ => return Err(self.unexpected("property name")),
                     };
                     let pspan = self.cur.span;
@@ -1363,7 +1359,7 @@ impl<'s> Parser<'s> {
                             };
                         }
                         TokenKind::Ident(n) => {
-                            let prop = Ident { name: n.clone(), span: self.cur.span };
+                            let prop = Ident { name: *n, span: self.cur.span };
                             let span = Span::new(e.span().start, self.cur.span.end);
                             self.advance()?;
                             e = Expr::Member {
@@ -1374,7 +1370,7 @@ impl<'s> Parser<'s> {
                             };
                         }
                         TokenKind::Keyword(kw) => {
-                            let prop = Ident { name: kw.as_str().to_string(), span: self.cur.span };
+                            let prop = Ident { name: kw.atom(), span: self.cur.span };
                             let span = Span::new(e.span().start, self.cur.span.end);
                             self.advance()?;
                             e = Expr::Member {
@@ -1460,8 +1456,8 @@ impl<'s> Parser<'s> {
                     self.chain_link(links)?;
                     self.advance()?;
                     let name = match &self.cur.kind {
-                        TokenKind::Ident(n) => n.clone(),
-                        TokenKind::Keyword(kw) => kw.as_str().to_string(),
+                        TokenKind::Ident(n) => *n,
+                        TokenKind::Keyword(kw) => kw.atom(),
                         _ => return Err(self.unexpected("property name")),
                     };
                     let pspan = self.cur.span;
@@ -1527,17 +1523,14 @@ impl<'s> Parser<'s> {
                 Ok(e)
             }
             TokenKind::Str(s) => {
-                let e = Expr::Lit(Lit {
-                    value: LitValue::Str(s.clone()),
-                    raw: span_raw_placeholder(),
-                    span,
-                });
+                let e =
+                    Expr::Lit(Lit { value: LitValue::Str(*s), raw: span_raw_placeholder(), span });
                 self.advance()?;
                 Ok(e)
             }
             TokenKind::Regex { pattern, flags } => {
                 let e = Expr::Lit(Lit {
-                    value: LitValue::Regex { pattern: pattern.clone(), flags: flags.clone() },
+                    value: LitValue::Regex { pattern: *pattern, flags: *flags },
                     raw: span_raw_placeholder(),
                     span,
                 });
@@ -1546,15 +1539,15 @@ impl<'s> Parser<'s> {
             }
             TokenKind::Keyword(Kw::True) => {
                 self.advance()?;
-                Ok(Expr::Lit(Lit { value: LitValue::Bool(true), raw: String::new(), span }))
+                Ok(Expr::Lit(Lit { value: LitValue::Bool(true), raw: Atom::empty(), span }))
             }
             TokenKind::Keyword(Kw::False) => {
                 self.advance()?;
-                Ok(Expr::Lit(Lit { value: LitValue::Bool(false), raw: String::new(), span }))
+                Ok(Expr::Lit(Lit { value: LitValue::Bool(false), raw: Atom::empty(), span }))
             }
             TokenKind::Keyword(Kw::Null) => {
                 self.advance()?;
-                Ok(Expr::Lit(Lit { value: LitValue::Null, raw: String::new(), span }))
+                Ok(Expr::Lit(Lit { value: LitValue::Null, raw: Atom::empty(), span }))
             }
             TokenKind::Keyword(Kw::This) => {
                 self.advance()?;
@@ -1573,7 +1566,7 @@ impl<'s> Parser<'s> {
                 Ok(Expr::Class(c))
             }
             TokenKind::Ident(name) => {
-                let name = name.clone();
+                let name = *name;
                 if name == "async" && self.peek()?.is_kw(Kw::Function) {
                     self.advance()?; // async
                     let mut f = self.parse_function(true)?;
@@ -1742,10 +1735,10 @@ impl<'s> Parser<'s> {
         // Shorthand `{a}` or `{a = default}` (the latter only valid in
         // patterns; parsed as assignment for cover-grammar purposes).
         let name = match &key {
-            PropKey::Ident(i) => i.clone(),
+            PropKey::Ident(i) => *i,
             _ => return Err(self.err_here("expected `:` after property key")),
         };
-        let mut value = Expr::Ident(name.clone());
+        let mut value = Expr::Ident(name);
         if self.eat_punct(Punct::Eq)? {
             let default = self.parse_assignment(true)?;
             let span = Span::new(start, default.span().end);
@@ -1775,7 +1768,7 @@ impl<'s> Parser<'s> {
     ) -> Result<(Vec<TemplateElement>, Vec<Expr>, u32), ParseError> {
         let mut quasis = Vec::new();
         let mut exprs = Vec::new();
-        match self.cur.kind.clone() {
+        match self.cur.kind {
             TokenKind::TemplateNoSub { cooked, raw } => {
                 let end = self.cur.span.end;
                 quasis.push(TemplateElement { cooked, raw, tail: true, span: self.cur.span });
@@ -1819,8 +1812,8 @@ enum BinKind {
     Log(LogicalOp),
 }
 
-fn span_raw_placeholder() -> String {
-    String::new()
+fn span_raw_placeholder() -> Atom {
+    Atom::empty()
 }
 
 fn binary_op_of(p: Punct) -> Option<BinaryOp> {
@@ -1897,7 +1890,7 @@ impl<'s> Parser<'s> {
     fn parse_binding_pat_inner(&mut self) -> Result<Pat, ParseError> {
         match &self.cur.kind {
             TokenKind::Ident(name) => {
-                let id = Ident { name: name.clone(), span: self.cur.span };
+                let id = Ident { name: *name, span: self.cur.span };
                 self.advance()?;
                 Ok(Pat::Ident(id))
             }
@@ -1971,7 +1964,7 @@ impl<'s> Parser<'s> {
                     } else {
                         // Shorthand: `{a}` or `{a = default}`.
                         let name = match &key {
-                            PropKey::Ident(i) => i.clone(),
+                            PropKey::Ident(i) => *i,
                             _ => return Err(self.err_here("invalid shorthand pattern")),
                         };
                         let mut p = Pat::Ident(name);

@@ -40,8 +40,7 @@ pub fn global_array(program: &mut Program, rng: &mut StdRng, opts: &GlobalArrayO
     if strings.is_empty() {
         return 0;
     }
-    let index_of: HashMap<String, usize> =
-        strings.iter().enumerate().map(|(i, s)| (s.clone(), i)).collect();
+    let index_of: HashMap<Atom, usize> = strings.iter().enumerate().map(|(i, s)| (*s, i)).collect();
 
     let arr_name = format!("_0x{:x}", rng.gen_range(0x1000u32..0xFFFFF));
     let acc_name = format!("_0x{:x}", rng.gen_range(0x1000u32..0xFFFFF));
@@ -81,14 +80,14 @@ pub fn global_array(program: &mut Program, rng: &mut StdRng, opts: &GlobalArrayO
 
 struct Collect {
     min_len: usize,
-    seen: Vec<String>,
+    seen: Vec<Atom>,
 }
 
 impl MutVisitor for Collect {
     fn visit_expr_mut(&mut self, e: &mut Expr) {
         if let Expr::Lit(Lit { value: LitValue::Str(s), .. }) = e {
             if s.len() >= self.min_len && !self.seen.contains(s) {
-                self.seen.push(s.clone());
+                self.seen.push(*s);
             }
             return;
         }
@@ -97,7 +96,7 @@ impl MutVisitor for Collect {
 }
 
 struct Replace<'a> {
-    index_of: &'a HashMap<String, usize>,
+    index_of: &'a HashMap<Atom, usize>,
     acc_name: &'a str,
     replaced: usize,
 }

@@ -103,7 +103,7 @@ fn num_of(v: &LitValue) -> Option<f64> {
 /// JavaScript `ToString` for the literal values we fold.
 fn to_js_string(v: &LitValue) -> Option<String> {
     Some(match v {
-        LitValue::Str(s) => s.clone(),
+        LitValue::Str(s) => s.to_string(),
         LitValue::Num(n) => format_number(*n),
         LitValue::Bool(b) => b.to_string(),
         LitValue::Null => "null".to_string(),

@@ -140,7 +140,7 @@ pub fn obfuscate_field_references(src: &str) -> Result<String, TransformError> {
             walk_expr_mut(self, e);
             if let Expr::Member { property, .. } = e {
                 if let MemberProp::Ident(id) = property {
-                    let name = id.name.clone();
+                    let name = id.name;
                     *property = MemberProp::Computed(Box::new(Expr::Lit(Lit::str(name))));
                 }
             }

@@ -12,17 +12,17 @@ use std::collections::HashMap;
 
 /// Environment: a stack of name→newName layers plus a label stack.
 struct Env {
-    layers: Vec<HashMap<String, String>>,
-    labels: Vec<HashMap<String, String>>,
+    layers: Vec<HashMap<Atom, Atom>>,
+    labels: Vec<HashMap<Atom, Atom>>,
 }
 
 impl Env {
-    fn lookup(&self, name: &str) -> Option<&str> {
-        self.layers.iter().rev().find_map(|l| l.get(name)).map(String::as_str)
+    fn lookup(&self, name: Atom) -> Option<Atom> {
+        self.layers.iter().rev().find_map(|l| l.get(&name)).copied()
     }
 
-    fn lookup_label(&self, name: &str) -> Option<&str> {
-        self.labels.iter().rev().find_map(|l| l.get(name)).map(String::as_str)
+    fn lookup_label(&self, name: Atom) -> Option<Atom> {
+        self.labels.iter().rev().find_map(|l| l.get(&name)).copied()
     }
 }
 
@@ -50,18 +50,15 @@ struct Renamer<'g> {
 }
 
 impl<'g> Renamer<'g> {
-    fn fresh(&mut self) -> String {
+    fn fresh(&mut self) -> Atom {
         self.renamed += 1;
-        (self.gen)()
+        Atom::from((self.gen)())
     }
 
     /// Declares a name in the top env layer (if not already mapped there).
-    fn declare(&mut self, env: &mut Env, name: &str) {
+    fn declare(&mut self, env: &mut Env, name: Atom) {
         let layer = env.layers.last_mut().unwrap();
-        if !layer.contains_key(name) {
-            let new = self.fresh();
-            layer.insert(name.to_string(), new);
-        }
+        layer.entry(name).or_insert_with(|| self.fresh());
     }
 
     // ---- declaration collection -------------------------------------------
@@ -83,7 +80,7 @@ impl<'g> Renamer<'g> {
             }
             Stmt::FunctionDecl(f) => {
                 if let Some(id) = &f.id {
-                    self.declare(env, &id.name);
+                    self.declare(env, id.name);
                 }
             }
             Stmt::Block { body, .. } => self.collect_fn_scope(body, env),
@@ -141,7 +138,7 @@ impl<'g> Renamer<'g> {
                 }
                 Stmt::ClassDecl(c) => {
                     if let Some(id) = &c.id {
-                        self.declare(env, &id.name);
+                        self.declare(env, id.name);
                     }
                 }
                 _ => {}
@@ -151,7 +148,7 @@ impl<'g> Renamer<'g> {
 
     fn collect_pat(&mut self, p: &Pat, env: &mut Env) {
         match p {
-            Pat::Ident(i) => self.declare(env, &i.name),
+            Pat::Ident(i) => self.declare(env, i.name),
             Pat::Array { elements, .. } => {
                 for el in elements.iter().flatten() {
                     self.collect_pat(el, env);
@@ -171,8 +168,8 @@ impl<'g> Renamer<'g> {
     // ---- rewriting -----------------------------------------------------------
 
     fn ident(&mut self, i: &mut Ident, env: &Env) {
-        if let Some(new) = env.lookup(&i.name) {
-            i.name = new.to_string();
+        if let Some(new) = env.lookup(i.name) {
+            i.name = new;
         }
     }
 
@@ -298,14 +295,14 @@ impl<'g> Renamer<'g> {
             }
             Stmt::Break { label, .. } | Stmt::Continue { label, .. } => {
                 if let Some(l) = label {
-                    if let Some(new) = env.lookup_label(&l.name) {
-                        l.name = new.to_string();
+                    if let Some(new) = env.lookup_label(l.name) {
+                        l.name = new;
                     }
                 }
             }
             Stmt::Labeled { label, body, .. } => {
                 let new = self.fresh();
-                env.labels.push(HashMap::from([(label.name.clone(), new.clone())]));
+                env.labels.push(HashMap::from([(label.name, new)]));
                 label.name = new;
                 self.stmt(body, env);
                 env.labels.pop();
@@ -367,7 +364,7 @@ impl<'g> Renamer<'g> {
     }
 
     fn declare_and_rewrite(&mut self, id: &mut Ident, env: &mut Env) {
-        self.declare(env, &id.name);
+        self.declare(env, id.name);
         self.ident(id, env);
     }
 

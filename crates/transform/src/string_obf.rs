@@ -106,7 +106,7 @@ impl MutVisitor for StringObf<'_> {
     fn visit_expr_mut(&mut self, e: &mut Expr) {
         if let Expr::Lit(Lit { value: LitValue::Str(s), .. }) = e {
             if s.len() >= self.opts.min_len && !self.opts.modes.is_empty() {
-                let s = s.clone();
+                let s = *s;
                 *e = self.rewrite(&s);
                 self.rewritten += 1;
                 return; // do not recurse into the replacement
