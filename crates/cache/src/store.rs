@@ -20,6 +20,7 @@ use crate::blake::ContentHash;
 use crate::lru::LruMap;
 use crate::record::{decode, encode, CacheRecord};
 use jsdetect_guard::Limits;
+use jsdetect_obs::names;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -140,11 +141,11 @@ impl AnalysisCache {
     /// reason (plain miss, stale version, corrupt record) is reported
     /// through the `cache/*` counters.
     pub fn get(&self, hash: &ContentHash) -> Option<Arc<CacheRecord>> {
-        let _t = jsdetect_obs::span("cache_get");
+        let _t = jsdetect_obs::span(names::SPAN_CACHE_GET);
         if let Some(rec) =
             self.lru.lock().unwrap_or_else(|e| e.into_inner()).get(&Self::lru_key(hash))
         {
-            jsdetect_obs::counter_add("cache/hit", 1);
+            jsdetect_obs::counter_add(names::CTR_CACHE_HIT, 1);
             return Some(rec);
         }
         let path = self.record_path(hash);
@@ -153,14 +154,14 @@ impl AnalysisCache {
             match std::fs::read(&path) {
                 Ok(b) => b,
                 Err(_) => {
-                    jsdetect_obs::counter_add("cache/miss", 1);
+                    jsdetect_obs::counter_add(names::CTR_CACHE_MISS, 1);
                     return None;
                 }
             }
         };
         match decode(&bytes, hash, self.config.feature_version, &self.config.preset) {
             Ok(rec) => {
-                jsdetect_obs::counter_add("cache/hit", 1);
+                jsdetect_obs::counter_add(names::CTR_CACHE_HIT, 1);
                 let rec = Arc::new(rec);
                 self.lru
                     .lock()
@@ -172,15 +173,15 @@ impl AnalysisCache {
                 // Valid record from another version: recompute (and let
                 // `put` overwrite / `gc` collect it), but never delete a
                 // file another feature-space version could still serve.
-                jsdetect_obs::counter_add("cache/stale_version", 1);
-                jsdetect_obs::counter_add("cache/miss", 1);
+                jsdetect_obs::counter_add(names::CTR_CACHE_STALE_VERSION, 1);
+                jsdetect_obs::counter_add(names::CTR_CACHE_MISS, 1);
                 None
             }
             Err(_) => {
                 // Corrupt on disk: evict the file so the next pass
                 // rewrites it, and drop any memory copy.
-                jsdetect_obs::counter_add("cache/corrupt_evicted", 1);
-                jsdetect_obs::counter_add("cache/miss", 1);
+                jsdetect_obs::counter_add(names::CTR_CACHE_CORRUPT_EVICTED, 1);
+                jsdetect_obs::counter_add(names::CTR_CACHE_MISS, 1);
                 let _guard = self.shard_lock(hash);
                 let _ = std::fs::remove_file(&path);
                 self.lru.lock().unwrap_or_else(|e| e.into_inner()).remove(&Self::lru_key(hash));
@@ -196,7 +197,7 @@ impl AnalysisCache {
         if self.config.readonly {
             return;
         }
-        let _t = jsdetect_obs::span("cache_put");
+        let _t = jsdetect_obs::span(names::SPAN_CACHE_PUT);
         let bytes = encode(record, hash, self.config.feature_version, &self.config.preset);
         let path = self.record_path(hash);
         let shard_dir = path.parent().expect("record path has a shard directory");
@@ -211,14 +212,14 @@ impl AnalysisCache {
             .and_then(|_| std::fs::rename(&tmp, &path));
         match wrote {
             Ok(()) => {
-                jsdetect_obs::counter_add("cache/put", 1);
+                jsdetect_obs::counter_add(names::CTR_CACHE_PUT, 1);
                 self.lru
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .insert(Self::lru_key(hash), Arc::new(record.clone()));
             }
             Err(_) => {
-                jsdetect_obs::counter_add("cache/publish_failed", 1);
+                jsdetect_obs::counter_add(names::CTR_CACHE_PUBLISH_FAILED, 1);
                 let _ = std::fs::remove_file(&tmp);
             }
         }

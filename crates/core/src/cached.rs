@@ -16,6 +16,7 @@ use crate::vectorize::run_stealing;
 use jsdetect_cache::{AnalysisCache, CacheRecord, ContentHash};
 use jsdetect_features::{analyze_script_guarded, FeaturePayload, GuardedScript, VectorSpace};
 use jsdetect_guard::{isolate, OutcomeKind};
+use jsdetect_obs::names;
 
 /// One script's verdict as produced by [`analyze_many_cached`]: either
 /// replayed from the store or freshly computed (and published).
@@ -81,8 +82,8 @@ pub fn analyze_many_cached(
     config: &AnalysisConfig,
     cache: &AnalysisCache,
 ) -> Vec<CachedScript> {
-    let _t = jsdetect_obs::span("analyze_many");
-    jsdetect_obs::counter_add("scripts_analyzed", srcs.len() as u64);
+    let _t = jsdetect_obs::span(names::SPAN_ANALYZE_MANY);
+    jsdetect_obs::counter_add(names::CTR_SCRIPTS_ANALYZED, srcs.len() as u64);
     let mut out: Vec<Option<CachedScript>> = (0..srcs.len()).map(|_| None).collect();
     run_stealing(
         srcs.len(),

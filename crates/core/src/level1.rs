@@ -5,6 +5,7 @@ use crate::config::DetectorConfig;
 use crate::vectorize::{analyze_many, vectorize_dataset};
 use jsdetect_features::VectorSpace;
 use jsdetect_ml::{Dataset, MultiLabel};
+use jsdetect_obs::names;
 use jsdetect_parser::ParseError;
 use serde::{Deserialize, Serialize};
 
@@ -97,7 +98,7 @@ impl Level1Detector {
         cfg: &DetectorConfig,
     ) -> Self {
         assert!(!samples.is_empty(), "no training sample parsed");
-        let _t = jsdetect_obs::span("level1_train");
+        let _t = jsdetect_obs::span(names::SPAN_LEVEL1_TRAIN);
         let space = VectorSpace::fit(samples.iter().map(|(a, _)| *a), cfg.max_ngrams, cfg.features);
         // Vectorize straight into the columnar store, reusing one scratch
         // row instead of materializing Vec<Vec<f32>>.
@@ -118,7 +119,7 @@ impl Level1Detector {
     ///
     /// Returns the parse error for invalid JavaScript.
     pub fn predict(&self, src: &str) -> Result<Level1Prediction, ParseError> {
-        let _t = jsdetect_obs::span("level1_predict");
+        let _t = jsdetect_obs::span(names::SPAN_LEVEL1_PREDICT);
         let a = jsdetect_features::analyze_script(src)?;
         let v = self.space.vectorize(&a);
         let p = self.model.predict_proba(&v);
@@ -132,7 +133,7 @@ impl Level1Detector {
         if srcs.is_empty() {
             return Vec::new();
         }
-        let _t = jsdetect_obs::span("level1_predict_batch");
+        let _t = jsdetect_obs::span(names::SPAN_LEVEL1_PREDICT_BATCH);
         let (data, parsed) = vectorize_dataset(&self.space, srcs);
         let probs = self.model.predict_proba_batch(&data);
         parsed

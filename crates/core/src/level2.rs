@@ -6,6 +6,7 @@ use crate::vectorize::{analyze_many, vectorize_dataset};
 use jsdetect_features::VectorSpace;
 use jsdetect_ml::metrics::thresholded_top_k;
 use jsdetect_ml::{Dataset, MultiLabel};
+use jsdetect_obs::names;
 use jsdetect_parser::ParseError;
 use jsdetect_transform::Technique;
 use serde::{Deserialize, Serialize};
@@ -41,7 +42,7 @@ impl Level2Detector {
         cfg: &DetectorConfig,
     ) -> Self {
         assert!(!samples.is_empty(), "no training sample parsed");
-        let _t = jsdetect_obs::span("level2_train");
+        let _t = jsdetect_obs::span(names::SPAN_LEVEL2_TRAIN);
         let space = VectorSpace::fit(samples.iter().map(|(a, _)| *a), cfg.max_ngrams, cfg.features);
         // Vectorize straight into the columnar store, reusing one scratch
         // row instead of materializing Vec<Vec<f32>>.
@@ -62,7 +63,7 @@ impl Level2Detector {
     ///
     /// Returns the parse error for invalid JavaScript.
     pub fn predict_proba(&self, src: &str) -> Result<Vec<f32>, ParseError> {
-        let _t = jsdetect_obs::span("level2_predict");
+        let _t = jsdetect_obs::span(names::SPAN_LEVEL2_PREDICT);
         let a = jsdetect_features::analyze_script(src)?;
         Ok(self.model.predict_proba(&self.space.vectorize(&a)))
     }
@@ -74,7 +75,7 @@ impl Level2Detector {
         if srcs.is_empty() {
             return Vec::new();
         }
-        let _t = jsdetect_obs::span("level2_predict_batch");
+        let _t = jsdetect_obs::span(names::SPAN_LEVEL2_PREDICT_BATCH);
         let (data, parsed) = vectorize_dataset(&self.space, srcs);
         let probs = self.model.predict_proba_batch(&data);
         parsed.into_iter().zip(probs).map(|(ok, p)| ok.then_some(p)).collect()

@@ -11,6 +11,7 @@ use crate::config::DetectorConfig;
 use crate::level1::{Level1Detector, Level1Truth};
 use crate::level2::Level2Detector;
 use jsdetect_corpus::{GroundTruth, LabeledSample};
+use jsdetect_obs::names;
 use jsdetect_transform::Technique;
 use serde::{Deserialize, Serialize};
 
@@ -86,7 +87,7 @@ const OBFUSCATIONS: [Technique; 8] = [
 
 /// Runs the full training protocol on `n_regular` generated scripts.
 pub fn train_pipeline(n_regular: usize, seed: u64, cfg: &DetectorConfig) -> PipelineOutput {
-    let _t = jsdetect_obs::span("train_pipeline");
+    let _t = jsdetect_obs::span(names::SPAN_TRAIN_PIPELINE);
     let gt = GroundTruth::generate(n_regular, seed);
     let sp = split(n_regular);
 

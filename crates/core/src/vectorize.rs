@@ -14,6 +14,7 @@ use jsdetect_features::{
 };
 use jsdetect_guard::{isolate, OutcomeKind};
 use jsdetect_ml::Dataset;
+use jsdetect_obs::names;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -45,7 +46,7 @@ where
     }
     let n_threads =
         std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4).min(n).max(1);
-    jsdetect_obs::gauge_set("analyze_threads", n_threads as f64);
+    jsdetect_obs::gauge_set(names::GAUGE_ANALYZE_THREADS, n_threads as f64);
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, T)>();
     crossbeam::thread::scope(|scope| {
@@ -54,16 +55,16 @@ where
             let next = &next;
             let work = &work;
             scope.spawn(move |_| {
+                // Streaming telemetry is visible the moment it is
+                // recorded; the guard pre-registers this worker's cells
+                // and marks the collection scope structurally.
+                let _obs = jsdetect_obs::ScopedCollector::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n || tx.send((i, work(i))).is_err() {
                         break;
                     }
                 }
-                // Scoped threads signal completion when this closure
-                // returns, before TLS destructors run; flush explicitly so
-                // the coordinator's snapshot sees this worker's telemetry.
-                jsdetect_obs::flush();
             });
         }
         drop(tx);
@@ -78,8 +79,8 @@ where
 /// panic a stage) yield `None` (the paper's pipeline skips unparseable
 /// files).
 pub fn analyze_many(srcs: &[&str]) -> Vec<Option<ScriptAnalysis>> {
-    let _t = jsdetect_obs::span("analyze_many");
-    jsdetect_obs::counter_add("scripts_analyzed", srcs.len() as u64);
+    let _t = jsdetect_obs::span(names::SPAN_ANALYZE_MANY);
+    jsdetect_obs::counter_add(names::CTR_SCRIPTS_ANALYZED, srcs.len() as u64);
     let mut out: Vec<Option<ScriptAnalysis>> = (0..srcs.len()).map(|_| None).collect();
     run_stealing(srcs.len(), |i| fenced(|| analyze_script(srcs[i]).ok()), |i, r| out[i] = r);
     out
@@ -90,8 +91,8 @@ pub fn analyze_many(srcs: &[&str]) -> Vec<Option<ScriptAnalysis>> {
 /// three-way ok/degraded/rejected verdict for every input — one hostile
 /// file costs one rejected record, never the batch.
 pub fn analyze_many_guarded(srcs: &[&str], config: &AnalysisConfig) -> Vec<GuardedScript> {
-    let _t = jsdetect_obs::span("analyze_many");
-    jsdetect_obs::counter_add("scripts_analyzed", srcs.len() as u64);
+    let _t = jsdetect_obs::span(names::SPAN_ANALYZE_MANY);
+    jsdetect_obs::counter_add(names::CTR_SCRIPTS_ANALYZED, srcs.len() as u64);
     let mut out: Vec<Option<GuardedScript>> = (0..srcs.len()).map(|_| None).collect();
     run_stealing(
         srcs.len(),
@@ -109,8 +110,8 @@ pub fn analyze_many_guarded(srcs: &[&str], config: &AnalysisConfig) -> Vec<Guard
 
 /// Vectorizes many scripts in parallel against a fitted space.
 pub fn vectorize_many(space: &VectorSpace, srcs: &[&str]) -> Vec<Option<Vec<f32>>> {
-    let _t = jsdetect_obs::span("vectorize_batch");
-    jsdetect_obs::counter_add("scripts_analyzed", srcs.len() as u64);
+    let _t = jsdetect_obs::span(names::SPAN_VECTORIZE_BATCH);
+    jsdetect_obs::counter_add(names::CTR_SCRIPTS_ANALYZED, srcs.len() as u64);
     let mut out: Vec<Option<Vec<f32>>> = vec![None; srcs.len()];
     run_stealing(
         srcs.len(),
@@ -131,8 +132,8 @@ pub fn vectorize_many(space: &VectorSpace, srcs: &[&str]) -> Vec<Option<Vec<f32>
 /// Panics if `srcs` is empty.
 pub fn vectorize_dataset(space: &VectorSpace, srcs: &[&str]) -> (Dataset, Vec<bool>) {
     assert!(!srcs.is_empty(), "cannot vectorize zero scripts into a dataset");
-    let _t = jsdetect_obs::span("vectorize_batch");
-    jsdetect_obs::counter_add("scripts_analyzed", srcs.len() as u64);
+    let _t = jsdetect_obs::span(names::SPAN_VECTORIZE_BATCH);
+    jsdetect_obs::counter_add(names::CTR_SCRIPTS_ANALYZED, srcs.len() as u64);
     let mut data = Dataset::zeros(srcs.len(), space.dim());
     let mut parsed = vec![false; srcs.len()];
     run_stealing(

@@ -7,6 +7,7 @@
 //! like self-defending, also leaves the *minification simple* trace).
 
 use crate::generator::regular_corpus;
+use jsdetect_obs::names;
 use jsdetect_transform::{apply, Technique};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -107,7 +108,7 @@ impl GroundTruth {
     /// ten techniques (the paper transforms its 21,000 scripts 10 times
     /// and stores the variants separately).
     pub fn generate(n: usize, seed: u64) -> Self {
-        let _t = jsdetect_obs::span("corpus_generate");
+        let _t = jsdetect_obs::span(names::SPAN_CORPUS_GENERATE);
         let regular_srcs = regular_corpus(n, seed);
         let mut pools: Vec<Vec<LabeledSample>> = vec![Vec::new(); Technique::ALL.len()];
         for (i, src) in regular_srcs.iter().enumerate() {

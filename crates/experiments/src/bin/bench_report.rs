@@ -44,6 +44,28 @@ struct TelemetryStage {
     path: String,
     count: u64,
     total_ms: f64,
+    /// Interpolated per-call latency median, from the span's log2
+    /// histogram (absent in entries written by older tool versions).
+    p50_ms: Option<f64>,
+    /// Interpolated per-call 99th-percentile latency.
+    p99_ms: Option<f64>,
+}
+
+/// Cost of the always-on streaming telemetry: the same `analyze_many`
+/// batch with recording disabled vs enabled. CI gates `overhead_pct`.
+#[derive(Serialize, Deserialize, Clone)]
+struct ObsBench {
+    n_scripts: usize,
+    /// Median batch analysis with telemetry disabled.
+    analyze_disabled_ms: f64,
+    /// Median batch analysis with streaming telemetry enabled.
+    analyze_enabled_ms: f64,
+    /// `(enabled − disabled) / disabled × 100` (may be negative: noise).
+    overhead_pct: f64,
+    /// Trace-ring events retained by the last enabled rep's snapshot.
+    trace_events: usize,
+    /// Events overwritten before export in that rep (ring overflow).
+    trace_dropped: u64,
 }
 
 /// Warm-vs-cold comparison of the content-addressed analysis cache over
@@ -138,6 +160,7 @@ struct BenchEntry {
     git_sha: Option<String>,
     feature_space_version: Option<u32>,
     telemetry: Option<TelemetryBreakdown>,
+    obs: Option<ObsBench>,
     cache: Option<CacheBench>,
     normalize: Option<NormalizeBench>,
     lex: Option<LexBench>,
@@ -244,10 +267,51 @@ fn capture_telemetry(refs: &[&str]) -> TelemetryBreakdown {
             path: s.path.clone(),
             count: s.count,
             total_ms: ms(s.total_ns),
+            p50_ms: Some(s.latency.quantile_interp(0.5) / 1e6),
+            p99_ms: Some(s.latency.quantile_interp(0.99) / 1e6),
         });
     }
     let ratio = if analyze_total_ms > 0.0 { stage_sum_ms / analyze_total_ms } else { 0.0 };
     TelemetryBreakdown { stages, analyze_total_ms, stage_sum_ms, stage_sum_ratio: ratio }
+}
+
+/// Measures the streaming-telemetry overhead on `analyze_many`. Disabled
+/// and enabled reps interleave (ABAB…) so drift — thermal, allocator
+/// state, page cache — hits both modes equally, and medians keep a single
+/// outlier rep from deciding the CI gate at smoke scale.
+fn obs_overhead(refs: &[&str], reps: usize) -> ObsBench {
+    let mut disabled = Vec::with_capacity(reps);
+    let mut enabled = Vec::with_capacity(reps);
+    let (mut trace_events, mut trace_dropped) = (0usize, 0u64);
+    for _ in 0..reps {
+        jsdetect_obs::set_enabled(false);
+        let t0 = Instant::now();
+        std::hint::black_box(analyze_many(refs));
+        disabled.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        jsdetect_obs::set_enabled(true);
+        jsdetect_obs::reset();
+        let t0 = Instant::now();
+        std::hint::black_box(analyze_many(refs));
+        enabled.push(t0.elapsed().as_secs_f64() * 1e3);
+        let snap = jsdetect_obs::snapshot();
+        trace_events = snap.events.len();
+        trace_dropped = snap.dropped_events;
+    }
+    jsdetect_obs::set_enabled(false);
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let (d, e) = (median(&mut disabled), median(&mut enabled));
+    ObsBench {
+        n_scripts: refs.len(),
+        analyze_disabled_ms: d,
+        analyze_enabled_ms: e,
+        overhead_pct: (e - d) / d * 100.0,
+        trace_events,
+        trace_dropped,
+    }
 }
 
 fn main() {
@@ -422,6 +486,9 @@ fn main() {
     // per-stage spans (the timed stage above ran with telemetry off).
     let telemetry = capture_telemetry(&refs);
 
+    // Streaming-telemetry cost on the same batch; CI gates the result.
+    let obs_bench = obs_overhead(&refs, 7);
+
     let ms_of = |name: &str| stages.iter().find(|s| s.name == name).map(|s| s.median_ms).unwrap();
     let cache_bench = CacheBench {
         n_scripts,
@@ -464,6 +531,7 @@ fn main() {
         git_sha: git_sha(),
         feature_space_version: Some(jsdetect_features::FEATURE_SPACE_VERSION),
         telemetry: Some(telemetry),
+        obs: Some(obs_bench),
         cache: Some(cache_bench),
         normalize: Some(normalize_bench),
         lex: Some(lex_bench),
@@ -472,6 +540,12 @@ fn main() {
         "\n  fit speedup    {:.2}x (row-major → columnar)\n  predict speedup {:.2}x (serial → batch)",
         entry.fit_speedup, entry.predict_speedup
     );
+    if let Some(o) = &entry.obs {
+        println!(
+            "  obs overhead   {:+.1}% (disabled {:.2} ms → enabled {:.2} ms; {} trace events, {} dropped)",
+            o.overhead_pct, o.analyze_disabled_ms, o.analyze_enabled_ms, o.trace_events, o.trace_dropped
+        );
+    }
     if let Some(c) = &entry.cache {
         println!(
             "  warm rescan    {:.2}x (cold {:.1} ms → warm {:.1} ms, preset {}, fv {})",
@@ -499,7 +573,14 @@ fn main() {
         println!("\n  analyze stage breakdown (one instrumented pass):");
         for s in &t.stages {
             if s.path.starts_with("analyze/") {
-                println!("    {:24} {:>9.2} ms  ({} spans)", s.path, s.total_ms, s.count);
+                println!(
+                    "    {:24} {:>9.2} ms  ({} spans, p50 {:.3} ms, p99 {:.3} ms)",
+                    s.path,
+                    s.total_ms,
+                    s.count,
+                    s.p50_ms.unwrap_or(0.0),
+                    s.p99_ms.unwrap_or(0.0)
+                );
             }
         }
         println!(

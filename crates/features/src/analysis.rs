@@ -9,6 +9,7 @@ use jsdetect_ast::Program;
 use jsdetect_flow::{analyze_with, DataFlowOptions, ProgramGraph};
 use jsdetect_lexer::{Comment, Token};
 use jsdetect_lint::{LintRunner, LintSummary};
+use jsdetect_obs::names;
 use jsdetect_parser::{parse_with_comments, ParseError};
 
 /// Everything the feature extractors need about one script.
@@ -54,38 +55,39 @@ pub struct ScriptAnalysis {
 /// assert!(a.shape.node_count > 4);
 /// ```
 pub fn analyze_script(src: &str) -> Result<ScriptAnalysis, ParseError> {
-    let _t = jsdetect_obs::span("analyze");
-    jsdetect_obs::observe("script_bytes", src.len() as u64);
+    let _t = jsdetect_obs::span(names::SPAN_ANALYZE);
+    jsdetect_obs::observe(names::HIST_SCRIPT_BYTES, src.len() as u64);
     let (program, comments) = {
-        let _s = jsdetect_obs::span("parse");
-        parse_with_comments(src).inspect_err(|_| jsdetect_obs::counter_add("parse_failures", 1))?
+        let _s = jsdetect_obs::span(names::SPAN_PARSE);
+        parse_with_comments(src)
+            .inspect_err(|_| jsdetect_obs::counter_add(names::CTR_PARSE_FAILURES, 1))?
     };
     let tokens = {
-        let _s = jsdetect_obs::span("lex");
+        let _s = jsdetect_obs::span(names::SPAN_LEX);
         jsdetect_lexer::tokenize(src).unwrap_or_else(|_| {
-            jsdetect_obs::counter_add("lexer_errors", 1);
+            jsdetect_obs::counter_add(names::CTR_LEXER_ERRORS, 1);
             Vec::new()
         })
     };
     let graph = {
-        let _s = jsdetect_obs::span("flow");
+        let _s = jsdetect_obs::span(names::SPAN_FLOW);
         analyze_with(&program, &DataFlowOptions::default())
     };
     if !graph.dataflow.complete {
-        jsdetect_obs::counter_add("flow_truncations", 1);
+        jsdetect_obs::counter_add(names::CTR_FLOW_TRUNCATIONS, 1);
         jsdetect_obs::counter_add(
-            "flow_truncated_bindings",
+            names::CTR_FLOW_TRUNCATED_BINDINGS,
             graph.dataflow.truncated_bindings.len() as u64,
         );
     }
     let (shape, kinds) = {
-        let _s = jsdetect_obs::span("metrics");
+        let _s = jsdetect_obs::span(names::SPAN_METRICS);
         (jsdetect_ast::metrics::tree_shape(&program), KindCounts::of(&program))
     };
     let lint = {
-        let _s = jsdetect_obs::span("lint");
+        let _s = jsdetect_obs::span(names::SPAN_LINT);
         let (diagnostics, lint) = LintRunner::default().run_with_summary(src, &program, &graph);
-        jsdetect_obs::counter_add("lint_fires", diagnostics.len() as u64);
+        jsdetect_obs::counter_add(names::CTR_LINT_FIRES, diagnostics.len() as u64);
         lint
     };
     let normalize = crate::deltas::normalize_deltas(src, &program, shape.node_count, &lint);

@@ -20,6 +20,7 @@ use jsdetect_ast::{walk, Expr, Lit, LitValue, NodeRef, Program};
 use jsdetect_guard::{Limits, OutcomeKind};
 use jsdetect_lint::{LintRunner, LintSummary, N_RULES, RULE_NAMES};
 use jsdetect_normalize::{normalize_program, NormalizeOptions};
+use jsdetect_obs::names;
 
 /// Number of delta dimensions: node-count ratio, string-entropy delta,
 /// and one lint-density delta per rule.
@@ -53,7 +54,7 @@ pub fn normalize_deltas(
     orig_nodes: usize,
     lint: &LintSummary,
 ) -> Vec<f32> {
-    let _t = jsdetect_obs::span("normalize_deltas");
+    let _t = jsdetect_obs::span(names::SPAN_NORMALIZE_DELTAS);
     let mut normalized = program.clone();
     // Deadline off for determinism; fuel and round caps still bound work.
     let opts = NormalizeOptions { limits: Limits::unbounded(), ..NormalizeOptions::default() };

@@ -13,6 +13,7 @@ use jsdetect_flow::{analyze_with, DataFlowOptions};
 use jsdetect_guard::{AnalysisError, Budget, Limits, OutcomeKind};
 use jsdetect_lexer::{tokenize_lossy, tokenize_with_budget};
 use jsdetect_lint::LintRunner;
+use jsdetect_obs::names;
 use jsdetect_parser::parse_with_comments_budget;
 
 /// One script's result under the hardened pipeline.
@@ -67,19 +68,19 @@ impl GuardedScript {
 /// assert_eq!(r.error.unwrap().kind(), "ast_depth_exceeded");
 /// ```
 pub fn analyze_script_guarded(src: &str, limits: &Limits) -> GuardedScript {
-    let _t = jsdetect_obs::span("analyze");
-    jsdetect_obs::observe("script_bytes", src.len() as u64);
+    let _t = jsdetect_obs::span(names::SPAN_ANALYZE);
+    jsdetect_obs::observe(names::HIST_SCRIPT_BYTES, src.len() as u64);
     let budget = Budget::new(limits);
     if let Err(e) = budget.check_input(src.len()) {
         return GuardedScript::rejected(e);
     }
 
     let (program, comments) = {
-        let _s = jsdetect_obs::span("parse");
+        let _s = jsdetect_obs::span(names::SPAN_PARSE);
         match parse_with_comments_budget(src, &budget) {
             Ok(pc) => pc,
             Err(parse_err) => {
-                jsdetect_obs::counter_add("parse_failures", 1);
+                jsdetect_obs::counter_add(names::CTR_PARSE_FAILURES, 1);
                 // A budget violation travels through `ParseError` stringly;
                 // the typed cause sits in the budget's side channel.
                 let e = budget
@@ -97,7 +98,7 @@ pub fn analyze_script_guarded(src: &str, limits: &Limits) -> GuardedScript {
     }
 
     let tokens = {
-        let _s = jsdetect_obs::span("lex");
+        let _s = jsdetect_obs::span(names::SPAN_LEX);
         match tokenize_with_budget(src, &budget) {
             Ok((tokens, _)) => tokens,
             Err(_) => {
@@ -106,14 +107,14 @@ pub fn analyze_script_guarded(src: &str, limits: &Limits) -> GuardedScript {
                 }
                 // Same tolerance as the legacy path: the AST parsed, so a
                 // standalone-lex hiccup only costs the token list.
-                jsdetect_obs::counter_add("lexer_errors", 1);
+                jsdetect_obs::counter_add(names::CTR_LEXER_ERRORS, 1);
                 Vec::new()
             }
         }
     };
 
     let (shape, kinds) = {
-        let _s = jsdetect_obs::span("metrics");
+        let _s = jsdetect_obs::span(names::SPAN_METRICS);
         (jsdetect_ast::metrics::tree_shape(&program), KindCounts::of(&program))
     };
     // Charge the realized tree size before running the recursive consumers
@@ -126,13 +127,13 @@ pub fn analyze_script_guarded(src: &str, limits: &Limits) -> GuardedScript {
     }
 
     let graph = {
-        let _s = jsdetect_obs::span("flow");
+        let _s = jsdetect_obs::span(names::SPAN_FLOW);
         analyze_with(&program, &DataFlowOptions::default())
     };
     if !graph.dataflow.complete {
-        jsdetect_obs::counter_add("flow_truncations", 1);
+        jsdetect_obs::counter_add(names::CTR_FLOW_TRUNCATIONS, 1);
         jsdetect_obs::counter_add(
-            "flow_truncated_bindings",
+            names::CTR_FLOW_TRUNCATED_BINDINGS,
             graph.dataflow.truncated_bindings.len() as u64,
         );
     }
@@ -144,9 +145,9 @@ pub fn analyze_script_guarded(src: &str, limits: &Limits) -> GuardedScript {
     }
 
     let lint = {
-        let _s = jsdetect_obs::span("lint");
+        let _s = jsdetect_obs::span(names::SPAN_LINT);
         let (diagnostics, lint) = LintRunner::default().run_with_summary(src, &program, &graph);
-        jsdetect_obs::counter_add("lint_fires", diagnostics.len() as u64);
+        jsdetect_obs::counter_add(names::CTR_LINT_FIRES, diagnostics.len() as u64);
         lint
     };
 
@@ -170,7 +171,7 @@ pub fn analyze_script_guarded(src: &str, limits: &Limits) -> GuardedScript {
 /// (paper-faithful: the paper drops unparseable files; we additionally keep
 /// their lexical signal, flagged by [`ScriptAnalysis::degraded`]).
 fn degraded_fallback(src: &str, budget: &Budget, cause: AnalysisError) -> GuardedScript {
-    let _s = jsdetect_obs::span("degraded_fallback");
+    let _s = jsdetect_obs::span(names::SPAN_DEGRADED_FALLBACK);
     let (tokens, comments, _lex_err) = tokenize_lossy(src, Some(budget));
     // The lossy scan itself may blow a budget axis (token flood inside a
     // syntactically broken file) — that escalates to a reject.
@@ -183,7 +184,7 @@ fn degraded_fallback(src: &str, budget: &Budget, cause: AnalysisError) -> Guarde
     let graph = analyze_with(&program, &DataFlowOptions::default());
     let (shape, kinds) = (jsdetect_ast::metrics::tree_shape(&program), KindCounts::of(&program));
     let lint = LintRunner::default().run_with_summary(src, &program, &graph).1;
-    jsdetect_obs::counter_add("degraded_fallbacks", 1);
+    jsdetect_obs::counter_add(names::CTR_DEGRADED_FALLBACKS, 1);
     GuardedScript::degraded(
         ScriptAnalysis {
             src: src.to_string(),

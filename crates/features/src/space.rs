@@ -6,6 +6,7 @@ use crate::analysis::ScriptAnalysis;
 use crate::handpicked::{handpicked_features, FEATURE_NAMES, N_HANDPICKED};
 use crate::ngrams::{ngram_counts, NgramVocab};
 use jsdetect_lint::LintSummary;
+use jsdetect_obs::names;
 use serde::{Deserialize, Serialize};
 
 /// Version of the vector-space layout. Bumped when the dimension layout
@@ -55,7 +56,7 @@ impl VectorSpace {
     where
         I: IntoIterator<Item = &'a ScriptAnalysis>,
     {
-        let _t = jsdetect_obs::span("fit_space");
+        let _t = jsdetect_obs::span(names::SPAN_FIT_SPACE);
         let docs: Vec<_> = corpus.into_iter().map(|a| ngram_counts(&a.program)).collect();
         let vocab = NgramVocab::build(docs.iter(), max_ngrams);
         VectorSpace { version: FEATURE_SPACE_VERSION, config, vocab }
@@ -95,10 +96,10 @@ impl VectorSpace {
     /// vectorization can reuse one scratch row instead of allocating per
     /// script.
     pub fn vectorize_into(&self, a: &ScriptAnalysis, out: &mut Vec<f32>) {
-        let _t = jsdetect_obs::span("vectorize");
+        let _t = jsdetect_obs::span(names::SPAN_VECTORIZE);
         out.clear();
         if self.config.handpicked {
-            let _s = jsdetect_obs::span("handpicked");
+            let _s = jsdetect_obs::span(names::SPAN_HANDPICKED);
             out.extend(handpicked_features(a));
         }
         if self.config.lint {
@@ -108,7 +109,7 @@ impl VectorSpace {
             out.extend_from_slice(&a.normalize);
         }
         if self.config.ngrams {
-            let _s = jsdetect_obs::span("ngrams");
+            let _s = jsdetect_obs::span(names::SPAN_NGRAMS);
             out.extend(self.vocab.vectorize(&ngram_counts(&a.program)));
         }
     }
@@ -119,7 +120,7 @@ impl VectorSpace {
     /// extracted from: the hand-picked and lint blocks are replayed
     /// verbatim and the n-gram block is recomputed from exact counts.
     pub fn vectorize_payload(&self, p: &crate::FeaturePayload) -> Vec<f32> {
-        let _t = jsdetect_obs::span("vectorize");
+        let _t = jsdetect_obs::span(names::SPAN_VECTORIZE);
         let mut out = Vec::with_capacity(self.dim());
         if self.config.handpicked {
             out.extend_from_slice(&p.handpicked);

@@ -7,6 +7,7 @@
 
 use crate::dataset::{Dataset, DatasetError};
 use crate::tree::{DecisionTree, FlatNodes, TreeParams};
+use jsdetect_obs::names;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -94,7 +95,7 @@ impl RandomForest {
         n_threads: usize,
     ) -> Self {
         assert_eq!(y.len(), data.n_rows(), "feature/label length mismatch");
-        let _t = jsdetect_obs::span("forest_fit");
+        let _t = jsdetect_obs::span(names::SPAN_FOREST_FIT);
         // In the per-node-sort regime, build per-column distinct-value
         // rank tables once up front and share them read-only across all
         // trees: they do not depend on the bootstrap index sets, and
@@ -110,7 +111,8 @@ impl RandomForest {
             for (t, slot_chunk) in trees.chunks_mut(chunk).enumerate() {
                 let base = t * chunk;
                 scope.spawn(move |_| {
-                    let _s = jsdetect_obs::span("fit_tree_batch");
+                    let _obs = jsdetect_obs::ScopedCollector::new();
+                    let _s = jsdetect_obs::span(names::SPAN_FIT_TREE_BATCH);
                     for (off, slot) in slot_chunk.iter_mut().enumerate() {
                         let i = base + off;
                         let mut rng = StdRng::seed_from_u64(params.tree_seed(i));
@@ -124,11 +126,7 @@ impl RandomForest {
                             vr,
                         ));
                     }
-                    jsdetect_obs::counter_add("trees_fitted", slot_chunk.len() as u64);
-                    // Scoped threads signal completion before TLS
-                    // destructors run; flush so the caller's snapshot sees
-                    // this worker's telemetry.
-                    jsdetect_obs::flush();
+                    jsdetect_obs::counter_add(names::CTR_TREES_FITTED, slot_chunk.len() as u64);
                 });
             }
         })
@@ -166,8 +164,8 @@ impl RandomForest {
     /// whole column block once per node.
     pub fn predict_proba_batch(&self, data: &Dataset) -> Vec<f32> {
         let n = data.n_rows();
-        let _t = jsdetect_obs::span("forest_predict");
-        jsdetect_obs::counter_add("trees_traversed", (n * self.roots.len()) as u64);
+        let _t = jsdetect_obs::span(names::SPAN_FOREST_PREDICT);
+        jsdetect_obs::counter_add(names::CTR_TREES_TRAVERSED, (n * self.roots.len()) as u64);
         let mut out = vec![0f32; n];
         let predict_chunk = |base: usize, out_chunk: &mut [f32]| {
             let mut row_buf = Vec::with_capacity(data.n_cols());
@@ -189,11 +187,9 @@ impl RandomForest {
         crossbeam::thread::scope(|scope| {
             for (c, out_chunk) in out.chunks_mut(chunk).enumerate() {
                 scope.spawn(move |_| {
-                    {
-                        let _s = jsdetect_obs::span("predict_chunk");
-                        predict_chunk(c * chunk, out_chunk);
-                    }
-                    jsdetect_obs::flush();
+                    let _obs = jsdetect_obs::ScopedCollector::new();
+                    let _s = jsdetect_obs::span(names::SPAN_PREDICT_CHUNK);
+                    predict_chunk(c * chunk, out_chunk);
                 });
             }
         })

@@ -677,11 +677,11 @@ struct Grower<'a> {
 /// `Grower::regime_cols`: presorted order arrays, counting-sort over value
 /// ranks, rank-u32 per-node sort, key-u64 per-node sort, histogram bins.
 const REGIME_COUNTERS: [&str; 5] = [
-    "split_presort_cols",
-    "split_counting_cols",
-    "split_ranked_cols",
-    "split_keyed_cols",
-    "split_hist_cols",
+    jsdetect_obs::names::CTR_SPLIT_PRESORT_COLS,
+    jsdetect_obs::names::CTR_SPLIT_COUNTING_COLS,
+    jsdetect_obs::names::CTR_SPLIT_RANKED_COLS,
+    jsdetect_obs::names::CTR_SPLIT_KEYED_COLS,
+    jsdetect_obs::names::CTR_SPLIT_HIST_COLS,
 ];
 
 impl Grower<'_> {

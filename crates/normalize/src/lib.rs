@@ -49,6 +49,7 @@ mod sequence;
 
 use jsdetect_ast::Program;
 use jsdetect_guard::{isolate, AnalysisError, Budget, Limits, OutcomeKind};
+use jsdetect_obs::names;
 use std::cell::{Cell, RefCell};
 
 /// The individual passes, in their canonical execution order.
@@ -239,7 +240,7 @@ impl NormalizeReport {
 /// atomic), while a pass panic rolls back to the snapshot taken at the
 /// start of the failing round.
 pub fn normalize_program(program: &mut Program, opts: &NormalizeOptions) -> NormalizeReport {
-    let _span = jsdetect_obs::span("normalize");
+    let _span = jsdetect_obs::span(names::SPAN_NORMALIZE);
     let budget = Budget::new(&opts.limits);
     let cx = PassCx {
         budget: &budget,
@@ -287,14 +288,14 @@ pub fn normalize_program(program: &mut Program, opts: &NormalizeOptions) -> Norm
 
     report.fuel_exhausted = cx.fuel_exhausted.get();
     if report.fuel_exhausted {
-        jsdetect_obs::counter_add("normalize/fuel_exhausted", 1);
+        jsdetect_obs::counter_add(names::CTR_NORMALIZE_FUEL_EXHAUSTED, 1);
         report.outcome = OutcomeKind::Degraded;
     }
     if let Some(e) = cx.error.borrow_mut().take() {
         report.outcome = OutcomeKind::Degraded;
         report.error.get_or_insert(e);
     }
-    jsdetect_obs::counter_add("normalize/fixpoint_rounds", u64::from(report.rounds));
+    jsdetect_obs::counter_add(names::CTR_NORMALIZE_FIXPOINT_ROUNDS, u64::from(report.rounds));
     report
 }
 

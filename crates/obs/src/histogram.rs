@@ -55,6 +55,18 @@ impl Histogram {
         Histogram { counts: [0; N_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 
+    /// Builds a histogram from raw parts (the atomic-cell merge path).
+    /// `min` must be `u64::MAX` when `count == 0` so merges stay correct.
+    pub(crate) fn from_raw(
+        counts: [u64; N_BUCKETS],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        Histogram { counts, count, sum, min, max }
+    }
+
     /// Records one value.
     pub fn record(&mut self, v: u64) {
         self.counts[bucket_index(v)] += 1;
@@ -135,6 +147,56 @@ impl Histogram {
         }
         self.max
     }
+
+    /// Streaming `q`-quantile estimate (`0.0..=1.0`) by linear
+    /// interpolation within the log2 bucket where the cumulative count
+    /// crosses `q * count`, clamped to the observed `[min, max]`. Unlike
+    /// [`Histogram::quantile`] (a bucket upper bound, kept for the stable
+    /// JSONL schema), the interpolated estimate always lands inside the
+    /// same bucket as the exact quantile — the contract the property tests
+    /// pin. Returns 0 for an empty histogram.
+    pub fn quantile_interp(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += c;
+            if (seen as f64) >= target {
+                let (lo, hi) = bucket_bounds(i);
+                // Position of the target rank within this bucket, assuming
+                // values spread uniformly across it. Clamp into the bucket
+                // (values in [lo, hi) are integers ≤ hi−1) so the estimate
+                // shares the exact quantile's bucket, then to the observed
+                // extremes.
+                let frac = (target - before as f64) / c as f64;
+                let est = (lo as f64 + frac * (hi - lo) as f64).min((hi - 1) as f64);
+                return est.clamp(self.min() as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Interpolated median in whole units (see [`Histogram::quantile_interp`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile_interp(0.5) as u64
+    }
+
+    /// Interpolated 90th percentile in whole units.
+    pub fn p90(&self) -> u64 {
+        self.quantile_interp(0.9) as u64
+    }
+
+    /// Interpolated 99th percentile in whole units.
+    pub fn p99(&self) -> u64 {
+        self.quantile_interp(0.99) as u64
+    }
 }
 
 #[cfg(test)]
@@ -214,5 +276,30 @@ mod tests {
         assert_eq!(h.quantile(0.99), 16);
         assert_eq!(h.quantile(1.0), 1000); // clamped to observed max
         assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_stay_in_range_and_in_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 16)
+        }
+        h.record(1000); // bucket [512, 1024)
+        let p50 = h.quantile_interp(0.5);
+        assert!((8.0..16.0).contains(&p50), "p50 {} outside the median's bucket", p50);
+        assert!(p50 >= h.min() as f64);
+        let p995 = h.quantile_interp(0.995);
+        assert!((512.0..=1000.0).contains(&p995), "p99.5 {} outside spike bucket", p995);
+        assert_eq!(h.quantile_interp(1.0), 1000.0);
+        assert_eq!(Histogram::new().quantile_interp(0.5), 0.0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_clamp_to_observed_extremes() {
+        let mut h = Histogram::new();
+        h.record(700); // bucket [512, 1024); interp would otherwise dip below
+        assert_eq!(h.quantile_interp(0.0), 700.0);
+        assert_eq!(h.p50(), 700);
+        assert_eq!(h.p99(), 700);
     }
 }

@@ -1,4 +1,5 @@
-//! `jsdetect-obs`: first-party telemetry for the `jsdetect` pipeline.
+//! `jsdetect-obs`: always-on streaming telemetry for the `jsdetect`
+//! pipeline.
 //!
 //! The detector's north star is corpus-scale traffic, where the questions
 //! that matter are "which stage is the tail script stuck in?" and "how
@@ -11,9 +12,14 @@
 //!   thread's open spans (`analyze/parse`).
 //! - **Counters / gauges / histograms** ([`counter_add`], [`gauge_set`],
 //!   [`observe`]): monotonic event counts, last-write-wins values, and
-//!   log-scaled value distributions ([`Histogram`]).
-//! - **Exporters**: a human [`render_summary`] table and a structured
-//!   [`to_jsonl`] event stream with a stable, versioned schema.
+//!   log-scaled value distributions ([`Histogram`]) with interpolated
+//!   p50/p90/p99 estimates.
+//! - **Exporters**: a human [`render_summary`] table, a structured
+//!   [`to_jsonl`] event stream with a stable versioned schema, Prometheus
+//!   text exposition ([`render_prometheus`]) for scrape endpoints, and a
+//!   Chrome trace-event JSON ([`render_chrome_trace`]) loadable in
+//!   Perfetto / `chrome://tracing`, with per-stage self-time attribution
+//!   ([`self_times`]).
 //!
 //! Telemetry is **off by default**. Every recording entry point starts
 //! with one relaxed atomic load of the global enabled flag and returns
@@ -22,9 +28,13 @@
 //! path (asserted against the pipeline's own workload by an integration
 //! test in `jsdetect`).
 //!
-//! Collection is thread-safe without per-record locking: recording goes to
-//! a per-thread buffer and is merged into the global registry when the
-//! buffer fills, when the thread exits, or on [`flush`]/[`snapshot`].
+//! Collection is **streaming**: records land directly in per-thread
+//! atomic cells and a bounded per-thread trace ring, both readable by any
+//! thread at any time. [`snapshot`] (or [`Registry::snapshot`]) merges
+//! live state without pausing workers — there is no flush step, and
+//! telemetry recorded by a scoped worker thread is visible the moment the
+//! record call returns. Metric names come from the [`names`] module so
+//! every crate shares one vocabulary.
 //!
 //! # Examples
 //!
@@ -36,9 +46,10 @@
 //!     let _inner = jsdetect_obs::span("parse");
 //!     jsdetect_obs::counter_add("parse_failures", 1);
 //! }
-//! let snap = jsdetect_obs::snapshot();
+//! let snap = jsdetect_obs::Registry::snapshot();
 //! assert_eq!(snap.counter("parse_failures"), 1);
 //! assert!(snap.span("analyze/parse").is_some());
+//! assert!(jsdetect_obs::render_prometheus(&snap).contains("jsdetect_parse_failures_total"));
 //! jsdetect_obs::set_enabled(false);
 //! ```
 
@@ -47,11 +58,20 @@
 
 mod export;
 mod histogram;
+pub mod names;
+mod prometheus;
 mod registry;
+mod ring;
+mod trace;
 
 pub use export::{render_summary, to_jsonl, SCHEMA_VERSION};
 pub use histogram::{bucket_bounds, bucket_index, Histogram, N_BUCKETS};
-pub use registry::{flush, record_span_ns, reset, snapshot, Snapshot, SpanEvent, SpanStat};
+pub use prometheus::render_prometheus;
+pub use registry::{
+    flush, record_span_ns, reset, snapshot, CounterEvent, Snapshot, SpanEvent, SpanStat,
+};
+pub use ring::RING_CAP;
+pub use trace::{render_chrome_trace, self_times, SelfTime};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -80,10 +100,67 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// The registry as a handle: the serve-facing entry point for live
+/// metrics. `Registry::snapshot()` never pauses recording threads.
+pub struct Registry;
+
+impl Registry {
+    /// Merges every thread's live state into a point-in-time [`Snapshot`].
+    pub fn snapshot() -> Snapshot {
+        registry::snapshot()
+    }
+
+    /// One-call scrape: snapshot rendered as Prometheus text exposition.
+    pub fn render_prometheus() -> String {
+        prometheus::render_prometheus(&registry::snapshot())
+    }
+}
+
+/// RAII telemetry guard for worker closures: construction eagerly sets up
+/// the calling thread's recording cells (so a hot loop's first record is
+/// cheap), and drop runs [`flush`].
+///
+/// With the streaming core, records are globally visible the moment they
+/// are made and `flush` is a no-op — this guard exists so worker closures
+/// state their telemetry lifetime structurally instead of remembering a
+/// trailing `flush()` call (the PR 3 footgun: `std::thread::scope` signals
+/// completion before TLS destructors run, so a forgotten flush silently
+/// lost the worker's records).
+#[must_use = "bind to a named guard (`let _obs = ...`) so it lives for the whole closure"]
+pub struct ScopedCollector {
+    _priv: (),
+}
+
+/// Alias for [`ScopedCollector`], for call sites that read better as "flush
+/// on drop".
+pub type FlushGuard = ScopedCollector;
+
+impl ScopedCollector {
+    /// Prepares the calling thread for recording.
+    pub fn new() -> Self {
+        registry::touch();
+        ScopedCollector { _priv: () }
+    }
+}
+
+impl Default for ScopedCollector {
+    fn default() -> Self {
+        ScopedCollector::new()
+    }
+}
+
+impl Drop for ScopedCollector {
+    fn drop(&mut self) {
+        flush();
+    }
+}
+
 /// An RAII span guard: the span runs from [`span`] until the guard drops.
 #[must_use = "a span records its duration when dropped; binding it to `_` drops it immediately"]
 pub struct Span {
-    name: &'static str,
+    /// Interned id of the span's full slash path (sentinel when disabled
+    /// or unregistrable).
+    path_id: u32,
     /// `None` when telemetry was disabled at enter (the no-op path).
     start: Option<Instant>,
     /// Open-span stack depth at enter; drop truncates back to it, so a
@@ -96,18 +173,13 @@ pub struct Span {
 /// open records as `analyze/parse`.
 pub fn span(name: &'static str) -> Span {
     if !enabled() {
-        return Span { name, start: None, depth: 0 };
+        return Span { path_id: 0, start: None, depth: 0 };
     }
-    let depth = registry::with_state(|s| {
-        let d = s.stack.len();
-        s.stack.push(name);
-        d
-    });
-    let Some(depth) = depth else {
-        return Span { name, start: None, depth: 0 };
+    let Some((path_id, depth)) = registry::open_span(name) else {
+        return Span { path_id: 0, start: None, depth: 0 };
     };
     let epoch = epoch();
-    Span { name, start: Some(Instant::now().max(epoch)), depth }
+    Span { path_id, start: Some(Instant::now().max(epoch)), depth }
 }
 
 impl Drop for Span {
@@ -115,17 +187,7 @@ impl Drop for Span {
         let Some(start) = self.start else { return };
         let dur_ns = saturating_ns(start.elapsed());
         let start_ns = saturating_ns(start.duration_since(epoch()));
-        registry::with_state(|s| {
-            s.stack.truncate(self.depth);
-            let mut path = String::with_capacity(16);
-            for seg in &s.stack {
-                path.push_str(seg);
-                path.push('/');
-            }
-            path.push_str(self.name);
-            let thread = s.thread;
-            s.push_event(SpanEvent { path, start_ns, dur_ns, thread });
-        });
+        registry::close_span(self.path_id, self.depth, start_ns, dur_ns);
     }
 }
 
@@ -139,7 +201,8 @@ pub fn counter_add(name: &'static str, n: u64) {
     if !enabled() || n == 0 {
         return;
     }
-    registry::with_state(|s| s.add_counter(name, n));
+    let ts_ns = saturating_ns(Instant::now().duration_since(epoch()));
+    registry::add_counter(name, n, ts_ns);
 }
 
 /// Sets a named gauge to `v` (last write wins).
@@ -157,7 +220,7 @@ pub fn observe(name: &'static str, v: u64) {
     if !enabled() {
         return;
     }
-    registry::with_state(|s| s.observe(name, v));
+    registry::observe_hist(name, v);
 }
 
 #[cfg(test)]
@@ -245,5 +308,44 @@ mod tests {
         let snap = snapshot();
         set_enabled(false);
         assert!(snap.spans.is_empty() && snap.counters.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_live_no_flush_needed() {
+        let _g = locked();
+        set_enabled(true);
+        reset();
+        let _guard = ScopedCollector::new();
+        counter_add("live_counter", 7);
+        {
+            let _s = span("live_span");
+        }
+        // Deliberately NO flush(): streaming cells are already visible.
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counter("live_counter"), 7);
+        assert_eq!(snap.span("live_span").unwrap().count, 1);
+        assert_eq!(snap.events.len(), 1, "ring event visible without flush");
+        assert_eq!(snap.counter_events.len(), 1);
+        assert_eq!(snap.counter_events[0].name, "live_counter");
+        assert_eq!(snap.counter_events[0].delta, 7);
+    }
+
+    #[test]
+    fn ring_overflow_surfaces_trace_dropped_counter() {
+        let _g = locked();
+        set_enabled(true);
+        reset();
+        let extra = 50u64;
+        for _ in 0..(RING_CAP as u64 + extra) {
+            let _s = span("overflowing");
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        // Aggregates keep every record; the ring keeps only the newest.
+        assert_eq!(snap.span("overflowing").unwrap().count, RING_CAP as u64 + extra);
+        assert_eq!(snap.events.len(), RING_CAP);
+        assert_eq!(snap.dropped_events, extra);
+        assert_eq!(snap.counter(names::TRACE_DROPPED), extra);
     }
 }

@@ -1,0 +1,259 @@
+//! The canonical metric-name vocabulary for the whole pipeline.
+//!
+//! Every crate that records telemetry imports its span/counter/gauge/
+//! histogram names from here instead of spelling ad-hoc string literals —
+//! one typo'd path used to mean a silently separate time series. The
+//! constants are grouped per kind and collected into `ALL_*` slices so a
+//! test can assert that everything exported (JSONL, Prometheus) matches
+//! the registered-name grammar.
+//!
+//! Names are slash-separated lowercase segments (`[a-z][a-z0-9_-]*`),
+//! checked by [`is_valid_metric_name`]. Two families are composed at
+//! runtime rather than listed here, but follow the same grammar: span
+//! *paths* (slash-joins of the span name constants below, e.g.
+//! `analyze/parse`) and the per-kind `guard/<kind>` and per-pass
+//! `normalize/<pass>/rewrites` counters.
+
+// --- span names (path segments; nesting joins them with `/`) -------------
+
+/// Whole-script analysis (parent of the per-stage spans).
+pub const SPAN_ANALYZE: &str = "analyze";
+/// Parser stage.
+pub const SPAN_PARSE: &str = "parse";
+/// Lexer stage.
+pub const SPAN_LEX: &str = "lex";
+/// Data-flow analysis stage.
+pub const SPAN_FLOW: &str = "flow";
+/// AST/source metrics stage.
+pub const SPAN_METRICS: &str = "metrics";
+/// Lint rule evaluation stage.
+pub const SPAN_LINT: &str = "lint";
+/// Lexer-only degraded re-analysis after a parse/lex failure.
+pub const SPAN_DEGRADED_FALLBACK: &str = "degraded_fallback";
+/// Batch analysis driver (covers the worker pool).
+pub const SPAN_ANALYZE_MANY: &str = "analyze_many";
+/// One worker's vectorization batch.
+pub const SPAN_VECTORIZE_BATCH: &str = "vectorize_batch";
+/// Feature-space fitting.
+pub const SPAN_FIT_SPACE: &str = "fit_space";
+/// Feature vectorization.
+pub const SPAN_VECTORIZE: &str = "vectorize";
+/// Handpicked-feature extraction.
+pub const SPAN_HANDPICKED: &str = "handpicked";
+/// N-gram feature extraction.
+pub const SPAN_NGRAMS: &str = "ngrams";
+/// Normalized-vs-original feature-delta block.
+pub const SPAN_NORMALIZE_DELTAS: &str = "normalize_deltas";
+/// Cache lookup.
+pub const SPAN_CACHE_GET: &str = "cache_get";
+/// Cache publish.
+pub const SPAN_CACHE_PUT: &str = "cache_put";
+/// Deobfuscation normalization fixpoint.
+pub const SPAN_NORMALIZE: &str = "normalize";
+/// Obfuscation/minification transform application.
+pub const SPAN_TRANSFORM_APPLY: &str = "transform_apply";
+/// Synthetic corpus generation.
+pub const SPAN_CORPUS_GENERATE: &str = "corpus_generate";
+/// Level-1 (minification) detector training.
+pub const SPAN_LEVEL1_TRAIN: &str = "level1_train";
+/// Level-1 single prediction.
+pub const SPAN_LEVEL1_PREDICT: &str = "level1_predict";
+/// Level-1 batch prediction.
+pub const SPAN_LEVEL1_PREDICT_BATCH: &str = "level1_predict_batch";
+/// Level-2 (obfuscation) detector training.
+pub const SPAN_LEVEL2_TRAIN: &str = "level2_train";
+/// Level-2 single prediction.
+pub const SPAN_LEVEL2_PREDICT: &str = "level2_predict";
+/// Level-2 batch prediction.
+pub const SPAN_LEVEL2_PREDICT_BATCH: &str = "level2_predict_batch";
+/// Full two-level training pipeline.
+pub const SPAN_TRAIN_PIPELINE: &str = "train_pipeline";
+/// Forest training (parent of per-batch spans).
+pub const SPAN_FOREST_FIT: &str = "forest_fit";
+/// One worker's tree-fitting batch inside forest training.
+pub const SPAN_FIT_TREE_BATCH: &str = "fit_tree_batch";
+/// Forest batch prediction (parent of per-chunk spans).
+pub const SPAN_FOREST_PREDICT: &str = "forest_predict";
+/// One worker's prediction chunk.
+pub const SPAN_PREDICT_CHUNK: &str = "predict_chunk";
+
+// --- counters -------------------------------------------------------------
+
+/// Scripts whose parse failed.
+pub const CTR_PARSE_FAILURES: &str = "parse_failures";
+/// Lexer error tokens encountered.
+pub const CTR_LEXER_ERRORS: &str = "lexer_errors";
+/// Data-flow analyses truncated by the binding cap.
+pub const CTR_FLOW_TRUNCATIONS: &str = "flow_truncations";
+/// Bindings dropped by data-flow truncation.
+pub const CTR_FLOW_TRUNCATED_BINDINGS: &str = "flow_truncated_bindings";
+/// Lint rule firings.
+pub const CTR_LINT_FIRES: &str = "lint_fires";
+/// Scripts that fell back to lexer-only degraded analysis.
+pub const CTR_DEGRADED_FALLBACKS: &str = "degraded_fallbacks";
+/// Scripts analyzed (any outcome).
+pub const CTR_SCRIPTS_ANALYZED: &str = "scripts_analyzed";
+/// Trees fitted during forest training.
+pub const CTR_TREES_FITTED: &str = "trees_fitted";
+/// Tree traversals during forest prediction.
+pub const CTR_TREES_TRAVERSED: &str = "trees_traversed";
+/// Obfuscation transform applications that failed.
+pub const CTR_TRANSFORM_FAILURES: &str = "transform_failures";
+/// Split-search columns served by the presorted-order regime.
+pub const CTR_SPLIT_PRESORT_COLS: &str = "split_presort_cols";
+/// Split-search columns served by the counting-sort regime.
+pub const CTR_SPLIT_COUNTING_COLS: &str = "split_counting_cols";
+/// Split-search columns served by the packed-rank regime.
+pub const CTR_SPLIT_RANKED_COLS: &str = "split_ranked_cols";
+/// Split-search columns served by the key-sort regime.
+pub const CTR_SPLIT_KEYED_COLS: &str = "split_keyed_cols";
+/// Split-search columns served by the histogram regime.
+pub const CTR_SPLIT_HIST_COLS: &str = "split_hist_cols";
+/// Cache lookups that replayed a stored verdict.
+pub const CTR_CACHE_HIT: &str = "cache/hit";
+/// Cache lookups that missed.
+pub const CTR_CACHE_MISS: &str = "cache/miss";
+/// Cache records recomputed due to schema/version/preset mismatch.
+pub const CTR_CACHE_STALE_VERSION: &str = "cache/stale_version";
+/// Corrupt cache records evicted and recomputed.
+pub const CTR_CACHE_CORRUPT_EVICTED: &str = "cache/corrupt_evicted";
+/// Cache records published.
+pub const CTR_CACHE_PUT: &str = "cache/put";
+/// Cache publishes that failed (I/O).
+pub const CTR_CACHE_PUBLISH_FAILED: &str = "cache/publish_failed";
+/// Normalization runs stopped by the rewrite-fuel budget.
+pub const CTR_NORMALIZE_FUEL_EXHAUSTED: &str = "normalize/fuel_exhausted";
+/// Normalization fixpoint rounds executed.
+pub const CTR_NORMALIZE_FIXPOINT_ROUNDS: &str = "normalize/fixpoint_rounds";
+/// Trace-ring events overwritten before export (ring overflow).
+pub const TRACE_DROPPED: &str = "obs/trace_dropped";
+/// Metric names dropped because an id space filled up.
+pub const NAME_OVERFLOW: &str = "obs/name_overflow";
+
+// --- gauges and value histograms -----------------------------------------
+
+/// Worker threads used by the current batch-analysis run.
+pub const GAUGE_ANALYZE_THREADS: &str = "analyze_threads";
+/// Input script sizes in bytes.
+pub const HIST_SCRIPT_BYTES: &str = "script_bytes";
+
+/// Every span name constant above.
+pub const ALL_SPANS: &[&str] = &[
+    SPAN_ANALYZE,
+    SPAN_PARSE,
+    SPAN_LEX,
+    SPAN_FLOW,
+    SPAN_METRICS,
+    SPAN_LINT,
+    SPAN_DEGRADED_FALLBACK,
+    SPAN_ANALYZE_MANY,
+    SPAN_VECTORIZE_BATCH,
+    SPAN_FIT_SPACE,
+    SPAN_VECTORIZE,
+    SPAN_HANDPICKED,
+    SPAN_NGRAMS,
+    SPAN_NORMALIZE_DELTAS,
+    SPAN_CACHE_GET,
+    SPAN_CACHE_PUT,
+    SPAN_NORMALIZE,
+    SPAN_TRANSFORM_APPLY,
+    SPAN_CORPUS_GENERATE,
+    SPAN_LEVEL1_TRAIN,
+    SPAN_LEVEL1_PREDICT,
+    SPAN_LEVEL1_PREDICT_BATCH,
+    SPAN_LEVEL2_TRAIN,
+    SPAN_LEVEL2_PREDICT,
+    SPAN_LEVEL2_PREDICT_BATCH,
+    SPAN_TRAIN_PIPELINE,
+    SPAN_FOREST_FIT,
+    SPAN_FIT_TREE_BATCH,
+    SPAN_FOREST_PREDICT,
+    SPAN_PREDICT_CHUNK,
+];
+
+/// Every counter name constant above.
+pub const ALL_COUNTERS: &[&str] = &[
+    CTR_PARSE_FAILURES,
+    CTR_LEXER_ERRORS,
+    CTR_FLOW_TRUNCATIONS,
+    CTR_FLOW_TRUNCATED_BINDINGS,
+    CTR_LINT_FIRES,
+    CTR_DEGRADED_FALLBACKS,
+    CTR_SCRIPTS_ANALYZED,
+    CTR_TREES_FITTED,
+    CTR_TREES_TRAVERSED,
+    CTR_TRANSFORM_FAILURES,
+    CTR_SPLIT_PRESORT_COLS,
+    CTR_SPLIT_COUNTING_COLS,
+    CTR_SPLIT_RANKED_COLS,
+    CTR_SPLIT_KEYED_COLS,
+    CTR_SPLIT_HIST_COLS,
+    CTR_CACHE_HIT,
+    CTR_CACHE_MISS,
+    CTR_CACHE_STALE_VERSION,
+    CTR_CACHE_CORRUPT_EVICTED,
+    CTR_CACHE_PUT,
+    CTR_CACHE_PUBLISH_FAILED,
+    CTR_NORMALIZE_FUEL_EXHAUSTED,
+    CTR_NORMALIZE_FIXPOINT_ROUNDS,
+    TRACE_DROPPED,
+    NAME_OVERFLOW,
+];
+
+/// Every gauge name constant above.
+pub const ALL_GAUGES: &[&str] = &[GAUGE_ANALYZE_THREADS];
+
+/// Every value-histogram name constant above.
+pub const ALL_HISTS: &[&str] = &[HIST_SCRIPT_BYTES];
+
+/// Whether `name` matches the registered-name grammar: one or more
+/// slash-separated segments, each `[a-z][a-z0-9_-]*`. Span paths,
+/// `guard/<kind>` counters, and `normalize/<pass>/rewrites` counters all
+/// satisfy this by construction.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('/').all(|seg| {
+            let mut bytes = seg.bytes();
+            matches!(bytes.next(), Some(b'a'..=b'z'))
+                && bytes
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_constant_is_grammatical() {
+        for name in ALL_SPANS.iter().chain(ALL_COUNTERS).chain(ALL_GAUGES).chain(ALL_HISTS) {
+            assert!(is_valid_metric_name(name), "registered name violates grammar: {name:?}");
+        }
+    }
+
+    #[test]
+    fn grammar_rejects_malformed_names() {
+        for bad in [
+            "",
+            "Upper",
+            "1starts_with_digit",
+            "space here",
+            "trailing/",
+            "/leading",
+            "a//b",
+            "dotted.name",
+        ] {
+            assert!(!is_valid_metric_name(bad), "accepted malformed name {bad:?}");
+        }
+        for good in [
+            "analyze",
+            "analyze/parse",
+            "cache/hit",
+            "guard/deadline_exceeded",
+            "normalize/array-inline/rewrites",
+            "obs/trace_dropped",
+        ] {
+            assert!(is_valid_metric_name(good), "rejected valid name {good:?}");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Prometheus text-exposition exporter (version 0.0.4 format).
+//!
+//! Renders a [`Snapshot`] as the plain-text scrape payload a
+//! `/metrics` endpoint serves: one `# HELP` + `# TYPE` header per metric
+//! family followed by its samples, families grouped, names sanitized into
+//! the Prometheus grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`) under a
+//! `jsdetect_` prefix. Mapping:
+//!
+//! - counters → `jsdetect_<name>_total` (type `counter`)
+//! - gauges → `jsdetect_<name>` (type `gauge`)
+//! - value histograms → `jsdetect_<name>` (type `summary`) with
+//!   interpolated `quantile="0.5|0.9|0.99"` samples plus `_sum`/`_count`
+//! - span latencies → one `jsdetect_span_duration_ns` summary family with
+//!   a `span="<path>"` label per path, same quantile set
+//!
+//! Slash-joined registry names (`cache/hit`, `normalize/array-inline/...`)
+//! sanitize to underscores; the original path survives in the `span`
+//! label where identity matters.
+
+use crate::registry::Snapshot;
+use std::fmt::Write;
+
+/// Sanitizes a registry metric name into a Prometheus metric-name suffix:
+/// ASCII alphanumerics pass through (uppercase lowered), everything else —
+/// `/`, `-`, `.`, spaces — becomes `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            'a'..='z' | '0'..='9' | '_' => out.push(c),
+            'A'..='Z' => out.push(c.to_ascii_lowercase()),
+            _ => out.push('_'),
+        }
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value (backslash, double quote, newline — the three
+/// characters the exposition format requires escaping).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A float sample value. Prometheus accepts integer-looking floats;
+/// non-finite values render as the spec's `NaN`/`+Inf`/`-Inf` tokens.
+fn sample(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else {
+        format!("{}", v)
+    }
+}
+
+const QUANTILES: [(&str, f64); 3] = [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)];
+
+/// Renders the snapshot as Prometheus text exposition, ready to serve
+/// from a `/metrics` endpoint or write to a textfile-collector drop
+/// directory. Deterministic given deterministic recorded data.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+
+    for (name, v) in &snap.counters {
+        let m = format!("jsdetect_{}_total", sanitize(name));
+        let _ = writeln!(out, "# HELP {} jsdetect counter {}", m, name);
+        let _ = writeln!(out, "# TYPE {} counter", m);
+        let _ = writeln!(out, "{} {}", m, v);
+    }
+
+    for (name, v) in &snap.gauges {
+        let m = format!("jsdetect_{}", sanitize(name));
+        let _ = writeln!(out, "# HELP {} jsdetect gauge {}", m, name);
+        let _ = writeln!(out, "# TYPE {} gauge", m);
+        let _ = writeln!(out, "{} {}", m, sample(*v));
+    }
+
+    for (name, h) in &snap.hists {
+        let m = format!("jsdetect_{}", sanitize(name));
+        let _ = writeln!(out, "# HELP {} jsdetect histogram {}", m, name);
+        let _ = writeln!(out, "# TYPE {} summary", m);
+        for (label, q) in QUANTILES {
+            let _ =
+                writeln!(out, "{}{{quantile=\"{}\"}} {}", m, label, sample(h.quantile_interp(q)));
+        }
+        let _ = writeln!(out, "{}_sum {}", m, h.sum());
+        let _ = writeln!(out, "{}_count {}", m, h.count());
+    }
+
+    if !snap.spans.is_empty() {
+        let m = "jsdetect_span_duration_ns";
+        let _ = writeln!(out, "# HELP {} span latency by slash-joined path, nanoseconds", m);
+        let _ = writeln!(out, "# TYPE {} summary", m);
+        for s in &snap.spans {
+            let path = escape_label(&s.path);
+            for (label, q) in QUANTILES {
+                let _ = writeln!(
+                    out,
+                    "{}{{span=\"{}\",quantile=\"{}\"}} {}",
+                    m,
+                    path,
+                    label,
+                    sample(s.latency.quantile_interp(q))
+                );
+            }
+            let _ = writeln!(out, "{}_sum{{span=\"{}\"}} {}", m, path, s.total_ns);
+            let _ = writeln!(out, "{}_count{{span=\"{}\"}} {}", m, path, s.count);
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use crate::registry::SpanStat;
+
+    fn metric_name_ok(name: &str) -> bool {
+        let mut bytes = name.bytes();
+        matches!(bytes.next(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'_' | b':'))
+            && bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+    }
+
+    /// A hand-rolled line validator for the exposition grammar: every line
+    /// is a comment (`# HELP`/`# TYPE`) or `name[{labels}] value`.
+    fn validate(text: &str) {
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                    "bad comment line: {line:?}"
+                );
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').expect("sample line has a value");
+            let name = name_part.split('{').next().unwrap();
+            assert!(metric_name_ok(name), "bad metric name in {line:?}");
+            if let Some(rest) = name_part.strip_prefix(name) {
+                if !rest.is_empty() {
+                    assert!(rest.starts_with('{') && rest.ends_with('}'), "bad labels in {line:?}");
+                }
+            }
+            assert!(
+                value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                "bad sample value in {line:?}"
+            );
+        }
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let mut h = Histogram::new();
+        h.record(512);
+        h.record(100_000);
+        let mut lat = Histogram::new();
+        for v in [1_000u64, 2_000, 4_000] {
+            lat.record(v);
+        }
+        Snapshot {
+            spans: vec![SpanStat {
+                path: "analyze/parse".to_string(),
+                count: lat.count(),
+                total_ns: lat.sum(),
+                min_ns: lat.min(),
+                max_ns: lat.max(),
+                latency: lat,
+            }],
+            events: Vec::new(),
+            counters: vec![("cache/hit".to_string(), 3), ("parse_failures".to_string(), 1)],
+            gauges: vec![("analyze_threads".to_string(), 2.0)],
+            hists: vec![("script_bytes".to_string(), h)],
+            counter_events: Vec::new(),
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn exposition_passes_format_validation() {
+        validate(&render_prometheus(&sample_snapshot()));
+    }
+
+    #[test]
+    fn families_have_help_type_and_expected_shapes() {
+        let text = render_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE jsdetect_cache_hit_total counter"));
+        assert!(text.contains("jsdetect_cache_hit_total 3"));
+        assert!(text.contains("# TYPE jsdetect_analyze_threads gauge"));
+        assert!(text.contains("# TYPE jsdetect_script_bytes summary"));
+        assert!(text.contains("jsdetect_script_bytes{quantile=\"0.5\"}"));
+        assert!(text.contains("jsdetect_script_bytes_count 2"));
+        assert!(text.contains("# TYPE jsdetect_span_duration_ns summary"));
+        assert!(
+            text.contains("jsdetect_span_duration_ns{span=\"analyze/parse\",quantile=\"0.99\"}")
+        );
+        assert!(text.contains("jsdetect_span_duration_ns_sum{span=\"analyze/parse\"} 7000"));
+        assert!(text.contains("jsdetect_span_duration_ns_count{span=\"analyze/parse\"} 3"));
+    }
+
+    #[test]
+    fn sanitizer_handles_hostile_names() {
+        assert_eq!(sanitize("cache/hit"), "cache_hit");
+        assert_eq!(sanitize("normalize/array-inline/rewrites"), "normalize_array_inline_rewrites");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("UPPER.case"), "upper_case");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_prometheus(&Snapshot::default()), "");
+    }
+}

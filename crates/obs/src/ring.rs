@@ -1,0 +1,220 @@
+//! The per-thread trace event ring: a bounded, lock-free,
+//! overwrite-oldest buffer of span-complete and counter-delta events.
+//!
+//! Each recording thread owns exactly one ring (single producer); any
+//! thread may read it concurrently (the live-snapshot path). Slots use a
+//! seqlock discipline: the writer marks a slot's version odd while
+//! writing and stores `2·seq + 2` when the payload is stable, so a reader
+//! that observes a mismatched or odd version simply skips the slot — an
+//! event being overwritten mid-read is *dropped from that snapshot*,
+//! never torn. All fields are plain atomics, so the whole scheme stays
+//! within `#![forbid(unsafe_code)]`.
+//!
+//! Overflow is by design, not an error: once `RING_CAP` events have been
+//! written, each new event overwrites the oldest one and the overwrite is
+//! accounted to the `obs/trace_dropped` counter at snapshot time
+//! (`dropped() = head − RING_CAP`). Aggregate statistics (span
+//! histograms, counters) are unaffected — the ring only bounds how much
+//! raw *trace* history is retained for export.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Retained trace events per recording thread (must be a power of two).
+/// At 32 bytes per slot this is 256 KiB of always-on trace history per
+/// thread — roughly the last 8k span/counter events.
+pub const RING_CAP: usize = 8192;
+
+/// What one ring slot describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// A completed span: `a` = start offset from the epoch (ns), `b` =
+    /// duration (ns), `id` = span-path id.
+    Span,
+    /// A counter increment: `a` = timestamp offset from the epoch (ns),
+    /// `b` = delta, `id` = counter-name id.
+    Counter,
+}
+
+/// One decoded ring event, handed to the snapshot reader.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RawEvent {
+    pub kind: EventKind,
+    /// Metric id in the kind's id space (span path or counter name).
+    pub id: u32,
+    /// Telemetry-assigned recording-thread id.
+    pub thread: u32,
+    /// Start/timestamp offset from the process epoch, in nanoseconds.
+    pub a: u64,
+    /// Duration (spans) or delta (counters).
+    pub b: u64,
+}
+
+const KIND_COUNTER: u64 = 1 << 63;
+
+fn pack_meta(kind: EventKind, id: u32, thread: u32) -> u64 {
+    let k = match kind {
+        EventKind::Span => 0,
+        EventKind::Counter => KIND_COUNTER,
+    };
+    k | (u64::from(id & 0x3FFF_FFFF) << 32) | u64::from(thread)
+}
+
+fn unpack_meta(meta: u64) -> (EventKind, u32, u32) {
+    let kind = if meta & KIND_COUNTER != 0 { EventKind::Counter } else { EventKind::Span };
+    (kind, ((meta >> 32) & 0x3FFF_FFFF) as u32, meta as u32)
+}
+
+struct Slot {
+    /// `0` = never written, odd = write in progress, `2·seq + 2` = holds
+    /// the payload of event `seq`.
+    ver: AtomicU64,
+    meta: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            ver: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A single-producer, concurrently-readable, overwrite-oldest event ring.
+pub(crate) struct Ring {
+    /// Total events ever written (the next write sequence number).
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    pub fn new() -> Self {
+        Ring { head: AtomicU64::new(0), slots: (0..RING_CAP).map(|_| Slot::new()).collect() }
+    }
+
+    /// Writes one event. MUST only be called from the owning thread (the
+    /// single producer); readers tolerate concurrent `read`/`reset`.
+    pub fn push(&self, kind: EventKind, id: u32, thread: u32, a: u64, b: u64) {
+        let seq = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(seq as usize) & (RING_CAP - 1)];
+        // Odd version: readers skip the slot while the payload is mixed.
+        slot.ver.store(seq * 2 + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.meta.store(pack_meta(kind, id, thread), Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.ver.store(seq * 2 + 2, Ordering::Release);
+        self.head.store(seq + 1, Ordering::Release);
+    }
+
+    /// Events overwritten before they could ever be snapshotted.
+    pub fn dropped(&self) -> u64 {
+        self.head.load(Ordering::Acquire).saturating_sub(RING_CAP as u64)
+    }
+
+    /// Reads every retained event, oldest first, skipping slots that are
+    /// mid-write or already overwritten (a concurrent producer never
+    /// blocks a reader and vice versa).
+    pub fn read(&self, mut f: impl FnMut(RawEvent)) {
+        let head = self.head.load(Ordering::Acquire);
+        let first = head.saturating_sub(RING_CAP as u64);
+        for seq in first..head {
+            let slot = &self.slots[(seq as usize) & (RING_CAP - 1)];
+            let want = seq * 2 + 2;
+            if slot.ver.load(Ordering::Acquire) != want {
+                continue;
+            }
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            // The fence orders the payload loads before the re-check: if
+            // the version still matches, the payload belongs to `seq`.
+            fence(Ordering::Acquire);
+            if slot.ver.load(Ordering::Relaxed) != want {
+                continue;
+            }
+            let (kind, id, thread) = unpack_meta(meta);
+            f(RawEvent { kind, id, thread, a, b });
+        }
+    }
+
+    /// Clears the ring. Intended for between-run `reset()`; events written
+    /// concurrently with a reset may be kept or discarded.
+    pub fn reset(&self) {
+        self.head.store(0, Ordering::Release);
+        for slot in self.slots.iter() {
+            slot.ver.store(0, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(r: &Ring) -> Vec<RawEvent> {
+        let mut out = Vec::new();
+        r.read(|ev| out.push(ev));
+        out
+    }
+
+    #[test]
+    fn push_and_read_in_order() {
+        let r = Ring::new();
+        r.push(EventKind::Span, 7, 3, 100, 50);
+        r.push(EventKind::Counter, 2, 3, 160, 4);
+        let evs = collect(&r);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, EventKind::Span);
+        assert_eq!((evs[0].id, evs[0].thread, evs[0].a, evs[0].b), (7, 3, 100, 50));
+        assert_eq!(evs[1].kind, EventKind::Counter);
+        assert_eq!((evs[1].id, evs[1].b), (2, 4));
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_overwrites_oldest_and_counts_drops() {
+        let r = Ring::new();
+        let extra = 100u64;
+        for i in 0..(RING_CAP as u64 + extra) {
+            r.push(EventKind::Span, 1, 0, i, 1);
+        }
+        assert_eq!(r.dropped(), extra);
+        let evs = collect(&r);
+        assert_eq!(evs.len(), RING_CAP);
+        // The oldest retained event is the first not overwritten.
+        assert_eq!(evs[0].a, extra);
+        assert_eq!(evs.last().unwrap().a, RING_CAP as u64 + extra - 1);
+    }
+
+    #[test]
+    fn reset_clears_retained_events() {
+        let r = Ring::new();
+        for i in 0..10 {
+            r.push(EventKind::Span, 1, 0, i, 1);
+        }
+        r.reset();
+        assert!(collect(&r).is_empty());
+        assert_eq!(r.dropped(), 0);
+        // Writes after a reset start a fresh sequence.
+        r.push(EventKind::Span, 2, 0, 99, 1);
+        let evs = collect(&r);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].id, 2);
+    }
+
+    #[test]
+    fn meta_packing_round_trips() {
+        for (kind, id, thread) in [
+            (EventKind::Span, 0u32, 0u32),
+            (EventKind::Counter, 0x3FFF_FFFF, u32::MAX),
+            (EventKind::Span, 1023, 17),
+        ] {
+            assert_eq!(unpack_meta(pack_meta(kind, id, thread)), (kind, id, thread));
+        }
+    }
+}

@@ -34,6 +34,7 @@ pub mod rename;
 pub mod string_obf;
 
 use jsdetect_codegen::{to_minified, to_source};
+use jsdetect_obs::names;
 use jsdetect_parser::{parse, ParseError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -152,9 +153,9 @@ impl From<jsfuck::JsfuckError> for TransformError {
 /// any combination composes sensibly; the order matches how the paper's
 /// tools chain their own internal passes.
 pub fn apply(src: &str, techniques: &[Technique], seed: u64) -> Result<String, TransformError> {
-    let _t = jsdetect_obs::span("transform_apply");
+    let _t = jsdetect_obs::span(names::SPAN_TRANSFORM_APPLY);
     apply_passes(src, techniques, seed)
-        .inspect_err(|_| jsdetect_obs::counter_add("transform_failures", 1))
+        .inspect_err(|_| jsdetect_obs::counter_add(names::CTR_TRANSFORM_FAILURES, 1))
 }
 
 fn apply_passes(src: &str, techniques: &[Technique], seed: u64) -> Result<String, TransformError> {

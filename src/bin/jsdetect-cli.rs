@@ -17,7 +17,11 @@
 //!
 //! # Run the analysis front-end with telemetry (spans, counters, histograms):
 //! jsdetect-cli analyze --telemetry summary examples/
-//! jsdetect-cli analyze --telemetry jsonl --telemetry-out trace.jsonl a.js
+//! jsdetect-cli analyze --telemetry jsonl --telemetry-out telemetry.jsonl a.js
+//!
+//! # Export a Perfetto-loadable Chrome trace and summarize hot spans:
+//! jsdetect-cli analyze --trace-out trace.json examples/
+//! jsdetect-cli trace trace.json --top 10
 //!
 //! # Incremental rescans: verdicts for unchanged bytes replay from a
 //! # content-addressed cache instead of re-running the front-end:
@@ -36,10 +40,12 @@ fn usage() -> ! {
          jsdetect-cli classify --model <model.json> <file.js>...\n  \
          jsdetect-cli transform --technique <name> [--seed 42] <file.js>\n  \
          jsdetect-cli lint [--emit-diagnostics json] <file.js>...\n  \
-         jsdetect-cli analyze [--telemetry summary|jsonl] [--telemetry-out <file>] \
+         jsdetect-cli analyze [--telemetry summary|jsonl|prometheus] [--telemetry-out <file>] \
+         [--trace-out <trace.json>] \
          [--limits wild|trusted|interactive] [--keep-going|--fail-fast] \
          [--quarantine-out <file>] [--strict] \
          [--cache-dir <dir>] [--cache-readonly] <file.js|dir>...\n  \
+         jsdetect-cli trace [--top 20] <trace.json>\n  \
          jsdetect-cli cache stats|verify|gc --cache-dir <dir>\n  \
          jsdetect-cli normalize [--passes <p1,p2,...>] [--emit] \
          [--limits wild|trusted|interactive] [--max-rounds 8] <file.js|dir>...\n  \
@@ -68,6 +74,7 @@ fn main() {
         Some("transform") => cmd_transform(&argv),
         Some("lint") => cmd_lint(&argv),
         Some("analyze") => cmd_analyze(&argv),
+        Some("trace") => cmd_trace(&argv),
         Some("cache") => cmd_cache(&argv),
         Some("normalize") => cmd_normalize(&argv),
         Some("chaos-corpus") => cmd_chaos_corpus(&argv),
@@ -393,11 +400,15 @@ fn cmd_analyze(argv: &[String]) {
     use jsdetect_suite::guard::{AnalysisError, Limits, OutcomeKind, QuarantineReport};
 
     let format = arg_value(argv, "--telemetry").unwrap_or_else(|| "summary".to_string());
-    if format != "summary" && format != "jsonl" {
-        eprintln!("unsupported --telemetry format: {} (expected summary or jsonl)", format);
+    if format != "summary" && format != "jsonl" && format != "prometheus" {
+        eprintln!(
+            "unsupported --telemetry format: {} (expected summary, jsonl, or prometheus)",
+            format
+        );
         usage();
     }
     let out_path = arg_value(argv, "--telemetry-out");
+    let trace_out = arg_value(argv, "--trace-out");
     let quarantine_out = arg_value(argv, "--quarantine-out");
     let strict = argv.iter().any(|a| a == "--strict");
     let fail_fast = argv.iter().any(|a| a == "--fail-fast");
@@ -418,6 +429,7 @@ fn cmd_analyze(argv: &[String]) {
     let flag_values = [
         arg_value(argv, "--telemetry"),
         out_path.clone(),
+        trace_out.clone(),
         quarantine_out.clone(),
         arg_value(argv, "--limits"),
         cache_dir.clone(),
@@ -531,8 +543,20 @@ fn cmd_analyze(argv: &[String]) {
     }
 
     let snap = jsdetect_suite::obs::snapshot();
+    if let Some(p) = &trace_out {
+        if let Err(e) = std::fs::write(p, jsdetect_suite::obs::render_chrome_trace(&snap)) {
+            eprintln!("cannot write {}: {}", p, e);
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace written to {} ({} events; load in Perfetto or chrome://tracing)",
+            p,
+            snap.events.len()
+        );
+    }
     let report = match format.as_str() {
         "jsonl" => jsdetect_suite::obs::to_jsonl(&snap),
+        "prometheus" => jsdetect_suite::obs::render_prometheus(&snap),
         _ => jsdetect_suite::obs::render_summary(&snap),
     };
     match out_path {
@@ -555,6 +579,94 @@ fn cmd_analyze(argv: &[String]) {
     if strict && n_rejected > 0 {
         eprintln!("--strict: {} rejected script(s)", n_rejected);
         std::process::exit(1);
+    }
+}
+
+/// Reads a Chrome trace-event JSON file (as written by `analyze
+/// --trace-out`) and prints a per-span-path table of call count, total
+/// time, and self time — total minus the time spent in direct child
+/// spans — hottest self-time first. `--top N` bounds the table (default
+/// 20, 0 = unlimited).
+fn cmd_trace(argv: &[String]) {
+    let top: usize = arg_value(argv, "--top").and_then(|v| v.parse().ok()).unwrap_or(20);
+    let flag_values = [arg_value(argv, "--top")];
+    let files: Vec<&String> = argv
+        .iter()
+        .skip(2)
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| !flag_values.iter().any(|v| v.as_deref() == Some(a.as_str())))
+        .collect();
+    let [path] = files.as_slice() else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {}", path, e);
+        std::process::exit(1);
+    });
+    let value: serde_json::JsonValue = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("{}: not valid trace JSON ({})", path, e);
+        std::process::exit(1);
+    });
+    let events = value.get("traceEvents").and_then(|v| v.as_arr()).unwrap_or_else(|| {
+        eprintln!("{}: no traceEvents array (is this a Chrome trace-event file?)", path);
+        std::process::exit(1);
+    });
+
+    fn as_f64(v: &serde_json::JsonValue) -> Option<f64> {
+        use serde::Value;
+        match v {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    // Aggregate complete ("X") events per span path across all threads.
+    use std::collections::BTreeMap;
+    let mut totals: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+    for ev in events {
+        if !matches!(ev.get("ph"), Some(serde_json::JsonValue::Str(ph)) if ph == "X") {
+            continue;
+        }
+        let (Some(serde_json::JsonValue::Str(name)), Some(dur)) =
+            (ev.get("name"), ev.get("dur").and_then(as_f64))
+        else {
+            continue;
+        };
+        let slot = totals.entry(name.as_str()).or_insert((0, 0.0));
+        slot.0 += 1;
+        slot.1 += dur;
+    }
+    if totals.is_empty() {
+        eprintln!("{}: no complete (ph=X) span events", path);
+        return;
+    }
+
+    // Self time = own total minus direct children's totals (one extra path
+    // segment); every microsecond is attributed to exactly one span.
+    let mut rows: Vec<(&str, u64, f64, f64)> =
+        totals.iter().map(|(&name, &(count, total))| (name, count, total, total)).collect();
+    for (child, &(_, child_total)) in &totals {
+        if let Some(idx) = child.rfind('/') {
+            if let Some(row) = rows.iter_mut().find(|r| r.0 == &child[..idx]) {
+                row.3 = (row.3 - child_total).max(0.0);
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+    if top > 0 {
+        rows.truncate(top);
+    }
+
+    let name_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(4).max("span".len());
+    println!("{:<name_w$}  {:>8}  {:>12}  {:>12}", "span", "count", "total ms", "self ms");
+    for (name, count, total_us, self_us) in &rows {
+        println!(
+            "{:<name_w$}  {:>8}  {:>12.3}  {:>12.3}",
+            name,
+            count,
+            total_us / 1000.0,
+            self_us / 1000.0
+        );
     }
 }
 
