@@ -62,6 +62,14 @@ impl Atom {
         global().intern(s)
     }
 
+    /// Interns `s` in the global interner, returning `None` instead of
+    /// panicking when the capacity cap is reached. Resident services use
+    /// this on their admission path so cap exhaustion degrades a request
+    /// rather than the process.
+    pub fn try_new(s: &str) -> Option<Atom> {
+        global().try_intern(s)
+    }
+
     /// The interned empty string (id 0; pre-interned at startup).
     pub fn empty() -> Atom {
         let a = Atom::new("");
@@ -203,6 +211,11 @@ impl serde::Deserialize for Atom {
     }
 }
 
+/// Panic message [`Interner::intern`] (and thus [`Atom::new`]) dies with
+/// when the capacity cap is hit. Panic fences match on this substring to
+/// reclassify a residual interner panic as a typed resource rejection.
+pub const INTERNER_EXHAUSTED_MSG: &str = "interner capacity exhausted";
+
 /// Occupancy statistics for an [`Interner`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InternerStats {
@@ -212,6 +225,22 @@ pub struct InternerStats {
     pub bytes: usize,
     /// Maximum number of atoms this interner can hold.
     pub capacity: u32,
+}
+
+impl InternerStats {
+    /// Whether at least `reserve` more atoms fit before the cap.
+    pub fn has_headroom(&self, reserve: u32) -> bool {
+        self.count.saturating_add(reserve) <= self.capacity
+    }
+
+    /// Occupancy as a fraction of capacity (0.0 when the cap is zero).
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            f64::from(self.count) / f64::from(self.capacity)
+        }
+    }
 }
 
 /// An append-only, deduplicating string table.
@@ -274,7 +303,7 @@ impl Interner {
 
     /// Interns `s`, panicking when the capacity limit is reached.
     pub fn intern(&self, s: &str) -> Atom {
-        self.try_intern(s).expect("interner capacity exhausted")
+        self.try_intern(s).expect(INTERNER_EXHAUSTED_MSG)
     }
 
     /// Interns `s`, returning `None` when the capacity limit is reached.
@@ -413,6 +442,23 @@ mod tests {
     fn intern_panics_at_capacity() {
         let i = Interner::with_capacity_limit(1);
         i.intern("overflow");
+    }
+
+    #[test]
+    fn headroom_and_occupancy_drive_admission_control() {
+        // The serve daemon refuses work (`resource` reject) when the
+        // global interner cannot guarantee `reserve` more atoms — these
+        // are the exact helpers its admission path calls.
+        let i = Interner::with_capacity_limit(10);
+        i.intern("a"); // count: "" + "a" = 2
+        let s = i.stats();
+        assert!(s.has_headroom(8), "2 + 8 fits a cap of 10");
+        assert!(!s.has_headroom(9), "2 + 9 overflows a cap of 10");
+        assert!((s.occupancy() - 0.2).abs() < 1e-9);
+        assert!(
+            InternerStats { count: u32::MAX - 1, bytes: 0, capacity: u32::MAX }.has_headroom(1),
+            "reserve arithmetic must not overflow"
+        );
     }
 
     #[test]

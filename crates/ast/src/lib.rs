@@ -43,7 +43,7 @@ mod span;
 pub mod visit;
 pub mod visit_mut;
 
-pub use atom::{global as global_interner, Atom, Interner, InternerStats};
+pub use atom::{global as global_interner, Atom, Interner, InternerStats, INTERNER_EXHAUSTED_MSG};
 pub use kind::NodeKind;
 pub use nodes::{
     ArrowBody, CatchClause, Class, ClassMember, ClassMemberValue, Expr, ForInit, ForTarget,

@@ -40,5 +40,6 @@ pub use record::{
     RECORD_SCHEMA_VERSION,
 };
 pub use store::{
-    preset_tag, AnalysisCache, CacheConfig, DEFAULT_LRU_CAPACITY, N_SHARDS, RECORD_EXT,
+    preset_tag, AnalysisCache, CacheConfig, PublishInjector, DEFAULT_LRU_CAPACITY, N_SHARDS,
+    PUBLISH_RETRIES, RECORD_EXT,
 };

@@ -86,15 +86,29 @@ impl CacheConfig {
     }
 }
 
+/// Number of *extra* publish attempts after the first failure.
+pub const PUBLISH_RETRIES: u32 = 2;
+
+/// A fault hook for publish: called with the attempt index (0-based); a
+/// `true` return makes that attempt fail without touching disk. Tests and
+/// the serve chaos layer inject these to exercise the retry path.
+pub type PublishInjector = Box<dyn Fn(u32) -> bool + Send + Sync>;
+
 /// A content-addressed feature-vector cache:
 /// `(content hash, feature-space version, limits preset) → CacheRecord`.
-#[derive(Debug)]
 pub struct AnalysisCache {
     config: CacheConfig,
     /// Per-shard IO locks; index = first digest byte.
     shards: Vec<Mutex<()>>,
     lru: Mutex<LruMap<[u8; ContentHash::PREFIX_LEN], Arc<CacheRecord>>>,
     tmp_seq: AtomicU64,
+    publish_injector: Mutex<Option<PublishInjector>>,
+}
+
+impl std::fmt::Debug for AnalysisCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisCache").field("config", &self.config).finish_non_exhaustive()
+    }
 }
 
 impl AnalysisCache {
@@ -111,7 +125,19 @@ impl AnalysisCache {
         }
         let shards = (0..N_SHARDS).map(|_| Mutex::new(())).collect();
         let lru = Mutex::new(LruMap::new(config.lru_capacity));
-        Ok(AnalysisCache { config, shards, lru, tmp_seq: AtomicU64::new(0) })
+        Ok(AnalysisCache {
+            config,
+            shards,
+            lru,
+            tmp_seq: AtomicU64::new(0),
+            publish_injector: Mutex::new(None),
+        })
+    }
+
+    /// Installs (or clears) a publish fault injector; see
+    /// [`PublishInjector`].
+    pub fn set_publish_injector(&self, injector: Option<PublishInjector>) {
+        *self.publish_injector.lock().unwrap_or_else(|e| e.into_inner()) = injector;
     }
 
     /// The configuration this cache was opened with.
@@ -190,9 +216,12 @@ impl AnalysisCache {
         }
     }
 
-    /// Publishes one record under `hash`. Errors are counted
-    /// (`cache/publish_failed`) and swallowed: a cache that cannot write
-    /// degrades to a slower scan, never a failed one.
+    /// Publishes one record under `hash`. A transient write failure is
+    /// retried up to [`PUBLISH_RETRIES`] times with a short jittered
+    /// backoff (counted under `cache/publish_retried`); a publish that
+    /// still fails is counted (`cache/publish_failed`) and swallowed: a
+    /// cache that cannot write degrades to a slower scan, never a failed
+    /// one.
     pub fn put(&self, hash: &ContentHash, record: &CacheRecord) {
         if self.config.readonly {
             return;
@@ -201,28 +230,56 @@ impl AnalysisCache {
         let bytes = encode(record, hash, self.config.feature_version, &self.config.preset);
         let path = self.record_path(hash);
         let shard_dir = path.parent().expect("record path has a shard directory");
-        let tmp = shard_dir.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
-        ));
-        let _guard = self.shard_lock(hash);
-        let wrote = std::fs::create_dir_all(shard_dir)
-            .and_then(|_| std::fs::write(&tmp, &bytes))
-            .and_then(|_| std::fs::rename(&tmp, &path));
-        match wrote {
-            Ok(()) => {
+        for attempt in 0..=PUBLISH_RETRIES {
+            if attempt > 0 {
+                jsdetect_obs::counter_add(names::CTR_CACHE_PUBLISH_RETRIED, 1);
+                // Deterministic jitter: the cache carries no RNG, but the
+                // content hash is uniform — derive the stagger from it so
+                // two workers retrying the same shard don't collide in
+                // lockstep.
+                let jitter = u64::from(hash.0[attempt as usize % hash.0.len()]) % 3;
+                std::thread::sleep(std::time::Duration::from_millis(
+                    (1u64 << (attempt - 1)) + jitter,
+                ));
+            }
+            if self.publish_attempt(hash, shard_dir, &path, &bytes, attempt) {
                 jsdetect_obs::counter_add(names::CTR_CACHE_PUT, 1);
                 self.lru
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .insert(Self::lru_key(hash), Arc::new(record.clone()));
-            }
-            Err(_) => {
-                jsdetect_obs::counter_add(names::CTR_CACHE_PUBLISH_FAILED, 1);
-                let _ = std::fs::remove_file(&tmp);
+                return;
             }
         }
+        jsdetect_obs::counter_add(names::CTR_CACHE_PUBLISH_FAILED, 1);
+    }
+
+    /// One tmp-write + atomic-rename publish attempt; returns success.
+    fn publish_attempt(
+        &self,
+        hash: &ContentHash,
+        shard_dir: &Path,
+        path: &Path,
+        bytes: &[u8],
+        attempt: u32,
+    ) -> bool {
+        if let Some(injector) =
+            self.publish_injector.lock().unwrap_or_else(|e| e.into_inner()).as_ref()
+        {
+            if injector(attempt) {
+                return false;
+            }
+        }
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = shard_dir.join(format!(".tmp-{}-{}", std::process::id(), seq));
+        let _guard = self.shard_lock(hash);
+        let wrote = std::fs::create_dir_all(shard_dir)
+            .and_then(|_| std::fs::write(&tmp, bytes))
+            .and_then(|_| std::fs::rename(&tmp, path));
+        if wrote.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        wrote.is_ok()
     }
 
     /// Drops the in-memory front (disk records stay). Tests use this to
@@ -354,6 +411,45 @@ mod tests {
         assert!(!path.exists(), "corrupt record must be evicted from disk");
         cache.put(&h, &sample());
         assert_eq!(*cache.get(&h).unwrap(), sample());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_publish_failure_is_retried_then_succeeds() {
+        let dir = scratch();
+        let cache = open(&dir);
+        // First attempt fails, first retry succeeds.
+        cache.set_publish_injector(Some(Box::new(|attempt| attempt == 0)));
+        let h = ContentHash::of(b"retry();");
+        cache.put(&h, &sample());
+        cache.drop_memory();
+        assert_eq!(*cache.get(&h).unwrap(), sample(), "record must land despite one failure");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_publish_failure_gives_up_after_bounded_retries() {
+        let dir = scratch();
+        let cache = open(&dir);
+        let attempts = Arc::new(AtomicU32::new(0));
+        let seen = attempts.clone();
+        cache.set_publish_injector(Some(Box::new(move |_| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            true
+        })));
+        let h = ContentHash::of(b"never();");
+        cache.put(&h, &sample());
+        assert_eq!(
+            attempts.load(Ordering::Relaxed),
+            1 + PUBLISH_RETRIES,
+            "put must stop after the bounded retry budget"
+        );
+        cache.drop_memory();
+        assert!(cache.get(&h).is_none(), "nothing may be published");
+        // Clearing the injector restores normal publishing.
+        cache.set_publish_injector(None);
+        cache.put(&h, &sample());
+        assert!(cache.get(&h).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -82,40 +82,60 @@ pub fn analyze_many_cached(
     config: &AnalysisConfig,
     cache: &AnalysisCache,
 ) -> Vec<CachedScript> {
+    analyze_many_opt_cached(srcs, config, Some(cache))
+}
+
+/// [`analyze_many_cached`] with the store optional: `None` runs the same
+/// hardened path and distillation without consulting or publishing
+/// anywhere. This is the single batch entry the daemon, the CLI, and the
+/// examples share, so server and offline sweeps cannot drift.
+pub fn analyze_many_opt_cached(
+    srcs: &[&str],
+    config: &AnalysisConfig,
+    cache: Option<&AnalysisCache>,
+) -> Vec<CachedScript> {
     let _t = jsdetect_obs::span(names::SPAN_ANALYZE_MANY);
     jsdetect_obs::counter_add(names::CTR_SCRIPTS_ANALYZED, srcs.len() as u64);
     let mut out: Vec<Option<CachedScript>> = (0..srcs.len()).map(|_| None).collect();
     run_stealing(
         srcs.len(),
-        |i| {
-            let hash = ContentHash::of(srcs[i].as_bytes());
-            if let Some(rec) = cache.get(&hash) {
-                return replay(hash, &rec);
-            }
-            let guarded = match isolate("analyze", || {
-                analyze_script_guarded(srcs[i], &config.limits)
-            }) {
-                Ok(g) => g,
-                Err(e) => {
-                    jsdetect_obs::counter_add(e.counter_name(), 1);
-                    GuardedScript { analysis: None, outcome: OutcomeKind::Rejected, error: Some(e) }
-                }
-            };
-            let result = distill(hash, &guarded, false);
-            cache.put(
-                &hash,
-                &CacheRecord {
-                    outcome: result.outcome,
-                    error_kind: result.error_kind.clone(),
-                    error_msg: result.error_msg.clone(),
-                    payload: result.payload.clone(),
-                },
-            );
-            result
-        },
+        |i| analyze_one_cached(srcs[i], config, cache),
         |i, r| out[i] = Some(r),
     );
     out.into_iter().map(|c| c.expect("work-stealing covered every index")).collect()
+}
+
+/// One script through the cache-aware hardened path (shared by the batch
+/// driver above and the serve daemon's per-request workers).
+pub fn analyze_one_cached(
+    src: &str,
+    config: &AnalysisConfig,
+    cache: Option<&AnalysisCache>,
+) -> CachedScript {
+    let hash = ContentHash::of(src.as_bytes());
+    if let Some(rec) = cache.and_then(|c| c.get(&hash)) {
+        return replay(hash, &rec);
+    }
+    let guarded = match isolate("analyze", || analyze_script_guarded(src, &config.limits)) {
+        Ok(g) => g,
+        Err(e) => {
+            jsdetect_obs::counter_add(e.counter_name(), 1);
+            GuardedScript { analysis: None, outcome: OutcomeKind::Rejected, error: Some(e) }
+        }
+    };
+    let result = distill(hash, &guarded, false);
+    if let Some(cache) = cache {
+        cache.put(
+            &hash,
+            &CacheRecord {
+                outcome: result.outcome,
+                error_kind: result.error_kind.clone(),
+                error_msg: result.error_msg.clone(),
+                payload: result.payload.clone(),
+            },
+        );
+    }
+    result
 }
 
 #[cfg(test)]

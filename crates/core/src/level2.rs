@@ -81,6 +81,24 @@ impl Level2Detector {
         parsed.into_iter().zip(probs).map(|(ok, p)| ok.then_some(p)).collect()
     }
 
+    /// Per-technique probabilities for one pre-extracted feature payload
+    /// (the cache/serve path: no lexing or parsing).
+    pub fn predict_proba_payload(&self, payload: &jsdetect_features::FeaturePayload) -> Vec<f32> {
+        let _t = jsdetect_obs::span(names::SPAN_LEVEL2_PREDICT);
+        self.model.predict_proba(&self.space.vectorize_payload(payload))
+    }
+
+    /// Batch probabilities over pre-extracted payloads; `None` inputs
+    /// (rejected scripts) yield `None` outputs.
+    pub fn predict_proba_payloads(
+        &self,
+        payloads: &[Option<&jsdetect_features::FeaturePayload>],
+    ) -> Vec<Option<Vec<f32>>> {
+        crate::level1::batch_payload_proba(&self.space, &self.model, payloads, || {
+            jsdetect_obs::span(names::SPAN_LEVEL2_PREDICT_BATCH)
+        })
+    }
+
     /// The thresholded Top-k rule of §III-E2: the `k` most probable
     /// techniques whose probability exceeds `threshold`.
     pub fn predict_techniques(

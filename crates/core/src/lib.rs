@@ -26,13 +26,15 @@
 #![forbid(unsafe_code)]
 
 mod cached;
+mod classify;
 mod config;
 mod level1;
 mod level2;
 mod pipeline;
 mod vectorize;
 
-pub use cached::{analyze_many_cached, CachedScript};
+pub use cached::{analyze_many_cached, analyze_many_opt_cached, analyze_one_cached, CachedScript};
+pub use classify::{classify_analyzed, classify_many_cached, classify_one_cached, ScriptVerdict};
 pub use config::{AnalysisConfig, DetectorConfig};
 pub use level1::{Level1Detector, Level1Prediction, Level1Truth};
 pub use level2::{Level2Detector, DEFAULT_THRESHOLD};

@@ -173,6 +173,8 @@ struct BenchFile {
     /// Headline numbers merged in by `normalization_study`; carried as
     /// an opaque value so bench_report rewrites preserve it.
     normalize: Option<serde_json::JsonValue>,
+    /// Daemon load-study numbers merged in by `load_study`; also opaque.
+    serve: Option<serde_json::JsonValue>,
 }
 
 /// Synthetic matrix shaped like the default pipeline's level-2 training
@@ -595,7 +597,12 @@ fn main() {
     // are replaced so re-runs stay idempotent. Smoke runs write a
     // standalone file and never touch the committed trajectory.
     let mut file = if smoke {
-        BenchFile { description: smoke_description(), trajectory: Vec::new(), normalize: None }
+        BenchFile {
+            description: smoke_description(),
+            trajectory: Vec::new(),
+            normalize: None,
+            serve: None,
+        }
     } else {
         std::fs::read_to_string(&out_file)
             .ok()
@@ -604,6 +611,7 @@ fn main() {
                 description: description(),
                 trajectory: Vec::new(),
                 normalize: None,
+                serve: None,
             })
     };
     file.trajectory.retain(|e| e.label != entry.label);

@@ -167,6 +167,24 @@ pub fn analyze_script_guarded(src: &str, limits: &Limits) -> GuardedScript {
     })
 }
 
+/// Lexer-only analysis under `limits`, skipping parse/flow/lint entirely.
+///
+/// This is the circuit-breaker's degraded service mode: when a resident
+/// daemon is overloaded it trades fidelity for latency by running only the
+/// lexical front-end. The result is the same bundle shape as a parse-failure
+/// fallback (`degraded: true`, outcome `Degraded`) with the typed cause
+/// [`AnalysisError::ServiceDegraded`], so caches and quarantine accounting
+/// can tell a deliberate skip from a broken script.
+pub fn analyze_script_lexer_only(src: &str, limits: &Limits) -> GuardedScript {
+    let _t = jsdetect_obs::span(names::SPAN_ANALYZE);
+    jsdetect_obs::observe(names::HIST_SCRIPT_BYTES, src.len() as u64);
+    let budget = Budget::new(limits);
+    if let Err(e) = budget.check_input(src.len()) {
+        return GuardedScript::rejected(e);
+    }
+    degraded_fallback(src, &budget, AnalysisError::ServiceDegraded)
+}
+
 /// Builds the lexer-only fallback bundle after a recoverable parse failure
 /// (paper-faithful: the paper drops unparseable files; we additionally keep
 /// their lexical signal, flagged by [`ScriptAnalysis::degraded`]).
@@ -273,6 +291,22 @@ mod tests {
         let g = analyze_script_guarded(branchy, &limits);
         assert_eq!(g.outcome, OutcomeKind::Rejected);
         assert_eq!(g.error.unwrap().kind(), "cfg_edge_budget_exceeded");
+    }
+
+    #[test]
+    fn lexer_only_mode_keeps_lexical_signal_with_typed_cause() {
+        let g = analyze_script_lexer_only("var x = 1; f(x);", &Limits::wild());
+        assert_eq!(g.outcome, OutcomeKind::Degraded);
+        let a = g.analysis.unwrap();
+        assert!(a.degraded);
+        assert!(!a.tokens.is_empty());
+        assert_eq!(a.program.body.len(), 0, "parse must be skipped");
+        assert_eq!(g.error.unwrap().kind(), "service_degraded");
+
+        // The input cap still applies before any work.
+        let limits = Limits { max_input_bytes: 4, ..Limits::wild() };
+        let g = analyze_script_lexer_only("var x = 1;", &limits);
+        assert_eq!(g.outcome, OutcomeKind::Rejected);
     }
 
     #[test]

@@ -43,6 +43,17 @@ pub enum AnalysisError {
         /// Configured `deadline_ms`.
         ms: u64,
     },
+    /// The process-global atom interner is (or would be) out of capacity;
+    /// a resident service rejects the request instead of panicking.
+    InternerExhausted {
+        /// Atoms currently interned.
+        count: u32,
+        /// Interner capacity cap.
+        capacity: u32,
+    },
+    /// The service ran this request in breaker-degraded lexer-only mode;
+    /// the full pipeline was deliberately skipped, not broken.
+    ServiceDegraded,
     /// A pipeline stage panicked and was contained by [`crate::isolate`].
     StagePanicked {
         /// Stage label passed to [`crate::isolate`].
@@ -83,6 +94,8 @@ impl AnalysisError {
             AnalysisError::AstNodeBudgetExceeded { .. } => "ast_node_budget_exceeded",
             AnalysisError::CfgEdgeBudgetExceeded { .. } => "cfg_edge_budget_exceeded",
             AnalysisError::DeadlineExceeded { .. } => "deadline_exceeded",
+            AnalysisError::InternerExhausted { .. } => "interner_exhausted",
+            AnalysisError::ServiceDegraded => "service_degraded",
             AnalysisError::StagePanicked { .. } => "stage_panicked",
             AnalysisError::Parse { .. } => "parse_error",
             AnalysisError::Lex { .. } => "lex_error",
@@ -100,6 +113,8 @@ impl AnalysisError {
             AnalysisError::AstNodeBudgetExceeded { .. } => "guard/ast_node_budget_exceeded",
             AnalysisError::CfgEdgeBudgetExceeded { .. } => "guard/cfg_edge_budget_exceeded",
             AnalysisError::DeadlineExceeded { .. } => "guard/deadline_exceeded",
+            AnalysisError::InternerExhausted { .. } => "guard/interner_exhausted",
+            AnalysisError::ServiceDegraded => "guard/service_degraded",
             AnalysisError::StagePanicked { .. } => "guard/stage_panicked",
             AnalysisError::Parse { .. } => "guard/parse_error",
             AnalysisError::Lex { .. } => "guard/lex_error",
@@ -110,9 +125,15 @@ impl AnalysisError {
     /// Whether this error means a resource budget was blown (or a stage
     /// panicked): the script is *rejected*, no fallback vector is safe to
     /// emit. Syntax-level failures (`Parse`/`Lex`) return `false` — the
-    /// lexer-only degraded path still applies to those.
+    /// lexer-only degraded path still applies to those, as does
+    /// `ServiceDegraded` (a deliberate lexer-only run, not a failure).
     pub fn is_resource(&self) -> bool {
-        !matches!(self, AnalysisError::Parse { .. } | AnalysisError::Lex { .. })
+        !matches!(
+            self,
+            AnalysisError::Parse { .. }
+                | AnalysisError::Lex { .. }
+                | AnalysisError::ServiceDegraded
+        )
     }
 }
 
@@ -136,6 +157,12 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::DeadlineExceeded { ms } => {
                 write!(f, "deadline exceeded: analysis ran past {} ms", ms)
+            }
+            AnalysisError::InternerExhausted { count, capacity } => {
+                write!(f, "atom interner exhausted: {} of {} slots used", count, capacity)
+            }
+            AnalysisError::ServiceDegraded => {
+                write!(f, "service degraded: lexer-only analysis (circuit breaker open)")
             }
             AnalysisError::StagePanicked { stage, detail } => {
                 write!(f, "stage `{}` panicked: {}", stage, detail)

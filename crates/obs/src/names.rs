@@ -125,17 +125,57 @@ pub const CTR_CACHE_PUBLISH_FAILED: &str = "cache/publish_failed";
 pub const CTR_NORMALIZE_FUEL_EXHAUSTED: &str = "normalize/fuel_exhausted";
 /// Normalization fixpoint rounds executed.
 pub const CTR_NORMALIZE_FIXPOINT_ROUNDS: &str = "normalize/fixpoint_rounds";
+/// Cache publishes retried after a transient failure.
+pub const CTR_CACHE_PUBLISH_RETRIED: &str = "cache/publish_retried";
 /// Trace-ring events overwritten before export (ring overflow).
 pub const TRACE_DROPPED: &str = "obs/trace_dropped";
 /// Metric names dropped because an id space filled up.
 pub const NAME_OVERFLOW: &str = "obs/name_overflow";
 
+// --- serve daemon ---------------------------------------------------------
+
+/// Requests admitted into the daemon's bounded queue.
+pub const CTR_SERVE_ACCEPTED: &str = "serve/accepted";
+/// Requests rejected at admission (queue full, draining, resource guard).
+pub const CTR_SERVE_REJECTED: &str = "serve/rejected";
+/// Responses emitted for accepted requests (any status).
+pub const CTR_SERVE_RESPONSES: &str = "serve/responses";
+/// Responses served in breaker-degraded lexer-only mode.
+pub const CTR_SERVE_DEGRADED: &str = "serve/degraded";
+/// Responses emitted after shutdown began (the drain phase).
+pub const CTR_SERVE_DRAINED: &str = "serve/drained";
+/// Requests answered with a quarantined verdict (worker panic or watchdog
+/// timeout).
+pub const CTR_SERVE_QUARANTINED: &str = "serve/quarantined";
+/// Worker threads replaced after a panic or a watchdog abandonment.
+pub const CTR_SERVE_WORKER_REPLACED: &str = "serve/worker_replaced";
+/// In-flight requests answered by the watchdog after a worker got stuck.
+pub const CTR_SERVE_WATCHDOG_TIMEOUTS: &str = "serve/watchdog_timeouts";
+/// Circuit-breaker transitions into the open (degraded) state.
+pub const CTR_SERVE_BREAKER_OPENED: &str = "serve/breaker_opened";
+/// Circuit-breaker recoveries back to the closed state.
+pub const CTR_SERVE_BREAKER_CLOSED: &str = "serve/breaker_closed";
+/// Protocol-invalid requests (malformed JSON, bad framing, bad route).
+pub const CTR_SERVE_REQUESTS_INVALID: &str = "serve/requests_invalid";
+/// Requests dropped for exceeding the transport size cap.
+pub const CTR_SERVE_REQUESTS_OVERSIZED: &str = "serve/requests_oversized";
+/// Connections dropped by the slow-loris read-timeout guard.
+pub const CTR_SERVE_SLOW_LORIS_DROPPED: &str = "serve/slow_loris_dropped";
+
 // --- gauges and value histograms -----------------------------------------
 
 /// Worker threads used by the current batch-analysis run.
 pub const GAUGE_ANALYZE_THREADS: &str = "analyze_threads";
+/// Daemon queue depth sampled at admission.
+pub const GAUGE_SERVE_QUEUE_DEPTH: &str = "serve/queue_depth";
+/// Daemon worker threads currently alive.
+pub const GAUGE_SERVE_WORKERS_ALIVE: &str = "serve/workers_alive";
+/// Global atom-interner occupancy as a fraction of capacity (0..1).
+pub const GAUGE_INTERNER_OCCUPANCY: &str = "interner/occupancy";
 /// Input script sizes in bytes.
 pub const HIST_SCRIPT_BYTES: &str = "script_bytes";
+/// Daemon per-request end-to-end latency in microseconds.
+pub const HIST_SERVE_LATENCY_US: &str = "serve/latency_us";
 
 /// Every span name constant above.
 pub const ALL_SPANS: &[&str] = &[
@@ -194,17 +234,36 @@ pub const ALL_COUNTERS: &[&str] = &[
     CTR_CACHE_CORRUPT_EVICTED,
     CTR_CACHE_PUT,
     CTR_CACHE_PUBLISH_FAILED,
+    CTR_CACHE_PUBLISH_RETRIED,
     CTR_NORMALIZE_FUEL_EXHAUSTED,
     CTR_NORMALIZE_FIXPOINT_ROUNDS,
     TRACE_DROPPED,
     NAME_OVERFLOW,
+    CTR_SERVE_ACCEPTED,
+    CTR_SERVE_REJECTED,
+    CTR_SERVE_RESPONSES,
+    CTR_SERVE_DEGRADED,
+    CTR_SERVE_DRAINED,
+    CTR_SERVE_QUARANTINED,
+    CTR_SERVE_WORKER_REPLACED,
+    CTR_SERVE_WATCHDOG_TIMEOUTS,
+    CTR_SERVE_BREAKER_OPENED,
+    CTR_SERVE_BREAKER_CLOSED,
+    CTR_SERVE_REQUESTS_INVALID,
+    CTR_SERVE_REQUESTS_OVERSIZED,
+    CTR_SERVE_SLOW_LORIS_DROPPED,
 ];
 
 /// Every gauge name constant above.
-pub const ALL_GAUGES: &[&str] = &[GAUGE_ANALYZE_THREADS];
+pub const ALL_GAUGES: &[&str] = &[
+    GAUGE_ANALYZE_THREADS,
+    GAUGE_SERVE_QUEUE_DEPTH,
+    GAUGE_SERVE_WORKERS_ALIVE,
+    GAUGE_INTERNER_OCCUPANCY,
+];
 
 /// Every value-histogram name constant above.
-pub const ALL_HISTS: &[&str] = &[HIST_SCRIPT_BYTES];
+pub const ALL_HISTS: &[&str] = &[HIST_SCRIPT_BYTES, HIST_SERVE_LATENCY_US];
 
 /// Whether `name` matches the registered-name grammar: one or more
 /// slash-separated segments, each `[a-z][a-z0-9_-]*`. Span paths,

@@ -1,0 +1,141 @@
+//! Deterministic fault injection for the daemon.
+//!
+//! Every robustness claim the daemon makes — panicked workers replaced,
+//! stuck workers quarantined, cache publish failures retried, overload
+//! rejected — is only trustworthy if tests can trigger the fault on
+//! demand. [`Chaos`] injects them on a deterministic every-Nth schedule
+//! (no RNG: the nth request fails the same way on every run), counted
+//! from the daemon's own execution order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Panic message used by injected worker panics; watchdog accounting and
+/// tests match on it.
+pub const CHAOS_PANIC_MSG: &str = "chaos: injected worker panic";
+
+/// Fault-injection schedule. A value of `0` disables that fault.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Panic inside the worker on every Nth executed request.
+    pub panic_every: u64,
+    /// Sleep [`ChaosConfig::delay_ms`] before every Nth analysis
+    /// (simulates a stage stall; drives watchdog and breaker tests).
+    pub delay_every: u64,
+    /// Stall duration for `delay_every`.
+    pub delay_ms: u64,
+    /// Fail every Nth cache publish attempt (exercises the cache's
+    /// bounded retry).
+    pub cache_fail_every: u64,
+}
+
+impl ChaosConfig {
+    /// Whether any fault is armed.
+    pub fn armed(&self) -> bool {
+        self.panic_every > 0
+            || (self.delay_every > 0 && self.delay_ms > 0)
+            || self.cache_fail_every > 0
+    }
+}
+
+/// The injection engine: one shared instance per daemon.
+#[derive(Debug)]
+pub struct Chaos {
+    cfg: ChaosConfig,
+    executed: AtomicU64,
+    cache_attempts: AtomicU64,
+    injected_panics: AtomicU64,
+    injected_delays: AtomicU64,
+}
+
+impl Chaos {
+    /// Builds an engine for `cfg`.
+    pub fn new(cfg: ChaosConfig) -> Chaos {
+        Chaos {
+            cfg,
+            executed: AtomicU64::new(0),
+            cache_attempts: AtomicU64::new(0),
+            injected_panics: AtomicU64::new(0),
+            injected_delays: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured schedule.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// Called by a worker at the top of request execution: may stall,
+    /// may panic (the injected-worker-panic fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`CHAOS_PANIC_MSG`] on the configured schedule — that
+    /// is the fault being injected; the daemon's fences must contain it.
+    pub fn before_analysis(&self) {
+        let n = self.executed.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.cfg.delay_every > 0
+            && self.cfg.delay_ms > 0
+            && n.is_multiple_of(self.cfg.delay_every)
+        {
+            self.injected_delays.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_millis(self.cfg.delay_ms));
+        }
+        if self.cfg.panic_every > 0 && n.is_multiple_of(self.cfg.panic_every) {
+            self.injected_panics.fetch_add(1, Ordering::Relaxed);
+            panic!("{}", CHAOS_PANIC_MSG);
+        }
+    }
+
+    /// A publish injector for [`jsdetect_cache::AnalysisCache`] that fails
+    /// every Nth attempt; `None` when the fault is disarmed.
+    pub fn cache_injector(self: &Arc<Self>) -> Option<jsdetect_cache::PublishInjector> {
+        if self.cfg.cache_fail_every == 0 {
+            return None;
+        }
+        let every = self.cfg.cache_fail_every;
+        let me = Arc::clone(self);
+        Some(Box::new(move |_attempt| {
+            let n = me.cache_attempts.fetch_add(1, Ordering::Relaxed) + 1;
+            n.is_multiple_of(every)
+        }))
+    }
+
+    /// Worker panics injected so far.
+    pub fn injected_panics(&self) -> u64 {
+        self.injected_panics.load(Ordering::Relaxed)
+    }
+
+    /// Stage stalls injected so far.
+    pub fn injected_delays(&self) -> u64 {
+        self.injected_delays.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_schedule_is_deterministic() {
+        let c = Chaos::new(ChaosConfig { panic_every: 3, ..Default::default() });
+        c.before_analysis();
+        c.before_analysis();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.before_analysis()));
+        assert!(caught.is_err(), "third execution must panic");
+        assert_eq!(c.injected_panics(), 1);
+        c.before_analysis(); // 4th: clean again
+    }
+
+    #[test]
+    fn cache_injector_fails_every_nth_attempt() {
+        let c = Arc::new(Chaos::new(ChaosConfig { cache_fail_every: 2, ..Default::default() }));
+        let inj = c.cache_injector().unwrap();
+        assert!(!inj(0));
+        assert!(inj(0));
+        assert!(!inj(0));
+        assert!(inj(0));
+        let disarmed = Arc::new(Chaos::new(ChaosConfig::default()));
+        assert!(disarmed.cache_injector().is_none());
+    }
+}

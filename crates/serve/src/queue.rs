@@ -1,0 +1,172 @@
+//! The bounded admission queue between transport and worker pool.
+//!
+//! `try_push` never blocks and never grows the queue past its capacity:
+//! overload is an explicit, immediate rejection at admission time, not a
+//! latency cliff discovered later. `pop` blocks until work arrives; after
+//! [`BoundedQueue::close`] it keeps draining what was already accepted and
+//! only then returns `None`, which is exactly the graceful-shutdown
+//! contract (every accepted request gets a response).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a `try_push` was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed (daemon draining); the item is handed back.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A Mutex+Condvar bounded MPMC queue (std-only, no external channels).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` items at once.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (racy by nature; used for gauges and heuristics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: enqueues `item` or refuses immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close); both return the item to the caller so it
+    /// can be answered with a rejection.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking consume: returns the next item, or `None` once the queue
+    /// is closed *and* fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops admissions. Already-queued items keep draining through
+    /// [`pop`](Self::pop); blocked consumers are woken.
+    pub fn close(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let mut producers = Vec::new();
+        for t in 0..4u64 {
+            let q = q.clone();
+            producers.push(std::thread::spawn(move || {
+                let mut sent = 0u64;
+                for i in 0..100 {
+                    if q.try_push(t * 1000 + i).is_ok() {
+                        sent += 1;
+                    }
+                    std::thread::yield_now();
+                }
+                sent
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let q = q.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                while q.pop().is_some() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        let sent: u64 = producers.into_iter().map(|h| h.join().unwrap()).sum();
+        q.close();
+        let got: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(sent, got, "every admitted item must be consumed exactly once");
+    }
+}

@@ -1,0 +1,79 @@
+//! SIGTERM/SIGINT → graceful-drain flag, with no new dependencies.
+//!
+//! std links libc already, so the classic `signal(2)` registration is one
+//! `extern "C"` declaration away. The handler body is as async-signal-safe
+//! as it gets: a single relaxed store into a static [`AtomicBool`]. The
+//! accept loop polls that flag between connections and starts the drain
+//! when it flips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler when SIGTERM or SIGINT arrives.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Registers handlers for SIGTERM and SIGINT and returns the flag they
+/// set. Safe to call more than once. On non-Unix targets this returns the
+/// flag without registering anything (tests flip it directly via
+/// [`request_shutdown`]).
+pub fn install() -> &'static AtomicBool {
+    imp::install();
+    &SHUTDOWN
+}
+
+/// Flips the shutdown flag programmatically — the in-process equivalent of
+/// delivering SIGTERM (used by tests and `POST /shutdown`).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Release);
+}
+
+/// Whether a shutdown has been requested.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Acquire)
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal(2)` with a handler that only performs a relaxed
+        // atomic store is async-signal-safe; registration itself is a
+        // plain libc call with valid arguments.
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_shutdown_flips_the_installed_flag() {
+        let flag = install();
+        assert!(!flag.load(std::sync::atomic::Ordering::Acquire) || shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        assert!(flag.load(std::sync::atomic::Ordering::Acquire));
+    }
+}

@@ -1,12 +1,24 @@
 //! Quickstart: train the two detectors at a small scale and classify a
 //! few scripts.
 //!
+//! Classification goes through [`classify_one_cached`] — the same
+//! guarded, cache-aware entry the `jsdetect-serve` daemon and the CLI
+//! use — so what you see here is byte-identical to what the service
+//! answers.
+//!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use jsdetect_suite::detector::{train_pipeline, DetectorConfig, Technique, DEFAULT_THRESHOLD};
+use jsdetect_suite::detector::{
+    classify_one_cached, train_pipeline, AnalysisConfig, DetectorConfig, ScriptVerdict, Technique,
+    TrainedDetectors, DEFAULT_THRESHOLD,
+};
 use jsdetect_suite::transform::apply;
+
+fn classify(detectors: &TrainedDetectors, src: &str) -> ScriptVerdict {
+    classify_one_cached(src, &AnalysisConfig::default(), None, detectors, 4, DEFAULT_THRESHOLD)
+}
 
 fn main() {
     // 1. Train. The paper trains on 21,000 scripts; 80 keeps this example
@@ -25,42 +37,42 @@ fn main() {
         }
         console.log(formatPrice(12.5, 'EUR'));
     "#;
-    let verdict = detectors.level1.predict(regular).unwrap();
+    let verdict = classify(&detectors, regular);
+    let p = verdict.level1.expect("regular script analyzes cleanly");
     println!(
         "regular script    → transformed={} (regular={:.2} minified={:.2} obfuscated={:.2})",
         verdict.is_transformed(),
-        verdict.regular,
-        verdict.minified,
-        verdict.obfuscated
+        p.regular,
+        p.minified,
+        p.obfuscated
     );
 
     // 3. Obfuscate the same script and classify again.
     let obfuscated =
         apply(regular, &[Technique::IdentifierObfuscation, Technique::StringObfuscation], 99)
             .unwrap();
-    let verdict = detectors.level1.predict(&obfuscated).unwrap();
+    let verdict = classify(&detectors, &obfuscated);
+    let p = verdict.level1.expect("obfuscated script analyzes cleanly");
     println!(
         "obfuscated script → transformed={} (regular={:.2} minified={:.2} obfuscated={:.2})",
         verdict.is_transformed(),
-        verdict.regular,
-        verdict.minified,
-        verdict.obfuscated
+        p.regular,
+        p.minified,
+        p.obfuscated
     );
 
-    // 4. Ask level 2 which techniques were used (thresholded Top-k rule).
-    let techniques =
-        detectors.level2.predict_techniques(&obfuscated, 4, DEFAULT_THRESHOLD).unwrap();
+    // 4. The same verdict already carries the level-2 technique report
+    //    (thresholded Top-k rule, applied because level 1 said
+    //    "transformed").
     println!("\nlevel-2 report for the obfuscated script:");
-    for t in techniques {
-        println!("  - {}", t);
+    for t in &verdict.techniques {
+        println!("  - {}", t.as_str());
     }
 
     // 5. Minify instead — the verdict changes class.
     let minified = apply(regular, &[Technique::MinificationAdvanced], 99).unwrap();
-    let verdict = detectors.level1.predict(&minified).unwrap();
-    println!(
-        "\nminified script   → minified={:.2} obfuscated={:.2}",
-        verdict.minified, verdict.obfuscated
-    );
+    let verdict = classify(&detectors, &minified);
+    let p = verdict.level1.expect("minified script analyzes cleanly");
+    println!("\nminified script   → minified={:.2} obfuscated={:.2}", p.minified, p.obfuscated);
     println!("minified source: {}", minified);
 }

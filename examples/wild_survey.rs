@@ -2,6 +2,11 @@
 //! simulate small Alexa / npm / malware populations, and report how each
 //! population's transformation landscape differs.
 //!
+//! Scripts flow through [`classify_many_cached`] — the same guarded,
+//! cache-aware batch entry the `jsdetect-serve` daemon's workers use per
+//! request — so a survey result here and a daemon answer for the same
+//! bytes cannot drift.
+//!
 //! ```sh
 //! cargo run --release --example wild_survey
 //! ```
@@ -9,21 +14,40 @@
 use jsdetect_suite::corpus::{
     alexa_population, malware_population, npm_population, MalwareSource, WildScript,
 };
-use jsdetect_suite::detector::{train_pipeline, DetectorConfig, Technique, TrainedDetectors};
+use jsdetect_suite::detector::{
+    classify_many_cached, train_pipeline, AnalysisConfig, DetectorConfig, Technique,
+    TrainedDetectors, DEFAULT_THRESHOLD,
+};
 
 fn survey(name: &str, detectors: &TrainedDetectors, pop: &[WildScript]) {
     let srcs: Vec<&str> = pop.iter().map(|s| s.src.as_str()).collect();
-    let preds = detectors.level1.predict_many(&srcs);
+    let verdicts = classify_many_cached(
+        &srcs,
+        &AnalysisConfig::default(),
+        None,
+        detectors,
+        4,
+        DEFAULT_THRESHOLD,
+    );
 
-    let mut transformed_srcs = Vec::new();
     let mut transformed = 0usize;
     let mut total = 0usize;
-    for (p, src) in preds.iter().zip(&srcs) {
-        if let Some(p) = p {
-            total += 1;
-            if p.is_transformed() {
-                transformed += 1;
-                transformed_srcs.push(*src);
+    let mut sums = [0f64; 10];
+    let mut n = 0usize;
+    for v in &verdicts {
+        if v.level1.is_none() {
+            continue; // rejected by the guard: no verdict
+        }
+        total += 1;
+        if v.is_transformed() {
+            transformed += 1;
+            // Average technique confidence over transformed scripts (the
+            // paper's Figure 2/3/5 quantity).
+            if let Some(probs) = &v.level2 {
+                for (i, p) in probs.iter().enumerate() {
+                    sums[i] += *p as f64;
+                }
+                n += 1;
             }
         }
     }
@@ -33,18 +57,6 @@ fn survey(name: &str, detectors: &TrainedDetectors, pop: &[WildScript]) {
         total,
         100.0 * transformed as f64 / total.max(1) as f64
     );
-
-    // Average technique confidence over transformed scripts (the paper's
-    // Figure 2/3/5 quantity).
-    let probs = detectors.level2.predict_proba_many(&transformed_srcs);
-    let mut sums = [0f64; 10];
-    let mut n = 0usize;
-    for p in probs.into_iter().flatten() {
-        for (i, v) in p.iter().enumerate() {
-            sums[i] += *v as f64;
-        }
-        n += 1;
-    }
     let mut rows: Vec<(usize, f64)> =
         sums.iter().map(|s| s / n.max(1) as f64).enumerate().collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());

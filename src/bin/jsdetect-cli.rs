@@ -30,7 +30,8 @@
 //! ```
 
 use jsdetect_suite::detector::{
-    train_pipeline, DetectorConfig, Technique, TrainedDetectors, DEFAULT_THRESHOLD,
+    classify_many_cached, train_pipeline, AnalysisConfig, DetectorConfig, Technique,
+    TrainedDetectors, DEFAULT_THRESHOLD,
 };
 use jsdetect_suite::lint::LintRunner;
 
@@ -201,6 +202,10 @@ fn cmd_classify(argv: &[String]) {
     if files.is_empty() {
         usage();
     }
+    // Classification goes through the same guarded batch entry the
+    // jsdetect-serve daemon uses per request, so a CLI verdict and a
+    // daemon verdict for the same bytes cannot drift.
+    let mut batch: Vec<(&String, String)> = Vec::new();
     for path in files {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -215,22 +220,37 @@ fn cmd_classify(argv: &[String]) {
             println!("{}: too small to classify reliably ({} bytes < 512)", path, src.len());
             continue;
         }
-        match detectors.level1.predict(&src) {
-            Err(e) => println!("{}: not valid JavaScript ({})", path, e),
-            Ok(v) if !v.is_transformed() => {
+        batch.push((path, src));
+    }
+    let srcs: Vec<&str> = batch.iter().map(|(_, s)| s.as_str()).collect();
+    let verdicts = classify_many_cached(
+        &srcs,
+        &AnalysisConfig::default(),
+        None,
+        &detectors,
+        4,
+        DEFAULT_THRESHOLD,
+    );
+    for ((path, _), verdict) in batch.iter().zip(&verdicts) {
+        match &verdict.level1 {
+            None => {
+                let msg = if verdict.error_msg.is_empty() {
+                    "analysis rejected"
+                } else {
+                    verdict.error_msg.as_str()
+                };
+                println!("{}: not valid JavaScript ({})", path, msg);
+            }
+            Some(v) if !verdict.is_transformed() => {
                 println!("{}: regular (confidence {:.2})", path, v.regular)
             }
-            Ok(v) => {
-                let techniques = detectors
-                    .level2
-                    .predict_techniques(&src, 4, DEFAULT_THRESHOLD)
-                    .unwrap_or_default();
+            Some(v) => {
                 println!(
                     "{}: TRANSFORMED (minified {:.2}, obfuscated {:.2}) — {}",
                     path,
                     v.minified,
                     v.obfuscated,
-                    techniques.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(", ")
+                    verdict.techniques.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(", ")
                 );
             }
         }

@@ -1,0 +1,167 @@
+//! `jsdetect-serve`: the resident detection daemon.
+//!
+//! ```text
+//! # Train a model, then serve it:
+//! jsdetect-cli train --n 240 --seed 42 --model model.json
+//! jsdetect-serve --model model.json --addr 127.0.0.1:7333
+//!
+//! # Ask it things (HTTP):
+//! curl -s localhost:7333/analyze -d '{"src":"eval(atob(p))","deadline_ms":500}'
+//! curl -s localhost:7333/healthz
+//! curl -s localhost:7333/metrics
+//!
+//! # Graceful drain: SIGTERM (or POST /shutdown) stops admissions,
+//! # answers every accepted request, and exits 0.
+//! ```
+//!
+//! The same socket also speaks the 4-byte length-prefixed JSON framing for
+//! machine clients; the daemon sniffs the protocol per connection.
+
+use jsdetect_suite::serve::{serve, ChaosConfig, Daemon, ServeConfig, TransportConfig};
+use jsdetect_suite::{cache::AnalysisCache, cache::CacheConfig, detector::TrainedDetectors};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  jsdetect-serve --model <model.json> [--addr 127.0.0.1:7333]\n\
+         \x20                [--workers 4] [--queue 64] [--cache-dir <dir>]\n\
+         \x20                [--limits wild|trusted|interactive] [--deadline-ms 0]\n\
+         \x20                [--stuck-after-ms 10000] [--max-request-bytes 4194304]\n\
+         \x20                [--chaos-panic-every N] [--chaos-delay-every N]\n\
+         \x20                [--chaos-delay-ms MS] [--chaos-cache-fail-every N]\n\
+         \x20                [--train-n N] [--seed 42]\n\n\
+         --model loads a jsdetect-cli trained model; --train-n trains one\n\
+         in-process instead (useful for smoke tests). SIGTERM or SIGINT\n\
+         drains gracefully: admissions stop, accepted requests are\n\
+         answered, the final telemetry snapshot goes to stderr."
+    );
+    std::process::exit(2);
+}
+
+fn arg_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1).cloned())
+}
+
+fn arg_num<T: std::str::FromStr>(argv: &[String], flag: &str, default: T) -> T {
+    match arg_value(argv, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {flag}: {v}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn load_detectors(argv: &[String]) -> TrainedDetectors {
+    if let Some(model_path) = arg_value(argv, "--model") {
+        let json = std::fs::read_to_string(&model_path).unwrap_or_else(|e| {
+            eprintln!("cannot read {model_path}: {e}");
+            std::process::exit(1);
+        });
+        return TrainedDetectors::from_json(&json).unwrap_or_else(|e| {
+            eprintln!("invalid model {model_path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    if let Some(n) = arg_value(argv, "--train-n") {
+        let n: usize = n.parse().unwrap_or_else(|_| usage());
+        let seed = arg_num(argv, "--seed", 42u64);
+        eprintln!("[jsdetect-serve] training in-process model (n={n}, seed={seed})...");
+        return jsdetect_suite::detector::train_pipeline(
+            n,
+            seed,
+            &jsdetect_suite::detector::DetectorConfig::fast(),
+        )
+        .detectors;
+    }
+    usage();
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let shutdown = jsdetect_suite::serve::signal::install();
+    let detectors = Arc::new(load_detectors(&argv));
+
+    let limits_name = arg_value(&argv, "--limits").unwrap_or_else(|| "wild".to_string());
+    let default_limits =
+        jsdetect_suite::detector::Limits::from_name(&limits_name).unwrap_or_else(|| {
+            eprintln!("unknown limits preset `{limits_name}`");
+            std::process::exit(2);
+        });
+    let cache = arg_value(&argv, "--cache-dir").map(|dir| {
+        Arc::new(AnalysisCache::open(CacheConfig::new(&dir, &default_limits)).unwrap_or_else(|e| {
+            eprintln!("cannot open cache at {dir}: {e}");
+            std::process::exit(1);
+        }))
+    });
+
+    let cfg = ServeConfig {
+        workers: arg_num(&argv, "--workers", 4usize),
+        queue_capacity: arg_num(&argv, "--queue", 64usize),
+        default_limits,
+        default_deadline_ms: arg_num(&argv, "--deadline-ms", 0u64),
+        stuck_after_ms: arg_num(&argv, "--stuck-after-ms", 10_000u64),
+        chaos: ChaosConfig {
+            panic_every: arg_num(&argv, "--chaos-panic-every", 0u64),
+            delay_every: arg_num(&argv, "--chaos-delay-every", 0u64),
+            delay_ms: arg_num(&argv, "--chaos-delay-ms", 0u64),
+            cache_fail_every: arg_num(&argv, "--chaos-cache-fail-every", 0u64),
+        },
+        ..ServeConfig::default()
+    };
+    if cfg.chaos.armed() {
+        eprintln!("[jsdetect-serve] CHAOS ARMED: {:?}", cfg.chaos);
+    }
+
+    let addr = arg_value(&argv, "--addr").unwrap_or_else(|| "127.0.0.1:7333".to_string());
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let transport = TransportConfig {
+        max_request_bytes: arg_num(&argv, "--max-request-bytes", 4 * 1024 * 1024usize),
+        ..TransportConfig::default()
+    };
+
+    let daemon = Arc::new(Daemon::start(cfg, detectors, cache));
+    eprintln!(
+        "[jsdetect-serve] listening on {} ({} workers, queue {}); SIGTERM drains",
+        listener.local_addr().map(|a| a.to_string()).unwrap_or(addr),
+        daemon.workers(),
+        daemon.queue_depth(),
+    );
+
+    match serve(Arc::clone(&daemon), listener, transport, shutdown) {
+        Ok(report) => {
+            eprintln!(
+                "[jsdetect-serve] drained: accepted={} responses={} drained={} \
+                 rejected={} quarantined={} degraded={} worker_replaced={} breaker={}",
+                report.stats.accepted,
+                report.stats.responses,
+                report.stats.drained,
+                report.stats.rejected,
+                report.stats.quarantined,
+                report.stats.degraded,
+                report.stats.worker_replaced,
+                report.breaker_state.as_str(),
+            );
+            eprintln!("[jsdetect-serve] final telemetry snapshot:");
+            eprint!("{}", report.final_telemetry_jsonl);
+            if report.stats.responses != report.stats.accepted {
+                eprintln!(
+                    "[jsdetect-serve] ERROR: response accounting mismatch ({} accepted, {} answered)",
+                    report.stats.accepted, report.stats.responses
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("[jsdetect-serve] transport error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -14,4 +14,5 @@ pub use jsdetect_ml as ml;
 pub use jsdetect_normalize as normalize;
 pub use jsdetect_obs as obs;
 pub use jsdetect_parser as parser;
+pub use jsdetect_serve as serve;
 pub use jsdetect_transform as transform;
