@@ -75,11 +75,18 @@ pub enum NodeKind {
     ObjectPattern,
     AssignmentPattern,
     RestElement,
+    // Modules and ES2020+ (appended to keep earlier ids stable)
+    ImportDeclaration,
+    ExportNamedDeclaration,
+    ExportDefaultDeclaration,
+    ExportAllDeclaration,
+    ImportExpression,
+    PrivateIdentifier,
 }
 
 impl NodeKind {
     /// Total number of distinct node kinds.
-    pub const COUNT: usize = 59;
+    pub const COUNT: usize = 65;
 
     /// All node kinds, in a fixed canonical order.
     pub const ALL: [NodeKind; Self::COUNT] = {
@@ -144,6 +151,12 @@ impl NodeKind {
             ObjectPattern,
             AssignmentPattern,
             RestElement,
+            ImportDeclaration,
+            ExportNamedDeclaration,
+            ExportDefaultDeclaration,
+            ExportAllDeclaration,
+            ImportExpression,
+            PrivateIdentifier,
         ]
     };
 
@@ -210,6 +223,12 @@ impl NodeKind {
             ObjectPattern => "ObjectPattern",
             AssignmentPattern => "AssignmentPattern",
             RestElement => "RestElement",
+            ImportDeclaration => "ImportDeclaration",
+            ExportNamedDeclaration => "ExportNamedDeclaration",
+            ExportDefaultDeclaration => "ExportDefaultDeclaration",
+            ExportAllDeclaration => "ExportAllDeclaration",
+            ImportExpression => "ImportExpression",
+            PrivateIdentifier => "PrivateIdentifier",
         }
     }
 
@@ -245,6 +264,10 @@ impl NodeKind {
                 | EmptyStatement
                 | DebuggerStatement
                 | WithStatement
+                | ImportDeclaration
+                | ExportNamedDeclaration
+                | ExportDefaultDeclaration
+                | ExportAllDeclaration
         )
     }
 
@@ -368,6 +391,12 @@ mod tests {
             ObjectPattern,
             AssignmentPattern,
             RestElement,
+            ImportDeclaration,
+            ExportNamedDeclaration,
+            ExportDefaultDeclaration,
+            ExportAllDeclaration,
+            ImportExpression,
+            PrivateIdentifier,
         ]
     }
 
@@ -430,7 +459,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for k in all_kinds() {
             assert!(seen.insert(k.id()));
-            assert!((k.id() as usize) < 64);
+            assert!((k.id() as usize) < 128);
         }
     }
 }

@@ -46,9 +46,10 @@ pub mod visit_mut;
 pub use atom::{global as global_interner, Atom, Interner, InternerStats, INTERNER_EXHAUSTED_MSG};
 pub use kind::NodeKind;
 pub use nodes::{
-    ArrowBody, CatchClause, Class, ClassMember, ClassMemberValue, Expr, ForInit, ForTarget,
-    Function, Ident, Lit, LitValue, MemberProp, MethodKind, ObjectPatProp, Pat, Program, PropKey,
-    PropKind, Property, Stmt, SwitchCase, TemplateElement, VarDeclarator,
+    ArrowBody, CatchClause, Class, ClassMember, ClassMemberValue, ExportSpecifier, Expr, ForInit,
+    ForTarget, Function, Ident, ImportSpecifier, Lit, LitValue, MemberProp, MethodKind,
+    ObjectPatProp, Pat, Program, PropKey, PropKind, Property, Stmt, SwitchCase, TemplateElement,
+    VarDeclarator,
 };
 pub use ops::{AssignOp, BinaryOp, LogicalOp, UnaryOp, UpdateOp, VarKind};
 pub use span::{line_col, Span};

@@ -19,6 +19,24 @@ pub struct Program {
     pub span: Span,
 }
 
+impl Program {
+    /// Whether this program is an ES module: true iff the top level
+    /// contains at least one `import`/`export` declaration. Computed on
+    /// demand (not serialized) so synthesized and transformed programs
+    /// never carry a stale flag.
+    pub fn module_goal(&self) -> bool {
+        self.body.iter().any(|s| {
+            matches!(
+                s,
+                Stmt::Import { .. }
+                    | Stmt::ExportNamed { .. }
+                    | Stmt::ExportDefault { .. }
+                    | Stmt::ExportAll { .. }
+            )
+        })
+    }
+}
+
 /// An identifier (ESTree `Identifier`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Ident {
@@ -42,6 +60,9 @@ pub enum LitValue {
     Str(Atom),
     /// Numeric literal.
     Num(f64),
+    /// BigInt literal: raw digit text (radix prefix kept, `n` suffix
+    /// stripped), interned so printing round-trips exactly.
+    BigInt(Atom),
     /// Boolean literal.
     Bool(bool),
     /// The `null` literal.
@@ -150,6 +171,9 @@ pub enum PropKey {
     Lit(Lit),
     /// Computed key: `{[expr]: 1}`.
     Computed(Box<Expr>),
+    /// Private name key in class bodies: `#field` (ESTree
+    /// `PrivateIdentifier`); the identifier stores the name without `#`.
+    Private(Ident),
 }
 
 impl PropKey {
@@ -163,6 +187,7 @@ impl PropKey {
                 _ => None,
             },
             PropKey::Computed(_) => None,
+            PropKey::Private(i) => Some(format!("#{}", i.name)),
         }
     }
 }
@@ -243,6 +268,9 @@ pub enum MemberProp {
     Ident(Ident),
     /// Bracket notation: `obj[expr]`.
     Computed(Box<Expr>),
+    /// Private member access: `obj.#name` (ESTree `PrivateIdentifier`
+    /// property); the identifier stores the name without `#`.
+    Private(Ident),
 }
 
 /// Class member (ESTree `MethodDefinition` / `PropertyDefinition`).
@@ -299,6 +327,55 @@ pub struct Class {
     pub span: Span,
 }
 
+/// One named binding in an `import` declaration (ESTree
+/// `ImportSpecifier` / `ImportDefaultSpecifier` / `ImportNamespaceSpecifier`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImportSpecifier {
+    /// `import { imported as local }` — `imported` is always stored
+    /// explicitly (even for shorthand) so renaming `local` cannot corrupt
+    /// the module interface; the printer re-shortens when they match.
+    Named {
+        /// External name as exported by the source module.
+        imported: Atom,
+        /// Local binding.
+        local: Ident,
+    },
+    /// `import local from "m"`.
+    Default {
+        /// Local binding.
+        local: Ident,
+    },
+    /// `import * as local from "m"`.
+    Namespace {
+        /// Local binding.
+        local: Ident,
+    },
+}
+
+impl ImportSpecifier {
+    /// The local binding introduced by this specifier.
+    pub fn local(&self) -> &Ident {
+        match self {
+            ImportSpecifier::Named { local, .. }
+            | ImportSpecifier::Default { local }
+            | ImportSpecifier::Namespace { local } => local,
+        }
+    }
+}
+
+/// One name in an `export { ... }` clause (ESTree `ExportSpecifier`).
+///
+/// `exported` is always stored explicitly (even for shorthand) so renaming
+/// `local` cannot corrupt the module interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExportSpecifier {
+    /// Local binding being exported (or the source-module name in an
+    /// `export { a } from "m"` re-export).
+    pub local: Ident,
+    /// External name visible to importers.
+    pub exported: Atom,
+}
+
 /// Expressions (ESTree expression nodes).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[allow(missing_docs)]
@@ -353,6 +430,8 @@ pub enum Expr {
     Await { arg: Box<Expr>, span: Span },
     /// `MetaProperty` such as `new.target` / `import.meta`.
     MetaProperty { meta: Ident, property: Ident, span: Span },
+    /// Dynamic import `import(specifier)` (ESTree `ImportExpression`).
+    ImportCall { arg: Box<Expr>, span: Span },
 }
 
 impl Expr {
@@ -381,7 +460,8 @@ impl Expr {
             | Spread { span, .. }
             | Yield { span, .. }
             | Await { span, .. }
-            | MetaProperty { span, .. } => *span,
+            | MetaProperty { span, .. }
+            | ImportCall { span, .. } => *span,
             Function(f) => f.span,
             Class(c) => c.span,
         }
@@ -512,6 +592,23 @@ pub enum Stmt {
     Debugger { span: Span },
     /// `WithStatement`
     With { object: Expr, body: Box<Stmt>, span: Span },
+    /// `ImportDeclaration`: `import d, { a as b } from "m"`; a bare
+    /// `import "m"` has an empty specifier list.
+    Import { specifiers: Vec<ImportSpecifier>, source: Lit, span: Span },
+    /// `ExportNamedDeclaration`: `export { a as b }` (optionally
+    /// `from "m"`) or `export <decl>` (decl present, specifiers empty).
+    ExportNamed {
+        decl: Option<Box<Stmt>>,
+        specifiers: Vec<ExportSpecifier>,
+        source: Option<Lit>,
+        span: Span,
+    },
+    /// `ExportDefaultDeclaration`: `export default <expr>` (function and
+    /// class declarations ride as `Expr::Function` / `Expr::Class`).
+    ExportDefault { expr: Expr, span: Span },
+    /// `ExportAllDeclaration`: `export * from "m"` /
+    /// `export * as ns from "m"`.
+    ExportAll { exported: Option<Ident>, source: Lit, span: Span },
 }
 
 impl Stmt {
@@ -537,7 +634,11 @@ impl Stmt {
             | Labeled { span, .. }
             | Empty { span }
             | Debugger { span }
-            | With { span, .. } => *span,
+            | With { span, .. }
+            | Import { span, .. }
+            | ExportNamed { span, .. }
+            | ExportDefault { span, .. }
+            | ExportAll { span, .. } => *span,
             FunctionDecl(f) => f.span,
             ClassDecl(c) => c.span,
         }

@@ -25,6 +25,8 @@ pub enum NodeRef<'a> {
     TemplateElement(&'a TemplateElement),
     ClassBody(&'a [ClassMember]),
     ClassMember(&'a ClassMember),
+    /// A `#name` private identifier (class-member key or member access).
+    PrivateName(&'a Ident),
 }
 
 impl NodeRef<'_> {
@@ -47,6 +49,7 @@ impl NodeRef<'_> {
                 MethodKind::Field => NodeKind::PropertyDefinition,
                 _ => NodeKind::MethodDefinition,
             },
+            NodeRef::PrivateName(_) => NodeKind::PrivateIdentifier,
         }
     }
 }
@@ -76,6 +79,10 @@ pub fn stmt_kind(s: &Stmt) -> NodeKind {
         Empty { .. } => NodeKind::EmptyStatement,
         Debugger { .. } => NodeKind::DebuggerStatement,
         With { .. } => NodeKind::WithStatement,
+        Import { .. } => NodeKind::ImportDeclaration,
+        ExportNamed { .. } => NodeKind::ExportNamedDeclaration,
+        ExportDefault { .. } => NodeKind::ExportDefaultDeclaration,
+        ExportAll { .. } => NodeKind::ExportAllDeclaration,
     }
 }
 
@@ -108,6 +115,7 @@ pub fn expr_kind(e: &Expr) -> NodeKind {
         Yield { .. } => NodeKind::YieldExpression,
         Await { .. } => NodeKind::AwaitExpression,
         MetaProperty { .. } => NodeKind::MetaProperty,
+        ImportCall { .. } => NodeKind::ImportExpression,
     }
 }
 
@@ -270,6 +278,25 @@ where
             walk_expr(object, d, f);
             walk_stmt(body, d, f);
         }
+        Stmt::Import { specifiers, .. } => {
+            for sp in specifiers {
+                walk_ident(sp.local(), d, f);
+            }
+        }
+        Stmt::ExportNamed { decl, specifiers, .. } => {
+            if let Some(decl) = decl {
+                walk_stmt(decl, d, f);
+            }
+            for sp in specifiers {
+                walk_ident(&sp.local, d, f);
+            }
+        }
+        Stmt::ExportDefault { expr, .. } => walk_expr(expr, d, f),
+        Stmt::ExportAll { exported, .. } => {
+            if let Some(ns) = exported {
+                walk_ident(ns, d, f);
+            }
+        }
     }
 }
 
@@ -377,6 +404,7 @@ where
                     // from property names.
                 }
                 MemberProp::Computed(e) => walk_expr(e, d, f),
+                MemberProp::Private(p) => f(NodeRef::PrivateName(p), d),
             }
         }
         Expr::Sequence { exprs, .. } => {
@@ -390,6 +418,7 @@ where
             }
         }
         Expr::MetaProperty { .. } => {}
+        Expr::ImportCall { arg, .. } => walk_expr(arg, d, f),
     }
 }
 
@@ -397,8 +426,10 @@ fn walk_prop_key<'a, F>(k: &'a PropKey, depth: usize, f: &mut F)
 where
     F: FnMut(NodeRef<'a>, usize),
 {
-    if let PropKey::Computed(e) = k {
-        walk_expr(e, depth, f);
+    match k {
+        PropKey::Computed(e) => walk_expr(e, depth, f),
+        PropKey::Private(p) => f(NodeRef::PrivateName(p), depth),
+        PropKey::Ident(_) | PropKey::Lit(_) => {}
     }
 }
 

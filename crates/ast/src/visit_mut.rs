@@ -145,6 +145,16 @@ pub fn walk_stmt_mut<V: MutVisitor>(v: &mut V, s: &mut Stmt) {
             v.visit_expr_mut(object);
             v.visit_stmt_mut(body);
         }
+        // Import/export specifiers are module-interface names, not local
+        // expressions; only nested declarations and default expressions
+        // recurse.
+        Stmt::Import { .. } | Stmt::ExportAll { .. } => {}
+        Stmt::ExportNamed { decl, .. } => {
+            if let Some(decl) = decl {
+                v.visit_stmt_mut(decl);
+            }
+        }
+        Stmt::ExportDefault { expr, .. } => v.visit_expr_mut(expr),
     }
 }
 
@@ -237,6 +247,7 @@ pub fn walk_expr_mut<V: MutVisitor>(v: &mut V, e: &mut Expr) {
                 v.visit_expr_mut(a);
             }
         }
+        Expr::ImportCall { arg, .. } => v.visit_expr_mut(arg),
     }
 }
 

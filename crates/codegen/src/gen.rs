@@ -93,7 +93,7 @@ fn expr_prec(e: &Expr) -> u8 {
             }
         }
         Expr::New { args, .. } if args.is_empty() => PREC_NEW_NO_ARGS,
-        Expr::Call { .. } => PREC_CALL,
+        Expr::Call { .. } | Expr::ImportCall { .. } => PREC_CALL,
         Expr::Member { .. } | Expr::TaggedTemplate { .. } | Expr::New { .. } => PREC_MEMBER,
         _ => PREC_PRIMARY,
     }
@@ -419,6 +419,135 @@ impl Gen {
                 self.nested(body);
                 self.w.newline();
             }
+            Stmt::Import { specifiers, source, .. } => {
+                self.w.token("import");
+                if !specifiers.is_empty() {
+                    self.w.space();
+                    self.import_specifiers(specifiers);
+                    self.w.space();
+                    self.w.token("from");
+                }
+                self.w.space();
+                self.lit(source);
+                self.w.token(";");
+                self.w.newline();
+            }
+            Stmt::ExportNamed { decl, specifiers, source, .. } => {
+                self.w.token("export");
+                if let Some(decl) = decl {
+                    // The declaration prints its own terminator/newline.
+                    self.stmt(decl);
+                } else {
+                    self.w.space();
+                    self.w.token("{");
+                    for (i, sp) in specifiers.iter().enumerate() {
+                        if i > 0 {
+                            self.w.token(",");
+                            self.w.space();
+                        }
+                        self.w.token(&sp.local.name);
+                        if sp.exported != sp.local.name {
+                            self.w.space();
+                            self.w.token("as");
+                            self.w.token(sp.exported.as_str());
+                        }
+                    }
+                    self.w.token("}");
+                    if let Some(src) = source {
+                        self.w.space();
+                        self.w.token("from");
+                        self.w.space();
+                        self.lit(src);
+                    }
+                    self.w.token(";");
+                    self.w.newline();
+                }
+            }
+            Stmt::ExportDefault { expr, .. } => {
+                self.w.token("export");
+                self.w.token("default");
+                self.w.space();
+                self.expr(expr, PREC_ASSIGN);
+                // Function/class forms are declarations: a trailing `;`
+                // would reparse as an extra EmptyStatement.
+                if !matches!(expr, Expr::Function(_) | Expr::Class(_)) {
+                    self.w.token(";");
+                }
+                self.w.newline();
+            }
+            Stmt::ExportAll { exported, source, .. } => {
+                self.w.token("export");
+                self.w.space();
+                self.w.token("*");
+                if let Some(ns) = exported {
+                    self.w.space();
+                    self.w.token("as");
+                    self.w.token(&ns.name);
+                }
+                self.w.space();
+                self.w.token("from");
+                self.w.space();
+                self.lit(source);
+                self.w.token(";");
+                self.w.newline();
+            }
+        }
+    }
+
+    /// Prints an import clause in canonical order: default, namespace,
+    /// then the named group.
+    fn import_specifiers(&mut self, specifiers: &[ImportSpecifier]) {
+        let mut first = true;
+        for sp in specifiers {
+            if let ImportSpecifier::Default { local } = sp {
+                if !first {
+                    self.w.token(",");
+                    self.w.space();
+                }
+                self.w.token(&local.name);
+                first = false;
+            }
+        }
+        for sp in specifiers {
+            if let ImportSpecifier::Namespace { local } = sp {
+                if !first {
+                    self.w.token(",");
+                    self.w.space();
+                }
+                self.w.token("*");
+                self.w.space();
+                self.w.token("as");
+                self.w.token(&local.name);
+                first = false;
+            }
+        }
+        let named: Vec<_> = specifiers
+            .iter()
+            .filter_map(|sp| match sp {
+                ImportSpecifier::Named { imported, local } => Some((*imported, local)),
+                _ => None,
+            })
+            .collect();
+        if !named.is_empty() {
+            if !first {
+                self.w.token(",");
+                self.w.space();
+            }
+            self.w.token("{");
+            for (i, (imported, local)) in named.iter().enumerate() {
+                if i > 0 {
+                    self.w.token(",");
+                    self.w.space();
+                }
+                if *imported == local.name {
+                    self.w.token(&local.name);
+                } else {
+                    self.w.token(imported.as_str());
+                    self.w.token("as");
+                    self.w.token(&local.name);
+                }
+            }
+            self.w.token("}");
         }
     }
 
@@ -589,6 +718,7 @@ impl Gen {
                 PropKey::Computed(e) => self.expr(e, PREC_ASSIGN),
                 PropKey::Ident(i) => self.w.token(&i.name),
                 PropKey::Lit(l) => self.lit(l),
+                PropKey::Private(p) => self.private_name(p),
             }
             self.w.token("]");
             return;
@@ -601,7 +731,12 @@ impl Gen {
                 self.expr(e, PREC_ASSIGN);
                 self.w.token("]");
             }
+            PropKey::Private(p) => self.private_name(p),
         }
+    }
+
+    fn private_name(&mut self, p: &Ident) {
+        self.w.token(&format!("#{}", p.name));
     }
 
     // ---- patterns -----------------------------------------------------------
@@ -860,6 +995,10 @@ impl Gen {
                         self.expr(p, PREC_SEQ);
                         self.w.token("]");
                     }
+                    MemberProp::Private(p) => {
+                        self.w.token(if *optional { "?." } else { "." });
+                        self.private_name(p);
+                    }
                 }
             }
             Expr::Sequence { exprs, .. } => {
@@ -893,6 +1032,12 @@ impl Gen {
                 self.w.token(&meta.name);
                 self.w.token(".");
                 self.w.token(&property.name);
+            }
+            Expr::ImportCall { arg, .. } => {
+                self.w.token("import");
+                self.w.token("(");
+                self.expr(arg, PREC_ASSIGN);
+                self.w.token(")");
             }
         }
     }
@@ -983,6 +1128,7 @@ impl Gen {
                 self.w.token(&escaped);
             }
             LitValue::Num(n) => self.w.token(&format_number(*n)),
+            LitValue::BigInt(d) => self.w.token(&format!("{}n", d)),
             LitValue::Bool(b) => self.w.token(if *b { "true" } else { "false" }),
             LitValue::Null => self.w.token("null"),
             LitValue::Regex { pattern, flags } => {

@@ -30,6 +30,9 @@ impl Writer {
     fn needs_space(last: char, next: char) -> bool {
         let ident_ish = |c: char| c.is_alphanumeric() || c == '_' || c == '$';
         (ident_ish(last) && ident_ish(next))
+            // `static #x` — a `#` after an identifier is a private name
+            // following a modifier keyword.
+            || (ident_ish(last) && next == '#')
             || (last == '+' && next == '+')
             || (last == '-' && next == '-')
             || (last == '/' && next == '/')

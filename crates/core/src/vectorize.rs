@@ -100,6 +100,7 @@ pub fn analyze_many_guarded(srcs: &[&str], config: &AnalysisConfig) -> Vec<Guard
             Ok(g) => g,
             Err(e) => {
                 jsdetect_obs::counter_add(e.counter_name(), 1);
+                jsdetect_obs::counter_add(names::CTR_GUARD_REJECTED, 1);
                 GuardedScript { analysis: None, outcome: OutcomeKind::Rejected, error: Some(e) }
             }
         },

@@ -142,6 +142,43 @@ pub fn chaos_corpus() -> Vec<ChaosCase> {
         s
     });
 
+    // --- module-flavored chaos -------------------------------------------
+    // Import clause with tens of thousands of named specifiers: legal,
+    // flat (no recursion), must survive within resource budgets.
+    case("import_specifier_flood", {
+        let mut s = String::from("import { ");
+        for i in 0..30_000u32 {
+            s.push_str(&format!("n{} as a{}, ", i, i));
+        }
+        s.push_str("last } from 'm';\nconsole.log(last);");
+        s
+    });
+    // A bundler-shaped wall of re-exports: one `export *` per line.
+    case("export_star_chain", {
+        let mut s = String::new();
+        for i in 0..40_000u32 {
+            s.push_str(&format!("export * from 'mod{}';\n", i));
+        }
+        s
+    });
+    // Class body flooded with private fields and methods — stresses the
+    // `#name` lexing path and class-body parsing, flat again.
+    case("private_member_flood", {
+        let mut s = String::from("class C {\n");
+        for i in 0..25_000u32 {
+            s.push_str(&format!("  #f{} = {};\n  m{}() {{ return this.#f{}; }}\n", i, i, i, i));
+        }
+        s.push_str("}\nnew C();");
+        s
+    });
+    // Dynamic import call chain: import(...) nested in its own argument.
+    case("dynamic_import_bomb", {
+        let depth = 20_000;
+        format!("x = {}'m'{};", "import(".repeat(depth), ")".repeat(depth))
+    });
+    // Hostile module soup: truncated import clause at EOF.
+    case("truncated_import_clause", "import { a, b, c".to_string());
+
     // --- degenerate small inputs -----------------------------------------
     case("empty_file", String::new());
     case("whitespace_only", " \t\n\r  \u{00A0}\u{2003} ".to_string());

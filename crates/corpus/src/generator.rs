@@ -72,6 +72,116 @@ impl RegularJsGenerator {
         }
     }
 
+    /// Generates one ES-module-flavoured program: import declarations up
+    /// top, a regular script body, export declarations at the bottom, with
+    /// occasional `import()` / `import.meta` / BigInt / private-member
+    /// usage. A separate entry point from [`RegularJsGenerator::generate`]
+    /// so the calibrated RNG streams of the default styles stay
+    /// byte-identical.
+    pub fn generate_module(&mut self) -> String {
+        loop {
+            let mut names = Vec::new();
+            let mut header = String::new();
+            let n_imports = self.rng.gen_range(1..4usize);
+            for i in 0..n_imports {
+                let module = format!("./{}.js", self.pick(NOUNS));
+                match self.rng.gen_range(0..4u8) {
+                    0 => {
+                        let d = format!("{}{}", self.var_name(), i);
+                        header.push_str(&format!("import {} from \"{}\";\n", d, module));
+                        names.push(d);
+                    }
+                    1 => {
+                        let ns = format!("{}{}", self.var_name(), i);
+                        header.push_str(&format!("import * as {} from \"{}\";\n", ns, module));
+                        names.push(ns);
+                    }
+                    2 => {
+                        let n_spec = self.rng.gen_range(1..4usize);
+                        let mut specs = Vec::new();
+                        for s in 0..n_spec {
+                            let ext = self.pick(PROPS);
+                            if self.rng.gen_bool(0.4) {
+                                let local = format!("{}{}{}", self.var_name(), i, s);
+                                specs.push(format!("{} as {}", ext, local));
+                                names.push(local);
+                            } else {
+                                specs.push(ext.to_string());
+                                names.push(ext.to_string());
+                            }
+                        }
+                        header.push_str(&format!(
+                            "import {{ {} }} from \"{}\";\n",
+                            specs.join(", "),
+                            module
+                        ));
+                    }
+                    _ => header.push_str(&format!("import \"{}\";\n", module)),
+                }
+            }
+            if self.rng.gen_bool(0.35) {
+                header.push_str("const baseUrl = import.meta.url;\n");
+                names.push("baseUrl".to_string());
+            }
+
+            let mut body = Vec::new();
+            let n = self.rng.gen_range(2..6usize);
+            for _ in 0..n {
+                if self.rng.gen_bool(0.5) {
+                    body.push(self.function_decl(0, &mut names));
+                } else {
+                    body.push(self.statement(0, &mut names));
+                }
+            }
+            let src = to_source(&program(body));
+
+            let mut footer = String::new();
+            if self.rng.gen_bool(0.4) {
+                let cname = capitalize(self.pick(NOUNS));
+                footer.push_str(&format!(
+                    "export class {}Counter {{\n  #count = 0n;\n  bump() {{\n    this.#count += 1n;\n    return this.#count;\n  }}\n}}\n",
+                    cname
+                ));
+            }
+            if self.rng.gen_bool(0.35) {
+                footer.push_str(&format!(
+                    "export function load{}() {{\n  return import(\"./{}.js\");\n}}\n",
+                    capitalize(self.pick(NOUNS)),
+                    self.pick(NOUNS)
+                ));
+            }
+            if !names.is_empty() {
+                let k = self.rng.gen_range(1..=names.len().min(3));
+                let mut picked = Vec::new();
+                for _ in 0..k {
+                    let name = names[self.rng.gen_range(0..names.len())].clone();
+                    if !picked.contains(&name) {
+                        picked.push(name);
+                    }
+                }
+                footer.push_str(&format!("export {{ {} }};\n", picked.join(", ")));
+            }
+            if self.rng.gen_bool(0.3) {
+                footer.push_str(&format!("export * from \"./{}.js\";\n", self.pick(NOUNS)));
+            }
+            if self.rng.gen_bool(0.4) {
+                footer.push_str(&format!(
+                    "export default {};\n",
+                    names.last().cloned().unwrap_or_else(|| "null".to_string())
+                ));
+            }
+
+            let mut full = format!("{}{}{}", header, src, footer);
+            self.inject_comments(&mut full);
+            if full.len() >= self.opts.min_bytes {
+                if full.len() > self.opts.max_bytes {
+                    continue;
+                }
+                return full;
+            }
+        }
+    }
+
     // ---- naming ------------------------------------------------------------
 
     fn pick<'a>(&mut self, pool: &[&'a str]) -> &'a str {
@@ -498,6 +608,13 @@ pub fn regular_corpus(n: usize, seed: u64) -> Vec<String> {
     (0..n).map(|i| RegularJsGenerator::new(seed.wrapping_add(i as u64)).generate()).collect()
 }
 
+/// Generates `n` ES-module-flavoured scripts with seeds derived from
+/// `seed`. Separate from [`regular_corpus`] so existing calibrated streams
+/// are untouched.
+pub fn module_corpus(n: usize, seed: u64) -> Vec<String> {
+    (0..n).map(|i| RegularJsGenerator::new(seed.wrapping_add(i as u64)).generate_module()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,12 +654,43 @@ mod tests {
     #[test]
     fn passes_paper_prefilter() {
         // Paper: at least a conditional node, function node, or call node.
-        use jsdetect_ast::{kind_stream, NodeKind};
+        use jsdetect_ast::kind_stream;
         for seed in 0..20 {
             let src = RegularJsGenerator::new(seed).generate();
             let ks = kind_stream(&parse(&src).unwrap());
             let ok = ks.iter().any(|k| k.is_conditional() || k.is_function() || k.is_call());
             assert!(ok, "seed {} fails prefilter", seed);
+        }
+    }
+
+    #[test]
+    fn generated_modules_parse_with_module_goal() {
+        for seed in 0..30 {
+            let src = RegularJsGenerator::new(seed).generate_module();
+            let prog = parse(&src)
+                .unwrap_or_else(|e| panic!("seed {} unparseable ({:?}):\n{}", seed, e, src));
+            assert!(prog.module_goal(), "seed {} produced a non-module:\n{}", seed, src);
+        }
+    }
+
+    #[test]
+    fn generated_modules_deterministic_and_distinct() {
+        let a = RegularJsGenerator::new(7).generate_module();
+        let b = RegularJsGenerator::new(7).generate_module();
+        assert_eq!(a, b);
+        let c = RegularJsGenerator::new(8).generate_module();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn default_styles_stay_module_free() {
+        // Calibration guard: module syntax lives behind the separate
+        // generate_module() entry point; the default styles (and thus the
+        // calibrated population streams built on them) never emit it.
+        for seed in 0..20 {
+            let src = RegularJsGenerator::new(seed).generate();
+            let prog = parse(&src).unwrap();
+            assert!(!prog.module_goal(), "seed {} default style emitted module syntax", seed);
         }
     }
 

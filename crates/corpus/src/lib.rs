@@ -26,8 +26,8 @@ pub use dataset::{
     implied_labels, mixed_set, packer_set, random_combo, transform_sample, GroundTruth,
     LabeledSample,
 };
-pub use generator::{regular_corpus, GenOptions, RegularJsGenerator};
+pub use generator::{module_corpus, regular_corpus, GenOptions, RegularJsGenerator};
 pub use wild::{
-    alexa_population, malware_population, npm_population, MalwareSource, PopulationModel,
-    WildScript, N_MONTHS,
+    alexa_population, malware_population, module_population, npm_population, MalwareSource,
+    PopulationModel, WildScript, N_MONTHS,
 };

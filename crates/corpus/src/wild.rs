@@ -412,6 +412,37 @@ fn lightly_randomize_names(src: &str, seed: u64) -> Option<String> {
     Some(jsdetect_codegen::to_source(&prog))
 }
 
+// ---- modules ------------------------------------------------------------------
+
+/// A module-flavoured wild population: modern ES-module bundles of the kind
+/// CDNs ship as `<script type="module">` / `.mjs`. Kept out of the
+/// calibrated populations above so their RNG streams stay byte-identical;
+/// this population backs the syntax-conformance gate (the guarded pipeline
+/// must analyze module-bearing scripts with a degraded rate of zero).
+pub fn module_population(n: usize, seed: u64) -> Vec<WildScript> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xe50d);
+    let mut out = Vec::new();
+    for i in 0..n {
+        let sseed = seed.wrapping_add((i as u64) << 16).wrapping_add(1);
+        let base = RegularJsGenerator::new(sseed).generate_module();
+        // Module bundles ship minified like any other wild script; the
+        // import/export surface survives minification.
+        if rng.gen_bool(0.35) {
+            let technique = if rng.gen_bool(0.5) {
+                Technique::MinificationSimple
+            } else {
+                Technique::MinificationAdvanced
+            };
+            if let Ok(src) = apply(&base, &[technique], sseed ^ 0x5eed) {
+                out.push(WildScript { src, container: i, truth: vec![technique] });
+                continue;
+            }
+        }
+        out.push(WildScript { src: base, container: i, truth: Vec::new() });
+    }
+    out
+}
+
 // ---- shared -------------------------------------------------------------------
 
 fn make_script(
@@ -544,6 +575,29 @@ mod tests {
         {
             assert!(jsdetect_parser::parse(&s.src).is_ok());
         }
+    }
+
+    #[test]
+    fn module_population_parses_as_modules() {
+        let pop = module_population(20, 11);
+        assert_eq!(pop.len(), 20);
+        let mut minified = 0usize;
+        for s in &pop {
+            let prog = jsdetect_parser::parse(&s.src)
+                .unwrap_or_else(|e| panic!("unparseable module script ({:?}):\n{}", e, s.src));
+            assert!(prog.module_goal(), "script lost its module goal:\n{}", s.src);
+            if s.is_transformed() {
+                minified += 1;
+            }
+        }
+        assert!(minified >= 2, "expected some minified module bundles, got {}", minified);
+    }
+
+    #[test]
+    fn module_population_deterministic() {
+        let a = module_population(8, 77);
+        let b = module_population(8, 77);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.src == y.src && x.truth == y.truth));
     }
 
     #[test]

@@ -103,6 +103,25 @@ struct NormalizeBench {
     n_ok: usize,
 }
 
+/// Syntax-coverage provenance: the guarded wild-preset pipeline over a
+/// module-flavoured population (ES-module bundles with import/export
+/// declarations, dynamic `import()`, `import.meta`, BigInt literals and
+/// private class members). The conformance gate requires `degraded_rate`
+/// to be exactly zero — a degraded module-bearing script means the
+/// front-end lost syntax coverage.
+#[derive(Serialize, Deserialize, Clone)]
+struct SyntaxBench {
+    n_scripts: usize,
+    /// Scripts whose parse carries the module goal (import/export
+    /// declarations present) — expected to equal `n_scripts`.
+    n_module_goal: usize,
+    n_ok: usize,
+    n_degraded: usize,
+    n_rejected: usize,
+    /// `n_degraded / n_scripts`; gated at 0 in CI.
+    degraded_rate: f64,
+}
+
 /// Front-end tokenization throughput: the zero-copy byte-level scanner
 /// against the preserved char-level reference lexer, over a realistic
 /// mixed corpus (regular scripts plus one variant per transformation
@@ -164,6 +183,7 @@ struct BenchEntry {
     cache: Option<CacheBench>,
     normalize: Option<NormalizeBench>,
     lex: Option<LexBench>,
+    syntax: Option<SyntaxBench>,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -484,6 +504,28 @@ fn main() {
         }
     }));
 
+    // Syntax coverage: a module-flavoured wild population through the
+    // guarded wild-preset pipeline. Any degraded module script means the
+    // front-end lost ES-module coverage; CI gates the rate at zero.
+    let module_pop = jsdetect_corpus::module_population(if smoke { 12 } else { 60 }, seed);
+    let module_refs: Vec<&str> = module_pop.iter().map(|s| s.src.as_str()).collect();
+    let module_results = jsdetect::analyze_many_guarded(&module_refs, &AnalysisConfig::wild());
+    let n_module_goal = module_pop
+        .iter()
+        .filter(|s| jsdetect_parser::parse(&s.src).map(|p| p.module_goal()).unwrap_or(false))
+        .count();
+    let count_outcome =
+        |k: jsdetect::OutcomeKind| module_results.iter().filter(|r| r.outcome == k).count();
+    let syntax_bench = SyntaxBench {
+        n_scripts: module_pop.len(),
+        n_module_goal,
+        n_ok: count_outcome(jsdetect::OutcomeKind::Ok),
+        n_degraded: count_outcome(jsdetect::OutcomeKind::Degraded),
+        n_rejected: count_outcome(jsdetect::OutcomeKind::Rejected),
+        degraded_rate: count_outcome(jsdetect::OutcomeKind::Degraded) as f64
+            / module_pop.len().max(1) as f64,
+    };
+
     // One extra instrumented pass decomposes the analysis wall time into
     // per-stage spans (the timed stage above ran with telemetry off).
     let telemetry = capture_telemetry(&refs);
@@ -537,6 +579,7 @@ fn main() {
         cache: Some(cache_bench),
         normalize: Some(normalize_bench),
         lex: Some(lex_bench),
+        syntax: Some(syntax_bench),
     };
     println!(
         "\n  fit speedup    {:.2}x (row-major → columnar)\n  predict speedup {:.2}x (serial → batch)",
@@ -569,6 +612,12 @@ fn main() {
             l.reference_ms,
             l.lex_ms,
             l.bytes_total as f64 / 1e6
+        );
+    }
+    if let Some(s) = &entry.syntax {
+        println!(
+            "  module syntax  {} scripts ({} module-goal): {} ok, {} degraded, {} rejected (degraded rate {:.4})",
+            s.n_scripts, s.n_module_goal, s.n_ok, s.n_degraded, s.n_rejected, s.degraded_rate
         );
     }
     if let Some(t) = &entry.telemetry {

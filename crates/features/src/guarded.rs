@@ -36,6 +36,7 @@ impl GuardedScript {
 
     fn degraded(analysis: ScriptAnalysis, error: AnalysisError) -> GuardedScript {
         jsdetect_obs::counter_add(error.counter_name(), 1);
+        jsdetect_obs::counter_add(names::CTR_GUARD_DEGRADED, 1);
         GuardedScript {
             analysis: Some(analysis),
             outcome: OutcomeKind::Degraded,
@@ -45,6 +46,7 @@ impl GuardedScript {
 
     fn rejected(error: AnalysisError) -> GuardedScript {
         jsdetect_obs::counter_add(error.counter_name(), 1);
+        jsdetect_obs::counter_add(names::CTR_GUARD_REJECTED, 1);
         GuardedScript { analysis: None, outcome: OutcomeKind::Rejected, error: Some(error) }
     }
 }

@@ -357,7 +357,7 @@ impl Walked {
                         self.packed_regex = true;
                     }
                 }
-                LitValue::Num(_) => self.number_count += 1,
+                LitValue::Num(_) | LitValue::BigInt(_) => self.number_count += 1,
                 LitValue::Regex { pattern, .. } if is_packed_regex_source(pattern) => {
                     self.packed_regex = true;
                 }

@@ -305,6 +305,18 @@ fn stmt_edges(s: &Stmt, cf: &mut ControlFlow) {
         }
         Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Empty { .. } | Stmt::Debugger { .. } => {
         }
+        // Module declarations: imports and re-exports carry no local flow;
+        // an exported declaration or default expression flows like the
+        // underlying statement/expression.
+        Stmt::Import { .. } | Stmt::ExportAll { .. } => {}
+        Stmt::ExportNamed { decl, .. } => {
+            if let Some(decl) = decl {
+                register_body(decl, cf);
+                cf.edges.push(CfEdge { from: me, to: node_of(decl), kind: CfEdgeKind::Seq });
+                stmt_edges(decl, cf);
+            }
+        }
+        Stmt::ExportDefault { expr, .. } => expr_edges(expr, me, cf),
     }
 }
 

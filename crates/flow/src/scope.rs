@@ -316,6 +316,7 @@ impl Builder {
                     self.hoist_stmts(fin, fn_scope, fn_scope);
                 }
             }
+            Stmt::ExportNamed { decl: Some(d), .. } => self.hoist_stmt(d, fn_scope),
             _ => {}
         }
     }
@@ -494,6 +495,23 @@ impl Builder {
             | Stmt::Continue { .. }
             | Stmt::Empty { .. }
             | Stmt::Debugger { .. } => {}
+            // Import bindings were declared in the lexical pre-pass (module
+            // bindings hoist like `const`); nothing to walk here.
+            Stmt::Import { .. } => {}
+            Stmt::ExportNamed { decl, specifiers, source, .. } => {
+                if let Some(decl) = decl {
+                    self.stmt(decl, scope, fn_scope);
+                }
+                // `export { a }` reads local bindings; `export { a } from`
+                // re-exports without touching local scope.
+                if source.is_none() {
+                    for sp in specifiers {
+                        self.reference(scope, sp.local.name, sp.local.span, RefKind::Read);
+                    }
+                }
+            }
+            Stmt::ExportDefault { expr, .. } => self.expr(expr, scope),
+            Stmt::ExportAll { .. } => {}
         }
     }
 
@@ -517,6 +535,16 @@ impl Builder {
                     if let Some(id) = &f.id {
                         self.declare(scope, id.name, BindingKind::Function, id.span);
                     }
+                }
+                Stmt::Import { specifiers, .. } => {
+                    // Module bindings hoist like `const` (immutable locals).
+                    for sp in specifiers {
+                        let local = sp.local();
+                        self.declare(scope, local.name, BindingKind::Const, local.span);
+                    }
+                }
+                Stmt::ExportNamed { decl: Some(d), .. } => {
+                    self.declare_lexical(std::slice::from_ref(d), scope);
                 }
                 _ => {}
             }
@@ -740,6 +768,7 @@ impl Builder {
                     self.expr(a, scope);
                 }
             }
+            Expr::ImportCall { arg, .. } => self.expr(arg, scope),
         }
     }
 }

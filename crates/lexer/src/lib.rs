@@ -119,7 +119,17 @@ mod tests {
 
     #[test]
     fn numeric_separators_and_bigint() {
-        assert_eq!(nums("1_000_000 12n 0xf_fn"), vec![1_000_000.0, 12.0, 255.0]);
+        // BigInt literals are a distinct token kind carrying the raw digit
+        // text (prefix kept, `n` suffix stripped), not lossy f64 `Num`s.
+        assert_eq!(nums("1_000_000 12n 0xf_fn"), vec![1_000_000.0]);
+        let bigints: Vec<String> = kinds("1_000_000 12n 0xf_fn")
+            .into_iter()
+            .filter_map(|k| match k {
+                TokenKind::BigInt(raw) => Some(raw.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bigints, vec!["12".to_string(), "0xf_f".to_string()]);
     }
 
     #[test]

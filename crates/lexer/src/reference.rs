@@ -23,7 +23,9 @@ pub enum RefTokenKind {
     Ident(String),
     Keyword(Kw),
     Num(f64),
+    BigInt(String),
     Str(String),
+    PrivateName(String),
     Regex { pattern: String, flags: String },
     TemplateNoSub { cooked: String, raw: String },
     TemplateHead { cooked: String, raw: String },
@@ -38,7 +40,9 @@ impl RefTokenKind {
         match self {
             RefTokenKind::Ident(_)
             | RefTokenKind::Num(_)
+            | RefTokenKind::BigInt(_)
             | RefTokenKind::Str(_)
+            | RefTokenKind::PrivateName(_)
             | RefTokenKind::Regex { .. }
             | RefTokenKind::TemplateNoSub { .. }
             | RefTokenKind::TemplateTail { .. } => false,
@@ -181,6 +185,7 @@ impl<'s> RefLexer<'s> {
                     }
                 }
                 b'.' if matches!(self.peek_at(1), Some(b'0'..=b'9')) => self.lex_number()?,
+                b'#' => self.lex_private_name()?,
                 _ => self.lex_punct()?,
             },
         };
@@ -199,6 +204,26 @@ impl<'s> RefLexer<'s> {
             RefTokenKind::TemplateMiddle { cooked, raw }
         };
         Ok(RefToken { kind, span: Span::new(start, self.pos as u32), newline_before: false })
+    }
+
+    fn lex_private_name(&mut self) -> Result<RefTokenKind, LexError> {
+        let hash = self.pos;
+        self.pos += 1;
+        let starts_ident = match self.peek() {
+            Some(b'\\') => self.peek_at(1) == Some(b'u'),
+            Some(b) if b < 0x80 => b.is_ascii_alphabetic() || b == b'$' || b == b'_',
+            Some(_) => self.peek_char().is_some_and(is_ident_start_char),
+            None => false,
+        };
+        if !starts_ident {
+            self.pos = hash;
+            return Err(self.err("unexpected character `#`"));
+        }
+        match self.lex_ident()? {
+            RefTokenKind::Ident(s) => Ok(RefTokenKind::PrivateName(s)),
+            RefTokenKind::Keyword(kw) => Ok(RefTokenKind::PrivateName(kw.as_str().to_string())),
+            _ => unreachable!("lex_ident yields only Ident/Keyword"),
+        }
     }
 
     fn lex_ident(&mut self) -> Result<RefTokenKind, LexError> {
@@ -351,12 +376,10 @@ impl<'s> RefLexer<'s> {
             }
         }
         if self.peek() == Some(b'n') {
-            // BigInt suffix; value kept as f64 approximation.
+            // BigInt suffix: keep the raw digits exact.
+            let raw = self.src[start..self.pos].to_string();
             self.pos += 1;
-            let text: String =
-                self.src[start..self.pos - 1].chars().filter(|c| *c != '_').collect();
-            let v = text.parse::<f64>().map_err(|_| self.err("malformed number"))?;
-            return Ok(RefTokenKind::Num(v));
+            return Ok(RefTokenKind::BigInt(raw));
         }
         let text: String = self.src[start..self.pos].chars().filter(|c| *c != '_').collect();
         let v = text.parse::<f64>().map_err(|_| self.err("malformed number"))?;
@@ -364,6 +387,7 @@ impl<'s> RefLexer<'s> {
     }
 
     fn lex_radix_number(&mut self, radix: u32, skip: usize) -> Result<RefTokenKind, LexError> {
+        let raw_start = if skip == 0 { self.pos - 1 } else { self.pos };
         self.pos += skip;
         let mut v: f64 = 0.0;
         let mut digits = 0;
@@ -385,7 +409,9 @@ impl<'s> RefLexer<'s> {
             return Err(self.err("missing digits in number"));
         }
         if self.peek() == Some(b'n') {
+            let raw = self.src[raw_start..self.pos].to_string();
             self.pos += 1;
+            return Ok(RefTokenKind::BigInt(raw));
         }
         Ok(RefTokenKind::Num(v))
     }

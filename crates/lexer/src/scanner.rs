@@ -330,6 +330,7 @@ impl<'s> Lexer<'s> {
                     }
                 }
                 Class::Dot if matches!(self.peek_at(1), Some(b'0'..=b'9')) => self.lex_number()?,
+                Class::Other if b == b'#' => self.lex_private_name()?,
                 Class::Dot | Class::Other => self.lex_punct()?,
             },
         };
@@ -352,6 +353,30 @@ impl<'s> Lexer<'s> {
         };
         self.charge()?;
         Ok(Token { kind, span: Span::new(start, self.pos as u32), newline_before: false })
+    }
+
+    /// Lexes a `#name` private name (class fields/methods, ES2022). A `#`
+    /// not followed by an identifier keeps the historical "unexpected
+    /// character" error at the `#` position.
+    fn lex_private_name(&mut self) -> Result<TokenKind, LexError> {
+        let hash = self.pos;
+        self.pos += 1;
+        let starts_ident = match self.peek() {
+            Some(b'\\') => self.peek_at(1) == Some(b'u'),
+            Some(b) if b < 0x80 => matches!(CLASS[b as usize], Class::IdentStart),
+            Some(_) => self.peek_char().is_some_and(is_ident_start_char),
+            None => false,
+        };
+        if !starts_ident {
+            self.pos = hash;
+            return Err(self.err("unexpected character `#`"));
+        }
+        match self.lex_ident()? {
+            TokenKind::Ident(a) => Ok(TokenKind::PrivateName(a)),
+            // Keywords are valid private names (`#new`, `#if`).
+            TokenKind::Keyword(kw) => Ok(TokenKind::PrivateName(kw.atom())),
+            _ => unreachable!("lex_ident yields only Ident/Keyword"),
+        }
     }
 
     fn lex_ident(&mut self) -> Result<TokenKind, LexError> {
@@ -544,19 +569,19 @@ impl<'s> Lexer<'s> {
                 self.pos = save;
             }
         }
-        let end = if self.peek() == Some(b'n') {
-            // BigInt suffix; value kept as f64 approximation.
+        if self.peek() == Some(b'n') {
+            // BigInt suffix: keep the raw digits exact (the value does not
+            // fit f64), so printing round-trips bit-for-bit.
+            let raw = Atom::new(&self.src[start..self.pos]);
             self.pos += 1;
-            self.pos - 1
-        } else {
-            self.pos
-        };
+            return Ok(TokenKind::BigInt(raw));
+        }
         // Fast path: no numeric separators, parse straight from the slice.
         let v = if saw_sep {
-            let text: String = self.src[start..end].chars().filter(|c| *c != '_').collect();
+            let text: String = self.src[start..self.pos].chars().filter(|c| *c != '_').collect();
             text.parse::<f64>()
         } else {
-            self.src[start..end].parse::<f64>()
+            self.src[start..self.pos].parse::<f64>()
         };
         let v = v.map_err(|_| self.err("malformed number"))?;
         Ok(TokenKind::Num(v))
@@ -565,6 +590,9 @@ impl<'s> Lexer<'s> {
     /// Lexes a radix-prefixed integer; `skip` bytes of prefix are consumed
     /// first (`0x` → 2; legacy octal passes 0 with `pos` already past `0`).
     fn lex_radix_number(&mut self, radix: u32, skip: usize) -> Result<TokenKind, LexError> {
+        // The raw slice starts at the prefix (legacy octal enters with
+        // `pos` already past the leading `0`).
+        let raw_start = if skip == 0 { self.pos - 1 } else { self.pos };
         self.pos += skip;
         let mut v: f64 = 0.0;
         let mut digits = 0;
@@ -586,7 +614,10 @@ impl<'s> Lexer<'s> {
             return Err(self.err("missing digits in number"));
         }
         if self.peek() == Some(b'n') {
+            // BigInt suffix: keep the raw prefixed digits exact.
+            let raw = Atom::new(&self.src[raw_start..self.pos]);
             self.pos += 1;
+            return Ok(TokenKind::BigInt(raw));
         }
         Ok(TokenKind::Num(v))
     }

@@ -278,8 +278,13 @@ pub enum TokenKind {
     Keyword(Kw),
     /// Numeric literal (decoded value).
     Num(f64),
+    /// BigInt literal: the raw digit text (radix prefix included, `n`
+    /// suffix excluded), kept exact so printing round-trips.
+    BigInt(Atom),
     /// String literal (cooked value).
     Str(Atom),
+    /// Private name (`#field`): the identifier after the `#`.
+    PrivateName(Atom),
     /// Regular expression literal.
     Regex {
         /// Pattern between the slashes.
@@ -328,7 +333,9 @@ impl TokenKind {
         match self {
             TokenKind::Ident(_)
             | TokenKind::Num(_)
+            | TokenKind::BigInt(_)
             | TokenKind::Str(_)
+            | TokenKind::PrivateName(_)
             | TokenKind::Regex { .. }
             | TokenKind::TemplateNoSub { .. }
             | TokenKind::TemplateTail { .. } => false,
@@ -400,7 +407,9 @@ impl fmt::Display for TokenKind {
             TokenKind::Ident(s) => write!(f, "identifier `{}`", s),
             TokenKind::Keyword(k) => write!(f, "keyword `{}`", k.as_str()),
             TokenKind::Num(n) => write!(f, "number `{}`", n),
+            TokenKind::BigInt(d) => write!(f, "bigint `{}n`", d),
             TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::PrivateName(s) => write!(f, "private name `#{}`", s),
             TokenKind::Regex { .. } => write!(f, "regex literal"),
             TokenKind::TemplateNoSub { .. }
             | TokenKind::TemplateHead { .. }

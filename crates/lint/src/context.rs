@@ -274,6 +274,13 @@ impl Walk {
                 }
             }
             Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Empty { .. } => {}
+            Stmt::Import { .. } | Stmt::ExportAll { .. } => {}
+            Stmt::ExportNamed { decl, .. } => {
+                if let Some(decl) = decl {
+                    self.stmt(decl);
+                }
+            }
+            Stmt::ExportDefault { expr, .. } => self.expr(expr),
         }
     }
 
@@ -505,6 +512,7 @@ impl Walk {
                     self.expr(a);
                 }
             }
+            Expr::ImportCall { arg, .. } => self.expr(arg),
         }
     }
 
@@ -542,6 +550,8 @@ fn lit_truthy(l: &Lit) -> bool {
         LitValue::Str(s) => !s.is_empty(),
         LitValue::Null => false,
         LitValue::Regex { .. } => true,
+        // Conservative: only plain `0n` is a certainly-falsy BigInt spelling.
+        LitValue::BigInt(d) => d.as_str() != "0",
     }
 }
 
@@ -584,7 +594,7 @@ fn contains_update(e: &Expr) -> bool {
             contains_update(object)
                 || match property {
                     MemberProp::Computed(k) => contains_update(k),
-                    MemberProp::Ident(_) => false,
+                    MemberProp::Ident(_) | MemberProp::Private(_) => false,
                 }
         }
         Expr::Binary { left, right, .. } | Expr::Logical { left, right, .. } => {

@@ -51,6 +51,9 @@ fn propagatable_lit(lit: &Lit) -> bool {
     match &lit.value {
         LitValue::Str(s) => s.len() <= MAX_PROPAGATED_STR,
         LitValue::Num(_) | LitValue::Bool(_) | LitValue::Null => true,
+        // BigInt values are immutable primitives; propagating the raw text
+        // is as safe as a number.
+        LitValue::BigInt(_) => true,
         // Each regex literal evaluation is a fresh object with identity and
         // `lastIndex` state; duplicating one is observable.
         LitValue::Regex { .. } => false,
@@ -235,6 +238,7 @@ fn fold_unary(op: UnaryOp, arg: &Expr, span: Span) -> Option<Expr> {
             let name = match lit_of(arg)? {
                 LitValue::Str(_) => "string",
                 LitValue::Num(_) => "number",
+                LitValue::BigInt(_) => "bigint",
                 LitValue::Bool(_) => "boolean",
                 LitValue::Null | LitValue::Regex { .. } => "object",
             };

@@ -18,6 +18,13 @@ pub(crate) fn truthiness(e: &Expr) -> Option<bool> {
         Expr::Lit(l) => Some(match &l.value {
             LitValue::Str(s) => !s.is_empty(),
             LitValue::Num(n) => *n != 0.0 && !n.is_nan(),
+            // A BigInt is falsy iff its digits are all zero (any radix).
+            LitValue::BigInt(d) => {
+                let digits = d.as_str().trim_start_matches("0x").trim_start_matches("0X");
+                let digits = digits.trim_start_matches("0o").trim_start_matches("0O");
+                let digits = digits.trim_start_matches("0b").trim_start_matches("0B");
+                digits.bytes().any(|b| b != b'0' && b != b'_')
+            }
             LitValue::Bool(b) => *b,
             LitValue::Null => false,
             LitValue::Regex { .. } => true,

@@ -91,6 +91,13 @@ pub const CTR_FLOW_TRUNCATED_BINDINGS: &str = "flow_truncated_bindings";
 pub const CTR_LINT_FIRES: &str = "lint_fires";
 /// Scripts that fell back to lexer-only degraded analysis.
 pub const CTR_DEGRADED_FALLBACKS: &str = "degraded_fallbacks";
+/// Guarded analyses whose verdict was `Degraded` (any cause). The per-kind
+/// `guard/<kind>` counters attribute the cause; this aggregate gives the
+/// degraded *rate* directly (scripts_analyzed is the denominator) and is
+/// what the CI syntax-coverage gate reads from telemetry.
+pub const CTR_GUARD_DEGRADED: &str = "guard/degraded";
+/// Guarded analyses whose verdict was `Rejected` (any cause).
+pub const CTR_GUARD_REJECTED: &str = "guard/rejected";
 /// Scripts analyzed (any outcome).
 pub const CTR_SCRIPTS_ANALYZED: &str = "scripts_analyzed";
 /// Trees fitted during forest training.
@@ -219,6 +226,8 @@ pub const ALL_COUNTERS: &[&str] = &[
     CTR_FLOW_TRUNCATED_BINDINGS,
     CTR_LINT_FIRES,
     CTR_DEGRADED_FALLBACKS,
+    CTR_GUARD_DEGRADED,
+    CTR_GUARD_REJECTED,
     CTR_SCRIPTS_ANALYZED,
     CTR_TREES_FITTED,
     CTR_TREES_TRAVERSED,

@@ -1,11 +1,20 @@
 //! Recursive-descent parser producing the ESTree-style AST.
 //!
-//! Covers the ES2017-level subset the reproduction needs: all classic
-//! statements, functions (incl. async/generator), arrow functions, classes,
-//! template literals, destructuring, spread/rest, optional chaining, and
-//! automatic semicolon insertion. Arrow-function parameter lists are parsed
-//! with backtracking over the raw lexer, and `/` is rescanned as a regular
-//! expression whenever the parser sits at an expression-start position.
+//! Covers the ES2022-level subset the reproduction needs: all classic
+//! statements, functions (incl. async/generator), arrow functions, classes
+//! with fields and private (`#name`) members, template literals,
+//! destructuring, spread/rest, optional chaining (`?.`), nullish
+//! coalescing (`??`), logical assignment (`&&=`/`||=`/`??=`), BigInt
+//! literals, ES modules (`import`/`export` declarations, dynamic
+//! `import()`, `import.meta`), and automatic semicolon insertion.
+//!
+//! Module declarations are accepted at any statement position rather than
+//! only at a module-goal top level — wild scripts mix goals freely, and the
+//! detector must not reject them. [`Program::module_goal`] reports whether
+//! a parse actually contained module syntax. Arrow-function parameter
+//! lists are parsed with backtracking over the raw lexer, and `/` is
+//! rescanned as a regular expression whenever the parser sits at an
+//! expression-start position.
 
 use crate::error::ParseError;
 use jsdetect_ast::*;
@@ -334,6 +343,28 @@ impl<'s> Parser<'s> {
                         let mut f = self.parse_function(false)?;
                         f.is_async = true;
                         return Ok(Stmt::FunctionDecl(f));
+                    }
+                } else if name == "import" {
+                    // Declaration unless it is the expression form
+                    // `import(...)` or `import.meta`, which fall through
+                    // to the expression-statement path.
+                    let next = self.peek()?;
+                    if !next.is_punct(Punct::LParen) && !next.is_punct(Punct::Dot) {
+                        return self.parse_import_decl();
+                    }
+                } else if name == "export" {
+                    let next = self.peek()?;
+                    let starts_export = next.is_punct(Punct::LBrace)
+                        || next.is_punct(Punct::Star)
+                        || matches!(
+                            &next.kind,
+                            TokenKind::Keyword(
+                                Kw::Var | Kw::Const | Kw::Function | Kw::Class | Kw::Default
+                            )
+                        )
+                        || matches!(next.ident_name(), Some("let" | "async"));
+                    if starts_export {
+                        return self.parse_export_decl();
                     }
                 }
                 // Label: `ident :`
@@ -720,6 +751,210 @@ impl<'s> Parser<'s> {
         Ok(Stmt::Expr { expr, span: Span::new(start, end) })
     }
 
+    // ---- modules ---------------------------------------------------------
+
+    /// Parses an `import` declaration. The caller has already ruled out the
+    /// expression forms (`import(...)`, `import.meta`) by lookahead.
+    fn parse_import_decl(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.cur.span.start;
+        self.advance()?; // import
+                         // Bare side-effect import: `import "mod";`
+        if matches!(self.cur.kind, TokenKind::Str(_)) {
+            let source = self.parse_module_source()?;
+            let end = source.span.end;
+            self.consume_semi("import declaration")?;
+            return Ok(Stmt::Import {
+                specifiers: Vec::new(),
+                source,
+                span: Span::new(start, end),
+            });
+        }
+        let mut specifiers = Vec::new();
+        if let TokenKind::Ident(name) = &self.cur.kind {
+            let local = Ident { name: *name, span: self.cur.span };
+            self.advance()?;
+            specifiers.push(ImportSpecifier::Default { local });
+            if self.eat_punct(Punct::Comma)? {
+                self.parse_import_clause_tail(&mut specifiers)?;
+            }
+        } else {
+            self.parse_import_clause_tail(&mut specifiers)?;
+        }
+        if !self.is_ident("from") {
+            return Err(self.err_here(format!(
+                "expected `from` in import declaration, found {}",
+                self.cur.kind
+            )));
+        }
+        self.advance()?; // from
+        let source = self.parse_module_source()?;
+        let end = source.span.end;
+        self.consume_semi("import declaration")?;
+        Ok(Stmt::Import { specifiers, source, span: Span::new(start, end) })
+    }
+
+    /// Parses the namespace (`* as ns`) or named (`{a, b as c}`) part of an
+    /// import clause, after any default binding and its comma.
+    fn parse_import_clause_tail(
+        &mut self,
+        specifiers: &mut Vec<ImportSpecifier>,
+    ) -> Result<(), ParseError> {
+        if self.eat_punct(Punct::Star)? {
+            if !self.is_ident("as") {
+                return Err(self.err_here(format!(
+                    "expected `as` in namespace import, found {}",
+                    self.cur.kind
+                )));
+            }
+            self.advance()?; // as
+            let local = self.parse_binding_ident("namespace import binding")?;
+            specifiers.push(ImportSpecifier::Namespace { local });
+            return Ok(());
+        }
+        self.expect_punct(Punct::LBrace)?;
+        while !self.is_punct(Punct::RBrace) {
+            let (imported, ispan) = self.parse_module_export_name()?;
+            let local = if self.is_ident("as") {
+                self.advance()?;
+                self.parse_binding_ident("import binding")?
+            } else {
+                Ident { name: imported, span: ispan }
+            };
+            specifiers.push(ImportSpecifier::Named { imported, local });
+            if !self.eat_punct(Punct::Comma)? {
+                break;
+            }
+        }
+        self.expect_punct(Punct::RBrace)?;
+        Ok(())
+    }
+
+    /// Parses an `export` declaration: `export * [as ns] from`, `export
+    /// default <expr>`, `export {specs} [from]`, or `export <declaration>`.
+    fn parse_export_decl(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.cur.span.start;
+        self.advance()?; // export
+
+        if self.eat_punct(Punct::Star)? {
+            let exported = if self.is_ident("as") {
+                self.advance()?;
+                let (name, span) = self.parse_module_export_name()?;
+                Some(Ident { name, span })
+            } else {
+                None
+            };
+            if !self.is_ident("from") {
+                return Err(self.err_here(format!(
+                    "expected `from` in export declaration, found {}",
+                    self.cur.kind
+                )));
+            }
+            self.advance()?; // from
+            let source = self.parse_module_source()?;
+            let end = source.span.end;
+            self.consume_semi("export declaration")?;
+            return Ok(Stmt::ExportAll { exported, source, span: Span::new(start, end) });
+        }
+
+        if self.is_kw(Kw::Default) {
+            self.advance()?;
+            // `function`/`class` parse as (possibly anonymous) expressions
+            // here; the printer knows not to terminate them with `;`.
+            let expr = self.parse_assignment(true)?;
+            let end = expr.span().end;
+            self.consume_semi("export declaration")?;
+            return Ok(Stmt::ExportDefault { expr, span: Span::new(start, end) });
+        }
+
+        if self.is_punct(Punct::LBrace) {
+            self.advance()?;
+            let mut specifiers = Vec::new();
+            while !self.is_punct(Punct::RBrace) {
+                let (lname, lspan) = self.parse_module_export_name()?;
+                let exported = if self.is_ident("as") {
+                    self.advance()?;
+                    let (ename, _) = self.parse_module_export_name()?;
+                    ename
+                } else {
+                    lname
+                };
+                specifiers
+                    .push(ExportSpecifier { local: Ident { name: lname, span: lspan }, exported });
+                if !self.eat_punct(Punct::Comma)? {
+                    break;
+                }
+            }
+            let mut end = self.cur.span.end;
+            self.expect_punct(Punct::RBrace)?;
+            let source = if self.is_ident("from") {
+                self.advance()?;
+                let s = self.parse_module_source()?;
+                end = s.span.end;
+                Some(s)
+            } else {
+                None
+            };
+            self.consume_semi("export declaration")?;
+            return Ok(Stmt::ExportNamed {
+                decl: None,
+                specifiers,
+                source,
+                span: Span::new(start, end),
+            });
+        }
+
+        // `export var/let/const/function/class/async function ...`
+        let decl = self.parse_stmt()?;
+        let end = decl.span().end;
+        Ok(Stmt::ExportNamed {
+            decl: Some(Box::new(decl)),
+            specifiers: Vec::new(),
+            source: None,
+            span: Span::new(start, end),
+        })
+    }
+
+    /// A module specifier string literal (`from "mod"`, `import "mod"`).
+    fn parse_module_source(&mut self) -> Result<Lit, ParseError> {
+        match &self.cur.kind {
+            TokenKind::Str(s) => {
+                let lit = Lit {
+                    value: LitValue::Str(*s),
+                    raw: span_raw_placeholder(),
+                    span: self.cur.span,
+                };
+                self.advance()?;
+                Ok(lit)
+            }
+            _ => Err(self.unexpected("module specifier")),
+        }
+    }
+
+    /// An import/export specifier name. Keywords are valid module export
+    /// names (`import { default as d }`), so both token kinds are accepted.
+    fn parse_module_export_name(&mut self) -> Result<(Atom, Span), ParseError> {
+        let span = self.cur.span;
+        let name = match &self.cur.kind {
+            TokenKind::Ident(n) => *n,
+            TokenKind::Keyword(kw) => kw.atom(),
+            _ => return Err(self.unexpected("import/export specifier")),
+        };
+        self.advance()?;
+        Ok((name, span))
+    }
+
+    /// A plain identifier binding (no destructuring), e.g. an import local.
+    fn parse_binding_ident(&mut self, what: &str) -> Result<Ident, ParseError> {
+        match &self.cur.kind {
+            TokenKind::Ident(n) => {
+                let id = Ident { name: *n, span: self.cur.span };
+                self.advance()?;
+                Ok(id)
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
     // ---- functions & classes -------------------------------------------
 
     /// Parses `function [name](params) { body }`; `expr_ctx` allows an
@@ -914,6 +1149,17 @@ impl<'s> Parser<'s> {
                 let lit = Lit { value: LitValue::Num(*n), raw: Atom::empty(), span: self.cur.span };
                 self.advance()?;
                 Ok((PropKey::Lit(lit), false))
+            }
+            TokenKind::BigInt(d) => {
+                let lit =
+                    Lit { value: LitValue::BigInt(*d), raw: Atom::empty(), span: self.cur.span };
+                self.advance()?;
+                Ok((PropKey::Lit(lit), false))
+            }
+            TokenKind::PrivateName(n) => {
+                let id = Ident { name: *n, span: self.cur.span };
+                self.advance()?;
+                Ok((PropKey::Private(id), false))
             }
             TokenKind::Punct(Punct::LBracket) => {
                 self.advance()?;
@@ -1321,6 +1567,18 @@ impl<'s> Parser<'s> {
                 TokenKind::Punct(Punct::Dot) => {
                     self.chain_link(links)?;
                     self.advance()?;
+                    if let TokenKind::PrivateName(n) = &self.cur.kind {
+                        let prop = Ident { name: *n, span: self.cur.span };
+                        let span = Span::new(e.span().start, self.cur.span.end);
+                        self.advance()?;
+                        e = Expr::Member {
+                            object: Box::new(e),
+                            property: MemberProp::Private(prop),
+                            optional: false,
+                            span,
+                        };
+                        continue;
+                    }
                     let name = match &self.cur.kind {
                         TokenKind::Ident(n) => *n,
                         TokenKind::Keyword(kw) => kw.atom(),
@@ -1376,6 +1634,17 @@ impl<'s> Parser<'s> {
                             e = Expr::Member {
                                 object: Box::new(e),
                                 property: MemberProp::Ident(prop),
+                                optional: true,
+                                span,
+                            };
+                        }
+                        TokenKind::PrivateName(n) => {
+                            let prop = Ident { name: *n, span: self.cur.span };
+                            let span = Span::new(e.span().start, self.cur.span.end);
+                            self.advance()?;
+                            e = Expr::Member {
+                                object: Box::new(e),
+                                property: MemberProp::Private(prop),
                                 optional: true,
                                 span,
                             };
@@ -1455,6 +1724,18 @@ impl<'s> Parser<'s> {
                 TokenKind::Punct(Punct::Dot) => {
                     self.chain_link(links)?;
                     self.advance()?;
+                    if let TokenKind::PrivateName(n) = &self.cur.kind {
+                        let prop = Ident { name: *n, span: self.cur.span };
+                        let span = Span::new(e.span().start, self.cur.span.end);
+                        self.advance()?;
+                        e = Expr::Member {
+                            object: Box::new(e),
+                            property: MemberProp::Private(prop),
+                            optional: false,
+                            span,
+                        };
+                        continue;
+                    }
                     let name = match &self.cur.kind {
                         TokenKind::Ident(n) => *n,
                         TokenKind::Keyword(kw) => kw.atom(),
@@ -1522,6 +1803,15 @@ impl<'s> Parser<'s> {
                 self.advance()?;
                 Ok(e)
             }
+            TokenKind::BigInt(d) => {
+                let e = Expr::Lit(Lit {
+                    value: LitValue::BigInt(*d),
+                    raw: span_raw_placeholder(),
+                    span,
+                });
+                self.advance()?;
+                Ok(e)
+            }
             TokenKind::Str(s) => {
                 let e =
                     Expr::Lit(Lit { value: LitValue::Str(*s), raw: span_raw_placeholder(), span });
@@ -1572,6 +1862,34 @@ impl<'s> Parser<'s> {
                     let mut f = self.parse_function(true)?;
                     f.is_async = true;
                     return Ok(Expr::Function(f));
+                }
+                if name == "import" {
+                    if self.peek()?.is_punct(Punct::LParen) {
+                        // Dynamic import. The two-argument form
+                        // `import(x, opts)` is not modeled.
+                        self.advance()?; // import
+                        self.expect_punct(Punct::LParen)?;
+                        let arg = self.parse_assignment(true)?;
+                        let end = self.cur.span.end;
+                        self.expect_punct(Punct::RParen)?;
+                        return Ok(Expr::ImportCall {
+                            arg: Box::new(arg),
+                            span: Span::new(span.start, end),
+                        });
+                    }
+                    if self.peek()?.is_punct(Punct::Dot) {
+                        // `import.meta`, mirroring `new.target`.
+                        let meta = Ident { name, span };
+                        self.advance()?; // import
+                        self.advance()?; // .
+                        let property = match &self.cur.kind {
+                            TokenKind::Ident(n) => Ident { name: *n, span: self.cur.span },
+                            _ => return Err(self.unexpected("meta property")),
+                        };
+                        let mspan = Span::new(span.start, self.cur.span.end);
+                        self.advance()?;
+                        return Ok(Expr::MetaProperty { meta, property, span: mspan });
+                    }
                 }
                 let e = Expr::Ident(Ident { name, span });
                 self.advance()?;
@@ -2022,7 +2340,13 @@ pub(crate) fn expr_to_pat(e: Expr) -> Result<Pat, ParseError> {
         Expr::Object { props, span } => {
             let mut out = Vec::new();
             for p in props {
-                let value = expr_to_pat(p.value)?;
+                let value = match p.value {
+                    // `{...rest}` in assignment position → object rest.
+                    Expr::Spread { arg, span } => {
+                        Pat::Rest { arg: Box::new(expr_to_pat(*arg)?), span }
+                    }
+                    v => expr_to_pat(v)?,
+                };
                 out.push(ObjectPatProp {
                     key: p.key,
                     value,

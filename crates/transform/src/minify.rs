@@ -107,6 +107,9 @@ fn to_js_string(v: &LitValue) -> Option<String> {
         LitValue::Num(n) => format_number(*n),
         LitValue::Bool(b) => b.to_string(),
         LitValue::Null => "null".to_string(),
+        // BigInt ToString is the decimal value, not the source spelling
+        // (which may be hex/octal/binary); don't fold.
+        LitValue::BigInt(_) => return None,
         LitValue::Regex { .. } => return None,
     })
 }
@@ -117,6 +120,9 @@ fn truthy(v: &LitValue) -> Option<bool> {
         LitValue::Num(n) => *n != 0.0 && !n.is_nan(),
         LitValue::Str(s) => !s.is_empty(),
         LitValue::Null => false,
+        // Radix-prefixed zero spellings (`0x0n`) make truthiness non-obvious
+        // here; leave BigInt conditions unfolded.
+        LitValue::BigInt(_) => return None,
         LitValue::Regex { .. } => true,
     })
 }
@@ -178,6 +184,7 @@ fn fold(e: &Expr) -> Option<Expr> {
                 UnaryOp::BitNot => Some(num_lit(!to_i32(num_of(v)?) as f64)),
                 UnaryOp::TypeOf => Some(str_lit(match v {
                     LitValue::Num(_) => "number",
+                    LitValue::BigInt(_) => "bigint",
                     LitValue::Str(_) => "string",
                     LitValue::Bool(_) => "boolean",
                     LitValue::Null => "object",

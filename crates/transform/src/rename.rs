@@ -308,6 +308,26 @@ impl<'g> Renamer<'g> {
                 env.labels.pop();
             }
             Stmt::Empty { .. } | Stmt::Debugger { .. } => {}
+            // Import locals and exported declaration names are module
+            // interface: they were never collected, so nested visits leave
+            // them untouched while still renaming references to outer
+            // renamed bindings.
+            Stmt::Import { .. } | Stmt::ExportAll { .. } => {}
+            Stmt::ExportNamed { decl, specifiers, source, .. } => {
+                if let Some(decl) = decl {
+                    self.stmt(decl, env);
+                }
+                // `export { a }` must track a renamed local; the stored
+                // `exported` atom keeps the external name stable.
+                if source.is_none() {
+                    for sp in specifiers {
+                        if let Some(new) = env.lookup(sp.local.name) {
+                            sp.local.name = new;
+                        }
+                    }
+                }
+            }
+            Stmt::ExportDefault { expr, .. } => self.expr(expr, env),
             Stmt::With { object, body, .. } => {
                 self.expr(object, env);
                 // Inside `with`, bare names may resolve to object properties;
@@ -501,6 +521,7 @@ impl<'g> Renamer<'g> {
                     self.expr(a, env);
                 }
             }
+            Expr::ImportCall { arg, .. } => self.expr(arg, env),
         }
     }
 }

@@ -1,0 +1,55 @@
+// A small fetch-based API client, written as a modern ES module.
+import { buildQuery, parseBody as parse } from "./http_util.js";
+import defaultRetry, { backoff } from "./retry.js";
+import * as log from "./log.js";
+
+const BASE = import.meta.url.replace(/\/[^/]*$/, "");
+const MAX_BODY = 10_000_000n;
+
+class ApiClient {
+    #base;
+    #retries = 3;
+    static #instances = 0;
+
+    constructor(base) {
+        this.#base = base || BASE;
+        ApiClient.#instances += 1;
+    }
+
+    get retries() {
+        return this.#retries;
+    }
+
+    async #request(path, params) {
+        const url = `${this.#base}${path}?${buildQuery(params ?? {})}`;
+        for (let attempt = 0; attempt <= this.#retries; attempt++) {
+            try {
+                const res = await fetch(url);
+                if (res.ok) {
+                    return parse(await res.text(), MAX_BODY);
+                }
+                log.warn(`status ${res.status} on ${url}`);
+            } catch (err) {
+                log.warn(`attempt ${attempt} failed: ${err?.message}`);
+            }
+            await backoff(attempt);
+        }
+        throw new Error(`gave up on ${path} after ${this.#retries} retries`);
+    }
+
+    async get(path, params) {
+        return this.#request(path, params);
+    }
+
+    static count() {
+        return ApiClient.#instances;
+    }
+}
+
+export async function lazyPlugins(names) {
+    const mods = await Promise.all(names.map((n) => import(`./plugins/${n}.js`)));
+    return mods.map((m) => m.default ?? m);
+}
+
+export { defaultRetry as retry };
+export default ApiClient;

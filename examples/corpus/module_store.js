@@ -1,0 +1,44 @@
+// A tiny observable store module, bundler-style re-export surface.
+import { deepFreeze } from "./freeze.js";
+
+let state = deepFreeze({ items: [], total: 0n });
+const subscribers = new Set();
+
+export function getState() {
+    return state;
+}
+
+export function subscribe(fn) {
+    subscribers.add(fn);
+    return () => subscribers.delete(fn);
+}
+
+export function dispatch(action) {
+    const next = reduce(state, action);
+    if (next !== state) {
+        state = deepFreeze(next);
+        for (const fn of subscribers) {
+            fn(state);
+        }
+    }
+    return state;
+}
+
+function reduce(prev, action) {
+    switch (action?.type) {
+        case "add":
+            return {
+                items: [...prev.items, action.item],
+                total: prev.total + BigInt(action.item.price ?? 0),
+            };
+        case "clear":
+            return { items: [], total: 0n };
+        default:
+            return prev;
+    }
+}
+
+export * from "./selectors.js";
+export * as middleware from "./middleware.js";
+export { deepFreeze };
+export default dispatch;

@@ -50,7 +50,8 @@ fn usage() -> ! {
          jsdetect-cli cache stats|verify|gc --cache-dir <dir>\n  \
          jsdetect-cli normalize [--passes <p1,p2,...>] [--emit] \
          [--limits wild|trusted|interactive] [--max-rounds 8] <file.js|dir>...\n  \
-         jsdetect-cli chaos-corpus --out <dir>\n\n\
+         jsdetect-cli chaos-corpus --out <dir>\n  \
+         jsdetect-cli module-corpus --out <dir> [--n 60] [--seed 42]\n\n\
          techniques: {}\n\
          normalize passes: {}",
         Technique::ALL.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(", "),
@@ -79,6 +80,7 @@ fn main() {
         Some("cache") => cmd_cache(&argv),
         Some("normalize") => cmd_normalize(&argv),
         Some("chaos-corpus") => cmd_chaos_corpus(&argv),
+        Some("module-corpus") => cmd_module_corpus(&argv),
         _ => usage(),
     }
 }
@@ -152,6 +154,31 @@ fn cmd_chaos_corpus(argv: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// Materializes the deterministic module-flavoured wild population
+/// (ES-module bundles: import/export declarations, dynamic `import()`,
+/// `import.meta`, BigInt literals, private class members; some minified)
+/// into a directory. CI scans it and gates the `guard/degraded` telemetry
+/// counter at zero — a degraded module script means lost syntax coverage.
+fn cmd_module_corpus(argv: &[String]) {
+    let dir = arg_value(argv, "--out").unwrap_or_else(|| usage());
+    let n: usize = arg_value(argv, "--n").and_then(|v| v.parse().ok()).unwrap_or(60);
+    let seed: u64 = arg_value(argv, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let path = std::path::Path::new(&dir);
+    if let Err(e) = std::fs::create_dir_all(path) {
+        eprintln!("cannot create {}: {}", dir, e);
+        std::process::exit(1);
+    }
+    let pop = jsdetect_suite::corpus::module_population(n, seed);
+    for (i, script) in pop.iter().enumerate() {
+        let file = path.join(format!("module_{:03}.js", i));
+        if let Err(e) = std::fs::write(&file, &script.src) {
+            eprintln!("cannot write {}: {}", file.display(), e);
+            std::process::exit(1);
+        }
+    }
+    eprintln!("wrote {} module scripts to {}", pop.len(), dir);
 }
 
 fn cmd_train(argv: &[String]) {

@@ -85,6 +85,15 @@ fn chaos_corpus_survives_guarded_batch_analysis() {
     for name in ["empty_file", "whitespace_only", "deep_but_legal_nesting", "hex_identifier_soup"] {
         assert_eq!(outcome(name).outcome, OutcomeKind::Ok, "case {}", name);
     }
+    // Module-flavored chaos: flat floods are legal module syntax and must
+    // analyze cleanly; the recursive dynamic-import bomb hits the depth
+    // guard; the truncated clause degrades like any other syntax error.
+    for name in ["import_specifier_flood", "export_star_chain", "private_member_flood"] {
+        assert_eq!(outcome(name).outcome, OutcomeKind::Ok, "case {}", name);
+    }
+    assert_eq!(outcome("dynamic_import_bomb").outcome, OutcomeKind::Rejected);
+    assert_eq!(outcome("dynamic_import_bomb").error_kind.as_deref(), Some("ast_depth_exceeded"));
+    assert_eq!(outcome("truncated_import_clause").outcome, OutcomeKind::Degraded);
 
     // Per-error-kind counters are visible in telemetry, one bump per
     // non-ok file.
@@ -111,6 +120,10 @@ fn chaos_corpus_survives_guarded_batch_analysis() {
         counter_total += n;
     }
     assert_eq!(counter_total as usize, n_degraded + n_rejected);
+    // The outcome-level aggregates mirror the per-kind counters: these are
+    // what the CI syntax-coverage gate reads as a rate.
+    assert_eq!(snap.counter("guard/degraded") as usize, n_degraded);
+    assert_eq!(snap.counter("guard/rejected") as usize, n_rejected);
 
     // The quarantine JSONL export covers every file with a valid outcome.
     let jsonl = quarantine.to_jsonl();

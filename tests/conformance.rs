@@ -1,0 +1,535 @@
+//! ECMA-262 spec-conformance harness.
+//!
+//! The table below keys fixture groups to spec sections (§13 Expressions,
+//! §14 Statements, §15 Functions & Classes, §16 Scripts & Modules),
+//! seeded from the pmatos/jsse phase-04 parser checklist. Every section
+//! is either **supported** — each fixture must parse, print, and reparse
+//! with an identical pre-order node-kind stream, and printing must reach
+//! a fixed point in both readable and minified modes — or explicitly
+//! **unsupported**, in which case a probe source must *fail* to parse.
+//!
+//! The unsupported markers are load-bearing: if the parser gains support
+//! for a construct, its probe starts parsing and the marker fails,
+//! forcing this table (and the README syntax matrix) to be updated in the
+//! same change. Silent partial support is the failure mode this harness
+//! exists to prevent.
+
+use jsdetect_suite::ast::kind_stream;
+use jsdetect_suite::codegen::{to_minified, to_source};
+use jsdetect_suite::parser::parse;
+
+/// What the harness expects of one spec section.
+enum Expect {
+    /// Every fixture round-trips: parse → print → reparse with identical
+    /// kind streams, and printing is a fixed point (both modes).
+    Supported(&'static [&'static str]),
+    /// Explicitly out of scope: the probe must fail to parse.
+    Unsupported { probe: &'static str, reason: &'static str },
+}
+
+struct Section {
+    /// ECMA-262 section (phase-04 checklist numbering).
+    spec: &'static str,
+    title: &'static str,
+    expect: Expect,
+}
+
+use Expect::{Supported, Unsupported};
+
+const SECTIONS: &[Section] = &[
+    // ---- §13.2 Primary Expressions ---------------------------------------
+    Section {
+        spec: "13.2.1",
+        title: "this",
+        expect: Supported(&["this.x = this;"]),
+    },
+    Section {
+        spec: "13.2.2",
+        title: "IdentifierReference",
+        expect: Supported(&["foo; $bar; _baz; \\u0061bc;"]),
+    },
+    Section {
+        spec: "13.2.3",
+        title: "Literal (null, boolean, numeric, string)",
+        expect: Supported(&[
+            "var a = null, b = true, c = false;",
+            "var n = [0, 1.5, .5, 5., 1e3, 0.25e-2, 0x1F, 0o17, 0b1010, 1_000_000];",
+            "var s = ['', 'a\\nb', \"q\", '\\x41\\u0041\\u{1F600}'];",
+        ]),
+    },
+    Section {
+        spec: "13.2.3-bigint",
+        title: "BigInt literal",
+        expect: Supported(&[
+            "var z = 0n;",
+            "var h = 0x1fn + 0xFFn;",
+            "var d = 123n; var b = 0b101n; var o = 0o17n;",
+            "var k = { 42n: 'answer' }[42n];",
+        ]),
+    },
+    Section {
+        spec: "13.2.4",
+        title: "ArrayLiteral (elision, spread)",
+        expect: Supported(&["var a = [1, , 3, ...rest, [nested, []]];"]),
+    },
+    Section {
+        spec: "13.2.5",
+        title: "ObjectLiteral (shorthand, computed, methods, spread)",
+        expect: Supported(&[
+            "var o = { a: 1, b, [k]: 2, 'str': 3, 4: 5, m() { return 1; }, ...spread };",
+            "var p = { get x() { return 1; }, set x(v) {} };",
+        ]),
+    },
+    Section {
+        spec: "13.2.6",
+        title: "FunctionExpression / AsyncFunctionExpression / generator",
+        expect: Supported(&[
+            "var f = function named() { return 1; };",
+            "var g = function* gen() { yield 1; yield* inner(); };",
+            "var h = async function () { return await p; };",
+        ]),
+    },
+    Section {
+        spec: "13.2.7",
+        title: "ClassExpression",
+        expect: Supported(&["var C = class Sub extends Base { m() { return super.m(); } };"]),
+    },
+    Section {
+        spec: "13.2.8",
+        title: "RegularExpressionLiteral",
+        expect: Supported(&["var r = /a[/]b\\/c/gi; if (x) /re(?:x)*/.test(s);"]),
+    },
+    Section {
+        spec: "13.2.9",
+        title: "TemplateLiteral",
+        expect: Supported(&["var t = `a${1 + `inner${x}tail`}b${`${y}`}c`;"]),
+    },
+    Section {
+        spec: "13.2.10",
+        title: "CoverParenthesizedExpressionAndArrowParameterList",
+        expect: Supported(&["var v = (1, 2); var w = (x) => x; var u = (a, b) => a + b;"]),
+    },
+    // ---- §13.3 Left-Hand Side Expressions --------------------------------
+    Section {
+        spec: "13.3.2",
+        title: "MemberExpression (dot, bracket, super property)",
+        expect: Supported(&[
+            "a.b.c['d'][0].e;",
+            "class C extends B { m() { return super.x + super['y']; } }",
+        ]),
+    },
+    Section {
+        spec: "13.3.3",
+        title: "Meta properties (new.target, import.meta)",
+        expect: Supported(&[
+            "function f() { return new.target; }",
+            "const u = import.meta.url; log(import.meta);",
+        ]),
+    },
+    Section {
+        spec: "13.3.4",
+        title: "new expression",
+        expect: Supported(&["new C; new C(); new a.b.C(1, 2); new new F()();"]),
+    },
+    Section {
+        spec: "13.3.5",
+        title: "CallExpression (call, super())",
+        expect: Supported(&[
+            "f(); f(1, ...rest); a.b(c)(d);",
+            "class C extends B { constructor() { super(1); } }",
+        ]),
+    },
+    Section {
+        spec: "13.3.6",
+        title: "Tagged templates",
+        expect: Supported(&["tag`a${x}b`; a.b`raw`;"]),
+    },
+    Section {
+        spec: "13.3.7",
+        title: "OptionalExpression (?.)",
+        expect: Supported(&["a?.b; a?.[k]; a?.(1); a?.b.c?.['d']; obj?.#p;"]),
+    },
+    Section {
+        spec: "13.3.10",
+        title: "ImportCall (dynamic import())",
+        expect: Supported(&[
+            "const m = import('./mod.js');",
+            "import(base + name).then(use);",
+            "async function load() { return await import(spec); }",
+        ]),
+    },
+    Section {
+        spec: "13.3.10-options",
+        title: "import() second argument (import attributes)",
+        expect: Unsupported {
+            probe: "import('./m.js', { with: { type: 'json' } });",
+            reason: "two-argument dynamic import is not modeled in the AST",
+        },
+    },
+    // ---- §13.4–§13.5 Update & Unary --------------------------------------
+    Section {
+        spec: "13.4",
+        title: "Update expressions",
+        expect: Supported(&["i++; i--; ++i; --i; a[i]++;"]),
+    },
+    Section {
+        spec: "13.5",
+        title: "Unary expressions (delete, void, typeof, +, -, ~, !, await)",
+        expect: Supported(&[
+            "delete a.b; void 0; typeof x; +n; -n; ~n; !b;",
+            "async function f() { return await g(); }",
+        ]),
+    },
+    // ---- §13.6–§13.12 Binary operators -----------------------------------
+    Section {
+        spec: "13.6",
+        title: "Exponentiation",
+        expect: Supported(&["var p = 2 ** 10 ** 2;"]),
+    },
+    Section {
+        spec: "13.7",
+        title: "Multiplicative",
+        expect: Supported(&["var m = a * b / c % d;"]),
+    },
+    Section {
+        spec: "13.8",
+        title: "Additive",
+        expect: Supported(&["var s = a + b - c + 'str';"]),
+    },
+    Section {
+        spec: "13.9",
+        title: "Shift",
+        expect: Supported(&["var sh = a << 2 >> 1 >>> 3;"]),
+    },
+    Section {
+        spec: "13.10",
+        title: "Relational (<, >, <=, >=, instanceof, in)",
+        expect: Supported(&["a < b; a > b; a <= b; a >= b; a instanceof C; k in o;"]),
+    },
+    Section {
+        spec: "13.10-brand",
+        title: "Private brand check (#x in obj)",
+        expect: Unsupported {
+            probe: "class C { #x; static has(o) { return #x in o; } }",
+            reason: "a private name is only parsed as a member key, not a relational operand",
+        },
+    },
+    Section {
+        spec: "13.11",
+        title: "Equality",
+        expect: Supported(&["a == b; a != b; a === b; a !== b;"]),
+    },
+    Section {
+        spec: "13.12",
+        title: "Bitwise AND/XOR/OR",
+        expect: Supported(&["var bits = a & b ^ c | d;"]),
+    },
+    // ---- §13.13–§13.16 Logical, conditional, assignment, comma -----------
+    Section {
+        spec: "13.13",
+        title: "Logical (&&, ||, ??)",
+        expect: Supported(&["a && b || c; x ?? y ?? z;"]),
+    },
+    Section {
+        spec: "13.14",
+        title: "Conditional",
+        expect: Supported(&["var c = p ? q : r ? s : t;"]),
+    },
+    Section {
+        spec: "13.15",
+        title: "Assignment (simple, compound, destructuring)",
+        expect: Supported(&[
+            "x = 1; x += 2; x -= 3; x *= 4; x /= 5; x %= 6; x **= 2;",
+            "x <<= 1; x >>= 1; x >>>= 1; x &= 1; x ^= 1; x |= 1;",
+            "x &&= a; x ||= b; x ??= c;",
+            "[a, b = 1, ...rest] = arr; ({ p, q: { r }, ...others } = obj);",
+        ]),
+    },
+    Section {
+        spec: "13.16",
+        title: "Comma operator",
+        expect: Supported(&["var seq = (a, b, c);"]),
+    },
+    // ---- §14 Statements & Declarations -----------------------------------
+    Section {
+        spec: "14.2",
+        title: "Block",
+        expect: Supported(&["{ var x = 1; { x; } }"]),
+    },
+    Section {
+        spec: "14.3",
+        title: "let / const / var declarations (incl. destructuring)",
+        expect: Supported(&[
+            "var a = 1; let b = 2; const c = 3;",
+            "let [x, y = 2] = pair; const { k, v } = entry;",
+        ]),
+    },
+    Section {
+        spec: "14.4",
+        title: "Empty statement",
+        expect: Supported(&[";;;"]),
+    },
+    Section {
+        spec: "14.5",
+        title: "Expression statement",
+        expect: Supported(&["f(); x + 1;"]),
+    },
+    Section {
+        spec: "14.6",
+        title: "if",
+        expect: Supported(&["if (a) b(); else if (c) d(); else e();"]),
+    },
+    Section {
+        spec: "14.7",
+        title: "Iteration (do, while, for, for-in, for-of, for-await-of)",
+        expect: Supported(&[
+            "do { f(); } while (cond);",
+            "while (cond) f();",
+            "for (var i = 0; i < 10; i++) f(i);",
+            "for (;;) break;",
+            "for (var k in obj) use(k);",
+            "for (const v of iter) use(v);",
+            "async function drain(it) { for await (const c of it) use(c); }",
+        ]),
+    },
+    Section {
+        spec: "14.8-14.9",
+        title: "continue / break (with labels)",
+        expect: Supported(&["outer: for (;;) { for (;;) { continue outer; } break outer; }"]),
+    },
+    Section {
+        spec: "14.10",
+        title: "return",
+        expect: Supported(&["function f() { return; } function g() { return 1; }"]),
+    },
+    Section {
+        spec: "14.11",
+        title: "with",
+        expect: Supported(&["with (obj) { prop(); }"]),
+    },
+    Section {
+        spec: "14.12",
+        title: "switch",
+        expect: Supported(&["switch (x) { case 1: a(); break; default: b(); }"]),
+    },
+    Section {
+        spec: "14.13",
+        title: "Labelled statement",
+        expect: Supported(&["lbl: { break lbl; }"]),
+    },
+    Section {
+        spec: "14.14-14.15",
+        title: "throw / try",
+        expect: Supported(&[
+            "try { risky(); } catch (e) { handle(e); } finally { cleanup(); }",
+            "try { risky(); } catch { recover(); }",
+            "throw new Error('x');",
+        ]),
+    },
+    Section {
+        spec: "14.16",
+        title: "debugger",
+        expect: Supported(&["debugger;"]),
+    },
+    // ---- §15 Functions & Classes -----------------------------------------
+    Section {
+        spec: "15.1-15.2",
+        title: "Function declarations & parameter lists",
+        expect: Supported(&["function f(a, b = 1, { c }, [d], ...rest) { return a; }"]),
+    },
+    Section {
+        spec: "15.3",
+        title: "Arrow functions",
+        expect: Supported(&[
+            "const f = x => x + 1;",
+            "const g = (a, b = 2) => { return a + b; };",
+            "const h = () => ({ wrapped: true });",
+        ]),
+    },
+    Section {
+        spec: "15.4",
+        title: "Method definitions (incl. get/set, async, generator)",
+        expect: Supported(&[
+            "class C { m() {} get p() { return 1; } set p(v) {} async a() {} *g() {} async *ag() {} static s() {} }",
+        ]),
+    },
+    Section {
+        spec: "15.5-15.6",
+        title: "Generators & async generators",
+        expect: Supported(&[
+            "function* g() { yield 1; yield* other(); }",
+            "async function* ag() { yield await p; }",
+        ]),
+    },
+    Section {
+        spec: "15.7",
+        title: "Class definitions (fields, private members, static)",
+        expect: Supported(&[
+            "class A extends B { constructor() { super(); } }",
+            "class F { x = 1; static y = 2; z; }",
+            "class P { #secret = 0; static #count; #bump() { return ++this.#secret; } get #v() { return this.#secret; } static #sm() {} }",
+            "class Q { check() { return this.#a + other.#a; } #a = 1; }",
+        ]),
+    },
+    Section {
+        spec: "15.7-static-block",
+        title: "Class static initialization blocks",
+        expect: Unsupported {
+            probe: "class C { static { init(); } }",
+            reason: "static {} blocks are not modeled; class bodies only carry methods and fields",
+        },
+    },
+    Section {
+        spec: "15.8-15.9",
+        title: "Async functions & async arrows",
+        expect: Supported(&[
+            "async function f() { await g(); }",
+            "const h = async x => await x; const k = async (a, b) => a + b;",
+        ]),
+    },
+    // ---- §16.2 Modules ---------------------------------------------------
+    Section {
+        spec: "16.2.2",
+        title: "Imports (default, named, namespace, bare)",
+        expect: Supported(&[
+            "import d from 'm';",
+            "import { a } from 'm';",
+            "import { a, b as c, default as dd } from 'm';",
+            "import * as ns from 'm';",
+            "import d, { a, b as c } from 'm';",
+            "import d, * as ns from 'm';",
+            "import 'side-effect';",
+        ]),
+    },
+    Section {
+        spec: "16.2.3",
+        title: "Exports (named, re-export, star, default, declarations)",
+        expect: Supported(&[
+            "export { a, b as c };",
+            "export { a, b as c } from 'm';",
+            "export * from 'm';",
+            "export * as ns from 'm';",
+            "export default 40 + 2;",
+            "export default function () {}",
+            "export default function named() {}",
+            "export default class {}",
+            "export default async function () {}",
+            "export var v = 1; export let l = 2; export const c = 3;",
+            "export function f() {} export async function g() {}",
+            "export class K {}",
+        ]),
+    },
+    Section {
+        spec: "16.2.3-string-names",
+        title: "String module export names",
+        expect: Unsupported {
+            probe: "export { x as 'string name' };",
+            reason: "module export names are atoms; arbitrary string names are not modeled",
+        },
+    },
+    Section {
+        spec: "16.2.2-attributes",
+        title: "Import attributes (with clause)",
+        expect: Unsupported {
+            probe: "import cfg from './c.json' with { type: 'json' };",
+            reason: "import attributes are a post-ES2022 proposal; the clause is rejected",
+        },
+    },
+];
+
+/// Asserts the parse → print → reparse property for one fixture: identical
+/// pre-order kind streams and a printing fixed point, in both modes.
+fn assert_conformance_roundtrip(spec: &str, src: &str) {
+    let p1 = parse(src).unwrap_or_else(|e| panic!("§{spec}: fixture does not parse: {e}\n  {src}"));
+    let stream1 = kind_stream(&p1);
+    for (mode, printed) in [("readable", to_source(&p1)), ("minified", to_minified(&p1))] {
+        let p2 = parse(&printed).unwrap_or_else(|e| {
+            panic!("§{spec} [{mode}]: printed form does not reparse: {e}\n  src: {src}\n  printed: {printed}")
+        });
+        assert_eq!(
+            stream1,
+            kind_stream(&p2),
+            "§{spec} [{mode}]: kind stream changed across print→reparse\n  src: {src}\n  printed: {printed}"
+        );
+        let reprinted = if mode == "readable" { to_source(&p2) } else { to_minified(&p2) };
+        assert_eq!(
+            printed, reprinted,
+            "§{spec} [{mode}]: printing is not a fixed point\n  src: {src}"
+        );
+    }
+}
+
+#[test]
+fn supported_sections_roundtrip() {
+    let mut fixtures = 0usize;
+    for s in SECTIONS {
+        if let Supported(cases) = &s.expect {
+            assert!(!cases.is_empty(), "§{}: empty fixture list", s.spec);
+            for src in *cases {
+                assert_conformance_roundtrip(s.spec, src);
+                fixtures += 1;
+            }
+        }
+    }
+    assert!(fixtures >= 60, "conformance corpus shrank: {fixtures} fixtures");
+}
+
+#[test]
+fn unsupported_sections_are_explicit_markers() {
+    for s in SECTIONS {
+        if let Unsupported { probe, reason } = &s.expect {
+            assert!(!reason.is_empty(), "§{}: unsupported marker needs a reason", s.spec);
+            assert!(
+                parse(probe).is_err(),
+                "§{} ({}): probe now parses — the parser gained support; \
+                 move this section to Supported and update the README syntax matrix.\n  probe: {probe}",
+                s.spec,
+                s.title,
+            );
+        }
+    }
+}
+
+/// Module-syntax fixtures must set the module goal; plain scripts must not.
+#[test]
+fn module_goal_detection() {
+    for s in SECTIONS {
+        let is_module_section = s.spec.starts_with("16.2.2") || s.spec.starts_with("16.2.3");
+        if let Supported(cases) = &s.expect {
+            for src in *cases {
+                let p = parse(src).unwrap();
+                if is_module_section {
+                    assert!(p.module_goal(), "§{}: module fixture not module-goal: {src}", s.spec);
+                } else if !src.contains("import") && !src.contains("export") {
+                    assert!(!p.module_goal(), "§{}: script fixture flagged module: {src}", s.spec);
+                }
+            }
+        }
+    }
+    // Expression-position dynamic import / import.meta alone do not make a
+    // module goal — only declarations do.
+    assert!(!parse("const p = import('./m.js');").unwrap().module_goal());
+    assert!(!parse("log(import.meta.url);").unwrap().module_goal());
+}
+
+/// The table must keep covering every chapter the phase-04 checklist names:
+/// a census over spec-section prefixes, so sections cannot silently vanish.
+#[test]
+fn checklist_chapters_are_covered() {
+    let required = [
+        "13.2", "13.3", "13.4", "13.5", "13.6", "13.7", "13.8", "13.9", "13.10", "13.11", "13.12",
+        "13.13", "13.14", "13.15", "13.16", "14.", "15.", "16.2.2", "16.2.3",
+    ];
+    for prefix in required {
+        assert!(
+            SECTIONS.iter().any(|s| s.spec.starts_with(prefix)),
+            "no conformance section covers §{prefix}"
+        );
+    }
+    // Spec ids must be unique so failures are addressable.
+    let mut ids: Vec<_> = SECTIONS.iter().map(|s| s.spec).collect();
+    ids.sort_unstable();
+    let before = ids.len();
+    ids.dedup();
+    assert_eq!(before, ids.len(), "duplicate spec section ids");
+}

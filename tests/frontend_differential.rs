@@ -32,7 +32,9 @@ fn kind_eq(r: &RefTokenKind, n: &TokenKind) -> bool {
         (RefTokenKind::Ident(s), TokenKind::Ident(a)) => payload_eq(s, *a),
         (RefTokenKind::Keyword(k1), TokenKind::Keyword(k2)) => k1 == k2,
         (RefTokenKind::Num(n1), TokenKind::Num(n2)) => n1.to_bits() == n2.to_bits(),
+        (RefTokenKind::BigInt(s), TokenKind::BigInt(a)) => payload_eq(s, *a),
         (RefTokenKind::Str(s), TokenKind::Str(a)) => payload_eq(s, *a),
+        (RefTokenKind::PrivateName(s), TokenKind::PrivateName(a)) => payload_eq(s, *a),
         (
             RefTokenKind::Regex { pattern: p1, flags: f1 },
             TokenKind::Regex { pattern: p2, flags: f2 },

@@ -118,3 +118,31 @@ fn edge_case_literals_and_syntax_roundtrip() {
         assert_roundtrip(src, &format!("edge case {}", i));
     }
 }
+
+#[test]
+fn module_and_es2020_constructs_roundtrip() {
+    // ES-module declarations, dynamic import, import.meta, BigInt edge
+    // literals, and private class members — the syntax closed by the
+    // spec-conformance push. Each must survive print→reparse in both
+    // printer modes with an identical kind stream.
+    let cases = [
+        "import d from 'm';",
+        "import d, { a, b as c } from 'mod'; import * as ns from 'other';",
+        "import 'side-effect-only';",
+        "export { a, b as c }; export { d } from 'm';",
+        "export * from 'm'; export * as everything from 'n';",
+        "export default function () { return 1; }",
+        "export default class extends Base {}",
+        "export default (a, b) => a + b;",
+        "export const answer = 42; export async function load() {}",
+        "const lazy = import('./chunk.js').then(m => m.default);",
+        "if (import.meta.url) { log(import.meta); }",
+        "var big = [0n, 0x1fn, 0b101n, 0o17n, 123_456n];",
+        "var keyed = { 0n: 'zero', 0xFFn: 'ff' };",
+        "class Counter { #n = 0n; static #all = []; #inc() { return ++this.#n; } get #v() { return this.#n; } read() { return this.#v + other?.#n; } }",
+        "import base from './base.js'; export class Derived extends base.Cls { #state = import.meta.url; }",
+    ];
+    for (i, src) in cases.iter().enumerate() {
+        assert_roundtrip(src, &format!("module/es2020 case {}", i));
+    }
+}
